@@ -1,0 +1,171 @@
+// Command casa runs one scratchpad-allocation experiment: it loads a
+// bundled workload, forms traces, profiles the cache, allocates with the
+// selected technique and reports the simulated energy breakdown.
+//
+// Usage:
+//
+//	casa -workload mpeg -cache 2048 -spm 512 [-alloc casa|greedy|steinke|loopcache|none]
+//	     [-line 16] [-assoc 1] [-dot conflict.dot] [-lp model.lp] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ilp"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "adpcm", "bundled workload: adpcm, g721, mpeg")
+		file   = flag.String("file", "", "program in asm format (overrides -workload)")
+		cache  = flag.Int("cache", 2048, "I-cache size in bytes")
+		line   = flag.Int("line", experiments.DefaultLine, "cache line size in bytes")
+		assoc  = flag.Int("assoc", 1, "cache associativity")
+		spm    = flag.Int("spm", 256, "scratchpad (or loop cache) size in bytes")
+		alloc  = flag.String("alloc", "casa", "allocator: casa, greedy, steinke, loopcache, none")
+		dotOut = flag.String("dot", "", "write the conflict graph in DOT form to this file")
+		lpOut  = flag.String("lp", "", "write the CASA ILP in CPLEX LP format to this file")
+		verb   = flag.Bool("v", false, "print the per-trace allocation")
+	)
+	flag.Parse()
+
+	if err := run(*wl, *file, *cache, *line, *assoc, *spm, *alloc, *dotOut, *lpOut, *verb); err != nil {
+		fmt.Fprintln(os.Stderr, "casa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, file string, cacheSize, line, assoc, spm int, alloc, dotOut, lpOut string, verbose bool) error {
+	spec := experiments.CacheSpec{Size: cacheSize, Line: line, Assoc: assoc}
+	var p *experiments.Pipeline
+	var err error
+	if file != "" {
+		f, ferr := os.Open(file)
+		if ferr != nil {
+			return ferr
+		}
+		prog, perr := asm.Parse(f, file)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+		wl = prog.Name
+		p, err = experiments.PrepareProgram(prog, spec, spm)
+	} else {
+		p, err = experiments.Prepare(wl, spec, spm)
+	}
+	if err != nil {
+		return err
+	}
+	prog := p.Prog
+	fmt.Printf("workload %s: %d bytes, %d blocks, %d traces, %d conflict edges\n",
+		wl, prog.Size(), prog.NumBlocks(), len(p.Set.Traces), p.Graph.NumEdges())
+	fmt.Printf("hierarchy: %dB %d-way cache (%dB lines), %dB scratchpad\n",
+		cacheSize, assoc, line, spm)
+
+	if dotOut != "" {
+		f, err := os.Create(dotOut)
+		if err != nil {
+			return err
+		}
+		if err := p.Graph.WriteDOT(f, nil); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("conflict graph written to %s\n", dotOut)
+	}
+	if lpOut != "" {
+		prm := core.Params{
+			SPMSize:    spm,
+			ESPHit:     p.Cost.SPMAccess,
+			ECacheHit:  p.Cost.CacheHit,
+			ECacheMiss: p.Cost.CacheMiss,
+		}
+		m, _, err := core.BuildModel(p.Set, p.Graph, prm)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(lpOut)
+		if err != nil {
+			return err
+		}
+		if err := ilp.WriteLP(f, m); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("ILP written to %s\n", lpOut)
+	}
+
+	base, err := p.RunCacheOnly()
+	if err != nil {
+		return err
+	}
+	var out *experiments.Outcome
+	switch alloc {
+	case "casa":
+		out, err = p.RunCASA()
+	case "greedy":
+		out, err = p.RunCASAGreedy()
+	case "steinke":
+		out, err = p.RunSteinke()
+	case "loopcache":
+		out, err = p.RunLoopCache()
+	case "none":
+		out = base
+	default:
+		return fmt.Errorf("unknown allocator %q", alloc)
+	}
+	if err != nil {
+		return err
+	}
+
+	r := out.Result
+	fmt.Printf("\nallocator %s: %d objects placed, %d/%d bytes used",
+		out.Allocator, out.PlacedTraces, out.UsedBytes, spm)
+	if out.SolverNodes > 0 {
+		fmt.Printf(" (%d B&B nodes)", out.SolverNodes)
+	}
+	fmt.Println()
+	fmt.Printf("fetches          %12d\n", r.Fetches)
+	fmt.Printf("scratchpad       %12d\n", r.SPMAccesses)
+	fmt.Printf("loop cache       %12d\n", r.LoopCacheAccesses)
+	fmt.Printf("I-cache accesses %12d\n", r.CacheAccesses)
+	fmt.Printf("I-cache hits     %12d\n", r.CacheHits)
+	fmt.Printf("I-cache misses   %12d (%d cold, %d conflict)\n",
+		r.CacheMisses, r.ColdMisses, r.ConflictMisses)
+	fmt.Printf("fetch cycles     %12d (%.3f cycles/fetch)\n", r.Cycles, r.CyclesPerFetch())
+	fmt.Printf("energy           %12.2f µJ (cache-only baseline: %.2f µJ, %+.1f%%)\n",
+		out.EnergyMicroJ, base.EnergyMicroJ,
+		100*(out.EnergyMicroJ-base.EnergyMicroJ)/base.EnergyMicroJ)
+
+	if verbose {
+		fmt.Println("\nper-trace placement (hot traces):")
+		for _, tr := range p.Set.Traces {
+			if tr.Fetches == 0 {
+				continue
+			}
+			loc := "cache"
+			if r.PerMO[tr.ID].SPM > 0 {
+				loc = "SPM"
+			} else if r.PerMO[tr.ID].LoopCache > 0 {
+				loc = "LC"
+			}
+			first := tr.Blocks[0]
+			fn := prog.Func(first.Func).Name
+			fmt.Printf("  trace %3d %-6s %5dB f=%-9d misses=%-7d at %s\n",
+				tr.ID, loc, tr.RawBytes, tr.Fetches, r.PerMO[tr.ID].Misses, fn)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAllAllocators(t *testing.T) {
+	for _, alloc := range []string{"casa", "greedy", "steinke", "loopcache", "none"} {
+		if err := run("adpcm", "", 128, 16, 1, 128, alloc, "", "", true); err != nil {
+			t.Errorf("alloc %s: %v", alloc, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run("ghost", "", 128, 16, 1, 128, "casa", "", "", false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("adpcm", "", 128, 16, 1, 128, "wat", "", "", false); err == nil {
+		t.Error("unknown allocator accepted")
+	}
+	if err := run("adpcm", "", 100, 16, 1, 128, "casa", "", "", false); err == nil {
+		t.Error("bad cache size accepted")
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "g.dot")
+	lp := filepath.Join(dir, "m.lp")
+	if err := run("adpcm", "", 128, 16, 1, 128, "casa", dot, lp, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range []string{dot, lp} {
+		st, err := os.Stat(f)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("artifact %s missing or empty: %v", f, err)
+		}
+	}
+}
+
+func TestRunFromASMFile(t *testing.T) {
+	dir := t.TempDir()
+	src := `
+func main
+loop:
+    code 8
+    bloop loop, out, 100
+out:
+    ret
+`
+	path := filepath.Join(dir, "prog.casm")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, 128, 16, 1, 64, "casa", "", "", false); err != nil {
+		t.Fatalf("run from file: %v", err)
+	}
+	if err := run("", filepath.Join(dir, "nope.casm"), 128, 16, 1, 64, "casa", "", "", false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFormats(t *testing.T) {
+	for _, format := range []string{"listing", "asm", "traces", "map", "dot", "conflicts"} {
+		if err := run("adpcm", "", format, 128, 128); err != nil {
+			t.Errorf("format %s: %v", format, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "listing", 128, 128); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("adpcm", "x.casm", "listing", 128, 128); err == nil {
+		t.Error("both inputs accepted")
+	}
+	if err := run("adpcm", "", "wat", 128, 128); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run("", "/missing.casm", "listing", 128, 128); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	src := "func main\na:\n    code 4\n    ret\n"
+	path := filepath.Join(dir, "p.casm")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, "listing", 128, 64); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,174 @@
+// Command experiments regenerates the evaluation of the CASA paper:
+// Figure 4 (CASA vs. Steinke on mpeg), Figure 5 (CASA scratchpad vs.
+// preloaded loop cache) and Table 1 (overall energy savings) — plus the
+// extension studies (hierarchy sensitivity, WCET bounds, overlay, joint
+// code+data allocation) and the design-choice ablations called out in
+// DESIGN.md.
+//
+// Usage:
+//
+//	experiments [-exp fig4|fig5|table1|sensitivity|wcet|overlay|data|ablations|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, table1, sensitivity, wcet, overlay, data, placement, ablations, all")
+	flag.Parse()
+
+	s := experiments.NewSuite()
+	var err error
+	switch *exp {
+	case "fig4":
+		err = runFig4(s)
+	case "fig5":
+		err = runFig5(s)
+	case "table1":
+		err = runTable1(s)
+	case "ablations":
+		err = runAblations(s)
+	case "sensitivity":
+		err = runSensitivity(s)
+	case "wcet":
+		err = runWCET(s)
+	case "overlay":
+		err = runOverlay(s)
+	case "data":
+		err = runData(s)
+	case "placement":
+		err = runPlacement(s)
+	case "all":
+		for _, f := range []func(*experiments.Suite) error{runFig4, runFig5, runTable1, runSensitivity, runWCET, runOverlay, runData, runPlacement, runAblations} {
+			if err = f(s); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func runFig4(s *experiments.Suite) error {
+	cfg := experiments.DefaultFig4()
+	rows, err := experiments.Fig4(s, cfg)
+	if err != nil {
+		return err
+	}
+	experiments.WriteFig4(os.Stdout, cfg, rows)
+	return nil
+}
+
+func runFig5(s *experiments.Suite) error {
+	cfg := experiments.DefaultFig5()
+	rows, err := experiments.Fig5(s, cfg)
+	if err != nil {
+		return err
+	}
+	experiments.WriteFig5(os.Stdout, cfg, rows)
+	return nil
+}
+
+func runTable1(s *experiments.Suite) error {
+	rows, avgs, err := experiments.Table1(s, experiments.DefaultTable1())
+	if err != nil {
+		return err
+	}
+	experiments.WriteTable1(os.Stdout, rows, avgs)
+	return nil
+}
+
+func runSensitivity(s *experiments.Suite) error {
+	cfg := experiments.DefaultSensitivity()
+	rows, err := experiments.Sensitivity(s, cfg)
+	if err != nil {
+		return err
+	}
+	experiments.WriteSensitivity(os.Stdout, cfg, rows)
+	return nil
+}
+
+func runWCET(s *experiments.Suite) error {
+	rows, err := experiments.WCETStudy(s, experiments.DefaultWCETStudy())
+	if err != nil {
+		return err
+	}
+	experiments.WriteWCETStudy(os.Stdout, rows)
+	return nil
+}
+
+func runOverlay(_ *experiments.Suite) error {
+	rows, err := experiments.OverlayStudy(experiments.DefaultOverlayStudy())
+	if err != nil {
+		return err
+	}
+	experiments.WriteOverlayStudy(os.Stdout, rows)
+	return nil
+}
+
+func runData(s *experiments.Suite) error {
+	rows, err := experiments.DataStudy(s, experiments.DefaultDataStudy())
+	if err != nil {
+		return err
+	}
+	experiments.WriteDataStudy(os.Stdout, rows)
+	return nil
+}
+
+func runPlacement(s *experiments.Suite) error {
+	rows, err := experiments.PlacementStudy(s, experiments.DefaultPlacementStudy())
+	if err != nil {
+		return err
+	}
+	experiments.WritePlacementStudy(os.Stdout, rows)
+	return nil
+}
+
+func runAblations(s *experiments.Suite) error {
+	fmt.Println("Ablations (copy/greedy: mpeg 2kB$/512B SPM; linearization: adpcm 128B$/128B SPM)")
+	p, err := s.Pipeline("mpeg", experiments.DM(2048), 512)
+	if err != nil {
+		return err
+	}
+
+	cm, err := experiments.AblateCopyVsMove(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  copy-vs-move:    copy %.2f µJ (%d misses)  move %.2f µJ (%d misses)\n",
+		cm.CopyMicroJ, cm.CopyMisses, cm.MoveMicroJ, cm.MoveMisses)
+
+	// The faithful formulation's weak relaxation makes large instances
+	// intractable for a plain B&B (see LinearizationAblation); run the
+	// linearization comparison on the paper's small benchmark instead.
+	plin, err := s.Pipeline("adpcm", experiments.DM(128), 128)
+	if err != nil {
+		return err
+	}
+	lin, err := experiments.AblateLinearization(plin)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  linearization:   tight %.2f nJ in %v (%v, %d nodes, %d iters)\n",
+		lin.TightEnergy, lin.TightTime, lin.TightStatus, lin.TightNodes, lin.TightIters)
+	fmt.Printf("                   faithful %.2f nJ in %v (%v, %d nodes, %d iters)\n",
+		lin.FaithfulEnergy, lin.FaithfulTime, lin.FaithfulStatus, lin.FaithfulNodes, lin.FaithfulIters)
+
+	gi, err := experiments.AblateGreedyVsILP(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  greedy-vs-ilp:   ilp %.2f µJ  greedy %.2f µJ (predicted %.2f vs %.2f nJ)\n",
+		gi.ILPMicroJ, gi.GreedyMicroJ, gi.ILPPredicted, gi.GreedyPredicted)
+	return nil
+}

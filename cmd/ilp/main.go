@@ -1,0 +1,82 @@
+// Command ilp solves a linear or 0/1-integer program given in (a subset
+// of) the CPLEX LP file format, using the library's built-in simplex and
+// branch & bound — the reproduction's stand-in for the commercial solver
+// the paper used.
+//
+// Usage:
+//
+//	ilp [-relax] [-nodes N] [file.lp]    (reads stdin without a file)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/ilp"
+)
+
+func main() {
+	relax := flag.Bool("relax", false, "solve the continuous relaxation only")
+	nodes := flag.Int("nodes", 0, "branch & bound node limit (0 = default)")
+	flag.Parse()
+
+	if err := run(*relax, *nodes, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "ilp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(relax bool, nodes int, path string) error {
+	var src io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	m, err := ilp.ReadLP(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %d variables, %d constraints\n", m.NumVars(), m.NumConstraints())
+
+	opt := ilp.Options{MaxNodes: nodes}
+	var sol *ilp.Solution
+	if relax {
+		sol, err = ilp.SolveLP(m, opt)
+	} else {
+		sol, err = ilp.Solve(m, opt)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status: %v\n", sol.Status)
+	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
+		return nil
+	}
+	fmt.Printf("objective: %g\n", sol.Objective)
+	fmt.Printf("nodes: %d, simplex iterations: %d\n", sol.Nodes, sol.SimplexIters)
+
+	// Print nonzero variables sorted by name.
+	type nv struct {
+		name string
+		val  float64
+	}
+	var nonzero []nv
+	for i := 0; i < m.NumVars(); i++ {
+		v := sol.X[i]
+		if v > 1e-9 || v < -1e-9 {
+			nonzero = append(nonzero, nv{m.VarName(ilp.Var(i)), v})
+		}
+	}
+	sort.Slice(nonzero, func(i, j int) bool { return nonzero[i].name < nonzero[j].name })
+	for _, x := range nonzero {
+		fmt.Printf("  %s = %g\n", x.name, x.val)
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSolvesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.lp")
+	src := `Maximize
+ obj: 60 x1 + 100 x2 + 120 x3
+Subject To
+ cap: 10 x1 + 20 x2 + 30 x3 <= 50
+Binary
+ x1 x2 x3
+End
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, 0, path); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run(true, 0, path); err != nil {
+		t.Fatalf("run -relax: %v", err)
+	}
+}
+
+func TestRunRejectsBadFile(t *testing.T) {
+	if err := run(false, 0, "/nonexistent.lp"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.lp")
+	os.WriteFile(path, []byte("not an lp"), 0o644)
+	if err := run(false, 0, path); err == nil {
+		t.Error("garbage LP accepted")
+	}
+}

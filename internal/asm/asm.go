@@ -1,0 +1,303 @@
+// Package asm provides a textual program format for the library: a small
+// assembly-like language that parses into ir.Program and a writer that
+// round-trips. It exists so workloads can live in files and be fed to the
+// command-line tools instead of being compiled into Go code.
+//
+// Format by example:
+//
+//	; adpcm-like toy — comments run from ';' or '#' to end of line
+//	.entry main
+//
+//	func main
+//	start:
+//	    code 10              ; 10 instructions of the generic mix
+//	    call coder           ; resumes at the next block
+//	loop:
+//	    alu 3
+//	    load 1
+//	    bloop loop, done, 40 ; counted back edge: 40 trips per entry
+//	done:
+//	    ret
+//
+//	func coder
+//	body:
+//	    mul 4
+//	    bpat body, out, TTN  ; cyclic taken/not-taken pattern
+//	out:
+//	    ret
+//
+// Instruction statements: code, alu, mul, load, store, nop — each with a
+// repeat count (default 1). Terminators: jump/b LABEL; goto LABEL
+// (fall-through to a non-adjacent block); call FUNC[, RESUME]; ret;
+// branches bloop T, F, TRIPS; bpat T, F, PATTERN; bprob T, F, P, SEED;
+// bnever T, F; balways T, F. A block without a terminator falls through
+// to the next block in the function.
+//
+// Data objects are declared with ".data NAME, SIZE" at the top level and
+// referenced from blocks with "touch NAME, LOADS, STORES" (per-execution
+// access counts).
+package asm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Parse reads a program in asm format.
+func Parse(r io.Reader, name string) (*ir.Program, error) {
+	p := &parser{pb: ir.NewProgramBuilder(name)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if err := p.line(sc.Text(), lineNo); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p.pb.Build()
+}
+
+// ParseString parses a program from a string.
+func ParseString(src, name string) (*ir.Program, error) {
+	return Parse(strings.NewReader(src), name)
+}
+
+type parser struct {
+	pb    *ir.ProgramBuilder
+	fn    *ir.FuncBuilder
+	blk   *ir.BlockBuilder
+	entry bool
+}
+
+func errf(line int, format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) line(raw string, n int) error {
+	// Strip comments.
+	if i := strings.IndexAny(raw, ";#"); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+
+	switch {
+	case strings.HasPrefix(s, ".data"):
+		args := splitArgs(strings.TrimSpace(strings.TrimPrefix(s, ".data")))
+		if len(args) != 2 {
+			return errf(n, ".data needs NAME, SIZE")
+		}
+		size, err := strconv.Atoi(args[1])
+		if err != nil || size <= 0 {
+			return errf(n, ".data: bad size %q", args[1])
+		}
+		p.pb.DataObject(args[0], size)
+		return nil
+	case strings.HasPrefix(s, ".entry"):
+		name := strings.TrimSpace(strings.TrimPrefix(s, ".entry"))
+		if name == "" {
+			return errf(n, ".entry needs a function name")
+		}
+		p.pb.SetEntry(name)
+		p.entry = true
+		return nil
+	case strings.HasPrefix(s, "func "):
+		name := strings.TrimSpace(strings.TrimPrefix(s, "func "))
+		if name == "" {
+			return errf(n, "func needs a name")
+		}
+		p.fn = p.pb.Func(name)
+		p.blk = nil
+		return nil
+	case strings.HasSuffix(s, ":"):
+		if p.fn == nil {
+			return errf(n, "label %q outside a function", s)
+		}
+		label := strings.TrimSuffix(s, ":")
+		if label == "" {
+			return errf(n, "empty label")
+		}
+		p.blk = p.fn.Block(label)
+		return nil
+	}
+
+	if p.blk == nil {
+		return errf(n, "statement %q outside a block (missing label?)", s)
+	}
+	return p.statement(s, n)
+}
+
+// statement handles one instruction or terminator line.
+func (p *parser) statement(s string, n int) error {
+	op, rest, _ := strings.Cut(s, " ")
+	rest = strings.TrimSpace(rest)
+	args := splitArgs(rest)
+
+	count := func() (int, error) {
+		if rest == "" {
+			return 1, nil
+		}
+		v, err := strconv.Atoi(rest)
+		if err != nil || v < 1 {
+			return 0, errf(n, "%s: bad repeat count %q", op, rest)
+		}
+		return v, nil
+	}
+
+	switch op {
+	case "code":
+		v, err := count()
+		if err != nil {
+			return err
+		}
+		p.blk.Code(v)
+	case "alu":
+		v, err := count()
+		if err != nil {
+			return err
+		}
+		p.blk.ALU(v)
+	case "mul":
+		v, err := count()
+		if err != nil {
+			return err
+		}
+		p.blk.Mul(v)
+	case "load":
+		v, err := count()
+		if err != nil {
+			return err
+		}
+		p.blk.Load(v)
+	case "store":
+		v, err := count()
+		if err != nil {
+			return err
+		}
+		p.blk.Store(v)
+	case "nop":
+		v, err := count()
+		if err != nil {
+			return err
+		}
+		p.blk.Op(ir.OpNOP, v)
+	case "jump", "b":
+		if len(args) != 1 {
+			return errf(n, "%s needs one target", op)
+		}
+		p.blk.Jump(args[0])
+	case "goto":
+		if len(args) != 1 {
+			return errf(n, "goto needs one target")
+		}
+		p.blk.Goto(args[0])
+	case "ret":
+		p.blk.Return()
+	case "call":
+		switch len(args) {
+		case 1:
+			p.blk.Call(args[0])
+		case 2:
+			p.blk.CallResume(args[0], args[1])
+		default:
+			return errf(n, "call needs FUNC or FUNC, RESUME")
+		}
+	case "bloop":
+		if len(args) != 3 {
+			return errf(n, "bloop needs TAKEN, FALL, TRIPS")
+		}
+		trips, err := strconv.Atoi(args[2])
+		if err != nil || trips < 1 {
+			return errf(n, "bloop: bad trip count %q", args[2])
+		}
+		p.blk.Branch(args[0], args[1], ir.Loop{Trips: trips})
+	case "bpat":
+		if len(args) != 3 {
+			return errf(n, "bpat needs TAKEN, FALL, PATTERN")
+		}
+		seq, err := parsePattern(args[2])
+		if err != nil {
+			return errf(n, "bpat: %v", err)
+		}
+		p.blk.Branch(args[0], args[1], ir.Pattern{Seq: seq})
+	case "bprob":
+		if len(args) != 4 {
+			return errf(n, "bprob needs TAKEN, FALL, P, SEED")
+		}
+		prob, err := strconv.ParseFloat(args[2], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return errf(n, "bprob: bad probability %q", args[2])
+		}
+		seed, err := strconv.ParseUint(args[3], 10, 64)
+		if err != nil {
+			return errf(n, "bprob: bad seed %q", args[3])
+		}
+		p.blk.Branch(args[0], args[1], ir.Biased{P: prob, Seed: seed})
+	case "touch":
+		if len(args) != 3 {
+			return errf(n, "touch needs OBJECT, LOADS, STORES")
+		}
+		loads, err1 := strconv.Atoi(args[1])
+		stores, err2 := strconv.Atoi(args[2])
+		if err1 != nil || err2 != nil || loads < 0 || stores < 0 {
+			return errf(n, "touch: bad access counts %q, %q", args[1], args[2])
+		}
+		p.blk.Data(args[0], loads, stores)
+	case "bnever":
+		if len(args) != 2 {
+			return errf(n, "bnever needs TAKEN, FALL")
+		}
+		p.blk.Branch(args[0], args[1], ir.Never{})
+	case "balways":
+		if len(args) != 2 {
+			return errf(n, "balways needs TAKEN, FALL")
+		}
+		p.blk.Branch(args[0], args[1], ir.Always{})
+	default:
+		return errf(n, "unknown statement %q", op)
+	}
+	return nil
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func parsePattern(s string) ([]bool, error) {
+	seq := make([]bool, 0, len(s))
+	for _, c := range s {
+		switch c {
+		case 'T', 't':
+			seq = append(seq, true)
+		case 'N', 'n', 'F', 'f':
+			seq = append(seq, false)
+		default:
+			return nil, fmt.Errorf("pattern char %q (want T/N)", c)
+		}
+	}
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("empty pattern")
+	}
+	return seq, nil
+}

@@ -1,0 +1,170 @@
+package asm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Write renders a program in asm format. The output parses back with
+// Parse into a structurally identical program (same functions, blocks,
+// instructions, edges and behaviors).
+func Write(w io.Writer, p *ir.Program) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; %s — %d bytes of code\n", p.Name, p.Size())
+	if entry := p.Func(p.Entry); entry != nil {
+		fmt.Fprintf(bw, ".entry %s\n", entry.Name)
+	}
+	for _, d := range p.Data {
+		fmt.Fprintf(bw, ".data %s, %d\n", d.Name, d.SizeBytes)
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(bw, "\nfunc %s\n", f.Name)
+		labels := blockLabels(f)
+		for _, b := range f.Blocks {
+			fmt.Fprintf(bw, "%s:\n", labels[b.ID])
+			if err := writeBlock(bw, p, b, labels); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// blockLabels assigns a unique printable label to every block: its own
+// label when present, otherwise a generated one avoiding collisions.
+func blockLabels(f *ir.Function) []string {
+	used := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if b.Label != "" {
+			used[b.Label] = true
+		}
+	}
+	labels := make([]string, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if b.Label != "" {
+			labels[b.ID] = b.Label
+			continue
+		}
+		name := fmt.Sprintf("bb%d", b.ID)
+		for used[name] {
+			name += "_"
+		}
+		used[name] = true
+		labels[b.ID] = name
+	}
+	return labels
+}
+
+func writeBlock(bw *bufio.Writer, p *ir.Program, b *ir.Block, labels []string) error {
+	// Body instructions (excluding a trailing control instruction),
+	// run-length encoded.
+	body := b.Instrs
+	if n := len(body); n > 0 && body[n-1].Op.IsControl() {
+		body = body[:n-1]
+	}
+	for i := 0; i < len(body); {
+		j := i
+		for j < len(body) && body[j].Op == body[i].Op {
+			j++
+		}
+		stmt, err := opStmt(body[i].Op)
+		if err != nil {
+			return err
+		}
+		if j-i == 1 {
+			fmt.Fprintf(bw, "    %s\n", stmt)
+		} else {
+			fmt.Fprintf(bw, "    %s %d\n", stmt, j-i)
+		}
+		i = j
+	}
+
+	for _, r := range b.DataRefs {
+		fmt.Fprintf(bw, "    touch %s, %d, %d\n", dataName(p, r.Obj), r.Loads, r.Stores)
+	}
+
+	switch b.Term() {
+	case ir.TermFallThrough:
+		// Adjacent fall-through is implicit; non-adjacent needs goto.
+		if int(b.FallThrough) != int(b.ID)+1 {
+			fmt.Fprintf(bw, "    goto %s\n", labels[b.FallThrough])
+		}
+	case ir.TermJump:
+		fmt.Fprintf(bw, "    jump %s\n", labels[b.Taken])
+	case ir.TermReturn:
+		fmt.Fprintf(bw, "    ret\n")
+	case ir.TermCall:
+		callee := p.Func(b.CallTarget).Name
+		if int(b.FallThrough) == int(b.ID)+1 {
+			fmt.Fprintf(bw, "    call %s\n", callee)
+		} else {
+			fmt.Fprintf(bw, "    call %s, %s\n", callee, labels[b.FallThrough])
+		}
+	case ir.TermBranch:
+		stmt, err := behaviorStmt(b.Behavior)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "    %s %s, %s%s\n",
+			stmt.op, labels[b.Taken], labels[b.FallThrough], stmt.suffix)
+	}
+	return nil
+}
+
+func dataName(p *ir.Program, id ir.DataID) string {
+	if d := p.DataOf(id); d != nil {
+		return d.Name
+	}
+	return fmt.Sprintf("data%d", id)
+}
+
+type branchStmt struct {
+	op     string
+	suffix string
+}
+
+func behaviorStmt(beh ir.Behavior) (branchStmt, error) {
+	switch b := beh.(type) {
+	case ir.Loop:
+		return branchStmt{op: "bloop", suffix: fmt.Sprintf(", %d", b.Trips)}, nil
+	case ir.Pattern:
+		var sb strings.Builder
+		for _, t := range b.Seq {
+			if t {
+				sb.WriteByte('T')
+			} else {
+				sb.WriteByte('N')
+			}
+		}
+		return branchStmt{op: "bpat", suffix: ", " + sb.String()}, nil
+	case ir.Biased:
+		return branchStmt{op: "bprob", suffix: fmt.Sprintf(", %g, %d", b.P, b.Seed)}, nil
+	case ir.Never:
+		return branchStmt{op: "bnever"}, nil
+	case ir.Always:
+		return branchStmt{op: "balways"}, nil
+	default:
+		return branchStmt{}, fmt.Errorf("asm: behavior %v has no textual form", beh)
+	}
+}
+
+func opStmt(op ir.Opcode) (string, error) {
+	switch op {
+	case ir.OpALU:
+		return "alu", nil
+	case ir.OpMul:
+		return "mul", nil
+	case ir.OpLoad:
+		return "load", nil
+	case ir.OpStore:
+		return "store", nil
+	case ir.OpNOP:
+		return "nop", nil
+	default:
+		return "", fmt.Errorf("asm: opcode %v has no textual form", op)
+	}
+}

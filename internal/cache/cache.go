@@ -1,0 +1,236 @@
+// Package cache models the L1 instruction cache of the paper's
+// architecture. Besides hit/miss behavior under configurable size,
+// associativity, line size and replacement policy, the model tracks which
+// memory object owns each resident line so that the memory-hierarchy
+// simulator can attribute every conflict miss "miss of x_i caused by x_j"
+// — the edge weights m_ij of the paper's conflict graph.
+package cache
+
+import (
+	"fmt"
+)
+
+// NoMO marks an access or victim without a memory-object owner (cold line).
+const NoMO = -1
+
+// Policy selects the replacement policy of associative organizations. For
+// direct-mapped caches all policies behave identically.
+type Policy uint8
+
+const (
+	// LRU evicts the least-recently-used way.
+	LRU Policy = iota
+	// FIFO evicts the oldest-filled way.
+	FIFO
+	// Random evicts a pseudo-random way (deterministic, seeded).
+	Random
+)
+
+var policyNames = [...]string{LRU: "lru", FIFO: "fifo", Random: "random"}
+
+// String returns the policy name.
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Config describes a cache organization.
+type Config struct {
+	// SizeBytes is the data capacity (power of two).
+	SizeBytes int
+	// LineBytes is the line size in bytes (power of two, ≥ 4).
+	LineBytes int
+	// Assoc is the associativity (1 = direct-mapped).
+	Assoc int
+	// Replacement selects the victim policy.
+	Replacement Policy
+	// Seed seeds the Random policy; ignored otherwise.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.SizeBytes&(c.SizeBytes-1) != 0:
+		return fmt.Errorf("cache: size %d not a positive power of two", c.SizeBytes)
+	case c.LineBytes < 4 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d not a power of two ≥ 4", c.LineBytes)
+	case c.Assoc < 1:
+		return fmt.Errorf("cache: associativity %d < 1", c.Assoc)
+	case c.SizeBytes < c.LineBytes*c.Assoc:
+		return fmt.Errorf("cache: %dB cannot hold %d ways of %dB lines",
+			c.SizeBytes, c.Assoc, c.LineBytes)
+	case int(c.Replacement) >= len(policyNames):
+		return fmt.Errorf("cache: unknown replacement policy %d", c.Replacement)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+// way is one resident line.
+type way struct {
+	valid bool
+	tag   uint32
+	mo    int
+	// stamp orders ways for LRU (last use) and FIFO (fill time).
+	stamp uint64
+}
+
+// Result reports the outcome of one access.
+type Result struct {
+	// Hit reports whether the access hit.
+	Hit bool
+	// VictimMO is the memory object that owned the replaced line on a
+	// miss, or NoMO for a cold fill (or a hit).
+	VictimMO int
+	// SelfEvict reports whether the victim belonged to the accessing
+	// object itself (possible when an object is larger than the cache's
+	// per-set reach).
+	SelfEvict bool
+}
+
+// Cache is a running instance of the model. It is not safe for concurrent
+// use; simulations are single-threaded.
+type Cache struct {
+	cfg        Config
+	sets       []way // sets*assoc entries, set-major
+	setMask    uint32
+	lineShift  uint
+	indexShift uint
+	clock      uint64
+	rng        uint64
+}
+
+// New returns an empty cache for the configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:  cfg,
+		sets: make([]way, cfg.Sets()*cfg.Assoc),
+		rng:  cfg.Seed ^ 0x9e3779b97f4a7c15,
+	}
+	c.lineShift = log2(uint32(cfg.LineBytes))
+	c.setMask = uint32(cfg.Sets() - 1)
+	c.indexShift = c.lineShift
+	return c, nil
+}
+
+// MustNew is New, panicking on configuration errors.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func log2(v uint32) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Reset invalidates every line and restarts the policy state.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = way{}
+	}
+	c.clock = 0
+	c.rng = c.cfg.Seed ^ 0x9e3779b97f4a7c15
+}
+
+// Set returns the set index for an address.
+func (c *Cache) Set(addr uint32) uint32 {
+	return (addr >> c.indexShift) & c.setMask
+}
+
+// Access performs one fetch by the given memory object and returns the
+// outcome. On a miss the line is filled and attributed to mo.
+func (c *Cache) Access(addr uint32, mo int) Result {
+	set := c.Set(addr)
+	tag := addr >> (c.indexShift + log2(uint32(c.cfg.Sets())))
+	base := int(set) * c.cfg.Assoc
+	ways := c.sets[base : base+c.cfg.Assoc]
+	c.clock++
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			if c.cfg.Replacement == LRU {
+				ways[i].stamp = c.clock
+			}
+			return Result{Hit: true, VictimMO: NoMO}
+		}
+	}
+
+	// Miss: choose a victim.
+	victim := c.chooseVictim(ways)
+	res := Result{Hit: false, VictimMO: NoMO}
+	if ways[victim].valid {
+		res.VictimMO = ways[victim].mo
+		res.SelfEvict = ways[victim].mo == mo
+	}
+	ways[victim] = way{valid: true, tag: tag, mo: mo, stamp: c.clock}
+	return res
+}
+
+func (c *Cache) chooseVictim(ways []way) int {
+	// Prefer an invalid way.
+	for i := range ways {
+		if !ways[i].valid {
+			return i
+		}
+	}
+	switch c.cfg.Replacement {
+	case Random:
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		return int(c.rng % uint64(len(ways)))
+	default: // LRU and FIFO both evict the smallest stamp.
+		victim := 0
+		for i := 1; i < len(ways); i++ {
+			if ways[i].stamp < ways[victim].stamp {
+				victim = i
+			}
+		}
+		return victim
+	}
+}
+
+// Resident reports whether the line containing addr is currently cached
+// (for tests and diagnostics).
+func (c *Cache) Resident(addr uint32) bool {
+	set := c.Set(addr)
+	tag := addr >> (c.indexShift + log2(uint32(c.cfg.Sets())))
+	base := int(set) * c.cfg.Assoc
+	for _, w := range c.sets[base : base+c.cfg.Assoc] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// LinesOf returns how many resident lines belong to the given memory
+// object (for tests and diagnostics).
+func (c *Cache) LinesOf(mo int) int {
+	n := 0
+	for _, w := range c.sets {
+		if w.valid && w.mo == mo {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,234 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func dm128() Config {
+	return Config{SizeBytes: 128, LineBytes: 16, Assoc: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 16, Assoc: 1},
+		{SizeBytes: 100, LineBytes: 16, Assoc: 1},
+		{SizeBytes: 128, LineBytes: 3, Assoc: 1},
+		{SizeBytes: 128, LineBytes: 16, Assoc: 0},
+		{SizeBytes: 16, LineBytes: 16, Assoc: 4},
+		{SizeBytes: 128, LineBytes: 16, Assoc: 1, Replacement: Policy(9)},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid config", cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", cfg)
+		}
+	}
+	if err := dm128().Validate(); err != nil {
+		t.Errorf("Validate(dm128) = %v", err)
+	}
+	if got := dm128().Sets(); got != 8 {
+		t.Errorf("Sets = %d, want 8", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" || Random.String() != "random" {
+		t.Error("policy names wrong")
+	}
+	if Policy(7).String() != "policy(7)" {
+		t.Errorf("Policy(7) = %q", Policy(7).String())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{SizeBytes: 3, LineBytes: 16, Assoc: 1})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := MustNew(dm128())
+	r := c.Access(0x100, 1)
+	if r.Hit {
+		t.Error("first access should miss")
+	}
+	if r.VictimMO != NoMO {
+		t.Errorf("cold miss victim = %d, want NoMO", r.VictimMO)
+	}
+	// Same line (within 16 bytes) hits.
+	for _, a := range []uint32{0x100, 0x104, 0x108, 0x10c} {
+		if r := c.Access(a, 1); !r.Hit {
+			t.Errorf("access %#x should hit", a)
+		}
+	}
+	// Next line misses.
+	if r := c.Access(0x110, 1); r.Hit {
+		t.Error("next line should miss")
+	}
+}
+
+func TestDirectMappedConflictAttribution(t *testing.T) {
+	c := MustNew(dm128()) // 8 sets of 16B
+	// Addresses 0x000 and 0x080 (128 apart) map to the same set.
+	if s0, s1 := c.Set(0x000), c.Set(0x080); s0 != s1 {
+		t.Fatalf("sets differ: %d vs %d", s0, s1)
+	}
+	c.Access(0x000, 1) // cold fill by MO 1
+	r := c.Access(0x080, 2)
+	if r.Hit {
+		t.Fatal("conflicting access should miss")
+	}
+	if r.VictimMO != 1 {
+		t.Errorf("victim = %d, want 1", r.VictimMO)
+	}
+	if r.SelfEvict {
+		t.Error("eviction of another object is not a self-evict")
+	}
+	// MO 1 comes back: the miss is attributed to MO 2.
+	r = c.Access(0x000, 1)
+	if r.Hit || r.VictimMO != 2 {
+		t.Errorf("thrash attribution wrong: %+v", r)
+	}
+}
+
+func TestSelfEviction(t *testing.T) {
+	c := MustNew(dm128())
+	c.Access(0x000, 7)
+	r := c.Access(0x080, 7) // same set, same object
+	if !r.SelfEvict || r.VictimMO != 7 {
+		t.Errorf("self-evict not reported: %+v", r)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way, 2 sets: size=64B, line=16B, assoc=2 -> sets=2.
+	cfg := Config{SizeBytes: 64, LineBytes: 16, Assoc: 2, Replacement: LRU}
+	c := MustNew(cfg)
+	// Set 0 lines: addresses with (addr>>4)%2 == 0: 0x00, 0x40, 0x80.
+	c.Access(0x00, 1)
+	c.Access(0x40, 2)
+	c.Access(0x00, 1)      // touch MO 1: MO 2 is now LRU
+	r := c.Access(0x80, 3) // fills set 0, evicting LRU
+	if r.VictimMO != 2 {
+		t.Errorf("LRU victim = %d, want 2", r.VictimMO)
+	}
+	if !c.Resident(0x00) || c.Resident(0x40) {
+		t.Error("LRU kept/evicted the wrong line")
+	}
+}
+
+func TestFIFOReplacement(t *testing.T) {
+	cfg := Config{SizeBytes: 64, LineBytes: 16, Assoc: 2, Replacement: FIFO}
+	c := MustNew(cfg)
+	c.Access(0x00, 1)
+	c.Access(0x40, 2)
+	c.Access(0x00, 1)      // touch does not matter for FIFO
+	r := c.Access(0x80, 3) // evicts the oldest fill: MO 1
+	if r.VictimMO != 1 {
+		t.Errorf("FIFO victim = %d, want 1", r.VictimMO)
+	}
+}
+
+func TestRandomReplacementDeterministic(t *testing.T) {
+	cfg := Config{SizeBytes: 64, LineBytes: 16, Assoc: 2, Replacement: Random, Seed: 11}
+	seq := func() []int {
+		c := MustNew(cfg)
+		var victims []int
+		c.Access(0x00, 1)
+		c.Access(0x40, 2)
+		for i := 0; i < 16; i++ {
+			r := c.Access(uint32(0x80+i*0x40), 3+i)
+			victims = append(victims, r.VictimMO)
+		}
+		return victims
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("random policy not deterministic at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(dm128())
+	c.Access(0x00, 1)
+	if !c.Resident(0x00) {
+		t.Fatal("line should be resident")
+	}
+	c.Reset()
+	if c.Resident(0x00) {
+		t.Fatal("reset did not invalidate")
+	}
+	if got := c.LinesOf(1); got != 0 {
+		t.Fatalf("LinesOf after reset = %d", got)
+	}
+}
+
+func TestLinesOf(t *testing.T) {
+	c := MustNew(dm128())
+	c.Access(0x000, 5)
+	c.Access(0x010, 5)
+	c.Access(0x020, 6)
+	if got := c.LinesOf(5); got != 2 {
+		t.Errorf("LinesOf(5) = %d, want 2", got)
+	}
+	if got := c.LinesOf(6); got != 1 {
+		t.Errorf("LinesOf(6) = %d, want 1", got)
+	}
+}
+
+// Property: an access to an address always results in that line being
+// resident, and a second immediate access hits.
+func TestAccessThenResidentProperty(t *testing.T) {
+	cfg := Config{SizeBytes: 256, LineBytes: 16, Assoc: 2, Replacement: LRU}
+	c := MustNew(cfg)
+	f := func(addr uint32, mo uint8) bool {
+		c.Access(addr, int(mo))
+		if !c.Resident(addr) {
+			return false
+		}
+		return c.Access(addr, int(mo)).Hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total resident lines never exceed capacity.
+func TestCapacityProperty(t *testing.T) {
+	cfg := Config{SizeBytes: 128, LineBytes: 16, Assoc: 4, Replacement: FIFO}
+	c := MustNew(cfg)
+	capacity := cfg.SizeBytes / cfg.LineBytes
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Access(a, 1)
+		}
+		return c.LinesOf(1) <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a working set that fits within one way's reach never conflicts
+// after warmup in a fully-warm direct-mapped cache.
+func TestNoMissesWhenWorkingSetFits(t *testing.T) {
+	c := MustNew(dm128())
+	// Warm all 8 lines of [0,128).
+	for a := uint32(0); a < 128; a += 16 {
+		c.Access(a, 1)
+	}
+	for i := 0; i < 1000; i++ {
+		a := uint32((i * 20) % 128)
+		if r := c.Access(a, 1); !r.Hit {
+			t.Fatalf("unexpected miss at %#x", a)
+		}
+	}
+}

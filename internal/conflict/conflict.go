@@ -1,0 +1,186 @@
+// Package conflict represents the cache behavior of a program at memory-
+// object granularity as the paper's conflict graph (§3.3).
+//
+// The conflict graph G = (X, E) is a directed weighted graph with one
+// vertex per memory object (trace). Vertex weight f_i is the total number
+// of instruction fetches within object x_i. A directed edge e_ij with
+// weight m_ij records that x_i suffered m_ij cache misses caused by x_j
+// (x_j's lines replaced x_i's). The graph is built from the attribution
+// counts the memory-hierarchy simulator collects during the profiling run
+// and is the sole input — besides sizes and energies — of the CASA ILP.
+//
+// Self-edges (i == j) are retained: an object larger than the cache's
+// per-set reach can evict its own lines; placing it in the scratchpad
+// removes those misses exactly like any other conflict.
+package conflict
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Edge is a directed conflict edge: From (x_i) missed Misses times because
+// To (x_j) replaced its lines.
+type Edge struct {
+	From, To int
+	Misses   int64
+}
+
+// Graph is the conflict graph. Construct with New and AddMisses.
+type Graph struct {
+	fetches []int64
+	weights map[[2]int]int64
+}
+
+// New creates a graph over n memory objects with the given per-object
+// fetch counts f_i (a copy is taken).
+func New(fetches []int64) *Graph {
+	return &Graph{
+		fetches: append([]int64(nil), fetches...),
+		weights: make(map[[2]int]int64),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.fetches) }
+
+// Fetches returns f_i for vertex i.
+func (g *Graph) Fetches(i int) int64 { return g.fetches[i] }
+
+// AddMisses accumulates n conflict misses of victim caused by evictor.
+func (g *Graph) AddMisses(victim, evictor int, n int64) {
+	if victim < 0 || victim >= len(g.fetches) || evictor < 0 || evictor >= len(g.fetches) {
+		panic(fmt.Sprintf("conflict: vertex out of range: (%d,%d) with n=%d vertices",
+			victim, evictor, len(g.fetches)))
+	}
+	if n == 0 {
+		return
+	}
+	g.weights[[2]int{victim, evictor}] += n
+}
+
+// Misses returns m_ij, the misses of victim caused by evictor.
+func (g *Graph) Misses(victim, evictor int) int64 {
+	return g.weights[[2]int{victim, evictor}]
+}
+
+// ConflictMissesOf returns Miss(x_i) = Σ_j m_ij, the total conflict misses
+// of vertex i.
+func (g *Graph) ConflictMissesOf(i int) int64 {
+	var sum int64
+	for k, v := range g.weights {
+		if k[0] == i {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// CausedBy returns Σ_i m_ij, the misses inflicted on others (and itself)
+// by vertex j.
+func (g *Graph) CausedBy(j int) int64 {
+	var sum int64
+	for k, v := range g.weights {
+		if k[1] == j {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// TotalConflictMisses sums every edge weight.
+func (g *Graph) TotalConflictMisses() int64 {
+	var sum int64
+	for _, v := range g.weights {
+		sum += v
+	}
+	return sum
+}
+
+// NumEdges returns the number of directed edges with nonzero weight.
+func (g *Graph) NumEdges() int { return len(g.weights) }
+
+// Edges returns all edges sorted by (From, To) — a deterministic order for
+// ILP construction and reporting.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, len(g.weights))
+	for k, v := range g.weights {
+		edges = append(edges, Edge{From: k[0], To: k[1], Misses: v})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].From != edges[b].From {
+			return edges[a].From < edges[b].From
+		}
+		return edges[a].To < edges[b].To
+	})
+	return edges
+}
+
+// OutEdges returns the edges leaving vertex i (its misses, attributed),
+// sorted by To.
+func (g *Graph) OutEdges(i int) []Edge {
+	var edges []Edge
+	for k, v := range g.weights {
+		if k[0] == i {
+			edges = append(edges, Edge{From: i, To: k[1], Misses: v})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a].To < edges[b].To })
+	return edges
+}
+
+// Neighbors returns N_i = {j : e_ij ∈ E}, the vertices whose presence in
+// the cache costs vertex i misses.
+func (g *Graph) Neighbors(i int) []int {
+	out := g.OutEdges(i)
+	ns := make([]int, len(out))
+	for k, e := range out {
+		ns[k] = e.To
+	}
+	return ns
+}
+
+// Prune returns a copy of the graph that keeps only the maxEdges heaviest
+// edges (ties broken by (From,To) order). It bounds ILP size for very
+// conflict-dense programs; pruned misses are simply not optimizable away,
+// keeping the formulation conservative. maxEdges < 0 means no pruning.
+func (g *Graph) Prune(maxEdges int) *Graph {
+	ng := New(g.fetches)
+	if maxEdges < 0 || g.NumEdges() <= maxEdges {
+		for k, v := range g.weights {
+			ng.weights[k] = v
+		}
+		return ng
+	}
+	edges := g.Edges()
+	sort.SliceStable(edges, func(a, b int) bool { return edges[a].Misses > edges[b].Misses })
+	for _, e := range edges[:maxEdges] {
+		ng.weights[[2]int{e.From, e.To}] = e.Misses
+	}
+	return ng
+}
+
+// WriteDOT renders the graph in Graphviz DOT form, with vertex fetch
+// counts and edge miss weights, for visual inspection.
+func (g *Graph) WriteDOT(w io.Writer, names []string) error {
+	if _, err := fmt.Fprintln(w, "digraph conflict {"); err != nil {
+		return err
+	}
+	for i := range g.fetches {
+		label := fmt.Sprintf("x%d", i)
+		if names != nil && i < len(names) {
+			label = names[i]
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\\nf=%d\"];\n", i, label, g.fetches[i]); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%d\"];\n", e.From, e.To, e.Misses); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,168 @@
+package conflict
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Graph {
+	g := New([]int64{100, 200, 300, 50})
+	g.AddMisses(0, 1, 10)
+	g.AddMisses(1, 0, 12)
+	g.AddMisses(0, 2, 5)
+	g.AddMisses(2, 2, 7) // self conflict
+	return g
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := sample()
+	if g.N() != 4 {
+		t.Errorf("N = %d", g.N())
+	}
+	if g.Fetches(2) != 300 {
+		t.Errorf("Fetches(2) = %d", g.Fetches(2))
+	}
+	if g.Misses(0, 1) != 10 || g.Misses(1, 0) != 12 || g.Misses(3, 0) != 0 {
+		t.Error("Misses lookup wrong")
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if g.TotalConflictMisses() != 34 {
+		t.Errorf("TotalConflictMisses = %d, want 34", g.TotalConflictMisses())
+	}
+}
+
+func TestAccumulation(t *testing.T) {
+	g := New([]int64{1, 1})
+	g.AddMisses(0, 1, 3)
+	g.AddMisses(0, 1, 4)
+	if g.Misses(0, 1) != 7 {
+		t.Errorf("accumulated = %d, want 7", g.Misses(0, 1))
+	}
+	g.AddMisses(0, 1, 0) // no-op
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	g := New([]int64{1})
+	for _, c := range [][2]int{{-1, 0}, {0, -1}, {1, 0}, {0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddMisses(%v) did not panic", c)
+				}
+			}()
+			g.AddMisses(c[0], c[1], 1)
+		}()
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	g := sample()
+	if got := g.ConflictMissesOf(0); got != 15 {
+		t.Errorf("ConflictMissesOf(0) = %d, want 15", got)
+	}
+	if got := g.CausedBy(2); got != 12 { // 5 on vertex 0 + 7 on itself
+		t.Errorf("CausedBy(2) = %d, want 12", got)
+	}
+	if got := g.ConflictMissesOf(3); got != 0 {
+		t.Errorf("ConflictMissesOf(3) = %d, want 0", got)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := sample()
+	edges := g.Edges()
+	for i := 1; i < len(edges); i++ {
+		a, b := edges[i-1], edges[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatalf("edges not sorted: %v", edges)
+		}
+	}
+}
+
+func TestOutEdgesAndNeighbors(t *testing.T) {
+	g := sample()
+	out := g.OutEdges(0)
+	if len(out) != 2 || out[0].To != 1 || out[1].To != 2 {
+		t.Errorf("OutEdges(0) = %v", out)
+	}
+	ns := g.Neighbors(0)
+	if len(ns) != 2 || ns[0] != 1 || ns[1] != 2 {
+		t.Errorf("Neighbors(0) = %v", ns)
+	}
+	if len(g.Neighbors(3)) != 0 {
+		t.Error("vertex 3 has no out edges")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	g := sample()
+	p := g.Prune(2)
+	if p.NumEdges() != 2 {
+		t.Fatalf("pruned edges = %d, want 2", p.NumEdges())
+	}
+	// The two heaviest edges survive: (1,0)=12 and (0,1)=10.
+	if p.Misses(1, 0) != 12 || p.Misses(0, 1) != 10 {
+		t.Errorf("wrong survivors: %v", p.Edges())
+	}
+	// No pruning cases.
+	if g.Prune(-1).NumEdges() != g.NumEdges() {
+		t.Error("Prune(-1) must keep everything")
+	}
+	if g.Prune(100).NumEdges() != g.NumEdges() {
+		t.Error("Prune(>edges) must keep everything")
+	}
+	// Original untouched.
+	if g.NumEdges() != 4 {
+		t.Error("Prune mutated the receiver")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := sample()
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, []string{"a", "b", "c", "d"}); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	s := sb.String()
+	for _, want := range []string{"digraph conflict", "a\\nf=100", "n0 -> n1", "label=\"12\"", "}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT missing %q:\n%s", want, s)
+		}
+	}
+	// Default labels without names.
+	sb.Reset()
+	if err := g.WriteDOT(&sb, nil); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	if !strings.Contains(sb.String(), "x0\\nf=100") {
+		t.Error("default label missing")
+	}
+}
+
+// Property: the sum over vertices of ConflictMissesOf equals the sum of
+// CausedBy and the total.
+func TestConservationProperty(t *testing.T) {
+	f := func(weights []uint16) bool {
+		const n = 6
+		g := New(make([]int64, n))
+		for i, w := range weights {
+			g.AddMisses(i%n, (i/n)%n, int64(w))
+		}
+		var byVictim, byEvictor int64
+		for i := 0; i < n; i++ {
+			byVictim += g.ConflictMissesOf(i)
+			byEvictor += g.CausedBy(i)
+		}
+		total := g.TotalConflictMisses()
+		return byVictim == total && byEvictor == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

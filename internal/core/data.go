@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/conflict"
+	"repro/internal/ilp"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DataAccessCounts derives per-data-object access counts from a profile:
+// each block execution contributes its annotated loads and stores. This
+// is the data-side analogue of the trace fetch counts f_i.
+func DataAccessCounts(p *ir.Program, prof *sim.Profile) []int64 {
+	counts := make([]int64, len(p.Data))
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			execs := prof.BlockCount(ir.BlockRef{Func: f.ID, Block: b.ID})
+			if execs == 0 {
+				continue
+			}
+			for _, r := range b.DataRefs {
+				counts[r.Obj] += execs * int64(r.Accesses())
+			}
+		}
+	}
+	return counts
+}
+
+// DataParams extends Params for the joint code+data allocation — the
+// paper's §7 future work ("preloading of data"). The data side follows
+// Steinke's DATE 2002 model: the architecture has no data cache, so a
+// data access is served either by the scratchpad or by off-chip main
+// memory; placing a hot object on-chip saves (EMainData − ESPHit) per
+// access. Data objects occupy the same scratchpad as code traces, so the
+// two compete for capacity in one ILP.
+type DataParams struct {
+	// Params carries the code-side configuration.
+	Params
+	// EMainData is the energy (nJ) of one off-chip data access.
+	EMainData float64
+}
+
+func (p DataParams) validate() error {
+	if err := p.Params.validate(); err != nil {
+		return err
+	}
+	if p.EMainData <= p.ESPHit {
+		return fmt.Errorf("core: off-chip data access %g must exceed scratchpad access %g",
+			p.EMainData, p.ESPHit)
+	}
+	return nil
+}
+
+// DataAllocation is the joint result.
+type DataAllocation struct {
+	// InSPM selects the code traces placed on the scratchpad.
+	InSPM []bool
+	// DataInSPM selects the data objects placed on the scratchpad.
+	DataInSPM []bool
+	// CodeBytes and DataBytes split the scratchpad occupancy.
+	CodeBytes int
+	DataBytes int
+	// PredictedEnergy is the model objective (nJ), covering instruction
+	// fetches, conflict misses and data accesses.
+	PredictedEnergy float64
+	// Status and Nodes report solver outcome and effort.
+	Status ilp.Status
+	Nodes  int
+}
+
+// AllocateWithData solves the joint code+data scratchpad allocation.
+func AllocateWithData(set *trace.Set, g *conflict.Graph, data []ir.DataObject,
+	accesses []int64, p DataParams) (*DataAllocation, error) {
+
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if len(data) != len(accesses) {
+		return nil, fmt.Errorf("core: %d data objects, %d access counts", len(data), len(accesses))
+	}
+	// Reuse the code-side formulation, then extend it.
+	m, l, err := BuildModel(set, g, p.Params)
+	if err != nil {
+		return nil, err
+	}
+	obj, sense := m.Objective()
+
+	// d_k = 1 places data object k on the scratchpad.
+	d := make([]ilp.Var, len(data))
+	for k, od := range data {
+		v := m.AddBinary(fmt.Sprintf("d_%d", k))
+		if od.SizeBytes > p.SPMSize {
+			m.SetBounds(v, 0, 0)
+		}
+		m.SetBranchPriority(v, 1)
+		d[k] = v
+		a := float64(accesses[k])
+		// Off-chip when d=0, scratchpad when d=1.
+		obj = obj.AddConst(a * p.EMainData)
+		obj = obj.Add(a*(p.ESPHit-p.EMainData), v)
+	}
+	m.SetObjective(obj, sense)
+
+	// Shared capacity: the code side contributes Σ S_i (1−l_i) — already a
+	// constraint in the base model; replace it with the joint one.
+	// BuildModel named it "spm_capacity"; add the data terms to a fresh
+	// joint constraint and neutralize the old one by... constraints cannot
+	// be removed, so instead of rewriting we add the joint constraint and
+	// rely on it dominating the code-only one (data sizes are
+	// non-negative, so the joint constraint is strictly tighter).
+	joint := ilp.LinExpr{}
+	total := 0
+	for i, t := range set.Traces {
+		joint = joint.Add(-float64(t.RawBytes), l[i])
+		total += t.RawBytes
+	}
+	joint = joint.AddConst(float64(total))
+	for k, od := range data {
+		joint = joint.Add(float64(od.SizeBytes), d[k])
+	}
+	m.AddConstraint("joint_capacity", joint, ilp.LE, float64(p.SPMSize))
+
+	sol, err := ilp.Solve(m, p.Solver)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
+		return nil, fmt.Errorf("core: joint solver returned %v", sol.Status)
+	}
+	out := &DataAllocation{
+		InSPM:           make([]bool, len(set.Traces)),
+		DataInSPM:       make([]bool, len(data)),
+		PredictedEnergy: sol.Objective,
+		Status:          sol.Status,
+		Nodes:           sol.Nodes,
+	}
+	for i := range set.Traces {
+		if sol.Value(l[i]) < 0.5 {
+			out.InSPM[i] = true
+			out.CodeBytes += set.Traces[i].RawBytes
+		}
+	}
+	for k := range data {
+		if sol.Value(d[k]) > 0.5 {
+			out.DataInSPM[k] = true
+			out.DataBytes += data[k].SizeBytes
+		}
+	}
+	if out.CodeBytes+out.DataBytes > p.SPMSize {
+		return nil, fmt.Errorf("core: internal error: joint allocation %d+%d exceeds %d",
+			out.CodeBytes, out.DataBytes, p.SPMSize)
+	}
+	return out, nil
+}
+
+// DataEnergy evaluates the data side's energy (nJ) for a placement.
+func DataEnergy(data []ir.DataObject, accesses []int64, inSPM []bool, p DataParams) float64 {
+	total := 0.0
+	for k := range data {
+		a := float64(accesses[k])
+		if inSPM[k] {
+			total += a * p.ESPHit
+		} else {
+			total += a * p.EMainData
+		}
+	}
+	return total
+}
+
+// DataOnlySelect selects the best data-only scratchpad placement (code all
+// cached): the subset of data objects fitting the scratchpad that
+// maximizes access savings. Data-object counts are tiny, so exhaustive
+// enumeration is exact and instant; it panics beyond 20 objects.
+func DataOnlySelect(data []ir.DataObject, accesses []int64, p DataParams) ([]bool, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if len(data) != len(accesses) {
+		return nil, fmt.Errorf("core: %d data objects, %d access counts", len(data), len(accesses))
+	}
+	if len(data) > 20 {
+		panic("core.DataOnlySelect: too many data objects for enumeration")
+	}
+	saving := p.EMainData - p.ESPHit
+	best := make([]bool, len(data))
+	bestVal := 0.0
+	sel := make([]bool, len(data))
+	for mask := 0; mask < 1<<len(data); mask++ {
+		bytes := 0
+		val := 0.0
+		for k := range data {
+			if mask&(1<<k) == 0 {
+				sel[k] = false
+				continue
+			}
+			sel[k] = true
+			bytes += data[k].SizeBytes
+			val += float64(accesses[k]) * saving
+		}
+		if bytes <= p.SPMSize && val > bestVal {
+			bestVal = val
+			copy(best, sel)
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// dataFixture builds a program with one hot loop trace and two data
+// objects: a hot table accessed every iteration and a cold buffer.
+func dataFixture(t *testing.T) (*ir.Program, *trace.Set, *conflict.Graph, []int64) {
+	t.Helper()
+	pb := ir.NewProgramBuilder("data")
+	pb.DataObject("hot_table", 64)
+	pb.DataObject("cold_buffer", 512)
+	f := pb.Func("main")
+	f.Block("loop").Code(10).Data("hot_table", 3, 1).
+		Branch("loop", "out", ir.Loop{Trips: 500})
+	f.Block("out").Code(2).Data("cold_buffer", 1, 0)
+	f.Block("exit").Return()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	prof, err := sim.ProfileProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := trace.Build(p, prof, trace.Options{MaxBytes: 4096, LineBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetches := make([]int64, len(set.Traces))
+	for i, tr := range set.Traces {
+		fetches[i] = tr.Fetches
+	}
+	return p, set, conflict.New(fetches), DataAccessCounts(p, prof)
+}
+
+func dataParams(spm int) DataParams {
+	return DataParams{
+		Params:    defaultParams(spm),
+		EMainData: 12,
+	}
+}
+
+func TestDataAccessCounts(t *testing.T) {
+	p, _, _, counts := dataFixture(t)
+	if len(counts) != len(p.Data) {
+		t.Fatalf("%d counts for %d objects", len(counts), len(p.Data))
+	}
+	// hot_table: 500 executions × (3+1) accesses.
+	if counts[0] != 2000 {
+		t.Errorf("hot_table accesses = %d, want 2000", counts[0])
+	}
+	// cold_buffer: 1 execution × 1 load.
+	if counts[1] != 1 {
+		t.Errorf("cold_buffer accesses = %d, want 1", counts[1])
+	}
+}
+
+func TestDataParamsValidate(t *testing.T) {
+	_, set, g, counts := dataFixture(t)
+	bad := dataParams(128)
+	bad.EMainData = bad.ESPHit // off-chip must cost more
+	if _, err := AllocateWithData(set, g, nil, nil, bad); err == nil {
+		t.Error("bad EMainData accepted")
+	}
+	good := dataParams(128)
+	if _, err := AllocateWithData(set, g, nil, counts, good); err == nil {
+		t.Error("mismatched data/accesses accepted")
+	}
+}
+
+func TestJointAllocationPlacesHotData(t *testing.T) {
+	p, set, g, counts := dataFixture(t)
+	// Capacity for the hot table plus a little code.
+	a, err := AllocateWithData(set, g, p.Data, counts, dataParams(128))
+	if err != nil {
+		t.Fatalf("AllocateWithData: %v", err)
+	}
+	if !a.DataInSPM[0] {
+		t.Error("hot table not placed (2000 off-chip accesses at 12 nJ!)")
+	}
+	if a.DataInSPM[1] {
+		t.Error("cold 512B buffer placed into a 128B scratchpad")
+	}
+	if a.CodeBytes+a.DataBytes > 128 {
+		t.Errorf("capacity violated: %d+%d", a.CodeBytes, a.DataBytes)
+	}
+}
+
+func TestJointMatchesExhaustive(t *testing.T) {
+	p, set, g, counts := dataFixture(t)
+	prm := dataParams(96)
+	a, err := AllocateWithData(set, g, p.Data, counts, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive search over code subsets × data subsets.
+	nT := len(set.Traces)
+	nD := len(p.Data)
+	best := math.Inf(1)
+	codeSel := make([]bool, nT)
+	dataSel := make([]bool, nD)
+	for cm := 0; cm < 1<<nT; cm++ {
+		bytes := 0
+		for i := 0; i < nT; i++ {
+			codeSel[i] = cm&(1<<i) != 0
+			if codeSel[i] {
+				bytes += set.Traces[i].RawBytes
+			}
+		}
+		for dm := 0; dm < 1<<nD; dm++ {
+			db := bytes
+			for k := 0; k < nD; k++ {
+				dataSel[k] = dm&(1<<k) != 0
+				if dataSel[k] {
+					db += p.Data[k].SizeBytes
+				}
+			}
+			if db > prm.SPMSize {
+				continue
+			}
+			e := PredictEnergy(set, g, prm.Params, codeSel) +
+				DataEnergy(p.Data, counts, dataSel, prm)
+			if e < best {
+				best = e
+			}
+		}
+	}
+	if math.Abs(a.PredictedEnergy-best) > 1e-6 {
+		t.Errorf("joint ILP %g vs exhaustive %g", a.PredictedEnergy, best)
+	}
+}
+
+func TestDataOnlySelect(t *testing.T) {
+	p, _, _, counts := dataFixture(t)
+	sel, err := DataOnlySelect(p.Data, counts, dataParams(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel[0] || sel[1] {
+		t.Errorf("selection = %v, want hot table only", sel)
+	}
+	// Zero capacity: nothing fits.
+	sel, err = DataOnlySelect(p.Data, counts, dataParams(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] || sel[1] {
+		t.Errorf("zero capacity placed something: %v", sel)
+	}
+}
+
+func TestDataEnergyAccounting(t *testing.T) {
+	p, _, _, counts := dataFixture(t)
+	prm := dataParams(128)
+	all := []bool{true, true}
+	none := []bool{false, false}
+	eAll := DataEnergy(p.Data, counts, all, prm)
+	eNone := DataEnergy(p.Data, counts, none, prm)
+	wantAll := float64(counts[0]+counts[1]) * prm.ESPHit
+	wantNone := float64(counts[0]+counts[1]) * prm.EMainData
+	if math.Abs(eAll-wantAll) > 1e-9 || math.Abs(eNone-wantNone) > 1e-9 {
+		t.Errorf("DataEnergy wrong: %g/%g vs %g/%g", eAll, eNone, wantAll, wantNone)
+	}
+}
+
+func TestDataValidationInIR(t *testing.T) {
+	pb := ir.NewProgramBuilder("bad")
+	pb.DataObject("t", 16)
+	f := pb.Func("main")
+	f.Block("a").Code(2).Data("nope", 1, 0)
+	f.Block("b").Return()
+	if _, err := pb.Build(); err == nil {
+		t.Error("unknown data object accepted")
+	}
+
+	pb2 := ir.NewProgramBuilder("dup")
+	pb2.DataObject("t", 16)
+	pb2.DataObject("t", 32)
+	pb2.Func("main").Block("a").Return()
+	if _, err := pb2.Build(); err == nil {
+		t.Error("duplicate data object accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/ilp"
+)
+
+func multiParams(spms []SPMSpec) MultiParams {
+	return MultiParams{SPMs: spms, ECacheHit: 0.5, ECacheMiss: 40}
+}
+
+func TestMultiParamsValidate(t *testing.T) {
+	set := makeSet(t, []struct{ Code, Trips int }{{8, 10}})
+	g := conflict.New(make([]int64, len(set.Traces)))
+	bad := []MultiParams{
+		{},
+		{SPMs: []SPMSpec{{Size: -1, ESPHit: 1}}, ECacheHit: 1, ECacheMiss: 2},
+		{SPMs: []SPMSpec{{Size: 64, ESPHit: 0}}, ECacheHit: 1, ECacheMiss: 2},
+		{SPMs: []SPMSpec{{Size: 64, ESPHit: 1}}, ECacheHit: 0, ECacheMiss: 2},
+		{SPMs: []SPMSpec{{Size: 64, ESPHit: 1}}, ECacheHit: 2, ECacheMiss: 2},
+	}
+	for i, p := range bad {
+		if _, err := AllocateMulti(set, g, p); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := AllocateMulti(set, conflict.New(make([]int64, 42)),
+		multiParams([]SPMSpec{{Size: 64, ESPHit: 0.2}})); err == nil {
+		t.Error("mismatched graph accepted")
+	}
+}
+
+func TestMultiSPMBasicAssignment(t *testing.T) {
+	// Two hot loops, two scratchpads each fitting exactly one of them.
+	set := makeSet(t, []struct{ Code, Trips int }{
+		{10, 500}, {10, 400},
+	})
+	fetches := make([]int64, len(set.Traces))
+	for i, tr := range set.Traces {
+		fetches[i] = tr.Fetches
+	}
+	g := conflict.New(fetches)
+	ids := loopTraces(set, 2)
+	size := set.Traces[ids[0]].RawBytes
+	p := multiParams([]SPMSpec{
+		{Size: size, ESPHit: 0.2},
+		{Size: size, ESPHit: 0.3},
+	})
+	a, err := AllocateMulti(set, g, p)
+	if err != nil {
+		t.Fatalf("AllocateMulti: %v", err)
+	}
+	if a.Status != ilp.Optimal {
+		t.Fatalf("status %v", a.Status)
+	}
+	// Both hot traces are placed, the hotter one in the cheaper SPM.
+	if a.Assign[ids[0]] == -1 || a.Assign[ids[1]] == -1 {
+		t.Fatalf("hot traces unplaced: %v", a.Assign)
+	}
+	if a.Assign[ids[0]] == a.Assign[ids[1]] {
+		t.Fatalf("both traces in one scratchpad: %v", a.Assign)
+	}
+	if a.Assign[ids[0]] != 0 {
+		t.Errorf("hotter trace should take the cheaper scratchpad; got %v", a.Assign)
+	}
+	for s, used := range a.UsedBytes {
+		if used > p.SPMs[s].Size {
+			t.Errorf("scratchpad %d over capacity", s)
+		}
+	}
+}
+
+func TestMultiSPMMatchesSingleWhenOneSPM(t *testing.T) {
+	set := makeSet(t, []struct{ Code, Trips int }{
+		{10, 300}, {8, 200}, {12, 250},
+	})
+	fetches := make([]int64, len(set.Traces))
+	for i, tr := range set.Traces {
+		fetches[i] = tr.Fetches
+	}
+	ids := loopTraces(set, 3)
+	g := conflict.New(fetches)
+	g.AddMisses(ids[0], ids[1], 80)
+	g.AddMisses(ids[1], ids[0], 70)
+
+	spm := 96
+	single, err := Allocate(set, g, defaultParams(spm))
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	multi, err := AllocateMulti(set, g, multiParams([]SPMSpec{{Size: spm, ESPHit: 0.2}}))
+	if err != nil {
+		t.Fatalf("multi: %v", err)
+	}
+	if math.Abs(single.PredictedEnergy-multi.PredictedEnergy) > 1e-6 {
+		t.Errorf("single %g vs multi-with-one %g", single.PredictedEnergy, multi.PredictedEnergy)
+	}
+	for i := range set.Traces {
+		if single.InSPM[i] != (multi.Assign[i] == 0) {
+			t.Errorf("selection differs at trace %d", i)
+		}
+	}
+}
+
+func TestMultiSPMTwoSmallBeatOneWhenSplitHelps(t *testing.T) {
+	// Two hot traces of 56B each. One 56B scratchpad fits one; two 56B
+	// scratchpads fit both — energy must strictly improve.
+	set := makeSet(t, []struct{ Code, Trips int }{
+		{11, 500}, {11, 480},
+	})
+	fetches := make([]int64, len(set.Traces))
+	for i, tr := range set.Traces {
+		fetches[i] = tr.Fetches
+	}
+	g := conflict.New(fetches)
+	ids := loopTraces(set, 2)
+	size := set.Traces[ids[0]].RawBytes
+
+	one, err := AllocateMulti(set, g, multiParams([]SPMSpec{{Size: size, ESPHit: 0.2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := AllocateMulti(set, g, multiParams([]SPMSpec{
+		{Size: size, ESPHit: 0.2}, {Size: size, ESPHit: 0.2},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.PredictedEnergy >= one.PredictedEnergy {
+		t.Errorf("second scratchpad did not help: %g vs %g",
+			two.PredictedEnergy, one.PredictedEnergy)
+	}
+}
+
+func TestMultiSPMOversizedPinned(t *testing.T) {
+	set := makeSet(t, []struct{ Code, Trips int }{
+		{100, 100}, // too big for either SPM
+		{5, 100},
+	})
+	fetches := make([]int64, len(set.Traces))
+	for i, tr := range set.Traces {
+		fetches[i] = tr.Fetches
+	}
+	g := conflict.New(fetches)
+	ids := loopTraces(set, 2)
+	a, err := AllocateMulti(set, g, multiParams([]SPMSpec{
+		{Size: 64, ESPHit: 0.2}, {Size: 32, ESPHit: 0.15},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Assign[ids[0]] != -1 {
+		t.Error("oversized trace assigned to a scratchpad")
+	}
+	if a.Assign[ids[1]] == -1 {
+		t.Error("small hot trace should be placed")
+	}
+}

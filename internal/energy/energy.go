@@ -1,0 +1,283 @@
+// Package energy provides the per-access energy model of the memory
+// hierarchy. It stands in for the tools the paper used: the CACTI cache
+// model of Wilton & Jouppi for caches and preloaded loop caches, the
+// scratchpad model of Banakar et al., and main-memory energy measured on an
+// ARM7T evaluation board.
+//
+// The model is analytical in the CACTI style: an SRAM array of a given
+// capacity is organized into a near-square grid of rows and columns, and an
+// access charges the row decoder, one wordline, all active bitlines, the
+// column sense amplifiers and the output drivers. Caches add a tag array,
+// comparators and (for associative organizations) parallel way reads.
+//
+// Absolute constants are calibrated for a 0.5 µm process so that the
+// orderings the paper's conclusions rest on hold:
+//
+//   - a scratchpad access costs noticeably less than a hit in a cache of
+//     equal capacity (no tag path, no comparators) — around 40% less,
+//     matching Banakar et al.;
+//   - a cache miss costs roughly two orders of magnitude more than a hit,
+//     because it adds an off-chip main-memory line transfer and a line fill;
+//   - energies grow monotonically with capacity and associativity.
+//
+// All energies are in nanojoules (nJ).
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Technology constants (nJ), loosely calibrated to 0.5 µm CMOS.
+const (
+	// decodePerBit is the decoder energy per decoded address bit.
+	decodePerBit = 0.008
+	// wordlinePerCol is the wordline drive energy per column.
+	wordlinePerCol = 0.0009
+	// bitlinePerCell is the precharge+swing energy per active cell
+	// (rows × columns product).
+	bitlinePerCell = 2.2e-5
+	// sensePerBit is the sense-amplifier energy per output bit.
+	sensePerBit = 0.002
+	// outputDrive is the fixed output-driver energy per access.
+	outputDrive = 0.02
+	// comparePerWay is the tag-comparator energy per cache way.
+	comparePerWay = 0.01
+	// controllerPerEntry is the loop-cache controller energy per preloaded
+	// range, paid on every instruction fetch while the controller is active
+	// (it must decide loop cache vs. L1 on each fetch).
+	controllerPerEntry = 0.012
+
+	// mainMemBurst is the fixed off-chip access setup energy per burst.
+	mainMemBurst = 16.0
+	// mainMemPerWord is the off-chip transfer energy per 32-bit word.
+	mainMemPerWord = 8.0
+
+	// wordBits is the processor fetch width (ARM state: 32-bit).
+	wordBits = 32
+)
+
+// SRAMAccess returns the read energy (nJ) of a standalone SRAM array of the
+// given capacity in bytes delivering wordBits per access. Capacities that
+// are not powers of two are rounded up to the next hardware array size; it
+// panics if sizeBytes is not positive.
+func SRAMAccess(sizeBytes int) float64 {
+	rows, cols := organize(sizeBytes, wordBits)
+	return arrayEnergy(rows, cols, wordBits)
+}
+
+// organize picks a near-square row/column organization for an array of
+// sizeBytes bytes (rounded up to a power of two) with at least minCols
+// columns.
+func organize(sizeBytes, minCols int) (rows, cols int) {
+	if sizeBytes <= 0 {
+		panic(fmt.Sprintf("energy: array size must be positive, got %d", sizeBytes))
+	}
+	for sizeBytes&(sizeBytes-1) != 0 {
+		sizeBytes += sizeBytes & -sizeBytes // round up to the next power of two
+	}
+	bits := sizeBytes * 8
+	cols = minCols
+	for cols*cols < bits {
+		cols *= 2
+	}
+	rows = bits / cols
+	if rows == 0 {
+		rows = 1
+	}
+	return rows, cols
+}
+
+// arrayEnergy is the core access-energy expression for an SRAM array.
+func arrayEnergy(rows, cols, outBits int) float64 {
+	dec := decodePerBit * math.Log2(float64(rows)+1)
+	wl := wordlinePerCol * float64(cols)
+	bl := bitlinePerCell * float64(rows) * float64(cols)
+	sense := sensePerBit * float64(outBits)
+	return dec + wl + bl + sense + outputDrive
+}
+
+// CacheGeometry describes an instruction cache organization.
+type CacheGeometry struct {
+	// SizeBytes is the total data capacity (power of two).
+	SizeBytes int
+	// LineBytes is the line (block) size in bytes (power of two, ≥ 4).
+	LineBytes int
+	// Assoc is the associativity; 1 means direct-mapped.
+	Assoc int
+}
+
+// Validate checks the geometry for internal consistency.
+func (g CacheGeometry) Validate() error {
+	switch {
+	case g.SizeBytes <= 0 || g.SizeBytes&(g.SizeBytes-1) != 0:
+		return fmt.Errorf("energy: cache size %d not a positive power of two", g.SizeBytes)
+	case g.LineBytes < 4 || g.LineBytes&(g.LineBytes-1) != 0:
+		return fmt.Errorf("energy: line size %d not a power of two ≥ 4", g.LineBytes)
+	case g.Assoc < 1:
+		return fmt.Errorf("energy: associativity %d < 1", g.Assoc)
+	case g.SizeBytes < g.LineBytes*g.Assoc:
+		return fmt.Errorf("energy: cache %dB too small for %d ways of %dB lines",
+			g.SizeBytes, g.Assoc, g.LineBytes)
+	}
+	return nil
+}
+
+// Sets returns the number of cache sets.
+func (g CacheGeometry) Sets() int { return g.SizeBytes / (g.LineBytes * g.Assoc) }
+
+// tagBits approximates the tag width for a 32-bit address space.
+func (g CacheGeometry) tagBits() int {
+	sets := g.Sets()
+	offsetBits := int(math.Log2(float64(g.LineBytes)))
+	indexBits := int(math.Log2(float64(sets)))
+	return 32 - offsetBits - indexBits + 1 // +1 valid bit
+}
+
+// CacheProbe returns the energy (nJ) of probing the cache once: reading the
+// indexed set's tags and data in all ways and comparing. This is the cost
+// of a hit, and also the detection cost paid on a miss.
+func CacheProbe(g CacheGeometry) float64 {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	sets := g.Sets()
+	// Data array: rows = sets, columns = line bits per way × ways (all ways
+	// read in parallel in a conventional organization). Unlike a scratchpad,
+	// the cache senses the full line width into its line buffer, not just
+	// the requested word — a major part of the cache/SPM energy gap.
+	dataRows := sets
+	dataCols := g.LineBytes * 8 * g.Assoc
+	data := arrayEnergy(dataRows, dataCols, dataCols)
+	// Tag array: rows = sets, cols = tagBits × ways.
+	tag := arrayEnergy(sets, g.tagBits()*g.Assoc, g.tagBits()*g.Assoc)
+	cmp := comparePerWay * float64(g.Assoc)
+	return data + tag + cmp
+}
+
+// CacheFill returns the energy (nJ) of writing one fetched line into the
+// data array after a miss (tag update included).
+func CacheFill(g CacheGeometry) float64 {
+	sets := g.Sets()
+	// Writing activates one way's line columns.
+	data := arrayEnergy(sets, g.LineBytes*8, g.LineBytes*8)
+	tag := arrayEnergy(sets, g.tagBits(), g.tagBits())
+	return data + tag
+}
+
+// MainMemoryLine returns the off-chip energy (nJ) of transferring one cache
+// line of the given size.
+func MainMemoryLine(lineBytes int) float64 {
+	words := (lineBytes + 3) / 4
+	return mainMemBurst + mainMemPerWord*float64(words)
+}
+
+// MainMemoryWord returns the off-chip energy (nJ) of a single 32-bit
+// fetch without a surrounding burst (used by cache-less configurations).
+func MainMemoryWord() float64 { return mainMemBurst/4 + mainMemPerWord }
+
+// SPMAccess returns the energy (nJ) of one scratchpad fetch. The scratchpad
+// is a plain SRAM array: no tags, no comparators.
+func SPMAccess(sizeBytes int) float64 { return SRAMAccess(sizeBytes) }
+
+// LoopCacheController returns the per-fetch controller energy (nJ) of a
+// preloaded loop cache with the given number of preloadable ranges. The
+// controller compares the PC against every range's start/end registers on
+// every fetch, which is why real designs cap the entry count at 2–6.
+func LoopCacheController(entries int) float64 {
+	return controllerPerEntry * float64(entries)
+}
+
+// LoopCacheAccess returns the energy (nJ) of one fetch served by the loop
+// cache array itself (controller energy excluded; see LoopCacheController).
+func LoopCacheAccess(sizeBytes int) float64 { return SRAMAccess(sizeBytes) }
+
+// CostModel bundles the per-event energies (nJ) the memory-hierarchy
+// simulator charges. Construct one with NewCostModel.
+type CostModel struct {
+	// CacheHit is charged per fetch that hits in the I-cache.
+	CacheHit float64
+	// CacheMiss is charged per fetch that misses: probe + line fill + the
+	// off-chip line transfer (single-level hierarchies).
+	CacheMiss float64
+	// CacheFill is the L1 line-fill component alone (multi-level
+	// hierarchies assemble miss costs from components).
+	CacheFill float64
+	// MainLine is the off-chip line-transfer component alone.
+	MainLine float64
+	// L2Probe and L2Fill are the second-level cache components; zero when
+	// no L2 is configured.
+	L2Probe float64
+	L2Fill  float64
+	// SPMAccess is charged per fetch served by the scratchpad.
+	SPMAccess float64
+	// LoopCacheHit is charged per fetch served by the loop cache array.
+	LoopCacheHit float64
+	// LoopCacheController is charged per fetch (on top of the serving
+	// component) while a loop-cache controller is present.
+	LoopCacheController float64
+	// MainMemoryWord is charged per fetch in cache-less configurations that
+	// go straight to main memory.
+	MainMemoryWord float64
+}
+
+// Config selects the hierarchy components a CostModel should cover. Zero
+// sizes disable a component.
+type Config struct {
+	// Cache is the I-cache geometry; SizeBytes == 0 disables the cache.
+	Cache CacheGeometry
+	// L2 is an optional second-level I-cache geometry (SizeBytes == 0
+	// disables it). Its line size must equal the L1 line size.
+	L2 CacheGeometry
+	// SPMBytes is the scratchpad capacity.
+	SPMBytes int
+	// LoopCacheBytes is the loop-cache capacity.
+	LoopCacheBytes int
+	// LoopCacheEntries is the number of preloadable ranges.
+	LoopCacheEntries int
+}
+
+// NewCostModel derives the per-event energies for the given configuration.
+func NewCostModel(cfg Config) (CostModel, error) {
+	var cm CostModel
+	if cfg.Cache.SizeBytes > 0 {
+		if err := cfg.Cache.Validate(); err != nil {
+			return cm, err
+		}
+		probe := CacheProbe(cfg.Cache)
+		cm.CacheHit = probe
+		cm.CacheFill = CacheFill(cfg.Cache)
+		cm.MainLine = MainMemoryLine(cfg.Cache.LineBytes)
+		cm.CacheMiss = probe + cm.CacheFill + cm.MainLine
+	}
+	if cfg.L2.SizeBytes > 0 {
+		if err := cfg.L2.Validate(); err != nil {
+			return cm, err
+		}
+		if cfg.L2.LineBytes != cfg.Cache.LineBytes {
+			return cm, fmt.Errorf("energy: L2 line size %d differs from L1 %d",
+				cfg.L2.LineBytes, cfg.Cache.LineBytes)
+		}
+		cm.L2Probe = CacheProbe(cfg.L2)
+		cm.L2Fill = CacheFill(cfg.L2)
+	}
+	if cfg.SPMBytes > 0 {
+		cm.SPMAccess = SPMAccess(cfg.SPMBytes)
+	}
+	if cfg.LoopCacheBytes > 0 {
+		cm.LoopCacheHit = LoopCacheAccess(cfg.LoopCacheBytes)
+		cm.LoopCacheController = LoopCacheController(cfg.LoopCacheEntries)
+	}
+	cm.MainMemoryWord = MainMemoryWord()
+	return cm, nil
+}
+
+// MustCostModel is NewCostModel, panicking on configuration errors. Use for
+// statically-known configurations.
+func MustCostModel(cfg Config) CostModel {
+	cm, err := NewCostModel(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return cm
+}

@@ -1,0 +1,258 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSRAMAccessMonotonicInSize(t *testing.T) {
+	prev := 0.0
+	for size := 64; size <= 64*1024; size *= 2 {
+		e := SRAMAccess(size)
+		if e <= 0 {
+			t.Fatalf("SRAMAccess(%d) = %g, want > 0", size, e)
+		}
+		if e < prev {
+			t.Errorf("SRAMAccess(%d) = %g < SRAMAccess(%d) = %g", size, e, size/2, prev)
+		}
+		prev = e
+	}
+}
+
+func TestSRAMAccessRejectsNonPositiveSizes(t *testing.T) {
+	for _, size := range []int{0, -8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SRAMAccess(%d) did not panic", size)
+				}
+			}()
+			SRAMAccess(size)
+		}()
+	}
+}
+
+func TestSRAMAccessRoundsUpOddSizes(t *testing.T) {
+	// Non-power-of-two capacities use the next hardware array size.
+	if got, want := SRAMAccess(96), SRAMAccess(128); got != want {
+		t.Errorf("SRAMAccess(96) = %g, want rounded-up %g", got, want)
+	}
+	if got, want := SRAMAccess(1023), SRAMAccess(1024); got != want {
+		t.Errorf("SRAMAccess(1023) = %g, want rounded-up %g", got, want)
+	}
+}
+
+func TestSPMCheaperThanEqualCache(t *testing.T) {
+	// The core premise of the paper's architecture: a scratchpad access is
+	// substantially cheaper than a hit in an equal-sized cache.
+	for size := 128; size <= 8192; size *= 2 {
+		spm := SPMAccess(size)
+		hit := CacheProbe(CacheGeometry{SizeBytes: size, LineBytes: 16, Assoc: 1})
+		if spm >= hit {
+			t.Errorf("size %d: SPM %g >= cache hit %g", size, spm, hit)
+		}
+		ratio := spm / hit
+		if ratio > 0.85 {
+			t.Errorf("size %d: SPM/cache ratio %.2f, want noticeably < 1", size, ratio)
+		}
+		// At the paper's scale (≤ 2 kB) the gap is Banakar-sized: ~40%.
+		if size <= 2048 && ratio > 0.70 {
+			t.Errorf("size %d: SPM/cache ratio %.2f, want ≤ 0.70", size, ratio)
+		}
+	}
+}
+
+func TestMissMuchMoreExpensiveThanHit(t *testing.T) {
+	for _, g := range []CacheGeometry{
+		{SizeBytes: 128, LineBytes: 16, Assoc: 1},
+		{SizeBytes: 1024, LineBytes: 16, Assoc: 1},
+		{SizeBytes: 2048, LineBytes: 16, Assoc: 1},
+		{SizeBytes: 4096, LineBytes: 32, Assoc: 4},
+	} {
+		cm := MustCostModel(Config{Cache: g})
+		if cm.CacheMiss < 10*cm.CacheHit {
+			t.Errorf("%+v: miss %g < 10x hit %g", g, cm.CacheMiss, cm.CacheHit)
+		}
+	}
+}
+
+func TestCacheProbeGrowsWithAssociativity(t *testing.T) {
+	base := CacheProbe(CacheGeometry{SizeBytes: 4096, LineBytes: 16, Assoc: 1})
+	prev := base
+	for assoc := 2; assoc <= 8; assoc *= 2 {
+		e := CacheProbe(CacheGeometry{SizeBytes: 4096, LineBytes: 16, Assoc: assoc})
+		if e <= prev {
+			t.Errorf("assoc %d probe %g <= assoc %d probe %g", assoc, e, assoc/2, prev)
+		}
+		prev = e
+	}
+}
+
+func TestCacheGeometryValidate(t *testing.T) {
+	bad := []CacheGeometry{
+		{SizeBytes: 0, LineBytes: 16, Assoc: 1},
+		{SizeBytes: 100, LineBytes: 16, Assoc: 1},
+		{SizeBytes: 1024, LineBytes: 0, Assoc: 1},
+		{SizeBytes: 1024, LineBytes: 2, Assoc: 1},
+		{SizeBytes: 1024, LineBytes: 24, Assoc: 1},
+		{SizeBytes: 1024, LineBytes: 16, Assoc: 0},
+		{SizeBytes: 32, LineBytes: 16, Assoc: 4},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid geometry", g)
+		}
+	}
+	good := CacheGeometry{SizeBytes: 2048, LineBytes: 16, Assoc: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(%+v) = %v", good, err)
+	}
+	if got := good.Sets(); got != 128 {
+		t.Errorf("Sets = %d, want 128", got)
+	}
+}
+
+func TestMainMemoryLineScalesWithWords(t *testing.T) {
+	e16 := MainMemoryLine(16)
+	e32 := MainMemoryLine(32)
+	if e32 <= e16 {
+		t.Errorf("32B line %g <= 16B line %g", e32, e16)
+	}
+	// Burst setup amortizes: doubling the line must not double the total.
+	if e32 >= 2*e16 {
+		t.Errorf("no burst amortization: %g vs %g", e32, e16)
+	}
+	if MainMemoryWord() <= 0 {
+		t.Error("MainMemoryWord must be positive")
+	}
+}
+
+func TestLoopCacheControllerScalesWithEntries(t *testing.T) {
+	if LoopCacheController(0) != 0 {
+		t.Error("0 entries must cost 0")
+	}
+	e4 := LoopCacheController(4)
+	e8 := LoopCacheController(8)
+	if math.Abs(e8-2*e4) > 1e-12 {
+		t.Errorf("controller energy not linear: %g vs %g", e4, e8)
+	}
+}
+
+func TestNewCostModel(t *testing.T) {
+	cfg := Config{
+		Cache:            CacheGeometry{SizeBytes: 2048, LineBytes: 16, Assoc: 1},
+		SPMBytes:         512,
+		LoopCacheBytes:   512,
+		LoopCacheEntries: 4,
+	}
+	cm, err := NewCostModel(cfg)
+	if err != nil {
+		t.Fatalf("NewCostModel: %v", err)
+	}
+	if cm.CacheHit <= 0 || cm.CacheMiss <= cm.CacheHit || cm.SPMAccess <= 0 {
+		t.Errorf("implausible cost model: %+v", cm)
+	}
+	if cm.SPMAccess >= cm.CacheHit {
+		t.Errorf("SPM (512B) %g should be below 2kB cache hit %g", cm.SPMAccess, cm.CacheHit)
+	}
+	if cm.LoopCacheHit != cm.SPMAccess {
+		t.Errorf("equal-size loop cache array should equal SPM: %g vs %g",
+			cm.LoopCacheHit, cm.SPMAccess)
+	}
+	if cm.LoopCacheController <= 0 {
+		t.Error("controller energy missing")
+	}
+}
+
+func TestNewCostModelRejectsBadCache(t *testing.T) {
+	_, err := NewCostModel(Config{Cache: CacheGeometry{SizeBytes: 100, LineBytes: 16, Assoc: 1}})
+	if err == nil {
+		t.Fatal("expected geometry error")
+	}
+}
+
+func TestMustCostModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCostModel did not panic")
+		}
+	}()
+	MustCostModel(Config{Cache: CacheGeometry{SizeBytes: 100, LineBytes: 16, Assoc: 1}})
+}
+
+// Property: for any power-of-two sizes, the cost model preserves the
+// orderings the paper's argument depends on.
+func TestCostModelOrderingProperty(t *testing.T) {
+	f := func(cacheExp, spmExp uint8) bool {
+		cacheSize := 128 << (cacheExp % 7) // 128B .. 8kB
+		spmSize := 64 << (spmExp % 7)      // 64B .. 4kB
+		cm := MustCostModel(Config{
+			Cache:    CacheGeometry{SizeBytes: cacheSize, LineBytes: 16, Assoc: 1},
+			SPMBytes: spmSize,
+		})
+		if cm.CacheMiss <= cm.CacheHit {
+			return false
+		}
+		// SPM no larger than the cache must be cheaper than a cache hit.
+		if spmSize <= cacheSize && cm.SPMAccess >= cm.CacheHit {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostModelWithoutComponents(t *testing.T) {
+	cm, err := NewCostModel(Config{})
+	if err != nil {
+		t.Fatalf("NewCostModel: %v", err)
+	}
+	if cm.CacheHit != 0 || cm.SPMAccess != 0 || cm.LoopCacheHit != 0 {
+		t.Errorf("disabled components should cost 0: %+v", cm)
+	}
+	if cm.MainMemoryWord <= 0 {
+		t.Error("main memory word energy always available")
+	}
+}
+
+func TestCostModelL2Components(t *testing.T) {
+	cm, err := NewCostModel(Config{
+		Cache: CacheGeometry{SizeBytes: 1024, LineBytes: 16, Assoc: 1},
+		L2:    CacheGeometry{SizeBytes: 8192, LineBytes: 16, Assoc: 2},
+	})
+	if err != nil {
+		t.Fatalf("NewCostModel: %v", err)
+	}
+	if cm.L2Probe <= cm.CacheHit {
+		t.Errorf("L2 probe %g should exceed the smaller L1's hit %g", cm.L2Probe, cm.CacheHit)
+	}
+	if cm.L2Fill <= 0 || cm.CacheFill <= 0 || cm.MainLine <= 0 {
+		t.Errorf("missing components: %+v", cm)
+	}
+	// Single-level composite must equal its parts.
+	if diff := cm.CacheMiss - (cm.CacheHit + cm.CacheFill + cm.MainLine); math.Abs(diff) > 1e-12 {
+		t.Errorf("CacheMiss not the sum of its parts: %g", diff)
+	}
+}
+
+func TestCostModelL2LineMismatch(t *testing.T) {
+	_, err := NewCostModel(Config{
+		Cache: CacheGeometry{SizeBytes: 1024, LineBytes: 16, Assoc: 1},
+		L2:    CacheGeometry{SizeBytes: 8192, LineBytes: 32, Assoc: 2},
+	})
+	if err == nil {
+		t.Fatal("mismatched line sizes accepted")
+	}
+}
+
+func TestCacheProbePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CacheProbe accepted invalid geometry")
+		}
+	}()
+	CacheProbe(CacheGeometry{SizeBytes: 100, LineBytes: 16, Assoc: 1})
+}

@@ -1,0 +1,347 @@
+// Package experiments assembles the full evaluation pipeline of the paper
+// (Figure 3): workload → profile → trace generation → allocation (CASA,
+// Steinke's knapsack, or Ross's loop-cache preloading) → layout → memory-
+// hierarchy simulation → energy, and regenerates every figure and table of
+// the results section.
+//
+// A Pipeline bundles everything derived from one (workload, cache,
+// scratchpad-size) triple so the three allocators are compared on exactly
+// the same traces and the same profiling run, as the paper prescribes
+// ("for a fair comparison, traces are generated for both the allocation
+// techniques"). A Suite memoizes Pipelines across figures.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/ilp"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/loopcache"
+	"repro/internal/memsim"
+	"repro/internal/sim"
+	"repro/internal/steinke"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// CacheSpec selects the I-cache configuration of an experiment.
+type CacheSpec struct {
+	// Size is the capacity in bytes.
+	Size int
+	// Line is the line size in bytes (the paper-wide default is 16).
+	Line int
+	// Assoc is the associativity (1 = direct-mapped, as in the paper).
+	Assoc int
+	// Policy is the replacement policy for associative configurations.
+	Policy cache.Policy
+}
+
+// DefaultLine is the line size used throughout the evaluation.
+const DefaultLine = 16
+
+// LoopCacheEntries is the preload limit of the modelled loop cache; the
+// paper assumes a maximum of 4 loops.
+const LoopCacheEntries = 4
+
+// DM returns a direct-mapped CacheSpec with the default line size.
+func DM(size int) CacheSpec {
+	return CacheSpec{Size: size, Line: DefaultLine, Assoc: 1}
+}
+
+func (c CacheSpec) cacheConfig() cache.Config {
+	return cache.Config{
+		SizeBytes:   c.Size,
+		LineBytes:   c.Line,
+		Assoc:       c.Assoc,
+		Replacement: c.Policy,
+	}
+}
+
+func (c CacheSpec) geometry() energy.CacheGeometry {
+	return energy.CacheGeometry{SizeBytes: c.Size, LineBytes: c.Line, Assoc: c.Assoc}
+}
+
+// Pipeline is everything shared by the allocators for one configuration.
+type Pipeline struct {
+	// Workload is the benchmark name.
+	Workload string
+	// Prog is the loaded program.
+	Prog *ir.Program
+	// Prof is its execution profile.
+	Prof *sim.Profile
+	// Cache is the I-cache configuration.
+	Cache CacheSpec
+	// SPMSize is the scratchpad (or loop cache) capacity in bytes.
+	SPMSize int
+	// Set is the trace partition (traces capped at SPMSize).
+	Set *trace.Set
+	// Graph is the conflict graph from the cache-only profiling run.
+	Graph *conflict.Graph
+	// Baseline is the cache-only run (trace layout, empty scratchpad).
+	Baseline *memsim.Result
+	// Cost is the scratchpad-configuration cost model.
+	Cost energy.CostModel
+}
+
+// Prepare builds the pipeline for one (workload, cache, scratchpad size)
+// configuration: it profiles the program, forms traces, lays them out
+// without a scratchpad and runs the conflict-tracking profiling
+// simulation.
+func Prepare(name string, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
+	prog, err := workload.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareProgram(prog, cacheSpec, spmSize)
+}
+
+// PrepareProgram is Prepare for an already-constructed program (custom
+// workloads, tests).
+func PrepareProgram(prog *ir.Program, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
+	prof, err := sim.ProfileProgram(prog)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: profile %s: %w", prog.Name, err)
+	}
+	set, err := trace.Build(prog, prof, trace.Options{MaxBytes: spmSize, LineBytes: cacheSpec.Line})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: traces %s: %w", prog.Name, err)
+	}
+	plain, err := layout.New(set, nil, layout.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cost, err := energy.NewCostModel(energy.Config{
+		Cache:    cacheSpec.geometry(),
+		SPMBytes: spmSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	base, err := memsim.Run(prog, plain, memsim.Config{
+		Cache:          cacheSpec.cacheConfig(),
+		Cost:           cost,
+		TrackConflicts: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fetches := make([]int64, len(set.Traces))
+	for i, t := range set.Traces {
+		fetches[i] = t.Fetches
+	}
+	g := conflict.New(fetches)
+	for k, v := range base.Conflicts {
+		g.AddMisses(k.Victim, k.Evictor, v)
+	}
+	return &Pipeline{
+		Workload: prog.Name,
+		Prog:     prog,
+		Prof:     prof,
+		Cache:    cacheSpec,
+		SPMSize:  spmSize,
+		Set:      set,
+		Graph:    g,
+		Baseline: base,
+		Cost:     cost,
+	}, nil
+}
+
+// Outcome is the measured result of one allocator under one pipeline.
+type Outcome struct {
+	// Allocator names the technique ("casa", "casa-greedy", "steinke",
+	// "loopcache", "cache-only").
+	Allocator string
+	// Result is the full simulation result.
+	Result *memsim.Result
+	// EnergyMicroJ is the total instruction-memory energy in µJ.
+	EnergyMicroJ float64
+	// PlacedTraces and UsedBytes describe the allocation (scratchpad
+	// techniques only).
+	PlacedTraces int
+	UsedBytes    int
+	// SolverNodes reports ILP effort (CASA only).
+	SolverNodes int
+}
+
+func (p *Pipeline) finish(name string, res *memsim.Result, placed, used, nodes int) *Outcome {
+	return &Outcome{
+		Allocator:    name,
+		Result:       res,
+		EnergyMicroJ: res.TotalEnergyMicroJ(),
+		PlacedTraces: placed,
+		UsedBytes:    used,
+		SolverNodes:  nodes,
+	}
+}
+
+// casaParams derives the CASA energy parameters from the pipeline's cost
+// model.
+func (p *Pipeline) casaParams() core.Params {
+	return core.Params{
+		SPMSize:    p.SPMSize,
+		ESPHit:     p.Cost.SPMAccess,
+		ECacheHit:  p.Cost.CacheHit,
+		ECacheMiss: p.Cost.CacheMiss,
+		Solver:     ilp.Options{},
+	}
+}
+
+// RunCASA allocates with the paper's algorithm (copy semantics) and
+// simulates the result.
+func (p *Pipeline) RunCASA() (*Outcome, error) {
+	alloc, err := core.Allocate(p.Set, p.Graph, p.casaParams())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: casa %s/%d: %w", p.Workload, p.SPMSize, err)
+	}
+	return p.runSPM("casa", alloc.InSPM, layout.Copy, alloc.UsedBytes, alloc.Nodes)
+}
+
+// RunCASAGreedy runs the greedy variant of the fine-grained model (for
+// ablation).
+func (p *Pipeline) RunCASAGreedy() (*Outcome, error) {
+	alloc, err := core.GreedyAllocate(p.Set, p.Graph, p.casaParams())
+	if err != nil {
+		return nil, err
+	}
+	return p.runSPM("casa-greedy", alloc.InSPM, layout.Copy, alloc.UsedBytes, 0)
+}
+
+// RunSteinke allocates with the cache-unaware knapsack baseline [13]
+// (move semantics) and simulates the result.
+func (p *Pipeline) RunSteinke() (*Outcome, error) {
+	alloc, err := steinke.Allocate(p.Set, p.SPMSize)
+	if err != nil {
+		return nil, err
+	}
+	return p.runSPM("steinke", alloc.InSPM, layout.Move, alloc.UsedBytes, 0)
+}
+
+// RunSelection simulates an arbitrary scratchpad selection under the given
+// placement semantics; the ablation benches use it to isolate copy vs.
+// move effects.
+func (p *Pipeline) RunSelection(name string, inSPM []bool, mode layout.Mode) (*Outcome, error) {
+	used := 0
+	placed := 0
+	for i, in := range inSPM {
+		if in {
+			used += p.Set.Traces[i].RawBytes
+			placed++
+		}
+	}
+	return p.runSPM(name, inSPM, mode, used, 0)
+}
+
+func (p *Pipeline) runSPM(name string, inSPM []bool, mode layout.Mode, used, nodes int) (*Outcome, error) {
+	lay, err := layout.New(p.Set, inSPM, layout.Options{Mode: mode, SPMSize: p.SPMSize})
+	if err != nil {
+		return nil, err
+	}
+	res, err := memsim.Run(p.Prog, lay, memsim.Config{
+		Cache: p.Cache.cacheConfig(),
+		Cost:  p.Cost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	placed := 0
+	for _, in := range inSPM {
+		if in {
+			placed++
+		}
+	}
+	return p.finish(name, res, placed, used, nodes), nil
+}
+
+// RunLoopCache preloads a loop cache of the pipeline's size with Ross's
+// heuristic [12] and simulates the result. The loop cache replaces the
+// scratchpad (Figure 1(b)); the main-memory layout is the plain trace
+// layout.
+func (p *Pipeline) RunLoopCache() (*Outcome, error) {
+	plain, err := layout.New(p.Set, nil, layout.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cands := loopcache.Candidates(p.Prog, p.Prof, plain)
+	ctrl, err := loopcache.Allocate(loopcache.Config{
+		SizeBytes:  p.SPMSize,
+		MaxRegions: LoopCacheEntries,
+	}, cands)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: loopcache %s/%d: %w", p.Workload, p.SPMSize, err)
+	}
+	cost, err := energy.NewCostModel(energy.Config{
+		Cache:            p.Cache.geometry(),
+		LoopCacheBytes:   p.SPMSize,
+		LoopCacheEntries: LoopCacheEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := memsim.Run(p.Prog, plain, memsim.Config{
+		Cache:     p.Cache.cacheConfig(),
+		LoopCache: ctrl,
+		Cost:      cost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.finish("loopcache", res, len(ctrl.Regions()), ctrl.Used(), 0), nil
+}
+
+// RunCacheOnly simulates the trace layout with no scratchpad or loop
+// cache: the reference hierarchy.
+func (p *Pipeline) RunCacheOnly() (*Outcome, error) {
+	plain, err := layout.New(p.Set, nil, layout.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cost, err := energy.NewCostModel(energy.Config{Cache: p.Cache.geometry()})
+	if err != nil {
+		return nil, err
+	}
+	res, err := memsim.Run(p.Prog, plain, memsim.Config{
+		Cache: p.Cache.cacheConfig(),
+		Cost:  cost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.finish("cache-only", res, 0, 0, 0), nil
+}
+
+// Suite memoizes pipelines so that figures sharing configurations (e.g.
+// Figure 4, Figure 5 and Table 1 all use mpeg with a 2 kB cache) prepare
+// them once.
+type Suite struct {
+	pipelines map[suiteKey]*Pipeline
+}
+
+type suiteKey struct {
+	name    string
+	cache   CacheSpec
+	spmSize int
+}
+
+// NewSuite returns an empty suite.
+func NewSuite() *Suite {
+	return &Suite{pipelines: make(map[suiteKey]*Pipeline)}
+}
+
+// Pipeline returns the (possibly cached) pipeline for a configuration.
+func (s *Suite) Pipeline(name string, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
+	k := suiteKey{name: name, cache: cacheSpec, spmSize: spmSize}
+	if p, ok := s.pipelines[k]; ok {
+		return p, nil
+	}
+	p, err := Prepare(name, cacheSpec, spmSize)
+	if err != nil {
+		return nil, err
+	}
+	s.pipelines[k] = p
+	return p, nil
+}

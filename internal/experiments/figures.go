@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig4Config reproduces Figure 4's setup: the mpeg benchmark with a 2 kB
+// direct-mapped I-cache, sweeping the scratchpad size, comparing CASA
+// against Steinke's algorithm (= 100%).
+type Fig4Config struct {
+	Workload string
+	Cache    CacheSpec
+	SPMSizes []int
+}
+
+// DefaultFig4 is the paper's Figure 4 configuration.
+func DefaultFig4() Fig4Config {
+	return Fig4Config{
+		Workload: "mpeg",
+		Cache:    DM(2048),
+		SPMSizes: []int{128, 256, 512, 1024},
+	}
+}
+
+// Fig4Row holds one scratchpad size's parameters, each as a percentage of
+// Steinke's value (100).
+type Fig4Row struct {
+	SPMSize int
+	// SPMAccessPct, CacheAccessPct, CacheMissPct and EnergyPct are CASA's
+	// scratchpad accesses, I-cache accesses, I-cache misses and total
+	// energy relative to Steinke's (= 100%).
+	SPMAccessPct   float64
+	CacheAccessPct float64
+	CacheMissPct   float64
+	EnergyPct      float64
+	// Absolute values for the record.
+	CASAEnergyMicroJ    float64
+	SteinkeEnergyMicroJ float64
+}
+
+func pct(num, den float64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 100
+		}
+		return 0
+	}
+	return 100 * num / den
+}
+
+// Fig4 regenerates Figure 4.
+func Fig4(s *Suite, cfg Fig4Config) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, size := range cfg.SPMSizes {
+		p, err := s.Pipeline(cfg.Workload, cfg.Cache, size)
+		if err != nil {
+			return nil, err
+		}
+		casa, err := p.RunCASA()
+		if err != nil {
+			return nil, err
+		}
+		st, err := p.RunSteinke()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig4Row{
+			SPMSize:             size,
+			SPMAccessPct:        pct(float64(casa.Result.SPMAccesses), float64(st.Result.SPMAccesses)),
+			CacheAccessPct:      pct(float64(casa.Result.CacheAccesses), float64(st.Result.CacheAccesses)),
+			CacheMissPct:        pct(float64(casa.Result.CacheMisses), float64(st.Result.CacheMisses)),
+			EnergyPct:           pct(casa.EnergyMicroJ, st.EnergyMicroJ),
+			CASAEnergyMicroJ:    casa.EnergyMicroJ,
+			SteinkeEnergyMicroJ: st.EnergyMicroJ,
+		})
+	}
+	return rows, nil
+}
+
+// WriteFig4 renders Figure 4 rows as a text table.
+func WriteFig4(w io.Writer, cfg Fig4Config, rows []Fig4Row) {
+	fmt.Fprintf(w, "Figure 4: CASA vs. Steinke on %s (cache %dB direct-mapped; Steinke = 100%%)\n",
+		cfg.Workload, cfg.Cache.Size)
+	fmt.Fprintf(w, "%8s %12s %14s %12s %10s\n",
+		"SPM(B)", "SPM acc(%)", "I$ access(%)", "I$ miss(%)", "energy(%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %12.1f %14.1f %12.1f %10.1f\n",
+			r.SPMSize, r.SPMAccessPct, r.CacheAccessPct, r.CacheMissPct, r.EnergyPct)
+	}
+}
+
+// Fig5Config reproduces Figure 5's setup: CASA-allocated scratchpad
+// against a Ross-preloaded loop cache of the same size (= 100%).
+type Fig5Config struct {
+	Workload string
+	Cache    CacheSpec
+	Sizes    []int
+}
+
+// DefaultFig5 is the paper's Figure 5 configuration.
+func DefaultFig5() Fig5Config {
+	return Fig5Config{
+		Workload: "mpeg",
+		Cache:    DM(2048),
+		Sizes:    []int{128, 256, 512, 1024},
+	}
+}
+
+// Fig5Row holds one size's parameters as a percentage of the loop-cache
+// configuration (100).
+type Fig5Row struct {
+	Size int
+	// AccessPct compares scratchpad accesses against loop-cache accesses;
+	// CacheMissPct and EnergyPct compare I-cache misses and total energy.
+	AccessPct    float64
+	CacheMissPct float64
+	EnergyPct    float64
+	// Absolute values for the record.
+	CASAEnergyMicroJ float64
+	LCEnergyMicroJ   float64
+}
+
+// Fig5 regenerates Figure 5.
+func Fig5(s *Suite, cfg Fig5Config) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, size := range cfg.Sizes {
+		p, err := s.Pipeline(cfg.Workload, cfg.Cache, size)
+		if err != nil {
+			return nil, err
+		}
+		casa, err := p.RunCASA()
+		if err != nil {
+			return nil, err
+		}
+		lc, err := p.RunLoopCache()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig5Row{
+			Size:             size,
+			AccessPct:        pct(float64(casa.Result.SPMAccesses), float64(lc.Result.LoopCacheAccesses)),
+			CacheMissPct:     pct(float64(casa.Result.CacheMisses), float64(lc.Result.CacheMisses)),
+			EnergyPct:        pct(casa.EnergyMicroJ, lc.EnergyMicroJ),
+			CASAEnergyMicroJ: casa.EnergyMicroJ,
+			LCEnergyMicroJ:   lc.EnergyMicroJ,
+		})
+	}
+	return rows, nil
+}
+
+// WriteFig5 renders Figure 5 rows as a text table.
+func WriteFig5(w io.Writer, cfg Fig5Config, rows []Fig5Row) {
+	fmt.Fprintf(w, "Figure 5: CASA scratchpad vs. preloaded loop cache on %s (cache %dB; loop cache = 100%%)\n",
+		cfg.Workload, cfg.Cache.Size)
+	fmt.Fprintf(w, "%8s %14s %12s %10s\n", "size(B)", "SPM/LC acc(%)", "I$ miss(%)", "energy(%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %14.1f %12.1f %10.1f\n",
+			r.Size, r.AccessPct, r.CacheMissPct, r.EnergyPct)
+	}
+}
+
+// Table1Config reproduces Table 1: per-benchmark cache size and memory
+// (scratchpad / loop cache) size sweep.
+type Table1Config struct {
+	Benchmarks []Table1Benchmark
+}
+
+// Table1Benchmark is one benchmark's sweep.
+type Table1Benchmark struct {
+	Workload string
+	Cache    CacheSpec
+	MemSizes []int
+}
+
+// DefaultTable1 is the paper's Table 1 configuration: I-caches of 128 B,
+// 1 kB and 2 kB for adpcm, g721 and mpeg respectively.
+func DefaultTable1() Table1Config {
+	return Table1Config{Benchmarks: []Table1Benchmark{
+		{Workload: "adpcm", Cache: DM(128), MemSizes: []int{64, 128, 256}},
+		{Workload: "g721", Cache: DM(1024), MemSizes: []int{128, 256, 512, 1024}},
+		{Workload: "mpeg", Cache: DM(2048), MemSizes: []int{128, 256, 512, 1024}},
+	}}
+}
+
+// Table1Row is one (benchmark, size) cell of Table 1.
+type Table1Row struct {
+	Benchmark string
+	MemSize   int
+	// Energies in µJ for the three techniques.
+	CASAMicroJ    float64
+	SteinkeMicroJ float64
+	LCMicroJ      float64
+	// Improvements in percent (positive = CASA better).
+	CASAvsSteinkePct float64
+	CASAvsLCPct      float64
+}
+
+// Table1Average is a per-benchmark average of the improvement columns.
+type Table1Average struct {
+	Benchmark        string
+	CASAvsSteinkePct float64
+	CASAvsLCPct      float64
+}
+
+func improvement(casa, other float64) float64 {
+	if other == 0 {
+		return 0
+	}
+	return 100 * (other - casa) / other
+}
+
+// Table1 regenerates Table 1 and its per-benchmark averages.
+func Table1(s *Suite, cfg Table1Config) ([]Table1Row, []Table1Average, error) {
+	var rows []Table1Row
+	var avgs []Table1Average
+	for _, b := range cfg.Benchmarks {
+		var sumSt, sumLC float64
+		for _, size := range b.MemSizes {
+			p, err := s.Pipeline(b.Workload, b.Cache, size)
+			if err != nil {
+				return nil, nil, err
+			}
+			casa, err := p.RunCASA()
+			if err != nil {
+				return nil, nil, err
+			}
+			st, err := p.RunSteinke()
+			if err != nil {
+				return nil, nil, err
+			}
+			lc, err := p.RunLoopCache()
+			if err != nil {
+				return nil, nil, err
+			}
+			row := Table1Row{
+				Benchmark:        b.Workload,
+				MemSize:          size,
+				CASAMicroJ:       casa.EnergyMicroJ,
+				SteinkeMicroJ:    st.EnergyMicroJ,
+				LCMicroJ:         lc.EnergyMicroJ,
+				CASAvsSteinkePct: improvement(casa.EnergyMicroJ, st.EnergyMicroJ),
+				CASAvsLCPct:      improvement(casa.EnergyMicroJ, lc.EnergyMicroJ),
+			}
+			rows = append(rows, row)
+			sumSt += row.CASAvsSteinkePct
+			sumLC += row.CASAvsLCPct
+		}
+		n := float64(len(b.MemSizes))
+		avgs = append(avgs, Table1Average{
+			Benchmark:        b.Workload,
+			CASAvsSteinkePct: sumSt / n,
+			CASAvsLCPct:      sumLC / n,
+		})
+	}
+	return rows, avgs, nil
+}
+
+// WriteTable1 renders Table 1 rows and averages as a text table.
+func WriteTable1(w io.Writer, rows []Table1Row, avgs []Table1Average) {
+	fmt.Fprintln(w, "Table 1: Overall energy savings")
+	fmt.Fprintf(w, "%-10s %8s %14s %14s %14s %18s %14s\n",
+		"benchmark", "mem(B)", "SP(CASA) µJ", "SP(Steinke) µJ", "LC(Ross) µJ",
+		"CASA vs Steinke %", "CASA vs LC %")
+	byBench := make(map[string][]Table1Row)
+	var order []string
+	for _, r := range rows {
+		if _, seen := byBench[r.Benchmark]; !seen {
+			order = append(order, r.Benchmark)
+		}
+		byBench[r.Benchmark] = append(byBench[r.Benchmark], r)
+	}
+	avgOf := make(map[string]Table1Average, len(avgs))
+	for _, a := range avgs {
+		avgOf[a.Benchmark] = a
+	}
+	for _, name := range order {
+		for _, r := range byBench[name] {
+			fmt.Fprintf(w, "%-10s %8d %14.2f %14.2f %14.2f %18.1f %14.1f\n",
+				r.Benchmark, r.MemSize, r.CASAMicroJ, r.SteinkeMicroJ, r.LCMicroJ,
+				r.CASAvsSteinkePct, r.CASAvsLCPct)
+		}
+		if a, ok := avgOf[name]; ok {
+			fmt.Fprintf(w, "%-10s %8s %14s %14s %14s %18.1f %14.1f\n",
+				"", "avg", "", "", "", a.CASAvsSteinkePct, a.CASAvsLCPct)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+)
+
+// SensitivityRow is one hierarchy variant's outcome: CASA's energy saving
+// against the cache-only baseline and against Steinke's allocator on the
+// same hierarchy.
+type SensitivityRow struct {
+	// Label names the variant (e.g. "2-way lru", "32B lines").
+	Label string
+	// Cache is the variant's cache configuration.
+	Cache CacheSpec
+	// Energies in µJ.
+	BaseMicroJ    float64
+	CASAMicroJ    float64
+	SteinkeMicroJ float64
+	// Savings in percent.
+	CASAvsBasePct    float64
+	CASAvsSteinkePct float64
+}
+
+// SensitivityConfig sweeps CASA across cache organizations. The paper's
+// formulation never assumes a direct-mapped cache — the conflict graph is
+// defined for any replacement policy (§3.3) — so the allocator should keep
+// winning as associativity, policy and line size change. This is the
+// "generic algorithm" claim (§4) made measurable.
+type SensitivityConfig struct {
+	Workload string
+	SPMSize  int
+	Variants []CacheSpec
+	Labels   []string
+}
+
+// DefaultSensitivity sweeps g721 (1 kB cache budget, 256 B scratchpad)
+// across associativities, replacement policies and line sizes.
+func DefaultSensitivity() SensitivityConfig {
+	mk := func(size, line, assoc int, pol cache.Policy) CacheSpec {
+		return CacheSpec{Size: size, Line: line, Assoc: assoc, Policy: pol}
+	}
+	return SensitivityConfig{
+		Workload: "g721",
+		SPMSize:  256,
+		Variants: []CacheSpec{
+			mk(1024, 16, 1, cache.LRU),
+			mk(1024, 16, 2, cache.LRU),
+			mk(1024, 16, 4, cache.LRU),
+			mk(1024, 16, 2, cache.FIFO),
+			mk(1024, 16, 2, cache.Random),
+			mk(1024, 8, 1, cache.LRU),
+			mk(1024, 32, 1, cache.LRU),
+		},
+		Labels: []string{
+			"direct-mapped",
+			"2-way LRU",
+			"4-way LRU",
+			"2-way FIFO",
+			"2-way random",
+			"8B lines",
+			"32B lines",
+		},
+	}
+}
+
+// Sensitivity runs the sweep.
+func Sensitivity(s *Suite, cfg SensitivityConfig) ([]SensitivityRow, error) {
+	if len(cfg.Variants) != len(cfg.Labels) {
+		return nil, fmt.Errorf("experiments: %d variants, %d labels", len(cfg.Variants), len(cfg.Labels))
+	}
+	var rows []SensitivityRow
+	for i, spec := range cfg.Variants {
+		p, err := s.Pipeline(cfg.Workload, spec, cfg.SPMSize)
+		if err != nil {
+			return nil, err
+		}
+		base, err := p.RunCacheOnly()
+		if err != nil {
+			return nil, err
+		}
+		casa, err := p.RunCASA()
+		if err != nil {
+			return nil, err
+		}
+		st, err := p.RunSteinke()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SensitivityRow{
+			Label:            cfg.Labels[i],
+			Cache:            spec,
+			BaseMicroJ:       base.EnergyMicroJ,
+			CASAMicroJ:       casa.EnergyMicroJ,
+			SteinkeMicroJ:    st.EnergyMicroJ,
+			CASAvsBasePct:    improvement(casa.EnergyMicroJ, base.EnergyMicroJ),
+			CASAvsSteinkePct: improvement(casa.EnergyMicroJ, st.EnergyMicroJ),
+		})
+	}
+	return rows, nil
+}
+
+// WriteSensitivity renders the sweep as a text table.
+func WriteSensitivity(w io.Writer, cfg SensitivityConfig, rows []SensitivityRow) {
+	fmt.Fprintf(w, "Hierarchy sensitivity: %s, %dB cache budget, %dB scratchpad\n",
+		cfg.Workload, rows[0].Cache.Size, cfg.SPMSize)
+	fmt.Fprintf(w, "%-16s %12s %12s %14s %12s %14s\n",
+		"variant", "base(µJ)", "CASA(µJ)", "Steinke(µJ)", "vs base(%)", "vs Steinke(%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %12.2f %12.2f %14.2f %12.1f %14.1f\n",
+			r.Label, r.BaseMicroJ, r.CASAMicroJ, r.SteinkeMicroJ,
+			r.CASAvsBasePct, r.CASAvsSteinkePct)
+	}
+}

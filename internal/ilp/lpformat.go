@@ -1,0 +1,583 @@
+package ilp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ReadLP parses a practical subset of the CPLEX LP file format:
+//
+//	\ comments run to end of line
+//	Minimize / Maximize
+//	  obj: 3 x1 + 2 x2
+//	Subject To
+//	  c1: x1 + x2 <= 4
+//	Bounds
+//	  0 <= x1 <= 10
+//	  x2 >= 1
+//	  x3 free
+//	Binary / Binaries
+//	  x1
+//	General / Generals
+//	  x2
+//	End
+//
+// Variables default to [0, +inf) continuous, per the format's convention.
+func ReadLP(r io.Reader) (*Model, error) {
+	toks, err := tokenizeLP(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &lpParser{toks: toks, m: NewModel(), vars: make(map[string]Var)}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.m, nil
+}
+
+// ParseLP parses an LP model from a string.
+func ParseLP(s string) (*Model, error) { return ReadLP(strings.NewReader(s)) }
+
+type lpToken struct {
+	kind lpTokKind
+	text string
+	num  float64
+	line int
+}
+
+type lpTokKind int
+
+const (
+	tokIdent lpTokKind = iota
+	tokNumber
+	tokOp // + - : <= >= = < >
+	tokEOF
+)
+
+func tokenizeLP(r io.Reader) ([]lpToken, error) {
+	br := bufio.NewReader(r)
+	var toks []lpToken
+	line := 1
+	peek := func() (byte, bool) {
+		b, err := br.Peek(1)
+		if err != nil {
+			return 0, false
+		}
+		return b[0], true
+	}
+	for {
+		b, ok := peek()
+		if !ok {
+			break
+		}
+		switch {
+		case b == '\n':
+			br.ReadByte()
+			line++
+		case b == ' ' || b == '\t' || b == '\r':
+			br.ReadByte()
+		case b == '\\':
+			// Comment to end of line.
+			for {
+				c, err := br.ReadByte()
+				if err != nil || c == '\n' {
+					if c == '\n' {
+						line++
+					}
+					break
+				}
+			}
+		case b == '+' || b == '-' || b == ':':
+			br.ReadByte()
+			toks = append(toks, lpToken{kind: tokOp, text: string(b), line: line})
+		case b == '<' || b == '>' || b == '=':
+			br.ReadByte()
+			op := string(b)
+			if n, ok := peek(); ok && n == '=' {
+				br.ReadByte()
+				op += "="
+			}
+			// Normalize < to <= and > to >= (the format treats them the
+			// same).
+			switch op {
+			case "<":
+				op = "<="
+			case ">":
+				op = ">="
+			}
+			toks = append(toks, lpToken{kind: tokOp, text: op, line: line})
+		case b >= '0' && b <= '9' || b == '.':
+			var sb strings.Builder
+			for {
+				c, ok := peek()
+				if !ok {
+					break
+				}
+				if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' {
+					sb.WriteByte(c)
+					br.ReadByte()
+					// Allow exponent signs.
+					if c == 'e' || c == 'E' {
+						if s, ok := peek(); ok && (s == '+' || s == '-') {
+							sb.WriteByte(s)
+							br.ReadByte()
+						}
+					}
+					continue
+				}
+				break
+			}
+			v, err := strconv.ParseFloat(sb.String(), 64)
+			if err != nil {
+				return nil, fmt.Errorf("ilp: lp line %d: bad number %q", line, sb.String())
+			}
+			toks = append(toks, lpToken{kind: tokNumber, num: v, line: line})
+		case isIdentStart(b):
+			var sb strings.Builder
+			for {
+				c, ok := peek()
+				if !ok || !isIdentPart(c) {
+					break
+				}
+				sb.WriteByte(c)
+				br.ReadByte()
+			}
+			toks = append(toks, lpToken{kind: tokIdent, text: sb.String(), line: line})
+		default:
+			return nil, fmt.Errorf("ilp: lp line %d: unexpected byte %q", line, b)
+		}
+	}
+	toks = append(toks, lpToken{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentStart(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b == '_'
+}
+
+func isIdentPart(b byte) bool {
+	return isIdentStart(b) || b >= '0' && b <= '9' || b == '.' || b == '(' || b == ')' || b == '[' || b == ']'
+}
+
+type lpParser struct {
+	toks []lpToken
+	pos  int
+	m    *Model
+	vars map[string]Var
+}
+
+func (p *lpParser) cur() lpToken { return p.toks[p.pos] }
+func (p *lpParser) advance()     { p.pos++ }
+func (p *lpParser) errf(format string, args ...any) error {
+	return fmt.Errorf("ilp: lp line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+// keyword checks (case-insensitive) whether the current tokens spell one of
+// the section keywords and consumes them.
+func (p *lpParser) keyword() string {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return ""
+	}
+	w := strings.ToLower(t.text)
+	switch w {
+	case "minimize", "minimise", "min":
+		p.advance()
+		return "minimize"
+	case "maximize", "maximise", "max":
+		p.advance()
+		return "maximize"
+	case "subject":
+		// "subject to"
+		if n := p.toks[p.pos+1]; n.kind == tokIdent && strings.EqualFold(n.text, "to") {
+			p.pos += 2
+			return "subjectto"
+		}
+		return ""
+	case "st", "s.t.":
+		p.advance()
+		return "subjectto"
+	case "such":
+		if n := p.toks[p.pos+1]; n.kind == tokIdent && strings.EqualFold(n.text, "that") {
+			p.pos += 2
+			return "subjectto"
+		}
+		return ""
+	case "bounds", "bound":
+		p.advance()
+		return "bounds"
+	case "binary", "binaries", "bin":
+		p.advance()
+		return "binary"
+	case "general", "generals", "gen", "integer", "integers":
+		p.advance()
+		return "general"
+	case "end":
+		p.advance()
+		return "end"
+	}
+	return ""
+}
+
+func (p *lpParser) varOf(name string) Var {
+	if v, ok := p.vars[name]; ok {
+		return v
+	}
+	v := p.m.AddVar(name, Continuous, 0, math.Inf(1))
+	p.vars[name] = v
+	return v
+}
+
+func (p *lpParser) parse() error {
+	kw := p.keyword()
+	if kw != "minimize" && kw != "maximize" {
+		return p.errf("expected Minimize or Maximize")
+	}
+	sense := Minimize
+	if kw == "maximize" {
+		sense = Maximize
+	}
+	obj, _, err := p.parseExpr(true)
+	if err != nil {
+		return err
+	}
+	p.m.SetObjective(obj, sense)
+
+	if kw := p.keyword(); kw != "subjectto" {
+		return p.errf("expected Subject To")
+	}
+	// Constraints until a section keyword.
+	for {
+		if p.cur().kind == tokEOF {
+			return nil
+		}
+		save := p.pos
+		kw := p.keyword()
+		if kw != "" {
+			switch kw {
+			case "bounds":
+				if err := p.parseBounds(); err != nil {
+					return err
+				}
+				continue
+			case "binary":
+				if err := p.parseKindList(Binary); err != nil {
+					return err
+				}
+				continue
+			case "general":
+				if err := p.parseKindList(Integer); err != nil {
+					return err
+				}
+				continue
+			case "end":
+				return nil
+			default:
+				p.pos = save
+			}
+		}
+		expr, name, err := p.parseExpr(true)
+		if err != nil {
+			return err
+		}
+		rel, err := p.parseRel()
+		if err != nil {
+			return err
+		}
+		rhsExpr, _, err := p.parseExpr(false)
+		if err != nil {
+			return err
+		}
+		if len(rhsExpr.Terms) != 0 {
+			return p.errf("constraint RHS must be constant")
+		}
+		p.m.AddConstraint(name, expr, rel, rhsExpr.Const)
+	}
+}
+
+func (p *lpParser) parseRel() (Rel, error) {
+	t := p.cur()
+	if t.kind != tokOp {
+		return LE, p.errf("expected relation, got %q", t.text)
+	}
+	p.advance()
+	switch t.text {
+	case "<=":
+		return LE, nil
+	case ">=":
+		return GE, nil
+	case "=":
+		return EQ, nil
+	}
+	return LE, p.errf("unexpected operator %q", t.text)
+}
+
+// parseExpr reads a linear expression, stopping at a relation operator, a
+// section keyword, or EOF. When named is true, a leading "ident :" is
+// consumed as the expression's label.
+func (p *lpParser) parseExpr(named bool) (LinExpr, string, error) {
+	var e LinExpr
+	label := ""
+	if named && p.cur().kind == tokIdent && p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == ":" {
+		if p.isSectionHere() {
+			return e, "", p.errf("unexpected section keyword")
+		}
+		label = p.cur().text
+		p.pos += 2
+	}
+	sign := 1.0
+	expectTerm := true
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokOp && (t.text == "+" || t.text == "-"):
+			if t.text == "-" {
+				sign = -sign
+			}
+			p.advance()
+			expectTerm = true
+		case t.kind == tokNumber:
+			p.advance()
+			coef := sign * t.num
+			// Optional following identifier makes this a term (unless it
+			// is the next constraint's label or a section keyword).
+			if p.cur().kind == tokIdent && !p.isSectionHere() && !p.isLabelHere() {
+				v := p.varOf(p.cur().text)
+				p.advance()
+				e.Terms = append(e.Terms, Term{Var: v, Coef: coef})
+			} else {
+				e.Const += coef
+			}
+			sign = 1
+			expectTerm = false
+		case t.kind == tokIdent:
+			if p.isSectionHere() || p.isLabelHere() {
+				if expectTerm && len(e.Terms) == 0 && e.Const == 0 {
+					return e, label, p.errf("empty expression")
+				}
+				return e, label, nil
+			}
+			p.advance()
+			e.Terms = append(e.Terms, Term{Var: p.varOf(t.text), Coef: sign})
+			sign = 1
+			expectTerm = false
+		default:
+			// Relation operator, EOF, colon — expression ends.
+			return e, label, nil
+		}
+	}
+}
+
+// isSectionHere reports whether the current identifier begins a section
+// keyword, without consuming it.
+func (p *lpParser) isSectionHere() bool {
+	save := p.pos
+	kw := p.keyword()
+	p.pos = save
+	return kw != ""
+}
+
+// isLabelHere reports whether the current identifier is followed by a
+// colon, i.e. begins the next constraint's label.
+func (p *lpParser) isLabelHere() bool {
+	return p.cur().kind == tokIdent &&
+		p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == ":"
+}
+
+func (p *lpParser) parseBounds() error {
+	for {
+		if p.cur().kind == tokEOF || p.isSectionHere() {
+			return nil
+		}
+		// Forms:
+		//   lo <= x <= hi
+		//   x <= hi | x >= lo | x = v
+		//   x free
+		var lead *float64
+		if t := p.cur(); t.kind == tokNumber || (t.kind == tokOp && (t.text == "-" || t.text == "+")) {
+			v, err := p.parseSignedNumber()
+			if err != nil {
+				return err
+			}
+			lead = &v
+			if _, err := p.parseRel(); err != nil {
+				return err
+			}
+		}
+		if p.cur().kind != tokIdent {
+			return p.errf("expected variable in bounds")
+		}
+		v := p.varOf(p.cur().text)
+		p.advance()
+		lo, hi := p.m.Bounds(v)
+		if lead != nil {
+			lo = *lead
+		}
+		// Optional trailing part.
+		if t := p.cur(); t.kind == tokIdent && strings.EqualFold(t.text, "free") {
+			p.advance()
+			lo, hi = math.Inf(-1), math.Inf(1)
+		} else if t.kind == tokOp && (t.text == "<=" || t.text == ">=" || t.text == "=") {
+			rel, err := p.parseRel()
+			if err != nil {
+				return err
+			}
+			val, err := p.parseSignedNumber()
+			if err != nil {
+				return err
+			}
+			switch rel {
+			case LE:
+				hi = val
+			case GE:
+				lo = val
+			case EQ:
+				lo, hi = val, val
+			}
+		}
+		p.m.SetBounds(v, lo, hi)
+	}
+}
+
+func (p *lpParser) parseSignedNumber() (float64, error) {
+	sign := 1.0
+	for p.cur().kind == tokOp && (p.cur().text == "+" || p.cur().text == "-") {
+		if p.cur().text == "-" {
+			sign = -sign
+		}
+		p.advance()
+	}
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, "inf") {
+		p.advance()
+		return sign * math.Inf(1), nil
+	}
+	if t.kind != tokNumber {
+		return 0, p.errf("expected number, got %q", t.text)
+	}
+	p.advance()
+	return sign * t.num, nil
+}
+
+func (p *lpParser) parseKindList(kind VarKind) error {
+	for {
+		if p.cur().kind == tokEOF || p.isSectionHere() {
+			return nil
+		}
+		if p.cur().kind != tokIdent {
+			return p.errf("expected variable name")
+		}
+		v := p.varOf(p.cur().text)
+		p.advance()
+		p.m.kinds[v] = kind
+		if kind == Binary {
+			lo, hi := p.m.Bounds(v)
+			p.m.SetBounds(v, math.Max(lo, 0), math.Min(hi, 1))
+		}
+	}
+}
+
+// WriteLP renders the model in CPLEX LP format. Models written by WriteLP
+// can be read back with ReadLP.
+func WriteLP(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	obj, sense := m.Objective()
+	if sense == Maximize {
+		fmt.Fprintln(bw, "Maximize")
+	} else {
+		fmt.Fprintln(bw, "Minimize")
+	}
+	fmt.Fprintf(bw, " obj: %s\n", exprString(m, obj))
+	fmt.Fprintln(bw, "Subject To")
+	for _, c := range m.cons {
+		fmt.Fprintf(bw, " %s: %s %s %s\n", c.Name, exprString(m, c.Expr), c.Rel, trimFloat(c.RHS))
+	}
+	// Bounds for anything that differs from the default [0, inf).
+	var boundLines []string
+	for i := range m.names {
+		lo, hi := m.lo[i], m.hi[i]
+		if m.kinds[i] == Binary && lo == 0 && hi == 1 {
+			continue
+		}
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			boundLines = append(boundLines, fmt.Sprintf(" %s free", m.names[i]))
+		case lo == 0 && math.IsInf(hi, 1):
+			// default
+		case math.IsInf(hi, 1):
+			boundLines = append(boundLines, fmt.Sprintf(" %s >= %s", m.names[i], trimFloat(lo)))
+		default:
+			boundLines = append(boundLines,
+				fmt.Sprintf(" %s <= %s <= %s", trimFloat(lo), m.names[i], trimFloat(hi)))
+		}
+	}
+	if len(boundLines) > 0 {
+		fmt.Fprintln(bw, "Bounds")
+		for _, l := range boundLines {
+			fmt.Fprintln(bw, l)
+		}
+	}
+	writeKind := func(kind VarKind, header string) {
+		var names []string
+		for i, k := range m.kinds {
+			if k == kind {
+				names = append(names, m.names[i])
+			}
+		}
+		if len(names) == 0 {
+			return
+		}
+		sort.Strings(names)
+		fmt.Fprintln(bw, header)
+		fmt.Fprintf(bw, " %s\n", strings.Join(names, " "))
+	}
+	writeKind(Binary, "Binary")
+	writeKind(Integer, "General")
+	fmt.Fprintln(bw, "End")
+	return bw.Flush()
+}
+
+func exprString(m *Model, e LinExpr) string {
+	var sb strings.Builder
+	first := true
+	emit := func(c float64, name string) {
+		if c == 0 {
+			return
+		}
+		if first {
+			if c < 0 {
+				sb.WriteString("- ")
+			}
+		} else if c < 0 {
+			sb.WriteString(" - ")
+		} else {
+			sb.WriteString(" + ")
+		}
+		a := math.Abs(c)
+		if name == "" {
+			sb.WriteString(trimFloat(a))
+		} else if a == 1 {
+			sb.WriteString(name)
+		} else {
+			sb.WriteString(trimFloat(a) + " " + name)
+		}
+		first = false
+	}
+	for _, t := range e.Terms {
+		emit(t.Coef, m.names[t.Var])
+	}
+	emit(e.Const, "")
+	if first {
+		return "0"
+	}
+	return sb.String()
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,190 @@
+package ilp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseLPKnapsack(t *testing.T) {
+	src := `\ a classic knapsack
+Maximize
+ obj: 60 x1 + 100 x2 + 120 x3
+Subject To
+ cap: 10 x1 + 20 x2 + 30 x3 <= 50
+Binary
+ x1 x2 x3
+End
+`
+	m, err := ParseLP(src)
+	if err != nil {
+		t.Fatalf("ParseLP: %v", err)
+	}
+	if m.NumVars() != 3 || m.NumConstraints() != 1 {
+		t.Fatalf("vars=%d cons=%d", m.NumVars(), m.NumConstraints())
+	}
+	sol, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal || !almostEq(sol.Objective, 220) {
+		t.Fatalf("got %v %g, want optimal 220", sol.Status, sol.Objective)
+	}
+}
+
+func TestParseLPBoundsForms(t *testing.T) {
+	src := `Minimize
+ obj: x + y + z + w
+Subject To
+ c1: x + y + z + w >= 1
+Bounds
+ -2 <= x <= 8
+ y >= 3
+ z <= 5
+ w free
+End
+`
+	m, err := ParseLP(src)
+	if err != nil {
+		t.Fatalf("ParseLP: %v", err)
+	}
+	get := func(name string) (float64, float64) {
+		for i := 0; i < m.NumVars(); i++ {
+			if m.VarName(Var(i)) == name {
+				return m.Bounds(Var(i))
+			}
+		}
+		t.Fatalf("no var %q", name)
+		return 0, 0
+	}
+	if lo, hi := get("x"); lo != -2 || hi != 8 {
+		t.Errorf("x bounds [%g,%g]", lo, hi)
+	}
+	if lo, hi := get("y"); lo != 3 || !math.IsInf(hi, 1) {
+		t.Errorf("y bounds [%g,%g]", lo, hi)
+	}
+	if lo, hi := get("z"); lo != 0 || hi != 5 {
+		t.Errorf("z bounds [%g,%g]", lo, hi)
+	}
+	if lo, hi := get("w"); !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
+		t.Errorf("w bounds [%g,%g]", lo, hi)
+	}
+}
+
+func TestParseLPSignsAndConstants(t *testing.T) {
+	src := `Minimize
+ obj: - 2 x + 3 y - z
+Subject To
+ c1: x - y + 2 z <= 10
+ c2: - x + y >= - 5
+ c3: x + y + z = 4
+End
+`
+	m, err := ParseLP(src)
+	if err != nil {
+		t.Fatalf("ParseLP: %v", err)
+	}
+	cons := m.Constraints()
+	if len(cons) != 3 {
+		t.Fatalf("%d constraints", len(cons))
+	}
+	if cons[1].RHS != -5 {
+		t.Errorf("c2 RHS = %g, want -5", cons[1].RHS)
+	}
+	if cons[2].Rel != EQ {
+		t.Errorf("c3 rel = %v", cons[2].Rel)
+	}
+}
+
+func TestParseLPGenerals(t *testing.T) {
+	src := `Maximize
+ obj: x + y
+Subject To
+ c: 2 x + 3 y <= 12
+Bounds
+ x <= 4
+General
+ x y
+End
+`
+	m, err := ParseLP(src)
+	if err != nil {
+		t.Fatalf("ParseLP: %v", err)
+	}
+	sol, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal || !almostEq(sol.Objective, 5) {
+		t.Fatalf("got %v %g, want 5", sol.Status, sol.Objective)
+	}
+}
+
+func TestParseLPErrors(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"Foo\n obj: x\n",      // no sense
+		"Minimize\n obj: x\n", // no subject-to
+		"Minimize\n obj: x\nSubject To\n c1: x <= y\nEnd\n", // var on RHS
+		"Minimize\n obj: x\nSubject To\n c1: x ? 1\nEnd\n",  // bad operator
+	}
+	for i, src := range cases {
+		if _, err := ParseLP(src); err == nil {
+			t.Errorf("case %d: accepted invalid LP", i)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary("x")
+	y := m.AddVar("y", Integer, 0, 7)
+	z := m.AddContinuous("z", -1, 4)
+	w := m.AddVar("w", Continuous, math.Inf(-1), math.Inf(1))
+	m.AddConstraint("c1", Expr(1, x, 2, y, -0.5, z), LE, 9)
+	m.AddConstraint("c2", Expr(1, z, 1, w), GE, -3)
+	m.AddConstraint("c3", Expr(1, x, 1, y), EQ, 2)
+	m.SetObjective(Expr(3, x, -2, y, 1, z, 0.25, w), Minimize)
+
+	var sb strings.Builder
+	if err := WriteLP(&sb, m); err != nil {
+		t.Fatalf("WriteLP: %v", err)
+	}
+	m2, err := ParseLP(sb.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, sb.String())
+	}
+	if m2.NumVars() != m.NumVars() || m2.NumConstraints() != m.NumConstraints() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			m2.NumVars(), m2.NumConstraints(), m.NumVars(), m.NumConstraints())
+	}
+	// The round-tripped model must solve to the same optimum.
+	s1, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Solve(m2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Status != s2.Status {
+		t.Fatalf("status %v vs %v", s1.Status, s2.Status)
+	}
+	if s1.Status == Optimal && !almostEq(s1.Objective, s2.Objective) {
+		t.Fatalf("objective %g vs %g\n%s", s1.Objective, s2.Objective, sb.String())
+	}
+}
+
+func TestWriteLPRendersZeroObjective(t *testing.T) {
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 1)
+	m.AddConstraint("c", Expr(1, x), LE, 1)
+	m.SetObjective(LinExpr{}, Minimize)
+	var sb strings.Builder
+	if err := WriteLP(&sb, m); err != nil {
+		t.Fatalf("WriteLP: %v", err)
+	}
+	if !strings.Contains(sb.String(), "obj: 0") {
+		t.Errorf("zero objective rendered as %q", sb.String())
+	}
+}

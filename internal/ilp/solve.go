@@ -1,0 +1,263 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Options tunes the solver.
+type Options struct {
+	// MaxNodes caps the number of branch & bound nodes explored
+	// (default 200000). When the cap is hit with an incumbent in hand the
+	// solution is returned with Status == Feasible.
+	MaxNodes int
+	// Tol is the simplex numerical tolerance (default 1e-9).
+	Tol float64
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 200000
+	}
+	if o.Tol <= 0 {
+		o.Tol = defaultTol
+	}
+	if o.IntTol <= 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// Solution is the result of Solve or SolveLP.
+type Solution struct {
+	// Status classifies the outcome.
+	Status Status
+	// Objective is the objective value of X (valid for Optimal/Feasible).
+	Objective float64
+	// X holds the variable values indexed by Var.
+	X []float64
+	// Nodes is the number of branch & bound nodes processed.
+	Nodes int
+	// SimplexIters is the total simplex pivot count across all LP solves.
+	SimplexIters int
+}
+
+// Value returns the solution value of v.
+func (s *Solution) Value(v Var) float64 { return s.X[v] }
+
+// SolveLP solves the continuous relaxation of the model (integrality
+// dropped).
+func SolveLP(m *Model, opt Options) (*Solution, error) {
+	opt = opt.withDefaults()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	out := solveLP(m, m.lo, m.hi, opt.Tol)
+	sol := &Solution{Status: out.status, Objective: out.obj, X: out.x, SimplexIters: out.iters}
+	return sol, nil
+}
+
+// Solve optimizes the model exactly with branch & bound over its integer
+// and binary variables, using LP-relaxation bounds. For a model without
+// integer variables it is equivalent to SolveLP.
+func Solve(m *Model, opt Options) (*Solution, error) {
+	opt = opt.withDefaults()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	intVars := m.integerVars()
+
+	// Sign convention: compare everything in minimization space.
+	sign := 1.0
+	if m.sense == Maximize {
+		sign = -1
+	}
+
+	type node struct {
+		lo, hi []float64
+	}
+	root := node{lo: append([]float64(nil), m.lo...), hi: append([]float64(nil), m.hi...)}
+	stack := []node{root}
+
+	var (
+		incumbent    []float64
+		incumbentVal = math.Inf(1) // in minimization space
+		nodes        int
+		iters        int
+		sawFeasibleL bool // any LP-feasible node seen (for status reporting)
+		hitLimit     bool
+	)
+
+	for len(stack) > 0 {
+		if nodes >= opt.MaxNodes {
+			hitLimit = true
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		out := solveLP(m, nd.lo, nd.hi, opt.Tol)
+		iters += out.iters
+		switch out.status {
+		case Infeasible, Aborted:
+			continue
+		case Unbounded:
+			// The relaxation is unbounded. With integer variables this
+			// still certifies an unbounded or pathological model; report
+			// it rather than guessing.
+			return &Solution{Status: Unbounded, Nodes: nodes, SimplexIters: iters}, nil
+		}
+		sawFeasibleL = true
+		bound := sign * out.obj
+		if bound >= incumbentVal-1e-9 {
+			continue // cannot improve on the incumbent
+		}
+
+		// Find the branch variable: among fractional integer variables,
+		// take the highest branch-priority class, most fractional within
+		// it. Priorities let formulations steer branching toward genuine
+		// decision variables (CASA: the l's) instead of derived ones
+		// (the linearization L's, which the l's imply).
+		branchVar := -1
+		worst := opt.IntTol
+		bestPrio := math.MinInt
+		for _, j := range intVars {
+			v := out.x[j]
+			frac := math.Abs(v - math.Round(v))
+			if frac <= opt.IntTol {
+				continue
+			}
+			p := m.prio[j]
+			if p > bestPrio || (p == bestPrio && frac > worst) {
+				bestPrio = p
+				worst = frac
+				branchVar = j
+			}
+		}
+		if branchVar < 0 {
+			// Integral: new incumbent. Snap integer values exactly.
+			x := append([]float64(nil), out.x...)
+			for _, j := range intVars {
+				x[j] = math.Round(x[j])
+			}
+			val := sign * Eval(m.obj, x)
+			if val < incumbentVal {
+				incumbentVal = val
+				incumbent = x
+			}
+			continue
+		}
+
+		v := out.x[branchVar]
+		floorNode := node{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
+		floorNode.hi[branchVar] = math.Floor(v)
+		ceilNode := node{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
+		ceilNode.lo[branchVar] = math.Ceil(v)
+		// Explore the side nearer the fractional value first (push last).
+		if v-math.Floor(v) >= 0.5 {
+			stack = append(stack, floorNode, ceilNode)
+		} else {
+			stack = append(stack, ceilNode, floorNode)
+		}
+	}
+
+	sol := &Solution{Nodes: nodes, SimplexIters: iters}
+	switch {
+	case incumbent != nil && !hitLimit:
+		sol.Status = Optimal
+	case incumbent != nil:
+		sol.Status = Feasible
+	case hitLimit:
+		sol.Status = Aborted
+	case !sawFeasibleL:
+		sol.Status = Infeasible
+	default:
+		// LP-feasible nodes existed but none produced an integral point
+		// and the tree is exhausted: integer-infeasible.
+		sol.Status = Infeasible
+	}
+	if incumbent != nil {
+		sol.X = incumbent
+		sol.Objective = Eval(m.obj, incumbent)
+	}
+	return sol, nil
+}
+
+// SolveBruteForce exhaustively enumerates all assignments of the model's
+// binary variables (continuous variables are not supported) and returns
+// the best feasible assignment. It exists to validate the branch & bound
+// solver in tests and panics beyond 24 binaries.
+func SolveBruteForce(m *Model) (*Solution, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	var bins []int
+	for i, k := range m.kinds {
+		switch k {
+		case Binary:
+			bins = append(bins, i)
+		case Integer, Continuous:
+			if m.lo[i] == m.hi[i] {
+				continue // fixed is fine
+			}
+			if k == Integer && m.lo[i] >= 0 && m.hi[i] <= 1 {
+				bins = append(bins, i)
+				continue
+			}
+			return nil, fmt.Errorf("ilp: brute force supports binary variables only; %s is %s",
+				m.names[i], k)
+		}
+	}
+	if len(bins) > 24 {
+		panic("ilp.SolveBruteForce: too many binaries")
+	}
+	sign := 1.0
+	if m.sense == Maximize {
+		sign = -1
+	}
+	x := make([]float64, m.NumVars())
+	for i := range x {
+		x[i] = m.lo[i]
+	}
+	best := math.Inf(1)
+	var bestX []float64
+	for mask := 0; mask < 1<<len(bins); mask++ {
+		for bi, j := range bins {
+			if mask&(1<<bi) != 0 {
+				x[j] = 1
+			} else {
+				x[j] = 0
+			}
+		}
+		ok := true
+		for _, c := range m.cons {
+			v := Eval(c.Expr, x)
+			switch c.Rel {
+			case LE:
+				ok = v <= c.RHS+feasTol
+			case GE:
+				ok = v >= c.RHS-feasTol
+			case EQ:
+				ok = math.Abs(v-c.RHS) <= feasTol
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		val := sign * Eval(m.obj, x)
+		if val < best {
+			best = val
+			bestX = append([]float64(nil), x...)
+		}
+	}
+	if bestX == nil {
+		return &Solution{Status: Infeasible}, nil
+	}
+	return &Solution{Status: Optimal, Objective: Eval(m.obj, bestX), X: bestX}, nil
+}

@@ -1,0 +1,157 @@
+package ir
+
+import "fmt"
+
+// Behavior decides the outcome of a conditional branch each time it
+// executes. Behaviors are immutable descriptors attached to blocks; the
+// simulator instantiates a fresh BehaviorState per run so that repeated
+// simulations of the same program are independent and deterministic.
+type Behavior interface {
+	// NewState returns a fresh per-run decision state.
+	NewState() BehaviorState
+	// String describes the behavior for listings.
+	String() string
+}
+
+// BehaviorState produces a sequence of branch decisions.
+type BehaviorState interface {
+	// Next reports whether the branch is taken on this execution.
+	Next() bool
+}
+
+// Loop is the behavior of a loop back-edge branch: out of every Trips
+// consecutive executions, the branch is taken the first Trips-1 times and
+// not taken on the last, modelling a counted do-while loop that runs Trips
+// iterations per entry. Trips must be >= 1; Trips == 1 never takes the
+// branch (the loop body runs once per entry).
+type Loop struct {
+	Trips int
+}
+
+// NewState implements Behavior.
+func (l Loop) NewState() BehaviorState {
+	if l.Trips < 1 {
+		panic(fmt.Sprintf("ir.Loop: Trips must be >= 1, got %d", l.Trips))
+	}
+	return &loopState{trips: l.Trips}
+}
+
+// String implements Behavior.
+func (l Loop) String() string { return fmt.Sprintf("loop(%d)", l.Trips) }
+
+type loopState struct {
+	trips int
+	n     int
+}
+
+func (s *loopState) Next() bool {
+	s.n++
+	if s.n >= s.trips {
+		s.n = 0
+		return false
+	}
+	return true
+}
+
+// Pattern cycles through a fixed sequence of decisions. It models branches
+// with periodic data-dependent outcomes (e.g. even/odd field handling in a
+// video decoder). An empty pattern is never taken.
+type Pattern struct {
+	Seq []bool
+}
+
+// NewState implements Behavior.
+func (p Pattern) NewState() BehaviorState {
+	return &patternState{seq: p.Seq}
+}
+
+// String implements Behavior.
+func (p Pattern) String() string {
+	out := make([]byte, len(p.Seq))
+	for i, t := range p.Seq {
+		if t {
+			out[i] = 'T'
+		} else {
+			out[i] = 'N'
+		}
+	}
+	return fmt.Sprintf("pattern(%s)", out)
+}
+
+type patternState struct {
+	seq []bool
+	i   int
+}
+
+func (s *patternState) Next() bool {
+	if len(s.seq) == 0 {
+		return false
+	}
+	t := s.seq[s.i]
+	s.i++
+	if s.i == len(s.seq) {
+		s.i = 0
+	}
+	return t
+}
+
+// Biased takes the branch with probability P, decided by a deterministic
+// splitmix64 stream seeded with Seed. Two runs of the same program observe
+// identical decision sequences.
+type Biased struct {
+	P    float64
+	Seed uint64
+}
+
+// NewState implements Behavior.
+func (b Biased) NewState() BehaviorState {
+	return &biasedState{p: b.P, s: b.Seed}
+}
+
+// String implements Behavior.
+func (b Biased) String() string { return fmt.Sprintf("biased(%.3f,seed=%d)", b.P, b.Seed) }
+
+type biasedState struct {
+	p float64
+	s uint64
+}
+
+// splitmix64 is the standard SplitMix64 generator step.
+func splitmix64(s uint64) (uint64, uint64) {
+	s += 0x9e3779b97f4a7c15
+	z := s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return s, z
+}
+
+func (s *biasedState) Next() bool {
+	var z uint64
+	s.s, z = splitmix64(s.s)
+	// 53-bit mantissa conversion to [0,1).
+	u := float64(z>>11) / (1 << 53)
+	return u < s.p
+}
+
+// Never is a branch that is never taken.
+type Never struct{}
+
+// NewState implements Behavior.
+func (Never) NewState() BehaviorState { return constState(false) }
+
+// String implements Behavior.
+func (Never) String() string { return "never" }
+
+// Always is a branch that is always taken.
+type Always struct{}
+
+// NewState implements Behavior.
+func (Always) NewState() BehaviorState { return constState(true) }
+
+// String implements Behavior.
+func (Always) String() string { return "always" }
+
+type constState bool
+
+func (c constState) Next() bool { return bool(c) }

@@ -1,0 +1,340 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// ProgramBuilder constructs Programs with symbolic (label-based) control
+// flow, resolving references at Build time. It exists so that workload
+// definitions and tests read like structured assembly instead of index
+// arithmetic.
+type ProgramBuilder struct {
+	name       string
+	funcs      []*FuncBuilder
+	byName     map[string]*FuncBuilder
+	entry      string
+	data       []DataObject
+	dataByName map[string]DataID
+	err        error
+}
+
+// NewProgramBuilder returns an empty builder for a program with the given
+// name.
+func NewProgramBuilder(name string) *ProgramBuilder {
+	return &ProgramBuilder{name: name, byName: make(map[string]*FuncBuilder)}
+}
+
+func (pb *ProgramBuilder) setErr(err error) {
+	if pb.err == nil {
+		pb.err = err
+	}
+}
+
+// Func creates (or returns the existing) function with the given name. The
+// first function created becomes the default program entry.
+func (pb *ProgramBuilder) Func(name string) *FuncBuilder {
+	if fb, ok := pb.byName[name]; ok {
+		return fb
+	}
+	fb := &FuncBuilder{pb: pb, name: name, byLabel: make(map[string]*BlockBuilder)}
+	pb.funcs = append(pb.funcs, fb)
+	pb.byName[name] = fb
+	if pb.entry == "" {
+		pb.entry = name
+	}
+	return fb
+}
+
+// SetEntry designates the program entry function by name.
+func (pb *ProgramBuilder) SetEntry(name string) *ProgramBuilder {
+	pb.entry = name
+	return pb
+}
+
+// Build resolves all symbolic references, validates the program and returns
+// it. Any error recorded during construction is returned here.
+func (pb *ProgramBuilder) Build() (*Program, error) {
+	if pb.err != nil {
+		return nil, pb.err
+	}
+	p := &Program{Name: pb.name, Data: append([]DataObject(nil), pb.data...)}
+	for i, fb := range pb.funcs {
+		f := &Function{ID: FuncID(i), Name: fb.name}
+		p.Funcs = append(p.Funcs, f)
+	}
+	entryFB, ok := pb.byName[pb.entry]
+	if !ok {
+		return nil, fmt.Errorf("ir: build %q: entry function %q not defined", pb.name, pb.entry)
+	}
+	p.Entry = FuncID(indexOfFunc(pb.funcs, entryFB))
+	for i, fb := range pb.funcs {
+		if err := fb.build(p, p.Funcs[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build, panicking on error. Intended for statically-defined
+// workloads whose construction cannot fail at runtime.
+func (pb *ProgramBuilder) MustBuild() *Program {
+	p, err := pb.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func indexOfFunc(fs []*FuncBuilder, fb *FuncBuilder) int {
+	for i, f := range fs {
+		if f == fb {
+			return i
+		}
+	}
+	return -1
+}
+
+// FuncBuilder accumulates the blocks of one function.
+type FuncBuilder struct {
+	pb      *ProgramBuilder
+	name    string
+	blocks  []*BlockBuilder
+	byLabel map[string]*BlockBuilder
+}
+
+// Name returns the function's name.
+func (fb *FuncBuilder) Name() string { return fb.name }
+
+// Block creates a new block with the given label and appends it to the
+// function body. Labels must be unique within the function. A block with no
+// explicit terminator falls through to the next block created after it.
+func (fb *FuncBuilder) Block(label string) *BlockBuilder {
+	if _, dup := fb.byLabel[label]; dup {
+		fb.pb.setErr(fmt.Errorf("ir: build: duplicate label %q in function %q", label, fb.name))
+	}
+	bb := &BlockBuilder{fb: fb, label: label, callTarget: "", id: BlockID(len(fb.blocks))}
+	fb.blocks = append(fb.blocks, bb)
+	fb.byLabel[label] = bb
+	return bb
+}
+
+func (fb *FuncBuilder) build(p *Program, f *Function) error {
+	if len(fb.blocks) == 0 {
+		return fmt.Errorf("ir: build: function %q has no blocks", fb.name)
+	}
+	f.Entry = 0
+	resolve := func(label string, bb *BlockBuilder) (BlockID, error) {
+		t, ok := fb.byLabel[label]
+		if !ok {
+			return NoBlock, fmt.Errorf("ir: build: function %q block %q: undefined label %q",
+				fb.name, bb.label, label)
+		}
+		return t.id, nil
+	}
+	for i, bb := range fb.blocks {
+		b := &Block{
+			ID:          bb.id,
+			Label:       bb.label,
+			Instrs:      append([]Instr(nil), bb.instrs...),
+			Taken:       NoBlock,
+			FallThrough: NoBlock,
+			CallTarget:  NoFunc,
+			Behavior:    bb.behavior,
+		}
+		switch bb.term {
+		case termNone:
+			// Implicit fall-through to the next block.
+			if i+1 >= len(fb.blocks) {
+				return fmt.Errorf("ir: build: function %q block %q falls off the end",
+					fb.name, bb.label)
+			}
+			b.FallThrough = fb.blocks[i+1].id
+		case termGoto:
+			id, err := resolve(bb.fallLabel, bb)
+			if err != nil {
+				return err
+			}
+			b.FallThrough = id
+		case termBranch:
+			var err error
+			if b.Taken, err = resolve(bb.takenLabel, bb); err != nil {
+				return err
+			}
+			if b.FallThrough, err = resolve(bb.fallLabel, bb); err != nil {
+				return err
+			}
+			b.Instrs = append(b.Instrs, Instr{Op: OpBranch})
+		case termJump:
+			id, err := resolve(bb.takenLabel, bb)
+			if err != nil {
+				return err
+			}
+			b.Taken = id
+			b.Instrs = append(b.Instrs, Instr{Op: OpJump})
+		case termCall:
+			callee, ok := fb.pb.byName[bb.callTarget]
+			if !ok {
+				return fmt.Errorf("ir: build: function %q block %q: undefined callee %q",
+					fb.name, bb.label, bb.callTarget)
+			}
+			b.CallTarget = FuncID(indexOfFunc(fb.pb.funcs, callee))
+			var err error
+			if bb.fallLabel != "" {
+				if b.FallThrough, err = resolve(bb.fallLabel, bb); err != nil {
+					return err
+				}
+			} else {
+				if i+1 >= len(fb.blocks) {
+					return fmt.Errorf("ir: build: function %q block %q: call at end of function needs an explicit resume label",
+						fb.name, bb.label)
+				}
+				b.FallThrough = fb.blocks[i+1].id
+			}
+			b.Instrs = append(b.Instrs, Instr{Op: OpCall})
+		case termReturn:
+			b.Instrs = append(b.Instrs, Instr{Op: OpReturn})
+		}
+		for _, dr := range bb.dataRefs {
+			id, ok := fb.pb.dataByName[dr.obj]
+			if !ok {
+				return fmt.Errorf("ir: build: function %q block %q: unknown data object %q",
+					fb.name, bb.label, dr.obj)
+			}
+			b.DataRefs = append(b.DataRefs, DataRef{Obj: id, Loads: dr.loads, Stores: dr.stores})
+		}
+		f.Blocks = append(f.Blocks, b)
+	}
+	return nil
+}
+
+type termKind uint8
+
+const (
+	termNone termKind = iota
+	termGoto
+	termBranch
+	termJump
+	termCall
+	termReturn
+)
+
+// BlockBuilder accumulates the instructions and terminator of one block.
+type BlockBuilder struct {
+	fb         *FuncBuilder
+	id         BlockID
+	label      string
+	instrs     []Instr
+	term       termKind
+	takenLabel string
+	fallLabel  string
+	callTarget string
+	behavior   Behavior
+	dataRefs   []pendingDataRef
+}
+
+// pendingDataRef is a data annotation awaiting name resolution at Build.
+type pendingDataRef struct {
+	obj           string
+	loads, stores int
+}
+
+// Label returns the block's label.
+func (bb *BlockBuilder) Label() string { return bb.label }
+
+func (bb *BlockBuilder) setTerm(k termKind) {
+	if bb.term != termNone {
+		bb.fb.pb.setErr(fmt.Errorf("ir: build: function %q block %q: terminator set twice",
+			bb.fb.name, bb.label))
+	}
+	bb.term = k
+}
+
+// Op appends n instructions of the given non-control opcode.
+func (bb *BlockBuilder) Op(op Opcode, n int) *BlockBuilder {
+	if op.IsControl() {
+		bb.fb.pb.setErr(fmt.Errorf("ir: build: function %q block %q: use terminator methods for %s",
+			bb.fb.name, bb.label, op))
+		return bb
+	}
+	for i := 0; i < n; i++ {
+		bb.instrs = append(bb.instrs, Instr{Op: op})
+	}
+	return bb
+}
+
+// ALU appends n data-processing instructions.
+func (bb *BlockBuilder) ALU(n int) *BlockBuilder { return bb.Op(OpALU, n) }
+
+// Mul appends n multiply instructions.
+func (bb *BlockBuilder) Mul(n int) *BlockBuilder { return bb.Op(OpMul, n) }
+
+// Load appends n load instructions.
+func (bb *BlockBuilder) Load(n int) *BlockBuilder { return bb.Op(OpLoad, n) }
+
+// Store appends n store instructions.
+func (bb *BlockBuilder) Store(n int) *BlockBuilder { return bb.Op(OpStore, n) }
+
+// Code appends n instructions with a fixed, deterministic mix resembling
+// compiled codec code: roughly 55% ALU, 15% mul, 20% load, 10% store.
+func (bb *BlockBuilder) Code(n int) *BlockBuilder {
+	const period = 20
+	mix := [period]Opcode{
+		OpALU, OpLoad, OpALU, OpMul, OpALU, OpStore, OpALU, OpLoad, OpALU, OpALU,
+		OpMul, OpALU, OpLoad, OpALU, OpStore, OpALU, OpMul, OpALU, OpLoad, OpALU,
+	}
+	for i := 0; i < n; i++ {
+		bb.instrs = append(bb.instrs, Instr{Op: mix[(len(bb.instrs))%period]})
+	}
+	return bb
+}
+
+// Branch terminates the block with a conditional branch to taken, falling
+// through to fall, with outcomes decided by beh.
+func (bb *BlockBuilder) Branch(taken, fall string, beh Behavior) *BlockBuilder {
+	bb.setTerm(termBranch)
+	bb.takenLabel, bb.fallLabel, bb.behavior = taken, fall, beh
+	return bb
+}
+
+// Jump terminates the block with an unconditional branch to target.
+func (bb *BlockBuilder) Jump(target string) *BlockBuilder {
+	bb.setTerm(termJump)
+	bb.takenLabel = target
+	return bb
+}
+
+// Call terminates the block with a call to callee; execution resumes at the
+// next block created after this one.
+func (bb *BlockBuilder) Call(callee string) *BlockBuilder {
+	bb.setTerm(termCall)
+	bb.callTarget = callee
+	return bb
+}
+
+// CallResume terminates the block with a call to callee, resuming at the
+// block labelled resume.
+func (bb *BlockBuilder) CallResume(callee, resume string) *BlockBuilder {
+	bb.setTerm(termCall)
+	bb.callTarget = callee
+	bb.fallLabel = resume
+	return bb
+}
+
+// Return terminates the block with a return.
+func (bb *BlockBuilder) Return() *BlockBuilder {
+	bb.setTerm(termReturn)
+	return bb
+}
+
+// Goto marks the block as falling through to the block labelled next
+// without emitting a jump instruction. It models textual adjacency when the
+// next block is created out of order; the layout stage inserts a real jump
+// if the two end up non-adjacent.
+func (bb *BlockBuilder) Goto(next string) *BlockBuilder {
+	bb.setTerm(termGoto)
+	bb.fallLabel = next
+	return bb
+}

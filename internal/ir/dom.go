@@ -1,0 +1,139 @@
+package ir
+
+// DomTree holds the immediate-dominator relation of one function's CFG.
+// Unreachable blocks (which Validate rejects) would have Idom == NoBlock.
+type DomTree struct {
+	fn *Function
+	// idom[b] is the immediate dominator of block b; the entry block is its
+	// own immediate dominator by convention.
+	idom []BlockID
+	// rpo[i] is the i-th block in reverse post-order; rpoIndex inverts it.
+	rpo      []BlockID
+	rpoIndex []int
+}
+
+// Dominators computes the dominator tree of f using the Cooper-Harvey-
+// Kennedy iterative algorithm over reverse post-order. The function must be
+// valid (see Validate); all blocks are assumed reachable.
+func Dominators(f *Function) *DomTree {
+	n := len(f.Blocks)
+	t := &DomTree{
+		fn:       f,
+		idom:     make([]BlockID, n),
+		rpo:      postOrder(f),
+		rpoIndex: make([]int, n),
+	}
+	// postOrder returns post-order; reverse in place for RPO.
+	for i, j := 0, len(t.rpo)-1; i < j; i, j = i+1, j-1 {
+		t.rpo[i], t.rpo[j] = t.rpo[j], t.rpo[i]
+	}
+	for i := range t.idom {
+		t.idom[i] = NoBlock
+	}
+	for i, b := range t.rpo {
+		t.rpoIndex[b] = i
+	}
+	preds := Predecessors(f)
+	t.idom[f.Entry] = f.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range t.rpo {
+			if b == f.Entry {
+				continue
+			}
+			newIdom := NoBlock
+			for _, p := range preds[b] {
+				if t.idom[p] == NoBlock {
+					continue // predecessor not yet processed
+				}
+				if newIdom == NoBlock {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != NoBlock && t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// intersect walks the two candidate dominators up the (partial) dominator
+// tree to their common ancestor, comparing positions in reverse post-order.
+func (t *DomTree) intersect(a, b BlockID) BlockID {
+	for a != b {
+		for t.rpoIndex[a] > t.rpoIndex[b] {
+			a = t.idom[a]
+		}
+		for t.rpoIndex[b] > t.rpoIndex[a] {
+			b = t.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b. The entry block returns
+// itself.
+func (t *DomTree) Idom(b BlockID) BlockID { return t.idom[b] }
+
+// Dominates reports whether block a dominates block b (reflexively).
+func (t *DomTree) Dominates(a, b BlockID) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == t.fn.Entry {
+			return false
+		}
+		b = t.idom[b]
+	}
+}
+
+// postOrder returns the blocks of f in a DFS post-order starting at the
+// entry. Successor order follows Block.Succs, making the result
+// deterministic.
+func postOrder(f *Function) []BlockID {
+	n := len(f.Blocks)
+	order := make([]BlockID, 0, n)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		b     BlockID
+		succs []BlockID
+		next  int
+	}
+	stack := []frame{{b: f.Entry, succs: f.Blocks[f.Entry].Succs(nil)}}
+	state[f.Entry] = 1
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.next < len(fr.succs) {
+			s := fr.succs[fr.next]
+			fr.next++
+			if state[s] == 0 {
+				state[s] = 1
+				stack = append(stack, frame{b: s, succs: f.Blocks[s].Succs(nil)})
+			}
+			continue
+		}
+		state[fr.b] = 2
+		order = append(order, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// Predecessors returns, for every block of f, the list of its
+// intra-procedural CFG predecessors in ascending block order.
+func Predecessors(f *Function) [][]BlockID {
+	preds := make([][]BlockID, len(f.Blocks))
+	var succs []BlockID
+	for _, b := range f.Blocks {
+		succs = b.Succs(succs[:0])
+		for _, s := range succs {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+	return preds
+}

@@ -1,0 +1,316 @@
+// Package ir defines the program intermediate representation used throughout
+// the CASA reproduction: ARM7-like fixed-width instructions grouped into
+// basic blocks, basic blocks grouped into functions, and functions grouped
+// into a whole program with an explicit control-flow graph.
+//
+// The representation is deliberately minimal: the scratchpad-allocation
+// problem studied by Verma, Wehmeyer and Marwedel (DATE 2004) is fully
+// characterized by code sizes, fetch counts and cache conflicts, none of
+// which depend on operand-level semantics. Instructions therefore carry an
+// opcode, a fixed size and (for control transfers) a target, which is enough
+// to drive an instruction-fetch-accurate simulation.
+package ir
+
+import "fmt"
+
+// InstrSize is the size in bytes of every instruction. The target machine is
+// an ARM7T executing in ARM state, where all instructions are 32 bits wide.
+const InstrSize = 4
+
+// Opcode identifies the class of an instruction. Only control-flow classes
+// affect simulation; the remaining classes exist so that generated programs
+// have a realistic instruction mix and so that tools can render readable
+// listings.
+type Opcode uint8
+
+const (
+	// OpALU is a register-to-register data-processing instruction.
+	OpALU Opcode = iota
+	// OpMul is a multiply (modelled separately because embedded codecs are
+	// multiply-heavy and listings are more readable with the distinction).
+	OpMul
+	// OpLoad is a load from data memory.
+	OpLoad
+	// OpStore is a store to data memory.
+	OpStore
+	// OpNOP is a no-operation; used for alignment padding in traces.
+	OpNOP
+	// OpBranch is a conditional PC-relative branch. It must be the last
+	// instruction of its block, with both Taken and FallThrough successors.
+	OpBranch
+	// OpJump is an unconditional PC-relative branch. It must be the last
+	// instruction of its block, with only a Taken successor.
+	OpJump
+	// OpCall is a branch-and-link to another function. It must be the last
+	// instruction of its block; after the callee returns, execution resumes
+	// at the FallThrough successor.
+	OpCall
+	// OpReturn transfers control back to the caller (or terminates the
+	// program when the call stack is empty). It must be the last
+	// instruction of its block and has no successors.
+	OpReturn
+)
+
+var opcodeNames = [...]string{
+	OpALU:    "alu",
+	OpMul:    "mul",
+	OpLoad:   "ldr",
+	OpStore:  "str",
+	OpNOP:    "nop",
+	OpBranch: "b.cond",
+	OpJump:   "b",
+	OpCall:   "bl",
+	OpReturn: "ret",
+}
+
+// String returns the assembler-style mnemonic of the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsControl reports whether the opcode transfers control.
+func (op Opcode) IsControl() bool {
+	switch op {
+	case OpBranch, OpJump, OpCall, OpReturn:
+		return true
+	}
+	return false
+}
+
+// BlockID names a basic block within its function. IDs are dense indices
+// into Function.Blocks.
+type BlockID int
+
+// FuncID names a function within its program. IDs are dense indices into
+// Program.Funcs.
+type FuncID int
+
+// NoBlock and NoFunc are sentinel values for absent successors/targets.
+const (
+	NoBlock BlockID = -1
+	NoFunc  FuncID  = -1
+)
+
+// Instr is a single machine instruction. Control-flow targets are symbolic
+// (block and function IDs); concrete addresses are assigned later by the
+// layout package.
+type Instr struct {
+	Op Opcode
+}
+
+// Terminator describes how control leaves a basic block. It is derived from
+// the block's last instruction and successor fields.
+type Terminator uint8
+
+const (
+	// TermFallThrough means the block ends without a control instruction
+	// and execution continues at the FallThrough successor.
+	TermFallThrough Terminator = iota
+	// TermBranch means the block ends in a conditional branch with both a
+	// Taken and a FallThrough successor.
+	TermBranch
+	// TermJump means the block ends in an unconditional branch to Taken.
+	TermJump
+	// TermCall means the block ends in a call to CallTarget; on return,
+	// execution continues at FallThrough.
+	TermCall
+	// TermReturn means the block ends in a return.
+	TermReturn
+)
+
+var termNames = [...]string{
+	TermFallThrough: "fallthrough",
+	TermBranch:      "branch",
+	TermJump:        "jump",
+	TermCall:        "call",
+	TermReturn:      "return",
+}
+
+// String returns a human-readable name for the terminator kind.
+func (t Terminator) String() string {
+	if int(t) < len(termNames) {
+		return termNames[t]
+	}
+	return fmt.Sprintf("terminator(%d)", uint8(t))
+}
+
+// Block is a basic block: a straight-line run of instructions with a single
+// entry (the first instruction) and a single exit (the terminator).
+type Block struct {
+	// ID is the block's index within Function.Blocks.
+	ID BlockID
+	// Label is an optional human-readable name used in listings.
+	Label string
+	// Instrs are the block's instructions. A control instruction, if any,
+	// must be last, and at most one may appear.
+	Instrs []Instr
+	// Taken is the target of the final (conditional or unconditional)
+	// branch, or NoBlock.
+	Taken BlockID
+	// FallThrough is the textual successor executed when a conditional
+	// branch is not taken, when the block has no control instruction, or
+	// after a call returns. NoBlock for jump/return blocks.
+	FallThrough BlockID
+	// CallTarget is the callee of a TermCall block, or NoFunc.
+	CallTarget FuncID
+	// Behavior decides conditional-branch outcomes during simulation. It
+	// must be non-nil exactly when the block ends in OpBranch.
+	Behavior Behavior
+	// DataRefs annotates the block's per-execution data-object accesses.
+	DataRefs []DataRef
+}
+
+// Term returns the block's terminator kind, derived from its last
+// instruction. An empty block falls through.
+func (b *Block) Term() Terminator {
+	if len(b.Instrs) == 0 {
+		return TermFallThrough
+	}
+	switch b.Instrs[len(b.Instrs)-1].Op {
+	case OpBranch:
+		return TermBranch
+	case OpJump:
+		return TermJump
+	case OpCall:
+		return TermCall
+	case OpReturn:
+		return TermReturn
+	}
+	return TermFallThrough
+}
+
+// Size returns the block's code size in bytes.
+func (b *Block) Size() int {
+	return len(b.Instrs) * InstrSize
+}
+
+// Succs appends the intra-procedural CFG successors of b to dst and returns
+// the extended slice. Call targets are inter-procedural and are not
+// included; the call's fall-through (return continuation) is.
+func (b *Block) Succs(dst []BlockID) []BlockID {
+	switch b.Term() {
+	case TermFallThrough, TermCall:
+		if b.FallThrough != NoBlock {
+			dst = append(dst, b.FallThrough)
+		}
+	case TermBranch:
+		if b.Taken != NoBlock {
+			dst = append(dst, b.Taken)
+		}
+		if b.FallThrough != NoBlock && b.FallThrough != b.Taken {
+			dst = append(dst, b.FallThrough)
+		}
+	case TermJump:
+		if b.Taken != NoBlock {
+			dst = append(dst, b.Taken)
+		}
+	case TermReturn:
+		// no successors
+	}
+	return dst
+}
+
+// Function is a single procedure: an entry block plus a body of basic
+// blocks connected by intra-procedural edges.
+type Function struct {
+	// ID is the function's index within Program.Funcs.
+	ID FuncID
+	// Name is the function's symbolic name.
+	Name string
+	// Blocks holds the function body in textual (layout) order: block i's
+	// fall-through successor, when present, is typically block i+1,
+	// although the IR does not require it.
+	Blocks []*Block
+	// Entry is the ID of the entry block.
+	Entry BlockID
+}
+
+// Size returns the function's total code size in bytes.
+func (f *Function) Size() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += b.Size()
+	}
+	return n
+}
+
+// Block returns the block with the given ID, or nil if out of range.
+func (f *Function) Block(id BlockID) *Block {
+	if id < 0 || int(id) >= len(f.Blocks) {
+		return nil
+	}
+	return f.Blocks[id]
+}
+
+// Program is a whole application: a set of functions and a designated entry
+// point.
+type Program struct {
+	// Name identifies the program (e.g. "mpeg").
+	Name string
+	// Funcs holds all functions; Funcs[i].ID == i.
+	Funcs []*Function
+	// Entry is the ID of the function where execution starts.
+	Entry FuncID
+	// Data lists the program's data objects; Data[i].ID == i.
+	Data []DataObject
+}
+
+// Size returns the program's total code size in bytes.
+func (p *Program) Size() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += f.Size()
+	}
+	return n
+}
+
+// Func returns the function with the given ID, or nil if out of range.
+func (p *Program) Func(id FuncID) *Function {
+	if id < 0 || int(id) >= len(p.Funcs) {
+		return nil
+	}
+	return p.Funcs[id]
+}
+
+// NumBlocks returns the total number of basic blocks in the program.
+func (p *Program) NumBlocks() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += len(f.Blocks)
+	}
+	return n
+}
+
+// BlockRef names a basic block globally, by function and block ID.
+type BlockRef struct {
+	Func  FuncID
+	Block BlockID
+}
+
+// String renders the reference as "func:block".
+func (r BlockRef) String() string {
+	return fmt.Sprintf("%d:%d", r.Func, r.Block)
+}
+
+// Less orders references first by function, then by block, giving the
+// program's textual order when blocks are stored textually.
+func (r BlockRef) Less(o BlockRef) bool {
+	if r.Func != o.Func {
+		return r.Func < o.Func
+	}
+	return r.Block < o.Block
+}
+
+// BlockRefs returns every block reference in the program in textual order.
+func (p *Program) BlockRefs() []BlockRef {
+	refs := make([]BlockRef, 0, p.NumBlocks())
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			refs = append(refs, BlockRef{f.ID, b.ID})
+		}
+	}
+	return refs
+}

@@ -1,0 +1,634 @@
+package ir
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// twoBlockFunc builds a minimal valid program: entry does work and falls
+// through to a returning block.
+func twoBlockProgram(t *testing.T) *Program {
+	t.Helper()
+	pb := NewProgramBuilder("two")
+	f := pb.Func("main")
+	f.Block("entry").ALU(3)
+	f.Block("exit").Return()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestOpcodeString(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want string
+	}{
+		{OpALU, "alu"},
+		{OpMul, "mul"},
+		{OpLoad, "ldr"},
+		{OpStore, "str"},
+		{OpNOP, "nop"},
+		{OpBranch, "b.cond"},
+		{OpJump, "b"},
+		{OpCall, "bl"},
+		{OpReturn, "ret"},
+		{Opcode(200), "op(200)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("Opcode(%d).String() = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpcodeIsControl(t *testing.T) {
+	control := map[Opcode]bool{OpBranch: true, OpJump: true, OpCall: true, OpReturn: true}
+	for op := OpALU; op <= OpReturn; op++ {
+		if got := op.IsControl(); got != control[op] {
+			t.Errorf("%s.IsControl() = %v, want %v", op, got, control[op])
+		}
+	}
+}
+
+func TestBlockTermAndSize(t *testing.T) {
+	b := &Block{Instrs: []Instr{{Op: OpALU}, {Op: OpLoad}}}
+	if b.Term() != TermFallThrough {
+		t.Errorf("Term() = %v, want fallthrough", b.Term())
+	}
+	if b.Size() != 2*InstrSize {
+		t.Errorf("Size() = %d, want %d", b.Size(), 2*InstrSize)
+	}
+	b.Instrs = append(b.Instrs, Instr{Op: OpJump})
+	if b.Term() != TermJump {
+		t.Errorf("Term() = %v, want jump", b.Term())
+	}
+	empty := &Block{}
+	if empty.Term() != TermFallThrough {
+		t.Errorf("empty Term() = %v, want fallthrough", empty.Term())
+	}
+}
+
+func TestTerminatorString(t *testing.T) {
+	if TermBranch.String() != "branch" || TermCall.String() != "call" {
+		t.Errorf("unexpected terminator names: %v %v", TermBranch, TermCall)
+	}
+	if got := Terminator(99).String(); got != "terminator(99)" {
+		t.Errorf("Terminator(99).String() = %q", got)
+	}
+}
+
+func TestBlockSuccs(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Block
+		want []BlockID
+	}{
+		{
+			name: "fallthrough",
+			b:    Block{Instrs: []Instr{{Op: OpALU}}, FallThrough: 2, Taken: NoBlock},
+			want: []BlockID{2},
+		},
+		{
+			name: "branch",
+			b:    Block{Instrs: []Instr{{Op: OpBranch}}, Taken: 1, FallThrough: 2},
+			want: []BlockID{1, 2},
+		},
+		{
+			name: "branch same target",
+			b:    Block{Instrs: []Instr{{Op: OpBranch}}, Taken: 1, FallThrough: 1},
+			want: []BlockID{1},
+		},
+		{
+			name: "jump",
+			b:    Block{Instrs: []Instr{{Op: OpJump}}, Taken: 3, FallThrough: NoBlock},
+			want: []BlockID{3},
+		},
+		{
+			name: "call resumes at fallthrough",
+			b:    Block{Instrs: []Instr{{Op: OpCall}}, FallThrough: 4, Taken: NoBlock},
+			want: []BlockID{4},
+		},
+		{
+			name: "return",
+			b:    Block{Instrs: []Instr{{Op: OpReturn}}, Taken: NoBlock, FallThrough: NoBlock},
+			want: nil,
+		},
+	}
+	for _, c := range cases {
+		got := c.b.Succs(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: Succs = %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: Succs = %v, want %v", c.name, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	p := twoBlockProgram(t)
+	if p.Func(p.Entry) == nil {
+		t.Fatal("entry function not found")
+	}
+	if p.Func(FuncID(99)) != nil || p.Func(NoFunc) != nil {
+		t.Error("out-of-range Func should be nil")
+	}
+	f := p.Funcs[0]
+	if f.Block(BlockID(99)) != nil || f.Block(NoBlock) != nil {
+		t.Error("out-of-range Block should be nil")
+	}
+	if got := p.Size(); got != 4*InstrSize {
+		t.Errorf("Size = %d, want %d", got, 4*InstrSize)
+	}
+	if got := p.NumBlocks(); got != 2 {
+		t.Errorf("NumBlocks = %d, want 2", got)
+	}
+	refs := p.BlockRefs()
+	if len(refs) != 2 || refs[0] != (BlockRef{0, 0}) || refs[1] != (BlockRef{0, 1}) {
+		t.Errorf("BlockRefs = %v", refs)
+	}
+}
+
+func TestBlockRefOrdering(t *testing.T) {
+	a := BlockRef{0, 5}
+	b := BlockRef{1, 0}
+	c := BlockRef{1, 2}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Errorf("ordering broken: %v %v %v", a, b, c)
+	}
+	if a.String() != "0:5" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	pb := NewProgramBuilder("ok")
+	main := pb.Func("main")
+	main.Block("entry").Code(4).Call("leaf")
+	main.Block("loop").Code(8).Branch("loop", "done", Loop{Trips: 10})
+	main.Block("done").Return()
+	leaf := pb.Func("leaf")
+	leaf.Block("body").ALU(2).Return()
+	if _, err := pb.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() *Program {
+		return &Program{
+			Name:  "p",
+			Entry: 0,
+			Funcs: []*Function{{
+				ID: 0, Name: "f", Entry: 0,
+				Blocks: []*Block{
+					{ID: 0, Instrs: []Instr{{Op: OpALU}}, Taken: NoBlock, FallThrough: 1, CallTarget: NoFunc},
+					{ID: 1, Instrs: []Instr{{Op: OpReturn}}, Taken: NoBlock, FallThrough: NoBlock, CallTarget: NoFunc},
+				},
+			}},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(p *Program)
+	}{
+		{"nil program is rejected via Validate(nil)", nil},
+		{"no functions", func(p *Program) { p.Funcs = nil }},
+		{"bad entry", func(p *Program) { p.Entry = 7 }},
+		{"bad function id", func(p *Program) { p.Funcs[0].ID = 3 }},
+		{"no blocks", func(p *Program) { p.Funcs[0].Blocks = nil }},
+		{"bad block id", func(p *Program) { p.Funcs[0].Blocks[0].ID = 9 }},
+		{"empty block", func(p *Program) { p.Funcs[0].Blocks[0].Instrs = nil }},
+		{"control mid-block", func(p *Program) {
+			p.Funcs[0].Blocks[0].Instrs = []Instr{{Op: OpJump}, {Op: OpALU}}
+			p.Funcs[0].Blocks[0].Taken = 1
+			p.Funcs[0].Blocks[0].FallThrough = NoBlock
+		}},
+		{"fallthrough with taken", func(p *Program) { p.Funcs[0].Blocks[0].Taken = 1 }},
+		{"fallthrough out of range", func(p *Program) { p.Funcs[0].Blocks[0].FallThrough = 5 }},
+		{"branch without behavior", func(p *Program) {
+			b := p.Funcs[0].Blocks[0]
+			b.Instrs = []Instr{{Op: OpBranch}}
+			b.Taken = 1
+			b.FallThrough = 1
+		}},
+		{"branch target out of range", func(p *Program) {
+			b := p.Funcs[0].Blocks[0]
+			b.Instrs = []Instr{{Op: OpBranch}}
+			b.Behavior = Never{}
+			b.Taken = 9
+			b.FallThrough = 1
+		}},
+		{"jump with fallthrough", func(p *Program) {
+			b := p.Funcs[0].Blocks[0]
+			b.Instrs = []Instr{{Op: OpJump}}
+			b.Taken = 1
+			// FallThrough stays 1: invalid for a jump.
+		}},
+		{"call target out of range", func(p *Program) {
+			b := p.Funcs[0].Blocks[0]
+			b.Instrs = []Instr{{Op: OpCall}}
+			b.CallTarget = 4
+		}},
+		{"return with successor", func(p *Program) {
+			b := p.Funcs[0].Blocks[0]
+			b.Instrs = []Instr{{Op: OpReturn}}
+			// FallThrough stays 1: invalid for a return.
+		}},
+		{"behavior on plain block", func(p *Program) { p.Funcs[0].Blocks[0].Behavior = Never{} }},
+		{"unreachable block", func(p *Program) {
+			f := p.Funcs[0]
+			f.Blocks[0].Instrs = []Instr{{Op: OpReturn}}
+			f.Blocks[0].FallThrough = NoBlock
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var p *Program
+			if c.mut != nil {
+				p = base()
+				c.mut(p)
+			}
+			err := Validate(p)
+			if err == nil {
+				t.Fatal("Validate accepted an invalid program")
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("error %v does not wrap ErrInvalid", err)
+			}
+		})
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("duplicate label", func(t *testing.T) {
+		pb := NewProgramBuilder("p")
+		f := pb.Func("main")
+		f.Block("a").Return()
+		f.Block("a").Return()
+		if _, err := pb.Build(); err == nil {
+			t.Fatal("expected duplicate-label error")
+		}
+	})
+	t.Run("undefined branch label", func(t *testing.T) {
+		pb := NewProgramBuilder("p")
+		pb.Func("main").Block("a").Branch("missing", "a", Never{})
+		if _, err := pb.Build(); err == nil {
+			t.Fatal("expected undefined-label error")
+		}
+	})
+	t.Run("undefined callee", func(t *testing.T) {
+		pb := NewProgramBuilder("p")
+		f := pb.Func("main")
+		f.Block("a").Call("nope")
+		f.Block("b").Return()
+		if _, err := pb.Build(); err == nil {
+			t.Fatal("expected undefined-callee error")
+		}
+	})
+	t.Run("fall off end", func(t *testing.T) {
+		pb := NewProgramBuilder("p")
+		pb.Func("main").Block("a").ALU(1)
+		if _, err := pb.Build(); err == nil {
+			t.Fatal("expected fall-off-end error")
+		}
+	})
+	t.Run("terminator set twice", func(t *testing.T) {
+		pb := NewProgramBuilder("p")
+		f := pb.Func("main")
+		f.Block("a").Jump("a").Return()
+		if _, err := pb.Build(); err == nil {
+			t.Fatal("expected double-terminator error")
+		}
+	})
+	t.Run("control op via Op", func(t *testing.T) {
+		pb := NewProgramBuilder("p")
+		f := pb.Func("main")
+		f.Block("a").Op(OpJump, 1).Return()
+		if _, err := pb.Build(); err == nil {
+			t.Fatal("expected control-op error")
+		}
+	})
+	t.Run("bad entry name", func(t *testing.T) {
+		pb := NewProgramBuilder("p").SetEntry("ghost")
+		pb.Func("main").Block("a").Return()
+		if _, err := pb.Build(); err == nil {
+			t.Fatal("expected bad-entry error")
+		}
+	})
+}
+
+func TestBuilderGoto(t *testing.T) {
+	pb := NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("a").ALU(1).Goto("c")
+	f.Block("b").Return()
+	f.Block("c").ALU(1).Goto("b")
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	blocks := p.Funcs[0].Blocks
+	if blocks[0].FallThrough != 2 {
+		t.Errorf("a falls to %d, want 2", blocks[0].FallThrough)
+	}
+	if blocks[2].FallThrough != 1 {
+		t.Errorf("c falls to %d, want 1", blocks[2].FallThrough)
+	}
+	// Goto emits no jump instruction.
+	if blocks[0].Term() != TermFallThrough {
+		t.Errorf("a terminator = %v, want fallthrough", blocks[0].Term())
+	}
+}
+
+func TestBuilderCodeMix(t *testing.T) {
+	pb := NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("a").Code(200).Return()
+	p := pb.MustBuild()
+	counts := map[Opcode]int{}
+	for _, in := range p.Funcs[0].Blocks[0].Instrs {
+		counts[in.Op]++
+	}
+	if counts[OpALU] == 0 || counts[OpMul] == 0 || counts[OpLoad] == 0 || counts[OpStore] == 0 {
+		t.Errorf("Code mix missing opcodes: %v", counts)
+	}
+	if counts[OpALU] <= counts[OpMul] {
+		t.Errorf("Code mix should be ALU-heavy: %v", counts)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid program")
+		}
+	}()
+	pb := NewProgramBuilder("p")
+	pb.Func("main").Block("a").ALU(1) // falls off end
+	pb.MustBuild()
+}
+
+func TestDominators(t *testing.T) {
+	// Diamond with a loop:
+	//   entry -> cond -> {left, right} -> join -> latch -(back)-> cond
+	//   latch -> exit
+	pb := NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("entry").ALU(1)
+	f.Block("cond").ALU(1).Branch("left", "right", Pattern{Seq: []bool{true, false}})
+	f.Block("left").ALU(1).Jump("join")
+	f.Block("right").ALU(1)
+	f.Block("join").ALU(1)
+	f.Block("latch").ALU(1).Branch("cond", "exit", Loop{Trips: 3})
+	f.Block("exit").Return()
+	p := pb.MustBuild()
+	fn := p.Funcs[0]
+	dom := Dominators(fn)
+
+	byLabel := func(l string) BlockID {
+		for _, b := range fn.Blocks {
+			if b.Label == l {
+				return b.ID
+			}
+		}
+		t.Fatalf("no block %q", l)
+		return NoBlock
+	}
+	entry, cond := byLabel("entry"), byLabel("cond")
+	left, right, join := byLabel("left"), byLabel("right"), byLabel("join")
+	latch, exit := byLabel("latch"), byLabel("exit")
+
+	if got := dom.Idom(entry); got != entry {
+		t.Errorf("idom(entry) = %d, want itself", got)
+	}
+	if got := dom.Idom(join); got != cond {
+		t.Errorf("idom(join) = %d, want cond=%d", got, cond)
+	}
+	if got := dom.Idom(latch); got != join {
+		t.Errorf("idom(latch) = %d, want join=%d", got, join)
+	}
+	if !dom.Dominates(cond, exit) {
+		t.Error("cond should dominate exit")
+	}
+	if dom.Dominates(left, join) || dom.Dominates(right, join) {
+		t.Error("neither diamond arm dominates the join")
+	}
+	if !dom.Dominates(entry, latch) || !dom.Dominates(latch, latch) {
+		t.Error("entry dominates everything; domination is reflexive")
+	}
+}
+
+func TestPredecessors(t *testing.T) {
+	pb := NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("a").ALU(1).Branch("c", "b", Never{})
+	f.Block("b").ALU(1)
+	f.Block("c").Return()
+	p := pb.MustBuild()
+	preds := Predecessors(p.Funcs[0])
+	if len(preds[0]) != 0 {
+		t.Errorf("preds(a) = %v, want empty", preds[0])
+	}
+	if len(preds[1]) != 1 || preds[1][0] != 0 {
+		t.Errorf("preds(b) = %v, want [0]", preds[1])
+	}
+	if len(preds[2]) != 2 {
+		t.Errorf("preds(c) = %v, want [0 1]", preds[2])
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	// Nested loops: outer header "oh" contains inner loop "ih".
+	pb := NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("entry").ALU(1)
+	f.Block("oh").ALU(2)
+	f.Block("ih").Code(4).Branch("ih", "otail", Loop{Trips: 8})
+	f.Block("otail").ALU(1).Branch("oh", "exit", Loop{Trips: 4})
+	f.Block("exit").Return()
+	p := pb.MustBuild()
+	fn := p.Funcs[0]
+
+	loops := FindLoops(fn)
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	// Ordered by header: oh (ID 1) before ih (ID 2).
+	outer, inner := loops[0], loops[1]
+	if outer.Header != 1 || outer.Latch != 3 {
+		t.Errorf("outer loop header/latch = %d/%d, want 1/3", outer.Header, outer.Latch)
+	}
+	if inner.Header != 2 || inner.Latch != 2 {
+		t.Errorf("inner loop header/latch = %d/%d, want 2/2", inner.Header, inner.Latch)
+	}
+	if len(outer.Blocks) != 3 { // oh, ih, otail
+		t.Errorf("outer body = %v, want 3 blocks", outer.Blocks)
+	}
+	if len(inner.Blocks) != 1 || inner.Blocks[0] != 2 {
+		t.Errorf("inner body = %v, want [2]", inner.Blocks)
+	}
+	if !outer.Contains(2) || outer.Contains(4) {
+		t.Error("Contains misreports membership")
+	}
+	if sz := inner.Size(fn); sz != fn.Blocks[2].Size() {
+		t.Errorf("inner Size = %d, want %d", sz, fn.Blocks[2].Size())
+	}
+
+	nest := AnalyzeLoops(fn)
+	if len(nest.Loops) != 2 {
+		t.Fatalf("AnalyzeLoops found %d merged loops, want 2", len(nest.Loops))
+	}
+	if nest.Depth[2] != 2 {
+		t.Errorf("depth(ih) = %d, want 2", nest.Depth[2])
+	}
+	if nest.Depth[1] != 1 || nest.Depth[3] != 1 {
+		t.Errorf("depth(oh)/depth(otail) = %d/%d, want 1/1", nest.Depth[1], nest.Depth[3])
+	}
+	if nest.Depth[0] != 0 || nest.Depth[4] != 0 {
+		t.Errorf("depth outside loops should be 0: %v", nest.Depth)
+	}
+}
+
+func TestAnalyzeLoopsMergesSharedHeader(t *testing.T) {
+	// Two back edges into the same header: continue-style loop.
+	pb := NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("h").ALU(1)
+	f.Block("b1").ALU(1).Branch("h", "b2", Pattern{Seq: []bool{true, false}})
+	f.Block("b2").ALU(1).Branch("h", "exit", Loop{Trips: 2})
+	f.Block("exit").Return()
+	p := pb.MustBuild()
+	fn := p.Funcs[0]
+	if got := len(FindLoops(fn)); got != 2 {
+		t.Fatalf("FindLoops = %d, want 2 raw loops", got)
+	}
+	nest := AnalyzeLoops(fn)
+	if len(nest.Loops) != 1 {
+		t.Fatalf("AnalyzeLoops = %d merged loops, want 1", len(nest.Loops))
+	}
+	if len(nest.Loops[0].Blocks) != 3 {
+		t.Errorf("merged body = %v, want 3 blocks", nest.Loops[0].Blocks)
+	}
+}
+
+func TestBehaviors(t *testing.T) {
+	t.Run("loop", func(t *testing.T) {
+		s := Loop{Trips: 3}.NewState()
+		want := []bool{true, true, false, true, true, false}
+		for i, w := range want {
+			if got := s.Next(); got != w {
+				t.Fatalf("step %d: got %v, want %v", i, got, w)
+			}
+		}
+	})
+	t.Run("loop single trip", func(t *testing.T) {
+		s := Loop{Trips: 1}.NewState()
+		for i := 0; i < 5; i++ {
+			if s.Next() {
+				t.Fatal("Trips=1 must never take the back edge")
+			}
+		}
+	})
+	t.Run("loop invalid trips", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for Trips=0")
+			}
+		}()
+		Loop{Trips: 0}.NewState()
+	})
+	t.Run("pattern", func(t *testing.T) {
+		s := Pattern{Seq: []bool{true, false, false}}.NewState()
+		want := []bool{true, false, false, true, false}
+		for i, w := range want {
+			if got := s.Next(); got != w {
+				t.Fatalf("step %d: got %v, want %v", i, got, w)
+			}
+		}
+	})
+	t.Run("empty pattern", func(t *testing.T) {
+		s := Pattern{}.NewState()
+		if s.Next() {
+			t.Fatal("empty pattern must not take")
+		}
+	})
+	t.Run("biased determinism", func(t *testing.T) {
+		a := Biased{P: 0.5, Seed: 42}.NewState()
+		b := Biased{P: 0.5, Seed: 42}.NewState()
+		taken := 0
+		for i := 0; i < 1000; i++ {
+			x, y := a.Next(), b.Next()
+			if x != y {
+				t.Fatal("same seed must give same sequence")
+			}
+			if x {
+				taken++
+			}
+		}
+		if taken < 400 || taken > 600 {
+			t.Errorf("P=0.5 gave %d/1000 taken", taken)
+		}
+	})
+	t.Run("biased extremes", func(t *testing.T) {
+		lo := Biased{P: 0, Seed: 1}.NewState()
+		hi := Biased{P: 1, Seed: 1}.NewState()
+		for i := 0; i < 100; i++ {
+			if lo.Next() {
+				t.Fatal("P=0 must never take")
+			}
+			if !hi.Next() {
+				t.Fatal("P=1 must always take")
+			}
+		}
+	})
+	t.Run("const", func(t *testing.T) {
+		if (Never{}).NewState().Next() || !(Always{}).NewState().Next() {
+			t.Fatal("Never/Always broken")
+		}
+	})
+	t.Run("strings", func(t *testing.T) {
+		for _, pair := range []struct{ got, want string }{
+			{Loop{Trips: 5}.String(), "loop(5)"},
+			{Pattern{Seq: []bool{true, false}}.String(), "pattern(TN)"},
+			{Never{}.String(), "never"},
+			{Always{}.String(), "always"},
+		} {
+			if pair.got != pair.want {
+				t.Errorf("String = %q, want %q", pair.got, pair.want)
+			}
+		}
+		if !strings.HasPrefix(Biased{P: 0.25, Seed: 7}.String(), "biased(0.250") {
+			t.Errorf("Biased.String = %q", Biased{P: 0.25, Seed: 7}.String())
+		}
+	})
+}
+
+func TestPrintListing(t *testing.T) {
+	pb := NewProgramBuilder("demo")
+	f := pb.Func("main")
+	f.Block("entry").ALU(3).Call("helper")
+	f.Block("loop").Code(6).Branch("loop", "done", Loop{Trips: 4})
+	f.Block("done").Return()
+	h := pb.Func("helper")
+	h.Block("body").Load(2).Jump("tail")
+	h.Block("tail").Return()
+	p := pb.MustBuild()
+
+	s := Sprint(p)
+	for _, want := range []string{
+		"func main", "func helper", "// program entry",
+		"bl      helper", "b.cond  loop", "loop(4)", "ret", "alu      x3",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("listing missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package ir
+
+import "sort"
+
+// NaturalLoop is a natural loop of one function's CFG: the set of blocks
+// that can reach the back edge Latch→Header without passing through the
+// header.
+type NaturalLoop struct {
+	// Func is the function containing the loop.
+	Func FuncID
+	// Header is the loop header (the target of the back edge).
+	Header BlockID
+	// Latch is the source of the back edge.
+	Latch BlockID
+	// Blocks is the loop body including header and latch, in ascending
+	// block order.
+	Blocks []BlockID
+}
+
+// Size returns the loop body's code size in bytes within function f.
+func (l *NaturalLoop) Size(f *Function) int {
+	n := 0
+	for _, b := range l.Blocks {
+		n += f.Blocks[b].Size()
+	}
+	return n
+}
+
+// Contains reports whether block b belongs to the loop body.
+func (l *NaturalLoop) Contains(b BlockID) bool {
+	i := sort.Search(len(l.Blocks), func(i int) bool { return l.Blocks[i] >= b })
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// FindLoops returns the natural loops of f, one per back edge, ordered by
+// (header, latch). Loops sharing a header are reported separately; callers
+// that want merged bodies can union them. The function must be valid.
+func FindLoops(f *Function) []*NaturalLoop {
+	dom := Dominators(f)
+	preds := Predecessors(f)
+	var loops []*NaturalLoop
+	var succs []BlockID
+	for _, b := range f.Blocks {
+		succs = b.Succs(succs[:0])
+		for _, h := range succs {
+			if !dom.Dominates(h, b.ID) {
+				continue
+			}
+			loops = append(loops, naturalLoop(f, preds, h, b.ID))
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Header != loops[j].Header {
+			return loops[i].Header < loops[j].Header
+		}
+		return loops[i].Latch < loops[j].Latch
+	})
+	return loops
+}
+
+// naturalLoop collects the body of the back edge latch→header by walking
+// predecessors from the latch, stopping at the header.
+func naturalLoop(f *Function, preds [][]BlockID, header, latch BlockID) *NaturalLoop {
+	in := make(map[BlockID]bool, 8)
+	in[header] = true
+	var stack []BlockID
+	if latch != header {
+		in[latch] = true
+		stack = append(stack, latch)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range preds[b] {
+			if !in[p] {
+				in[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	blocks := make([]BlockID, 0, len(in))
+	for b := range in {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	return &NaturalLoop{Func: f.ID, Header: header, Latch: latch, Blocks: blocks}
+}
+
+// LoopNest summarizes the loop structure of a function: loops merged by
+// header (so a header with several latches yields a single body) and
+// nesting depth per block.
+type LoopNest struct {
+	// Loops holds the merged loops ordered by header.
+	Loops []*NaturalLoop
+	// Depth[b] is the number of merged loops whose body contains block b.
+	Depth []int
+}
+
+// AnalyzeLoops merges the natural loops of f by header and computes
+// per-block nesting depth.
+func AnalyzeLoops(f *Function) *LoopNest {
+	raw := FindLoops(f)
+	merged := make(map[BlockID]map[BlockID]bool)
+	latches := make(map[BlockID]BlockID)
+	for _, l := range raw {
+		set := merged[l.Header]
+		if set == nil {
+			set = make(map[BlockID]bool)
+			merged[l.Header] = set
+			latches[l.Header] = l.Latch
+		}
+		for _, b := range l.Blocks {
+			set[b] = true
+		}
+		if l.Latch > latches[l.Header] {
+			latches[l.Header] = l.Latch
+		}
+	}
+	nest := &LoopNest{Depth: make([]int, len(f.Blocks))}
+	headers := make([]BlockID, 0, len(merged))
+	for h := range merged {
+		headers = append(headers, h)
+	}
+	sort.Slice(headers, func(i, j int) bool { return headers[i] < headers[j] })
+	for _, h := range headers {
+		set := merged[h]
+		blocks := make([]BlockID, 0, len(set))
+		for b := range set {
+			blocks = append(blocks, b)
+			nest.Depth[b]++
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		nest.Loops = append(nest.Loops, &NaturalLoop{
+			Func:   f.ID,
+			Header: h,
+			Latch:  latches[h],
+			Blocks: blocks,
+		})
+	}
+	return nest
+}

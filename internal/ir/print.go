@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fprint writes a readable assembler-style listing of the program to w.
+// The listing is meant for debugging and documentation; it is not a
+// round-trippable serialization.
+func Fprint(w io.Writer, p *Program) error {
+	for _, f := range p.Funcs {
+		entry := ""
+		if f.ID == p.Entry {
+			entry = " // program entry"
+		}
+		if _, err := fmt.Fprintf(w, "func %s (%d bytes)%s\n", f.Name, f.Size(), entry); err != nil {
+			return err
+		}
+		for _, b := range f.Blocks {
+			if err := fprintBlock(w, p, f, b); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fprintBlock(w io.Writer, p *Program, f *Function, b *Block) error {
+	label := b.Label
+	if label == "" {
+		label = fmt.Sprintf("bb%d", b.ID)
+	}
+	if _, err := fmt.Fprintf(w, "  %s:\n", label); err != nil {
+		return err
+	}
+	for _, r := range b.DataRefs {
+		name := fmt.Sprintf("data%d", r.Obj)
+		if d := p.DataOf(r.Obj); d != nil {
+			name = d.Name
+		}
+		if _, err := fmt.Fprintf(w, "    // touches %s: %d loads, %d stores per execution\n",
+			name, r.Loads, r.Stores); err != nil {
+			return err
+		}
+	}
+	// Compress runs of plain instructions into a single summary line.
+	i := 0
+	for i < len(b.Instrs) {
+		in := b.Instrs[i]
+		if !in.Op.IsControl() {
+			j := i
+			for j < len(b.Instrs) && b.Instrs[j].Op == in.Op {
+				j++
+			}
+			if j-i > 1 {
+				if _, err := fmt.Fprintf(w, "    %-8s x%d\n", in.Op, j-i); err != nil {
+					return err
+				}
+			} else {
+				if _, err := fmt.Fprintf(w, "    %s\n", in.Op); err != nil {
+					return err
+				}
+			}
+			i = j
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "    %s\n", controlString(p, f, b, in)); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}
+
+func controlString(p *Program, f *Function, b *Block, in Instr) string {
+	blockName := func(id BlockID) string {
+		if id == NoBlock {
+			return "<none>"
+		}
+		t := f.Block(id)
+		if t != nil && t.Label != "" {
+			return t.Label
+		}
+		return fmt.Sprintf("bb%d", id)
+	}
+	switch in.Op {
+	case OpBranch:
+		return fmt.Sprintf("b.cond  %s  // else %s, %s",
+			blockName(b.Taken), blockName(b.FallThrough), b.Behavior)
+	case OpJump:
+		return fmt.Sprintf("b       %s", blockName(b.Taken))
+	case OpCall:
+		callee := "<none>"
+		if fn := p.Func(b.CallTarget); fn != nil {
+			callee = fn.Name
+		}
+		return fmt.Sprintf("bl      %s  // resumes at %s", callee, blockName(b.FallThrough))
+	case OpReturn:
+		return "ret"
+	}
+	return in.Op.String()
+}
+
+// Sprint returns the listing of p as a string.
+func Sprint(p *Program) string {
+	var sb strings.Builder
+	if err := Fprint(&sb, p); err != nil {
+		// strings.Builder never fails; keep the signature honest anyway.
+		return sb.String()
+	}
+	return sb.String()
+}

@@ -1,0 +1,92 @@
+package ir
+
+// SplitBlocks returns a copy of p in which every basic block longer than
+// maxInstrs instructions is split into a fall-through chain of blocks of
+// at most maxInstrs each. Control-flow semantics and execution profiles
+// are preserved exactly: the split introduces no new instructions, only
+// new block boundaries, so trace formation can build scratchpad-placeable
+// traces even when the front end produced very long straight-line blocks
+// (e.g. unrolled kernels) and the scratchpad is tiny.
+//
+// maxInstrs must be at least 2 so that a block's terminator always has
+// room next to at least one regular instruction. The input program is not
+// modified.
+func SplitBlocks(p *Program, maxInstrs int) (*Program, error) {
+	if maxInstrs < 2 {
+		return nil, invalidf("SplitBlocks: maxInstrs %d < 2", maxInstrs)
+	}
+	np := &Program{Name: p.Name, Entry: p.Entry}
+	for _, f := range p.Funcs {
+		nf, err := splitFunc(f, maxInstrs)
+		if err != nil {
+			return nil, err
+		}
+		np.Funcs = append(np.Funcs, nf)
+	}
+	if err := Validate(np); err != nil {
+		return nil, err
+	}
+	return np, nil
+}
+
+func splitFunc(f *Function, maxInstrs int) (*Function, error) {
+	// First pass: assign new IDs. Block b becomes pieces[b] consecutive
+	// blocks; the first piece keeps b's incoming edges.
+	newID := make([]BlockID, len(f.Blocks))
+	pieces := make([]int, len(f.Blocks))
+	next := BlockID(0)
+	for i, b := range f.Blocks {
+		newID[i] = next
+		n := len(b.Instrs)
+		k := (n + maxInstrs - 1) / maxInstrs
+		if k < 1 {
+			k = 1
+		}
+		pieces[i] = k
+		next += BlockID(k)
+	}
+
+	nf := &Function{ID: f.ID, Name: f.Name, Entry: newID[f.Entry]}
+	for i, b := range f.Blocks {
+		base := newID[i]
+		k := pieces[i]
+		for piece := 0; piece < k; piece++ {
+			lo := piece * maxInstrs
+			hi := lo + maxInstrs
+			if hi > len(b.Instrs) {
+				hi = len(b.Instrs)
+			}
+			nb := &Block{
+				ID:          base + BlockID(piece),
+				Instrs:      append([]Instr(nil), b.Instrs[lo:hi]...),
+				Taken:       NoBlock,
+				FallThrough: NoBlock,
+				CallTarget:  NoFunc,
+			}
+			if b.Label != "" {
+				if piece == 0 {
+					nb.Label = b.Label
+				} else {
+					nb.Label = "" // interior pieces stay anonymous
+				}
+			}
+			if piece < k-1 {
+				// Interior piece: plain fall-through to the next piece.
+				nb.FallThrough = base + BlockID(piece+1)
+			} else {
+				// Last piece inherits the original terminator and edges,
+				// remapped to the targets' first pieces.
+				if b.Taken != NoBlock {
+					nb.Taken = newID[b.Taken]
+				}
+				if b.FallThrough != NoBlock {
+					nb.FallThrough = newID[b.FallThrough]
+				}
+				nb.CallTarget = b.CallTarget
+				nb.Behavior = b.Behavior
+			}
+			nf.Blocks = append(nf.Blocks, nb)
+		}
+	}
+	return nf, nil
+}

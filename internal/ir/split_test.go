@@ -1,0 +1,130 @@
+package ir
+
+import (
+	"testing"
+)
+
+func TestSplitBlocksRejectsTinyMax(t *testing.T) {
+	pb := NewProgramBuilder("p")
+	pb.Func("main").Block("a").ALU(1).Return()
+	p := pb.MustBuild()
+	if _, err := SplitBlocks(p, 1); err == nil {
+		t.Fatal("maxInstrs=1 accepted")
+	}
+}
+
+func TestSplitBlocksNoChangeWhenSmall(t *testing.T) {
+	pb := NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("a").ALU(3)
+	f.Block("b").Return()
+	p := pb.MustBuild()
+	np, err := SplitBlocks(p, 8)
+	if err != nil {
+		t.Fatalf("SplitBlocks: %v", err)
+	}
+	if np.NumBlocks() != p.NumBlocks() {
+		t.Errorf("blocks %d, want %d", np.NumBlocks(), p.NumBlocks())
+	}
+	if np.Size() != p.Size() {
+		t.Errorf("size changed: %d vs %d", np.Size(), p.Size())
+	}
+	// Input untouched.
+	if p.Funcs[0].Blocks[0].ID != 0 {
+		t.Error("input mutated")
+	}
+}
+
+func TestSplitBlocksSplitsLongBlock(t *testing.T) {
+	pb := NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("big").ALU(25).Branch("big", "end", Loop{Trips: 4}) // 26 instrs
+	f.Block("end").Return()
+	p := pb.MustBuild()
+	np, err := SplitBlocks(p, 8)
+	if err != nil {
+		t.Fatalf("SplitBlocks: %v", err)
+	}
+	// 26 instrs at ≤8 each → 4 pieces, plus "end".
+	if got := np.NumBlocks(); got != 5 {
+		t.Fatalf("blocks = %d, want 5", got)
+	}
+	if np.Size() != p.Size() {
+		t.Errorf("size changed: %d vs %d", np.Size(), p.Size())
+	}
+	nf := np.Funcs[0]
+	for _, b := range nf.Blocks {
+		if len(b.Instrs) > 8 {
+			t.Errorf("block %d has %d instrs", b.ID, len(b.Instrs))
+		}
+	}
+	// Last piece of "big" carries the branch; its taken edge targets the
+	// FIRST piece of "big".
+	last := nf.Blocks[3]
+	if last.Term() != TermBranch {
+		t.Fatalf("last piece terminator %v", last.Term())
+	}
+	if last.Taken != 0 {
+		t.Errorf("back edge targets %d, want 0 (first piece)", last.Taken)
+	}
+	if last.Behavior == nil {
+		t.Error("behavior lost in split")
+	}
+	// Interior pieces are plain fall-throughs.
+	for _, b := range nf.Blocks[:3] {
+		if b.Term() != TermFallThrough {
+			t.Errorf("piece %d terminator %v", b.ID, b.Term())
+		}
+		if b.FallThrough != b.ID+1 {
+			t.Errorf("piece %d falls to %d", b.ID, b.FallThrough)
+		}
+	}
+	// Label survives on the first piece only.
+	if nf.Blocks[0].Label != "big" || nf.Blocks[1].Label != "" {
+		t.Errorf("labels: %q %q", nf.Blocks[0].Label, nf.Blocks[1].Label)
+	}
+}
+
+func TestSplitBlocksRemapsAllEdgeKinds(t *testing.T) {
+	pb := NewProgramBuilder("p")
+	main := pb.Func("main")
+	main.Block("a").ALU(20).Call("leaf") // 20+1 instrs, splits
+	main.Block("b").ALU(20).Jump("c")    // splits
+	main.Block("c").Return()
+	leaf := pb.Func("leaf")
+	leaf.Block("l").ALU(2).Return()
+	p := pb.MustBuild()
+	np, err := SplitBlocks(p, 6)
+	if err != nil {
+		t.Fatalf("SplitBlocks: %v", err)
+	}
+	if err := Validate(np); err != nil {
+		t.Fatalf("split program invalid: %v", err)
+	}
+	if np.Size() != p.Size() {
+		t.Errorf("size changed")
+	}
+}
+
+func TestSplitPreservesExecutionSemantics(t *testing.T) {
+	// The split program must produce the same dynamic instruction count
+	// and the same per-original-block behavior. We check total size and
+	// validate; the sim package's TestSplitPreservesProfile covers the
+	// dynamic part (it needs the interpreter).
+	pb := NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("hot").Code(40).Branch("hot", "exit", Loop{Trips: 7})
+	f.Block("exit").Return()
+	p := pb.MustBuild()
+	np, err := SplitBlocks(p, 10)
+	if err != nil {
+		t.Fatalf("SplitBlocks: %v", err)
+	}
+	if err := Validate(np); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// 41 instrs -> 5 pieces; total block count 6.
+	if np.NumBlocks() != 6 {
+		t.Errorf("blocks = %d, want 6", np.NumBlocks())
+	}
+}

@@ -1,0 +1,166 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid wraps all validation failures so callers can test with
+// errors.Is.
+var ErrInvalid = errors.New("ir: invalid program")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the structural well-formedness of a program:
+//
+//   - IDs are dense and consistent (Funcs[i].ID == i, Blocks[i].ID == i),
+//   - the program and every function have a valid entry,
+//   - every block has at least one instruction,
+//   - control instructions appear only in terminal position, at most once,
+//   - successor fields match the terminator kind and are in range,
+//   - conditional branches carry a Behavior, other blocks do not,
+//   - every block is reachable from its function's entry (unreachable code
+//     would silently distort code-size accounting).
+//
+// It returns nil if the program is well-formed, or an error wrapping
+// ErrInvalid describing the first problem found.
+func Validate(p *Program) error {
+	if p == nil {
+		return invalidf("nil program")
+	}
+	if len(p.Funcs) == 0 {
+		return invalidf("program %q has no functions", p.Name)
+	}
+	if p.Func(p.Entry) == nil {
+		return invalidf("program %q entry %d out of range", p.Name, p.Entry)
+	}
+	for i, f := range p.Funcs {
+		if f == nil {
+			return invalidf("function %d is nil", i)
+		}
+		if f.ID != FuncID(i) {
+			return invalidf("function %q: ID %d, want %d", f.Name, f.ID, i)
+		}
+		if err := validateFunc(p, f); err != nil {
+			return err
+		}
+	}
+	return validateData(p)
+}
+
+func validateFunc(p *Program, f *Function) error {
+	if len(f.Blocks) == 0 {
+		return invalidf("function %q has no blocks", f.Name)
+	}
+	if f.Block(f.Entry) == nil {
+		return invalidf("function %q entry %d out of range", f.Name, f.Entry)
+	}
+	for i, b := range f.Blocks {
+		if b == nil {
+			return invalidf("function %q: block %d is nil", f.Name, i)
+		}
+		if b.ID != BlockID(i) {
+			return invalidf("function %q: block %d has ID %d", f.Name, i, b.ID)
+		}
+		if err := validateBlock(p, f, b); err != nil {
+			return err
+		}
+	}
+	return validateReachability(f)
+}
+
+func validateBlock(p *Program, f *Function, b *Block) error {
+	where := fmt.Sprintf("function %q block %d", f.Name, b.ID)
+	if len(b.Instrs) == 0 {
+		return invalidf("%s is empty", where)
+	}
+	for i, in := range b.Instrs[:len(b.Instrs)-1] {
+		if in.Op.IsControl() {
+			return invalidf("%s: control instruction %s at non-terminal position %d",
+				where, in.Op, i)
+		}
+	}
+	inRange := func(id BlockID) bool { return id >= 0 && int(id) < len(f.Blocks) }
+	switch b.Term() {
+	case TermFallThrough:
+		if b.Taken != NoBlock {
+			return invalidf("%s: fall-through block has a taken successor", where)
+		}
+		if !inRange(b.FallThrough) {
+			return invalidf("%s: fall-through successor %d out of range", where, b.FallThrough)
+		}
+		if b.CallTarget != NoFunc {
+			return invalidf("%s: fall-through block has a call target", where)
+		}
+	case TermBranch:
+		if !inRange(b.Taken) {
+			return invalidf("%s: taken successor %d out of range", where, b.Taken)
+		}
+		if !inRange(b.FallThrough) {
+			return invalidf("%s: fall-through successor %d out of range", where, b.FallThrough)
+		}
+		if b.Behavior == nil {
+			return invalidf("%s: conditional branch without behavior", where)
+		}
+		if b.CallTarget != NoFunc {
+			return invalidf("%s: branch block has a call target", where)
+		}
+	case TermJump:
+		if !inRange(b.Taken) {
+			return invalidf("%s: jump target %d out of range", where, b.Taken)
+		}
+		if b.FallThrough != NoBlock {
+			return invalidf("%s: jump block has a fall-through successor", where)
+		}
+		if b.CallTarget != NoFunc {
+			return invalidf("%s: jump block has a call target", where)
+		}
+	case TermCall:
+		if p.Func(b.CallTarget) == nil {
+			return invalidf("%s: call target %d out of range", where, b.CallTarget)
+		}
+		if !inRange(b.FallThrough) {
+			return invalidf("%s: call continuation %d out of range", where, b.FallThrough)
+		}
+		if b.Taken != NoBlock {
+			return invalidf("%s: call block has a taken successor", where)
+		}
+	case TermReturn:
+		if b.Taken != NoBlock || b.FallThrough != NoBlock {
+			return invalidf("%s: return block has successors", where)
+		}
+		if b.CallTarget != NoFunc {
+			return invalidf("%s: return block has a call target", where)
+		}
+	}
+	if b.Term() != TermBranch && b.Behavior != nil {
+		return invalidf("%s: behavior on a %s block", where, b.Term())
+	}
+	return nil
+}
+
+func validateReachability(f *Function) error {
+	seen := make([]bool, len(f.Blocks))
+	stack := []BlockID{f.Entry}
+	seen[f.Entry] = true
+	var succs []BlockID
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		succs = f.Blocks[id].Succs(succs[:0])
+		for _, s := range succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return invalidf("function %q: block %d unreachable from entry", f.Name, i)
+		}
+	}
+	return nil
+}

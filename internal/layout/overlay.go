@@ -1,0 +1,123 @@
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// NewOrdered builds a cache-only address map with the traces placed in
+// the given order instead of textual order. Code-placement optimizers
+// (Pettis-Hansen / Tomiyama-style, the paper's related work [10,14]) use
+// it to control which cache sets each trace maps to. order must be a
+// permutation of the trace IDs; no scratchpad is involved.
+func NewOrdered(ts *trace.Set, order []int, opt Options) (*Layout, error) {
+	if opt.MainBase == 0 {
+		opt.MainBase = DefaultMainBase
+	}
+	if len(order) != len(ts.Traces) {
+		return nil, fmt.Errorf("layout: order length %d, want %d traces", len(order), len(ts.Traces))
+	}
+	seen := make([]bool, len(ts.Traces))
+	for _, id := range order {
+		if id < 0 || id >= len(ts.Traces) || seen[id] {
+			return nil, fmt.Errorf("layout: order is not a permutation (trace %d)", id)
+		}
+		seen[id] = true
+	}
+	l := &Layout{
+		set:       ts,
+		opt:       opt,
+		inSPM:     make([]bool, len(ts.Traces)),
+		traceBase: make([]uint32, len(ts.Traces)),
+		mainBase:  make([]uint32, len(ts.Traces)),
+		hasMain:   make([]bool, len(ts.Traces)),
+	}
+	addr := opt.MainBase
+	for _, id := range order {
+		t := ts.Traces[id]
+		l.traceBase[id] = addr
+		l.mainBase[id] = addr
+		l.hasMain[id] = true
+		addr += uint32(t.PaddedBytes)
+	}
+	l.mainBytes = int(addr - opt.MainBase)
+	l.resolveBlocks()
+	return l, nil
+}
+
+// NewOverlay builds an address map for a phased (overlay) allocation, the
+// paper's "dynamic copying" future-work extension: execution is split into
+// temporally disjoint phases, the scratchpad is reloaded at each phase
+// entry, and traces assigned to different phases may therefore share
+// scratchpad addresses.
+//
+// phase[i] gives trace i's phase index, or -1 for traces that stay in
+// cacheable main memory. Traces of the same phase are packed together from
+// the scratchpad base; packings of different phases overlap by design.
+// The capacity check applies per phase.
+//
+// The returned layout is valid for whole-run simulation because a trace
+// only executes during its own phase, when its scratchpad image is loaded;
+// the simulator never observes two live traces at overlapping addresses.
+// Copy (reload) costs are not part of the layout — account for them with
+// the overlay package's cost model.
+func NewOverlay(ts *trace.Set, phase []int, numPhases int, opt Options) (*Layout, error) {
+	if opt.MainBase == 0 {
+		opt.MainBase = DefaultMainBase
+	}
+	if len(phase) != len(ts.Traces) {
+		return nil, fmt.Errorf("layout: phase vector length %d, want %d traces",
+			len(phase), len(ts.Traces))
+	}
+	if opt.Mode != Copy {
+		return nil, fmt.Errorf("layout: overlay requires copy semantics")
+	}
+	l := &Layout{
+		set:       ts,
+		opt:       opt,
+		inSPM:     make([]bool, len(ts.Traces)),
+		traceBase: make([]uint32, len(ts.Traces)),
+		mainBase:  make([]uint32, len(ts.Traces)),
+		hasMain:   make([]bool, len(ts.Traces)),
+	}
+
+	// Per-phase packing from the scratchpad base.
+	used := make([]int, numPhases)
+	for _, t := range ts.Traces {
+		p := phase[t.ID]
+		if p < 0 {
+			continue
+		}
+		if p >= numPhases {
+			return nil, fmt.Errorf("layout: trace %d assigned to phase %d of %d", t.ID, p, numPhases)
+		}
+		l.inSPM[t.ID] = true
+		l.traceBase[t.ID] = opt.SPMBase + uint32(used[p])
+		used[p] += t.RawBytes
+		if used[p] > opt.SPMSize {
+			return nil, fmt.Errorf("layout: phase %d needs %d bytes, scratchpad has %d",
+				p, used[p], opt.SPMSize)
+		}
+	}
+	for _, u := range used {
+		if u > l.spmUsed {
+			l.spmUsed = u // report the high-water mark
+		}
+	}
+
+	// Main-memory image: copy semantics — every trace keeps its slot.
+	mainAddr := opt.MainBase
+	for _, t := range ts.Traces {
+		l.mainBase[t.ID] = mainAddr
+		l.hasMain[t.ID] = true
+		if !l.inSPM[t.ID] {
+			l.traceBase[t.ID] = mainAddr
+		}
+		mainAddr += uint32(t.PaddedBytes)
+	}
+	l.mainBytes = int(mainAddr - opt.MainBase)
+
+	l.resolveBlocks()
+	return l, nil
+}

@@ -1,0 +1,95 @@
+package loopcache
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/sim"
+)
+
+// Candidates extracts the preloadable regions Ross's heuristic chooses
+// from: every natural loop (merged per header) and every function of the
+// program, as contiguous address ranges under the given layout.
+//
+// A region's fetch count sums the fetches of all blocks whose code lies
+// inside the range — including non-member blocks that happen to be placed
+// between members — because the loop cache serves whatever addresses fall
+// in the range.
+func Candidates(p *ir.Program, prof *sim.Profile, lay *layout.Layout) []Region {
+	var regions []Region
+	for _, f := range p.Funcs {
+		// Whole function.
+		if r, ok := blockRange(p, lay, f, allBlocks(f)); ok {
+			r.Name = fmt.Sprintf("func %s", f.Name)
+			regions = append(regions, r)
+		}
+		// Merged natural loops.
+		for _, l := range ir.AnalyzeLoops(f).Loops {
+			if r, ok := blockRange(p, lay, f, l.Blocks); ok {
+				r.Name = fmt.Sprintf("loop %s:%d", f.Name, l.Header)
+				regions = append(regions, r)
+			}
+		}
+	}
+	// Fill in fetch counts by range containment.
+	for i := range regions {
+		regions[i].Fetches = fetchesIn(p, prof, lay, regions[i])
+	}
+	return regions
+}
+
+func allBlocks(f *ir.Function) []ir.BlockID {
+	ids := make([]ir.BlockID, len(f.Blocks))
+	for i := range f.Blocks {
+		ids[i] = ir.BlockID(i)
+	}
+	return ids
+}
+
+// blockRange computes the covering address range of a block set.
+func blockRange(p *ir.Program, lay *layout.Layout, f *ir.Function, ids []ir.BlockID) (Region, bool) {
+	if len(ids) == 0 {
+		return Region{}, false
+	}
+	var lo, hi uint32
+	first := true
+	for _, id := range ids {
+		ref := ir.BlockRef{Func: f.ID, Block: id}
+		base := lay.BlockBase(ref)
+		end := base + uint32(f.Blocks[id].Size())
+		if j, ok := lay.FallJump(ref); ok {
+			if j+ir.InstrSize > end {
+				end = j + ir.InstrSize
+			}
+		}
+		if first {
+			lo, hi = base, end
+			first = false
+		} else {
+			if base < lo {
+				lo = base
+			}
+			if end > hi {
+				hi = end
+			}
+		}
+	}
+	return Region{Start: lo, End: hi}, true
+}
+
+// fetchesIn sums the profiled fetches of every block placed inside the
+// region.
+func fetchesIn(p *ir.Program, prof *sim.Profile, lay *layout.Layout, r Region) int64 {
+	var n int64
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			ref := ir.BlockRef{Func: f.ID, Block: b.ID}
+			base := lay.BlockBase(ref)
+			if base >= r.Start && base+uint32(b.Size()) <= r.End {
+				n += prof.BlockCount(ref) * int64(len(b.Instrs))
+			}
+		}
+	}
+	return n
+}

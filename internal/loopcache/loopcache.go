@@ -1,0 +1,177 @@
+// Package loopcache models the preloaded loop cache of Gordon-Ross & Vahid
+// [12], the architectural alternative the paper compares the scratchpad
+// against (Figure 1(b), Figure 5, Table 1).
+//
+// A preloaded loop cache is a small instruction store statically loaded
+// with a handful of pre-identified regions (complex loops or whole
+// functions). A controller holds the start and end address of every
+// preloaded region and, on every instruction fetch, compares the PC
+// against all of them: on a match the fetch is served by the loop-cache
+// array, otherwise by the L1 I-cache. To keep the controller's per-fetch
+// energy acceptable only a small number of regions (typically 2–6) can be
+// preloaded — the architectural limitation CASA exploits, since a
+// scratchpad has no controller and no region limit.
+//
+// The package also implements Ross's greedy preloading heuristic: regions
+// (natural loops and functions) are ranked by execution-time density
+// (fetches per byte) and packed greedily until the entry count or the
+// capacity is exhausted.
+package loopcache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region is one preloadable address range [Start, End).
+type Region struct {
+	// Start is the first instruction address of the region.
+	Start uint32
+	// End is one past the last instruction address.
+	End uint32
+	// Name describes the region in reports (e.g. "loop main:3" or
+	// "func dct").
+	Name string
+	// Fetches is the profiled number of instruction fetches inside the
+	// region (used by the allocator; informational afterwards).
+	Fetches int64
+}
+
+// Bytes returns the region size.
+func (r Region) Bytes() int { return int(r.End - r.Start) }
+
+// Density returns fetches per byte, the greedy ranking key of Ross's
+// heuristic ("execution time per unit size").
+func (r Region) Density() float64 {
+	if r.End <= r.Start {
+		return 0
+	}
+	return float64(r.Fetches) / float64(r.Bytes())
+}
+
+// Config describes the loop-cache hardware.
+type Config struct {
+	// SizeBytes is the loop-cache array capacity (power of two).
+	SizeBytes int
+	// MaxRegions is the number of preloadable ranges the controller
+	// supports (the paper assumes 4).
+	MaxRegions int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.SizeBytes&(c.SizeBytes-1) != 0 {
+		return fmt.Errorf("loopcache: size %d not a positive power of two", c.SizeBytes)
+	}
+	if c.MaxRegions < 1 {
+		return fmt.Errorf("loopcache: MaxRegions %d < 1", c.MaxRegions)
+	}
+	return nil
+}
+
+// Controller is a loaded loop-cache controller: an immutable set of
+// disjoint regions plus the hardware limits it was validated against.
+type Controller struct {
+	cfg     Config
+	regions []Region // sorted by Start
+	used    int
+}
+
+// NewController validates and loads a set of regions. Regions must be
+// non-empty, disjoint, fit the array together, and respect MaxRegions.
+func NewController(cfg Config, regions []Region) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(regions) > cfg.MaxRegions {
+		return nil, fmt.Errorf("loopcache: %d regions exceed controller limit %d",
+			len(regions), cfg.MaxRegions)
+	}
+	rs := append([]Region(nil), regions...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+	used := 0
+	for i, r := range rs {
+		if r.End <= r.Start {
+			return nil, fmt.Errorf("loopcache: region %q empty or inverted", r.Name)
+		}
+		if i > 0 && r.Start < rs[i-1].End {
+			return nil, fmt.Errorf("loopcache: regions %q and %q overlap", rs[i-1].Name, r.Name)
+		}
+		used += r.Bytes()
+	}
+	if used > cfg.SizeBytes {
+		return nil, fmt.Errorf("loopcache: regions need %d bytes, array has %d", used, cfg.SizeBytes)
+	}
+	return &Controller{cfg: cfg, regions: rs, used: used}, nil
+}
+
+// Match reports whether the address is served by the loop cache.
+func (c *Controller) Match(addr uint32) bool {
+	// Hardware compares against all regions in parallel; binary search is
+	// the software equivalent over the sorted, disjoint set.
+	lo, hi := 0, len(c.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := c.regions[mid]
+		switch {
+		case addr < r.Start:
+			hi = mid
+		case addr >= r.End:
+			lo = mid + 1
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Regions returns the loaded regions (sorted by start address).
+func (c *Controller) Regions() []Region { return c.regions }
+
+// Used returns the array bytes occupied.
+func (c *Controller) Used() int { return c.used }
+
+// Config returns the hardware configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Allocate implements Ross's greedy preloading heuristic over candidate
+// regions: sort by density (fetches per byte), then take each candidate
+// that still fits the remaining capacity, does not overlap an already
+// selected region, and does not exceed the region-count limit. Candidates
+// larger than the whole array are skipped.
+func Allocate(cfg Config, candidates []Region) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cands := append([]Region(nil), candidates...)
+	sort.SliceStable(cands, func(i, j int) bool {
+		di, dj := cands[i].Density(), cands[j].Density()
+		if di != dj {
+			return di > dj
+		}
+		return cands[i].Start < cands[j].Start
+	})
+	var chosen []Region
+	used := 0
+	for _, cand := range cands {
+		if len(chosen) == cfg.MaxRegions {
+			break
+		}
+		if cand.End <= cand.Start || used+cand.Bytes() > cfg.SizeBytes {
+			continue
+		}
+		overlap := false
+		for _, sel := range chosen {
+			if cand.Start < sel.End && sel.Start < cand.End {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		chosen = append(chosen, cand)
+		used += cand.Bytes()
+	}
+	return NewController(cfg, chosen)
+}

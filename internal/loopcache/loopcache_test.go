@@ -1,0 +1,231 @@
+package loopcache
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func cfg4x256() Config { return Config{SizeBytes: 256, MaxRegions: 4} }
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, MaxRegions: 4},
+		{SizeBytes: 100, MaxRegions: 4},
+		{SizeBytes: 256, MaxRegions: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid config", c)
+		}
+	}
+	if err := cfg4x256().Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRegionHelpers(t *testing.T) {
+	r := Region{Start: 0x100, End: 0x140, Fetches: 640}
+	if r.Bytes() != 64 {
+		t.Errorf("Bytes = %d, want 64", r.Bytes())
+	}
+	if r.Density() != 10 {
+		t.Errorf("Density = %g, want 10", r.Density())
+	}
+	empty := Region{Start: 0x100, End: 0x100}
+	if empty.Density() != 0 {
+		t.Error("empty region density must be 0")
+	}
+}
+
+func TestNewControllerChecks(t *testing.T) {
+	cases := []struct {
+		name    string
+		regions []Region
+	}{
+		{"too many regions", []Region{
+			{Start: 0, End: 4}, {Start: 8, End: 12}, {Start: 16, End: 20},
+			{Start: 24, End: 28}, {Start: 32, End: 36},
+		}},
+		{"empty region", []Region{{Start: 8, End: 8}}},
+		{"inverted region", []Region{{Start: 8, End: 4}}},
+		{"overlapping regions", []Region{{Start: 0, End: 16}, {Start: 8, End: 24}}},
+		{"capacity exceeded", []Region{{Start: 0, End: 200}, {Start: 512, End: 712}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewController(cfg4x256(), c.regions); err == nil {
+				t.Fatal("invalid region set accepted")
+			}
+		})
+	}
+	// Valid set loads.
+	ctrl, err := NewController(cfg4x256(), []Region{
+		{Start: 0x40, End: 0x80, Name: "a"},
+		{Start: 0x100, End: 0x140, Name: "b"},
+	})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	if ctrl.Used() != 128 {
+		t.Errorf("Used = %d, want 128", ctrl.Used())
+	}
+	if got := ctrl.Config(); got != cfg4x256() {
+		t.Errorf("Config = %+v", got)
+	}
+}
+
+func TestControllerMatch(t *testing.T) {
+	ctrl, err := NewController(cfg4x256(), []Region{
+		{Start: 0x100, End: 0x140, Name: "b"},
+		{Start: 0x40, End: 0x80, Name: "a"}, // out of order on purpose
+	})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	cases := []struct {
+		addr uint32
+		want bool
+	}{
+		{0x3c, false}, {0x40, true}, {0x7c, true}, {0x80, false},
+		{0xfc, false}, {0x100, true}, {0x13c, true}, {0x140, false},
+		{0xffff_ffff, false}, {0, false},
+	}
+	for _, c := range cases {
+		if got := ctrl.Match(c.addr); got != c.want {
+			t.Errorf("Match(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+	// Regions come back sorted.
+	rs := ctrl.Regions()
+	if len(rs) != 2 || rs[0].Start != 0x40 || rs[1].Start != 0x100 {
+		t.Errorf("Regions = %v", rs)
+	}
+}
+
+func TestAllocateGreedyByDensity(t *testing.T) {
+	// Capacity 256, max 2 regions. Densest first.
+	cfg := Config{SizeBytes: 256, MaxRegions: 2}
+	cands := []Region{
+		{Start: 0x000, End: 0x080, Fetches: 1280, Name: "dense"},   // density 10
+		{Start: 0x100, End: 0x180, Fetches: 640, Name: "mid"},      // density 5
+		{Start: 0x200, End: 0x280, Fetches: 128, Name: "sparse"},   // density 1
+		{Start: 0x300, End: 0x500, Fetches: 100000, Name: "giant"}, // too big alone
+	}
+	ctrl, err := Allocate(cfg, cands)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	names := regionNames(ctrl)
+	if names != "dense,mid" {
+		t.Errorf("selected %q, want dense,mid", names)
+	}
+}
+
+func TestAllocateRespectsEntryLimit(t *testing.T) {
+	cfg := Config{SizeBytes: 1024, MaxRegions: 2}
+	var cands []Region
+	for i := 0; i < 6; i++ {
+		start := uint32(i * 0x100)
+		cands = append(cands, Region{
+			Start: start, End: start + 64,
+			Fetches: int64(1000 - i), Name: string(rune('a' + i)),
+		})
+	}
+	ctrl, err := Allocate(cfg, cands)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if len(ctrl.Regions()) != 2 {
+		t.Errorf("selected %d regions, limit 2", len(ctrl.Regions()))
+	}
+}
+
+func TestAllocateSkipsOverlaps(t *testing.T) {
+	// A nested loop overlaps its outer loop; the denser inner one wins and
+	// the outer is skipped.
+	cfg := Config{SizeBytes: 1024, MaxRegions: 4}
+	cands := []Region{
+		{Start: 0x100, End: 0x140, Fetches: 6400, Name: "inner"},  // density 100
+		{Start: 0x0c0, End: 0x1c0, Fetches: 12800, Name: "outer"}, // density 50
+		{Start: 0x400, End: 0x440, Fetches: 64, Name: "other"},
+	}
+	ctrl, err := Allocate(cfg, cands)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	names := regionNames(ctrl)
+	if strings.Contains(names, "outer") {
+		t.Errorf("outer overlaps selected inner: %q", names)
+	}
+	if !strings.Contains(names, "inner") || !strings.Contains(names, "other") {
+		t.Errorf("expected inner+other, got %q", names)
+	}
+}
+
+func regionNames(c *Controller) string {
+	var names []string
+	for _, r := range c.Regions() {
+		names = append(names, r.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+func TestCandidatesExtraction(t *testing.T) {
+	pb := ir.NewProgramBuilder("p")
+	main := pb.Func("main")
+	main.Block("pre").ALU(2)
+	main.Block("loop").Code(8).Call("leaf")
+	main.Block("latch").ALU(1).Branch("loop", "post", ir.Loop{Trips: 40})
+	main.Block("post").Return()
+	leaf := pb.Func("leaf")
+	leaf.Block("l").Code(4).Return()
+	p := pb.MustBuild()
+	prof, err := sim.ProfileProgram(p)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	set, err := trace.Build(p, prof, trace.Options{MaxBytes: 128, LineBytes: 16})
+	if err != nil {
+		t.Fatalf("trace.Build: %v", err)
+	}
+	lay := layout.MustNew(set, nil, layout.Options{})
+	cands := Candidates(p, prof, lay)
+
+	var haveFuncMain, haveFuncLeaf, haveLoop bool
+	for _, c := range cands {
+		switch {
+		case c.Name == "func main":
+			haveFuncMain = true
+			if c.Fetches <= 0 {
+				t.Error("func main fetches missing")
+			}
+		case c.Name == "func leaf":
+			haveFuncLeaf = true
+			// leaf executes 40 times x 5 instructions.
+			if c.Fetches != 200 {
+				t.Errorf("func leaf fetches = %d, want 200", c.Fetches)
+			}
+		case strings.HasPrefix(c.Name, "loop main:"):
+			haveLoop = true
+			if c.Bytes() <= 0 {
+				t.Error("loop region empty")
+			}
+		}
+	}
+	if !haveFuncMain || !haveFuncLeaf || !haveLoop {
+		t.Errorf("missing candidates: %v", cands)
+	}
+	// A loop's region must be preloadable end-to-end.
+	ctrl, err := Allocate(Config{SizeBytes: 512, MaxRegions: 4}, cands)
+	if err != nil {
+		t.Fatalf("Allocate over candidates: %v", err)
+	}
+	if len(ctrl.Regions()) == 0 {
+		t.Error("allocator selected nothing")
+	}
+}

@@ -1,0 +1,273 @@
+// Package memsim is the memory-hierarchy simulator (the reproduction's
+// analogue of the Dortmund memsim tool [8]): it drives the I-cache,
+// scratchpad window and optional preloaded loop cache with a program's
+// instruction fetch stream and accounts accesses, misses, conflict
+// attributions and energy per the cost model.
+//
+// The simulated architecture is the paper's Figure 1: the scratchpad (or
+// the loop cache) sits at the same level as the L1 I-cache; both front an
+// off-chip main memory. A fetch is served by exactly one component:
+//
+//	scratchpad window hit → scratchpad array
+//	loop-cache region hit → loop-cache array (plus controller, every fetch)
+//	otherwise             → I-cache (hit, or miss + main-memory line fill)
+//	no cache configured   → main memory directly
+package memsim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/loopcache"
+	"repro/internal/sim"
+)
+
+// Config selects the hierarchy for one simulation run.
+type Config struct {
+	// Cache configures the L1 I-cache; SizeBytes == 0 disables it and
+	// sends cache-path fetches straight to main memory.
+	Cache cache.Config
+	// L2 configures an optional second-level I-cache behind the L1
+	// (SizeBytes == 0 disables it). Per the paper's §4 remark, the
+	// allocator needs no changes for it — this exists to verify that
+	// claim.
+	L2 cache.Config
+	// LoopCache, when non-nil, routes fetches matching its regions to the
+	// loop-cache array and charges the controller on every fetch.
+	LoopCache *loopcache.Controller
+	// Cost is the per-event energy model.
+	Cost energy.CostModel
+	// TrackConflicts enables per-pair conflict attribution (m_ij), needed
+	// when profiling for the conflict graph. It costs a map update per
+	// conflict miss.
+	TrackConflicts bool
+	// Timing overrides the default fetch-latency model (nil = defaults).
+	Timing *Timing
+}
+
+// Timing is the fetch-latency model (cycles per event). On-chip SRAMs
+// (scratchpad, loop cache, cache hit) take one cycle; a miss stalls for
+// the off-chip burst setup plus per-word transfer of the line fill.
+type Timing struct {
+	// SPM is the scratchpad access latency.
+	SPM int64
+	// LoopCache is the loop-cache access latency.
+	LoopCache int64
+	// CacheHit is the I-cache hit latency.
+	CacheHit int64
+	// L2Hit is the second-level probe latency paid on an L1 miss that the
+	// L2 serves.
+	L2Hit int64
+	// MissSetup is the off-chip burst setup penalty on a miss.
+	MissSetup int64
+	// MissPerWord is the per-32-bit-word transfer penalty of a line fill
+	// (and of a direct main-memory fetch).
+	MissPerWord int64
+}
+
+// DefaultTiming models an ARM7-class board: single-cycle on-chip SRAMs, a
+// 4-cycle burst setup and 2 wait states per transferred word.
+func DefaultTiming() Timing {
+	return Timing{SPM: 1, LoopCache: 1, CacheHit: 1, L2Hit: 4, MissSetup: 4, MissPerWord: 2}
+}
+
+// MOStats aggregates per-memory-object counts.
+type MOStats struct {
+	// Fetches is the object's total instruction fetches (f_i).
+	Fetches int64
+	// SPM counts fetches served by the scratchpad.
+	SPM int64
+	// LoopCache counts fetches served by the loop cache.
+	LoopCache int64
+	// Hits and Misses count the object's I-cache outcomes.
+	Hits   int64
+	Misses int64
+}
+
+// Energy aggregates per-component energy in nanojoules.
+type Energy struct {
+	SPM                 float64
+	CacheHits           float64
+	CacheMisses         float64
+	LoopCache           float64
+	LoopCacheController float64
+	MainMemory          float64
+}
+
+// Total sums all components.
+func (e Energy) Total() float64 {
+	return e.SPM + e.CacheHits + e.CacheMisses + e.LoopCache + e.LoopCacheController + e.MainMemory
+}
+
+// ConflictKey identifies a directed conflict pair: Victim missed because
+// Evictor replaced its line.
+type ConflictKey struct {
+	// Victim is the memory object whose miss is being attributed (x_i).
+	Victim int
+	// Evictor is the object whose line occupied the victim's slot (x_j).
+	Evictor int
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Fetches is the total instruction fetch count.
+	Fetches int64
+	// SPMAccesses counts fetches served by the scratchpad.
+	SPMAccesses int64
+	// LoopCacheAccesses counts fetches served by the loop cache.
+	LoopCacheAccesses int64
+	// CacheAccesses counts fetches that went to the I-cache.
+	CacheAccesses int64
+	// CacheHits and CacheMisses split CacheAccesses.
+	CacheHits   int64
+	CacheMisses int64
+	// L2Accesses, L2Hits and L2Misses describe the optional second level
+	// (an L2 access happens exactly once per L1 miss).
+	L2Accesses int64
+	L2Hits     int64
+	L2Misses   int64
+	// ColdMisses counts misses that filled an invalid line (no victim).
+	ColdMisses int64
+	// ConflictMisses counts misses that evicted a valid line.
+	ConflictMisses int64
+	// MainMemoryFetches counts direct main-memory fetches (no cache).
+	MainMemoryFetches int64
+	// PerMO holds per-object statistics, indexed by trace ID.
+	PerMO []MOStats
+	// Conflicts holds m_ij when Config.TrackConflicts is set: the number
+	// of misses of Victim caused by Evictor (self-conflicts included).
+	Conflicts map[ConflictKey]int64
+	// Energy is the per-component energy breakdown (nJ).
+	Energy Energy
+	// Cycles is the total fetch latency under the timing model — the
+	// instruction-memory contribution to execution time.
+	Cycles int64
+}
+
+// CyclesPerFetch returns the run's average fetch latency.
+func (r *Result) CyclesPerFetch() float64 {
+	if r.Fetches == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Fetches)
+}
+
+// TotalEnergyNJ returns the run's total energy in nanojoules.
+func (r *Result) TotalEnergyNJ() float64 { return r.Energy.Total() }
+
+// TotalEnergyMicroJ returns the run's total energy in microjoules, the
+// unit of the paper's Table 1.
+func (r *Result) TotalEnergyMicroJ() float64 { return r.Energy.Total() / 1000 }
+
+// Run simulates the program under the given layout and hierarchy.
+func Run(prog *ir.Program, lay *layout.Layout, cfg Config, opts ...sim.Option) (*Result, error) {
+	res := &Result{PerMO: make([]MOStats, len(lay.Set().Traces))}
+	if cfg.TrackConflicts {
+		res.Conflicts = make(map[ConflictKey]int64)
+	}
+
+	var ic *cache.Cache
+	if cfg.Cache.SizeBytes > 0 {
+		var err error
+		ic, err = cache.New(cfg.Cache)
+		if err != nil {
+			return nil, fmt.Errorf("memsim: %w", err)
+		}
+	}
+	var l2 *cache.Cache
+	if cfg.L2.SizeBytes > 0 {
+		if ic == nil {
+			return nil, fmt.Errorf("memsim: L2 configured without an L1")
+		}
+		var err error
+		l2, err = cache.New(cfg.L2)
+		if err != nil {
+			return nil, fmt.Errorf("memsim: L2: %w", err)
+		}
+	}
+	lc := cfg.LoopCache
+	cost := cfg.Cost
+	timing := DefaultTiming()
+	if cfg.Timing != nil {
+		timing = *cfg.Timing
+	}
+	lineWords := int64(1)
+	if cfg.Cache.SizeBytes > 0 {
+		lineWords = int64((cfg.Cache.LineBytes + 3) / 4)
+	}
+	missCycles := timing.CacheHit + timing.MissSetup + timing.MissPerWord*lineWords
+
+	fetch := func(addr uint32, mo int) {
+		res.Fetches++
+		st := &res.PerMO[mo]
+		st.Fetches++
+
+		if lay.IsSPMAddr(addr) {
+			res.SPMAccesses++
+			st.SPM++
+			res.Energy.SPM += cost.SPMAccess
+			res.Cycles += timing.SPM
+			return
+		}
+		if lc != nil {
+			// The controller arbitrates every non-SPM fetch.
+			res.Energy.LoopCacheController += cost.LoopCacheController
+			if lc.Match(addr) {
+				res.LoopCacheAccesses++
+				st.LoopCache++
+				res.Energy.LoopCache += cost.LoopCacheHit
+				res.Cycles += timing.LoopCache
+				return
+			}
+		}
+		if ic == nil {
+			res.MainMemoryFetches++
+			res.Energy.MainMemory += cost.MainMemoryWord
+			res.Cycles += timing.MissSetup + timing.MissPerWord
+			return
+		}
+		res.CacheAccesses++
+		r := ic.Access(addr, mo)
+		if r.Hit {
+			res.CacheHits++
+			st.Hits++
+			res.Energy.CacheHits += cost.CacheHit
+			res.Cycles += timing.CacheHit
+			return
+		}
+		res.CacheMisses++
+		st.Misses++
+		if l2 != nil {
+			// Multi-level: L1 probe+fill, then the L2 transaction.
+			res.L2Accesses++
+			res.Energy.CacheMisses += cost.CacheHit + cost.CacheFill + cost.L2Probe
+			res.Cycles += timing.CacheHit + timing.L2Hit
+			if l2.Access(addr, mo).Hit {
+				res.L2Hits++
+			} else {
+				res.L2Misses++
+				res.Energy.CacheMisses += cost.L2Fill + cost.MainLine
+				res.Cycles += timing.MissSetup + timing.MissPerWord*lineWords
+			}
+		} else {
+			res.Energy.CacheMisses += cost.CacheMiss
+			res.Cycles += missCycles
+		}
+		if r.VictimMO == cache.NoMO {
+			res.ColdMisses++
+		} else {
+			res.ConflictMisses++
+			if cfg.TrackConflicts {
+				res.Conflicts[ConflictKey{Victim: mo, Evictor: r.VictimMO}]++
+			}
+		}
+	}
+
+	if _, err := sim.Run(prog, lay, sim.FetcherFunc(fetch), opts...); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,134 @@
+// Package placement implements cache-conscious code placement — the
+// I-cache optimization line of the paper's related work (Pettis & Hansen
+// [10], Tomiyama & Yasuura [14]): instead of (or before) moving anything
+// to a scratchpad, reorder the traces in main memory so hot code maps to
+// disjoint cache sets.
+//
+// Two strategies are provided:
+//
+//   - HotFirst places traces in descending fetch order. Because
+//     consecutive addresses spanning at most one cache size map to
+//     distinct sets, the hottest cache-size window of the program becomes
+//     mutually conflict-free — the essence of the classic trace-placement
+//     results.
+//
+//   - ConflictAware refines HotFirst greedily: at each position it picks
+//     the remaining trace whose lines collide least (weighted by both
+//     traces' fetch heat) with what is already placed, breaking ties by
+//     heat. It helps when the hot working set exceeds the cache.
+//
+// The experiment harness uses this package to answer a natural question
+// about the paper: how much of CASA's win could placement alone achieve
+// without any scratchpad? (See experiments.PlacementStudy.)
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Strategy selects the ordering heuristic.
+type Strategy int
+
+const (
+	// HotFirst orders traces by descending fetch count.
+	HotFirst Strategy = iota
+	// ConflictAware greedily minimizes heat-weighted set collisions.
+	ConflictAware
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	if s == ConflictAware {
+		return "conflict-aware"
+	}
+	return "hot-first"
+}
+
+// CacheShape is the geometry the optimizer targets.
+type CacheShape struct {
+	// Sets is the number of cache sets.
+	Sets int
+	// LineBytes is the line size.
+	LineBytes int
+}
+
+// Validate checks the shape.
+func (c CacheShape) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("placement: sets %d not a positive power of two", c.Sets)
+	}
+	if c.LineBytes < 4 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("placement: line size %d not a power of two ≥ 4", c.LineBytes)
+	}
+	return nil
+}
+
+// Order computes a placement order for the traces of set under the given
+// strategy. The result is a permutation of trace IDs for layout.NewOrdered.
+func Order(set *trace.Set, shape CacheShape, strategy Strategy) ([]int, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(set.Traces)
+	byHeat := make([]int, n)
+	for i := range byHeat {
+		byHeat[i] = i
+	}
+	sort.SliceStable(byHeat, func(a, b int) bool {
+		return set.Traces[byHeat[a]].Fetches > set.Traces[byHeat[b]].Fetches
+	})
+	if strategy == HotFirst {
+		return byHeat, nil
+	}
+
+	// ConflictAware: greedy selection against per-set accumulated heat.
+	// pressure[s] is the fetch heat already mapped to set s.
+	pressure := make([]float64, shape.Sets)
+	placed := make([]bool, n)
+	order := make([]int, 0, n)
+	addr := 0
+
+	// setsOf returns the set indices a trace occupies at a byte offset.
+	setsOf := func(id, at int) []int {
+		t := set.Traces[id]
+		first := at / shape.LineBytes
+		lines := (t.PaddedBytes + shape.LineBytes - 1) / shape.LineBytes
+		out := make([]int, 0, lines)
+		for l := 0; l < lines; l++ {
+			out = append(out, (first+l)%shape.Sets)
+		}
+		return out
+	}
+
+	for len(order) < n {
+		best := -1
+		bestCost := 0.0
+		for _, cand := range byHeat {
+			if placed[cand] {
+				continue
+			}
+			heat := float64(set.Traces[cand].Fetches)
+			cost := 0.0
+			for _, s := range setsOf(cand, addr) {
+				// Collision cost: my heat meeting the heat already there.
+				cost += pressure[s] * heat
+			}
+			// Among equal costs the hottest candidate goes first (byHeat
+			// iteration order provides the tie-break).
+			if best < 0 || cost < bestCost {
+				best, bestCost = cand, cost
+			}
+		}
+		placed[best] = true
+		order = append(order, best)
+		heat := float64(set.Traces[best].Fetches)
+		for _, s := range setsOf(best, addr) {
+			pressure[s] += heat
+		}
+		addr += set.Traces[best].PaddedBytes
+	}
+	return order, nil
+}

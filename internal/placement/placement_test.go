@@ -1,0 +1,145 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/memsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func buildSet(t *testing.T, p *ir.Program) *trace.Set {
+	t.Helper()
+	prof, err := sim.ProfileProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := trace.Build(p, prof, trace.Options{MaxBytes: 512, LineBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestShapeValidate(t *testing.T) {
+	bad := []CacheShape{
+		{Sets: 0, LineBytes: 16},
+		{Sets: 3, LineBytes: 16},
+		{Sets: 8, LineBytes: 2},
+		{Sets: 8, LineBytes: 24},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", s)
+		}
+	}
+	if err := (CacheShape{Sets: 8, LineBytes: 16}).Validate(); err != nil {
+		t.Errorf("good shape rejected: %v", err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if HotFirst.String() != "hot-first" || ConflictAware.String() != "conflict-aware" {
+		t.Error("strategy names")
+	}
+}
+
+func TestOrdersArePermutations(t *testing.T) {
+	for _, name := range workload.Names() {
+		set := buildSet(t, workload.MustLoad(name))
+		for _, strat := range []Strategy{HotFirst, ConflictAware} {
+			order, err := Order(set, CacheShape{Sets: 128, LineBytes: 16}, strat)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, strat, err)
+			}
+			if len(order) != len(set.Traces) {
+				t.Fatalf("%s/%v: %d entries", name, strat, len(order))
+			}
+			seen := make([]bool, len(order))
+			for _, id := range order {
+				if id < 0 || id >= len(order) || seen[id] {
+					t.Fatalf("%s/%v: not a permutation", name, strat)
+				}
+				seen[id] = true
+			}
+			// A permutation must build a valid layout.
+			if _, err := layout.NewOrdered(set, order, layout.Options{}); err != nil {
+				t.Fatalf("%s/%v: NewOrdered: %v", name, strat, err)
+			}
+		}
+	}
+}
+
+func TestHotFirstIsByHeat(t *testing.T) {
+	set := buildSet(t, workload.MustLoad("adpcm"))
+	order, err := Order(set, CacheShape{Sets: 8, LineBytes: 16}, HotFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(order); i++ {
+		if set.Traces[order[i-1]].Fetches < set.Traces[order[i]].Fetches {
+			t.Fatalf("order not descending by heat at %d", i)
+		}
+	}
+}
+
+// TestPlacementReducesMissesOnThrashingImage: a program much larger than
+// the cache with interleaved hot/cold traces must benefit from placement.
+func TestPlacementReducesMissesOnThrashingImage(t *testing.T) {
+	set := buildSet(t, workload.MustLoad("mpeg"))
+	ccfg := cache.Config{SizeBytes: 2048, LineBytes: 16, Assoc: 1}
+	cost := energy.MustCostModel(energy.Config{
+		Cache: energy.CacheGeometry{SizeBytes: 2048, LineBytes: 16, Assoc: 1},
+	})
+	run := func(lay *layout.Layout) int64 {
+		res, err := memsim.Run(set.Prog, lay, memsim.Config{Cache: ccfg, Cost: cost})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CacheMisses
+	}
+	baseLay, err := layout.New(set, nil, layout.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := run(baseLay)
+	for _, strat := range []Strategy{HotFirst, ConflictAware} {
+		order, err := Order(set, CacheShape{Sets: 128, LineBytes: 16}, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lay, err := layout.NewOrdered(set, order, layout.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := run(lay); got >= base {
+			t.Errorf("%v did not reduce misses: %d vs baseline %d", strat, got, base)
+		}
+	}
+}
+
+func TestNewOrderedRejectsBadOrders(t *testing.T) {
+	set := buildSet(t, workload.MustLoad("adpcm"))
+	if _, err := layout.NewOrdered(set, []int{0}, layout.Options{}); err == nil && len(set.Traces) != 1 {
+		t.Error("short order accepted")
+	}
+	order := make([]int, len(set.Traces))
+	for i := range order {
+		order[i] = 0 // duplicates
+	}
+	if _, err := layout.NewOrdered(set, order, layout.Options{}); err == nil {
+		t.Error("duplicate order accepted")
+	}
+}
+
+func TestOrderRejectsBadShape(t *testing.T) {
+	set := buildSet(t, workload.MustLoad("adpcm"))
+	if _, err := Order(set, CacheShape{Sets: 5, LineBytes: 16}, HotFirst); err == nil {
+		t.Error("bad shape accepted")
+	}
+}

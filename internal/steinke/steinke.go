@@ -1,0 +1,71 @@
+// Package steinke implements the baseline allocator the paper compares
+// against: Steinke et al., "Assigning Program and Data Objects to
+// Scratchpad for Energy Reduction" (DATE 2002) [13], restricted to program
+// objects as in the paper's evaluation.
+//
+// The algorithm assumes a cache-less hierarchy (scratchpad + main memory
+// only). Each memory object's profit is proportional to its execution
+// count — every fetch moved from main memory to the scratchpad saves a
+// fixed amount of energy — so the best selection is a 0/1 knapsack over
+// (profit = fetches, weight = size), solved here exactly with dynamic
+// programming, as in the original paper.
+//
+// Two properties make this baseline inaccurate on a cache-equipped
+// hierarchy (paper §2): fetch counts ignore the hit/miss split that
+// actually determines energy, and the selected objects are *moved* out of
+// the main-memory image, shifting every remaining object's cache mapping
+// (layout.Move semantics) with potentially erratic results.
+package steinke
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Allocation is the knapsack result.
+type Allocation struct {
+	// InSPM[i] reports whether trace i is placed in the scratchpad.
+	InSPM []bool
+	// UsedBytes is the scratchpad space consumed.
+	UsedBytes int
+	// Profit is the total selected profit (fetch count).
+	Profit int64
+}
+
+// Allocate selects the profit-maximal set of traces that fits the
+// scratchpad, by exact 0/1 knapsack DP over bytes. Ties are broken toward
+// lower trace IDs for determinism.
+func Allocate(set *trace.Set, spmSize int) (*Allocation, error) {
+	if spmSize < 0 {
+		return nil, fmt.Errorf("steinke: negative scratchpad size %d", spmSize)
+	}
+	n := len(set.Traces)
+	// dp[w] = best profit with capacity w; keep[i][w] records choices.
+	dp := make([]int64, spmSize+1)
+	keep := make([][]bool, n)
+	for i, t := range set.Traces {
+		keep[i] = make([]bool, spmSize+1)
+		w := t.RawBytes
+		profit := t.Fetches
+		if w == 0 || w > spmSize || profit <= 0 {
+			continue
+		}
+		for c := spmSize; c >= w; c-- {
+			if cand := dp[c-w] + profit; cand > dp[c] {
+				dp[c] = cand
+				keep[i][c] = true
+			}
+		}
+	}
+	a := &Allocation{InSPM: make([]bool, n), Profit: dp[spmSize]}
+	c := spmSize
+	for i := n - 1; i >= 0; i-- {
+		if keep[i][c] {
+			a.InSPM[i] = true
+			a.UsedBytes += set.Traces[i].RawBytes
+			c -= set.Traces[i].RawBytes
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,161 @@
+package steinke
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// makeSet builds one trace per loop spec (loop block + jump link), exactly
+// as the core package's tests do.
+func makeSet(t *testing.T, loops []struct{ Code, Trips int }) *trace.Set {
+	t.Helper()
+	pb := ir.NewProgramBuilder("synthetic")
+	f := pb.Func("main")
+	for i, l := range loops {
+		head := fmt.Sprintf("h%d", i)
+		link := fmt.Sprintf("j%d", i)
+		next := fmt.Sprintf("h%d", i+1)
+		if i == len(loops)-1 {
+			next = "end"
+		}
+		f.Block(head).Code(l.Code).Branch(head, link, ir.Loop{Trips: l.Trips})
+		f.Block(link).ALU(1).Jump(next)
+	}
+	f.Block("end").Return()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	prof, err := sim.ProfileProgram(p)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	set, err := trace.Build(p, prof, trace.Options{MaxBytes: 4096, LineBytes: 16})
+	if err != nil {
+		t.Fatalf("trace.Build: %v", err)
+	}
+	return set
+}
+
+func TestRejectsNegativeSize(t *testing.T) {
+	set := makeSet(t, []struct{ Code, Trips int }{{5, 10}})
+	if _, err := Allocate(set, -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestZeroCapacitySelectsNothing(t *testing.T) {
+	set := makeSet(t, []struct{ Code, Trips int }{{5, 10}, {6, 20}})
+	a, err := Allocate(set, 0)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if a.UsedBytes != 0 || a.Profit != 0 {
+		t.Errorf("empty knapsack selected %d bytes, profit %d", a.UsedBytes, a.Profit)
+	}
+	for i, in := range a.InSPM {
+		if in {
+			t.Errorf("trace %d selected with zero capacity", i)
+		}
+	}
+}
+
+func TestPicksHottestThatFits(t *testing.T) {
+	set := makeSet(t, []struct{ Code, Trips int }{
+		{10, 1000}, // hottest
+		{10, 10},
+		{10, 500},
+	})
+	var hot, mid int = -1, -1
+	var hotF, midF int64
+	for _, tr := range set.Traces {
+		if tr.Fetches > hotF {
+			mid, midF = hot, hotF
+			hot, hotF = tr.ID, tr.Fetches
+		} else if tr.Fetches > midF {
+			mid, midF = tr.ID, tr.Fetches
+		}
+	}
+	spm := set.Traces[hot].RawBytes + set.Traces[mid].RawBytes
+	a, err := Allocate(set, spm)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if !a.InSPM[hot] || !a.InSPM[mid] {
+		t.Errorf("knapsack missed the hottest traces: %v", a.InSPM)
+	}
+	if a.UsedBytes > spm {
+		t.Errorf("capacity violated: %d > %d", a.UsedBytes, spm)
+	}
+}
+
+// TestMatchesBruteForce cross-validates the DP against subset enumeration.
+func TestMatchesBruteForce(t *testing.T) {
+	rng := uint64(99)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	for trial := 0; trial < 10; trial++ {
+		nLoops := 3 + next(4)
+		loops := make([]struct{ Code, Trips int }, nLoops)
+		for i := range loops {
+			loops[i] = struct{ Code, Trips int }{Code: 3 + next(12), Trips: 5 + next(300)}
+		}
+		set := makeSet(t, loops)
+		spm := 32 + next(160)
+		a, err := Allocate(set, spm)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Brute force.
+		n := len(set.Traces)
+		var best int64
+		for mask := 0; mask < 1<<n; mask++ {
+			bytes := 0
+			var profit int64
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					bytes += set.Traces[i].RawBytes
+					profit += set.Traces[i].Fetches
+				}
+			}
+			if bytes <= spm && profit > best {
+				best = profit
+			}
+		}
+		if a.Profit != best {
+			t.Errorf("trial %d: DP profit %d, brute force %d", trial, a.Profit, best)
+		}
+	}
+}
+
+func TestSelectionConsistent(t *testing.T) {
+	set := makeSet(t, []struct{ Code, Trips int }{
+		{8, 100}, {9, 200}, {7, 300},
+	})
+	a, err := Allocate(set, 120)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	var bytes int
+	var profit int64
+	for i, in := range a.InSPM {
+		if in {
+			bytes += set.Traces[i].RawBytes
+			profit += set.Traces[i].Fetches
+		}
+	}
+	if bytes != a.UsedBytes {
+		t.Errorf("UsedBytes %d, recomputed %d", a.UsedBytes, bytes)
+	}
+	if profit != a.Profit {
+		t.Errorf("Profit %d, recomputed %d", a.Profit, profit)
+	}
+}

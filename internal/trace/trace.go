@@ -1,0 +1,364 @@
+// Package trace partitions a program into traces, the memory objects of
+// the CASA paper (§3.2): straight-line sequences of basic blocks connected
+// by fall-through edges, grown greedily along hot paths (in the style of
+// Tomiyama & Yasuura's trace generation), bounded in size so they fit the
+// scratchpad, and padded with NOPs to cache-line boundaries so that every
+// cache miss is attributable to exactly one trace.
+//
+// Each trace is an atomic unit: because a trace always ends with an
+// unconditional transfer (an existing jump/return, or an appended jump),
+// it can be placed anywhere in memory — in particular, copied to the
+// scratchpad — without touching any other trace.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// Options configures trace formation.
+type Options struct {
+	// MaxBytes caps the raw size (instructions plus a possible appended
+	// jump, without NOP padding) of a trace. It is normally the scratchpad
+	// capacity. Single blocks larger than the cap form oversized traces,
+	// which allocators simply cannot place in the scratchpad.
+	MaxBytes int
+	// LineBytes is the cache line size traces are padded to.
+	LineBytes int
+}
+
+func (o Options) validate() error {
+	if o.MaxBytes < ir.InstrSize {
+		return fmt.Errorf("trace: MaxBytes %d < instruction size", o.MaxBytes)
+	}
+	if o.LineBytes < ir.InstrSize || o.LineBytes&(o.LineBytes-1) != 0 {
+		return fmt.Errorf("trace: LineBytes %d not a power of two ≥ %d", o.LineBytes, ir.InstrSize)
+	}
+	return nil
+}
+
+// Trace is one memory object.
+type Trace struct {
+	// ID is the trace's index within its Set.
+	ID int
+	// Blocks lists the member blocks in layout order; consecutive entries
+	// are connected by fall-through edges.
+	Blocks []ir.BlockRef
+	// HasJump reports whether an unconditional jump is appended after the
+	// last block, required when that block's fall-through successor lives
+	// in another trace.
+	HasJump bool
+	// RawBytes is the trace size in bytes including the appended jump but
+	// excluding NOP padding. This is S(x_i): NOPs are stripped before a
+	// trace is copied to the scratchpad.
+	RawBytes int
+	// PaddedBytes is RawBytes rounded up to a cache-line multiple; the
+	// main-memory image uses this size so every trace starts and ends on a
+	// line boundary.
+	PaddedBytes int
+	// Fetches is f_i: the profiled number of instruction fetches within
+	// the trace, including executions of the appended jump.
+	Fetches int64
+}
+
+// Oversized reports whether the trace exceeds the formation cap (and hence
+// can never be placed in the scratchpad).
+func (t *Trace) Oversized(maxBytes int) bool { return t.RawBytes > maxBytes }
+
+// Set is a complete partition of a program's blocks into traces.
+type Set struct {
+	// Prog is the partitioned program.
+	Prog *ir.Program
+	// Traces lists the traces; Traces[i].ID == i. Order follows the
+	// first-member block's textual position, so the main-memory image
+	// resembles the original program.
+	Traces []*Trace
+	// Opt echoes the formation options.
+	Opt Options
+
+	blockTrace  [][]int // [func][block] -> trace ID
+	blockOffset [][]int // [func][block] -> byte offset within trace
+}
+
+// TraceOf returns the trace containing the referenced block.
+func (s *Set) TraceOf(ref ir.BlockRef) *Trace {
+	return s.Traces[s.blockTrace[ref.Func][ref.Block]]
+}
+
+// TraceIDOf returns the ID of the trace containing the referenced block.
+func (s *Set) TraceIDOf(ref ir.BlockRef) int {
+	return s.blockTrace[ref.Func][ref.Block]
+}
+
+// OffsetOf returns the block's byte offset within its trace.
+func (s *Set) OffsetOf(ref ir.BlockRef) int {
+	return s.blockOffset[ref.Func][ref.Block]
+}
+
+// TotalRawBytes sums the raw sizes of all traces.
+func (s *Set) TotalRawBytes() int {
+	n := 0
+	for _, t := range s.Traces {
+		n += t.RawBytes
+	}
+	return n
+}
+
+// TotalPaddedBytes sums the padded sizes of all traces (the main-memory
+// image size).
+func (s *Set) TotalPaddedBytes() int {
+	n := 0
+	for _, t := range s.Traces {
+		n += t.PaddedBytes
+	}
+	return n
+}
+
+// Build partitions p into traces guided by the profile.
+//
+// Seeds are chosen hottest-first; each seed grows backward and forward
+// along the hottest available fall-through edges while the size cap holds.
+// Every block ends up in exactly one trace, including never-executed ones
+// (they form cold traces grouped by textual adjacency).
+func Build(p *ir.Program, prof *sim.Profile, opt Options) (*Set, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	s := &Set{Prog: p, Opt: opt}
+	s.blockTrace = make([][]int, len(p.Funcs))
+	s.blockOffset = make([][]int, len(p.Funcs))
+	for i, f := range p.Funcs {
+		s.blockTrace[i] = make([]int, len(f.Blocks))
+		s.blockOffset[i] = make([]int, len(f.Blocks))
+		for j := range s.blockTrace[i] {
+			s.blockTrace[i][j] = -1
+		}
+	}
+
+	// Seed order: hottest first, textual order breaking ties.
+	refs := p.BlockRefs()
+	sort.SliceStable(refs, func(i, j int) bool {
+		ci, cj := prof.BlockCount(refs[i]), prof.BlockCount(refs[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return refs[i].Less(refs[j])
+	})
+
+	assigned := func(ref ir.BlockRef) bool {
+		return s.blockTrace[ref.Func][ref.Block] >= 0
+	}
+
+	var rawTraces [][]ir.BlockRef
+	for _, seed := range refs {
+		if assigned(seed) {
+			continue
+		}
+		members := growTrace(p, prof, seed, assigned, opt.MaxBytes)
+		id := len(rawTraces)
+		for _, m := range members {
+			s.blockTrace[m.Func][m.Block] = id
+		}
+		rawTraces = append(rawTraces, members)
+	}
+
+	// Reorder traces by textual position of their first member so the
+	// main-memory image stays program-like, then renumber.
+	order := make([]int, len(rawTraces))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return rawTraces[order[a]][0].Less(rawTraces[order[b]][0])
+	})
+	renum := make([]int, len(rawTraces))
+	for newID, oldID := range order {
+		renum[oldID] = newID
+	}
+	for fi := range s.blockTrace {
+		for bi := range s.blockTrace[fi] {
+			s.blockTrace[fi][bi] = renum[s.blockTrace[fi][bi]]
+		}
+	}
+
+	s.Traces = make([]*Trace, len(rawTraces))
+	for newID, oldID := range order {
+		s.Traces[newID] = s.finalize(newID, rawTraces[oldID], prof)
+	}
+	return s, nil
+}
+
+// growTrace builds one trace starting from seed: first backward along the
+// hottest fall-through predecessors, then forward along fall-through
+// successors.
+func growTrace(p *ir.Program, prof *sim.Profile, seed ir.BlockRef,
+	assigned func(ir.BlockRef) bool, maxBytes int) []ir.BlockRef {
+
+	f := p.Func(seed.Func)
+	members := []ir.BlockRef{seed}
+	// Reserve room for a possibly-appended jump.
+	size := f.Block(seed.Block).Size() + ir.InstrSize
+
+	// Backward growth: find the hottest unassigned predecessor whose
+	// fall-through path enters the current first member.
+	for {
+		first := members[0]
+		var best ir.BlockRef
+		var bestCount int64 = -1
+		for _, b := range f.Blocks {
+			if b.FallThrough != first.Block {
+				continue
+			}
+			switch b.Term() {
+			case ir.TermFallThrough, ir.TermBranch, ir.TermCall:
+				// These leave along the fall-through path.
+			default:
+				continue
+			}
+			ref := ir.BlockRef{Func: f.ID, Block: b.ID}
+			if assigned(ref) || ref == first {
+				continue
+			}
+			// The candidate must not already be a member (loops).
+			if contains(members, ref) {
+				continue
+			}
+			c := prof.FallCount(ref, first)
+			if c > bestCount || (c == bestCount && ref.Less(best)) {
+				best, bestCount = ref, c
+			}
+		}
+		if bestCount < 0 {
+			break
+		}
+		bsz := f.Block(best.Block).Size()
+		if size+bsz > maxBytes {
+			break
+		}
+		size += bsz
+		members = append([]ir.BlockRef{best}, members...)
+	}
+
+	// Forward growth along the fall-through chain.
+	for {
+		last := members[len(members)-1]
+		lb := f.Block(last.Block)
+		if lb.Term() == ir.TermJump || lb.Term() == ir.TermReturn {
+			break // no fall-through path to extend along
+		}
+		next := ir.BlockRef{Func: f.ID, Block: lb.FallThrough}
+		if assigned(next) || contains(members, next) {
+			break
+		}
+		nsz := f.Block(next.Block).Size()
+		if size+nsz > maxBytes {
+			break
+		}
+		size += nsz
+		members = append(members, next)
+	}
+	return members
+}
+
+func contains(refs []ir.BlockRef, ref ir.BlockRef) bool {
+	for _, r := range refs {
+		if r == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// finalize computes sizes, offsets, the appended jump and f_i for one
+// trace.
+func (s *Set) finalize(id int, members []ir.BlockRef, prof *sim.Profile) *Trace {
+	t := &Trace{ID: id, Blocks: members}
+	off := 0
+	for _, m := range members {
+		s.blockOffset[m.Func][m.Block] = off
+		off += s.Prog.Func(m.Func).Block(m.Block).Size()
+	}
+	t.RawBytes = off
+
+	last := members[len(members)-1]
+	lb := s.Prog.Func(last.Func).Block(last.Block)
+	switch lb.Term() {
+	case ir.TermFallThrough, ir.TermBranch, ir.TermCall:
+		// The fall-through successor lives in another trace (forward
+		// growth stopped), so a jump must be appended.
+		t.HasJump = true
+		t.RawBytes += ir.InstrSize
+	}
+
+	t.PaddedBytes = (t.RawBytes + s.Opt.LineBytes - 1) / s.Opt.LineBytes * s.Opt.LineBytes
+
+	for _, m := range members {
+		t.Fetches += prof.BlockCount(m) * int64(len(s.Prog.Func(m.Func).Block(m.Block).Instrs))
+	}
+	if t.HasJump {
+		// The appended jump executes whenever control leaves the last
+		// block along its fall-through path.
+		next := ir.BlockRef{Func: last.Func, Block: lb.FallThrough}
+		t.Fetches += prof.FallCount(last, next)
+	}
+	return t
+}
+
+// Validate checks the set's internal invariants: every block belongs to
+// exactly one trace, members are chained by fall-through edges, sizes and
+// offsets are consistent, and padding is line-aligned. It is used by tests
+// and available to callers as a cheap sanity check.
+func (s *Set) Validate() error {
+	seen := make(map[ir.BlockRef]int)
+	for _, t := range s.Traces {
+		if len(t.Blocks) == 0 {
+			return fmt.Errorf("trace %d is empty", t.ID)
+		}
+		off := 0
+		for i, m := range t.Blocks {
+			if prev, dup := seen[m]; dup {
+				return fmt.Errorf("block %v in traces %d and %d", m, prev, t.ID)
+			}
+			seen[m] = t.ID
+			if s.TraceIDOf(m) != t.ID {
+				return fmt.Errorf("block %v maps to trace %d, member of %d", m, s.TraceIDOf(m), t.ID)
+			}
+			if s.OffsetOf(m) != off {
+				return fmt.Errorf("block %v offset %d, want %d", m, s.OffsetOf(m), off)
+			}
+			b := s.Prog.Func(m.Func).Block(m.Block)
+			off += b.Size()
+			if i+1 < len(t.Blocks) {
+				nxt := t.Blocks[i+1]
+				if m.Func != nxt.Func {
+					return fmt.Errorf("trace %d crosses functions", t.ID)
+				}
+				switch b.Term() {
+				case ir.TermFallThrough, ir.TermBranch, ir.TermCall:
+					if b.FallThrough != nxt.Block {
+						return fmt.Errorf("trace %d: %v does not fall through to %v", t.ID, m, nxt)
+					}
+				default:
+					return fmt.Errorf("trace %d: %v (%v) cannot precede %v", t.ID, m, b.Term(), nxt)
+				}
+			}
+		}
+		wantRaw := off
+		if t.HasJump {
+			wantRaw += ir.InstrSize
+		}
+		if t.RawBytes != wantRaw {
+			return fmt.Errorf("trace %d RawBytes %d, want %d", t.ID, t.RawBytes, wantRaw)
+		}
+		if t.PaddedBytes < t.RawBytes || t.PaddedBytes%s.Opt.LineBytes != 0 {
+			return fmt.Errorf("trace %d PaddedBytes %d not aligned past %d", t.ID, t.PaddedBytes, t.RawBytes)
+		}
+	}
+	if want := s.Prog.NumBlocks(); len(seen) != want {
+		return fmt.Errorf("%d blocks covered, program has %d", len(seen), want)
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+func buildAndProfile(t *testing.T, pb *ir.ProgramBuilder) (*ir.Program, *sim.Profile) {
+	t.Helper()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	prof, err := sim.ProfileProgram(p)
+	if err != nil {
+		t.Fatalf("ProfileProgram: %v", err)
+	}
+	return p, prof
+}
+
+func opts() Options { return Options{MaxBytes: 256, LineBytes: 16} }
+
+func TestOptionsValidate(t *testing.T) {
+	pb := ir.NewProgramBuilder("p")
+	pb.Func("main").Block("a").ALU(1).Return()
+	p, prof := buildAndProfile(t, pb)
+	for _, bad := range []Options{
+		{MaxBytes: 0, LineBytes: 16},
+		{MaxBytes: 256, LineBytes: 0},
+		{MaxBytes: 256, LineBytes: 12},
+	} {
+		if _, err := Build(p, prof, bad); err == nil {
+			t.Errorf("Build accepted options %+v", bad)
+		}
+	}
+}
+
+func TestSingleBlockProgram(t *testing.T) {
+	pb := ir.NewProgramBuilder("p")
+	pb.Func("main").Block("a").ALU(3).Return()
+	p, prof := buildAndProfile(t, pb)
+	s, err := Build(p, prof, opts())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(s.Traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(s.Traces))
+	}
+	tr := s.Traces[0]
+	if tr.HasJump {
+		t.Error("return block needs no appended jump")
+	}
+	if tr.RawBytes != 4*ir.InstrSize {
+		t.Errorf("RawBytes = %d, want %d", tr.RawBytes, 4*ir.InstrSize)
+	}
+	if tr.PaddedBytes != 16 {
+		t.Errorf("PaddedBytes = %d, want 16", tr.PaddedBytes)
+	}
+	if tr.Fetches != 4 {
+		t.Errorf("Fetches = %d, want 4", tr.Fetches)
+	}
+}
+
+func TestFallThroughChainMerges(t *testing.T) {
+	pb := ir.NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("a").ALU(2)
+	f.Block("b").ALU(2)
+	f.Block("c").ALU(2).Return()
+	p, prof := buildAndProfile(t, pb)
+	s, err := Build(p, prof, opts())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(s.Traces) != 1 {
+		t.Fatalf("chain should merge into one trace, got %d", len(s.Traces))
+	}
+	tr := s.Traces[0]
+	if len(tr.Blocks) != 3 {
+		t.Fatalf("trace has %d blocks, want 3", len(tr.Blocks))
+	}
+	// Offsets are cumulative.
+	if s.OffsetOf(tr.Blocks[0]) != 0 || s.OffsetOf(tr.Blocks[1]) != 8 || s.OffsetOf(tr.Blocks[2]) != 16 {
+		t.Errorf("offsets wrong: %d %d %d",
+			s.OffsetOf(tr.Blocks[0]), s.OffsetOf(tr.Blocks[1]), s.OffsetOf(tr.Blocks[2]))
+	}
+}
+
+func TestSizeCapSplitsChain(t *testing.T) {
+	pb := ir.NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("a").ALU(10) // 40B
+	f.Block("b").ALU(10) // 40B
+	f.Block("c").ALU(10).Return()
+	p, prof := buildAndProfile(t, pb)
+	s, err := Build(p, prof, Options{MaxBytes: 64, LineBytes: 16})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(s.Traces) < 2 {
+		t.Fatalf("64B cap should split 120B chain, got %d traces", len(s.Traces))
+	}
+	for _, tr := range s.Traces {
+		if tr.RawBytes > 64 {
+			t.Errorf("trace %d RawBytes %d exceeds cap", tr.ID, tr.RawBytes)
+		}
+	}
+}
+
+func TestOversizedBlockBecomesOversizedTrace(t *testing.T) {
+	pb := ir.NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("big").ALU(100).Return() // 400B block
+	p, prof := buildAndProfile(t, pb)
+	s, err := Build(p, prof, Options{MaxBytes: 64, LineBytes: 16})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(s.Traces) != 1 {
+		t.Fatalf("got %d traces", len(s.Traces))
+	}
+	if !s.Traces[0].Oversized(64) {
+		t.Error("400B trace should be oversized for 64B cap")
+	}
+}
+
+func TestAppendedJumpOnHotExit(t *testing.T) {
+	// loop body branches back; loop exit falls through to a cold epilogue
+	// placed in another trace when the cap forces a split.
+	pb := ir.NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("hot").Code(12).Branch("hot", "cold", ir.Loop{Trips: 100}) // 13 instrs = 52B
+	f.Block("cold").Code(12)                                           // 48B
+	f.Block("end").Return()
+	p, prof := buildAndProfile(t, pb)
+	s, err := Build(p, prof, Options{MaxBytes: 64, LineBytes: 16})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	hot := ir.BlockRef{Func: 0, Block: 0}
+	cold := ir.BlockRef{Func: 0, Block: 1}
+	if s.TraceIDOf(hot) == s.TraceIDOf(cold) {
+		t.Fatal("cap should separate hot and cold")
+	}
+	hotTrace := s.TraceOf(hot)
+	if !hotTrace.HasJump {
+		t.Error("hot trace ends in a conditional branch: needs appended jump")
+	}
+	// f_i = 100 executions * 13 instrs + 1 fall-through exit (the appended
+	// jump executes once).
+	want := int64(100*13 + 1)
+	if hotTrace.Fetches != want {
+		t.Errorf("hot trace fetches = %d, want %d", hotTrace.Fetches, want)
+	}
+}
+
+func TestHotSeedGrowsAcrossBranchFallThrough(t *testing.T) {
+	// A conditional branch block inside a trace: the fall-through arm can
+	// stay in the same trace.
+	pb := ir.NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("head").ALU(2).Branch("rare", "common", ir.Biased{P: 0.05, Seed: 3})
+	f.Block("common").ALU(4)
+	f.Block("tail").ALU(2).Branch("head", "exit", ir.Loop{Trips: 500})
+	f.Block("exit").Return()
+	f.Block("rare").ALU(6).Jump("tail")
+	p, prof := buildAndProfile(t, pb)
+	s, err := Build(p, prof, opts())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	head := ir.BlockRef{Func: 0, Block: 0}
+	common := ir.BlockRef{Func: 0, Block: 1}
+	tail := ir.BlockRef{Func: 0, Block: 2}
+	if s.TraceIDOf(head) != s.TraceIDOf(common) || s.TraceIDOf(common) != s.TraceIDOf(tail) {
+		t.Errorf("hot path not merged: head=%d common=%d tail=%d",
+			s.TraceIDOf(head), s.TraceIDOf(common), s.TraceIDOf(tail))
+	}
+	rare := ir.BlockRef{Func: 0, Block: 4}
+	if s.TraceIDOf(rare) == s.TraceIDOf(head) {
+		t.Error("rare arm ends in a jump and is entered by branch only; separate trace expected")
+	}
+}
+
+func TestColdBlocksCovered(t *testing.T) {
+	pb := ir.NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("a").ALU(1).Jump("exit")
+	f.Block("dead1").ALU(3) // reachable via branch never taken
+	f.Block("dead2").ALU(3)
+	f.Block("exit").ALU(1).Branch("dead1", "end", ir.Never{})
+	f.Block("end").Return()
+	p, prof := buildAndProfile(t, pb)
+	s, err := Build(p, prof, opts())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Every block, including never-executed ones, is in some trace.
+	total := 0
+	for _, tr := range s.Traces {
+		total += len(tr.Blocks)
+	}
+	if total != p.NumBlocks() {
+		t.Errorf("covered %d blocks, program has %d", total, p.NumBlocks())
+	}
+}
+
+func TestTracesDoNotCrossFunctions(t *testing.T) {
+	pb := ir.NewProgramBuilder("p")
+	main := pb.Func("main")
+	main.Block("a").ALU(1).Call("leaf")
+	main.Block("b").Return()
+	leaf := pb.Func("leaf")
+	leaf.Block("l").ALU(1).Return()
+	p, prof := buildAndProfile(t, pb)
+	s, err := Build(p, prof, opts())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, tr := range s.Traces {
+		for _, m := range tr.Blocks {
+			if m.Func != tr.Blocks[0].Func {
+				t.Fatalf("trace %d crosses functions", tr.ID)
+			}
+		}
+	}
+}
+
+func TestTraceOrderIsTextual(t *testing.T) {
+	pb := ir.NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("cold1").ALU(2).Jump("hot")
+	f.Block("mid").ALU(2).Jump("end")
+	f.Block("hot").Code(8).Branch("hot", "back", ir.Loop{Trips: 1000})
+	f.Block("back").ALU(1).Jump("mid")
+	f.Block("end").Return()
+	p, prof := buildAndProfile(t, pb)
+	s, err := Build(p, prof, opts())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i := 1; i < len(s.Traces); i++ {
+		if !s.Traces[i-1].Blocks[0].Less(s.Traces[i].Blocks[0]) {
+			t.Errorf("traces %d,%d out of textual order: %v then %v",
+				i-1, i, s.Traces[i-1].Blocks[0], s.Traces[i].Blocks[0])
+		}
+	}
+}
+
+func TestFetchesSumMatchesProfile(t *testing.T) {
+	pb := ir.NewProgramBuilder("p")
+	f := pb.Func("main")
+	f.Block("a").ALU(2)
+	f.Block("loop").Code(6).Branch("loop", "b", ir.Loop{Trips: 50})
+	f.Block("b").ALU(3)
+	f.Block("c").Return()
+	p, prof := buildAndProfile(t, pb)
+	s, err := Build(p, prof, Options{MaxBytes: 32, LineBytes: 16})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var sum int64
+	jumps := int64(0)
+	for _, tr := range s.Traces {
+		sum += tr.Fetches
+		if tr.HasJump {
+			jumps++ // each appended jump contributes extra fetches
+		}
+	}
+	// Total trace fetches = profile fetches + appended-jump executions,
+	// which are at least 0 and at most one per fall-through exit. Lower
+	// bound: profile fetches.
+	if sum < prof.Fetches {
+		t.Errorf("trace fetches %d < profile fetches %d", sum, prof.Fetches)
+	}
+}

@@ -1,0 +1,293 @@
+// Package wcet computes a static worst-case bound on a program's
+// instruction-fetch cycles and energy under a given memory layout.
+//
+// The paper's introduction lists tighter WCET prediction among the
+// scratchpad's advantages over a cache: a scratchpad access is
+// deterministic (single cycle), while a cache access can only be bounded
+// by assuming a miss unless expensive cache analysis proves otherwise.
+// This package makes that argument quantitative: it derives a sound bound
+// for any layout, and the bound tightens exactly where traces were moved
+// to the scratchpad.
+//
+// The analysis is deliberately simple but sound:
+//
+//   - loop iteration counts come from the branch behaviors: ir.Loop gives
+//     its trip count; ir.Pattern is bounded by its longest cyclic run of
+//     taken outcomes plus one; data-dependent behaviors (ir.Biased,
+//     ir.Always on a back edge) make the program unboundable and are
+//     reported as errors;
+//   - every block executes at most the product of the bounds of the loops
+//     containing it per function invocation (the classic implicit-path
+//     relaxation, ignoring infeasible-path pruning);
+//   - the call graph must be acyclic (no recursion);
+//   - a fetch from the scratchpad costs the deterministic SPM latency; a
+//     fetch from cacheable memory is charged a miss for the first access
+//     of each cache line a straight-line run touches and a hit for the
+//     rest — sound because sequential fetches within one line cannot be
+//     separated by an eviction.
+package wcet
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/layout"
+)
+
+// Costs carries the per-fetch worst-case costs.
+type Costs struct {
+	// HitCycles, MissCycles and SPMCycles are fetch latencies.
+	HitCycles  int64
+	MissCycles int64
+	SPMCycles  int64
+	// EHit, EMiss and ESPM are fetch energies (nJ).
+	EHit  float64
+	EMiss float64
+	ESPM  float64
+	// LineBytes is the cache line size used for first-access-per-line
+	// accounting.
+	LineBytes int
+}
+
+// Validate checks the cost table.
+func (c Costs) Validate() error {
+	if c.HitCycles <= 0 || c.MissCycles < c.HitCycles || c.SPMCycles <= 0 {
+		return fmt.Errorf("wcet: implausible latencies %+v", c)
+	}
+	if c.LineBytes < 4 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("wcet: line size %d not a power of two ≥ 4", c.LineBytes)
+	}
+	return nil
+}
+
+// FuncBound is one function's worst-case contribution per invocation.
+type FuncBound struct {
+	Func     ir.FuncID
+	Name     string
+	Cycles   int64
+	EnergyNJ float64
+}
+
+// Result is a whole-program worst-case bound.
+type Result struct {
+	// Cycles bounds the program's total instruction-fetch cycles.
+	Cycles int64
+	// EnergyNJ bounds the instruction-memory energy (nJ).
+	EnergyNJ float64
+	// PerFunc holds per-invocation bounds, indexed by function ID.
+	PerFunc []FuncBound
+}
+
+// Analyze computes the bound for p laid out by lay.
+func Analyze(p *ir.Program, lay *layout.Layout, c Costs) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := topoFuncs(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{PerFunc: make([]FuncBound, len(p.Funcs))}
+	for _, fid := range order {
+		f := p.Func(fid)
+		cycles, energy, err := analyzeFunc(p, f, lay, c, res.PerFunc)
+		if err != nil {
+			return nil, err
+		}
+		res.PerFunc[fid] = FuncBound{Func: fid, Name: f.Name, Cycles: cycles, EnergyNJ: energy}
+	}
+	entry := res.PerFunc[p.Entry]
+	res.Cycles = entry.Cycles
+	res.EnergyNJ = entry.EnergyNJ
+	return res, nil
+}
+
+// topoFuncs orders functions callees-first and rejects recursion.
+func topoFuncs(p *ir.Program) ([]ir.FuncID, error) {
+	const (
+		unseen = 0
+		active = 1
+		done   = 2
+	)
+	state := make([]int, len(p.Funcs))
+	var order []ir.FuncID
+	var visit func(fid ir.FuncID) error
+	visit = func(fid ir.FuncID) error {
+		switch state[fid] {
+		case done:
+			return nil
+		case active:
+			return fmt.Errorf("wcet: recursion through function %q", p.Func(fid).Name)
+		}
+		state[fid] = active
+		for _, b := range p.Func(fid).Blocks {
+			if b.Term() == ir.TermCall {
+				if err := visit(b.CallTarget); err != nil {
+					return err
+				}
+			}
+		}
+		state[fid] = done
+		order = append(order, fid)
+		return nil
+	}
+	for fid := range p.Funcs {
+		if err := visit(ir.FuncID(fid)); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// analyzeFunc bounds one invocation of f, assuming callee bounds are
+// already in perFunc.
+func analyzeFunc(p *ir.Program, f *ir.Function, lay *layout.Layout, c Costs,
+	perFunc []FuncBound) (int64, float64, error) {
+
+	nest := ir.AnalyzeLoops(f)
+	bounds := make([]int64, len(nest.Loops))
+	for i, l := range nest.Loops {
+		b, err := loopBound(f, l)
+		if err != nil {
+			return 0, 0, fmt.Errorf("wcet: function %q: %w", f.Name, err)
+		}
+		bounds[i] = b
+	}
+
+	var cycles int64
+	var energy float64
+	for _, b := range f.Blocks {
+		count := int64(1)
+		for i, l := range nest.Loops {
+			if l.Contains(b.ID) {
+				count *= bounds[i]
+			}
+		}
+		bc, be := blockFetchCost(f, b, lay, c)
+		if b.Term() == ir.TermCall {
+			bc += perFunc[b.CallTarget].Cycles
+			be += perFunc[b.CallTarget].EnergyNJ
+		}
+		cycles += count * bc
+		energy += float64(count) * be
+	}
+	return cycles, energy, nil
+}
+
+// loopBound bounds the iterations of a merged loop per entry: the sum over
+// its back edges of each latch behavior's bound (sound for multi-latch
+// loops because every iteration except the last traverses some back edge).
+func loopBound(f *ir.Function, l *ir.NaturalLoop) (int64, error) {
+	var total int64
+	found := false
+	for _, bid := range l.Blocks {
+		b := f.Block(bid)
+		if b.Term() != ir.TermBranch || b.Taken != l.Header {
+			// Only conditional back edges bound iterations; unconditional
+			// back edges (jump to header) make the loop unboundable
+			// unless another latch bounds it — handled below by requiring
+			// at least one bounded latch and summing.
+			if b.Term() == ir.TermJump && b.Taken == l.Header {
+				return 0, fmt.Errorf("loop at block %d: unconditional back edge", l.Header)
+			}
+			continue
+		}
+		n, err := behaviorBound(b.Behavior)
+		if err != nil {
+			return 0, fmt.Errorf("loop at block %d: %w", l.Header, err)
+		}
+		total += n
+		found = true
+	}
+	if !found {
+		return 0, fmt.Errorf("loop at block %d has no boundable latch", l.Header)
+	}
+	return total, nil
+}
+
+// behaviorBound bounds how many times a back-edge branch can be taken
+// consecutively, plus one for the final fall-through iteration.
+func behaviorBound(beh ir.Behavior) (int64, error) {
+	switch b := beh.(type) {
+	case ir.Loop:
+		return int64(b.Trips), nil
+	case ir.Pattern:
+		return int64(longestCyclicRun(b.Seq) + 1), nil
+	case ir.Never:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("back edge behavior %v is not statically boundable", beh)
+	}
+}
+
+// longestCyclicRun returns the longest run of true values in the cyclic
+// sequence seq (capped at len(seq) for the all-true case, which the
+// caller rejects as unbounded — here it degrades to the period).
+func longestCyclicRun(seq []bool) int {
+	n := len(seq)
+	if n == 0 {
+		return 0
+	}
+	all := true
+	for _, v := range seq {
+		if !v {
+			all = false
+			break
+		}
+	}
+	if all {
+		return n // degenerate; effectively an unconditional back edge
+	}
+	best, run := 0, 0
+	// Doubling the sequence handles wraparound runs.
+	for i := 0; i < 2*n; i++ {
+		if seq[i%n] {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return best
+}
+
+// blockFetchCost bounds one execution of block b under the layout: SPM
+// fetches are deterministic; cacheable fetches pay one miss per distinct
+// line the straight-line run touches and hits for the rest. A layout-
+// appended jump after the block is charged as one extra fetch.
+func blockFetchCost(f *ir.Function, b *ir.Block, lay *layout.Layout, c Costs) (int64, float64) {
+	ref := ir.BlockRef{Func: f.ID, Block: b.ID}
+	base := lay.BlockBase(ref)
+	instrs := int64(len(b.Instrs))
+	end := base + uint32(b.Size())
+	if j, ok := lay.FallJump(ref); ok {
+		// Conservatively assume every execution leaves through the
+		// appended jump as well.
+		instrs++
+		if j+ir.InstrSize > end {
+			end = j + ir.InstrSize
+		}
+	}
+	if lay.IsSPMAddr(base) {
+		return instrs * c.SPMCycles, float64(instrs) * c.ESPM
+	}
+	lines := int64(linesSpanned(base, end, c.LineBytes))
+	if lines > instrs {
+		lines = instrs
+	}
+	cycles := lines*c.MissCycles + (instrs-lines)*c.HitCycles
+	energy := float64(lines)*c.EMiss + float64(instrs-lines)*c.EHit
+	return cycles, energy
+}
+
+// linesSpanned counts the distinct cache lines in [start, end).
+func linesSpanned(start, end uint32, lineBytes int) int {
+	if end <= start {
+		return 0
+	}
+	first := start / uint32(lineBytes)
+	last := (end - 1) / uint32(lineBytes)
+	return int(last-first) + 1
+}

@@ -1,0 +1,94 @@
+package workload
+
+import "repro/internal/ir"
+
+// ADPCM builds the adpcm workload: IMA ADPCM encode/decode over a sample
+// stream, modelled on Mediabench's adpcm (rawcaudio/rawdaudio). Code size
+// ≈ 1 kByte; the hot region is the coder/decoder pair called from the
+// sample loop.
+//
+// Structure (instruction counts chosen to land near the paper's 1 kByte):
+//
+//	main          — argument setup, buffered sample loop, teardown
+//	adpcm_coder   — per-sample quantization with a step-size search loop
+//	adpcm_decoder — per-sample reconstruction
+//	step_index    — shared index clamp helper
+func ADPCM() *ir.Program {
+	pb := ir.NewProgramBuilder("adpcm")
+
+	// Data objects of the real codec: the coder/decoder state, the two
+	// quantizer tables, and the streaming sample buffers.
+	pb.DataObject("adpcm_state", 12)
+	pb.DataObject("stepsize_table", 356)
+	pb.DataObject("index_table", 16)
+	pb.DataObject("sample_buffer", 2048)
+
+	main := pb.Func("main")
+	main.Block("entry").Code(14).Call("adpcm_init")
+	// Outer buffer loop: 40 buffers of 25 samples each = 1000 samples.
+	main.Block("buf_head").Code(5)
+	main.Block("read").Code(4)
+	main.Block("enc_call").Code(3).Call("adpcm_coder")
+	main.Block("dec_call").Code(3).Call("adpcm_decoder")
+	main.Block("write").Code(5)
+	main.Block("buf_latch").Code(3).Branch("buf_head", "done", ir.Loop{Trips: 40})
+	main.Block("done").Code(10)
+	main.Block("exit").Return()
+
+	// One-time state setup: zero the predictor state, parse options. The
+	// usage text is compiled in but never reached on a good command line.
+	ini := pb.Func("adpcm_init")
+	ini.Block("entry").Code(16)
+	ini.Block("zero").Code(5).Branch("zero", "opts", ir.Loop{Trips: 4})
+	ini.Block("opts").Code(12)
+	ini.Block("argchk").Code(2).Branch("usage", "ok", ir.Never{})
+	ini.Block("usage").Code(14)
+	ini.Block("ok").Code(3)
+	ini.Block("exit").Return()
+
+	coder := pb.Func("adpcm_coder")
+	coder.Block("entry").Code(16)
+	// Sample loop: 25 samples per call.
+	coder.Block("s_head").Code(8).Data("adpcm_state", 2, 0).Data("sample_buffer", 1, 0)
+	// Step-size search: data-dependent, ~3 iterations on average.
+	coder.Block("q_loop").Code(9).Data("stepsize_table", 1, 0).Branch("q_loop", "q_done", ir.Loop{Trips: 3})
+	coder.Block("q_done").Code(6)
+	// Sign handling: roughly half the samples are negative.
+	coder.Block("sign").Code(2).Branch("neg", "pos", ir.Pattern{Seq: []bool{true, false}})
+	coder.Block("pos").Code(4).Jump("clamp")
+	coder.Block("neg").Code(5)
+	coder.Block("clamp").Code(3).Data("index_table", 1, 0).Data("adpcm_state", 0, 2).Call("step_index")
+	// Output nibble packing alternates between buffering and emitting.
+	coder.Block("pack").Code(2).Branch("emit", "hold", ir.Pattern{Seq: []bool{false, true}})
+	coder.Block("hold").Code(3).Goto("s_latch")
+	coder.Block("emit").Code(5)
+	coder.Block("s_latch").Code(4).Branch("s_head", "flush", ir.Loop{Trips: 25})
+	coder.Block("flush").Code(12)
+	coder.Block("exit").Return()
+
+	dec := pb.Func("adpcm_decoder")
+	dec.Block("entry").Code(14)
+	dec.Block("s_head").Code(7).Data("adpcm_state", 2, 0).Data("sample_buffer", 1, 0)
+	// Delta expansion: two-way on the stored sign bit.
+	dec.Block("delta").Code(2).Branch("dneg", "dpos", ir.Pattern{Seq: []bool{true, false}})
+	dec.Block("dpos").Code(3).Jump("recon")
+	dec.Block("dneg").Code(4)
+	dec.Block("recon").Code(8).Data("stepsize_table", 1, 0).Data("index_table", 1, 0).Call("step_index")
+	// Output saturation: clip about one sample in six.
+	dec.Block("sat").Code(2).Branch("clip", "store", ir.Pattern{Seq: []bool{false, false, true, false, false, false}})
+	dec.Block("clip").Code(3)
+	dec.Block("store").Code(4).Data("sample_buffer", 0, 1).Data("adpcm_state", 0, 1)
+	dec.Block("s_latch").Code(4).Branch("s_head", "out", ir.Loop{Trips: 25})
+	dec.Block("out").Code(9)
+	dec.Block("exit").Return()
+
+	idx := pb.Func("step_index")
+	idx.Block("entry").Code(3)
+	// Clamp: out-of-range roughly one call in five.
+	idx.Block("check").Code(2).Branch("clip", "ok", ir.Pattern{Seq: []bool{false, false, true, false, false}})
+	idx.Block("clip").Code(3)
+	idx.Block("ok").Code(2)
+	idx.Block("exit").Return()
+
+	return pb.MustBuild()
+}

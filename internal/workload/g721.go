@@ -1,0 +1,274 @@
+package workload
+
+import "repro/internal/ir"
+
+// G721 builds the g721 workload: an ITU G.721 32 kbit/s ADPCM transcoder
+// modelled on Mediabench's g721 encoder/decoder pair. Code size ≈ 4.7
+// kBytes across the predictor, quantizer and state-update routines of the
+// real codec; the hot path is the per-sample encode/decode pipeline, whose
+// routines comfortably exceed small scratchpads — the interesting regime
+// for a conflict-aware allocator.
+func G721() *ir.Program {
+	pb := ir.NewProgramBuilder("g721")
+
+	// Data objects: the per-channel predictor state, the quantizer
+	// decision tables, the companding tables and the sample stream.
+	pb.DataObject("g72x_state", 96)
+	pb.DataObject("quan_tables", 48)
+	pb.DataObject("wi_fi_tables", 64)
+	pb.DataObject("alaw_tables", 512)
+	pb.DataObject("stream_buffer", 4096)
+
+	main := pb.Func("main")
+	main.Block("entry").Code(18).Call("g721_init")
+	// Sample loop: 800 samples, each transcoded (encode then decode).
+	main.Block("s_head").Code(3).Call("unpack_input")
+	main.Block("enc").Code(3).Call("g721_encoder")
+	main.Block("dec").Code(3).Call("g721_decoder")
+	main.Block("out").Code(3).Call("pack_output")
+	main.Block("s_latch").Code(4).Branch("s_head", "teardown", ir.Loop{Trips: 800})
+	main.Block("teardown").Code(6).Call("print_stats")
+	main.Block("fin").Code(6)
+	main.Block("exit").Return()
+
+	// Cold: end-of-run statistics and usage text.
+	ps := pb.Func("print_stats")
+	ps.Block("entry").Code(52)
+	ps.Block("fmt").Code(8).Branch("fmt", "flush", ir.Loop{Trips: 4})
+	ps.Block("flush").Code(48)
+	ps.Block("exit").Return()
+
+	us := pb.Func("usage")
+	us.Block("entry").Code(56)
+	us.Block("lines").Code(7).Branch("lines", "done", ir.Loop{Trips: 3})
+	us.Block("done").Code(12)
+	us.Block("exit").Return()
+
+	ca := pb.Func("check_args")
+	ca.Block("entry").Code(20)
+	ca.Block("bad").Code(3).Branch("fail", "ok", ir.Never{})
+	ca.Block("fail").Code(4).Call("usage")
+	ca.Block("ok").Code(18)
+	ca.Block("exit").Return()
+
+	// µ-law companding pair: present in the binary for the -u option,
+	// unused in this A-law run — cold cache pressure like the real codec.
+	l2u := pb.Func("linear2ulaw")
+	l2u.Block("entry").Code(9)
+	l2u.Block("bias").Code(8)
+	l2u.Block("seg").Code(4).Branch("seg", "mant", ir.Loop{Trips: 5})
+	l2u.Block("mant").Code(12)
+	l2u.Block("exit").Return()
+
+	u2l := pb.Func("ulaw2linear")
+	u2l.Block("entry").Code(8)
+	u2l.Block("expand").Code(13)
+	u2l.Block("exit").Return()
+
+	// Sample I/O: bit unpacking and packing around the transcoder.
+	ui := pb.Func("unpack_input")
+	ui.Block("entry").Code(6)
+	ui.Block("need").Code(2).Branch("fill", "take", ir.Pattern{Seq: []bool{true, false, false, false}})
+	ui.Block("fill").Code(9)
+	ui.Block("take").Code(7).Data("stream_buffer", 1, 0)
+	ui.Block("exit").Return()
+
+	po := pb.Func("pack_output")
+	po.Block("entry").Code(6)
+	po.Block("full").Code(2).Branch("flush", "buf", ir.Pattern{Seq: []bool{false, false, false, true}})
+	po.Block("flush").Code(8)
+	po.Block("buf").Code(6).Data("stream_buffer", 0, 1)
+	po.Block("exit").Return()
+
+	enc := pb.Func("g721_encoder")
+	enc.Block("entry").Code(14)
+	enc.Block("pz").Code(2).Call("predictor_zero")
+	enc.Block("pp").Code(3).Call("predictor_pole")
+	enc.Block("se").Code(8)
+	enc.Block("step").Code(2).Call("step_size")
+	enc.Block("quant").Code(3).Call("quantize")
+	enc.Block("upd").Code(3).Call("update")
+	enc.Block("pack").Code(9)
+	enc.Block("exit").Return()
+
+	dec := pb.Func("g721_decoder")
+	dec.Block("entry").Code(12)
+	dec.Block("pz").Code(2).Call("predictor_zero")
+	dec.Block("pp").Code(3).Call("predictor_pole")
+	dec.Block("se").Code(7)
+	dec.Block("step").Code(2).Call("step_size")
+	dec.Block("rec").Code(3).Call("reconstruct")
+	dec.Block("upd").Code(3).Call("update")
+	dec.Block("tand").Code(3).Call("tandem_adjust")
+	dec.Block("out").Code(7)
+	dec.Block("exit").Return()
+
+	// predictor_zero: sixth-order FIR over the delta history — six fmult
+	// calls in an unrolled-by-one loop.
+	pz := pb.Func("predictor_zero")
+	pz.Block("entry").Code(6)
+	pz.Block("tap").Code(4).Call("fmult")
+	pz.Block("acc").Code(5).Branch("tap", "done", ir.Loop{Trips: 6})
+	pz.Block("done").Code(4)
+	pz.Block("exit").Return()
+
+	// predictor_pole: second-order IIR — two fmult calls.
+	pp := pb.Func("predictor_pole")
+	pp.Block("entry").Code(5)
+	pp.Block("tap").Code(4).Call("fmult")
+	pp.Block("acc").Code(4).Branch("tap", "done", ir.Loop{Trips: 2})
+	pp.Block("done").Code(3)
+	pp.Block("exit").Return()
+
+	// fmult: floating-point-ish multiply in fixed point: convert both
+	// operands to exponent/mantissa form, multiply, convert back.
+	fm := pb.Func("fmult")
+	fm.Block("entry").Code(7)
+	fm.Block("l1").Code(2).Call("g_log")
+	fm.Block("l2").Code(2).Call("g_log")
+	fm.Block("norm").Code(4).Branch("norm", "mul", ir.Loop{Trips: 3})
+	fm.Block("mul").Code(11).Data("g72x_state", 1, 0)
+	fm.Block("back").Code(2).Call("g_exp")
+	fm.Block("exit").Return()
+
+	// g_log: linear to exponent/mantissa conversion (priority encoder
+	// modelled as a shift loop).
+	gl := pb.Func("g_log")
+	gl.Block("entry").Code(6)
+	gl.Block("shift").Code(3).Branch("shift", "mant", ir.Loop{Trips: 4})
+	gl.Block("mant").Code(9)
+	gl.Block("exit").Return()
+
+	// g_exp: exponent/mantissa back to linear.
+	ge := pb.Func("g_exp")
+	ge.Block("entry").Code(8)
+	ge.Block("scale").Code(7)
+	ge.Block("exit").Return()
+
+	// step_size: scale factor interpolation with a fast/slow blend.
+	ss := pb.Func("step_size")
+	ss.Block("entry").Code(9)
+	ss.Block("blend").Code(3).Branch("fast", "slow", ir.Pattern{Seq: []bool{true, false, false, false}})
+	ss.Block("slow").Code(8).Jump("mix")
+	ss.Block("fast").Code(6)
+	ss.Block("mix").Code(10)
+	ss.Block("exit").Return()
+
+	// quantize: log-domain compare against the quantizer table via quan.
+	qt := pb.Func("quantize")
+	qt.Block("entry").Code(10)
+	qt.Block("log").Code(2).Call("g_log")
+	qt.Block("sub").Code(9)
+	qt.Block("scan").Code(2).Call("quan")
+	qt.Block("found").Code(8)
+	qt.Block("exit").Return()
+
+	// quan: table search — compare against the 7-entry decision table.
+	qn := pb.Func("quan")
+	qn.Block("entry").Code(5)
+	qn.Block("cmp").Code(6).Data("quan_tables", 1, 0).Branch("cmp", "hit", ir.Loop{Trips: 4})
+	qn.Block("hit").Code(5)
+	qn.Block("exit").Return()
+
+	// reconstruct: inverse quantization in the decoder.
+	rc := pb.Func("reconstruct")
+	rc.Block("entry").Code(8)
+	rc.Block("sgn").Code(2).Branch("neg", "pos", ir.Pattern{Seq: []bool{false, true}})
+	rc.Block("pos").Code(6).Jump("done")
+	rc.Block("neg").Code(7)
+	rc.Block("done").Code(5)
+	rc.Block("exit").Return()
+
+	// update: the big state-update routine of G.721 — tone detection,
+	// predictor coefficient adaptation (a/b updates over the history
+	// loop), delayed approximation shifts.
+	up := pb.Func("update")
+	up.Block("entry").Code(12).Data("g72x_state", 3, 1).Data("wi_fi_tables", 1, 0)
+	up.Block("tone").Code(4).Branch("reset", "adapt", ir.Pattern{Seq: []bool{false, false, false, false, false, false, false, true}})
+	up.Block("reset").Code(9).Jump("bloop")
+	up.Block("adapt").Code(14)
+	up.Block("bloop").Code(4).Call("update_b")
+	up.Block("blat").Code(3).Branch("bloop", "aupd", ir.Loop{Trips: 6})
+	up.Block("aupd").Code(4).Call("update_a")
+	up.Block("shift").Code(3).Call("shift_history")
+	up.Block("trig").Code(4).Call("trans_detect")
+	up.Block("fin").Code(5)
+	up.Block("exit").Return()
+
+	// trans_detect: tone-transition detector gating predictor resets.
+	td := pb.Func("trans_detect")
+	td.Block("entry").Code(10)
+	td.Block("power").Code(12)
+	td.Block("chk").Code(3).Branch("hit", "miss", ir.Pattern{Seq: []bool{false, false, false, false, false, true}})
+	td.Block("hit").Code(6).Jump("out")
+	td.Block("miss").Code(4)
+	td.Block("out").Code(5)
+	td.Block("exit").Return()
+
+	// update_b: sixth-order predictor zero-coefficient adaptation step.
+	ub := pb.Func("update_b")
+	ub.Block("entry").Code(9)
+	ub.Block("sgn").Code(2).Branch("bneg", "bpos", ir.Pattern{Seq: []bool{true, false, false}})
+	ub.Block("bpos").Code(8).Jump("leak")
+	ub.Block("bneg").Code(8)
+	ub.Block("leak").Code(11).Data("g72x_state", 1, 1)
+	ub.Block("exit").Return()
+
+	// update_a: second-order pole-coefficient adaptation with stability
+	// clamps.
+	ua := pb.Func("update_a")
+	ua.Block("entry").Code(12)
+	ua.Block("a2").Code(14)
+	ua.Block("clamp2").Code(3).Branch("c2", "a1", ir.Pattern{Seq: []bool{false, false, false, true}})
+	ua.Block("c2").Code(4)
+	ua.Block("a1").Code(12)
+	ua.Block("clamp1").Code(3).Branch("c1", "out", ir.Pattern{Seq: []bool{false, true, false}})
+	ua.Block("c1").Code(4)
+	ua.Block("out").Code(6)
+	ua.Block("exit").Return()
+
+	// shift_history: age the delta and reconstructed-signal histories.
+	sh := pb.Func("shift_history")
+	sh.Block("entry").Code(6)
+	sh.Block("dq").Code(5).Branch("dq", "sr", ir.Loop{Trips: 5})
+	sh.Block("sr").Code(9)
+	sh.Block("exit").Return()
+
+	// tandem_adjust: A-law tandem adjustment on decoder output — convert
+	// to A-law, compare, nudge, convert back.
+	ta := pb.Func("tandem_adjust")
+	ta.Block("entry").Code(8)
+	ta.Block("a1").Code(2).Call("linear2alaw")
+	ta.Block("cmp").Code(3).Branch("adj", "keep", ir.Pattern{Seq: []bool{false, false, true}})
+	ta.Block("keep").Code(4).Jump("done")
+	ta.Block("adj").Code(7).Call("alaw2linear")
+	ta.Block("done").Code(4)
+	ta.Block("exit").Return()
+
+	// linear2alaw: segment search plus mantissa extraction.
+	l2a := pb.Func("linear2alaw")
+	l2a.Block("entry").Code(7)
+	l2a.Block("abs").Code(2).Branch("lneg", "lpos", ir.Pattern{Seq: []bool{false, true}})
+	l2a.Block("lpos").Code(4).Jump("seg")
+	l2a.Block("lneg").Code(5)
+	l2a.Block("seg").Code(4).Branch("seg", "mant", ir.Loop{Trips: 4})
+	l2a.Block("mant").Code(10).Data("alaw_tables", 1, 0)
+	l2a.Block("exit").Return()
+
+	// alaw2linear: table-free expansion.
+	a2l := pb.Func("alaw2linear")
+	a2l.Block("entry").Code(9)
+	a2l.Block("expand").Code(12)
+	a2l.Block("exit").Return()
+
+	// Cold support code: table initialization and option parsing, executed
+	// once — realistic dead weight for the I-cache image.
+	init := pb.Func("g721_init")
+	init.Block("entry").Code(42).Call("check_args")
+	init.Block("tbl").Code(9).Branch("tbl", "state", ir.Loop{Trips: 8})
+	init.Block("state").Code(26)
+	init.Block("opts").Code(34)
+	init.Block("exit").Return()
+
+	return pb.MustBuild()
+}

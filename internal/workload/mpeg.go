@@ -1,0 +1,701 @@
+package workload
+
+import "repro/internal/ir"
+
+// MPEG builds the mpeg workload: an MPEG-2 style video decoder modelled on
+// Mediabench's mpeg2decode. Code size ≈ 19.5 kBytes. The decode pipeline —
+// VLC coefficient parsing, dequantization, 2-D IDCT, motion compensation,
+// block reconstruction — dominates execution, while the large header
+// parsers, system-stream demuxer, error concealment and display conversion
+// routines are cold or once-per-frame, matching the real decoder's
+// profile: several distinct hot spots whose working sets contend for a
+// small I-cache.
+//
+// Hot straight-line runs are kept in blocks of at most ~28 instructions so
+// trace formation can build scratchpad-placeable traces even for the
+// paper's smallest configurations.
+func MPEG() *ir.Program {
+	pb := ir.NewProgramBuilder("mpeg")
+
+	// Data objects: the 64-coefficient block buffer, the quantizer
+	// matrices, the VLC decode tables, the zigzag scan order and the
+	// frame stores (far too large for any scratchpad).
+	pb.DataObject("block_buffer", 128)
+	pb.DataObject("quant_matrices", 128)
+	pb.DataObject("vlc_tables", 2048)
+	pb.DataObject("scan_order", 64)
+	pb.DataObject("frame_store", 65536)
+
+	// ---- Driver --------------------------------------------------------
+	main := pb.Func("main")
+	main.Block("entry").Code(16).Call("options")
+	main.Block("init").Code(4).Call("initialize_decoder")
+	main.Block("seq").Code(4).Call("decode_sequence")
+	main.Block("teardown").Code(14)
+	main.Block("exit").Return()
+
+	seq := pb.Func("decode_sequence")
+	seq.Block("entry").Code(8).Call("parse_sequence_header")
+	// Frame loop: 2 pictures per run.
+	seq.Block("f_head").Code(5).Call("parse_gop_header")
+	seq.Block("f_ph").Code(3).Call("parse_picture_header")
+	seq.Block("f_pic").Code(3).Call("decode_picture")
+	seq.Block("f_store").Code(3).Call("store_frame")
+	seq.Block("f_latch").Code(4).Branch("f_head", "pulldown", ir.Loop{Trips: 2})
+	// 3:2 pulldown substitution for repeat-first-field streams.
+	seq.Block("pulldown").Code(2).Branch("rff", "done", ir.Never{})
+	seq.Block("rff").Code(2).CallResume("substitute_frame", "done")
+	seq.Block("done").Code(6)
+	seq.Block("exit").Return()
+
+	pic := pb.Func("decode_picture")
+	pic.Block("entry").Code(10)
+	// Field pictures take a separate path; this stream is frame-coded.
+	pic.Block("fchk").Code(2).Branch("field", "s_head", ir.Never{})
+	pic.Block("field").Code(2).CallResume("decode_field_picture", "done")
+	// Slice loop: 6 slices per picture.
+	pic.Block("s_head").Code(5).Call("decode_slice")
+	pic.Block("s_latch").Code(4).Branch("s_head", "done", ir.Loop{Trips: 6})
+	pic.Block("done").Code(7)
+	pic.Block("exit").Return()
+
+	slice := pb.Func("decode_slice")
+	slice.Block("entry").Code(8).Call("get_mb_addr_inc")
+	// Broken bitstream path — present, never taken on a clean stream.
+	slice.Block("chk").Code(2).Branch("err", "mb_head", ir.Never{})
+	slice.Block("err").Code(3).CallResume("resync", "done")
+	// Macroblock loop: 12 macroblocks per slice.
+	slice.Block("mb_head").Code(5).Call("decode_macroblock")
+	slice.Block("mb_latch").Code(5).Branch("mb_head", "done", ir.Loop{Trips: 12})
+	slice.Block("done").Code(6)
+	slice.Block("exit").Return()
+
+	// ---- Macroblock layer ----------------------------------------------
+	mb := pb.Func("decode_macroblock")
+	mb.Block("entry").Code(9).Call("get_mb_type")
+	mb.Block("modes").Code(3).Call("macroblock_modes")
+	// Intra/inter split: 1 in 4 macroblocks is intra.
+	mb.Block("mode").Code(3).Branch("intra", "inter", ir.Pattern{Seq: []bool{true, false, false, false}})
+
+	// Inter path: motion vectors, compensation, coded-block-pattern gated
+	// residual blocks.
+	mb.Block("inter").Code(4).Call("motion_vectors")
+	mb.Block("mc").Code(3).Call("motion_compensate")
+	mb.Block("cbp").Code(3).Call("get_cbp")
+	// One macroblock in six has an all-zero coded block pattern.
+	mb.Block("cchk").Code(2).Branch("skip", "ib_head",
+		ir.Pattern{Seq: []bool{false, false, false, false, false, true}})
+	mb.Block("ib_head").Code(4).Call("decode_block")
+	mb.Block("ib_dq").Code(2).Call("dequantize")
+	mb.Block("ib_idct").Code(2).Call("idct")
+	mb.Block("ib_add").Code(2).Call("add_block")
+	mb.Block("ib_latch").Code(4).Branch("ib_head", "done", ir.Loop{Trips: 6})
+	mb.Block("skip").Code(2).CallResume("skipped_macroblock", "done")
+
+	// Intra path: DC predictors plus intra block decode.
+	mb.Block("intra").Code(5)
+	mb.Block("na_head").Code(3).Call("get_dc_luma")
+	mb.Block("na_dc2").Code(2).Call("get_dc_chroma")
+	mb.Block("na_blk").Code(3).Call("decode_intra_block")
+	mb.Block("na_dq").Code(2).Call("dequant_intra")
+	mb.Block("na_idct").Code(2).Call("idct")
+	mb.Block("na_add").Code(2).Call("add_block")
+	mb.Block("na_latch").Code(4).Branch("na_head", "done", ir.Loop{Trips: 6})
+
+	mb.Block("done").Code(6)
+	mb.Block("exit").Return()
+
+	mm := pb.Func("macroblock_modes")
+	mm.Block("entry").Code(10)
+	mm.Block("quant").Code(3).Branch("qscale", "dct_type", ir.Pattern{Seq: []bool{true, false, false}})
+	mm.Block("qscale").Code(7).Call("get_bits")
+	mm.Block("dct_type").Code(9)
+	mm.Block("exit").Return()
+
+	// ---- VLC layer -------------------------------------------------------
+	gb := pb.Func("get_bits")
+	gb.Block("entry").Code(6)
+	// Refill the bit buffer every fourth call.
+	gb.Block("chk").Code(2).Branch("refill", "extract", ir.Pattern{Seq: []bool{false, false, false, true}})
+	gb.Block("refill").Code(7)
+	gb.Block("extract").Code(6)
+	gb.Block("exit").Return()
+
+	mba := pb.Func("get_mb_addr_inc")
+	mba.Block("entry").Code(8).Call("get_bits")
+	mba.Block("short").Code(3).Branch("long", "lut", ir.Pattern{Seq: []bool{false, false, false, true}})
+	mba.Block("long").Code(14).Call("get_bits")
+	mba.Block("lut").Code(22)
+	mba.Block("escape").Code(3).Branch("more", "out", ir.Never{})
+	mba.Block("more").Code(12).Jump("out")
+	mba.Block("out").Code(9)
+	mba.Block("exit").Return()
+
+	mbt := pb.Func("get_mb_type")
+	mbt.Block("entry").Code(7).Call("get_bits")
+	mbt.Block("tbl").Code(20)
+	mbt.Block("ext").Code(3).Branch("long", "out", ir.Pattern{Seq: []bool{false, false, true}})
+	mbt.Block("long").Code(16).Call("get_bits")
+	mbt.Block("out").Code(11)
+	mbt.Block("exit").Return()
+
+	cbp := pb.Func("get_cbp")
+	cbp.Block("entry").Code(7).Call("get_bits")
+	cbp.Block("lut").Code(24)
+	cbp.Block("rare").Code(3).Branch("long", "out", ir.Pattern{Seq: []bool{false, false, false, false, true}})
+	cbp.Block("long").Code(18).Call("get_bits")
+	cbp.Block("out").Code(12)
+	cbp.Block("exit").Return()
+
+	mvv := pb.Func("get_mv_vlc")
+	mvv.Block("entry").Code(7).Call("get_bits")
+	mvv.Block("code").Code(18)
+	mvv.Block("resid").Code(3).Branch("long", "out", ir.Pattern{Seq: []bool{true, false}})
+	mvv.Block("long").Code(14).Call("get_bits")
+	mvv.Block("out").Code(10)
+	mvv.Block("exit").Return()
+
+	dcl := pb.Func("get_dc_luma")
+	dcl.Block("entry").Code(6).Call("get_bits")
+	dcl.Block("size").Code(16)
+	dcl.Block("diff").Code(3).Branch("read", "out", ir.Pattern{Seq: []bool{true, true, false}})
+	dcl.Block("read").Code(9).Call("get_bits")
+	dcl.Block("out").Code(8)
+	dcl.Block("exit").Return()
+
+	dcc := pb.Func("get_dc_chroma")
+	dcc.Block("entry").Code(6).Call("get_bits")
+	dcc.Block("size").Code(14)
+	dcc.Block("diff").Code(3).Branch("read", "out", ir.Pattern{Seq: []bool{true, false}})
+	dcc.Block("read").Code(8).Call("get_bits")
+	dcc.Block("out").Code(7)
+	dcc.Block("exit").Return()
+
+	dct := pb.Func("get_dct_coeff")
+	dct.Block("entry").Code(6).Call("get_bits")
+	dct.Block("lut1").Code(14).Data("vlc_tables", 1, 0)
+	dct.Block("hit1").Code(3).Branch("decode", "lut2", ir.Pattern{Seq: []bool{true, true, true, false}})
+	dct.Block("lut2").Code(16).Call("get_bits")
+	dct.Block("decode").Code(12)
+	// Escape coding: one coefficient in 16 takes the 24-bit escape path.
+	dct.Block("esc").Code(3).Branch("escape", "sign", ir.Pattern{Seq: []bool{
+		false, false, false, false, false, false, false, false,
+		false, false, false, false, false, false, false, true}})
+	dct.Block("escape").Code(17).Call("get_bits")
+	dct.Block("sign").Code(9)
+	dct.Block("exit").Return()
+
+	// ---- Block layer -----------------------------------------------------
+	blk := pb.Func("decode_block")
+	blk.Block("entry").Code(10).Call("clear_block")
+	// Coefficient VLC loop: ~14 coefficients before end-of-block.
+	blk.Block("coef").Code(5).Call("get_dct_coeff")
+	blk.Block("run").Code(11)
+	blk.Block("store").Code(8).Data("block_buffer", 0, 1).Data("scan_order", 1, 0)
+	blk.Block("c_latch").Code(3).Branch("coef", "eob", ir.Loop{Trips: 14})
+	blk.Block("eob").Code(9)
+	blk.Block("exit").Return()
+
+	iblk := pb.Func("decode_intra_block")
+	iblk.Block("entry").Code(12).Call("clear_block")
+	iblk.Block("dcterm").Code(14)
+	// Intra AC loop: ~18 coefficients.
+	iblk.Block("coef").Code(5).Call("get_dct_coeff")
+	iblk.Block("scan").Code(13)
+	iblk.Block("store").Code(9).Data("block_buffer", 0, 1).Data("scan_order", 1, 0)
+	iblk.Block("c_latch").Code(3).Branch("coef", "eob", ir.Loop{Trips: 18})
+	iblk.Block("eob").Code(10)
+	iblk.Block("exit").Return()
+
+	clr := pb.Func("clear_block")
+	clr.Block("entry").Code(4)
+	clr.Block("zero").Code(9).Branch("zero", "done", ir.Loop{Trips: 4})
+	clr.Block("done").Code(3)
+	clr.Block("exit").Return()
+
+	dq := pb.Func("dequantize")
+	dq.Block("entry").Code(8)
+	// 64 coefficients, unrolled by 4: 16 iterations.
+	dq.Block("q_loop").Code(11).Data("block_buffer", 2, 2).Data("quant_matrices", 2, 0).Branch("q_loop", "mismatch", ir.Loop{Trips: 16})
+	dq.Block("mismatch").Code(9)
+	dq.Block("exit").Return()
+
+	dqi := pb.Func("dequant_intra")
+	dqi.Block("entry").Code(9)
+	dqi.Block("q_loop").Code(12).Data("block_buffer", 2, 2).Data("quant_matrices", 2, 0).Branch("q_loop", "dc", ir.Loop{Trips: 16})
+	dqi.Block("dc").Code(10)
+	dqi.Block("exit").Return()
+
+	// ---- IDCT ------------------------------------------------------------
+	idct := pb.Func("idct")
+	idct.Block("entry").Code(6)
+	idct.Block("rows").Code(3).Call("idct_row")
+	idct.Block("r_latch").Code(3).Branch("rows", "cols", ir.Loop{Trips: 8})
+	idct.Block("cols").Code(3).Call("idct_col")
+	idct.Block("c_latch").Code(3).Branch("cols", "done", ir.Loop{Trips: 8})
+	idct.Block("done").Code(4)
+	idct.Block("exit").Return()
+
+	row := pb.Func("idct_row")
+	row.Block("entry").Code(8)
+	// Shortcut: all-zero AC rows (about half) take the fast path.
+	row.Block("zchk").Code(3).Branch("fast", "stage1", ir.Pattern{Seq: []bool{true, false}})
+	row.Block("fast").Code(6).Jump("out")
+	// Butterfly stages kept in small blocks for trace formation.
+	row.Block("stage1").Code(22).Data("block_buffer", 4, 2)
+	row.Block("stage2").Code(20)
+	row.Block("stage3").Code(18)
+	row.Block("out").Code(6)
+	row.Block("exit").Return()
+
+	col := pb.Func("idct_col")
+	col.Block("entry").Code(8)
+	col.Block("stage1").Code(24).Data("block_buffer", 4, 2)
+	col.Block("stage2").Code(22)
+	col.Block("stage3").Code(18)
+	col.Block("sat").Code(4).Call("saturate")
+	col.Block("exit").Return()
+
+	sat := pb.Func("saturate")
+	sat.Block("entry").Code(4)
+	sat.Block("chk").Code(2).Branch("clip", "ok", ir.Pattern{Seq: []bool{false, false, false, false, false, true}})
+	sat.Block("clip").Code(4)
+	sat.Block("ok").Code(3)
+	sat.Block("exit").Return()
+
+	// ---- Motion compensation / reconstruction -----------------------------
+	mv := pb.Func("motion_vectors")
+	mv.Block("entry").Code(8)
+	// Horizontal and vertical components.
+	mv.Block("comp").Code(4).Call("decode_mv")
+	mv.Block("c_latch").Code(3).Branch("comp", "dpchk", ir.Loop{Trips: 2})
+	// Dual-prime arithmetic applies only to P-field pictures.
+	mv.Block("dpchk").Code(2).Branch("dprime", "clip", ir.Never{})
+	mv.Block("dprime").Code(2).CallResume("dual_prime_vectors", "clip")
+	mv.Block("clip").Code(10)
+	mv.Block("exit").Return()
+
+	dmv := pb.Func("decode_mv")
+	dmv.Block("entry").Code(7).Call("get_mv_vlc")
+	dmv.Block("pred").Code(12)
+	dmv.Block("wrap").Code(3).Branch("fix", "out", ir.Pattern{Seq: []bool{false, false, false, true}})
+	dmv.Block("fix").Code(6)
+	dmv.Block("out").Code(8)
+	dmv.Block("exit").Return()
+
+	mc := pb.Func("motion_compensate")
+	mc.Block("entry").Code(10)
+	// Half-pel interpolation selection: full / horizontal / vertical /
+	// both, roughly uniform.
+	mc.Block("sel_h").Code(3).Branch("has_h", "no_h", ir.Pattern{Seq: []bool{true, false}})
+	mc.Block("no_h").Code(2).Branch("pred_v", "pred_full", ir.Pattern{Seq: []bool{true, false}})
+	mc.Block("pred_full").Code(3).CallResume("form_pred_fullpel", "done")
+	mc.Block("pred_v").Code(3).CallResume("form_pred_half_v", "done")
+	mc.Block("has_h").Code(2).Branch("pred_hv", "pred_h", ir.Pattern{Seq: []bool{true, false}})
+	mc.Block("pred_h").Code(3).CallResume("form_pred_half_h", "done")
+	mc.Block("pred_hv").Code(3).CallResume("form_pred_half_hv", "done")
+	// B-frame macroblocks average the forward and backward predictions
+	// (roughly one inter macroblock in three).
+	mc.Block("done").Code(3).Branch("bavg", "out", ir.Pattern{Seq: []bool{false, true, false}})
+	mc.Block("bavg").Code(3).Call("form_pred_average")
+	mc.Block("out").Code(4)
+	mc.Block("exit").Return()
+
+	fpa := pb.Func("form_pred_average")
+	fpa.Block("entry").Code(10)
+	fpa.Block("p_loop").Code(15).Branch("p_loop", "edge", ir.Loop{Trips: 16})
+	fpa.Block("edge").Code(11)
+	fpa.Block("exit").Return()
+
+	smb := pb.Func("skipped_macroblock")
+	smb.Block("entry").Code(14)
+	smb.Block("reset").Code(12)
+	smb.Block("copy").Code(10).Branch("copy", "done", ir.Loop{Trips: 4})
+	smb.Block("done").Code(8)
+	smb.Block("exit").Return()
+
+	fpf := pb.Func("form_pred_fullpel")
+	fpf.Block("entry").Code(8)
+	fpf.Block("p_loop").Code(11).Data("frame_store", 2, 1).Branch("p_loop", "edge", ir.Loop{Trips: 16})
+	fpf.Block("edge").Code(8)
+	fpf.Block("exit").Return()
+
+	fph := pb.Func("form_pred_half_h")
+	fph.Block("entry").Code(9)
+	fph.Block("p_loop").Code(14).Branch("p_loop", "edge", ir.Loop{Trips: 16})
+	fph.Block("edge").Code(9)
+	fph.Block("exit").Return()
+
+	fpv := pb.Func("form_pred_half_v")
+	fpv.Block("entry").Code(9)
+	fpv.Block("p_loop").Code(14).Branch("p_loop", "edge", ir.Loop{Trips: 16})
+	fpv.Block("edge").Code(9)
+	fpv.Block("exit").Return()
+
+	fphv := pb.Func("form_pred_half_hv")
+	fphv.Block("entry").Code(10)
+	fphv.Block("p_loop").Code(18).Branch("p_loop", "edge", ir.Loop{Trips: 16})
+	fphv.Block("edge").Code(10)
+	fphv.Block("exit").Return()
+
+	ab := pb.Func("add_block")
+	ab.Block("entry").Code(7)
+	// 8 rows of 8 pels, unrolled by row.
+	ab.Block("row").Code(10).Data("block_buffer", 2, 0).Data("frame_store", 2, 2).Branch("row", "done", ir.Loop{Trips: 8})
+	ab.Block("done").Code(5)
+	ab.Block("exit").Return()
+
+	// ---- Output ------------------------------------------------------------
+	sf := pb.Func("store_frame")
+	sf.Block("entry").Code(8).Call("reorder_frames")
+	sf.Block("conv").Code(3).Call("conv420to422")
+	sf.Block("c444").Code(3).Call("conv422to444")
+	sf.Block("wr").Code(3).Call("write_ppm")
+	sf.Block("done").Code(8)
+	sf.Block("exit").Return()
+
+	c422 := pb.Func("conv420to422")
+	c422.Block("entry").Code(12)
+	c422.Block("col").Code(16).Branch("col", "tail", ir.Loop{Trips: 16})
+	c422.Block("tail").Code(14)
+	c422.Block("bot").Code(18)
+	c422.Block("exit").Return()
+
+	c444 := pb.Func("conv422to444")
+	c444.Block("entry").Code(12)
+	c444.Block("row").Code(15).Branch("row", "tail", ir.Loop{Trips: 16})
+	c444.Block("tail").Code(14)
+	c444.Block("edge").Code(17)
+	c444.Block("exit").Return()
+
+	wp := pb.Func("write_ppm")
+	wp.Block("entry").Code(18)
+	wp.Block("hdr").Code(12)
+	wp.Block("pix").Code(14).Branch("pix", "dith", ir.Loop{Trips: 12})
+	wp.Block("dith").Code(3).Call("dither")
+	wp.Block("timing").Code(3).Call("display_timing")
+	wp.Block("flush").Code(16)
+	wp.Block("exit").Return()
+
+	di := pb.Func("dither")
+	di.Block("entry").Code(14)
+	di.Block("kern").Code(16).Branch("kern", "clamp", ir.Loop{Trips: 8})
+	di.Block("clamp").Code(13)
+	di.Block("tbl").Code(12)
+	di.Block("exit").Return()
+
+	// ---- Cold code: headers, system stream, tables, errors ------------------
+	ini := pb.Func("initialize_decoder")
+	ini.Block("entry").Code(26).Call("init_vlc_tables")
+	ini.Block("idct0").Code(3).Call("idct_init")
+	ini.Block("clip0").Code(3).Call("clip_init")
+	ini.Block("alloc").Code(11).Branch("alloc", "bufs", ir.Loop{Trips: 6})
+	ini.Block("bufs").Code(24)
+	ini.Block("clr").Code(22)
+	ini.Block("exit").Return()
+
+	ivt := pb.Func("init_vlc_tables")
+	ivt.Block("entry").Code(22)
+	ivt.Block("t1").Code(12).Branch("t1", "t2pre", ir.Loop{Trips: 8})
+	ivt.Block("t2pre").Code(16)
+	ivt.Block("t2").Code(11).Branch("t2", "t3pre", ir.Loop{Trips: 8})
+	ivt.Block("t3pre").Code(15)
+	ivt.Block("t3").Code(12).Branch("t3", "mirror", ir.Loop{Trips: 6})
+	ivt.Block("mirror").Code(50)
+	ivt.Block("scanord").Code(48)
+	ivt.Block("exit").Return()
+
+	opt := pb.Func("options")
+	opt.Block("entry").Code(24)
+	opt.Block("arg").Code(9).Branch("arg", "check", ir.Loop{Trips: 3})
+	opt.Block("check").Code(20)
+	opt.Block("bad").Code(3).Branch("usage", "paths", ir.Never{})
+	opt.Block("usage").Code(50).Jump("paths")
+	opt.Block("paths").Code(22)
+	opt.Block("verify").Code(18)
+	opt.Block("exit").Return()
+
+	sh := pb.Func("parse_sequence_header")
+	sh.Block("entry").Code(24)
+	sh.Block("dims").Code(22)
+	sh.Block("rate").Code(16)
+	sh.Block("matrix").Code(3).Branch("load_mtx", "flags", ir.Pattern{Seq: []bool{true}})
+	sh.Block("load_mtx").Code(9).Branch("load_mtx", "flags", ir.Loop{Trips: 8})
+	sh.Block("flags").Code(14)
+	sh.Block("ext").Code(3).Call("sequence_extension")
+	sh.Block("disp").Code(3).Call("seq_display_extension")
+	sh.Block("done").Code(10)
+	sh.Block("exit").Return()
+
+	se := pb.Func("sequence_extension")
+	se.Block("entry").Code(20)
+	se.Block("profile").Code(18)
+	se.Block("chroma").Code(16)
+	se.Block("lowdelay").Code(14)
+	se.Block("frext").Code(14)
+	se.Block("exit").Return()
+
+	sde := pb.Func("seq_display_extension")
+	sde.Block("entry").Code(18)
+	sde.Block("colordesc").Code(3).Branch("cd", "size", ir.Pattern{Seq: []bool{true}})
+	sde.Block("cd").Code(16)
+	sde.Block("size").Code(14)
+	sde.Block("done").Code(12)
+	sde.Block("exit").Return()
+
+	qme := pb.Func("quant_matrix_extension")
+	qme.Block("entry").Code(16)
+	qme.Block("intra").Code(3).Branch("li", "nonintra", ir.Pattern{Seq: []bool{true}})
+	qme.Block("li").Code(10).Branch("li", "nonintra", ir.Loop{Trips: 8})
+	qme.Block("nonintra").Code(3).Branch("lni", "done", ir.Pattern{Seq: []bool{true}})
+	qme.Block("lni").Code(10).Branch("lni", "done", ir.Loop{Trips: 8})
+	qme.Block("done").Code(9)
+	qme.Block("exit").Return()
+
+	pce := pb.Func("picture_coding_extension")
+	pce.Block("entry").Code(22)
+	pce.Block("fcodes").Code(18)
+	pce.Block("flags1").Code(16)
+	pce.Block("flags2").Code(16)
+	pce.Block("structchk").Code(14)
+	pce.Block("composite").Code(3).Branch("cmp", "done", ir.Pattern{Seq: []bool{false}})
+	pce.Block("cmp").Code(12)
+	pce.Block("done").Code(9)
+	pce.Block("exit").Return()
+
+	cre := pb.Func("copyright_extension")
+	cre.Block("entry").Code(20)
+	cre.Block("ids").Code(22)
+	cre.Block("exit").Return()
+
+	ud := pb.Func("user_data")
+	ud.Block("entry").Code(14)
+	ud.Block("skip").Code(6).Branch("skip", "done", ir.Loop{Trips: 4})
+	ud.Block("done").Code(8)
+	ud.Block("exit").Return()
+
+	gop := pb.Func("parse_gop_header")
+	gop.Block("entry").Code(20)
+	gop.Block("timecode").Code(18)
+	gop.Block("flags").Code(12)
+	gop.Block("user").Code(3).Branch("u", "done", ir.Pattern{Seq: []bool{false}})
+	gop.Block("u").Code(4).Call("user_data")
+	gop.Block("done").Code(8)
+	gop.Block("exit").Return()
+
+	ph := pb.Func("parse_picture_header")
+	ph.Block("entry").Code(20)
+	ph.Block("type").Code(16)
+	ph.Block("vbv").Code(12)
+	ph.Block("fcodes").Code(12)
+	ph.Block("ext").Code(3).Call("picture_coding_extension")
+	ph.Block("qext").Code(3).Branch("qm", "user", ir.Pattern{Seq: []bool{false}})
+	ph.Block("qm").Code(4).Call("quant_matrix_extension")
+	ph.Block("user").Code(3).Branch("udata", "done", ir.Pattern{Seq: []bool{false}})
+	ph.Block("udata").Code(4).Call("user_data")
+	ph.Block("cmvchk").Code(2).Branch("cmv", "done", ir.Never{})
+	ph.Block("cmv").Code(2).CallResume("concealment_vectors", "done")
+	ph.Block("done").Code(8)
+	ph.Block("exit").Return()
+
+	// System-stream demuxer: built in, idle for elementary streams.
+	psys := pb.Func("parse_system")
+	psys.Block("entry").Code(46)
+	psys.Block("pack").Code(20)
+	psys.Block("scr").Code(22)
+	psys.Block("mux").Code(18)
+	psys.Block("strm").Code(10).Branch("strm", "pkt", ir.Loop{Trips: 2})
+	psys.Block("pkt").Code(4).Call("get_packet")
+	psys.Block("tail").Code(20)
+	psys.Block("exit").Return()
+
+	gpk := pb.Func("get_packet")
+	gpk.Block("entry").Code(22)
+	gpk.Block("len").Code(16)
+	gpk.Block("stuff").Code(8).Branch("stuff", "std", ir.Loop{Trips: 2})
+	gpk.Block("std").Code(18)
+	gpk.Block("pts").Code(3).Branch("ts", "payload", ir.Pattern{Seq: []bool{true, false}})
+	gpk.Block("ts").Code(14)
+	gpk.Block("payload").Code(16)
+	gpk.Block("exit").Return()
+
+	// Error handling: concealment and slice resynchronization.
+	ec := pb.Func("conceal_error")
+	ec.Block("entry").Code(24)
+	ec.Block("scan").Code(10).Branch("scan", "patch", ir.Loop{Trips: 2})
+	ec.Block("patch").Code(22)
+	ec.Block("log").Code(14)
+	ec.Block("exit").Return()
+
+	rs := pb.Func("resync")
+	rs.Block("entry").Code(16)
+	rs.Block("hunt").Code(8).Branch("hunt", "found", ir.Loop{Trips: 3})
+	rs.Block("found").Code(10).Call("conceal_error")
+	rs.Block("exit").Return()
+
+	be := pb.Func("bitstream_error")
+	be.Block("entry").Code(18)
+	be.Block("report").Code(16)
+	be.Block("recover").Code(3).Call("resync")
+	be.Block("done").Code(10)
+	be.Block("exit").Return()
+
+	// Spatial-scalability prediction: compiled in, unused for main
+	// profile streams.
+	sp := pb.Func("spatial_prediction")
+	sp.Block("entry").Code(24)
+	sp.Block("vsetup").Code(40)
+	sp.Block("vloop").Code(14).Branch("vloop", "hsetup", ir.Loop{Trips: 4})
+	sp.Block("hsetup").Code(18)
+	sp.Block("hloop").Code(14).Branch("hloop", "merge", ir.Loop{Trips: 4})
+	sp.Block("merge").Code(22)
+	sp.Block("round").Code(16)
+	sp.Block("exit").Return()
+
+	// Field-picture decode path: compiled in, unused for frame pictures.
+	dfp := pb.Func("decode_field_picture")
+	dfp.Block("entry").Code(26)
+	dfp.Block("parity").Code(20)
+	dfp.Block("s_head").Code(6).Call("decode_slice")
+	dfp.Block("s_latch").Code(4).Branch("s_head", "pair", ir.Loop{Trips: 3})
+	dfp.Block("pair").Code(24)
+	dfp.Block("weave").Code(12).Branch("weave", "done", ir.Loop{Trips: 4})
+	dfp.Block("done").Code(22)
+	dfp.Block("exit").Return()
+
+	// Dual-prime motion vector arithmetic (P-field pictures only).
+	dp := pb.Func("dual_prime_vectors")
+	dp.Block("entry").Code(22)
+	dp.Block("scale").Code(20)
+	dp.Block("round1").Code(18)
+	dp.Block("opp").Code(16)
+	dp.Block("round2").Code(18)
+	dp.Block("clipv").Code(16)
+	dp.Block("store").Code(14)
+	dp.Block("exit").Return()
+
+	// Concealment motion vectors in intra pictures.
+	cmv := pb.Func("concealment_vectors")
+	cmv.Block("entry").Code(18)
+	cmv.Block("rd").Code(5).Call("get_mv_vlc")
+	cmv.Block("marker").Code(16)
+	cmv.Block("stash").Code(14)
+	cmv.Block("exit").Return()
+
+	// Frame reordering for display order (I/P delayed, B immediate).
+	ro := pb.Func("reorder_frames")
+	ro.Block("entry").Code(16)
+	ro.Block("btype").Code(3).Branch("imm", "delay", ir.Pattern{Seq: []bool{true, false}})
+	ro.Block("imm").Code(12).Jump("swap")
+	ro.Block("delay").Code(14)
+	ro.Block("swap").Code(16)
+	ro.Block("exit").Return()
+
+	// Repeat-first-field substitution (3:2 pulldown).
+	sub := pb.Func("substitute_frame")
+	sub.Block("entry").Code(20)
+	sub.Block("copy").Code(12).Branch("copy", "flags", ir.Loop{Trips: 4})
+	sub.Block("flags").Code(18)
+	sub.Block("exit").Return()
+
+	// Double-precision reference IDCT initialization.
+	ii := pb.Func("idct_init")
+	ii.Block("entry").Code(16)
+	ii.Block("cos").Code(12).Branch("cos", "norm", ir.Loop{Trips: 8})
+	ii.Block("norm").Code(18)
+	ii.Block("exit").Return()
+
+	// Saturation/clip lookup table initialization.
+	ci := pb.Func("clip_init")
+	ci.Block("entry").Code(12)
+	ci.Block("neg").Code(8).Branch("neg", "pos", ir.Loop{Trips: 4})
+	ci.Block("pos").Code(8).Branch("pos", "done", ir.Loop{Trips: 4})
+	ci.Block("done").Code(10)
+	ci.Block("exit").Return()
+
+	// Display timing computation (NTSC/PAL frame scheduling).
+	dt := pb.Func("display_timing")
+	dt.Block("entry").Code(18)
+	dt.Block("std").Code(3).Branch("pal", "ntsc", ir.Pattern{Seq: []bool{false}})
+	dt.Block("pal").Code(14).Jump("vsync")
+	dt.Block("ntsc").Code(16)
+	dt.Block("vsync").Code(16)
+	dt.Block("exit").Return()
+
+	// Bitstream statistics dumper behind the -verify flag.
+	tdump := pb.Func("trace_dump")
+	tdump.Block("entry").Code(44)
+	tdump.Block("hdrs").Code(18)
+	tdump.Block("mbrow").Code(12).Branch("mbrow", "coeffs", ir.Loop{Trips: 4})
+	tdump.Block("coeffs").Code(14).Branch("coeffs", "mvs", ir.Loop{Trips: 4})
+	tdump.Block("mvs").Code(16)
+	tdump.Block("flushit").Code(18)
+	tdump.Block("exit").Return()
+
+	// D-picture (DC-only) decoder path, kept for completeness.
+	dpic := pb.Func("decode_d_picture")
+	dpic.Block("entry").Code(18)
+	dpic.Block("dc_head").Code(6).Call("get_dc_luma")
+	dpic.Block("dc_latch").Code(4).Branch("dc_head", "endmark", ir.Loop{Trips: 4})
+	dpic.Block("endmark").Code(16)
+	dpic.Block("fill").Code(10).Branch("fill", "done", ir.Loop{Trips: 4})
+	dpic.Block("done").Code(12)
+	dpic.Block("exit").Return()
+
+	// SNR-scalability enhancement layer decode (unused at main profile).
+	snr := pb.Func("snr_enhancement")
+	snr.Block("entry").Code(48)
+	snr.Block("hdr").Code(24)
+	snr.Block("b_head").Code(8).Call("get_dct_coeff")
+	snr.Block("refine").Code(18)
+	snr.Block("b_latch").Code(4).Branch("b_head", "combine", ir.Loop{Trips: 4})
+	snr.Block("combine").Code(26)
+	snr.Block("sat2").Code(22)
+	snr.Block("store2").Code(20)
+	snr.Block("exit").Return()
+
+	// Data-partitioned bitstream reassembly (profile feature, idle here).
+	dpart := pb.Func("data_partitioning")
+	dpart.Block("entry").Code(46)
+	dpart.Block("p0").Code(22)
+	dpart.Block("p1").Code(22)
+	dpart.Block("merge").Code(10).Branch("merge", "prio", ir.Loop{Trips: 3})
+	dpart.Block("prio").Code(24)
+	dpart.Block("check").Code(20)
+	dpart.Block("exit").Return()
+
+	// Elementary-stream ring buffer management.
+	rb := pb.Func("ringbuf_fill")
+	rb.Block("entry").Code(18)
+	rb.Block("space").Code(3).Branch("wrap", "read", ir.Pattern{Seq: []bool{false, true}})
+	rb.Block("wrap").Code(16).Jump("read")
+	rb.Block("read").Code(20)
+	rb.Block("mark").Code(14)
+	rb.Block("exit").Return()
+
+	// 4:1:1 chroma upconversion alternative.
+	c411 := pb.Func("conv411to444")
+	c411.Block("entry").Code(16)
+	c411.Block("row").Code(14).Branch("row", "tail2", ir.Loop{Trips: 8})
+	c411.Block("tail2").Code(18)
+	c411.Block("edge2").Code(16)
+	c411.Block("exit").Return()
+
+	// YUV to RGB conversion for direct display output.
+	rgb := pb.Func("yuv2rgb")
+	rgb.Block("entry").Code(14)
+	rgb.Block("row").Code(18).Branch("row", "gamma", ir.Loop{Trips: 8})
+	rgb.Block("gamma").Code(20)
+	rgb.Block("pack2").Code(18)
+	rgb.Block("exit").Return()
+
+	// On-screen-display overlay compositor for the test player.
+	osd := pb.Func("osd_overlay")
+	osd.Block("entry").Code(22)
+	osd.Block("alpha").Code(12).Branch("alpha", "text", ir.Loop{Trips: 4})
+	osd.Block("text").Code(44)
+	osd.Block("blit").Code(20)
+	osd.Block("exit").Return()
+
+	return pb.MustBuild()
+}

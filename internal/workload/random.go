@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// RandomSpec parameterizes the random program generator.
+type RandomSpec struct {
+	// Seed drives every random choice; equal seeds give equal programs.
+	Seed uint64
+	// Funcs is the number of functions (≥ 1).
+	Funcs int
+	// SegmentsPerFunc bounds the structured segments per function body.
+	SegmentsPerFunc int
+	// MaxTrips bounds loop trip counts (≥ 1).
+	MaxTrips int
+	// MaxBlockInstrs bounds straight-line block sizes (≥ 1).
+	MaxBlockInstrs int
+}
+
+func (s RandomSpec) withDefaults() RandomSpec {
+	if s.Funcs < 1 {
+		s.Funcs = 4
+	}
+	if s.SegmentsPerFunc < 1 {
+		s.SegmentsPerFunc = 5
+	}
+	if s.MaxTrips < 1 {
+		s.MaxTrips = 12
+	}
+	if s.MaxBlockInstrs < 1 {
+		s.MaxBlockInstrs = 12
+	}
+	return s
+}
+
+// Random generates a structurally valid, always-terminating random program
+// for property tests: each function is a linear chain of segments
+// (straight code, counted loops, diamonds, or calls to strictly
+// later-indexed functions, which rules out recursion).
+func Random(spec RandomSpec) *ir.Program {
+	spec = spec.withDefaults()
+	rng := spec.Seed*0x9e3779b97f4a7c15 + 1
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+
+	pb := ir.NewProgramBuilder(fmt.Sprintf("random-%d", spec.Seed))
+	names := make([]string, spec.Funcs)
+	for i := range names {
+		if i == 0 {
+			names[i] = "main"
+		} else {
+			names[i] = fmt.Sprintf("f%d", i)
+		}
+	}
+	for i, name := range names {
+		f := pb.Func(name)
+		segs := 1 + next(spec.SegmentsPerFunc)
+		label := 0
+		lbl := func(prefix string) string {
+			label++
+			return fmt.Sprintf("%s%d", prefix, label)
+		}
+		f.Block(lbl("entry")).Code(1 + next(spec.MaxBlockInstrs))
+		for s := 0; s < segs; s++ {
+			switch next(4) {
+			case 0: // straight code
+				f.Block(lbl("code")).Code(1 + next(spec.MaxBlockInstrs))
+			case 1: // counted loop
+				head := lbl("loop")
+				cont := lbl("cont")
+				f.Block(head).Code(1+next(spec.MaxBlockInstrs)).
+					Branch(head, cont, ir.Loop{Trips: 1 + next(spec.MaxTrips)})
+				f.Block(cont).Code(1 + next(spec.MaxBlockInstrs/2+1))
+			case 2: // diamond
+				thenL, elseL, join := lbl("then"), lbl("else"), lbl("join")
+				f.Block(lbl("cond")).Code(1+next(4)).
+					Branch(thenL, elseL, ir.Pattern{Seq: randomPattern(next)})
+				f.Block(elseL).Code(1 + next(spec.MaxBlockInstrs)).Goto(join)
+				f.Block(thenL).Code(1 + next(spec.MaxBlockInstrs)).Goto(join)
+				f.Block(join).Code(1 + next(3))
+			case 3: // call a later function (no recursion possible)
+				if i+1 < spec.Funcs {
+					callee := names[i+1+next(spec.Funcs-i-1)]
+					f.Block(lbl("call")).Code(1 + next(4)).Call(callee)
+					f.Block(lbl("resume")).Code(1 + next(4))
+				} else {
+					f.Block(lbl("code")).Code(1 + next(spec.MaxBlockInstrs))
+				}
+			}
+		}
+		f.Block(lbl("exit")).Return()
+	}
+	return pb.MustBuild()
+}
+
+func randomPattern(next func(int) int) []bool {
+	n := 2 + next(5)
+	seq := make([]bool, n)
+	for i := range seq {
+		seq[i] = next(2) == 1
+	}
+	return seq
+}

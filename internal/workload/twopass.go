@@ -1,0 +1,76 @@
+package workload
+
+import "repro/internal/ir"
+
+// TwoPass builds the overlay demonstration workload: a batch program with
+// two sequential hot passes over the data (a transform pass and an encode
+// pass), each with its own pair of kernels. The two passes never execute
+// concurrently, and each pass's kernel working set roughly fills a small
+// scratchpad on its own — the textbook case for the paper's future-work
+// overlay extension: a static allocation must split the scratchpad
+// between the passes, while an overlay allocation reloads it between them
+// and gives every pass the full capacity.
+//
+// TwoPass is not part of Names(): the paper's Table 1 uses exactly the
+// three Mediabench-derived workloads. It is exported for the overlay
+// study and example.
+func TwoPass() *ir.Program {
+	pb := ir.NewProgramBuilder("twopass")
+
+	main := pb.Func("main")
+	main.Block("entry").Code(10).Call("setup")
+	// Pass 1: 400 blocks through the transform kernels.
+	main.Block("p1_head").Code(2).Call("transform_even")
+	main.Block("p1_odd").Code(2).Call("transform_odd")
+	main.Block("p1_latch").Code(2).Branch("p1_head", "mid", ir.Loop{Trips: 400})
+	// Between the passes: flush and re-buffer, once.
+	main.Block("mid").Code(14)
+	// Pass 2: 400 blocks through the encode kernels.
+	main.Block("p2_head").Code(2).Call("encode_low")
+	main.Block("p2_high").Code(2).Call("encode_high")
+	main.Block("p2_latch").Code(2).Branch("p2_head", "done", ir.Loop{Trips: 400})
+	main.Block("done").Code(8)
+	main.Block("exit").Return()
+
+	setup := pb.Func("setup")
+	setup.Block("entry").Code(20)
+	setup.Block("tbl").Code(8).Branch("tbl", "out", ir.Loop{Trips: 6})
+	setup.Block("out").Code(12)
+	setup.Block("exit").Return()
+
+	// Pass-1 kernels: ~180 bytes each of hot straight-line code.
+	te := pb.Func("transform_even")
+	te.Block("entry").Code(4)
+	te.Block("fly1").Code(18)
+	te.Block("fly2").Code(16)
+	te.Block("acc").Code(4).Branch("fly1", "out", ir.Loop{Trips: 3})
+	te.Block("out").Code(2)
+	te.Block("exit").Return()
+
+	to := pb.Func("transform_odd")
+	to.Block("entry").Code(4)
+	to.Block("fly1").Code(17)
+	to.Block("fly2").Code(17)
+	to.Block("acc").Code(4).Branch("fly1", "out", ir.Loop{Trips: 3})
+	to.Block("out").Code(2)
+	to.Block("exit").Return()
+
+	// Pass-2 kernels: same scale, different code.
+	el := pb.Func("encode_low")
+	el.Block("entry").Code(4)
+	el.Block("q1").Code(16)
+	el.Block("q2").Code(18)
+	el.Block("scan").Code(4).Branch("q1", "out", ir.Loop{Trips: 3})
+	el.Block("out").Code(2)
+	el.Block("exit").Return()
+
+	eh := pb.Func("encode_high")
+	eh.Block("entry").Code(4)
+	eh.Block("q1").Code(18)
+	eh.Block("q2").Code(16)
+	eh.Block("scan").Code(4).Branch("q1", "out", ir.Loop{Trips: 3})
+	eh.Block("out").Code(2)
+	eh.Block("exit").Return()
+
+	return pb.MustBuild()
+}

@@ -1,0 +1,63 @@
+// Package workload provides the benchmark programs of the evaluation:
+// synthetic stand-ins for the Mediabench applications the paper measures
+// (adpcm, g721, mpeg), matched in code size, call structure, loop nesting
+// and hot-spot skew, plus a seeded random program generator for property
+// tests.
+//
+// The substitution is documented in DESIGN.md: CASA consumes only the CFG,
+// the execution profile and code bytes; the allocation problem is fully
+// characterized by trace sizes, fetch counts and cache conflicts, which
+// these programs reproduce at the paper's scale:
+//
+//	adpcm — ~1 kByte of code, a tight encode/decode pair over a sample loop
+//	g721  — ~4.7 kBytes, the ITU G.721 ADPCM transcoder's predictor and
+//	        quantizer routines around a sample loop
+//	mpeg  — ~19.5 kBytes, an MPEG-2 style decoder: VLC parsing, inverse
+//	        quantization, 2-D IDCT, motion compensation, block store
+//
+// All branch behaviors are deterministic, so profiles and simulations are
+// exactly reproducible.
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+import "repro/internal/ir"
+
+// builders registers the bundled programs lazily so each Load returns a
+// fresh Program (callers may mutate nothing, but independence is cheap).
+var builders = map[string]func() *ir.Program{
+	"adpcm": ADPCM,
+	"g721":  G721,
+	"mpeg":  MPEG,
+}
+
+// Names returns the bundled workload names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load returns the named workload program.
+func Load(name string) (*ir.Program, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+	return b(), nil
+}
+
+// MustLoad is Load, panicking on unknown names.
+func MustLoad(name string) *ir.Program {
+	p, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,274 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeWorkloads(t *testing.T) {
+	names := Workloads()
+	if len(names) != 3 {
+		t.Fatalf("Workloads = %v", names)
+	}
+	p, err := LoadWorkload("adpcm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWorkload("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	r := RandomWorkload(5)
+	if err := ValidateProgram(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadePipelineEndToEnd(t *testing.T) {
+	pl, err := Prepare("adpcm", DM(128), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	casa, err := pl.RunCASA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := pl.RunCacheOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if casa.EnergyMicroJ <= 0 || base.EnergyMicroJ <= 0 {
+		t.Fatalf("implausible energies: %g vs %g", casa.EnergyMicroJ, base.EnergyMicroJ)
+	}
+	if casa.EnergyMicroJ > base.EnergyMicroJ {
+		t.Errorf("CASA (%.2f µJ) worse than cache-only (%.2f µJ)",
+			casa.EnergyMicroJ, base.EnergyMicroJ)
+	}
+}
+
+func TestFacadeManualPipeline(t *testing.T) {
+	// Drive the low-level API directly: build, profile, trace, graph,
+	// allocate, lay out.
+	pb := NewProgramBuilder("manual")
+	f := pb.Func("main")
+	f.Block("hot").Code(20).Branch("hot", "exit", Loop{Trips: 100})
+	f.Block("exit").Return()
+	prog, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := BuildTraces(prog, prof, TraceOptions{MaxBytes: 128, LineBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetches := make([]int64, len(set.Traces))
+	for i, tr := range set.Traces {
+		fetches[i] = tr.Fetches
+	}
+	g := NewConflictGraph(fetches)
+	hit, miss, err := CacheEnergies(1024, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss <= hit {
+		t.Fatalf("miss %g <= hit %g", miss, hit)
+	}
+	alloc, err := Allocate(set, g, CASAParams{
+		SPMSize:    128,
+		ESPHit:     SPMAccessEnergy(128),
+		ECacheHit:  hit,
+		ECacheMiss: miss,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := NewLayout(set, alloc.InSPM, LayoutOptions{Mode: CopyPlacement, SPMSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.SPMUsed() != alloc.UsedBytes {
+		t.Errorf("layout used %d, allocation says %d", lay.SPMUsed(), alloc.UsedBytes)
+	}
+}
+
+func TestFacadeMultiSPM(t *testing.T) {
+	pl, err := Prepare("adpcm", DM(128), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, miss := pl.Cost.CacheHit, pl.Cost.CacheMiss
+	ma, err := AllocateMulti(pl.Set, pl.Graph, MultiParams{
+		SPMs: []SPMSpec{
+			{Size: 64, ESPHit: SPMAccessEnergy(64)},
+			{Size: 64, ESPHit: SPMAccessEnergy(64)},
+		},
+		ECacheHit:  hit,
+		ECacheMiss: miss,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, used := range ma.UsedBytes {
+		if used > 64 {
+			t.Errorf("scratchpad %d over capacity: %d", s, used)
+		}
+	}
+}
+
+func TestFacadeILP(t *testing.T) {
+	m := NewILPModel()
+	x := m.AddBinary("x")
+	y := m.AddBinary("y")
+	m.AddConstraint("c", ILPExpr(3, x, 4, y), LE, 5)
+	m.SetObjective(ILPExpr(2, x, 3, y), Maximize)
+	sol, err := SolveILP(m, ILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status.String() != "optimal" || math.Abs(sol.Objective-3) > 1e-9 {
+		t.Fatalf("got %v %g, want optimal 3 (y alone)", sol.Status, sol.Objective)
+	}
+}
+
+func TestFacadeFigures(t *testing.T) {
+	s := NewSuite()
+	cfg := Fig4Config{Workload: "adpcm", Cache: DM(128), SPMSizes: []int{64}}
+	rows, err := Fig4(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	t1 := Table1Config{Benchmarks: []Table1Benchmark{
+		{Workload: "adpcm", Cache: DM(128), MemSizes: []int{64}},
+	}}
+	trows, avgs, err := Table1(s, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trows) != 1 || len(avgs) != 1 {
+		t.Fatalf("table shape %d/%d", len(trows), len(avgs))
+	}
+	f5 := Fig5Config{Workload: "adpcm", Cache: DM(128), Sizes: []int{64}}
+	if _, err := Fig5(s, f5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeASMRoundTrip(t *testing.T) {
+	p := MustLoadForTest(t, "adpcm")
+	var sb strings.Builder
+	if err := WriteASM(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseASM(strings.NewReader(sb.String()), "adpcm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != p.Size() {
+		t.Errorf("round trip changed size: %d vs %d", q.Size(), p.Size())
+	}
+}
+
+func MustLoadForTest(t *testing.T, name string) *Program {
+	t.Helper()
+	p, err := LoadWorkload(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFacadeWCET(t *testing.T) {
+	pl, err := Prepare("adpcm", DM(128), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := NewLayout(pl.Set, nil, LayoutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeWCET(pl.Prog, lay, WCETCosts{
+		HitCycles: 1, MissCycles: 15, SPMCycles: 1,
+		EHit: 1, EMiss: 50, ESPM: 0.4, LineBytes: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.EnergyNJ <= 0 {
+		t.Errorf("empty WCET result: %+v", res)
+	}
+}
+
+func TestFacadeGreedyAndData(t *testing.T) {
+	pl, err := Prepare("adpcm", DM(128), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := CASAParams{
+		SPMSize:    128,
+		ESPHit:     SPMAccessEnergy(128),
+		ECacheHit:  pl.Cost.CacheHit,
+		ECacheMiss: pl.Cost.CacheMiss,
+	}
+	if _, err := GreedyAllocate(pl.Set, pl.Graph, prm); err != nil {
+		t.Fatal(err)
+	}
+	counts := DataAccessCounts(pl.Prog, pl.Prof)
+	if len(counts) != len(pl.Prog.Data) {
+		t.Fatalf("counts %d for %d objects", len(counts), len(pl.Prog.Data))
+	}
+	da, err := AllocateWithData(pl.Set, pl.Graph, pl.Prog.Data, counts, DataParams{
+		Params: prm, EMainData: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da.CodeBytes+da.DataBytes > 128 {
+		t.Error("joint allocation over capacity")
+	}
+}
+
+func TestFacadeDefaultsExist(t *testing.T) {
+	if len(DefaultFig4().SPMSizes) == 0 || len(DefaultFig5().Sizes) == 0 ||
+		len(DefaultTable1().Benchmarks) != 3 {
+		t.Error("default experiment configs incomplete")
+	}
+}
+
+// TestGoldenAdpcmRegression pins the adpcm Table-1 column exactly: the
+// whole pipeline is deterministic, so any change to these numbers means a
+// behavioral change somewhere (workload, traces, allocator, energy model)
+// that must be deliberate.
+func TestGoldenAdpcmRegression(t *testing.T) {
+	s := NewSuite()
+	cfg := Table1Config{Benchmarks: []Table1Benchmark{
+		{Workload: "adpcm", Cache: DM(128), MemSizes: []int{64, 128, 256}},
+	}}
+	rows, _, err := Table1(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []struct{ casa, steinke, lc float64 }{
+		{1069.96, 1210.22, 1256.96},
+		{587.03, 865.61, 797.72},
+		{409.63, 447.64, 729.90},
+	}
+	for i, g := range golden {
+		r := rows[i]
+		if math.Abs(r.CASAMicroJ-g.casa) > 0.01 ||
+			math.Abs(r.SteinkeMicroJ-g.steinke) > 0.01 ||
+			math.Abs(r.LCMicroJ-g.lc) > 0.01 {
+			t.Errorf("row %d drifted: got %.2f/%.2f/%.2f, golden %.2f/%.2f/%.2f",
+				i, r.CASAMicroJ, r.SteinkeMicroJ, r.LCMicroJ, g.casa, g.steinke, g.lc)
+		}
+	}
+}
