@@ -252,9 +252,10 @@ func BenchmarkWCETStudy(b *testing.B) {
 // the paper's §7 future work: static CASA vs. phased scratchpad
 // reloading.
 func BenchmarkOverlayStudy(b *testing.B) {
+	s := experiments.NewSuite()
 	cfg := experiments.DefaultOverlayStudy()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OverlayStudy(cfg)
+		rows, err := experiments.OverlayStudy(s, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,168 @@
+// Command benchdiff is the benchmark-regression gate of CI. It has two
+// modes:
+//
+//	benchdiff -parse bench.txt -o BENCH_ci.json
+//	    parse `go test -bench` text output into a JSON results file
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 20
+//	    compare two results files and exit non-zero when any benchmark's
+//	    wall-clock (ns/op) regressed by more than the threshold percent
+//
+// Benchmarks present in only one of the two files are reported but do not
+// fail the gate (new benchmarks need a baseline refresh, not a red build).
+// The GOMAXPROCS suffix (`BenchmarkFoo-8`) is stripped so results compare
+// across machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Results is the JSON schema of a benchmark results file.
+type Results struct {
+	// NsPerOp maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// wall-clock per iteration.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+func main() {
+	parse := flag.String("parse", "", "parse `go test -bench` output from this file")
+	out := flag.String("o", "BENCH_ci.json", "JSON output path for -parse")
+	baseline := flag.String("baseline", "", "baseline results JSON")
+	current := flag.String("current", "", "current results JSON")
+	threshold := flag.Float64("threshold", 20, "max allowed ns/op regression in percent")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *parse != "":
+		err = runParse(*parse, *out)
+	case *baseline != "" && *current != "":
+		err = runCompare(*baseline, *current, *threshold)
+	default:
+		err = fmt.Errorf("need either -parse, or -baseline and -current (see -h)")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func runParse(in, out string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	res := Results{NsPerOp: make(map[string]float64)}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, ns, ok := parseBenchLine(sc.Text())
+		if ok {
+			res.NsPerOp[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(res.NsPerOp) == 0 {
+		return fmt.Errorf("%s: no benchmark lines found", in)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}
+
+// parseBenchLine extracts (name, ns/op) from a `go test -bench` result
+// line such as
+//
+//	BenchmarkFig4CASAvsSteinke-8   1   3990000000 ns/op
+func parseBenchLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	// ns/op is always the value immediately before the "ns/op" unit.
+	for i := 2; i < len(fields); i++ {
+		if fields[i] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			return "", 0, false
+		}
+		name := fields[0]
+		if dash := strings.LastIndex(name, "-"); dash > 0 {
+			if _, err := strconv.Atoi(name[dash+1:]); err == nil {
+				name = name[:dash]
+			}
+		}
+		return name, ns, true
+	}
+	return "", 0, false
+}
+
+func readResults(path string) (Results, error) {
+	var res Results
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return res, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}
+
+func runCompare(basePath, curPath string, threshold float64) error {
+	base, err := readResults(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := readResults(curPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(base.NsPerOp))
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	for _, name := range names {
+		b := base.NsPerOp[name]
+		c, ok := cur.NsPerOp[name]
+		if !ok {
+			fmt.Printf("?  %-32s missing from current run\n", name)
+			continue
+		}
+		delta := 100 * (c - b) / b
+		mark := "ok"
+		if delta > threshold {
+			mark = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-9s %-32s %12.0f → %12.0f ns/op  (%+.1f%%)\n", mark, name, b, c, delta)
+	}
+	for name := range cur.NsPerOp {
+		if _, ok := base.NsPerOp[name]; !ok {
+			fmt.Printf("+  %-32s new benchmark (no baseline)\n", name)
+		}
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", regressed, threshold, basePath)
+	}
+	fmt.Printf("no regressions beyond %.0f%% (%d benchmarks)\n", threshold, len(names))
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkFig4CASAvsSteinke-8   1   3990000000 ns/op", "BenchmarkFig4CASAvsSteinke", 3990000000, true},
+		{"BenchmarkCacheAccess   	76345986	        15.61 ns/op", "BenchmarkCacheAccess", 15.61, true},
+		{"BenchmarkAlloc-4  10  123 ns/op  456 B/op  7 allocs/op", "BenchmarkAlloc", 123, true},
+		{"ok  	repro	12.3s", "", 0, false},
+		{"PASS", "", 0, false},
+		{"BenchmarkBroken  x  y ns/op", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseBenchLine(c.line)
+		if ok != c.ok || name != c.name || ns != c.ns {
+			t.Errorf("parseBenchLine(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.line, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
+
+func TestParseAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	benchTxt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchTxt, []byte(`goos: linux
+BenchmarkFast-8   100   1000 ns/op
+BenchmarkSlow-8   1   2000000 ns/op
+PASS
+ok  	repro	3.0s
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, "cur.json")
+	if err := runParse(benchTxt, cur); err != nil {
+		t.Fatalf("runParse: %v", err)
+	}
+
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Baseline equal to current: passes.
+	same := write("same.json", `{"ns_per_op":{"BenchmarkFast":1000,"BenchmarkSlow":2000000}}`)
+	if err := runCompare(same, cur, 20); err != nil {
+		t.Errorf("equal results failed the gate: %v", err)
+	}
+
+	// Current is >20% slower than this baseline: fails.
+	faster := write("faster.json", `{"ns_per_op":{"BenchmarkFast":1000,"BenchmarkSlow":1000000}}`)
+	if err := runCompare(faster, cur, 20); err == nil {
+		t.Error("2x regression passed a 20% gate")
+	}
+
+	// Within threshold: passes.
+	if err := runCompare(faster, cur, 150); err != nil {
+		t.Errorf("regression within threshold failed: %v", err)
+	}
+
+	// Benchmarks missing from either side don't fail the gate.
+	disjoint := write("disjoint.json", `{"ns_per_op":{"BenchmarkFast":1000,"BenchmarkGone":5}}`)
+	if err := runCompare(disjoint, cur, 20); err != nil {
+		t.Errorf("missing/new benchmarks failed the gate: %v", err)
+	}
+}

@@ -5,53 +5,79 @@
 // code+data allocation) and the design-choice ablations called out in
 // DESIGN.md.
 //
+// Studies fan their experiment grids across a bounded worker pool; the
+// row output is bit-identical at any worker count. Per-study wall-clock
+// is reported on stderr so stdout stays clean for diffing.
+//
 // Usage:
 //
-//	experiments [-exp fig4|fig5|table1|sensitivity|wcet|overlay|data|ablations|all]
+//	experiments [-workers N] [-compare-serial]
+//	            [-exp fig4|fig5|table1|sensitivity|wcet|overlay|data|placement|ablations|all]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
+
+type study struct {
+	name string
+	run  func(*experiments.Suite, io.Writer) error
+}
+
+var studies = []study{
+	{"fig4", runFig4},
+	{"fig5", runFig5},
+	{"table1", runTable1},
+	{"sensitivity", runSensitivity},
+	{"wcet", runWCET},
+	{"overlay", runOverlay},
+	{"data", runData},
+	{"placement", runPlacement},
+	{"ablations", runAblations},
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, table1, sensitivity, wcet, overlay, data, placement, ablations, all")
+	workers := flag.Int("workers", 0,
+		fmt.Sprintf("worker-pool width (0 = $%s, else NumCPU)", parallel.EnvWorkers))
+	compareSerial := flag.Bool("compare-serial", false,
+		"time each study serially (1 worker) and in parallel and report the speedup; suppresses table output and disables the fetch-stream cache so the pool itself is measured")
 	flag.Parse()
 
-	s := experiments.NewSuite()
+	var sel []study
+	for _, st := range studies {
+		if *exp == "all" || *exp == st.name {
+			sel = append(sel, st)
+		}
+	}
+	if len(sel) == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+
 	var err error
-	switch *exp {
-	case "fig4":
-		err = runFig4(s)
-	case "fig5":
-		err = runFig5(s)
-	case "table1":
-		err = runTable1(s)
-	case "ablations":
-		err = runAblations(s)
-	case "sensitivity":
-		err = runSensitivity(s)
-	case "wcet":
-		err = runWCET(s)
-	case "overlay":
-		err = runOverlay(s)
-	case "data":
-		err = runData(s)
-	case "placement":
-		err = runPlacement(s)
-	case "all":
-		for _, f := range []func(*experiments.Suite) error{runFig4, runFig5, runTable1, runSensitivity, runWCET, runOverlay, runData, runPlacement, runAblations} {
-			if err = f(s); err != nil {
+	if *compareSerial {
+		err = compare(sel, *workers)
+	} else {
+		s := experiments.NewSuite().SetWorkers(*workers)
+		for _, st := range sel {
+			start := time.Now()
+			if err = st.run(s, os.Stdout); err != nil {
 				break
 			}
-			fmt.Println()
+			if len(sel) > 1 {
+				fmt.Println()
+			}
+			fmt.Fprintf(os.Stderr, "# %s: %.2fs (%d workers)\n",
+				st.name, time.Since(start).Seconds(), s.Workers())
 		}
-	default:
-		err = fmt.Errorf("unknown experiment %q", *exp)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -59,116 +85,138 @@ func main() {
 	}
 }
 
-func runFig4(s *experiments.Suite) error {
+// compare times each study twice on fresh suites — serial, then at the
+// requested width. The fetch-stream cache is disabled so the second run
+// does not coast on recordings the first one left behind.
+func compare(sel []study, workers int) error {
+	if err := os.Setenv("CASA_STREAM_CACHE", "off"); err != nil {
+		return err
+	}
+	width := parallel.Workers(workers)
+	fmt.Printf("%-12s %10s %14s %9s\n", "study", "serial(s)", "parallel(s)", "speedup")
+	for _, st := range sel {
+		start := time.Now()
+		if err := st.run(experiments.NewSuite().SetWorkers(1), io.Discard); err != nil {
+			return err
+		}
+		serial := time.Since(start)
+		start = time.Now()
+		if err := st.run(experiments.NewSuite().SetWorkers(workers), io.Discard); err != nil {
+			return err
+		}
+		par := time.Since(start)
+		fmt.Printf("%-12s %10.3f %14.3f %8.2fx  (%d workers)\n",
+			st.name, serial.Seconds(), par.Seconds(), serial.Seconds()/par.Seconds(), width)
+	}
+	return nil
+}
+
+func runFig4(s *experiments.Suite, w io.Writer) error {
 	cfg := experiments.DefaultFig4()
 	rows, err := experiments.Fig4(s, cfg)
 	if err != nil {
 		return err
 	}
-	experiments.WriteFig4(os.Stdout, cfg, rows)
+	experiments.WriteFig4(w, cfg, rows)
 	return nil
 }
 
-func runFig5(s *experiments.Suite) error {
+func runFig5(s *experiments.Suite, w io.Writer) error {
 	cfg := experiments.DefaultFig5()
 	rows, err := experiments.Fig5(s, cfg)
 	if err != nil {
 		return err
 	}
-	experiments.WriteFig5(os.Stdout, cfg, rows)
+	experiments.WriteFig5(w, cfg, rows)
 	return nil
 }
 
-func runTable1(s *experiments.Suite) error {
+func runTable1(s *experiments.Suite, w io.Writer) error {
 	rows, avgs, err := experiments.Table1(s, experiments.DefaultTable1())
 	if err != nil {
 		return err
 	}
-	experiments.WriteTable1(os.Stdout, rows, avgs)
+	experiments.WriteTable1(w, rows, avgs)
 	return nil
 }
 
-func runSensitivity(s *experiments.Suite) error {
+func runSensitivity(s *experiments.Suite, w io.Writer) error {
 	cfg := experiments.DefaultSensitivity()
 	rows, err := experiments.Sensitivity(s, cfg)
 	if err != nil {
 		return err
 	}
-	experiments.WriteSensitivity(os.Stdout, cfg, rows)
+	experiments.WriteSensitivity(w, cfg, rows)
 	return nil
 }
 
-func runWCET(s *experiments.Suite) error {
+func runWCET(s *experiments.Suite, w io.Writer) error {
 	rows, err := experiments.WCETStudy(s, experiments.DefaultWCETStudy())
 	if err != nil {
 		return err
 	}
-	experiments.WriteWCETStudy(os.Stdout, rows)
+	experiments.WriteWCETStudy(w, rows)
 	return nil
 }
 
-func runOverlay(_ *experiments.Suite) error {
-	rows, err := experiments.OverlayStudy(experiments.DefaultOverlayStudy())
+func runOverlay(s *experiments.Suite, w io.Writer) error {
+	rows, err := experiments.OverlayStudy(s, experiments.DefaultOverlayStudy())
 	if err != nil {
 		return err
 	}
-	experiments.WriteOverlayStudy(os.Stdout, rows)
+	experiments.WriteOverlayStudy(w, rows)
 	return nil
 }
 
-func runData(s *experiments.Suite) error {
+func runData(s *experiments.Suite, w io.Writer) error {
 	rows, err := experiments.DataStudy(s, experiments.DefaultDataStudy())
 	if err != nil {
 		return err
 	}
-	experiments.WriteDataStudy(os.Stdout, rows)
+	experiments.WriteDataStudy(w, rows)
 	return nil
 }
 
-func runPlacement(s *experiments.Suite) error {
+func runPlacement(s *experiments.Suite, w io.Writer) error {
 	rows, err := experiments.PlacementStudy(s, experiments.DefaultPlacementStudy())
 	if err != nil {
 		return err
 	}
-	experiments.WritePlacementStudy(os.Stdout, rows)
+	experiments.WritePlacementStudy(w, rows)
 	return nil
 }
 
-func runAblations(s *experiments.Suite) error {
-	fmt.Println("Ablations (copy/greedy: mpeg 2kB$/512B SPM; linearization: adpcm 128B$/128B SPM)")
-	p, err := s.Pipeline("mpeg", experiments.DM(2048), 512)
+func runAblations(s *experiments.Suite, w io.Writer) error {
+	cfg := experiments.DefaultAblations()
+	abl, err := experiments.Ablations(s, cfg)
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(w, "Ablations (copy/greedy: %s %s$/%dB SPM; linearization: %s %s$/%dB SPM)\n",
+		cfg.Main.Workload, fmtBytes(cfg.Main.Cache.Size), cfg.Main.SPMSize,
+		cfg.Linearization.Workload, fmtBytes(cfg.Linearization.Cache.Size), cfg.Linearization.SPMSize)
 
-	cm, err := experiments.AblateCopyVsMove(p)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  copy-vs-move:    copy %.2f µJ (%d misses)  move %.2f µJ (%d misses)\n",
+	cm := abl.CopyMove
+	fmt.Fprintf(w, "  copy-vs-move:    copy %.2f µJ (%d misses)  move %.2f µJ (%d misses)\n",
 		cm.CopyMicroJ, cm.CopyMisses, cm.MoveMicroJ, cm.MoveMisses)
 
-	// The faithful formulation's weak relaxation makes large instances
-	// intractable for a plain B&B (see LinearizationAblation); run the
-	// linearization comparison on the paper's small benchmark instead.
-	plin, err := s.Pipeline("adpcm", experiments.DM(128), 128)
-	if err != nil {
-		return err
-	}
-	lin, err := experiments.AblateLinearization(plin)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  linearization:   tight %.2f nJ in %v (%v, %d nodes, %d iters)\n",
+	lin := abl.Linearization
+	fmt.Fprintf(w, "  linearization:   tight %.2f nJ in %v (%v, %d nodes, %d iters)\n",
 		lin.TightEnergy, lin.TightTime, lin.TightStatus, lin.TightNodes, lin.TightIters)
-	fmt.Printf("                   faithful %.2f nJ in %v (%v, %d nodes, %d iters)\n",
+	fmt.Fprintf(w, "                   faithful %.2f nJ in %v (%v, %d nodes, %d iters)\n",
 		lin.FaithfulEnergy, lin.FaithfulTime, lin.FaithfulStatus, lin.FaithfulNodes, lin.FaithfulIters)
 
-	gi, err := experiments.AblateGreedyVsILP(p)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  greedy-vs-ilp:   ilp %.2f µJ  greedy %.2f µJ (predicted %.2f vs %.2f nJ)\n",
+	gi := abl.GreedyILP
+	fmt.Fprintf(w, "  greedy-vs-ilp:   ilp %.2f µJ  greedy %.2f µJ (predicted %.2f vs %.2f nJ)\n",
 		gi.ILPMicroJ, gi.GreedyMicroJ, gi.ILPPredicted, gi.GreedyPredicted)
 	return nil
+}
+
+// fmtBytes renders a byte size the way the tables label caches: whole
+// kilobytes as "2kB", everything else as plain bytes.
+func fmtBytes(n int) string {
+	if n >= 1024 && n%1024 == 0 {
+		return fmt.Sprintf("%dkB", n/1024)
+	}
+	return fmt.Sprintf("%dB", n)
 }

@@ -71,6 +71,25 @@ func (c Config) Validate() error {
 // Sets returns the number of sets.
 func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
 
+// Fingerprint returns a stable FNV-1a hash of the geometry and policy —
+// the cache-configuration component of memoization keys (two configs with
+// equal fingerprints behave identically on every fetch stream).
+func (c Config) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range [...]uint64{
+		uint64(c.SizeBytes), uint64(c.LineBytes), uint64(c.Assoc),
+		uint64(c.Replacement), c.Seed,
+	} {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	return h
+}
+
 // way is one resident line.
 type way struct {
 	valid bool

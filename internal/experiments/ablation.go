@@ -22,7 +22,7 @@ type CopyVsMove struct {
 
 // AblateCopyVsMove runs the ablation on one pipeline.
 func AblateCopyVsMove(p *Pipeline) (*CopyVsMove, error) {
-	alloc, err := core.Allocate(p.Set, p.Graph, p.casaParams())
+	alloc, err := p.CASAAllocation()
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +118,7 @@ type GreedyVsILP struct {
 // AblateGreedyVsILP runs the ablation on one pipeline.
 func AblateGreedyVsILP(p *Pipeline) (*GreedyVsILP, error) {
 	prm := p.casaParams()
-	opt, err := core.Allocate(p.Set, p.Graph, prm)
+	opt, err := p.CASAAllocation()
 	if err != nil {
 		return nil, err
 	}
@@ -140,4 +140,73 @@ func AblateGreedyVsILP(p *Pipeline) (*GreedyVsILP, error) {
 		ILPPredicted:    opt.PredictedEnergy,
 		GreedyPredicted: gr.PredictedEnergy,
 	}, nil
+}
+
+// AblationPipeline selects one pipeline configuration for an ablation.
+type AblationPipeline struct {
+	Workload string
+	Cache    CacheSpec
+	SPMSize  int
+}
+
+// AblationConfig selects the pipelines the design-choice ablations run on.
+type AblationConfig struct {
+	// Main drives the copy-vs-move and greedy-vs-ILP ablations.
+	Main AblationPipeline
+	// Linearization drives the linearization ablation; the faithful
+	// formulation's weak relaxation makes large instances intractable for
+	// a plain B&B (see LinearizationAblation), so it runs on the paper's
+	// smallest benchmark.
+	Linearization AblationPipeline
+}
+
+// DefaultAblations matches DESIGN.md: copy/greedy on mpeg (2 kB cache,
+// 512 B scratchpad), linearization on adpcm (128 B cache and scratchpad).
+func DefaultAblations() AblationConfig {
+	return AblationConfig{
+		Main:          AblationPipeline{Workload: "mpeg", Cache: DM(2048), SPMSize: 512},
+		Linearization: AblationPipeline{Workload: "adpcm", Cache: DM(128), SPMSize: 128},
+	}
+}
+
+// AblationSet bundles the three ablations' results.
+type AblationSet struct {
+	CopyMove      *CopyVsMove
+	Linearization *LinearizationAblation
+	GreedyILP     *GreedyVsILP
+}
+
+// Ablations runs the three design-choice ablations on the suite's worker
+// pool (each ablation is one cell; they write disjoint fields).
+func Ablations(s *Suite, cfg AblationConfig) (*AblationSet, error) {
+	out := &AblationSet{}
+	tasks := []func() error{
+		func() error {
+			p, err := s.Pipeline(cfg.Main.Workload, cfg.Main.Cache, cfg.Main.SPMSize)
+			if err == nil {
+				out.CopyMove, err = AblateCopyVsMove(p)
+			}
+			return err
+		},
+		func() error {
+			p, err := s.Pipeline(cfg.Linearization.Workload, cfg.Linearization.Cache, cfg.Linearization.SPMSize)
+			if err == nil {
+				out.Linearization, err = AblateLinearization(p)
+			}
+			return err
+		},
+		func() error {
+			p, err := s.Pipeline(cfg.Main.Workload, cfg.Main.Cache, cfg.Main.SPMSize)
+			if err == nil {
+				out.GreedyILP, err = AblateGreedyVsILP(p)
+			}
+			return err
+		},
+	}
+	if _, err := runCells(s, len(tasks), func(i int) (struct{}, error) {
+		return struct{}{}, tasks[i]()
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

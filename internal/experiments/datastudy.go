@@ -62,21 +62,16 @@ func DefaultDataStudy() DataStudyConfig {
 	return cfg
 }
 
-// DataStudy runs the comparison.
+// DataStudy runs the comparison, one worker per configuration.
 func DataStudy(s *Suite, cfg DataStudyConfig) ([]DataRow, error) {
-	var rows []DataRow
-	for _, rc := range cfg.Rows {
+	return runCells(s, len(cfg.Rows), func(i int) (DataRow, error) {
+		rc := cfg.Rows[i]
 		p, err := s.Pipeline(rc.Workload, rc.Cache, rc.SPMSize)
 		if err != nil {
-			return nil, err
+			return DataRow{}, err
 		}
-		row, err := dataRow(p)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return dataRow(p)
+	})
 }
 
 func dataRow(p *Pipeline) (DataRow, error) {

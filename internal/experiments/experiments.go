@@ -9,10 +9,22 @@
 // the same traces and the same profiling run, as the paper prescribes
 // ("for a fair comparison, traces are generated for both the allocation
 // techniques"). A Suite memoizes Pipelines across figures.
+//
+// Concurrency model: every experiment cell — one (workload, cache,
+// scratchpad size) point of a study — is deterministic and independent,
+// so the study functions fan their grids out across a bounded worker pool
+// (internal/parallel) sized by the Suite's worker setting. Shared state
+// is either immutable after construction (programs, profiles, trace sets,
+// conflict graphs, layouts) or guarded by singleflight memo entries (the
+// Suite's pipeline table, each Pipeline's outcome and allocation memos),
+// so a Suite and its Pipelines are safe for concurrent use and results
+// are bit-identical to a serial run.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/conflict"
@@ -23,6 +35,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/loopcache"
 	"repro/internal/memsim"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/steinke"
 	"repro/internal/trace"
@@ -67,6 +80,8 @@ func (c CacheSpec) geometry() energy.CacheGeometry {
 }
 
 // Pipeline is everything shared by the allocators for one configuration.
+// All exported fields are immutable after Prepare; the Run* methods
+// memoize their outcomes and are safe for concurrent use.
 type Pipeline struct {
 	// Workload is the benchmark name.
 	Workload string
@@ -86,6 +101,24 @@ type Pipeline struct {
 	Baseline *memsim.Result
 	// Cost is the scratchpad-configuration cost model.
 	Cost energy.CostModel
+
+	// mu guards the memo tables below; each entry is singleflight so a
+	// result is computed once even under concurrent callers.
+	mu       sync.Mutex
+	outcomes map[string]*outcomeEntry
+	alloc    *allocEntry
+}
+
+type outcomeEntry struct {
+	once sync.Once
+	out  *Outcome
+	err  error
+}
+
+type allocEntry struct {
+	once  sync.Once
+	alloc *core.Allocation
+	err   error
 }
 
 // Prepare builds the pipeline for one (workload, cache, scratchpad size)
@@ -93,7 +126,7 @@ type Pipeline struct {
 // without a scratchpad and runs the conflict-tracking profiling
 // simulation.
 func Prepare(name string, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
-	prog, err := workload.Load(name)
+	prog, err := workload.Shared(name)
 	if err != nil {
 		return nil, err
 	}
@@ -101,9 +134,10 @@ func Prepare(name string, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
 }
 
 // PrepareProgram is Prepare for an already-constructed program (custom
-// workloads, tests).
+// workloads, tests). The program must not be mutated afterwards: profiles
+// and fetch streams are memoized process-wide per program instance.
 func PrepareProgram(prog *ir.Program, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
-	prof, err := sim.ProfileProgram(prog)
+	prof, err := sim.CachedProfile(prog)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: profile %s: %w", prog.Name, err)
 	}
@@ -191,34 +225,75 @@ func (p *Pipeline) casaParams() core.Params {
 	}
 }
 
+// outcome returns the memoized result for key, computing it at most once
+// via fn even under concurrent callers.
+func (p *Pipeline) outcome(key string, fn func() (*Outcome, error)) (*Outcome, error) {
+	p.mu.Lock()
+	if p.outcomes == nil {
+		p.outcomes = make(map[string]*outcomeEntry)
+	}
+	e, ok := p.outcomes[key]
+	if !ok {
+		e = &outcomeEntry{}
+		p.outcomes[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.out, e.err = fn() })
+	return e.out, e.err
+}
+
+// CASAAllocation returns the pipeline's CASA ILP allocation, solved at
+// most once; RunCASA, the ablations and the WCET study all share it.
+func (p *Pipeline) CASAAllocation() (*core.Allocation, error) {
+	p.mu.Lock()
+	if p.alloc == nil {
+		p.alloc = &allocEntry{}
+	}
+	e := p.alloc
+	p.mu.Unlock()
+	e.once.Do(func() {
+		e.alloc, e.err = core.Allocate(p.Set, p.Graph, p.casaParams())
+		if e.err != nil {
+			e.err = fmt.Errorf("experiments: casa %s/%d: %w", p.Workload, p.SPMSize, e.err)
+		}
+	})
+	return e.alloc, e.err
+}
+
 // RunCASA allocates with the paper's algorithm (copy semantics) and
 // simulates the result.
 func (p *Pipeline) RunCASA() (*Outcome, error) {
-	alloc, err := core.Allocate(p.Set, p.Graph, p.casaParams())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: casa %s/%d: %w", p.Workload, p.SPMSize, err)
-	}
-	return p.runSPM("casa", alloc.InSPM, layout.Copy, alloc.UsedBytes, alloc.Nodes)
+	return p.outcome("casa", func() (*Outcome, error) {
+		alloc, err := p.CASAAllocation()
+		if err != nil {
+			return nil, err
+		}
+		return p.runSPM("casa", alloc.InSPM, layout.Copy, alloc.UsedBytes, alloc.Nodes)
+	})
 }
 
 // RunCASAGreedy runs the greedy variant of the fine-grained model (for
 // ablation).
 func (p *Pipeline) RunCASAGreedy() (*Outcome, error) {
-	alloc, err := core.GreedyAllocate(p.Set, p.Graph, p.casaParams())
-	if err != nil {
-		return nil, err
-	}
-	return p.runSPM("casa-greedy", alloc.InSPM, layout.Copy, alloc.UsedBytes, 0)
+	return p.outcome("casa-greedy", func() (*Outcome, error) {
+		alloc, err := core.GreedyAllocate(p.Set, p.Graph, p.casaParams())
+		if err != nil {
+			return nil, err
+		}
+		return p.runSPM("casa-greedy", alloc.InSPM, layout.Copy, alloc.UsedBytes, 0)
+	})
 }
 
 // RunSteinke allocates with the cache-unaware knapsack baseline [13]
 // (move semantics) and simulates the result.
 func (p *Pipeline) RunSteinke() (*Outcome, error) {
-	alloc, err := steinke.Allocate(p.Set, p.SPMSize)
-	if err != nil {
-		return nil, err
-	}
-	return p.runSPM("steinke", alloc.InSPM, layout.Move, alloc.UsedBytes, 0)
+	return p.outcome("steinke", func() (*Outcome, error) {
+		alloc, err := steinke.Allocate(p.Set, p.SPMSize)
+		if err != nil {
+			return nil, err
+		}
+		return p.runSPM("steinke", alloc.InSPM, layout.Move, alloc.UsedBytes, 0)
+	})
 }
 
 // RunSelection simulates an arbitrary scratchpad selection under the given
@@ -262,6 +337,10 @@ func (p *Pipeline) runSPM(name string, inSPM []bool, mode layout.Mode, used, nod
 // scratchpad (Figure 1(b)); the main-memory layout is the plain trace
 // layout.
 func (p *Pipeline) RunLoopCache() (*Outcome, error) {
+	return p.outcome("loopcache", p.runLoopCache)
+}
+
+func (p *Pipeline) runLoopCache() (*Outcome, error) {
 	plain, err := layout.New(p.Set, nil, layout.Options{})
 	if err != nil {
 		return nil, err
@@ -296,6 +375,10 @@ func (p *Pipeline) RunLoopCache() (*Outcome, error) {
 // RunCacheOnly simulates the trace layout with no scratchpad or loop
 // cache: the reference hierarchy.
 func (p *Pipeline) RunCacheOnly() (*Outcome, error) {
+	return p.outcome("cache-only", p.runCacheOnly)
+}
+
+func (p *Pipeline) runCacheOnly() (*Outcome, error) {
 	plain, err := layout.New(p.Set, nil, layout.Options{})
 	if err != nil {
 		return nil, err
@@ -316,9 +399,12 @@ func (p *Pipeline) RunCacheOnly() (*Outcome, error) {
 
 // Suite memoizes pipelines so that figures sharing configurations (e.g.
 // Figure 4, Figure 5 and Table 1 all use mpeg with a 2 kB cache) prepare
-// them once.
+// them once, and carries the worker-pool width the study functions fan
+// out with. A Suite is safe for concurrent use.
 type Suite struct {
-	pipelines map[suiteKey]*Pipeline
+	mu        sync.Mutex
+	workers   int
+	pipelines map[suiteKey]*suiteEntry
 }
 
 type suiteKey struct {
@@ -327,21 +413,56 @@ type suiteKey struct {
 	spmSize int
 }
 
-// NewSuite returns an empty suite.
+type suiteEntry struct {
+	once sync.Once
+	p    *Pipeline
+	err  error
+}
+
+// NewSuite returns an empty suite with the default worker count
+// (CASA_WORKERS, else GOMAXPROCS-style runtime.NumCPU).
 func NewSuite() *Suite {
-	return &Suite{pipelines: make(map[suiteKey]*Pipeline)}
+	return &Suite{pipelines: make(map[suiteKey]*suiteEntry)}
+}
+
+// SetWorkers fixes the worker-pool width for this suite's studies
+// (0 restores the default resolution) and returns the suite for
+// chaining.
+func (s *Suite) SetWorkers(n int) *Suite {
+	s.mu.Lock()
+	s.workers = n
+	s.mu.Unlock()
+	return s
+}
+
+// Workers returns the resolved worker-pool width the suite's studies run
+// with.
+func (s *Suite) Workers() int {
+	s.mu.Lock()
+	n := s.workers
+	s.mu.Unlock()
+	return parallel.Workers(n)
 }
 
 // Pipeline returns the (possibly cached) pipeline for a configuration.
+// Concurrent callers of the same configuration share one preparation.
 func (s *Suite) Pipeline(name string, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
 	k := suiteKey{name: name, cache: cacheSpec, spmSize: spmSize}
-	if p, ok := s.pipelines[k]; ok {
-		return p, nil
+	s.mu.Lock()
+	e, ok := s.pipelines[k]
+	if !ok {
+		e = &suiteEntry{}
+		s.pipelines[k] = e
 	}
-	p, err := Prepare(name, cacheSpec, spmSize)
-	if err != nil {
-		return nil, err
-	}
-	s.pipelines[k] = p
-	return p, nil
+	s.mu.Unlock()
+	e.once.Do(func() { e.p, e.err = Prepare(name, cacheSpec, spmSize) })
+	return e.p, e.err
+}
+
+// runCells evaluates n independent experiment cells on the suite's worker
+// pool and returns their results in cell order, regardless of worker
+// count or scheduling.
+func runCells[T any](s *Suite, n int, fn func(i int) (T, error)) ([]T, error) {
+	return parallel.Map(context.Background(), n, s.Workers(),
+		func(_ context.Context, i int) (T, error) { return fn(i) })
 }

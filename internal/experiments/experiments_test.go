@@ -369,7 +369,7 @@ func TestWCETStudySmallConfig(t *testing.T) {
 }
 
 func TestOverlayStudyShape(t *testing.T) {
-	rows, err := OverlayStudy(DefaultOverlayStudy())
+	rows, err := OverlayStudy(NewSuite(), DefaultOverlayStudy())
 	if err != nil {
 		t.Fatalf("OverlayStudy: %v", err)
 	}

@@ -49,23 +49,24 @@ func pct(num, den float64) float64 {
 	return 100 * num / den
 }
 
-// Fig4 regenerates Figure 4.
+// Fig4 regenerates Figure 4, evaluating the scratchpad sizes on the
+// suite's worker pool.
 func Fig4(s *Suite, cfg Fig4Config) ([]Fig4Row, error) {
-	var rows []Fig4Row
-	for _, size := range cfg.SPMSizes {
+	return runCells(s, len(cfg.SPMSizes), func(i int) (Fig4Row, error) {
+		size := cfg.SPMSizes[i]
 		p, err := s.Pipeline(cfg.Workload, cfg.Cache, size)
 		if err != nil {
-			return nil, err
+			return Fig4Row{}, err
 		}
 		casa, err := p.RunCASA()
 		if err != nil {
-			return nil, err
+			return Fig4Row{}, err
 		}
 		st, err := p.RunSteinke()
 		if err != nil {
-			return nil, err
+			return Fig4Row{}, err
 		}
-		rows = append(rows, Fig4Row{
+		return Fig4Row{
 			SPMSize:             size,
 			SPMAccessPct:        pct(float64(casa.Result.SPMAccesses), float64(st.Result.SPMAccesses)),
 			CacheAccessPct:      pct(float64(casa.Result.CacheAccesses), float64(st.Result.CacheAccesses)),
@@ -73,9 +74,8 @@ func Fig4(s *Suite, cfg Fig4Config) ([]Fig4Row, error) {
 			EnergyPct:           pct(casa.EnergyMicroJ, st.EnergyMicroJ),
 			CASAEnergyMicroJ:    casa.EnergyMicroJ,
 			SteinkeEnergyMicroJ: st.EnergyMicroJ,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // WriteFig4 renders Figure 4 rows as a text table.
@@ -121,32 +121,32 @@ type Fig5Row struct {
 	LCEnergyMicroJ   float64
 }
 
-// Fig5 regenerates Figure 5.
+// Fig5 regenerates Figure 5, evaluating the sizes on the suite's worker
+// pool.
 func Fig5(s *Suite, cfg Fig5Config) ([]Fig5Row, error) {
-	var rows []Fig5Row
-	for _, size := range cfg.Sizes {
+	return runCells(s, len(cfg.Sizes), func(i int) (Fig5Row, error) {
+		size := cfg.Sizes[i]
 		p, err := s.Pipeline(cfg.Workload, cfg.Cache, size)
 		if err != nil {
-			return nil, err
+			return Fig5Row{}, err
 		}
 		casa, err := p.RunCASA()
 		if err != nil {
-			return nil, err
+			return Fig5Row{}, err
 		}
 		lc, err := p.RunLoopCache()
 		if err != nil {
-			return nil, err
+			return Fig5Row{}, err
 		}
-		rows = append(rows, Fig5Row{
+		return Fig5Row{
 			Size:             size,
 			AccessPct:        pct(float64(casa.Result.SPMAccesses), float64(lc.Result.LoopCacheAccesses)),
 			CacheMissPct:     pct(float64(casa.Result.CacheMisses), float64(lc.Result.CacheMisses)),
 			EnergyPct:        pct(casa.EnergyMicroJ, lc.EnergyMicroJ),
 			CASAEnergyMicroJ: casa.EnergyMicroJ,
 			LCEnergyMicroJ:   lc.EnergyMicroJ,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // WriteFig5 renders Figure 5 rows as a text table.
@@ -210,41 +210,60 @@ func improvement(casa, other float64) float64 {
 	return 100 * (other - casa) / other
 }
 
-// Table1 regenerates Table 1 and its per-benchmark averages.
+// Table1 regenerates Table 1 and its per-benchmark averages. The full
+// benchmark × memory-size grid is flattened into independent cells and
+// evaluated on the suite's worker pool; averages are folded serially in
+// row order afterwards, so the output is identical to a serial run.
 func Table1(s *Suite, cfg Table1Config) ([]Table1Row, []Table1Average, error) {
-	var rows []Table1Row
+	type cell struct {
+		bench Table1Benchmark
+		size  int
+	}
+	var cells []cell
+	for _, b := range cfg.Benchmarks {
+		for _, size := range b.MemSizes {
+			cells = append(cells, cell{bench: b, size: size})
+		}
+	}
+	rows, err := runCells(s, len(cells), func(i int) (Table1Row, error) {
+		c := cells[i]
+		p, err := s.Pipeline(c.bench.Workload, c.bench.Cache, c.size)
+		if err != nil {
+			return Table1Row{}, err
+		}
+		casa, err := p.RunCASA()
+		if err != nil {
+			return Table1Row{}, err
+		}
+		st, err := p.RunSteinke()
+		if err != nil {
+			return Table1Row{}, err
+		}
+		lc, err := p.RunLoopCache()
+		if err != nil {
+			return Table1Row{}, err
+		}
+		return Table1Row{
+			Benchmark:        c.bench.Workload,
+			MemSize:          c.size,
+			CASAMicroJ:       casa.EnergyMicroJ,
+			SteinkeMicroJ:    st.EnergyMicroJ,
+			LCMicroJ:         lc.EnergyMicroJ,
+			CASAvsSteinkePct: improvement(casa.EnergyMicroJ, st.EnergyMicroJ),
+			CASAvsLCPct:      improvement(casa.EnergyMicroJ, lc.EnergyMicroJ),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	var avgs []Table1Average
+	i := 0
 	for _, b := range cfg.Benchmarks {
 		var sumSt, sumLC float64
-		for _, size := range b.MemSizes {
-			p, err := s.Pipeline(b.Workload, b.Cache, size)
-			if err != nil {
-				return nil, nil, err
-			}
-			casa, err := p.RunCASA()
-			if err != nil {
-				return nil, nil, err
-			}
-			st, err := p.RunSteinke()
-			if err != nil {
-				return nil, nil, err
-			}
-			lc, err := p.RunLoopCache()
-			if err != nil {
-				return nil, nil, err
-			}
-			row := Table1Row{
-				Benchmark:        b.Workload,
-				MemSize:          size,
-				CASAMicroJ:       casa.EnergyMicroJ,
-				SteinkeMicroJ:    st.EnergyMicroJ,
-				LCMicroJ:         lc.EnergyMicroJ,
-				CASAvsSteinkePct: improvement(casa.EnergyMicroJ, st.EnergyMicroJ),
-				CASAvsLCPct:      improvement(casa.EnergyMicroJ, lc.EnergyMicroJ),
-			}
-			rows = append(rows, row)
-			sumSt += row.CASAvsSteinkePct
-			sumLC += row.CASAvsLCPct
+		for range b.MemSizes {
+			sumSt += rows[i].CASAvsSteinkePct
+			sumLC += rows[i].CASAvsLCPct
+			i++
 		}
 		n := float64(len(b.MemSizes))
 		avgs = append(avgs, Table1Average{

@@ -53,21 +53,16 @@ func DefaultOverlayStudy() OverlayStudyConfig {
 	two := workload.TwoPass()
 	add(two, DM(256), 192)
 	add(two, DM(256), 256)
-	add(workload.MustLoad("mpeg"), DM(2048), 256)
+	add(workload.MustShared("mpeg"), DM(2048), 256)
 	return cfg
 }
 
-// OverlayStudy runs the comparison.
-func OverlayStudy(cfg OverlayStudyConfig) ([]OverlayRow, error) {
-	var rows []OverlayRow
-	for _, rc := range cfg.Rows {
-		row, err := overlayRow(rc.Program, rc.Cache, rc.SPMSize)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+// OverlayStudy runs the comparison, one worker per configuration.
+func OverlayStudy(s *Suite, cfg OverlayStudyConfig) ([]OverlayRow, error) {
+	return runCells(s, len(cfg.Rows), func(i int) (OverlayRow, error) {
+		rc := cfg.Rows[i]
+		return overlayRow(rc.Program, rc.Cache, rc.SPMSize)
+	})
 }
 
 func overlayRow(prog *ir.Program, cacheSpec CacheSpec, spmSize int) (OverlayRow, error) {

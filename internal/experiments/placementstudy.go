@@ -53,21 +53,16 @@ func DefaultPlacementStudy() PlacementStudyConfig {
 	return cfg
 }
 
-// PlacementStudy runs the comparison.
+// PlacementStudy runs the comparison, one worker per configuration.
 func PlacementStudy(s *Suite, cfg PlacementStudyConfig) ([]PlacementRow, error) {
-	var rows []PlacementRow
-	for _, rc := range cfg.Rows {
+	return runCells(s, len(cfg.Rows), func(i int) (PlacementRow, error) {
+		rc := cfg.Rows[i]
 		p, err := s.Pipeline(rc.Workload, rc.Cache, rc.SPMSize)
 		if err != nil {
-			return nil, err
+			return PlacementRow{}, err
 		}
-		row, err := placementRow(p)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return placementRow(p)
+	})
 }
 
 func placementRow(p *Pipeline) (PlacementRow, error) {

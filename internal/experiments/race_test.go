@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled scales the heavyweight golden-compare sweeps down when the
+// race detector (~10-20x slowdown) is on; the full sweeps run in the
+// uninstrumented test pass.
+const raceEnabled = true

@@ -71,25 +71,25 @@ func Sensitivity(s *Suite, cfg SensitivityConfig) ([]SensitivityRow, error) {
 	if len(cfg.Variants) != len(cfg.Labels) {
 		return nil, fmt.Errorf("experiments: %d variants, %d labels", len(cfg.Variants), len(cfg.Labels))
 	}
-	var rows []SensitivityRow
-	for i, spec := range cfg.Variants {
+	return runCells(s, len(cfg.Variants), func(i int) (SensitivityRow, error) {
+		spec := cfg.Variants[i]
 		p, err := s.Pipeline(cfg.Workload, spec, cfg.SPMSize)
 		if err != nil {
-			return nil, err
+			return SensitivityRow{}, err
 		}
 		base, err := p.RunCacheOnly()
 		if err != nil {
-			return nil, err
+			return SensitivityRow{}, err
 		}
 		casa, err := p.RunCASA()
 		if err != nil {
-			return nil, err
+			return SensitivityRow{}, err
 		}
 		st, err := p.RunSteinke()
 		if err != nil {
-			return nil, err
+			return SensitivityRow{}, err
 		}
-		rows = append(rows, SensitivityRow{
+		return SensitivityRow{
 			Label:            cfg.Labels[i],
 			Cache:            spec,
 			BaseMicroJ:       base.EnergyMicroJ,
@@ -97,9 +97,8 @@ func Sensitivity(s *Suite, cfg SensitivityConfig) ([]SensitivityRow, error) {
 			SteinkeMicroJ:    st.EnergyMicroJ,
 			CASAvsBasePct:    improvement(casa.EnergyMicroJ, base.EnergyMicroJ),
 			CASAvsSteinkePct: improvement(casa.EnergyMicroJ, st.EnergyMicroJ),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // WriteSensitivity renders the sweep as a text table.

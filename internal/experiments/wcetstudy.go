@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/core"
 	"repro/internal/layout"
 	"repro/internal/memsim"
 	"repro/internal/wcet"
@@ -56,21 +55,16 @@ func DefaultWCETStudy() WCETStudyConfig {
 	return cfg
 }
 
-// WCETStudy runs the study.
+// WCETStudy runs the study, one worker per configuration.
 func WCETStudy(s *Suite, cfg WCETStudyConfig) ([]WCETRow, error) {
-	var rows []WCETRow
-	for _, rc := range cfg.Rows {
+	return runCells(s, len(cfg.Rows), func(i int) (WCETRow, error) {
+		rc := cfg.Rows[i]
 		p, err := s.Pipeline(rc.Workload, rc.Cache, rc.SPMSize)
 		if err != nil {
-			return nil, err
+			return WCETRow{}, err
 		}
-		row, err := wcetRow(p)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return wcetRow(p)
+	})
 }
 
 func wcetRow(p *Pipeline) (WCETRow, error) {
@@ -99,7 +93,7 @@ func wcetRow(p *Pipeline) (WCETRow, error) {
 		return WCETRow{}, err
 	}
 
-	alloc, err := core.Allocate(p.Set, p.Graph, p.casaParams())
+	alloc, err := p.CASAAllocation()
 	if err != nil {
 		return WCETRow{}, err
 	}

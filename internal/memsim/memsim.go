@@ -266,6 +266,18 @@ func Run(prog *ir.Program, lay *layout.Layout, cfg Config, opts ...sim.Option) (
 		}
 	}
 
+	// With default run limits the fetch stream depends only on (program,
+	// layout), so replay the memoized recording instead of re-executing
+	// the interpreter; results are bit-identical either way. Custom run
+	// options bypass the cache, as does CASA_STREAM_CACHE=off.
+	if len(opts) == 0 && !sim.StreamCacheDisabled() {
+		stream, err := sim.CachedStream(prog, lay)
+		if err != nil {
+			return nil, err
+		}
+		stream.Replay(sim.FetcherFunc(fetch))
+		return res, nil
+	}
 	if _, err := sim.Run(prog, lay, sim.FetcherFunc(fetch), opts...); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,149 @@
+// Package parallel provides the bounded worker pool underneath the
+// experiment engine. Every experiment cell of the evaluation — one
+// (workload × cache configuration × scratchpad size) point — is
+// deterministic and independent of every other cell, so regenerating a
+// figure is an embarrassingly parallel grid. The pool fans a grid of
+// cells out across a fixed number of workers while keeping three
+// properties the experiments rely on:
+//
+//   - Deterministic ordering: Map collects result i of cell i into slot i,
+//     so output rows are byte-identical to a serial run regardless of the
+//     worker count or scheduling.
+//   - First-error propagation: the error of the lowest-indexed failing
+//     cell is reported first (errors of other cells that failed before
+//     cancellation took effect are joined after it, in index order), and
+//     a failure cancels the remaining cells.
+//   - Context cancellation: canceling the caller's context stops workers
+//     from claiming new cells and surfaces the context error.
+//
+// The worker count defaults to runtime.NumCPU, can be overridden
+// per-call, and can be pinned globally through the CASA_WORKERS
+// environment variable (useful for CI and for serial golden runs).
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable that pins the default worker
+// count (a positive integer). It is consulted only when the caller does
+// not request an explicit count.
+const EnvWorkers = "CASA_WORKERS"
+
+// Workers resolves a requested worker count: an explicit positive request
+// wins, then a positive CASA_WORKERS value, then runtime.NumCPU.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	if v := os.Getenv(EnvWorkers); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// cellError tags a cell's error with its grid index so aggregation can
+// order errors deterministically.
+type cellError struct {
+	index int
+	err   error
+}
+
+func (e cellError) Error() string { return fmt.Sprintf("cell %d: %v", e.index, e.err) }
+
+func (e cellError) Unwrap() error { return e.err }
+
+// Index returns the grid index the error occurred at. Errors returned by
+// ForEach and Map unwrap (via errors.As) to this type.
+func (e cellError) Index() int { return e.index }
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on a pool of at most
+// `workers` goroutines (resolved through Workers). The first failing cell
+// cancels the context passed to the remaining cells, and cells not yet
+// claimed are skipped. The returned error joins every observed cell error
+// in ascending index order; if the caller's context was canceled first,
+// its error is returned instead.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []cellError
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if runCtx.Err() != nil {
+					return
+				}
+				if err := fn(runCtx, i); err != nil {
+					mu.Lock()
+					errs = append(errs, cellError{index: i, err: err})
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	sort.Slice(errs, func(a, b int) bool { return errs[a].index < errs[b].index })
+	joined := make([]error, len(errs))
+	for i, e := range errs {
+		joined[i] = e
+	}
+	return errors.Join(joined...)
+}
+
+// Map runs fn over every index of an n-cell grid and returns the results
+// in input order: out[i] is fn's result for cell i, independent of worker
+// count and scheduling. Error semantics match ForEach; on error the
+// partial results are discarded.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestCachedProfileMatchesProfileProgram(t *testing.T) {
+	p := loopProgram(t, 25)
+	want, err := ProfileProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CachedProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fetches != want.Fetches {
+		t.Errorf("fetches %d, want %d", got.Fetches, want.Fetches)
+	}
+	for f := range want.Blocks {
+		for b := range want.Blocks[f] {
+			if got.Blocks[f][b] != want.Blocks[f][b] {
+				t.Errorf("block %d/%d count %d, want %d", f, b, got.Blocks[f][b], want.Blocks[f][b])
+			}
+		}
+	}
+}
+
+// TestCachedProfileSingleflight: every caller — concurrent callers
+// included — receives the same Profile instance, and the program is
+// executed exactly once. Run with -race this is the stress test of the
+// memoized profile under concurrent callers.
+func TestCachedProfileSingleflight(t *testing.T) {
+	p := loopProgram(t, 1000)
+	const callers = 32
+	got := make([]*Profile, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prof, err := CachedProfile(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Concurrent read of the shared profile (map + slices).
+			_ = prof.BlockCount(ir.BlockRef{Func: 0, Block: 1})
+			_ = prof.FallCount(ir.BlockRef{Func: 0, Block: 0}, ir.BlockRef{Func: 0, Block: 1})
+			got[i] = prof
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d received a different profile instance", i)
+		}
+	}
+}
+
+// recordingSink collects the fetch stream for comparisons.
+type recordingSink struct {
+	addrs []uint32
+	mos   []int
+}
+
+func (r *recordingSink) Fetch(addr uint32, mo int) {
+	r.addrs = append(r.addrs, addr)
+	r.mos = append(r.mos, mo)
+}
+
+func TestCachedStreamReplayMatchesRun(t *testing.T) {
+	// A program with calls, branches and a layout-appended jump, so the
+	// recorded stream covers every fetch kind.
+	pb := ir.NewProgramBuilder("memo-calls")
+	main := pb.Func("main")
+	main.Block("entry").ALU(1)
+	main.Block("loop").ALU(2).Call("leaf")
+	main.Block("after").ALU(1).Branch("loop", "done", ir.Loop{Trips: 7})
+	main.Block("done").Return()
+	leaf := pb.Func("leaf")
+	leaf.Block("body").ALU(3).Return()
+	p := pb.MustBuild()
+	lay := newTestLayout(p)
+	lay.jumps[ir.BlockRef{Func: 0, Block: 2}] = 0x400
+
+	direct := &recordingSink{}
+	n, err := Run(p, lay, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := CachedStream(p, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(stream.Len()) != n {
+		t.Fatalf("stream has %d fetches, run delivered %d", stream.Len(), n)
+	}
+	replayed := &recordingSink{}
+	if got := stream.Replay(replayed); got != n {
+		t.Fatalf("replay delivered %d fetches, want %d", got, n)
+	}
+	for i := range direct.addrs {
+		if direct.addrs[i] != replayed.addrs[i] || direct.mos[i] != replayed.mos[i] {
+			t.Fatalf("fetch %d differs: (%#x,%d) vs (%#x,%d)",
+				i, direct.addrs[i], direct.mos[i], replayed.addrs[i], replayed.mos[i])
+		}
+	}
+
+	// Same (program, layout) → same cached instance.
+	again, err := CachedStream(p, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != stream {
+		t.Error("stream not memoized")
+	}
+}
+
+func TestCachedStreamConcurrent(t *testing.T) {
+	p := loopProgram(t, 500)
+	lay := newTestLayout(p)
+	const callers = 16
+	streams := make([]*Stream, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := CachedStream(p, lay)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sink := &recordingSink{}
+			s.Replay(sink)
+			streams[i] = s
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if streams[i] != streams[0] {
+			t.Fatalf("caller %d received a different stream instance", i)
+		}
+	}
+}
+
+func TestLayoutFingerprintDistinguishesLayouts(t *testing.T) {
+	p := loopProgram(t, 3)
+	a := newTestLayout(p)
+	b := newTestLayout(p)
+	if LayoutFingerprint(p, a) != LayoutFingerprint(p, b) {
+		t.Error("identical layouts fingerprint differently")
+	}
+	// Perturb one block base: fingerprint must move.
+	b.base[ir.BlockRef{Func: 0, Block: 1}] += 4
+	if LayoutFingerprint(p, a) == LayoutFingerprint(p, b) {
+		t.Error("different layouts share a fingerprint")
+	}
+}
+
+func TestStreamCacheEviction(t *testing.T) {
+	oldCap := streamCacheCapFetches
+	streamCacheCapFetches = 64
+	defer func() { streamCacheCapFetches = oldCap }()
+
+	// Each program's stream exceeds half the budget, so the third insert
+	// must evict the least-recently-used entry.
+	progs := []*ir.Program{
+		loopProgram(t, 10),
+		loopProgram(t, 11),
+		loopProgram(t, 12),
+	}
+	var first *Stream
+	for i, p := range progs {
+		s, err := CachedStream(p, newTestLayout(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = s
+		}
+	}
+	streamMu.Lock()
+	within := streamFetches <= streamCacheCapFetches
+	streamMu.Unlock()
+	if !within {
+		t.Error("cache exceeds its fetch budget after eviction")
+	}
+	// The evicted stream stays usable for existing holders.
+	sink := &recordingSink{}
+	if first.Replay(sink) == 0 {
+		t.Error("evicted stream lost its recording")
+	}
+}

@@ -22,6 +22,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 import "repro/internal/ir"
@@ -56,6 +57,42 @@ func Load(name string) (*ir.Program, error) {
 // MustLoad is Load, panicking on unknown names.
 func MustLoad(name string) *ir.Program {
 	p, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// shared holds the canonical process-wide instance of each bundled
+// workload, built once on first use.
+var (
+	sharedMu sync.Mutex
+	shared   = map[string]*ir.Program{}
+)
+
+// Shared returns the canonical instance of the named workload. Unlike
+// Load, every call returns the same *ir.Program, which lets the
+// simulator's memoization layer (profiles, fetch streams) hit across
+// independently-prepared experiment pipelines. Shared programs must be
+// treated as strictly immutable; callers that want a private, mutable
+// copy should use Load.
+func Shared(name string) (*ir.Program, error) {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if p, ok := shared[name]; ok {
+		return p, nil
+	}
+	p, err := Load(name)
+	if err != nil {
+		return nil, err
+	}
+	shared[name] = p
+	return p, nil
+}
+
+// MustShared is Shared, panicking on unknown names.
+func MustShared(name string) *ir.Program {
+	p, err := Shared(name)
 	if err != nil {
 		panic(err)
 	}

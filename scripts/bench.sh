@@ -1,0 +1,18 @@
+#!/bin/sh
+# bench.sh — run the tier-1 benchmarks once each and emit a JSON results
+# file for cmd/benchdiff.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_ci.json)
+#
+# -benchtime=1x keeps the run cheap enough for CI: every benchmark
+# regenerates a full study, so a single iteration is already seconds of
+# simulated work and the timings are stable enough for a 20% gate.
+set -eu
+
+out="${1:-BENCH_ci.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench . -benchtime=1x -count=1 . | tee "$tmp"
+go run ./cmd/benchdiff -parse "$tmp" -o "$out"
+echo "wrote $out"
