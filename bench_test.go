@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -24,7 +25,7 @@ func BenchmarkFig4CASAvsSteinke(b *testing.B) {
 	s := experiments.NewSuite()
 	cfg := experiments.DefaultFig4()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig4(s, cfg)
+		rows, err := experiments.Fig4(context.Background(), s, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -40,7 +41,7 @@ func BenchmarkFig5CASAvsLoopCache(b *testing.B) {
 	s := experiments.NewSuite()
 	cfg := experiments.DefaultFig5()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig5(s, cfg)
+		rows, err := experiments.Fig5(context.Background(), s, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func BenchmarkTable1(b *testing.B) {
 	s := experiments.NewSuite()
 	cfg := experiments.DefaultTable1()
 	for i := 0; i < b.N; i++ {
-		rows, avgs, err := experiments.Table1(s, cfg)
+		rows, avgs, err := experiments.Table1(context.Background(), s, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,12 +74,12 @@ func BenchmarkTable1(b *testing.B) {
 // experiments.LinearizationAblation).
 func BenchmarkAblationLinearization(b *testing.B) {
 	s := experiments.NewSuite()
-	p, err := s.Pipeline("adpcm", experiments.DM(128), 128)
+	p, err := s.Pipeline(context.Background(), "adpcm", experiments.DM(128), 128)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.AblateLinearization(p)
+		r, err := experiments.AblateLinearization(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,12 +94,12 @@ func BenchmarkAblationLinearization(b *testing.B) {
 // mpeg/512 configuration.
 func BenchmarkAblationGreedyVsILP(b *testing.B) {
 	s := experiments.NewSuite()
-	p, err := s.Pipeline("mpeg", experiments.DM(2048), 512)
+	p, err := s.Pipeline(context.Background(), "mpeg", experiments.DM(2048), 512)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.AblateGreedyVsILP(p)
+		r, err := experiments.AblateGreedyVsILP(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,12 +113,12 @@ func BenchmarkAblationGreedyVsILP(b *testing.B) {
 // move semantics on the mpeg/512 configuration.
 func BenchmarkAblationCopyVsMove(b *testing.B) {
 	s := experiments.NewSuite()
-	p, err := s.Pipeline("mpeg", experiments.DM(2048), 512)
+	p, err := s.Pipeline(context.Background(), "mpeg", experiments.DM(2048), 512)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.AblateCopyVsMove(p)
+		r, err := experiments.AblateCopyVsMove(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +136,7 @@ func BenchmarkSensitivity(b *testing.B) {
 	s := experiments.NewSuite()
 	cfg := experiments.DefaultSensitivity()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Sensitivity(s, cfg)
+		rows, err := experiments.Sensitivity(context.Background(), s, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,12 +188,12 @@ func BenchmarkTraceFormationMpeg(b *testing.B) {
 // branch & bound) on the mpeg/1024 configuration.
 func BenchmarkCASAILPMpeg(b *testing.B) {
 	s := experiments.NewSuite()
-	p, err := s.Pipeline("mpeg", experiments.DM(2048), 1024)
+	p, err := s.Pipeline(context.Background(), "mpeg", experiments.DM(2048), 1024)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := p.RunCASA(); err != nil {
+		if _, err := p.RunCASA(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -238,7 +239,7 @@ func BenchmarkWCETStudy(b *testing.B) {
 	s := experiments.NewSuite()
 	cfg := experiments.DefaultWCETStudy()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.WCETStudy(s, cfg)
+		rows, err := experiments.WCETStudy(context.Background(), s, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -255,7 +256,7 @@ func BenchmarkOverlayStudy(b *testing.B) {
 	s := experiments.NewSuite()
 	cfg := experiments.DefaultOverlayStudy()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OverlayStudy(s, cfg)
+		rows, err := experiments.OverlayStudy(context.Background(), s, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -271,7 +272,7 @@ func BenchmarkDataStudy(b *testing.B) {
 	s := experiments.NewSuite()
 	cfg := experiments.DefaultDataStudy()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.DataStudy(s, cfg)
+		rows, err := experiments.DataStudy(context.Background(), s, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -287,7 +288,7 @@ func BenchmarkPlacementStudy(b *testing.B) {
 	s := experiments.NewSuite()
 	cfg := experiments.DefaultPlacementStudy()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.PlacementStudy(s, cfg)
+		rows, err := experiments.PlacementStudy(context.Background(), s, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,17 +1,28 @@
-// Command benchdiff is the benchmark-regression gate of CI. It has two
+// Command benchdiff is the benchmark-regression gate of CI. It has three
 // modes:
 //
 //	benchdiff -parse bench.txt -o BENCH_ci.json
 //	    parse `go test -bench` text output into a JSON results file
 //
-//	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 20
-//	    compare two results files and exit non-zero when any benchmark's
-//	    wall-clock (ns/op) regressed by more than the threshold percent
+//	benchdiff -from-report report.jsonl -o BENCH_report.json
+//	    aggregate a cmd/experiments -report JSONL file into a results
+//	    file: per-stage span time (summed over every span with that name)
+//	    and the hit rate of every memo layer that counts *_hits_total /
+//	    *_misses_total metric pairs
 //
-// Benchmarks present in only one of the two files are reported but do not
-// fail the gate (new benchmarks need a baseline refresh, not a red build).
-// The GOMAXPROCS suffix (`BenchmarkFoo-8`) is stripped so results compare
-// across machines.
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json
+//	          [-threshold 20] [-stage-threshold 20] [-hit-drop 5]
+//	    compare two results files and exit non-zero when any benchmark's
+//	    wall-clock or stage time regressed by more than its threshold
+//	    percent, or any memo hit rate dropped by more than -hit-drop
+//	    percentage points
+//
+// Entries present in only one of the two files are reported but do not
+// fail the gate (new benchmarks need a baseline refresh, not a red
+// build), and a section missing entirely from one side is skipped — so a
+// baseline carrying all three sections still gates a current file built
+// from `go test -bench` output alone. The GOMAXPROCS suffix
+// (`BenchmarkFoo-8`) is stripped so results compare across machines.
 package main
 
 import (
@@ -23,36 +34,64 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
-// Results is the JSON schema of a benchmark results file.
+// Results is the JSON schema of a benchmark results file (v2: the
+// report-derived sections ride alongside the classic ns/op map).
 type Results struct {
 	// NsPerOp maps benchmark name (GOMAXPROCS suffix stripped) to its
 	// wall-clock per iteration.
-	NsPerOp map[string]float64 `json:"ns_per_op"`
+	NsPerOp map[string]float64 `json:"ns_per_op,omitempty"`
+	// StageNs maps pipeline stage name to the summed wall time (ns) of
+	// every span with that name across the report. Inclusive of child
+	// spans; baseline and current aggregate identically so the ratio is
+	// still meaningful.
+	StageNs map[string]float64 `json:"stage_ns,omitempty"`
+	// MemoHitRate maps a memo layer (the metric prefix shared by its
+	// *_hits_total / *_misses_total pair) to its hit rate in percent.
+	MemoHitRate map[string]float64 `json:"memo_hit_rate,omitempty"`
 }
+
+// stageFloorNS keeps sub-millisecond stages out of the stage-time gate:
+// their wall time is dominated by scheduler jitter, not regressions.
+const stageFloorNS = 5e6
 
 func main() {
 	parse := flag.String("parse", "", "parse `go test -bench` output from this file")
-	out := flag.String("o", "BENCH_ci.json", "JSON output path for -parse")
+	fromReport := flag.String("from-report", "", "aggregate a cmd/experiments -report JSONL file")
+	out := flag.String("o", "BENCH_ci.json", "JSON output path for -parse / -from-report")
 	baseline := flag.String("baseline", "", "baseline results JSON")
 	current := flag.String("current", "", "current results JSON")
 	threshold := flag.Float64("threshold", 20, "max allowed ns/op regression in percent")
+	stageThreshold := flag.Float64("stage-threshold", 20, "max allowed stage-time regression in percent")
+	hitDrop := flag.Float64("hit-drop", 5, "max allowed memo hit-rate drop in percentage points")
 	flag.Parse()
 
 	var err error
 	switch {
 	case *parse != "":
 		err = runParse(*parse, *out)
+	case *fromReport != "":
+		err = runFromReport(*fromReport, *out)
 	case *baseline != "" && *current != "":
-		err = runCompare(*baseline, *current, *threshold)
+		err = runCompare(*baseline, *current, *threshold, *stageThreshold, *hitDrop)
 	default:
-		err = fmt.Errorf("need either -parse, or -baseline and -current (see -h)")
+		err = fmt.Errorf("need -parse, -from-report, or -baseline and -current (see -h)")
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
+}
+
+func writeResults(res Results, out string) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
 }
 
 func runParse(in, out string) error {
@@ -75,11 +114,56 @@ func runParse(in, out string) error {
 	if len(res.NsPerOp) == 0 {
 		return fmt.Errorf("%s: no benchmark lines found", in)
 	}
-	data, err := json.MarshalIndent(res, "", "  ")
+	return writeResults(res, out)
+}
+
+func runFromReport(in, out string) error {
+	f, err := os.Open(in)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(out, append(data, '\n'), 0o644)
+	defer f.Close()
+	reps, err := obs.ReadReports(f)
+	if err != nil {
+		return err
+	}
+	if len(reps) == 0 {
+		return fmt.Errorf("%s: no report lines found", in)
+	}
+	res := aggregateReports(reps)
+	return writeResults(res, out)
+}
+
+// aggregateReports folds a report stream into gateable scalars: summed
+// span time per stage name and the overall hit rate of every memo layer.
+func aggregateReports(reps []*obs.Report) Results {
+	res := Results{
+		StageNs:     make(map[string]float64),
+		MemoHitRate: make(map[string]float64),
+	}
+	metrics := make(map[string]float64)
+	for _, rep := range reps {
+		for _, root := range rep.Spans {
+			root.Walk(func(s *obs.Span) {
+				res.StageNs[s.Name] += float64(s.DurNS)
+			})
+		}
+		for name, v := range rep.Metrics {
+			metrics[name] += v
+		}
+	}
+	const hitSuffix, missSuffix = "_hits_total", "_misses_total"
+	for name, hits := range metrics {
+		if !strings.HasSuffix(name, hitSuffix) {
+			continue
+		}
+		layer := strings.TrimSuffix(name, hitSuffix)
+		misses := metrics[layer+missSuffix]
+		if hits+misses > 0 {
+			res.MemoHitRate[layer] = 100 * hits / (hits + misses)
+		}
+	}
+	return res
 }
 
 // parseBenchLine extracts (name, ns/op) from a `go test -bench` result
@@ -123,7 +207,7 @@ func readResults(path string) (Results, error) {
 	return res, nil
 }
 
-func runCompare(basePath, curPath string, threshold float64) error {
+func runCompare(basePath, curPath string, threshold, stageThreshold, hitDrop float64) error {
 	base, err := readResults(basePath)
 	if err != nil {
 		return err
@@ -133,36 +217,67 @@ func runCompare(basePath, curPath string, threshold float64) error {
 		return err
 	}
 
-	names := make([]string, 0, len(base.NsPerOp))
-	for name := range base.NsPerOp {
+	regressed := 0
+	regressed += compareSection("ns/op", base.NsPerOp, cur.NsPerOp,
+		func(b, c float64) (float64, bool) {
+			delta := 100 * (c - b) / b
+			return delta, delta > threshold
+		}, "%+.1f%%")
+	regressed += compareSection("stage ns", base.StageNs, cur.StageNs,
+		func(b, c float64) (float64, bool) {
+			delta := 100 * (c - b) / b
+			return delta, b >= stageFloorNS && delta > stageThreshold
+		}, "%+.1f%%")
+	regressed += compareSection("memo hit %", base.MemoHitRate, cur.MemoHitRate,
+		func(b, c float64) (float64, bool) {
+			drop := b - c
+			return -drop, drop > hitDrop
+		}, "%+.1fpp")
+
+	if regressed > 0 {
+		return fmt.Errorf("%d entr(ies) regressed beyond thresholds (ns/op %.0f%%, stage %.0f%%, hit drop %.0fpp) vs %s",
+			regressed, threshold, stageThreshold, hitDrop, basePath)
+	}
+	fmt.Printf("no regressions beyond thresholds (ns/op %.0f%%, stage %.0f%%, hit drop %.0fpp)\n",
+		threshold, stageThreshold, hitDrop)
+	return nil
+}
+
+// compareSection diffs one named map pair and returns the number of
+// regressions. A section empty on either side is skipped entirely, so
+// bench-only and report-only results files interoperate.
+func compareSection(section string, base, cur map[string]float64,
+	judge func(b, c float64) (delta float64, bad bool), deltaFmt string) int {
+	if len(base) == 0 || len(cur) == 0 {
+		return 0
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
 	regressed := 0
 	for _, name := range names {
-		b := base.NsPerOp[name]
-		c, ok := cur.NsPerOp[name]
+		b := base[name]
+		c, ok := cur[name]
 		if !ok {
-			fmt.Printf("?  %-32s missing from current run\n", name)
+			fmt.Printf("?  [%-10s] %-36s missing from current run\n", section, name)
 			continue
 		}
-		delta := 100 * (c - b) / b
+		delta, bad := judge(b, c)
 		mark := "ok"
-		if delta > threshold {
+		if bad {
 			mark = "REGRESSED"
 			regressed++
 		}
-		fmt.Printf("%-9s %-32s %12.0f → %12.0f ns/op  (%+.1f%%)\n", mark, name, b, c, delta)
+		fmt.Printf("%-9s [%-10s] %-36s %14.0f → %14.0f  ("+deltaFmt+")\n",
+			mark, section, name, b, c, delta)
 	}
-	for name := range cur.NsPerOp {
-		if _, ok := base.NsPerOp[name]; !ok {
-			fmt.Printf("+  %-32s new benchmark (no baseline)\n", name)
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("+  [%-10s] %-36s new entry (no baseline)\n", section, name)
 		}
 	}
-	if regressed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", regressed, threshold, basePath)
-	}
-	fmt.Printf("no regressions beyond %.0f%% (%d benchmarks)\n", threshold, len(names))
-	return nil
+	return regressed
 }

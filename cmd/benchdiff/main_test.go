@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestParseBenchLine(t *testing.T) {
@@ -55,24 +57,132 @@ ok  	repro	3.0s
 
 	// Baseline equal to current: passes.
 	same := write("same.json", `{"ns_per_op":{"BenchmarkFast":1000,"BenchmarkSlow":2000000}}`)
-	if err := runCompare(same, cur, 20); err != nil {
+	if err := runCompare(same, cur, 20, 20, 5); err != nil {
 		t.Errorf("equal results failed the gate: %v", err)
 	}
 
 	// Current is >20% slower than this baseline: fails.
 	faster := write("faster.json", `{"ns_per_op":{"BenchmarkFast":1000,"BenchmarkSlow":1000000}}`)
-	if err := runCompare(faster, cur, 20); err == nil {
+	if err := runCompare(faster, cur, 20, 20, 5); err == nil {
 		t.Error("2x regression passed a 20% gate")
 	}
 
 	// Within threshold: passes.
-	if err := runCompare(faster, cur, 150); err != nil {
+	if err := runCompare(faster, cur, 150, 20, 5); err != nil {
 		t.Errorf("regression within threshold failed: %v", err)
 	}
 
 	// Benchmarks missing from either side don't fail the gate.
 	disjoint := write("disjoint.json", `{"ns_per_op":{"BenchmarkFast":1000,"BenchmarkGone":5}}`)
-	if err := runCompare(disjoint, cur, 20); err != nil {
+	if err := runCompare(disjoint, cur, 20, 20, 5); err != nil {
 		t.Errorf("missing/new benchmarks failed the gate: %v", err)
+	}
+}
+
+func TestAggregateReports(t *testing.T) {
+	reps := []*obs.Report{
+		{
+			Study: "fig4", Round: 1,
+			Spans: []*obs.Span{{
+				Name: "prepare", DurNS: 100,
+				Children: []*obs.Span{{Name: "profile", DurNS: 60}},
+			}},
+			Metrics: obs.Snapshot{
+				"casa_pipeline_memo_hits_total":   0,
+				"casa_pipeline_memo_misses_total": 4,
+			},
+		},
+		{
+			Study: "fig4", Round: 2,
+			Spans: []*obs.Span{{Name: "prepare", DurNS: 50}},
+			Metrics: obs.Snapshot{
+				"casa_pipeline_memo_hits_total": 12,
+				"casa_sim_runs_total":           3, // no miss pair: not a rate
+			},
+		},
+	}
+	res := aggregateReports(reps)
+	if res.StageNs["prepare"] != 150 || res.StageNs["profile"] != 60 {
+		t.Errorf("stage ns = %v, want prepare:150 profile:60", res.StageNs)
+	}
+	rate, ok := res.MemoHitRate["casa_pipeline_memo"]
+	if !ok || rate != 75 {
+		t.Errorf("memo hit rate = %v, want casa_pipeline_memo:75", res.MemoHitRate)
+	}
+	if _, ok := res.MemoHitRate["casa_sim_runs"]; ok {
+		t.Errorf("unpaired counter produced a hit rate: %v", res.MemoHitRate)
+	}
+}
+
+func TestCompareReportSections(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	base := write("base.json",
+		`{"ns_per_op":{"BenchmarkX":100},"stage_ns":{"prepare":2e8,"layout":1e3},"memo_hit_rate":{"casa_pipeline_memo":75}}`)
+
+	// Equal report-derived sections, no ns_per_op in current: gate passes
+	// (the ns/op section is skipped, not failed).
+	ok := write("ok.json", `{"stage_ns":{"prepare":2e8,"layout":1e3},"memo_hit_rate":{"casa_pipeline_memo":75}}`)
+	if err := runCompare(base, ok, 20, 20, 5); err != nil {
+		t.Errorf("matching report sections failed the gate: %v", err)
+	}
+
+	// Stage time doubled: fails the stage gate.
+	slow := write("slow.json", `{"stage_ns":{"prepare":4e8,"layout":1e3},"memo_hit_rate":{"casa_pipeline_memo":75}}`)
+	if err := runCompare(base, slow, 20, 20, 5); err == nil {
+		t.Error("2x stage regression passed a 20% gate")
+	}
+
+	// Sub-floor stage doubled: jitter, not a regression.
+	jitter := write("jitter.json", `{"stage_ns":{"prepare":2e8,"layout":2e3},"memo_hit_rate":{"casa_pipeline_memo":75}}`)
+	if err := runCompare(base, jitter, 20, 20, 5); err != nil {
+		t.Errorf("sub-floor stage jitter failed the gate: %v", err)
+	}
+
+	// Hit rate dropped 10pp: fails the hit-rate gate.
+	cold := write("cold.json", `{"stage_ns":{"prepare":2e8,"layout":1e3},"memo_hit_rate":{"casa_pipeline_memo":65}}`)
+	if err := runCompare(base, cold, 20, 20, 5); err == nil {
+		t.Error("10pp hit-rate drop passed a 5pp gate")
+	}
+
+	// Hit rate improved: never a regression.
+	warm := write("warm.json", `{"stage_ns":{"prepare":2e8,"layout":1e3},"memo_hit_rate":{"casa_pipeline_memo":90}}`)
+	if err := runCompare(base, warm, 20, 20, 5); err != nil {
+		t.Errorf("hit-rate improvement failed the gate: %v", err)
+	}
+}
+
+func TestFromReportEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "report.jsonl")
+	lines := `{"study":"fig4","round":1,"workers":1,"wall_ns":0,"spans":[{"name":"prepare","dur_ns":100,"children":[{"name":"profile","dur_ns":60}]}],"metrics":{"casa_pipeline_memo_misses_total":2}}
+{"study":"fig4","round":2,"workers":1,"wall_ns":0,"spans":[{"name":"cell","dur_ns":10}],"metrics":{"casa_pipeline_memo_hits_total":6}}
+`
+	if err := os.WriteFile(jsonl, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.json")
+	if err := runFromReport(jsonl, out); err != nil {
+		t.Fatalf("runFromReport: %v", err)
+	}
+	res, err := readResults(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StageNs["prepare"] != 100 || res.StageNs["profile"] != 60 || res.StageNs["cell"] != 10 {
+		t.Errorf("stage ns = %v", res.StageNs)
+	}
+	if res.MemoHitRate["casa_pipeline_memo"] != 75 {
+		t.Errorf("hit rate = %v, want 75", res.MemoHitRate["casa_pipeline_memo"])
+	}
+	if len(res.NsPerOp) != 0 {
+		t.Errorf("unexpected ns_per_op section: %v", res.NsPerOp)
 	}
 }

@@ -6,41 +6,73 @@
 //
 //	casa -workload mpeg -cache 2048 -spm 512 [-alloc casa|greedy|steinke|loopcache|none]
 //	     [-line 16] [-assoc 1] [-dot conflict.dot] [-lp model.lp] [-v]
+//	     [-trace] [-dump-cache] [-heatmap] [-pprof :6060]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/ilp"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		wl     = flag.String("workload", "adpcm", "bundled workload: adpcm, g721, mpeg")
-		file   = flag.String("file", "", "program in asm format (overrides -workload)")
-		cache  = flag.Int("cache", 2048, "I-cache size in bytes")
-		line   = flag.Int("line", experiments.DefaultLine, "cache line size in bytes")
-		assoc  = flag.Int("assoc", 1, "cache associativity")
-		spm    = flag.Int("spm", 256, "scratchpad (or loop cache) size in bytes")
-		alloc  = flag.String("alloc", "casa", "allocator: casa, greedy, steinke, loopcache, none")
-		dotOut = flag.String("dot", "", "write the conflict graph in DOT form to this file")
-		lpOut  = flag.String("lp", "", "write the CASA ILP in CPLEX LP format to this file")
-		verb   = flag.Bool("v", false, "print the per-trace allocation")
+		wl        = flag.String("workload", "adpcm", "bundled workload: adpcm, g721, mpeg")
+		file      = flag.String("file", "", "program in asm format (overrides -workload)")
+		cache     = flag.Int("cache", 2048, "I-cache size in bytes")
+		line      = flag.Int("line", experiments.DefaultLine, "cache line size in bytes")
+		assoc     = flag.Int("assoc", 1, "cache associativity")
+		spm       = flag.Int("spm", 256, "scratchpad (or loop cache) size in bytes")
+		alloc     = flag.String("alloc", "casa", "allocator: casa, greedy, steinke, loopcache, none")
+		dotOut    = flag.String("dot", "", "write the conflict graph in DOT form to this file")
+		lpOut     = flag.String("lp", "", "write the CASA ILP in CPLEX LP format to this file")
+		verb      = flag.Bool("v", false, "print the per-trace allocation")
+		traceFlag = flag.Bool("trace", false,
+			fmt.Sprintf("log solver progress to stderr (same as %s=1)", obs.EnvTrace))
+		dumpCache = flag.Bool("dump-cache", false,
+			"dump the profiling run's final per-set cache state and statistics")
+		heatmap = flag.Bool("heatmap", false,
+			"print the conflict graph as a text heatmap (victim × evictor, log10 intensity)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
-	if err := run(*wl, *file, *cache, *line, *assoc, *spm, *alloc, *dotOut, *lpOut, *verb); err != nil {
+	if *traceFlag {
+		obs.EnableTrace(os.Stderr)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "casa: pprof:", err)
+			}
+		}()
+	}
+
+	err := run(*wl, *file, *cache, *line, *assoc, *spm, *alloc, *dotOut, *lpOut,
+		*verb, *dumpCache, *heatmap)
+	obs.MaybeDumpMetrics(os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "casa:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, file string, cacheSize, line, assoc, spm int, alloc, dotOut, lpOut string, verbose bool) error {
+// heatmapMaxDim bounds the heatmap to a terminal-friendly matrix; the
+// header reports how many conflicting vertices exist beyond the cut.
+const heatmapMaxDim = 48
+
+func run(wl, file string, cacheSize, line, assoc, spm int, alloc, dotOut, lpOut string,
+	verbose, dumpCache, heatmap bool) error {
+	ctx := context.Background()
 	spec := experiments.CacheSpec{Size: cacheSize, Line: line, Assoc: assoc}
 	var p *experiments.Pipeline
 	var err error
@@ -55,9 +87,9 @@ func run(wl, file string, cacheSize, line, assoc, spm int, alloc, dotOut, lpOut 
 			return perr
 		}
 		wl = prog.Name
-		p, err = experiments.PrepareProgram(prog, spec, spm)
+		p, err = experiments.PrepareProgram(ctx, prog, spec, spm)
 	} else {
-		p, err = experiments.Prepare(wl, spec, spm)
+		p, err = experiments.Prepare(ctx, wl, spec, spm)
 	}
 	if err != nil {
 		return err
@@ -107,20 +139,36 @@ func run(wl, file string, cacheSize, line, assoc, spm int, alloc, dotOut, lpOut 
 		fmt.Printf("ILP written to %s\n", lpOut)
 	}
 
-	base, err := p.RunCacheOnly()
+	if heatmap {
+		fmt.Println()
+		if err := p.Graph.WriteHeatmap(os.Stdout, heatmapMaxDim); err != nil {
+			return err
+		}
+	}
+	if dumpCache {
+		fmt.Println()
+		if p.Baseline.Cache == nil {
+			return fmt.Errorf("no cache state kept for the profiling run")
+		}
+		if err := p.Baseline.Cache.DumpState(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	base, err := p.RunCacheOnly(ctx)
 	if err != nil {
 		return err
 	}
 	var out *experiments.Outcome
 	switch alloc {
 	case "casa":
-		out, err = p.RunCASA()
+		out, err = p.RunCASA(ctx)
 	case "greedy":
-		out, err = p.RunCASAGreedy()
+		out, err = p.RunCASAGreedy(ctx)
 	case "steinke":
-		out, err = p.RunSteinke()
+		out, err = p.RunSteinke(ctx)
 	case "loopcache":
-		out, err = p.RunLoopCache()
+		out, err = p.RunLoopCache(ctx)
 	case "none":
 		out = base
 	default:

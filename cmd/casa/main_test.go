@@ -8,20 +8,20 @@ import (
 
 func TestRunAllAllocators(t *testing.T) {
 	for _, alloc := range []string{"casa", "greedy", "steinke", "loopcache", "none"} {
-		if err := run("adpcm", "", 128, 16, 1, 128, alloc, "", "", true); err != nil {
+		if err := run("adpcm", "", 128, 16, 1, 128, alloc, "", "", true, false, false); err != nil {
 			t.Errorf("alloc %s: %v", alloc, err)
 		}
 	}
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run("ghost", "", 128, 16, 1, 128, "casa", "", "", false); err == nil {
+	if err := run("ghost", "", 128, 16, 1, 128, "casa", "", "", false, false, false); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("adpcm", "", 128, 16, 1, 128, "wat", "", "", false); err == nil {
+	if err := run("adpcm", "", 128, 16, 1, 128, "wat", "", "", false, false, false); err == nil {
 		t.Error("unknown allocator accepted")
 	}
-	if err := run("adpcm", "", 100, 16, 1, 128, "casa", "", "", false); err == nil {
+	if err := run("adpcm", "", 100, 16, 1, 128, "casa", "", "", false, false, false); err == nil {
 		t.Error("bad cache size accepted")
 	}
 }
@@ -30,7 +30,7 @@ func TestRunWritesArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	dot := filepath.Join(dir, "g.dot")
 	lp := filepath.Join(dir, "m.lp")
-	if err := run("adpcm", "", 128, 16, 1, 128, "casa", dot, lp, false); err != nil {
+	if err := run("adpcm", "", 128, 16, 1, 128, "casa", dot, lp, false, false, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	for _, f := range []string{dot, lp} {
@@ -55,10 +55,10 @@ out:
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, 128, 16, 1, 64, "casa", "", "", false); err != nil {
+	if err := run("", path, 128, 16, 1, 64, "casa", "", "", false, true, true); err != nil {
 		t.Fatalf("run from file: %v", err)
 	}
-	if err := run("", filepath.Join(dir, "nope.casm"), 128, 16, 1, 64, "casa", "", "", false); err == nil {
+	if err := run("", filepath.Join(dir, "nope.casm"), 128, 16, 1, 64, "casa", "", "", false, false, false); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -117,11 +118,11 @@ func dumpTraces(p *ir.Program, spmSize int) error {
 }
 
 func dumpMap(p *ir.Program, cacheSize, spmSize int) error {
-	pipe, err := experiments.PrepareProgram(p, experiments.DM(cacheSize), spmSize)
+	pipe, err := experiments.PrepareProgram(context.Background(), p, experiments.DM(cacheSize), spmSize)
 	if err != nil {
 		return err
 	}
-	casa, err := pipe.RunCASA()
+	casa, err := pipe.RunCASA(context.Background())
 	if err != nil {
 		return err
 	}
@@ -154,7 +155,7 @@ func dumpMap(p *ir.Program, cacheSize, spmSize int) error {
 }
 
 func dumpConflicts(p *ir.Program, cacheSize, spmSize int) error {
-	pipe, err := experiments.PrepareProgram(p, experiments.DM(cacheSize), spmSize)
+	pipe, err := experiments.PrepareProgram(context.Background(), p, experiments.DM(cacheSize), spmSize)
 	if err != nil {
 		return err
 	}
@@ -176,7 +177,7 @@ func dumpConflicts(p *ir.Program, cacheSize, spmSize int) error {
 }
 
 func dumpDOT(p *ir.Program, cacheSize, spmSize int) error {
-	pipe, err := experiments.PrepareProgram(p, experiments.DM(cacheSize), spmSize)
+	pipe, err := experiments.PrepareProgram(context.Background(), p, experiments.DM(cacheSize), spmSize)
 	if err != nil {
 		return err
 	}

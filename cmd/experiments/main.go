@@ -9,26 +9,39 @@
 // row output is bit-identical at any worker count. Per-study wall-clock
 // is reported on stderr so stdout stays clean for diffing.
 //
+// Observability: -report FILE writes one JSONL line per (study, round)
+// carrying the span tree of every pipeline stage and the run's metric
+// deltas; -repeat N re-runs the studies on the same suite so warm rounds
+// expose the memo layers' hit rates; -trace streams solver and pipeline
+// progress to stderr; -pprof ADDR serves net/http/pprof.
+//
 // Usage:
 //
 //	experiments [-workers N] [-compare-serial]
 //	            [-exp fig4|fig5|table1|sensitivity|wcet|overlay|data|placement|ablations|all]
+//	            [-repeat N] [-report out.jsonl] [-report-deterministic]
+//	            [-trace] [-pprof :6060]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
 type study struct {
 	name string
-	run  func(*experiments.Suite, io.Writer) error
+	run  func(context.Context, *experiments.Suite, io.Writer) error
 }
 
 var studies = []study{
@@ -43,20 +56,45 @@ var studies = []study{
 	{"ablations", runAblations},
 }
 
+func selectStudies(exp string) []study {
+	var sel []study
+	for _, st := range studies {
+		if exp == "all" || exp == st.name {
+			sel = append(sel, st)
+		}
+	}
+	return sel
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, table1, sensitivity, wcet, overlay, data, placement, ablations, all")
 	workers := flag.Int("workers", 0,
 		fmt.Sprintf("worker-pool width (0 = $%s, else NumCPU)", parallel.EnvWorkers))
 	compareSerial := flag.Bool("compare-serial", false,
 		"time each study serially (1 worker) and in parallel and report the speedup; suppresses table output and disables the fetch-stream cache so the pool itself is measured")
+	repeat := flag.Int("repeat", 1,
+		"run the selected studies this many rounds on one shared suite; rounds after the first hit the memo layers and print nothing to stdout")
+	reportPath := flag.String("report", "",
+		"write a machine-readable JSONL run report (one line per study per round: span tree + metric deltas)")
+	reportDet := flag.Bool("report-deterministic", false,
+		"zero wall times and drop time-based metrics in the report, making warm rounds byte-stable (golden tests)")
+	traceFlag := flag.Bool("trace", false,
+		fmt.Sprintf("log pipeline and solver progress to stderr (same as %s=1)", obs.EnvTrace))
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
-	var sel []study
-	for _, st := range studies {
-		if *exp == "all" || *exp == st.name {
-			sel = append(sel, st)
-		}
+	if *traceFlag {
+		obs.EnableTrace(os.Stderr)
 	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof:", err)
+			}
+		}()
+	}
+
+	sel := selectStudies(*exp)
 	if len(sel) == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
 		os.Exit(1)
@@ -66,23 +104,91 @@ func main() {
 	if *compareSerial {
 		err = compare(sel, *workers)
 	} else {
-		s := experiments.NewSuite().SetWorkers(*workers)
-		for _, st := range sel {
-			start := time.Now()
-			if err = st.run(s, os.Stdout); err != nil {
-				break
+		var report io.Writer
+		if *reportPath != "" {
+			f, ferr := os.Create(*reportPath)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", ferr)
+				os.Exit(1)
 			}
-			if len(sel) > 1 {
-				fmt.Println()
-			}
-			fmt.Fprintf(os.Stderr, "# %s: %.2fs (%d workers)\n",
-				st.name, time.Since(start).Seconds(), s.Workers())
+			defer f.Close()
+			report = f
 		}
+		s := experiments.NewSuite().SetWorkers(*workers)
+		err = runStudies(sel, s, *repeat, os.Stdout, os.Stderr, report, *reportDet)
 	}
+	obs.MaybeDumpMetrics(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// runStudies runs each selected study repeat times on the shared suite.
+// Round 1 writes its tables to stdout exactly as a plain run would;
+// later rounds are silent (they exist to warm-hit the memo layers) but
+// still produce report lines. With report non-nil every (study, round)
+// appends one obs.Report in JSONL form.
+func runStudies(sel []study, s *experiments.Suite, repeat int,
+	stdout, timing, report io.Writer, deterministic bool) error {
+	for round := 1; round <= repeat; round++ {
+		out := stdout
+		if round > 1 {
+			out = io.Discard
+		}
+		for _, st := range sel {
+			tr := obs.NewTracer()
+			ctx := obs.WithTracer(context.Background(), tr)
+			before := obs.Default.Snapshot()
+			start := time.Now()
+			runErr := st.run(ctx, s, out)
+			wall := time.Since(start)
+			if report != nil {
+				if err := writeReport(report, st.name, round, s.Workers(), wall, tr, before, runErr, deterministic); err != nil {
+					return err
+				}
+			}
+			if runErr != nil {
+				return runErr
+			}
+			if len(sel) > 1 {
+				fmt.Fprintln(out)
+			}
+			fmt.Fprintf(timing, "# %s: %.2fs (%d workers)\n",
+				st.name, wall.Seconds(), s.Workers())
+		}
+	}
+	return nil
+}
+
+func writeReport(w io.Writer, name string, round, workers int, wall time.Duration,
+	tr *obs.Tracer, before obs.Snapshot, runErr error, deterministic bool) error {
+	rep := &obs.Report{
+		Study:   name,
+		Round:   round,
+		Workers: workers,
+		WallNS:  wall.Nanoseconds(),
+		Spans:   tr.Roots(),
+		Metrics: obs.Default.Delta(before),
+	}
+	if runErr != nil {
+		rep.Error = runErr.Error()
+		var ge *parallel.GridError
+		if errors.As(runErr, &ge) {
+			for _, ce := range ge.Failed {
+				rep.FailedCells = append(rep.FailedCells,
+					obs.FailedCell{Index: ce.Index, Err: ce.Err.Error()})
+			}
+			for _, idx := range ge.Skipped {
+				rep.FailedCells = append(rep.FailedCells,
+					obs.FailedCell{Index: idx, Skipped: true})
+			}
+		}
+	}
+	if deterministic {
+		rep.Canonicalize()
+	}
+	return rep.WriteJSONL(w)
 }
 
 // compare times each study twice on fresh suites — serial, then at the
@@ -92,16 +198,17 @@ func compare(sel []study, workers int) error {
 	if err := os.Setenv("CASA_STREAM_CACHE", "off"); err != nil {
 		return err
 	}
+	ctx := context.Background()
 	width := parallel.Workers(workers)
 	fmt.Printf("%-12s %10s %14s %9s\n", "study", "serial(s)", "parallel(s)", "speedup")
 	for _, st := range sel {
 		start := time.Now()
-		if err := st.run(experiments.NewSuite().SetWorkers(1), io.Discard); err != nil {
+		if err := st.run(ctx, experiments.NewSuite().SetWorkers(1), io.Discard); err != nil {
 			return err
 		}
 		serial := time.Since(start)
 		start = time.Now()
-		if err := st.run(experiments.NewSuite().SetWorkers(workers), io.Discard); err != nil {
+		if err := st.run(ctx, experiments.NewSuite().SetWorkers(workers), io.Discard); err != nil {
 			return err
 		}
 		par := time.Since(start)
@@ -111,9 +218,9 @@ func compare(sel []study, workers int) error {
 	return nil
 }
 
-func runFig4(s *experiments.Suite, w io.Writer) error {
+func runFig4(ctx context.Context, s *experiments.Suite, w io.Writer) error {
 	cfg := experiments.DefaultFig4()
-	rows, err := experiments.Fig4(s, cfg)
+	rows, err := experiments.Fig4(ctx, s, cfg)
 	if err != nil {
 		return err
 	}
@@ -121,9 +228,9 @@ func runFig4(s *experiments.Suite, w io.Writer) error {
 	return nil
 }
 
-func runFig5(s *experiments.Suite, w io.Writer) error {
+func runFig5(ctx context.Context, s *experiments.Suite, w io.Writer) error {
 	cfg := experiments.DefaultFig5()
-	rows, err := experiments.Fig5(s, cfg)
+	rows, err := experiments.Fig5(ctx, s, cfg)
 	if err != nil {
 		return err
 	}
@@ -131,8 +238,8 @@ func runFig5(s *experiments.Suite, w io.Writer) error {
 	return nil
 }
 
-func runTable1(s *experiments.Suite, w io.Writer) error {
-	rows, avgs, err := experiments.Table1(s, experiments.DefaultTable1())
+func runTable1(ctx context.Context, s *experiments.Suite, w io.Writer) error {
+	rows, avgs, err := experiments.Table1(ctx, s, experiments.DefaultTable1())
 	if err != nil {
 		return err
 	}
@@ -140,9 +247,9 @@ func runTable1(s *experiments.Suite, w io.Writer) error {
 	return nil
 }
 
-func runSensitivity(s *experiments.Suite, w io.Writer) error {
+func runSensitivity(ctx context.Context, s *experiments.Suite, w io.Writer) error {
 	cfg := experiments.DefaultSensitivity()
-	rows, err := experiments.Sensitivity(s, cfg)
+	rows, err := experiments.Sensitivity(ctx, s, cfg)
 	if err != nil {
 		return err
 	}
@@ -150,8 +257,8 @@ func runSensitivity(s *experiments.Suite, w io.Writer) error {
 	return nil
 }
 
-func runWCET(s *experiments.Suite, w io.Writer) error {
-	rows, err := experiments.WCETStudy(s, experiments.DefaultWCETStudy())
+func runWCET(ctx context.Context, s *experiments.Suite, w io.Writer) error {
+	rows, err := experiments.WCETStudy(ctx, s, experiments.DefaultWCETStudy())
 	if err != nil {
 		return err
 	}
@@ -159,8 +266,8 @@ func runWCET(s *experiments.Suite, w io.Writer) error {
 	return nil
 }
 
-func runOverlay(s *experiments.Suite, w io.Writer) error {
-	rows, err := experiments.OverlayStudy(s, experiments.DefaultOverlayStudy())
+func runOverlay(ctx context.Context, s *experiments.Suite, w io.Writer) error {
+	rows, err := experiments.OverlayStudy(ctx, s, experiments.DefaultOverlayStudy())
 	if err != nil {
 		return err
 	}
@@ -168,8 +275,8 @@ func runOverlay(s *experiments.Suite, w io.Writer) error {
 	return nil
 }
 
-func runData(s *experiments.Suite, w io.Writer) error {
-	rows, err := experiments.DataStudy(s, experiments.DefaultDataStudy())
+func runData(ctx context.Context, s *experiments.Suite, w io.Writer) error {
+	rows, err := experiments.DataStudy(ctx, s, experiments.DefaultDataStudy())
 	if err != nil {
 		return err
 	}
@@ -177,8 +284,8 @@ func runData(s *experiments.Suite, w io.Writer) error {
 	return nil
 }
 
-func runPlacement(s *experiments.Suite, w io.Writer) error {
-	rows, err := experiments.PlacementStudy(s, experiments.DefaultPlacementStudy())
+func runPlacement(ctx context.Context, s *experiments.Suite, w io.Writer) error {
+	rows, err := experiments.PlacementStudy(ctx, s, experiments.DefaultPlacementStudy())
 	if err != nil {
 		return err
 	}
@@ -186,9 +293,9 @@ func runPlacement(s *experiments.Suite, w io.Writer) error {
 	return nil
 }
 
-func runAblations(s *experiments.Suite, w io.Writer) error {
+func runAblations(ctx context.Context, s *experiments.Suite, w io.Writer) error {
 	cfg := experiments.DefaultAblations()
-	abl, err := experiments.Ablations(s, cfg)
+	abl, err := experiments.Ablations(ctx, s, cfg)
 	if err != nil {
 		return err
 	}

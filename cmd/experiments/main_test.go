@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// TestReportGoldenStability runs fig4 three rounds on one suite with the
+// deterministic report hook. Rounds 2 and 3 both execute against fully
+// warmed memo layers, so after Canonicalize zeroes the wall times their
+// JSONL lines must be byte-identical — the property the golden CI check
+// relies on.
+func TestReportGoldenStability(t *testing.T) {
+	sel := selectStudies("fig4")
+	if len(sel) != 1 {
+		t.Fatalf("selectStudies(fig4) = %d studies, want 1", len(sel))
+	}
+	var buf bytes.Buffer
+	s := experiments.NewSuite().SetWorkers(1)
+	if err := runStudies(sel, s, 3, io.Discard, io.Discard, &buf, true); err != nil {
+		t.Fatalf("runStudies: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d report lines, want 3", len(lines))
+	}
+	round2 := strings.Replace(lines[1], `"round":2`, `"round":3`, 1)
+	if round2 == lines[1] {
+		t.Fatalf("round field not found in %q", lines[1])
+	}
+	if round2 != lines[2] {
+		t.Errorf("warm rounds differ:\nround 2: %s\nround 3: %s", lines[1], lines[2])
+	}
+}
+
+// TestReportStagesAndMemoHits checks the acceptance criterion: a fig4
+// report holds a span tree with at least 6 distinct stage names, and the
+// second (warm) round records pipeline memo hits.
+func TestReportStagesAndMemoHits(t *testing.T) {
+	sel := selectStudies("fig4")
+	var buf bytes.Buffer
+	s := experiments.NewSuite().SetWorkers(2)
+	if err := runStudies(sel, s, 2, io.Discard, io.Discard, &buf, false); err != nil {
+		t.Fatalf("runStudies: %v", err)
+	}
+	reps, err := obs.ReadReports(&buf)
+	if err != nil {
+		t.Fatalf("ReadReports: %v", err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reps))
+	}
+
+	names := make(map[string]bool)
+	for _, rep := range reps {
+		for _, n := range obs.StageNames(rep.Spans) {
+			names[n] = true
+		}
+	}
+	if len(names) < 6 {
+		t.Errorf("span tree has %d distinct stage names (%v), want >= 6", len(names), names)
+	}
+	for _, want := range []string{"prepare", "profile", "conflict-graph", "cell", "allocate", "simulate"} {
+		if !names[want] {
+			t.Errorf("stage %q missing from span tree (have %v)", want, names)
+		}
+	}
+
+	warm := reps[1]
+	if warm.Round != 2 {
+		t.Fatalf("second report is round %d, want 2", warm.Round)
+	}
+	if hits := warm.Metrics["casa_pipeline_memo_hits_total"]; hits <= 0 {
+		t.Errorf("warm round pipeline memo hits = %v, want > 0 (metrics: %v)", hits, warm.Metrics)
+	}
+	if miss := warm.Metrics["casa_pipeline_memo_misses_total"]; miss != 0 {
+		t.Errorf("warm round pipeline memo misses = %v, want 0", miss)
+	}
+	if reps[0].Metrics["casa_pipeline_memo_misses_total"] <= 0 {
+		t.Errorf("cold round recorded no pipeline memo misses (metrics: %v)", reps[0].Metrics)
+	}
+}
+
+// TestSelectStudies pins the study registry names the CLI accepts.
+func TestSelectStudies(t *testing.T) {
+	if got := len(selectStudies("all")); got != len(studies) {
+		t.Errorf("all selects %d studies, want %d", got, len(studies))
+	}
+	if sel := selectStudies("wat"); sel != nil {
+		t.Errorf("unknown study selected %v", sel)
+	}
+}

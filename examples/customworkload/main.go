@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -94,7 +95,7 @@ func main() {
 	fmt.Printf("%s: %d bytes of code, %dB direct-mapped cache, %dB scratchpad\n",
 		prog.Name, prog.Size(), cacheBytes, spmBytes)
 
-	pipeline, err := repro.PrepareProgram(prog, repro.DM(cacheBytes), spmBytes)
+	pipeline, err := repro.PrepareProgram(context.Background(), prog, repro.DM(cacheBytes), spmBytes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,15 +103,15 @@ func main() {
 		len(pipeline.Set.Traces), pipeline.Graph.NumEdges(),
 		pipeline.Baseline.ConflictMisses)
 
-	base, err := pipeline.RunCacheOnly()
+	base, err := pipeline.RunCacheOnly(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	steinke, err := pipeline.RunSteinke()
+	steinke, err := pipeline.RunSteinke(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	casa, err := pipeline.RunCASA()
+	casa, err := pipeline.RunCASA(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

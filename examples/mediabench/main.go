@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -35,19 +36,19 @@ func main() {
 	fmt.Fprintln(w, "benchmark\tmem(B)\tCASA(µJ)\tSteinke(µJ)\tloop cache(µJ)\tvs Steinke\tvs LC")
 	for _, cfg := range configs {
 		for _, size := range cfg.sizes {
-			p, err := repro.Prepare(cfg.workload, repro.DM(cfg.cache), size)
+			p, err := repro.Prepare(context.Background(), cfg.workload, repro.DM(cfg.cache), size)
 			if err != nil {
 				log.Fatal(err)
 			}
-			casa, err := p.RunCASA()
+			casa, err := p.RunCASA(context.Background())
 			if err != nil {
 				log.Fatal(err)
 			}
-			st, err := p.RunSteinke()
+			st, err := p.RunSteinke(context.Background())
 			if err != nil {
 				log.Fatal(err)
 			}
-			lc, err := p.RunLoopCache()
+			lc, err := p.RunLoopCache(context.Background())
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	)
 	// Prepare with the combined budget so trace formation allows traces up
 	// to the largest scratchpad.
-	p, err := repro.Prepare("g721", repro.DM(cacheSize), largeSPM)
+	p, err := repro.Prepare(context.Background(), "g721", repro.DM(cacheSize), largeSPM)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func main() {
 	fmt.Printf("  %d of %d traces placed\n", placed, len(multi.Assign))
 
 	// Reference: one scratchpad of the combined size.
-	single, err := repro.Allocate(p.Set, p.Graph, repro.CASAParams{
+	single, err := repro.Allocate(context.Background(), p.Set, p.Graph, repro.CASAParams{
 		SPMSize:    smallSPM + largeSPM,
 		ESPHit:     repro.SPMAccessEnergy(512), // combined array: next power of two
 		ECacheHit:  p.Cost.CacheHit,

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,13 +28,13 @@ func main() {
 	fmt.Printf("%s: %d bytes of code, %dB cache, %dB scratchpad\n",
 		prog.Name, prog.Size(), cacheSize, spmSize)
 
-	pipe, err := repro.PrepareProgram(prog, repro.DM(cacheSize), spmSize)
+	pipe, err := repro.PrepareProgram(context.Background(), prog, repro.DM(cacheSize), spmSize)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Static CASA: one selection for the whole run.
-	static, err := pipe.RunCASA()
+	static, err := pipe.RunCASA(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

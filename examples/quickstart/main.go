@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,7 @@ func main() {
 	// Prepare bundles the whole front end: load the workload, profile it,
 	// form traces sized for the scratchpad, and run the conflict-tracking
 	// cache simulation that yields the conflict graph.
-	pipeline, err := repro.Prepare("adpcm", repro.DM(128), 128)
+	pipeline, err := repro.Prepare(context.Background(), "adpcm", repro.DM(128), 128)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -23,14 +24,14 @@ func main() {
 		pipeline.Prog.Size(), len(pipeline.Set.Traces), pipeline.Graph.NumEdges())
 
 	// The baseline: everything runs through the I-cache.
-	base, err := pipeline.RunCacheOnly()
+	base, err := pipeline.RunCacheOnly(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// CASA: solve the paper's ILP and copy the selected traces to the
 	// scratchpad.
-	casa, err := pipeline.RunCASA()
+	casa, err := pipeline.RunCASA(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@ package cache
 
 import (
 	"fmt"
+	"io"
 )
 
 // NoMO marks an access or victim without a memory-object owner (cold line).
@@ -112,11 +113,24 @@ type Result struct {
 	SelfEvict bool
 }
 
+// SetStats are the per-set access totals the cache keeps for
+// introspection: with them a dump shows not just what is resident but
+// which sets thrash — the software analogue of live cache inspection.
+type SetStats struct {
+	// Hits and Misses count accesses mapping to the set.
+	Hits   int64
+	Misses int64
+	// Evictions counts misses that replaced a valid line (conflict or
+	// capacity evictions; cold fills excluded).
+	Evictions int64
+}
+
 // Cache is a running instance of the model. It is not safe for concurrent
 // use; simulations are single-threaded.
 type Cache struct {
 	cfg        Config
-	sets       []way // sets*assoc entries, set-major
+	sets       []way      // sets*assoc entries, set-major
+	stats      []SetStats // per-set totals, indexed by set
 	setMask    uint32
 	lineShift  uint
 	indexShift uint
@@ -130,9 +144,10 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	c := &Cache{
-		cfg:  cfg,
-		sets: make([]way, cfg.Sets()*cfg.Assoc),
-		rng:  cfg.Seed ^ 0x9e3779b97f4a7c15,
+		cfg:   cfg,
+		sets:  make([]way, cfg.Sets()*cfg.Assoc),
+		stats: make([]SetStats, cfg.Sets()),
+		rng:   cfg.Seed ^ 0x9e3779b97f4a7c15,
 	}
 	c.lineShift = log2(uint32(cfg.LineBytes))
 	c.setMask = uint32(cfg.Sets() - 1)
@@ -161,10 +176,14 @@ func log2(v uint32) uint {
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-// Reset invalidates every line and restarts the policy state.
+// Reset invalidates every line and restarts the policy state and the
+// per-set statistics.
 func (c *Cache) Reset() {
 	for i := range c.sets {
 		c.sets[i] = way{}
+	}
+	for i := range c.stats {
+		c.stats[i] = SetStats{}
 	}
 	c.clock = 0
 	c.rng = c.cfg.Seed ^ 0x9e3779b97f4a7c15
@@ -189,16 +208,19 @@ func (c *Cache) Access(addr uint32, mo int) Result {
 			if c.cfg.Replacement == LRU {
 				ways[i].stamp = c.clock
 			}
+			c.stats[set].Hits++
 			return Result{Hit: true, VictimMO: NoMO}
 		}
 	}
 
 	// Miss: choose a victim.
+	c.stats[set].Misses++
 	victim := c.chooseVictim(ways)
 	res := Result{Hit: false, VictimMO: NoMO}
 	if ways[victim].valid {
 		res.VictimMO = ways[victim].mo
 		res.SelfEvict = ways[victim].mo == mo
+		c.stats[set].Evictions++
 	}
 	ways[victim] = way{valid: true, tag: tag, mo: mo, stamp: c.clock}
 	return res
@@ -252,4 +274,68 @@ func (c *Cache) LinesOf(mo int) int {
 		}
 	}
 	return n
+}
+
+// StatsOf returns the per-set totals for a set index.
+func (c *Cache) StatsOf(set int) SetStats { return c.stats[set] }
+
+// TotalStats aggregates the per-set totals over the whole cache.
+func (c *Cache) TotalStats() SetStats {
+	var t SetStats
+	for _, s := range c.stats {
+		t.Hits += s.Hits
+		t.Misses += s.Misses
+		t.Evictions += s.Evictions
+	}
+	return t
+}
+
+// DumpState writes a human-readable per-set snapshot of the cache: the
+// resident line of every way (reconstructed address and owning memory
+// object) plus the set's hit/miss/eviction totals — live cache
+// inspection for the simulated hierarchy. Sets that are empty and were
+// never touched are elided.
+func (c *Cache) DumpState(w io.Writer) error {
+	total := c.TotalStats()
+	if _, err := fmt.Fprintf(w, "cache %dB %d-way %dB-lines (%d sets): %d hits %d misses %d evictions\n",
+		c.cfg.SizeBytes, c.cfg.Assoc, c.cfg.LineBytes, c.cfg.Sets(),
+		total.Hits, total.Misses, total.Evictions); err != nil {
+		return err
+	}
+	setBits := log2(uint32(c.cfg.Sets()))
+	for set := 0; set < c.cfg.Sets(); set++ {
+		st := c.stats[set]
+		base := set * c.cfg.Assoc
+		ways := c.sets[base : base+c.cfg.Assoc]
+		occupied := 0
+		for _, wy := range ways {
+			if wy.valid {
+				occupied++
+			}
+		}
+		if occupied == 0 && st == (SetStats{}) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  set %4d: hits=%-8d misses=%-8d evictions=%-8d",
+			set, st.Hits, st.Misses, st.Evictions); err != nil {
+			return err
+		}
+		for wi, wy := range ways {
+			if !wy.valid {
+				continue
+			}
+			addr := (wy.tag<<setBits | uint32(set)) << c.indexShift
+			mo := "cold"
+			if wy.mo != NoMO {
+				mo = fmt.Sprintf("mo=%d", wy.mo)
+			}
+			if _, err := fmt.Fprintf(w, " way%d[%#x %s]", wi, addr, mo); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -230,5 +231,50 @@ func TestNoMissesWhenWorkingSetFits(t *testing.T) {
 		if r := c.Access(a, 1); !r.Hit {
 			t.Fatalf("unexpected miss at %#x", a)
 		}
+	}
+}
+
+func TestSetStatsAndDumpState(t *testing.T) {
+	c := MustNew(dm128())
+	c.Access(0x100, 1) // set 0: cold miss
+	c.Access(0x100, 1) // set 0: hit
+	c.Access(0x200, 2) // set 0: miss, evicts mo 1
+	c.Access(0x110, 3) // set 1: cold miss
+
+	if got := c.StatsOf(0); got != (SetStats{Hits: 1, Misses: 2, Evictions: 1}) {
+		t.Errorf("StatsOf(0) = %+v", got)
+	}
+	if got := c.StatsOf(1); got != (SetStats{Misses: 1}) {
+		t.Errorf("StatsOf(1) = %+v", got)
+	}
+	if got := c.TotalStats(); got != (SetStats{Hits: 1, Misses: 3, Evictions: 1}) {
+		t.Errorf("TotalStats = %+v", got)
+	}
+
+	var buf strings.Builder
+	if err := c.DumpState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Header carries the geometry and totals; per-set lines carry stats
+	// and resident ways with reconstructed addresses.
+	for _, want := range []string{
+		"cache 128B 1-way 16B-lines (8 sets): 1 hits 3 misses 1 evictions",
+		"set    0:",
+		"way0[0x200 mo=2]", // mo 1's line replaced by mo 2
+		"way0[0x110 mo=3]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DumpState output missing %q:\n%s", want, out)
+		}
+	}
+	// Untouched sets are elided: only sets 0 and 1 plus the header.
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Errorf("DumpState wrote %d lines, want 3:\n%s", got, out)
+	}
+
+	c.Reset()
+	if got := c.TotalStats(); got != (SetStats{}) {
+		t.Errorf("TotalStats after Reset = %+v", got)
 	}
 }

@@ -161,6 +161,91 @@ func (g *Graph) Prune(maxEdges int) *Graph {
 	return ng
 }
 
+// WriteHeatmap renders the conflict matrix m_ij as a text heatmap:
+// one row per victim, one column per evictor, each cell a single
+// intensity character on a log10 scale (".": 1-9 misses, "1": 10-99,
+// "2": 100-999, ... ; space: none). Only vertices participating in at
+// least one edge appear; if more than maxDim participate, the heaviest
+// (by misses suffered + inflicted) are kept and the truncation is
+// reported in the header rather than applied silently. maxDim <= 0
+// means no limit. The output is the introspection companion of
+// WriteDOT: small enough to eyeball, faithful enough to spot the
+// thrashing pairs the CASA ILP exists to break.
+func (g *Graph) WriteHeatmap(w io.Writer, maxDim int) error {
+	// Collect participating vertices and their total involvement.
+	involved := map[int]int64{}
+	for k, v := range g.weights {
+		involved[k[0]] += v
+		involved[k[1]] += v
+	}
+	verts := make([]int, 0, len(involved))
+	for i := range involved {
+		verts = append(verts, i)
+	}
+	sort.Ints(verts)
+	shown := len(verts)
+	if maxDim > 0 && shown > maxDim {
+		sort.Slice(verts, func(a, b int) bool {
+			if involved[verts[a]] != involved[verts[b]] {
+				return involved[verts[a]] > involved[verts[b]]
+			}
+			return verts[a] < verts[b]
+		})
+		verts = verts[:maxDim]
+		sort.Ints(verts)
+	}
+	if _, err := fmt.Fprintf(w, "conflict heatmap: %d vertices, %d edges, %d total misses (showing %d of %d conflicting vertices)\n",
+		g.N(), g.NumEdges(), g.TotalConflictMisses(), len(verts), shown); err != nil {
+		return err
+	}
+	if len(verts) == 0 {
+		return nil
+	}
+	// Column header: evictor indices, vertical-ish (last two digits).
+	if _, err := fmt.Fprintf(w, "%16s ", "victim\\evictor"); err != nil {
+		return err
+	}
+	for _, j := range verts {
+		if _, err := fmt.Fprintf(w, "%2d", j%100); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, i := range verts {
+		if _, err := fmt.Fprintf(w, "x%-4d %9d ", i, g.ConflictMissesOf(i)); err != nil {
+			return err
+		}
+		for _, j := range verts {
+			if _, err := fmt.Fprintf(w, " %c", heatChar(g.Misses(i, j))); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// heatChar maps a miss count to its log10 intensity character.
+func heatChar(n int64) byte {
+	switch {
+	case n <= 0:
+		return ' '
+	case n < 10:
+		return '.'
+	default:
+		d := byte('0')
+		for n >= 10 && d < '9' {
+			n /= 10
+			d++
+		}
+		return d
+	}
+}
+
 // WriteDOT renders the graph in Graphviz DOT form, with vertex fetch
 // counts and edge miss weights, for visual inspection.
 func (g *Graph) WriteDOT(w io.Writer, names []string) error {

@@ -166,3 +166,57 @@ func TestConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWriteHeatmap(t *testing.T) {
+	g := sample()
+	var buf strings.Builder
+	if err := g.WriteHeatmap(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Vertex 3 has no edges and must not appear; the header states the
+	// full geometry and the shown/participating counts.
+	if !strings.Contains(out, "4 vertices, 4 edges, 34 total misses (showing 3 of 3 conflicting vertices)") {
+		t.Errorf("heatmap header wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + column header + 3 rows
+		t.Fatalf("heatmap has %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Row for victim 0: m_01=10 → '1', m_02=5 → '.', m_00=0 → ' '.
+	row0 := lines[2]
+	if !strings.HasPrefix(row0, "x0") || !strings.Contains(row0, "15 ") {
+		t.Errorf("row 0 missing vertex id or miss total: %q", row0)
+	}
+	cells := row0[len(row0)-6:] // three " %c" cells
+	if cells != "   1 ." {
+		t.Errorf("row 0 cells = %q, want %q", cells, "   1 .")
+	}
+
+	// Truncation to the heaviest vertices is stated, not silent:
+	// involvement is 0:27, 1:22, 2:19, so maxDim=2 keeps {0,1}.
+	buf.Reset()
+	if err := g.WriteHeatmap(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "(showing 2 of 3 conflicting vertices)") {
+		t.Errorf("truncated heatmap header wrong:\n%s", out)
+	}
+	if strings.Contains(out, "x2") {
+		t.Errorf("truncated heatmap still shows the lightest vertex:\n%s", out)
+	}
+}
+
+func TestHeatChar(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want byte
+	}{{0, ' '}, {-3, ' '}, {1, '.'}, {9, '.'}, {10, '1'}, {99, '1'},
+		{100, '2'}, {1e6, '6'}, {1e12, '9'}}
+	for _, c := range cases {
+		if got := heatChar(c.n); got != c.want {
+			t.Errorf("heatChar(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

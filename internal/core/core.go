@@ -24,10 +24,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/conflict"
 	"repro/internal/ilp"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -194,13 +196,30 @@ func BuildModel(set *trace.Set, g *conflict.Graph, p Params) (*ilp.Model, []ilp.
 }
 
 // Allocate runs CASA: it formulates and solves the ILP and returns the
-// optimal trace selection.
-func Allocate(set *trace.Set, g *conflict.Graph, p Params) (*Allocation, error) {
+// optimal trace selection. The context carries the optional tracing span
+// tree (obs.WithTracer); ilp-build and ilp-solve are recorded separately
+// because their costs scale differently with the conflict graph.
+func Allocate(ctx context.Context, set *trace.Set, g *conflict.Graph, p Params) (*Allocation, error) {
+	ctx, bs := obs.StartSpan(ctx, "ilp-build")
 	m, l, err := BuildModel(set, g, p)
+	bs.SetAttr("vars", 0)
+	if m != nil {
+		bs.SetAttr("vars", m.NumVars())
+	}
+	bs.End()
 	if err != nil {
 		return nil, err
 	}
+	if p.Solver.Trace == nil && obs.TraceEnabled() {
+		p.Solver.Trace = obs.TraceWriter()
+	}
+	_, ss := obs.StartSpan(ctx, "ilp-solve")
 	sol, err := ilp.Solve(m, p.Solver)
+	if sol != nil {
+		ss.SetAttr("nodes", sol.Nodes)
+		ss.SetAttr("iters", sol.SimplexIters)
+	}
+	ss.End()
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +272,9 @@ func PredictEnergy(set *trace.Set, g *conflict.Graph, p Params, inSPM []bool) fl
 // with the best marginal energy saving per byte into the scratchpad,
 // re-evaluating marginals as conflicts disappear, until nothing fits or no
 // move saves energy.
-func GreedyAllocate(set *trace.Set, g *conflict.Graph, p Params) (*Allocation, error) {
+func GreedyAllocate(ctx context.Context, set *trace.Set, g *conflict.Graph, p Params) (*Allocation, error) {
+	_, sp := obs.StartSpan(ctx, "greedy-allocate")
+	defer sp.End()
 	if err := p.validate(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -79,15 +80,15 @@ func TestParamsValidate(t *testing.T) {
 		{SPMSize: 64, ESPHit: 1, ECacheHit: 2, ECacheMiss: 2},
 	}
 	for _, p := range bad {
-		if _, err := Allocate(set, g, p); err == nil {
+		if _, err := Allocate(context.Background(), set, g, p); err == nil {
 			t.Errorf("Allocate accepted %+v", p)
 		}
-		if _, err := GreedyAllocate(set, g, p); err == nil {
+		if _, err := GreedyAllocate(context.Background(), set, g, p); err == nil {
 			t.Errorf("GreedyAllocate accepted %+v", p)
 		}
 	}
 	// Mismatched graph size.
-	if _, err := Allocate(set, conflict.New(make([]int64, 99)), defaultParams(64)); err == nil {
+	if _, err := Allocate(context.Background(), set, conflict.New(make([]int64, 99)), defaultParams(64)); err == nil {
 		t.Error("Allocate accepted mismatched graph")
 	}
 }
@@ -114,7 +115,7 @@ func TestNoConflictsReducesToKnapsack(t *testing.T) {
 	ids := loopTraces(set, 3)
 	// Room for exactly two loop traces.
 	spm := set.Traces[ids[0]].RawBytes + set.Traces[ids[2]].RawBytes
-	a, err := Allocate(set, g, defaultParams(spm))
+	a, err := Allocate(context.Background(), set, g, defaultParams(spm))
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -154,7 +155,7 @@ func TestConflictsChangeTheChoice(t *testing.T) {
 
 	spm := set.Traces[ids[0]].RawBytes // room for one
 	p := defaultParams(spm)
-	a, err := Allocate(set, g, p)
+	a, err := Allocate(context.Background(), set, g, p)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -192,11 +193,11 @@ func TestFaithfulAndTightAgree(t *testing.T) {
 		pt.Linearization = Tight
 		pf := defaultParams(spm)
 		pf.Linearization = Faithful
-		at, err := Allocate(set, g, pt)
+		at, err := Allocate(context.Background(), set, g, pt)
 		if err != nil {
 			t.Fatalf("tight: %v", err)
 		}
-		af, err := Allocate(set, g, pf)
+		af, err := Allocate(context.Background(), set, g, pf)
 		if err != nil {
 			t.Fatalf("faithful: %v", err)
 		}
@@ -224,7 +225,7 @@ func TestSelfConflictHandled(t *testing.T) {
 	g.AddMisses(ids[0], ids[0], 200)
 
 	spm := set.Traces[ids[0]].RawBytes
-	a, err := Allocate(set, g, defaultParams(spm))
+	a, err := Allocate(context.Background(), set, g, defaultParams(spm))
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -245,7 +246,7 @@ func TestOversizedTraceNeverSelected(t *testing.T) {
 	g := conflict.New(fetches)
 	ids := loopTraces(set, 2)
 	spm := set.Traces[ids[1]].RawBytes + 8 // big trace cannot fit
-	a, err := Allocate(set, g, defaultParams(spm))
+	a, err := Allocate(context.Background(), set, g, defaultParams(spm))
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -270,7 +271,7 @@ func TestPredictedEnergyMatchesEval(t *testing.T) {
 	g.AddMisses(ids[0], ids[1], 40)
 	g.AddMisses(ids[1], ids[2], 25)
 	p := defaultParams(80)
-	a, err := Allocate(set, g, p)
+	a, err := Allocate(context.Background(), set, g, p)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -308,7 +309,7 @@ func TestILPMatchesExhaustive(t *testing.T) {
 			g.AddMisses(a, b, int64(10+next(200)))
 		}
 		p := defaultParams(40 + next(200))
-		a, err := Allocate(set, g, p)
+		a, err := Allocate(context.Background(), set, g, p)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -356,14 +357,14 @@ func TestGreedyIsFeasibleAndNeverBeatsILP(t *testing.T) {
 	g.AddMisses(ids[1], ids[4], 80)
 	for _, spm := range []int{48, 96, 200} {
 		p := defaultParams(spm)
-		gr, err := GreedyAllocate(set, g, p)
+		gr, err := GreedyAllocate(context.Background(), set, g, p)
 		if err != nil {
 			t.Fatalf("greedy: %v", err)
 		}
 		if gr.UsedBytes > spm {
 			t.Fatalf("greedy overflow: %d > %d", gr.UsedBytes, spm)
 		}
-		opt, err := Allocate(set, g, p)
+		opt, err := Allocate(context.Background(), set, g, p)
 		if err != nil {
 			t.Fatalf("ilp: %v", err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -87,7 +88,7 @@ func TestMultiSPMMatchesSingleWhenOneSPM(t *testing.T) {
 	g.AddMisses(ids[1], ids[0], 70)
 
 	spm := 96
-	single, err := Allocate(set, g, defaultParams(spm))
+	single, err := Allocate(context.Background(), set, g, defaultParams(spm))
 	if err != nil {
 		t.Fatalf("single: %v", err)
 	}

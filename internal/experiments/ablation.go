@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -21,16 +22,16 @@ type CopyVsMove struct {
 }
 
 // AblateCopyVsMove runs the ablation on one pipeline.
-func AblateCopyVsMove(p *Pipeline) (*CopyVsMove, error) {
-	alloc, err := p.CASAAllocation()
+func AblateCopyVsMove(ctx context.Context, p *Pipeline) (*CopyVsMove, error) {
+	alloc, err := p.CASAAllocation(ctx)
 	if err != nil {
 		return nil, err
 	}
-	cp, err := p.RunSelection("casa-copy", alloc.InSPM, layout.Copy)
+	cp, err := p.RunSelection(ctx, "casa-copy", alloc.InSPM, layout.Copy)
 	if err != nil {
 		return nil, err
 	}
-	mv, err := p.RunSelection("casa-move", alloc.InSPM, layout.Move)
+	mv, err := p.RunSelection(ctx, "casa-move", alloc.InSPM, layout.Move)
 	if err != nil {
 		return nil, err
 	}
@@ -73,13 +74,13 @@ type LinearizationAblation struct {
 const FaithfulNodeCap = 20000
 
 // AblateLinearization runs both formulations on one pipeline.
-func AblateLinearization(p *Pipeline) (*LinearizationAblation, error) {
+func AblateLinearization(ctx context.Context, p *Pipeline) (*LinearizationAblation, error) {
 	out := &LinearizationAblation{}
 	prm := p.casaParams()
 
 	prm.Linearization = core.Tight
 	t0 := time.Now()
-	at, err := core.Allocate(p.Set, p.Graph, prm)
+	at, err := core.Allocate(ctx, p.Set, p.Graph, prm)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +93,7 @@ func AblateLinearization(p *Pipeline) (*LinearizationAblation, error) {
 	prm.Linearization = core.Faithful
 	prm.Solver = ilp.Options{MaxNodes: FaithfulNodeCap}
 	t0 = time.Now()
-	af, err := core.Allocate(p.Set, p.Graph, prm)
+	af, err := core.Allocate(ctx, p.Set, p.Graph, prm)
 	if err != nil {
 		return nil, err
 	}
@@ -116,21 +117,21 @@ type GreedyVsILP struct {
 }
 
 // AblateGreedyVsILP runs the ablation on one pipeline.
-func AblateGreedyVsILP(p *Pipeline) (*GreedyVsILP, error) {
+func AblateGreedyVsILP(ctx context.Context, p *Pipeline) (*GreedyVsILP, error) {
 	prm := p.casaParams()
-	opt, err := p.CASAAllocation()
+	opt, err := p.CASAAllocation(ctx)
 	if err != nil {
 		return nil, err
 	}
-	gr, err := core.GreedyAllocate(p.Set, p.Graph, prm)
+	gr, err := core.GreedyAllocate(ctx, p.Set, p.Graph, prm)
 	if err != nil {
 		return nil, err
 	}
-	optRun, err := p.RunSelection("casa-ilp", opt.InSPM, layout.Copy)
+	optRun, err := p.RunSelection(ctx, "casa-ilp", opt.InSPM, layout.Copy)
 	if err != nil {
 		return nil, err
 	}
-	grRun, err := p.RunSelection("casa-greedy", gr.InSPM, layout.Copy)
+	grRun, err := p.RunSelection(ctx, "casa-greedy", gr.InSPM, layout.Copy)
 	if err != nil {
 		return nil, err
 	}
@@ -178,33 +179,33 @@ type AblationSet struct {
 
 // Ablations runs the three design-choice ablations on the suite's worker
 // pool (each ablation is one cell; they write disjoint fields).
-func Ablations(s *Suite, cfg AblationConfig) (*AblationSet, error) {
+func Ablations(ctx context.Context, s *Suite, cfg AblationConfig) (*AblationSet, error) {
 	out := &AblationSet{}
-	tasks := []func() error{
-		func() error {
-			p, err := s.Pipeline(cfg.Main.Workload, cfg.Main.Cache, cfg.Main.SPMSize)
+	tasks := []func(ctx context.Context) error{
+		func(ctx context.Context) error {
+			p, err := s.Pipeline(ctx, cfg.Main.Workload, cfg.Main.Cache, cfg.Main.SPMSize)
 			if err == nil {
-				out.CopyMove, err = AblateCopyVsMove(p)
+				out.CopyMove, err = AblateCopyVsMove(ctx, p)
 			}
 			return err
 		},
-		func() error {
-			p, err := s.Pipeline(cfg.Linearization.Workload, cfg.Linearization.Cache, cfg.Linearization.SPMSize)
+		func(ctx context.Context) error {
+			p, err := s.Pipeline(ctx, cfg.Linearization.Workload, cfg.Linearization.Cache, cfg.Linearization.SPMSize)
 			if err == nil {
-				out.Linearization, err = AblateLinearization(p)
+				out.Linearization, err = AblateLinearization(ctx, p)
 			}
 			return err
 		},
-		func() error {
-			p, err := s.Pipeline(cfg.Main.Workload, cfg.Main.Cache, cfg.Main.SPMSize)
+		func(ctx context.Context) error {
+			p, err := s.Pipeline(ctx, cfg.Main.Workload, cfg.Main.Cache, cfg.Main.SPMSize)
 			if err == nil {
-				out.GreedyILP, err = AblateGreedyVsILP(p)
+				out.GreedyILP, err = AblateGreedyVsILP(ctx, p)
 			}
 			return err
 		},
 	}
-	if _, err := runCells(s, len(tasks), func(i int) (struct{}, error) {
-		return struct{}{}, tasks[i]()
+	if _, err := runCells(ctx, s, len(tasks), func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, tasks[i](ctx)
 	}); err != nil {
 		return nil, err
 	}

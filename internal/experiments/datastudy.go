@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -63,18 +64,18 @@ func DefaultDataStudy() DataStudyConfig {
 }
 
 // DataStudy runs the comparison, one worker per configuration.
-func DataStudy(s *Suite, cfg DataStudyConfig) ([]DataRow, error) {
-	return runCells(s, len(cfg.Rows), func(i int) (DataRow, error) {
+func DataStudy(ctx context.Context, s *Suite, cfg DataStudyConfig) ([]DataRow, error) {
+	return runCells(ctx, s, len(cfg.Rows), func(ctx context.Context, i int) (DataRow, error) {
 		rc := cfg.Rows[i]
-		p, err := s.Pipeline(rc.Workload, rc.Cache, rc.SPMSize)
+		p, err := s.Pipeline(ctx, rc.Workload, rc.Cache, rc.SPMSize)
 		if err != nil {
 			return DataRow{}, err
 		}
-		return dataRow(p)
+		return dataRow(ctx, p)
 	})
 }
 
-func dataRow(p *Pipeline) (DataRow, error) {
+func dataRow(ctx context.Context, p *Pipeline) (DataRow, error) {
 	prm := core.DataParams{
 		Params:    p.casaParams(),
 		EMainData: energy.MainMemoryWord(),
@@ -83,7 +84,7 @@ func dataRow(p *Pipeline) (DataRow, error) {
 	accesses := core.DataAccessCounts(p.Prog, p.Prof)
 
 	// (a) Code only: classic CASA; all data off-chip.
-	codeOnly, err := p.RunCASA()
+	codeOnly, err := p.RunCASA(ctx)
 	if err != nil {
 		return DataRow{}, err
 	}
@@ -96,7 +97,7 @@ func dataRow(p *Pipeline) (DataRow, error) {
 	if err != nil {
 		return DataRow{}, err
 	}
-	cacheOnly, err := p.RunCacheOnly()
+	cacheOnly, err := p.RunCacheOnly(ctx)
 	if err != nil {
 		return DataRow{}, err
 	}
@@ -107,7 +108,7 @@ func dataRow(p *Pipeline) (DataRow, error) {
 	if err != nil {
 		return DataRow{}, err
 	}
-	jointRun, err := p.RunSelection("casa+data", joint.InSPM, layout.Copy)
+	jointRun, err := p.RunSelection(ctx, "casa+data", joint.InSPM, layout.Copy)
 	if err != nil {
 		return DataRow{}, err
 	}

@@ -35,11 +35,24 @@ import (
 	"repro/internal/layout"
 	"repro/internal/loopcache"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/steinke"
 	"repro/internal/trace"
 	"repro/internal/workload"
+)
+
+// Memoization effectiveness counters. Hit rates are the observability
+// pay-off metric of the PR 1 memo layers: a warm second round should show
+// pipeline/outcome hits near 100%.
+var (
+	mPipeHits    = obs.GetCounter("casa_pipeline_memo_hits_total")
+	mPipeMisses  = obs.GetCounter("casa_pipeline_memo_misses_total")
+	mOutHits     = obs.GetCounter("casa_outcome_memo_hits_total")
+	mOutMisses   = obs.GetCounter("casa_outcome_memo_misses_total")
+	mAllocHits   = obs.GetCounter("casa_alloc_memo_hits_total")
+	mAllocMisses = obs.GetCounter("casa_alloc_memo_misses_total")
 )
 
 // CacheSpec selects the I-cache configuration of an experiment.
@@ -124,46 +137,65 @@ type allocEntry struct {
 // Prepare builds the pipeline for one (workload, cache, scratchpad size)
 // configuration: it profiles the program, forms traces, lays them out
 // without a scratchpad and runs the conflict-tracking profiling
-// simulation.
-func Prepare(name string, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
+// simulation. The context carries the optional tracing span tree
+// (obs.WithTracer); each preparation stage records its own child span.
+func Prepare(ctx context.Context, name string, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
 	prog, err := workload.Shared(name)
 	if err != nil {
 		return nil, err
 	}
-	return PrepareProgram(prog, cacheSpec, spmSize)
+	return PrepareProgram(ctx, prog, cacheSpec, spmSize)
 }
 
 // PrepareProgram is Prepare for an already-constructed program (custom
 // workloads, tests). The program must not be mutated afterwards: profiles
 // and fetch streams are memoized process-wide per program instance.
-func PrepareProgram(prog *ir.Program, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
+func PrepareProgram(ctx context.Context, prog *ir.Program, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
+	ctx, ps := obs.StartSpan(ctx, "prepare")
+	defer ps.End()
+	ps.SetAttr("workload", prog.Name)
+	ps.SetAttr("cache_bytes", cacheSpec.Size)
+	ps.SetAttr("spm_bytes", spmSize)
+
+	_, sp := obs.StartSpan(ctx, "profile")
 	prof, err := sim.CachedProfile(prog)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: profile %s: %w", prog.Name, err)
 	}
+	_, sp = obs.StartSpan(ctx, "trace-partition")
 	set, err := trace.Build(prog, prof, trace.Options{MaxBytes: spmSize, LineBytes: cacheSpec.Line})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: traces %s: %w", prog.Name, err)
 	}
+	_, sp = obs.StartSpan(ctx, "layout")
 	plain, err := layout.New(set, nil, layout.Options{})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	_, sp = obs.StartSpan(ctx, "energy-model")
 	cost, err := energy.NewCostModel(energy.Config{
 		Cache:    cacheSpec.geometry(),
 		SPMBytes: spmSize,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	_, sp = obs.StartSpan(ctx, "baseline-sim")
 	base, err := memsim.Run(prog, plain, memsim.Config{
 		Cache:          cacheSpec.cacheConfig(),
 		Cost:           cost,
 		TrackConflicts: true,
+		KeepCache:      true,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	_, sp = obs.StartSpan(ctx, "conflict-graph")
 	fetches := make([]int64, len(set.Traces))
 	for i, t := range set.Traces {
 		fetches[i] = t.Fetches
@@ -172,6 +204,8 @@ func PrepareProgram(prog *ir.Program, cacheSpec CacheSpec, spmSize int) (*Pipeli
 	for k, v := range base.Conflicts {
 		g.AddMisses(k.Victim, k.Evictor, v)
 	}
+	sp.SetAttr("edges", g.NumEdges())
+	sp.End()
 	return &Pipeline{
 		Workload: prog.Name,
 		Prog:     prog,
@@ -226,7 +260,9 @@ func (p *Pipeline) casaParams() core.Params {
 }
 
 // outcome returns the memoized result for key, computing it at most once
-// via fn even under concurrent callers.
+// via fn even under concurrent callers. Lookups are counted in the memo
+// hit/miss metrics; a "hit" is any call that finds the entry already
+// created (it may still block briefly on the in-flight computation).
 func (p *Pipeline) outcome(key string, fn func() (*Outcome, error)) (*Outcome, error) {
 	p.mu.Lock()
 	if p.outcomes == nil {
@@ -238,21 +274,35 @@ func (p *Pipeline) outcome(key string, fn func() (*Outcome, error)) (*Outcome, e
 		p.outcomes[key] = e
 	}
 	p.mu.Unlock()
+	if ok {
+		mOutHits.Inc()
+	} else {
+		mOutMisses.Inc()
+	}
 	e.once.Do(func() { e.out, e.err = fn() })
 	return e.out, e.err
 }
 
 // CASAAllocation returns the pipeline's CASA ILP allocation, solved at
 // most once; RunCASA, the ablations and the WCET study all share it.
-func (p *Pipeline) CASAAllocation() (*core.Allocation, error) {
+func (p *Pipeline) CASAAllocation(ctx context.Context) (*core.Allocation, error) {
 	p.mu.Lock()
-	if p.alloc == nil {
+	created := p.alloc == nil
+	if created {
 		p.alloc = &allocEntry{}
 	}
 	e := p.alloc
 	p.mu.Unlock()
+	if created {
+		mAllocMisses.Inc()
+	} else {
+		mAllocHits.Inc()
+	}
 	e.once.Do(func() {
-		e.alloc, e.err = core.Allocate(p.Set, p.Graph, p.casaParams())
+		actx, sp := obs.StartSpan(ctx, "allocate")
+		defer sp.End()
+		sp.SetAttr("workload", p.Workload)
+		e.alloc, e.err = core.Allocate(actx, p.Set, p.Graph, p.casaParams())
 		if e.err != nil {
 			e.err = fmt.Errorf("experiments: casa %s/%d: %w", p.Workload, p.SPMSize, e.err)
 		}
@@ -262,44 +312,44 @@ func (p *Pipeline) CASAAllocation() (*core.Allocation, error) {
 
 // RunCASA allocates with the paper's algorithm (copy semantics) and
 // simulates the result.
-func (p *Pipeline) RunCASA() (*Outcome, error) {
+func (p *Pipeline) RunCASA(ctx context.Context) (*Outcome, error) {
 	return p.outcome("casa", func() (*Outcome, error) {
-		alloc, err := p.CASAAllocation()
+		alloc, err := p.CASAAllocation(ctx)
 		if err != nil {
 			return nil, err
 		}
-		return p.runSPM("casa", alloc.InSPM, layout.Copy, alloc.UsedBytes, alloc.Nodes)
+		return p.runSPM(ctx, "casa", alloc.InSPM, layout.Copy, alloc.UsedBytes, alloc.Nodes)
 	})
 }
 
 // RunCASAGreedy runs the greedy variant of the fine-grained model (for
 // ablation).
-func (p *Pipeline) RunCASAGreedy() (*Outcome, error) {
+func (p *Pipeline) RunCASAGreedy(ctx context.Context) (*Outcome, error) {
 	return p.outcome("casa-greedy", func() (*Outcome, error) {
-		alloc, err := core.GreedyAllocate(p.Set, p.Graph, p.casaParams())
+		alloc, err := core.GreedyAllocate(ctx, p.Set, p.Graph, p.casaParams())
 		if err != nil {
 			return nil, err
 		}
-		return p.runSPM("casa-greedy", alloc.InSPM, layout.Copy, alloc.UsedBytes, 0)
+		return p.runSPM(ctx, "casa-greedy", alloc.InSPM, layout.Copy, alloc.UsedBytes, 0)
 	})
 }
 
 // RunSteinke allocates with the cache-unaware knapsack baseline [13]
 // (move semantics) and simulates the result.
-func (p *Pipeline) RunSteinke() (*Outcome, error) {
+func (p *Pipeline) RunSteinke(ctx context.Context) (*Outcome, error) {
 	return p.outcome("steinke", func() (*Outcome, error) {
 		alloc, err := steinke.Allocate(p.Set, p.SPMSize)
 		if err != nil {
 			return nil, err
 		}
-		return p.runSPM("steinke", alloc.InSPM, layout.Move, alloc.UsedBytes, 0)
+		return p.runSPM(ctx, "steinke", alloc.InSPM, layout.Move, alloc.UsedBytes, 0)
 	})
 }
 
 // RunSelection simulates an arbitrary scratchpad selection under the given
 // placement semantics; the ablation benches use it to isolate copy vs.
 // move effects.
-func (p *Pipeline) RunSelection(name string, inSPM []bool, mode layout.Mode) (*Outcome, error) {
+func (p *Pipeline) RunSelection(ctx context.Context, name string, inSPM []bool, mode layout.Mode) (*Outcome, error) {
 	used := 0
 	placed := 0
 	for i, in := range inSPM {
@@ -308,18 +358,23 @@ func (p *Pipeline) RunSelection(name string, inSPM []bool, mode layout.Mode) (*O
 			placed++
 		}
 	}
-	return p.runSPM(name, inSPM, mode, used, 0)
+	return p.runSPM(ctx, name, inSPM, mode, used, 0)
 }
 
-func (p *Pipeline) runSPM(name string, inSPM []bool, mode layout.Mode, used, nodes int) (*Outcome, error) {
+func (p *Pipeline) runSPM(ctx context.Context, name string, inSPM []bool, mode layout.Mode, used, nodes int) (*Outcome, error) {
+	_, sp := obs.StartSpan(ctx, "spm-layout")
 	lay, err := layout.New(p.Set, inSPM, layout.Options{Mode: mode, SPMSize: p.SPMSize})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	_, sp = obs.StartSpan(ctx, "simulate")
+	sp.SetAttr("allocator", name)
 	res, err := memsim.Run(p.Prog, lay, memsim.Config{
 		Cache: p.Cache.cacheConfig(),
 		Cost:  p.Cost,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -336,11 +391,11 @@ func (p *Pipeline) runSPM(name string, inSPM []bool, mode layout.Mode, used, nod
 // heuristic [12] and simulates the result. The loop cache replaces the
 // scratchpad (Figure 1(b)); the main-memory layout is the plain trace
 // layout.
-func (p *Pipeline) RunLoopCache() (*Outcome, error) {
-	return p.outcome("loopcache", p.runLoopCache)
+func (p *Pipeline) RunLoopCache(ctx context.Context) (*Outcome, error) {
+	return p.outcome("loopcache", func() (*Outcome, error) { return p.runLoopCache(ctx) })
 }
 
-func (p *Pipeline) runLoopCache() (*Outcome, error) {
+func (p *Pipeline) runLoopCache(ctx context.Context) (*Outcome, error) {
 	plain, err := layout.New(p.Set, nil, layout.Options{})
 	if err != nil {
 		return nil, err
@@ -361,11 +416,14 @@ func (p *Pipeline) runLoopCache() (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	_, sp := obs.StartSpan(ctx, "simulate")
+	sp.SetAttr("allocator", "loopcache")
 	res, err := memsim.Run(p.Prog, plain, memsim.Config{
 		Cache:     p.Cache.cacheConfig(),
 		LoopCache: ctrl,
 		Cost:      cost,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -374,11 +432,11 @@ func (p *Pipeline) runLoopCache() (*Outcome, error) {
 
 // RunCacheOnly simulates the trace layout with no scratchpad or loop
 // cache: the reference hierarchy.
-func (p *Pipeline) RunCacheOnly() (*Outcome, error) {
-	return p.outcome("cache-only", p.runCacheOnly)
+func (p *Pipeline) RunCacheOnly(ctx context.Context) (*Outcome, error) {
+	return p.outcome("cache-only", func() (*Outcome, error) { return p.runCacheOnly(ctx) })
 }
 
-func (p *Pipeline) runCacheOnly() (*Outcome, error) {
+func (p *Pipeline) runCacheOnly(ctx context.Context) (*Outcome, error) {
 	plain, err := layout.New(p.Set, nil, layout.Options{})
 	if err != nil {
 		return nil, err
@@ -387,10 +445,13 @@ func (p *Pipeline) runCacheOnly() (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	_, sp := obs.StartSpan(ctx, "simulate")
+	sp.SetAttr("allocator", "cache-only")
 	res, err := memsim.Run(p.Prog, plain, memsim.Config{
 		Cache: p.Cache.cacheConfig(),
 		Cost:  cost,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -446,7 +507,7 @@ func (s *Suite) Workers() int {
 
 // Pipeline returns the (possibly cached) pipeline for a configuration.
 // Concurrent callers of the same configuration share one preparation.
-func (s *Suite) Pipeline(name string, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
+func (s *Suite) Pipeline(ctx context.Context, name string, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
 	k := suiteKey{name: name, cache: cacheSpec, spmSize: spmSize}
 	s.mu.Lock()
 	e, ok := s.pipelines[k]
@@ -455,14 +516,26 @@ func (s *Suite) Pipeline(name string, cacheSpec CacheSpec, spmSize int) (*Pipeli
 		s.pipelines[k] = e
 	}
 	s.mu.Unlock()
-	e.once.Do(func() { e.p, e.err = Prepare(name, cacheSpec, spmSize) })
+	if ok {
+		mPipeHits.Inc()
+	} else {
+		mPipeMisses.Inc()
+	}
+	e.once.Do(func() { e.p, e.err = Prepare(ctx, name, cacheSpec, spmSize) })
 	return e.p, e.err
 }
 
 // runCells evaluates n independent experiment cells on the suite's worker
 // pool and returns their results in cell order, regardless of worker
-// count or scheduling.
-func runCells[T any](s *Suite, n int, fn func(i int) (T, error)) ([]T, error) {
-	return parallel.Map(context.Background(), n, s.Workers(),
-		func(_ context.Context, i int) (T, error) { return fn(i) })
+// count or scheduling. The caller's context — tracer included — reaches
+// every cell, so per-cell spans nest under the study span even though the
+// cells run on pool goroutines.
+func runCells[T any](ctx context.Context, s *Suite, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return parallel.Map(ctx, n, s.Workers(),
+		func(cctx context.Context, i int) (T, error) {
+			cctx, sp := obs.StartSpan(cctx, "cell")
+			defer sp.End()
+			sp.SetAttr("index", i)
+			return fn(cctx, i)
+		})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ import (
 // its ILPs solve in milliseconds.
 func fastPipeline(t *testing.T, spm int) *Pipeline {
 	t.Helper()
-	p, err := Prepare("adpcm", DM(128), spm)
+	p, err := Prepare(context.Background(), "adpcm", DM(128), spm)
 	if err != nil {
 		t.Fatalf("Prepare: %v", err)
 	}
@@ -48,25 +49,25 @@ func TestPrepareBuildsConsistentPipeline(t *testing.T) {
 }
 
 func TestPrepareUnknownWorkload(t *testing.T) {
-	if _, err := Prepare("nope", DM(128), 64); err == nil {
+	if _, err := Prepare(context.Background(), "nope", DM(128), 64); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }
 
 func TestSuiteMemoizes(t *testing.T) {
 	s := NewSuite()
-	a, err := s.Pipeline("adpcm", DM(128), 64)
+	a, err := s.Pipeline(context.Background(), "adpcm", DM(128), 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Pipeline("adpcm", DM(128), 64)
+	b, err := s.Pipeline(context.Background(), "adpcm", DM(128), 64)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Error("suite did not memoize")
 	}
-	c, err := s.Pipeline("adpcm", DM(128), 128)
+	c, err := s.Pipeline(context.Background(), "adpcm", DM(128), 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestSuiteMemoizes(t *testing.T) {
 
 func TestCASAOutcomeInvariants(t *testing.T) {
 	p := fastPipeline(t, 128)
-	casa, err := p.RunCASA()
+	casa, err := p.RunCASA(context.Background())
 	if err != nil {
 		t.Fatalf("RunCASA: %v", err)
 	}
@@ -104,11 +105,11 @@ func TestCASAOutcomeInvariants(t *testing.T) {
 func TestCASANeverWorseThanCacheOnly(t *testing.T) {
 	for _, spm := range []int{64, 128, 256} {
 		p := fastPipeline(t, spm)
-		casa, err := p.RunCASA()
+		casa, err := p.RunCASA(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		base, err := p.RunCacheOnly()
+		base, err := p.RunCacheOnly(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,14 +124,14 @@ func TestCASANeverWorseThanCacheOnly(t *testing.T) {
 
 func TestSteinkeAndLoopCacheRun(t *testing.T) {
 	p := fastPipeline(t, 128)
-	st, err := p.RunSteinke()
+	st, err := p.RunSteinke(context.Background())
 	if err != nil {
 		t.Fatalf("RunSteinke: %v", err)
 	}
 	if st.UsedBytes > p.SPMSize {
 		t.Error("knapsack overflow")
 	}
-	lc, err := p.RunLoopCache()
+	lc, err := p.RunLoopCache(context.Background())
 	if err != nil {
 		t.Fatalf("RunLoopCache: %v", err)
 	}
@@ -151,7 +152,7 @@ func TestSteinkeAndLoopCacheRun(t *testing.T) {
 
 func TestGreedyVariantRuns(t *testing.T) {
 	p := fastPipeline(t, 128)
-	gr, err := p.RunCASAGreedy()
+	gr, err := p.RunCASAGreedy(context.Background())
 	if err != nil {
 		t.Fatalf("RunCASAGreedy: %v", err)
 	}
@@ -163,7 +164,7 @@ func TestGreedyVariantRuns(t *testing.T) {
 func TestFig4SmallConfig(t *testing.T) {
 	s := NewSuite()
 	cfg := Fig4Config{Workload: "adpcm", Cache: DM(128), SPMSizes: []int{64, 128}}
-	rows, err := Fig4(s, cfg)
+	rows, err := Fig4(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatalf("Fig4: %v", err)
 	}
@@ -189,7 +190,7 @@ func TestFig4SmallConfig(t *testing.T) {
 func TestFig5SmallConfig(t *testing.T) {
 	s := NewSuite()
 	cfg := Fig5Config{Workload: "adpcm", Cache: DM(128), Sizes: []int{64, 128}}
-	rows, err := Fig5(s, cfg)
+	rows, err := Fig5(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatalf("Fig5: %v", err)
 	}
@@ -213,7 +214,7 @@ func TestTable1SmallConfig(t *testing.T) {
 	cfg := Table1Config{Benchmarks: []Table1Benchmark{
 		{Workload: "adpcm", Cache: DM(128), MemSizes: []int{64, 128}},
 	}}
-	rows, avgs, err := Table1(s, cfg)
+	rows, avgs, err := Table1(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatalf("Table1: %v", err)
 	}
@@ -234,7 +235,7 @@ func TestTable1SmallConfig(t *testing.T) {
 
 func TestAblateCopyVsMove(t *testing.T) {
 	p := fastPipeline(t, 128)
-	r, err := AblateCopyVsMove(p)
+	r, err := AblateCopyVsMove(context.Background(), p)
 	if err != nil {
 		t.Fatalf("AblateCopyVsMove: %v", err)
 	}
@@ -250,7 +251,7 @@ func TestAblateCopyVsMove(t *testing.T) {
 
 func TestAblateLinearizationAgrees(t *testing.T) {
 	p := fastPipeline(t, 128)
-	r, err := AblateLinearization(p)
+	r, err := AblateLinearization(context.Background(), p)
 	if err != nil {
 		t.Fatalf("AblateLinearization: %v", err)
 	}
@@ -265,7 +266,7 @@ func TestAblateLinearizationAgrees(t *testing.T) {
 
 func TestAblateGreedyVsILP(t *testing.T) {
 	p := fastPipeline(t, 128)
-	r, err := AblateGreedyVsILP(p)
+	r, err := AblateGreedyVsILP(context.Background(), p)
 	if err != nil {
 		t.Fatalf("AblateGreedyVsILP: %v", err)
 	}
@@ -283,7 +284,7 @@ func TestSensitivitySmallConfig(t *testing.T) {
 		Variants: []CacheSpec{DM(128), {Size: 128, Line: 16, Assoc: 2}},
 		Labels:   []string{"dm", "2-way"},
 	}
-	rows, err := Sensitivity(s, cfg)
+	rows, err := Sensitivity(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatalf("Sensitivity: %v", err)
 	}
@@ -307,7 +308,7 @@ func TestSensitivitySmallConfig(t *testing.T) {
 	// Mismatched labels rejected.
 	bad := cfg
 	bad.Labels = bad.Labels[:1]
-	if _, err := Sensitivity(s, bad); err == nil {
+	if _, err := Sensitivity(context.Background(), s, bad); err == nil {
 		t.Error("mismatched labels accepted")
 	}
 }
@@ -320,7 +321,7 @@ func TestPaperShapeAdpcm(t *testing.T) {
 	cfg := Table1Config{Benchmarks: []Table1Benchmark{
 		{Workload: "adpcm", Cache: DM(128), MemSizes: []int{64, 128, 256}},
 	}}
-	_, avgs, err := Table1(s, cfg)
+	_, avgs, err := Table1(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ func TestWCETStudySmallConfig(t *testing.T) {
 		Cache    CacheSpec
 		SPMSize  int
 	}{"adpcm", DM(128), 128})
-	rows, err := WCETStudy(s, cfg)
+	rows, err := WCETStudy(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatalf("WCETStudy: %v", err)
 	}
@@ -369,7 +370,7 @@ func TestWCETStudySmallConfig(t *testing.T) {
 }
 
 func TestOverlayStudyShape(t *testing.T) {
-	rows, err := OverlayStudy(NewSuite(), DefaultOverlayStudy())
+	rows, err := OverlayStudy(context.Background(), NewSuite(), DefaultOverlayStudy())
 	if err != nil {
 		t.Fatalf("OverlayStudy: %v", err)
 	}
@@ -411,7 +412,7 @@ func TestDataStudyShape(t *testing.T) {
 		Cache    CacheSpec
 		SPMSize  int
 	}{"adpcm", DM(128), 256})
-	rows, err := DataStudy(s, cfg)
+	rows, err := DataStudy(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatalf("DataStudy: %v", err)
 	}
@@ -445,7 +446,7 @@ func TestDataStudyShape(t *testing.T) {
 // single-level hierarchy, then evaluated under L1+L2.
 func TestL2ClaimHolds(t *testing.T) {
 	p := fastPipeline(t, 128) // adpcm, 128B L1
-	alloc, err := core.Allocate(p.Set, p.Graph, p.casaParams())
+	alloc, err := core.Allocate(context.Background(), p.Set, p.Graph, p.casaParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -509,7 +510,7 @@ func TestDefaultConfigsWellFormed(t *testing.T) {
 func TestPipelineRunSelectionMatchesCASA(t *testing.T) {
 	// RunSelection with the CASA selection must reproduce RunCASA exactly.
 	p := fastPipeline(t, 128)
-	casa, err := p.RunCASA()
+	casa, err := p.RunCASA(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -519,7 +520,7 @@ func TestPipelineRunSelectionMatchesCASA(t *testing.T) {
 			inSPM[tr.ID] = true
 		}
 	}
-	again, err := p.RunSelection("replay", inSPM, layout.Copy)
+	again, err := p.RunSelection(context.Background(), "replay", inSPM, layout.Copy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -542,11 +543,11 @@ func TestPipelineDeterminism(t *testing.T) {
 		a.Graph.TotalConflictMisses() != b.Graph.TotalConflictMisses() {
 		t.Fatal("conflict graphs differ")
 	}
-	ra, err := a.RunCASA()
+	ra, err := a.RunCASA(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := b.RunCASA()
+	rb, err := b.RunCASA(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -564,7 +565,7 @@ func TestPlacementStudyShape(t *testing.T) {
 		Cache    CacheSpec
 		SPMSize  int
 	}{"adpcm", DM(128), 128})
-	rows, err := PlacementStudy(s, cfg)
+	rows, err := PlacementStudy(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatalf("PlacementStudy: %v", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
@@ -51,18 +52,18 @@ func pct(num, den float64) float64 {
 
 // Fig4 regenerates Figure 4, evaluating the scratchpad sizes on the
 // suite's worker pool.
-func Fig4(s *Suite, cfg Fig4Config) ([]Fig4Row, error) {
-	return runCells(s, len(cfg.SPMSizes), func(i int) (Fig4Row, error) {
+func Fig4(ctx context.Context, s *Suite, cfg Fig4Config) ([]Fig4Row, error) {
+	return runCells(ctx, s, len(cfg.SPMSizes), func(ctx context.Context, i int) (Fig4Row, error) {
 		size := cfg.SPMSizes[i]
-		p, err := s.Pipeline(cfg.Workload, cfg.Cache, size)
+		p, err := s.Pipeline(ctx, cfg.Workload, cfg.Cache, size)
 		if err != nil {
 			return Fig4Row{}, err
 		}
-		casa, err := p.RunCASA()
+		casa, err := p.RunCASA(ctx)
 		if err != nil {
 			return Fig4Row{}, err
 		}
-		st, err := p.RunSteinke()
+		st, err := p.RunSteinke(ctx)
 		if err != nil {
 			return Fig4Row{}, err
 		}
@@ -123,18 +124,18 @@ type Fig5Row struct {
 
 // Fig5 regenerates Figure 5, evaluating the sizes on the suite's worker
 // pool.
-func Fig5(s *Suite, cfg Fig5Config) ([]Fig5Row, error) {
-	return runCells(s, len(cfg.Sizes), func(i int) (Fig5Row, error) {
+func Fig5(ctx context.Context, s *Suite, cfg Fig5Config) ([]Fig5Row, error) {
+	return runCells(ctx, s, len(cfg.Sizes), func(ctx context.Context, i int) (Fig5Row, error) {
 		size := cfg.Sizes[i]
-		p, err := s.Pipeline(cfg.Workload, cfg.Cache, size)
+		p, err := s.Pipeline(ctx, cfg.Workload, cfg.Cache, size)
 		if err != nil {
 			return Fig5Row{}, err
 		}
-		casa, err := p.RunCASA()
+		casa, err := p.RunCASA(ctx)
 		if err != nil {
 			return Fig5Row{}, err
 		}
-		lc, err := p.RunLoopCache()
+		lc, err := p.RunLoopCache(ctx)
 		if err != nil {
 			return Fig5Row{}, err
 		}
@@ -214,7 +215,7 @@ func improvement(casa, other float64) float64 {
 // benchmark × memory-size grid is flattened into independent cells and
 // evaluated on the suite's worker pool; averages are folded serially in
 // row order afterwards, so the output is identical to a serial run.
-func Table1(s *Suite, cfg Table1Config) ([]Table1Row, []Table1Average, error) {
+func Table1(ctx context.Context, s *Suite, cfg Table1Config) ([]Table1Row, []Table1Average, error) {
 	type cell struct {
 		bench Table1Benchmark
 		size  int
@@ -225,21 +226,21 @@ func Table1(s *Suite, cfg Table1Config) ([]Table1Row, []Table1Average, error) {
 			cells = append(cells, cell{bench: b, size: size})
 		}
 	}
-	rows, err := runCells(s, len(cells), func(i int) (Table1Row, error) {
+	rows, err := runCells(ctx, s, len(cells), func(ctx context.Context, i int) (Table1Row, error) {
 		c := cells[i]
-		p, err := s.Pipeline(c.bench.Workload, c.bench.Cache, c.size)
+		p, err := s.Pipeline(ctx, c.bench.Workload, c.bench.Cache, c.size)
 		if err != nil {
 			return Table1Row{}, err
 		}
-		casa, err := p.RunCASA()
+		casa, err := p.RunCASA(ctx)
 		if err != nil {
 			return Table1Row{}, err
 		}
-		st, err := p.RunSteinke()
+		st, err := p.RunSteinke(ctx)
 		if err != nil {
 			return Table1Row{}, err
 		}
-		lc, err := p.RunLoopCache()
+		lc, err := p.RunLoopCache(ctx)
 		if err != nil {
 			return Table1Row{}, err
 		}

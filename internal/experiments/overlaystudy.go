@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -58,19 +59,19 @@ func DefaultOverlayStudy() OverlayStudyConfig {
 }
 
 // OverlayStudy runs the comparison, one worker per configuration.
-func OverlayStudy(s *Suite, cfg OverlayStudyConfig) ([]OverlayRow, error) {
-	return runCells(s, len(cfg.Rows), func(i int) (OverlayRow, error) {
+func OverlayStudy(ctx context.Context, s *Suite, cfg OverlayStudyConfig) ([]OverlayRow, error) {
+	return runCells(ctx, s, len(cfg.Rows), func(ctx context.Context, i int) (OverlayRow, error) {
 		rc := cfg.Rows[i]
-		return overlayRow(rc.Program, rc.Cache, rc.SPMSize)
+		return overlayRow(ctx, rc.Program, rc.Cache, rc.SPMSize)
 	})
 }
 
-func overlayRow(prog *ir.Program, cacheSpec CacheSpec, spmSize int) (OverlayRow, error) {
-	pipe, err := PrepareProgram(prog, cacheSpec, spmSize)
+func overlayRow(ctx context.Context, prog *ir.Program, cacheSpec CacheSpec, spmSize int) (OverlayRow, error) {
+	pipe, err := PrepareProgram(ctx, prog, cacheSpec, spmSize)
 	if err != nil {
 		return OverlayRow{}, err
 	}
-	static, err := pipe.RunCASA()
+	static, err := pipe.RunCASA(ctx)
 	if err != nil {
 		return OverlayRow{}, err
 	}

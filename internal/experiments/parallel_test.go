@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"sync"
@@ -13,7 +14,7 @@ import (
 func renderFig4(t *testing.T, workers int) string {
 	t.Helper()
 	cfg := DefaultFig4()
-	rows, err := Fig4(NewSuite().SetWorkers(workers), cfg)
+	rows, err := Fig4(context.Background(), NewSuite().SetWorkers(workers), cfg)
 	if err != nil {
 		t.Fatalf("Fig4 (%d workers): %v", workers, err)
 	}
@@ -24,7 +25,7 @@ func renderFig4(t *testing.T, workers int) string {
 
 func renderTable1(t *testing.T, workers int) string {
 	t.Helper()
-	rows, avgs, err := Table1(NewSuite().SetWorkers(workers), DefaultTable1())
+	rows, avgs, err := Table1(context.Background(), NewSuite().SetWorkers(workers), DefaultTable1())
 	if err != nil {
 		t.Fatalf("Table1 (%d workers): %v", workers, err)
 	}
@@ -77,14 +78,14 @@ func TestSuiteConcurrentStudies(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := Fig4(s, fig4); err != nil {
+			if _, err := Fig4(context.Background(), s, fig4); err != nil {
 				t.Errorf("Fig4: %v", err)
 			}
 		}()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := Fig5(s, fig5); err != nil {
+			if _, err := Fig5(context.Background(), s, fig5); err != nil {
 				t.Errorf("Fig5: %v", err)
 			}
 		}()
@@ -109,7 +110,7 @@ func TestParallelSpeedup(t *testing.T) {
 	cfg := DefaultFig4()
 	run := func(workers int) time.Duration {
 		start := time.Now()
-		if _, err := Fig4(NewSuite().SetWorkers(workers), cfg); err != nil {
+		if _, err := Fig4(context.Background(), NewSuite().SetWorkers(workers), cfg); err != nil {
 			t.Fatalf("Fig4 (%d workers): %v", workers, err)
 		}
 		return time.Since(start)

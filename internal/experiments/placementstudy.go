@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -54,23 +55,23 @@ func DefaultPlacementStudy() PlacementStudyConfig {
 }
 
 // PlacementStudy runs the comparison, one worker per configuration.
-func PlacementStudy(s *Suite, cfg PlacementStudyConfig) ([]PlacementRow, error) {
-	return runCells(s, len(cfg.Rows), func(i int) (PlacementRow, error) {
+func PlacementStudy(ctx context.Context, s *Suite, cfg PlacementStudyConfig) ([]PlacementRow, error) {
+	return runCells(ctx, s, len(cfg.Rows), func(ctx context.Context, i int) (PlacementRow, error) {
 		rc := cfg.Rows[i]
-		p, err := s.Pipeline(rc.Workload, rc.Cache, rc.SPMSize)
+		p, err := s.Pipeline(ctx, rc.Workload, rc.Cache, rc.SPMSize)
 		if err != nil {
 			return PlacementRow{}, err
 		}
-		return placementRow(p)
+		return placementRow(ctx, p)
 	})
 }
 
-func placementRow(p *Pipeline) (PlacementRow, error) {
-	base, err := p.RunCacheOnly()
+func placementRow(ctx context.Context, p *Pipeline) (PlacementRow, error) {
+	base, err := p.RunCacheOnly(ctx)
 	if err != nil {
 		return PlacementRow{}, err
 	}
-	casa, err := p.RunCASA()
+	casa, err := p.RunCASA(ctx)
 	if err != nil {
 		return PlacementRow{}, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -67,25 +68,25 @@ func DefaultSensitivity() SensitivityConfig {
 }
 
 // Sensitivity runs the sweep.
-func Sensitivity(s *Suite, cfg SensitivityConfig) ([]SensitivityRow, error) {
+func Sensitivity(ctx context.Context, s *Suite, cfg SensitivityConfig) ([]SensitivityRow, error) {
 	if len(cfg.Variants) != len(cfg.Labels) {
 		return nil, fmt.Errorf("experiments: %d variants, %d labels", len(cfg.Variants), len(cfg.Labels))
 	}
-	return runCells(s, len(cfg.Variants), func(i int) (SensitivityRow, error) {
+	return runCells(ctx, s, len(cfg.Variants), func(ctx context.Context, i int) (SensitivityRow, error) {
 		spec := cfg.Variants[i]
-		p, err := s.Pipeline(cfg.Workload, spec, cfg.SPMSize)
+		p, err := s.Pipeline(ctx, cfg.Workload, spec, cfg.SPMSize)
 		if err != nil {
 			return SensitivityRow{}, err
 		}
-		base, err := p.RunCacheOnly()
+		base, err := p.RunCacheOnly(ctx)
 		if err != nil {
 			return SensitivityRow{}, err
 		}
-		casa, err := p.RunCASA()
+		casa, err := p.RunCASA(ctx)
 		if err != nil {
 			return SensitivityRow{}, err
 		}
-		st, err := p.RunSteinke()
+		st, err := p.RunSteinke(ctx)
 		if err != nil {
 			return SensitivityRow{}, err
 		}

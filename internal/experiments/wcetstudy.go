@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -56,18 +57,18 @@ func DefaultWCETStudy() WCETStudyConfig {
 }
 
 // WCETStudy runs the study, one worker per configuration.
-func WCETStudy(s *Suite, cfg WCETStudyConfig) ([]WCETRow, error) {
-	return runCells(s, len(cfg.Rows), func(i int) (WCETRow, error) {
+func WCETStudy(ctx context.Context, s *Suite, cfg WCETStudyConfig) ([]WCETRow, error) {
+	return runCells(ctx, s, len(cfg.Rows), func(ctx context.Context, i int) (WCETRow, error) {
 		rc := cfg.Rows[i]
-		p, err := s.Pipeline(rc.Workload, rc.Cache, rc.SPMSize)
+		p, err := s.Pipeline(ctx, rc.Workload, rc.Cache, rc.SPMSize)
 		if err != nil {
 			return WCETRow{}, err
 		}
-		return wcetRow(p)
+		return wcetRow(ctx, p)
 	})
 }
 
-func wcetRow(p *Pipeline) (WCETRow, error) {
+func wcetRow(ctx context.Context, p *Pipeline) (WCETRow, error) {
 	timing := memsim.DefaultTiming()
 	lineWords := int64((p.Cache.Line + 3) / 4)
 	costs := wcet.Costs{
@@ -88,12 +89,12 @@ func wcetRow(p *Pipeline) (WCETRow, error) {
 	if err != nil {
 		return WCETRow{}, err
 	}
-	baseRun, err := p.RunCacheOnly()
+	baseRun, err := p.RunCacheOnly(ctx)
 	if err != nil {
 		return WCETRow{}, err
 	}
 
-	alloc, err := p.CASAAllocation()
+	alloc, err := p.CASAAllocation(ctx)
 	if err != nil {
 		return WCETRow{}, err
 	}
@@ -107,7 +108,7 @@ func wcetRow(p *Pipeline) (WCETRow, error) {
 	if err != nil {
 		return WCETRow{}, err
 	}
-	casaRun, err := p.RunCASA()
+	casaRun, err := p.RunCASA(ctx)
 	if err != nil {
 		return WCETRow{}, err
 	}

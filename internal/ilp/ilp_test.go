@@ -1,7 +1,9 @@
 package ilp
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -391,5 +393,57 @@ func TestBruteForceRejectsContinuous(t *testing.T) {
 	m.SetObjective(Expr(1, Var(0)), Minimize)
 	if _, err := SolveBruteForce(m); err == nil {
 		t.Fatal("brute force accepted a continuous variable")
+	}
+}
+
+// TestSolveTrace: with Options.Trace set the solver narrates its progress
+// — periodic node lines, incumbent improvements and a final summary — and
+// the reported effort counters match the Solution.
+func TestSolveTrace(t *testing.T) {
+	// A knapsack big enough to force branching.
+	m := NewModel()
+	vals := []float64{60, 100, 120, 70, 90, 45, 30, 80}
+	wts := []float64{10, 20, 30, 15, 25, 12, 8, 18}
+	var obj, wt LinExpr
+	for i := range vals {
+		v := m.AddBinary("")
+		obj = obj.Add(vals[i], v)
+		wt = wt.Add(wts[i], v)
+	}
+	m.SetObjective(obj, Maximize)
+	m.AddConstraint("cap", wt, LE, 60)
+
+	var buf strings.Builder
+	sol, err := Solve(m, Options{Trace: &buf, TraceEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ilp: node=1 ") {
+		t.Errorf("trace missing per-node progress:\n%s", out)
+	}
+	if !strings.Contains(out, "ilp: incumbent ") {
+		t.Errorf("trace missing incumbent line:\n%s", out)
+	}
+	done := fmt.Sprintf("ilp: done status=optimal nodes=%d branches=%d iters=%d",
+		sol.Nodes, sol.Branches, sol.SimplexIters)
+	if !strings.Contains(out, done) {
+		t.Errorf("trace missing final summary %q:\n%s", done, out)
+	}
+	if sol.Branches <= 0 || sol.Branches >= sol.Nodes {
+		t.Errorf("branches = %d out of range (nodes=%d)", sol.Branches, sol.Nodes)
+	}
+
+	// Trace off: silent, same answer.
+	quiet, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Objective != sol.Objective || quiet.Nodes != sol.Nodes {
+		t.Errorf("trace changed the search: obj %g vs %g, nodes %d vs %d",
+			quiet.Objective, sol.Objective, quiet.Nodes, sol.Nodes)
 	}
 }

@@ -2,7 +2,19 @@ package ilp
 
 import (
 	"fmt"
+	"io"
 	"math"
+
+	"repro/internal/obs"
+)
+
+// Solver effort metrics, resolved once. Every Solve records into the
+// default registry so run reports can attribute ILP work per study.
+var (
+	mSolves   = obs.GetCounter("casa_ilp_solves_total")
+	mNodes    = obs.GetCounter("casa_ilp_nodes_total")
+	mIters    = obs.GetCounter("casa_ilp_simplex_iters_total")
+	mBranches = obs.GetCounter("casa_ilp_branches_total")
 )
 
 // Options tunes the solver.
@@ -15,6 +27,13 @@ type Options struct {
 	Tol float64
 	// IntTol is the integrality tolerance (default 1e-6).
 	IntTol float64
+	// Trace, when non-nil, receives solver progress lines: one per new
+	// incumbent and one every TraceEvery nodes. The per-node cost when
+	// nil is a single pointer test.
+	Trace io.Writer
+	// TraceEvery is the node interval of periodic progress lines
+	// (default 1000).
+	TraceEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -26,6 +45,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.IntTol <= 0 {
 		o.IntTol = 1e-6
+	}
+	if o.TraceEvery <= 0 {
+		o.TraceEvery = 1000
 	}
 	return o
 }
@@ -40,6 +62,9 @@ type Solution struct {
 	X []float64
 	// Nodes is the number of branch & bound nodes processed.
 	Nodes int
+	// Branches is the number of branchings performed (nodes split into
+	// floor/ceil children).
+	Branches int
 	// SimplexIters is the total simplex pivot count across all LP solves.
 	SimplexIters int
 }
@@ -56,6 +81,8 @@ func SolveLP(m *Model, opt Options) (*Solution, error) {
 	}
 	out := solveLP(m, m.lo, m.hi, opt.Tol)
 	sol := &Solution{Status: out.status, Objective: out.obj, X: out.x, SimplexIters: out.iters}
+	mSolves.Inc()
+	mIters.Add(int64(out.iters))
 	return sol, nil
 }
 
@@ -85,10 +112,18 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 		incumbent    []float64
 		incumbentVal = math.Inf(1) // in minimization space
 		nodes        int
+		branches     int
 		iters        int
 		sawFeasibleL bool // any LP-feasible node seen (for status reporting)
 		hitLimit     bool
 	)
+	record := func(sol *Solution) *Solution {
+		mSolves.Inc()
+		mNodes.Add(int64(sol.Nodes))
+		mIters.Add(int64(sol.SimplexIters))
+		mBranches.Add(int64(sol.Branches))
+		return sol
+	}
 
 	for len(stack) > 0 {
 		if nodes >= opt.MaxNodes {
@@ -98,6 +133,14 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nodes++
+		if opt.Trace != nil && nodes%opt.TraceEvery == 0 {
+			inc := "-"
+			if incumbent != nil {
+				inc = fmt.Sprintf("%.6g", sign*incumbentVal)
+			}
+			fmt.Fprintf(opt.Trace, "ilp: node=%d stack=%d branches=%d iters=%d incumbent=%s\n",
+				nodes, len(stack), branches, iters, inc)
+		}
 
 		out := solveLP(m, nd.lo, nd.hi, opt.Tol)
 		iters += out.iters
@@ -108,7 +151,7 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 			// The relaxation is unbounded. With integer variables this
 			// still certifies an unbounded or pathological model; report
 			// it rather than guessing.
-			return &Solution{Status: Unbounded, Nodes: nodes, SimplexIters: iters}, nil
+			return record(&Solution{Status: Unbounded, Nodes: nodes, Branches: branches, SimplexIters: iters}), nil
 		}
 		sawFeasibleL = true
 		bound := sign * out.obj
@@ -147,10 +190,15 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 			if val < incumbentVal {
 				incumbentVal = val
 				incumbent = x
+				if opt.Trace != nil {
+					fmt.Fprintf(opt.Trace, "ilp: incumbent %.6g at node %d (iters=%d)\n",
+						sign*incumbentVal, nodes, iters)
+				}
 			}
 			continue
 		}
 
+		branches++
 		v := out.x[branchVar]
 		floorNode := node{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
 		floorNode.hi[branchVar] = math.Floor(v)
@@ -164,7 +212,7 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 		}
 	}
 
-	sol := &Solution{Nodes: nodes, SimplexIters: iters}
+	sol := &Solution{Nodes: nodes, Branches: branches, SimplexIters: iters}
 	switch {
 	case incumbent != nil && !hitLimit:
 		sol.Status = Optimal
@@ -183,7 +231,11 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 		sol.X = incumbent
 		sol.Objective = Eval(m.obj, incumbent)
 	}
-	return sol, nil
+	if opt.Trace != nil {
+		fmt.Fprintf(opt.Trace, "ilp: done status=%v nodes=%d branches=%d iters=%d obj=%.6g\n",
+			sol.Status, sol.Nodes, sol.Branches, sol.SimplexIters, sol.Objective)
+	}
+	return record(sol), nil
 }
 
 // SolveBruteForce exhaustively enumerates all assignments of the model's

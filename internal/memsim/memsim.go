@@ -22,7 +22,19 @@ import (
 	"repro/internal/ir"
 	"repro/internal/layout"
 	"repro/internal/loopcache"
+	"repro/internal/obs"
 	"repro/internal/sim"
+)
+
+// Simulation totals, accumulated across every run in the process so run
+// reports can state aggregate hierarchy behavior per study.
+var (
+	mSimRuns    = obs.GetCounter("casa_sim_runs_total")
+	mSimFetches = obs.GetCounter("casa_sim_fetches_total")
+	mSimHits    = obs.GetCounter("casa_sim_cache_hits_total")
+	mSimMisses  = obs.GetCounter("casa_sim_cache_misses_total")
+	mSimSPM     = obs.GetCounter("casa_sim_spm_accesses_total")
+	mSimEvicts  = obs.GetCounter("casa_sim_cache_evictions_total")
 )
 
 // Config selects the hierarchy for one simulation run.
@@ -44,6 +56,9 @@ type Config struct {
 	// when profiling for the conflict graph. It costs a map update per
 	// conflict miss.
 	TrackConflicts bool
+	// KeepCache retains the final L1 state on the Result so callers can
+	// dump per-set residency and statistics after the run.
+	KeepCache bool
 	// Timing overrides the default fetch-latency model (nil = defaults).
 	Timing *Timing
 }
@@ -145,6 +160,9 @@ type Result struct {
 	// Cycles is the total fetch latency under the timing model — the
 	// instruction-memory contribution to execution time.
 	Cycles int64
+	// Cache is the final L1 state (per-set residency and statistics)
+	// when Config.KeepCache was set; nil otherwise.
+	Cache *cache.Cache
 }
 
 // CyclesPerFetch returns the run's average fetch latency.
@@ -276,10 +294,25 @@ func Run(prog *ir.Program, lay *layout.Layout, cfg Config, opts ...sim.Option) (
 			return nil, err
 		}
 		stream.Replay(sim.FetcherFunc(fetch))
-		return res, nil
-	}
-	if _, err := sim.Run(prog, lay, sim.FetcherFunc(fetch), opts...); err != nil {
+	} else if _, err := sim.Run(prog, lay, sim.FetcherFunc(fetch), opts...); err != nil {
 		return nil, err
 	}
+	if cfg.KeepCache {
+		res.Cache = ic
+	}
+	flushMetrics(res, ic)
 	return res, nil
+}
+
+// flushMetrics records the run's totals into the default registry — once
+// per run, at the end, so the per-fetch path stays metric-free.
+func flushMetrics(res *Result, ic *cache.Cache) {
+	mSimRuns.Inc()
+	mSimFetches.Add(res.Fetches)
+	mSimHits.Add(res.CacheHits)
+	mSimMisses.Add(res.CacheMisses)
+	mSimSPM.Add(res.SPMAccesses)
+	if ic != nil {
+		mSimEvicts.Add(ic.TotalStats().Evictions)
+	}
 }

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can move in both directions (bytes resident,
+// queue depth). The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed power-of-two buckets
+// plus a running sum and count. It is cheap enough for per-cell (not
+// per-fetch) observation.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	// buckets[i] counts observations with value < 1<<(i+bucketShift).
+	buckets [histBuckets]atomic.Int64
+}
+
+const (
+	histBuckets = 32
+	bucketShift = 10 // first bucket: < 1024
+)
+
+// Observe records one value (e.g. nanoseconds).
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	b := 0
+	for b < histBuckets-1 && v >= 1<<(b+bucketShift) {
+		b++
+	}
+	h.buckets[b].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Registry is a named collection of metrics. Metric lookup takes a
+// lock, so hot paths should resolve their metric once (package-level
+// var) and increment the returned pointer.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry every pipeline layer records
+// into. It is published to expvar under "casa" on first use of this
+// package.
+var Default = NewRegistry()
+
+// GetCounter returns (creating if needed) the named counter.
+func (r *Registry) GetCounter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// GetGauge returns (creating if needed) the named gauge.
+func (r *Registry) GetGauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GetHistogram returns (creating if needed) the named histogram.
+func (r *Registry) GetHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GetCounter, GetGauge and GetHistogram on the Default registry.
+func GetCounter(name string) *Counter     { return Default.GetCounter(name) }
+func GetGauge(name string) *Gauge         { return Default.GetGauge(name) }
+func GetHistogram(name string) *Histogram { return Default.GetHistogram(name) }
+
+// Snapshot is a point-in-time reading of every metric: counters and
+// gauges under their own name, histograms as name_sum / name_count.
+type Snapshot map[string]float64
+
+// Snapshot reads every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := make(Snapshot, len(r.counters)+len(r.gauges)+2*len(r.hists))
+	for name, c := range r.counters {
+		s[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		s[name] = float64(g.Value())
+	}
+	for name, h := range r.hists {
+		s[name+"_sum"] = float64(h.Sum())
+		s[name+"_count"] = float64(h.Count())
+	}
+	return s
+}
+
+// Delta returns the change from a previous snapshot of the same
+// registry: counters and histogram accumulators as after−before with
+// zero deltas omitted, gauges at their current (absolute) value when
+// nonzero. The result is what a run report records per study.
+func (r *Registry) Delta(before Snapshot) Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := make(Snapshot)
+	for name, c := range r.counters {
+		if v := float64(c.Value()) - before[name]; v != 0 {
+			d[name] = v
+		}
+	}
+	for name, g := range r.gauges {
+		if v := float64(g.Value()); v != 0 {
+			d[name] = v
+		}
+	}
+	for name, h := range r.hists {
+		if v := float64(h.Sum()) - before[name+"_sum"]; v != 0 {
+			d[name+"_sum"] = v
+		}
+		if v := float64(h.Count()) - before[name+"_count"]; v != 0 {
+			d[name+"_count"] = v
+		}
+	}
+	return d
+}
+
+// Write renders the snapshot as sorted "name value" lines (the
+// CASA_METRICS dump format).
+func (s Snapshot) Write(w io.Writer) error {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s %g\n", n, s[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Publish the default registry to expvar exactly once, so a -pprof
+// HTTP listener exposes it at /debug/vars alongside the runtime stats.
+var publishOnce sync.Once
+
+func init() {
+	publishOnce.Do(func() {
+		expvar.Publish("casa", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+}

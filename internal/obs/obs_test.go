@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, parent := StartSpan(ctx, "prepare")
+	if parent == nil {
+		t.Fatal("span not created under a tracer")
+	}
+	_, child := StartSpan(ctx1, "profile")
+	child.SetAttr("workload", "adpcm")
+	child.End()
+	parent.End()
+	// A sibling root.
+	_, other := StartSpan(ctx, "simulate")
+	other.End()
+
+	roots := tr.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2", len(roots))
+	}
+	if roots[0].Name != "prepare" || roots[1].Name != "simulate" {
+		t.Fatalf("root order wrong: %s, %s", roots[0].Name, roots[1].Name)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Name != "profile" {
+		t.Fatalf("child not nested under parent: %+v", roots[0].Children)
+	}
+	if got := roots[0].Children[0].Attrs["workload"]; got != "adpcm" {
+		t.Errorf("attr lost: %v", got)
+	}
+	names := StageNames(roots)
+	want := []string{"prepare", "profile", "simulate"}
+	if len(names) != len(want) {
+		t.Fatalf("stage names %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("stage names %v, want %v", names, want)
+		}
+	}
+}
+
+// TestSpanDisabledIsInert: without a tracer, StartSpan returns the same
+// context and a nil span whose whole API is safe.
+func TestSpanDisabledIsInert(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatal("span created without a tracer")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context rewritten without a tracer")
+	}
+	sp.End()
+	sp.SetAttr("k", "v")
+	sp.Walk(func(*Span) { t.Fatal("walked a nil span") })
+	if SpanFrom(ctx2) != nil || TracerFrom(ctx2) != nil {
+		t.Fatal("phantom span or tracer in context")
+	}
+}
+
+func TestRegistryMetrics(t *testing.T) {
+	r := NewRegistry()
+	c := r.GetCounter("casa_test_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.GetCounter("casa_test_total") != c {
+		t.Error("counter not memoized by name")
+	}
+	g := r.GetGauge("casa_test_bytes")
+	g.Set(100)
+	g.Add(-25)
+	if g.Value() != 75 {
+		t.Errorf("gauge = %d, want 75", g.Value())
+	}
+	h := r.GetHistogram("casa_test_ns")
+	h.Observe(500)
+	h.Observe(2000)
+	if h.Count() != 2 || h.Sum() != 2500 {
+		t.Errorf("histogram count=%d sum=%d", h.Count(), h.Sum())
+	}
+
+	snap := r.Snapshot()
+	for k, want := range map[string]float64{
+		"casa_test_total":    5,
+		"casa_test_bytes":    75,
+		"casa_test_ns_sum":   2500,
+		"casa_test_ns_count": 2,
+	} {
+		if snap[k] != want {
+			t.Errorf("snapshot[%s] = %g, want %g", k, snap[k], want)
+		}
+	}
+}
+
+func TestRegistryDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.GetCounter("casa_hits_total")
+	g := r.GetGauge("casa_resident_bytes")
+	c.Add(3)
+	g.Set(10)
+	before := r.Snapshot()
+	c.Add(7)
+	g.Set(42)
+	r.GetCounter("casa_idle_total") // untouched: must not appear
+	d := r.Delta(before)
+	if d["casa_hits_total"] != 7 {
+		t.Errorf("counter delta %g, want 7", d["casa_hits_total"])
+	}
+	if d["casa_resident_bytes"] != 42 {
+		t.Errorf("gauge reported %g, want absolute 42", d["casa_resident_bytes"])
+	}
+	if _, ok := d["casa_idle_total"]; ok {
+		t.Error("zero-delta counter leaked into delta")
+	}
+}
+
+func TestReportCanonicalizeAndStability(t *testing.T) {
+	mk := func() *Report {
+		tr := NewTracer()
+		ctx := WithTracer(context.Background(), tr)
+		ctx, root := StartSpan(ctx, "study")
+		_, c := StartSpan(ctx, "cell")
+		c.SetAttr("index", 0)
+		c.End()
+		root.End()
+		return &Report{
+			Study: "fig4", Workers: 1, WallNS: 12345,
+			Spans: tr.Roots(),
+			Metrics: Snapshot{
+				"casa_profile_memo_hits_total": 3,
+				"casa_pool_busy_ns_total":      999, // time-based: must vanish
+			},
+		}
+	}
+	a, b := mk(), mk()
+	a.Canonicalize()
+	b.Canonicalize()
+	if a.WallNS != 0 {
+		t.Error("wall time survived canonicalization")
+	}
+	a.Spans[0].Walk(func(s *Span) {
+		if s.DurNS != 0 || s.StartUnixNS != 0 || s.AllocBytes != 0 {
+			t.Errorf("span %s kept timing after canonicalization", s.Name)
+		}
+	})
+	if _, ok := a.Metrics["casa_pool_busy_ns_total"]; ok {
+		t.Error("time-based metric survived canonicalization")
+	}
+	if a.Metrics["casa_profile_memo_hits_total"] != 3 {
+		t.Error("deterministic metric dropped by canonicalization")
+	}
+
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteJSONL(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSONL(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Errorf("canonical reports differ:\n%s\n%s", bufA.String(), bufB.String())
+	}
+
+	back, err := ReadReports(&bufA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Study != "fig4" || len(back[0].Spans) != 1 {
+		t.Fatalf("round trip mangled the report: %+v", back[0])
+	}
+}
+
+func TestTraceToggle(t *testing.T) {
+	old := TraceWriter()
+	defer EnableTrace(old)
+
+	var buf bytes.Buffer
+	EnableTrace(&buf)
+	if !TraceEnabled() {
+		t.Fatal("trace not enabled")
+	}
+	Tracef("solve node=%d", 7)
+	if !strings.Contains(buf.String(), "casa: solve node=7") {
+		t.Errorf("trace line missing: %q", buf.String())
+	}
+	EnableTrace(nil)
+	if TraceEnabled() {
+		t.Fatal("trace still enabled")
+	}
+	n := buf.Len()
+	Tracef("dropped")
+	if buf.Len() != n {
+		t.Error("trace written while disabled")
+	}
+}
+
+func TestEnvEnabled(t *testing.T) {
+	for val, want := range map[string]bool{"": false, "0": false, "off": false, "false": false, "1": true, "all": true} {
+		t.Setenv(EnvMetrics, val)
+		if got := envEnabled(EnvMetrics); got != want {
+			t.Errorf("envEnabled(%q) = %v, want %v", val, got, want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// EnvTrace enables trace logging (stage starts, solver progress) to
+// stderr when set to anything but "", "0", "off" or "false". The -trace
+// flags of cmd/casa and cmd/experiments are equivalent.
+const EnvTrace = "CASA_TRACE"
+
+// EnvMetrics requests a metrics dump on stderr when a command exits
+// (same truthy values as EnvTrace).
+const EnvMetrics = "CASA_METRICS"
+
+var (
+	traceMu sync.Mutex
+	traceW  io.Writer = traceFromEnv()
+)
+
+func envEnabled(name string) bool {
+	switch os.Getenv(name) {
+	case "", "0", "off", "false":
+		return false
+	}
+	return true
+}
+
+func traceFromEnv() io.Writer {
+	if envEnabled(EnvTrace) {
+		return os.Stderr
+	}
+	return nil
+}
+
+// EnableTrace directs trace logging to w (nil disables it). It is how
+// -trace flags turn logging on programmatically.
+func EnableTrace(w io.Writer) {
+	traceMu.Lock()
+	traceW = w
+	traceMu.Unlock()
+}
+
+// TraceEnabled reports whether trace logging is active.
+func TraceEnabled() bool { return TraceWriter() != nil }
+
+// TraceWriter returns the current trace destination, or nil when
+// tracing is off. Long-running loops (the ILP solver) capture it once
+// and test for nil instead of calling Tracef per iteration.
+func TraceWriter() io.Writer {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return traceW
+}
+
+// Tracef writes one formatted trace line when tracing is enabled.
+func Tracef(format string, args ...any) {
+	w := TraceWriter()
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "casa: "+format+"\n", args...)
+}
+
+// MaybeDumpMetrics writes the default registry's snapshot to w when
+// CASA_METRICS requests it; commands call it once before exiting.
+func MaybeDumpMetrics(w io.Writer) {
+	if !envEnabled(EnvMetrics) {
+		return
+	}
+	fmt.Fprintln(w, "# casa metrics")
+	_ = Default.Snapshot().Write(w)
+}

@@ -9,28 +9,34 @@
 //   - Deterministic ordering: Map collects result i of cell i into slot i,
 //     so output rows are byte-identical to a serial run regardless of the
 //     worker count or scheduling.
-//   - First-error propagation: the error of the lowest-indexed failing
-//     cell is reported first (errors of other cells that failed before
-//     cancellation took effect are joined after it, in index order), and
-//     a failure cancels the remaining cells.
+//   - First-error propagation: a failure cancels the remaining cells, and
+//     the returned *GridError lists every failing cell in ascending index
+//     order plus the cells the cancellation skipped — losing cells are
+//     recorded, never silently dropped.
 //   - Context cancellation: canceling the caller's context stops workers
 //     from claiming new cells and surfaces the context error.
 //
 // The worker count defaults to runtime.NumCPU, can be overridden
 // per-call, and can be pinned globally through the CASA_WORKERS
 // environment variable (useful for CI and for serial golden runs).
+//
+// The pool reports into the default metrics registry: grid and cell
+// counters (casa_pool_grids_total, casa_pool_cells_{ok,failed,
+// skipped}_total), the busy-time counter casa_pool_busy_ns_total for
+// utilization, and the casa_pool_width / casa_pool_queue_depth gauges.
 package parallel
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // EnvWorkers is the environment variable that pins the default worker
@@ -52,27 +58,88 @@ func Workers(requested int) int {
 	return runtime.NumCPU()
 }
 
-// cellError tags a cell's error with its grid index so aggregation can
-// order errors deterministically.
-type cellError struct {
-	index int
-	err   error
+// Pool metrics, resolved once.
+var (
+	mGrids        = obs.GetCounter("casa_pool_grids_total")
+	mCellsOK      = obs.GetCounter("casa_pool_cells_ok_total")
+	mCellsFailed  = obs.GetCounter("casa_pool_cells_failed_total")
+	mCellsSkipped = obs.GetCounter("casa_pool_cells_skipped_total")
+	mBusyNS       = obs.GetCounter("casa_pool_busy_ns_total")
+	mWidth        = obs.GetGauge("casa_pool_width")
+	mQueueDepth   = obs.GetGauge("casa_pool_queue_depth")
+	mCellNS       = obs.GetHistogram("casa_pool_cell_ns")
+)
+
+// CellError is one cell's failure, tagged with its grid index.
+type CellError struct {
+	// Index is the grid index the error occurred at.
+	Index int
+	// Err is the cell's error.
+	Err error
 }
 
-func (e cellError) Error() string { return fmt.Sprintf("cell %d: %v", e.index, e.err) }
+func (e *CellError) Error() string { return fmt.Sprintf("cell %d: %v", e.Index, e.Err) }
 
-func (e cellError) Unwrap() error { return e.err }
+// Unwrap exposes the underlying error to errors.Is / errors.As.
+func (e *CellError) Unwrap() error { return e.Err }
 
-// Index returns the grid index the error occurred at. Errors returned by
-// ForEach and Map unwrap (via errors.As) to this type.
-func (e cellError) Index() int { return e.index }
+// GridError is the typed aggregate error of a grid run: every failing
+// cell in ascending index order, plus the indices of cells that never
+// ran because the first failure cancelled the grid. ForEach and Map
+// return it (as error) whenever at least one cell fails.
+type GridError struct {
+	// N is the grid size.
+	N int
+	// Failed lists failing cells in ascending index order.
+	Failed []*CellError
+	// Skipped lists, in ascending order, the cells cancelled before
+	// they ran.
+	Skipped []int
+}
+
+func (e *GridError) Error() string {
+	msg := fmt.Sprintf("%d of %d cells failed", len(e.Failed), e.N)
+	if len(e.Failed) > 0 {
+		msg += fmt.Sprintf(" (first: %v)", e.Failed[0])
+	}
+	if len(e.Skipped) > 0 {
+		msg += fmt.Sprintf("; %d skipped after cancellation", len(e.Skipped))
+	}
+	return msg
+}
+
+// Unwrap exposes every cell failure, so errors.Is finds the underlying
+// sentinel and errors.As extracts a *CellError.
+func (e *GridError) Unwrap() []error {
+	errs := make([]error, len(e.Failed))
+	for i, ce := range e.Failed {
+		errs[i] = ce
+	}
+	return errs
+}
+
+// Per-cell outcome slots; each is written by exactly one worker (the
+// cell's claimant) before wg.Wait and read only afterwards.
+type cellState struct {
+	status cellStatus
+	err    error
+}
+
+type cellStatus uint8
+
+const (
+	cellSkipped cellStatus = iota // never ran (default for unclaimed cells)
+	cellOK
+	cellFailed
+)
 
 // ForEach runs fn(ctx, i) for every i in [0, n) on a pool of at most
 // `workers` goroutines (resolved through Workers). The first failing cell
-// cancels the context passed to the remaining cells, and cells not yet
-// claimed are skipped. The returned error joins every observed cell error
-// in ascending index order; if the caller's context was canceled first,
-// its error is returned instead.
+// cancels the context passed to the remaining cells; cells not yet
+// claimed are skipped but still accounted for. When any cell fails the
+// returned error is a *GridError carrying every failure (ascending
+// index order) and the skipped indices; if the caller's context was
+// canceled first, its error is returned instead.
 func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -81,14 +148,16 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	if w > n {
 		w = n
 	}
+	mGrids.Inc()
+	mWidth.Set(int64(w))
+	mQueueDepth.Add(int64(n))
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
-		next atomic.Int64
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []cellError
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		cells = make([]cellState, n)
 	)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
@@ -99,33 +168,61 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 				if i >= n {
 					return
 				}
+				mQueueDepth.Add(-1)
 				if runCtx.Err() != nil {
-					return
+					// Drain the remaining cells so every one has a
+					// recorded outcome instead of vanishing.
+					continue
 				}
-				if err := fn(runCtx, i); err != nil {
-					mu.Lock()
-					errs = append(errs, cellError{index: i, err: err})
-					mu.Unlock()
+				start := time.Now()
+				err := fn(runCtx, i)
+				busy := time.Since(start).Nanoseconds()
+				mBusyNS.Add(busy)
+				mCellNS.Observe(busy)
+				if err != nil {
+					cells[i] = cellState{status: cellFailed, err: err}
 					cancel()
-					return
+					continue
 				}
+				cells[i] = cellState{status: cellOK}
 			}
 		}()
 	}
 	wg.Wait()
 
+	var ge *GridError
+	for i := range cells {
+		switch cells[i].status {
+		case cellOK:
+			mCellsOK.Inc()
+		case cellFailed:
+			mCellsFailed.Inc()
+			if ge == nil {
+				ge = &GridError{N: n}
+			}
+			ge.Failed = append(ge.Failed, &CellError{Index: i, Err: cells[i].err})
+		case cellSkipped:
+			mCellsSkipped.Inc()
+		}
+	}
+	// Skipped cells can sit on either side of the first failure (a
+	// lower-indexed cell may still be queued when a higher one fails),
+	// so collect them in a second pass once the failures are known.
+	if ge != nil {
+		for i := range cells {
+			if cells[i].status == cellSkipped {
+				ge.Skipped = append(ge.Skipped, i)
+			}
+		}
+	}
+
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if len(errs) == 0 {
+	if ge == nil {
 		return nil
 	}
-	sort.Slice(errs, func(a, b int) bool { return errs[a].index < errs[b].index })
-	joined := make([]error, len(errs))
-	for i, e := range errs {
-		joined[i] = e
-	}
-	return errors.Join(joined...)
+	return ge
 }
 
 // Map runs fn over every index of an n-cell grid and returns the results

@@ -64,12 +64,55 @@ func TestFirstErrorPropagation(t *testing.T) {
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("error lost: %v", err)
 	}
-	var ce cellError
-	if !errors.As(err, &ce) || ce.Index() != 3 {
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Index != 3 {
 		t.Fatalf("cell index not reported: %v", err)
 	}
 	if n := ran.Load(); n == 1000 {
 		t.Error("failure did not cancel the remaining grid")
+	}
+}
+
+// TestGridErrorRecordsLosingCells: a failure must surface as a typed
+// *GridError that names every failing cell and every cell the
+// cancellation skipped — the full grid is accounted for.
+func TestGridErrorRecordsLosingCells(t *testing.T) {
+	const n = 500
+	sentinel := errors.New("boom")
+	err := ForEach(context.Background(), n, 2, func(_ context.Context, i int) error {
+		if i == 7 {
+			return fmt.Errorf("cell payload: %w", sentinel)
+		}
+		time.Sleep(10 * time.Microsecond)
+		return nil
+	})
+	var ge *GridError
+	if !errors.As(err, &ge) {
+		t.Fatalf("want *GridError, got %T: %v", err, err)
+	}
+	if ge.N != n {
+		t.Errorf("grid size %d, want %d", ge.N, n)
+	}
+	if len(ge.Failed) == 0 || ge.Failed[0].Index != 7 {
+		t.Fatalf("failing cell not first: %+v", ge.Failed)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Error("wrapped sentinel lost through GridError")
+	}
+	// Every cell is either ok, failed or listed as skipped; with 2
+	// workers and 500 cells the cancellation must skip a tail.
+	if len(ge.Skipped) == 0 {
+		t.Error("cancelled cells vanished: no skipped indices recorded")
+	}
+	for k := 1; k < len(ge.Skipped); k++ {
+		if ge.Skipped[k] <= ge.Skipped[k-1] {
+			t.Fatalf("skipped indices not ascending: %v", ge.Skipped)
+		}
+	}
+	for _, i := range ge.Skipped {
+		if i == 7 {
+			t.Error("failed cell double-counted as skipped")
+		}
 	}
 }
 
@@ -92,8 +135,15 @@ func TestErrorAggregationOrdersByIndex(t *testing.T) {
 	if err == nil {
 		t.Fatal("errors swallowed")
 	}
-	var ce cellError
-	if !errors.As(err, &ce) || ce.Index() != 0 {
+	var ge *GridError
+	if !errors.As(err, &ge) {
+		t.Fatalf("want *GridError, got %T", err)
+	}
+	if len(ge.Failed) != 2 || ge.Failed[0].Index != 0 || ge.Failed[1].Index != 1 {
+		t.Fatalf("failures not in ascending index order: %+v", ge.Failed)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Index != 0 {
 		t.Fatalf("lowest-index error not first: %v", err)
 	}
 }

@@ -15,8 +15,14 @@
 //
 // All entries are built exactly once (singleflight) and are safe for
 // concurrent use; recorded streams are immutable and replayed without
-// locking. The stream cache is bounded (streamCacheCapFetches) with
-// least-recently-used eviction, since one mpeg-sized stream is ~20 MB.
+// locking. The stream cache is byte-bounded (streamCacheCapBytes,
+// counting slice *capacity*, since that is what the allocator actually
+// committed) with least-recently-used eviction — one mpeg-sized stream
+// is ~20 MB.
+//
+// Both memo layers report into the default metrics registry:
+// casa_profile_memo_{hits,misses}_total, casa_stream_cache_{hits,
+// misses,evictions}_total and the casa_stream_cache_bytes gauge.
 package sim
 
 import (
@@ -24,6 +30,17 @@ import (
 	"sync"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+// Memo metrics, resolved once.
+var (
+	mProfileHits   = obs.GetCounter("casa_profile_memo_hits_total")
+	mProfileMisses = obs.GetCounter("casa_profile_memo_misses_total")
+	mStreamHits    = obs.GetCounter("casa_stream_cache_hits_total")
+	mStreamMisses  = obs.GetCounter("casa_stream_cache_misses_total")
+	mStreamEvicts  = obs.GetCounter("casa_stream_cache_evictions_total")
+	mStreamBytes   = obs.GetGauge("casa_stream_cache_bytes")
 )
 
 // ---- Profile memoization ---------------------------------------------------
@@ -42,7 +59,12 @@ var profileMemo sync.Map // *ir.Program → *profileEntry
 // included) receives the same immutable Profile. The program must not be
 // mutated after the first call.
 func CachedProfile(p *ir.Program) (*Profile, error) {
-	slot, _ := profileMemo.LoadOrStore(p, &profileEntry{})
+	slot, loaded := profileMemo.LoadOrStore(p, &profileEntry{})
+	if loaded {
+		mProfileHits.Inc()
+	} else {
+		mProfileMisses.Inc()
+	}
 	e := slot.(*profileEntry)
 	e.once.Do(func() { e.prof, e.err = ProfileProgram(p) })
 	return e.prof, e.err
@@ -60,6 +82,16 @@ type Stream struct {
 
 // Len returns the number of recorded fetches.
 func (s *Stream) Len() int { return len(s.addrs) }
+
+// SizeBytes returns the memory the recording actually holds: the
+// *capacity* of both backing arrays, not their length. RecordStream
+// preallocates from the profile's fetch count, but any append past the
+// estimate (or a failed estimate falling back to growth doubling)
+// leaves cap > len, and the eviction bound must account for what the
+// allocator committed, not what the stream logically contains.
+func (s *Stream) SizeBytes() int {
+	return 4*cap(s.addrs) + 4*cap(s.mos)
+}
 
 // Replay delivers the recorded stream to sink and returns the fetch
 // count. Replaying is read-only and safe for concurrent use.
@@ -134,10 +166,10 @@ func LayoutFingerprint(p *ir.Program, lay Layout) uint64 {
 	return h
 }
 
-// streamCacheCapFetches bounds the total fetches retained across cached
-// streams (~8 bytes per fetch, so the default caps memory near 128 MB).
-// Variable for tests.
-var streamCacheCapFetches = 16 << 20
+// streamCacheCapBytes bounds the total bytes retained across cached
+// streams, measured as backing-array capacity (Stream.SizeBytes). The
+// default caps memory at 128 MB. Variable for tests.
+var streamCacheCapBytes = 128 << 20
 
 type streamKey struct {
 	prog *ir.Program
@@ -152,15 +184,15 @@ type streamEntry struct {
 }
 
 var (
-	streamMu      sync.Mutex
-	streamCache   = map[streamKey]*streamEntry{}
-	streamTick    int64
-	streamFetches int // total fetches of completed entries, guarded by streamMu
+	streamMu    sync.Mutex
+	streamCache = map[streamKey]*streamEntry{}
+	streamTick  int64
+	streamBytes int // total SizeBytes of completed entries, guarded by streamMu
 )
 
 // CachedStream returns the recorded fetch stream for (p, lay), recording
 // it on first use. Entries are evicted least-recently-used once the cache
-// exceeds its fetch budget; evicted streams remain valid for holders.
+// exceeds its byte budget; evicted streams remain valid for holders.
 func CachedStream(p *ir.Program, lay Layout) (*Stream, error) {
 	key := streamKey{prog: p, fp: LayoutFingerprint(p, lay)}
 	streamMu.Lock()
@@ -172,6 +204,11 @@ func CachedStream(p *ir.Program, lay Layout) (*Stream, error) {
 	streamTick++
 	e.lastUse = streamTick
 	streamMu.Unlock()
+	if ok {
+		mStreamHits.Inc()
+	} else {
+		mStreamMisses.Inc()
+	}
 
 	e.once.Do(func() {
 		e.s, e.err = RecordStream(p, lay)
@@ -182,17 +219,18 @@ func CachedStream(p *ir.Program, lay Layout) (*Stream, error) {
 			return
 		}
 		streamMu.Lock()
-		streamFetches += e.s.Len()
+		streamBytes += e.s.SizeBytes()
 		evictStreamsLocked(e)
+		mStreamBytes.Set(int64(streamBytes))
 		streamMu.Unlock()
 	})
 	return e.s, e.err
 }
 
 // evictStreamsLocked drops completed entries, oldest first, until the
-// fetch budget holds; keep is never evicted. Call with streamMu held.
+// byte budget holds; keep is never evicted. Call with streamMu held.
 func evictStreamsLocked(keep *streamEntry) {
-	for streamFetches > streamCacheCapFetches {
+	for streamBytes > streamCacheCapBytes {
 		var oldKey streamKey
 		var old *streamEntry
 		for k, e := range streamCache {
@@ -206,7 +244,8 @@ func evictStreamsLocked(keep *streamEntry) {
 		if old == nil {
 			return
 		}
-		streamFetches -= old.s.Len()
+		streamBytes -= old.s.SizeBytes()
+		mStreamEvicts.Inc()
 		delete(streamCache, oldKey)
 	}
 }

@@ -164,9 +164,9 @@ func TestLayoutFingerprintDistinguishesLayouts(t *testing.T) {
 }
 
 func TestStreamCacheEviction(t *testing.T) {
-	oldCap := streamCacheCapFetches
-	streamCacheCapFetches = 64
-	defer func() { streamCacheCapFetches = oldCap }()
+	oldCap := streamCacheCapBytes
+	streamCacheCapBytes = 512 // 64 fetches' worth
+	defer func() { streamCacheCapBytes = oldCap }()
 
 	// Each program's stream exceeds half the budget, so the third insert
 	// must evict the least-recently-used entry.
@@ -175,6 +175,7 @@ func TestStreamCacheEviction(t *testing.T) {
 		loopProgram(t, 11),
 		loopProgram(t, 12),
 	}
+	evictsBefore := mStreamEvicts.Value()
 	var first *Stream
 	for i, p := range progs {
 		s, err := CachedStream(p, newTestLayout(p))
@@ -186,14 +187,70 @@ func TestStreamCacheEviction(t *testing.T) {
 		}
 	}
 	streamMu.Lock()
-	within := streamFetches <= streamCacheCapFetches
+	within := streamBytes <= streamCacheCapBytes
 	streamMu.Unlock()
 	if !within {
-		t.Error("cache exceeds its fetch budget after eviction")
+		t.Error("cache exceeds its byte budget after eviction")
+	}
+	if mStreamEvicts.Value() == evictsBefore {
+		t.Error("eviction not counted in casa_stream_cache_evictions_total")
 	}
 	// The evicted stream stays usable for existing holders.
 	sink := &recordingSink{}
 	if first.Replay(sink) == 0 {
 		t.Error("evicted stream lost its recording")
+	}
+}
+
+// TestStreamSizeBytesCountsCapacity: the eviction bound must charge what
+// the allocator committed (slice capacity), not the logical length — an
+// under-estimated preallocation that fell back to append doubling can
+// hold far more memory than Len() suggests.
+func TestStreamSizeBytesCountsCapacity(t *testing.T) {
+	s := &Stream{
+		addrs: make([]uint32, 2, 100),
+		mos:   make([]int32, 2, 100),
+	}
+	if got := s.SizeBytes(); got != 800 {
+		t.Fatalf("SizeBytes = %d, want 800 (4·cap(addrs) + 4·cap(mos))", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+// TestStreamCacheBytesGauge: casa_stream_cache_bytes tracks the exact
+// capacity-based byte total of the resident entries, proving the
+// accounting under inserts and evictions.
+func TestStreamCacheBytesGauge(t *testing.T) {
+	oldCap := streamCacheCapBytes
+	streamCacheCapBytes = 1 << 20
+	defer func() { streamCacheCapBytes = oldCap }()
+
+	p := loopProgram(t, 33)
+	s, err := CachedStream(p, newTestLayout(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SizeBytes() < 8*s.Len() {
+		t.Fatalf("SizeBytes %d below the 8·len floor %d", s.SizeBytes(), 8*s.Len())
+	}
+
+	// The gauge must equal the locked byte total, and that total must be
+	// the sum of SizeBytes over resident completed entries.
+	streamMu.Lock()
+	var want int
+	for _, e := range streamCache {
+		if e.s != nil {
+			want += e.s.SizeBytes()
+		}
+	}
+	got := streamBytes
+	streamMu.Unlock()
+	if got != want {
+		t.Errorf("streamBytes %d != sum of resident SizeBytes %d", got, want)
+	}
+	if g := mStreamBytes.Value(); g != int64(got) {
+		t.Errorf("casa_stream_cache_bytes gauge %d != accounted bytes %d", g, got)
 	}
 }

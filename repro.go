@@ -17,8 +17,8 @@
 //
 // The quickest route is the experiments API:
 //
-//	pl, _ := repro.Prepare("mpeg", repro.DM(2048), 512)
-//	casa, _ := pl.RunCASA()
+//	pl, _ := repro.Prepare(context.Background(), "mpeg", repro.DM(2048), 512)
+//	casa, _ := pl.RunCASA(context.Background())
 //	fmt.Printf("%.1f µJ\n", casa.EnergyMicroJ)
 //
 // Lower-level building blocks (the IR builder, the solvers, the
@@ -26,6 +26,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/asm"
@@ -119,13 +120,14 @@ type CASAParams = core.Params
 type Allocation = core.Allocation
 
 // Allocate runs the CASA ILP and returns the optimal trace selection.
-func Allocate(set *TraceSet, g *ConflictGraph, p CASAParams) (*Allocation, error) {
-	return core.Allocate(set, g, p)
+// The context carries the optional tracing span tree (obs.WithTracer).
+func Allocate(ctx context.Context, set *TraceSet, g *ConflictGraph, p CASAParams) (*Allocation, error) {
+	return core.Allocate(ctx, set, g, p)
 }
 
 // GreedyAllocate runs the greedy variant over the same energy model.
-func GreedyAllocate(set *TraceSet, g *ConflictGraph, p CASAParams) (*Allocation, error) {
-	return core.GreedyAllocate(set, g, p)
+func GreedyAllocate(ctx context.Context, set *TraceSet, g *ConflictGraph, p CASAParams) (*Allocation, error) {
+	return core.GreedyAllocate(ctx, set, g, p)
 }
 
 // Multi-scratchpad extension (paper §4).
@@ -266,13 +268,13 @@ type Outcome = experiments.Outcome
 
 // Prepare builds the evaluation pipeline for one (workload, cache,
 // scratchpad size) configuration.
-func Prepare(name string, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
-	return experiments.Prepare(name, cacheSpec, spmSize)
+func Prepare(ctx context.Context, name string, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
+	return experiments.Prepare(ctx, name, cacheSpec, spmSize)
 }
 
 // PrepareProgram is Prepare for custom programs.
-func PrepareProgram(p *Program, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
-	return experiments.PrepareProgram(p, cacheSpec, spmSize)
+func PrepareProgram(ctx context.Context, p *Program, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
+	return experiments.PrepareProgram(ctx, p, cacheSpec, spmSize)
 }
 
 // Suite memoizes pipelines across figures.
@@ -302,14 +304,18 @@ func DefaultFig5() Fig5Config     { return experiments.DefaultFig5() }
 func DefaultTable1() Table1Config { return experiments.DefaultTable1() }
 
 // Fig4 regenerates Figure 4.
-func Fig4(s *Suite, cfg Fig4Config) ([]Fig4Row, error) { return experiments.Fig4(s, cfg) }
+func Fig4(ctx context.Context, s *Suite, cfg Fig4Config) ([]Fig4Row, error) {
+	return experiments.Fig4(ctx, s, cfg)
+}
 
 // Fig5 regenerates Figure 5.
-func Fig5(s *Suite, cfg Fig5Config) ([]Fig5Row, error) { return experiments.Fig5(s, cfg) }
+func Fig5(ctx context.Context, s *Suite, cfg Fig5Config) ([]Fig5Row, error) {
+	return experiments.Fig5(ctx, s, cfg)
+}
 
 // Table1 regenerates Table 1 with per-benchmark averages.
-func Table1(s *Suite, cfg Table1Config) ([]Table1Row, []Table1Average, error) {
-	return experiments.Table1(s, cfg)
+func Table1(ctx context.Context, s *Suite, cfg Table1Config) ([]Table1Row, []Table1Average, error) {
+	return experiments.Table1(ctx, s, cfg)
 }
 
 // ---- Textual program format -----------------------------------------------

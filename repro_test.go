@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -28,15 +29,15 @@ func TestFacadeWorkloads(t *testing.T) {
 }
 
 func TestFacadePipelineEndToEnd(t *testing.T) {
-	pl, err := Prepare("adpcm", DM(128), 128)
+	pl, err := Prepare(context.Background(), "adpcm", DM(128), 128)
 	if err != nil {
 		t.Fatal(err)
 	}
-	casa, err := pl.RunCASA()
+	casa, err := pl.RunCASA(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := pl.RunCacheOnly()
+	base, err := pl.RunCacheOnly(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestFacadeManualPipeline(t *testing.T) {
 	if miss <= hit {
 		t.Fatalf("miss %g <= hit %g", miss, hit)
 	}
-	alloc, err := Allocate(set, g, CASAParams{
+	alloc, err := Allocate(context.Background(), set, g, CASAParams{
 		SPMSize:    128,
 		ESPHit:     SPMAccessEnergy(128),
 		ECacheHit:  hit,
@@ -99,7 +100,7 @@ func TestFacadeManualPipeline(t *testing.T) {
 }
 
 func TestFacadeMultiSPM(t *testing.T) {
-	pl, err := Prepare("adpcm", DM(128), 128)
+	pl, err := Prepare(context.Background(), "adpcm", DM(128), 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestFacadeILP(t *testing.T) {
 func TestFacadeFigures(t *testing.T) {
 	s := NewSuite()
 	cfg := Fig4Config{Workload: "adpcm", Cache: DM(128), SPMSizes: []int{64}}
-	rows, err := Fig4(s, cfg)
+	rows, err := Fig4(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestFacadeFigures(t *testing.T) {
 	t1 := Table1Config{Benchmarks: []Table1Benchmark{
 		{Workload: "adpcm", Cache: DM(128), MemSizes: []int{64}},
 	}}
-	trows, avgs, err := Table1(s, t1)
+	trows, avgs, err := Table1(context.Background(), s, t1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestFacadeFigures(t *testing.T) {
 		t.Fatalf("table shape %d/%d", len(trows), len(avgs))
 	}
 	f5 := Fig5Config{Workload: "adpcm", Cache: DM(128), Sizes: []int{64}}
-	if _, err := Fig5(s, f5); err != nil {
+	if _, err := Fig5(context.Background(), s, f5); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -188,7 +189,7 @@ func MustLoadForTest(t *testing.T, name string) *Program {
 }
 
 func TestFacadeWCET(t *testing.T) {
-	pl, err := Prepare("adpcm", DM(128), 128)
+	pl, err := Prepare(context.Background(), "adpcm", DM(128), 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestFacadeWCET(t *testing.T) {
 }
 
 func TestFacadeGreedyAndData(t *testing.T) {
-	pl, err := Prepare("adpcm", DM(128), 128)
+	pl, err := Prepare(context.Background(), "adpcm", DM(128), 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestFacadeGreedyAndData(t *testing.T) {
 		ECacheHit:  pl.Cost.CacheHit,
 		ECacheMiss: pl.Cost.CacheMiss,
 	}
-	if _, err := GreedyAllocate(pl.Set, pl.Graph, prm); err != nil {
+	if _, err := GreedyAllocate(context.Background(), pl.Set, pl.Graph, prm); err != nil {
 		t.Fatal(err)
 	}
 	counts := DataAccessCounts(pl.Prog, pl.Prof)
@@ -253,7 +254,7 @@ func TestGoldenAdpcmRegression(t *testing.T) {
 	cfg := Table1Config{Benchmarks: []Table1Benchmark{
 		{Workload: "adpcm", Cache: DM(128), MemSizes: []int{64, 128, 256}},
 	}}
-	rows, _, err := Table1(s, cfg)
+	rows, _, err := Table1(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
