@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/ilp"
 	"repro/internal/sim"
@@ -195,6 +196,33 @@ func BenchmarkCASAILPMpeg(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := p.RunCASA(context.Background()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveCASAILP measures the branch & bound solver alone — no
+// model build, no allocation decode — on the mpeg/1024 model, the
+// largest exact solve of the evaluation. This is the benchmark the
+// solver work-counter gate (cmd/benchdiff -counter-threshold) pairs
+// with: wall time catches slow code, node counts catch a weaker search.
+func BenchmarkSolveCASAILP(b *testing.B) {
+	s := experiments.NewSuite()
+	p, err := s.Pipeline(context.Background(), "mpeg", experiments.DM(2048), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prm := core.Params{SPMSize: p.SPMSize, ESPHit: p.Cost.SPMAccess,
+		ECacheHit: p.Cost.CacheHit, ECacheMiss: p.Cost.CacheMiss}
+	m, _, err := core.BuildModel(p.Set, p.Graph, prm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := ilp.Solve(m, prm.Solver)
+		if err != nil || sol.Status != ilp.Optimal {
+			b.Fatalf("%v %v", err, sol.Status)
 		}
 	}
 }

@@ -6,16 +6,19 @@
 //
 //	benchdiff -from-report report.jsonl -o BENCH_report.json
 //	    aggregate a cmd/experiments -report JSONL file into a results
-//	    file: per-stage span time (summed over every span with that name)
-//	    and the hit rate of every memo layer that counts *_hits_total /
-//	    *_misses_total metric pairs
+//	    file: per-stage span time (summed over every span with that name),
+//	    the hit rate of every memo layer that counts *_hits_total /
+//	    *_misses_total metric pairs, and the deterministic solver work
+//	    counters (branch & bound nodes, simplex iterations, ...)
 //
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json
 //	          [-threshold 20] [-stage-threshold 20] [-hit-drop 5]
+//	          [-counter-threshold 20]
 //	    compare two results files and exit non-zero when any benchmark's
 //	    wall-clock or stage time regressed by more than its threshold
-//	    percent, or any memo hit rate dropped by more than -hit-drop
-//	    percentage points
+//	    percent, any memo hit rate dropped by more than -hit-drop
+//	    percentage points, or any solver work counter grew by more than
+//	    -counter-threshold percent
 //
 // Entries present in only one of the two files are reported but do not
 // fail the gate (new benchmarks need a baseline refresh, not a red
@@ -30,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -52,6 +56,23 @@ type Results struct {
 	// MemoHitRate maps a memo layer (the metric prefix shared by its
 	// *_hits_total / *_misses_total pair) to its hit rate in percent.
 	MemoHitRate map[string]float64 `json:"memo_hit_rate,omitempty"`
+	// Counters holds the solver work counters of counterGates summed
+	// across the report. Deterministic for a fixed experiment config, so
+	// growth means the solver genuinely does more work per model, not
+	// machine noise.
+	Counters map[string]float64 `json:"counters,omitempty"`
+}
+
+// counterGates lists the metrics the counter gate watches. All are
+// deterministic "work done" counters where an increase means the solver
+// got algorithmically worse: branch & bound explored more nodes, the
+// simplex ran more pivots, or the warm-start engine bailed to the dense
+// fallback more often.
+var counterGates = []string{
+	"casa_ilp_nodes_total",
+	"casa_ilp_branches_total",
+	"casa_ilp_simplex_iters_total",
+	"casa_ilp_dense_fallbacks_total",
 }
 
 // stageFloorNS keeps sub-millisecond stages out of the stage-time gate:
@@ -67,6 +88,7 @@ func main() {
 	threshold := flag.Float64("threshold", 20, "max allowed ns/op regression in percent")
 	stageThreshold := flag.Float64("stage-threshold", 20, "max allowed stage-time regression in percent")
 	hitDrop := flag.Float64("hit-drop", 5, "max allowed memo hit-rate drop in percentage points")
+	counterThreshold := flag.Float64("counter-threshold", 20, "max allowed solver work-counter growth in percent")
 	flag.Parse()
 
 	var err error
@@ -76,7 +98,7 @@ func main() {
 	case *fromReport != "":
 		err = runFromReport(*fromReport, *out)
 	case *baseline != "" && *current != "":
-		err = runCompare(*baseline, *current, *threshold, *stageThreshold, *hitDrop)
+		err = runCompare(*baseline, *current, *threshold, *stageThreshold, *hitDrop, *counterThreshold)
 	default:
 		err = fmt.Errorf("need -parse, -from-report, or -baseline and -current (see -h)")
 	}
@@ -140,6 +162,7 @@ func aggregateReports(reps []*obs.Report) Results {
 	res := Results{
 		StageNs:     make(map[string]float64),
 		MemoHitRate: make(map[string]float64),
+		Counters:    make(map[string]float64),
 	}
 	metrics := make(map[string]float64)
 	for _, rep := range reps {
@@ -162,6 +185,12 @@ func aggregateReports(reps []*obs.Report) Results {
 		if hits+misses > 0 {
 			res.MemoHitRate[layer] = 100 * hits / (hits + misses)
 		}
+	}
+	// Record every gated counter even when the report never incremented
+	// it: an explicit zero in the baseline is what lets the gate catch
+	// the counter reappearing (e.g. dense fallbacks coming back).
+	for _, name := range counterGates {
+		res.Counters[name] = metrics[name]
 	}
 	return res
 }
@@ -207,7 +236,7 @@ func readResults(path string) (Results, error) {
 	return res, nil
 }
 
-func runCompare(basePath, curPath string, threshold, stageThreshold, hitDrop float64) error {
+func runCompare(basePath, curPath string, threshold, stageThreshold, hitDrop, counterThreshold float64) error {
 	base, err := readResults(basePath)
 	if err != nil {
 		return err
@@ -233,13 +262,20 @@ func runCompare(basePath, curPath string, threshold, stageThreshold, hitDrop flo
 			drop := b - c
 			return -drop, drop > hitDrop
 		}, "%+.1fpp")
+	regressed += compareSection("counter", base.Counters, cur.Counters,
+		func(b, c float64) (float64, bool) {
+			// A zero baseline (e.g. no dense fallbacks) compares against 1
+			// so any reappearance still registers as growth.
+			delta := 100 * (c - b) / math.Max(b, 1)
+			return delta, delta > counterThreshold
+		}, "%+.1f%%")
 
 	if regressed > 0 {
-		return fmt.Errorf("%d entr(ies) regressed beyond thresholds (ns/op %.0f%%, stage %.0f%%, hit drop %.0fpp) vs %s",
-			regressed, threshold, stageThreshold, hitDrop, basePath)
+		return fmt.Errorf("%d entr(ies) regressed beyond thresholds (ns/op %.0f%%, stage %.0f%%, hit drop %.0fpp, counters %.0f%%) vs %s",
+			regressed, threshold, stageThreshold, hitDrop, counterThreshold, basePath)
 	}
-	fmt.Printf("no regressions beyond thresholds (ns/op %.0f%%, stage %.0f%%, hit drop %.0fpp)\n",
-		threshold, stageThreshold, hitDrop)
+	fmt.Printf("no regressions beyond thresholds (ns/op %.0f%%, stage %.0f%%, hit drop %.0fpp, counters %.0f%%)\n",
+		threshold, stageThreshold, hitDrop, counterThreshold)
 	return nil
 }
 

@@ -57,24 +57,24 @@ ok  	repro	3.0s
 
 	// Baseline equal to current: passes.
 	same := write("same.json", `{"ns_per_op":{"BenchmarkFast":1000,"BenchmarkSlow":2000000}}`)
-	if err := runCompare(same, cur, 20, 20, 5); err != nil {
+	if err := runCompare(same, cur, 20, 20, 5, 20); err != nil {
 		t.Errorf("equal results failed the gate: %v", err)
 	}
 
 	// Current is >20% slower than this baseline: fails.
 	faster := write("faster.json", `{"ns_per_op":{"BenchmarkFast":1000,"BenchmarkSlow":1000000}}`)
-	if err := runCompare(faster, cur, 20, 20, 5); err == nil {
+	if err := runCompare(faster, cur, 20, 20, 5, 20); err == nil {
 		t.Error("2x regression passed a 20% gate")
 	}
 
 	// Within threshold: passes.
-	if err := runCompare(faster, cur, 150, 20, 5); err != nil {
+	if err := runCompare(faster, cur, 150, 20, 5, 20); err != nil {
 		t.Errorf("regression within threshold failed: %v", err)
 	}
 
 	// Benchmarks missing from either side don't fail the gate.
 	disjoint := write("disjoint.json", `{"ns_per_op":{"BenchmarkFast":1000,"BenchmarkGone":5}}`)
-	if err := runCompare(disjoint, cur, 20, 20, 5); err != nil {
+	if err := runCompare(disjoint, cur, 20, 20, 5, 20); err != nil {
 		t.Errorf("missing/new benchmarks failed the gate: %v", err)
 	}
 }
@@ -98,6 +98,8 @@ func TestAggregateReports(t *testing.T) {
 			Metrics: obs.Snapshot{
 				"casa_pipeline_memo_hits_total": 12,
 				"casa_sim_runs_total":           3, // no miss pair: not a rate
+				"casa_ilp_nodes_total":          40,
+				"casa_ilp_simplex_iters_total":  900,
 			},
 		},
 	}
@@ -111,6 +113,50 @@ func TestAggregateReports(t *testing.T) {
 	}
 	if _, ok := res.MemoHitRate["casa_sim_runs"]; ok {
 		t.Errorf("unpaired counter produced a hit rate: %v", res.MemoHitRate)
+	}
+	if res.Counters["casa_ilp_nodes_total"] != 40 || res.Counters["casa_ilp_simplex_iters_total"] != 900 {
+		t.Errorf("counters = %v, want nodes:40 iters:900", res.Counters)
+	}
+	if _, ok := res.Counters["casa_sim_runs_total"]; ok {
+		t.Errorf("non-gated metric leaked into counters: %v", res.Counters)
+	}
+}
+
+func TestCompareCounterSection(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	base := write("base.json",
+		`{"counters":{"casa_ilp_nodes_total":1000,"casa_ilp_dense_fallbacks_total":0}}`)
+
+	// Within threshold: passes.
+	ok := write("ok.json", `{"counters":{"casa_ilp_nodes_total":1100,"casa_ilp_dense_fallbacks_total":0}}`)
+	if err := runCompare(base, ok, 20, 20, 5, 20); err != nil {
+		t.Errorf("10%% node growth failed a 20%% gate: %v", err)
+	}
+
+	// Node count up 50%: the solver is searching more — fails.
+	worse := write("worse.json", `{"counters":{"casa_ilp_nodes_total":1500,"casa_ilp_dense_fallbacks_total":0}}`)
+	if err := runCompare(base, worse, 20, 20, 5, 20); err == nil {
+		t.Error("50% node-count growth passed a 20% gate")
+	}
+
+	// Dense fallbacks reappearing from a zero baseline: fails.
+	fb := write("fb.json", `{"counters":{"casa_ilp_nodes_total":1000,"casa_ilp_dense_fallbacks_total":3}}`)
+	if err := runCompare(base, fb, 20, 20, 5, 20); err == nil {
+		t.Error("dense fallbacks from a zero baseline passed the gate")
+	}
+
+	// Fewer nodes is an improvement, never a regression.
+	better := write("better.json", `{"counters":{"casa_ilp_nodes_total":400,"casa_ilp_dense_fallbacks_total":0}}`)
+	if err := runCompare(base, better, 20, 20, 5, 20); err != nil {
+		t.Errorf("node-count improvement failed the gate: %v", err)
 	}
 }
 
@@ -130,31 +176,31 @@ func TestCompareReportSections(t *testing.T) {
 	// Equal report-derived sections, no ns_per_op in current: gate passes
 	// (the ns/op section is skipped, not failed).
 	ok := write("ok.json", `{"stage_ns":{"prepare":2e8,"layout":1e3},"memo_hit_rate":{"casa_pipeline_memo":75}}`)
-	if err := runCompare(base, ok, 20, 20, 5); err != nil {
+	if err := runCompare(base, ok, 20, 20, 5, 20); err != nil {
 		t.Errorf("matching report sections failed the gate: %v", err)
 	}
 
 	// Stage time doubled: fails the stage gate.
 	slow := write("slow.json", `{"stage_ns":{"prepare":4e8,"layout":1e3},"memo_hit_rate":{"casa_pipeline_memo":75}}`)
-	if err := runCompare(base, slow, 20, 20, 5); err == nil {
+	if err := runCompare(base, slow, 20, 20, 5, 20); err == nil {
 		t.Error("2x stage regression passed a 20% gate")
 	}
 
 	// Sub-floor stage doubled: jitter, not a regression.
 	jitter := write("jitter.json", `{"stage_ns":{"prepare":2e8,"layout":2e3},"memo_hit_rate":{"casa_pipeline_memo":75}}`)
-	if err := runCompare(base, jitter, 20, 20, 5); err != nil {
+	if err := runCompare(base, jitter, 20, 20, 5, 20); err != nil {
 		t.Errorf("sub-floor stage jitter failed the gate: %v", err)
 	}
 
 	// Hit rate dropped 10pp: fails the hit-rate gate.
 	cold := write("cold.json", `{"stage_ns":{"prepare":2e8,"layout":1e3},"memo_hit_rate":{"casa_pipeline_memo":65}}`)
-	if err := runCompare(base, cold, 20, 20, 5); err == nil {
+	if err := runCompare(base, cold, 20, 20, 5, 20); err == nil {
 		t.Error("10pp hit-rate drop passed a 5pp gate")
 	}
 
 	// Hit rate improved: never a regression.
 	warm := write("warm.json", `{"stage_ns":{"prepare":2e8,"layout":1e3},"memo_hit_rate":{"casa_pipeline_memo":90}}`)
-	if err := runCompare(base, warm, 20, 20, 5); err != nil {
+	if err := runCompare(base, warm, 20, 20, 5, 20); err != nil {
 		t.Errorf("hit-rate improvement failed the gate: %v", err)
 	}
 }

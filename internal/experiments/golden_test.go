@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/allocations.golden from the current solver's output")
+
+// renderAllStudies runs every experiment study on one shared suite and
+// renders the solver-dependent portion of each table: everything the
+// paper's figures report (energies, placed bytes, allocation splits) but
+// none of the wall-clock or solver-effort fields, which legitimately
+// change when the solver does.
+func renderAllStudies(t *testing.T, s *Suite) []byte {
+	t.Helper()
+	ctx := context.Background()
+	var buf bytes.Buffer
+
+	fig4cfg := DefaultFig4()
+	fig4, err := Fig4(ctx, s, fig4cfg)
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	WriteFig4(&buf, fig4cfg, fig4)
+
+	fig5cfg := DefaultFig5()
+	fig5, err := Fig5(ctx, s, fig5cfg)
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	WriteFig5(&buf, fig5cfg, fig5)
+
+	t1rows, t1avgs, err := Table1(ctx, s, DefaultTable1())
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	WriteTable1(&buf, t1rows, t1avgs)
+
+	senscfg := DefaultSensitivity()
+	sens, err := Sensitivity(ctx, s, senscfg)
+	if err != nil {
+		t.Fatalf("Sensitivity: %v", err)
+	}
+	WriteSensitivity(&buf, senscfg, sens)
+
+	wcet, err := WCETStudy(ctx, s, DefaultWCETStudy())
+	if err != nil {
+		t.Fatalf("WCETStudy: %v", err)
+	}
+	WriteWCETStudy(&buf, wcet)
+
+	overlay, err := OverlayStudy(ctx, s, DefaultOverlayStudy())
+	if err != nil {
+		t.Fatalf("OverlayStudy: %v", err)
+	}
+	WriteOverlayStudy(&buf, overlay)
+
+	data, err := DataStudy(ctx, s, DefaultDataStudy())
+	if err != nil {
+		t.Fatalf("DataStudy: %v", err)
+	}
+	WriteDataStudy(&buf, data)
+
+	placement, err := PlacementStudy(ctx, s, DefaultPlacementStudy())
+	if err != nil {
+		t.Fatalf("PlacementStudy: %v", err)
+	}
+	WritePlacementStudy(&buf, placement)
+
+	abl, err := Ablations(ctx, s, DefaultAblations())
+	if err != nil {
+		t.Fatalf("Ablations: %v", err)
+	}
+	// Energies only: times, node and iteration counts are solver effort,
+	// not allocation results.
+	fmt.Fprintf(&buf, "ablation copy-vs-move: copy %.4f uJ (%d misses) move %.4f uJ (%d misses)\n",
+		abl.CopyMove.CopyMicroJ, abl.CopyMove.CopyMisses,
+		abl.CopyMove.MoveMicroJ, abl.CopyMove.MoveMisses)
+	fmt.Fprintf(&buf, "ablation linearization: tight %.4f nJ (%v) faithful %.4f nJ (%v)\n",
+		abl.Linearization.TightEnergy, abl.Linearization.TightStatus,
+		abl.Linearization.FaithfulEnergy, abl.Linearization.FaithfulStatus)
+	fmt.Fprintf(&buf, "ablation greedy-vs-ilp: ilp %.4f uJ greedy %.4f uJ (predicted %.4f vs %.4f nJ)\n",
+		abl.GreedyILP.ILPMicroJ, abl.GreedyILP.GreedyMicroJ,
+		abl.GreedyILP.ILPPredicted, abl.GreedyILP.GreedyPredicted)
+
+	return buf.Bytes()
+}
+
+// TestAllocationsMatchSeedGolden locks every experiment study's
+// allocation output to the seed solver's: the ILP engine is free to get
+// faster, but it must return the same optimal allocations byte for byte.
+// Regenerate with `go test ./internal/experiments -run Golden -update-golden`
+// after an intentional change.
+func TestAllocationsMatchSeedGolden(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full study sweep is too heavy under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("full study sweep skipped in -short mode")
+	}
+	got := renderAllStudies(t, NewSuite())
+	path := filepath.Join("testdata", "allocations.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("experiment allocations diverged from the seed solver's golden.\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+}

@@ -1,0 +1,565 @@
+package ilp
+
+import "math"
+
+// Warm-started bounded-variable revised dual simplex.
+//
+// The branch & bound loop changes nothing but variable bounds between
+// node LPs. Dual feasibility of a basis does not depend on bounds at
+// all, so one engine instance — basis, basis inverse and reduced costs —
+// persists across the whole tree: after a bound change the previous
+// optimal basis is still dual feasible and typically a handful of dual
+// pivots away from the new optimum, even when best-bound search jumps to
+// a distant part of the tree. This replaces the dense from-scratch
+// two-phase tableau (simplex.go) that previously ran at every node; the
+// dense path remains as SolveLP's engine and as the per-node fallback.
+//
+// Standard form: min cᵀx s.t. Ax + s = b, with one slack per row
+// (LE: s ∈ [0,∞), GE: s ∈ (−∞,0], EQ: s ∈ [0,0]) and every structural
+// column boxed on the side its reduced cost demands. Columns are stored
+// sparse; the basis inverse is dense and updated in O(m²) per pivot with
+// periodic refactorization.
+
+// Nonbasic/basic column states.
+const (
+	nbLower int8 = iota // nonbasic at lower bound
+	nbUpper             // nonbasic at upper bound
+	inBasis
+)
+
+// spCol is a sparse constraint-matrix column.
+type spCol struct {
+	rows []int32
+	vals []float64
+}
+
+const (
+	// refactorEvery bounds basis-inverse drift from product-form updates.
+	refactorEvery = 100
+	// pivTol is the minimum |alpha| for a column to be an entering
+	// candidate; smaller pivots are numerically meaningless.
+	pivTol = 1e-7
+	// dualTol is the reduced-cost feasibility tolerance.
+	dualTol = 1e-7
+)
+
+// rsx is the persistent revised-simplex engine for one model.
+type rsx struct {
+	n, m int // structural columns, rows
+
+	cols   []spCol   // n structural + m slack columns
+	c      []float64 // minimization-space costs, len n+m
+	b      []float64 // row right-hand sides
+	lo, hi []float64 // len n+m; structural part overwritten per node
+
+	basis  []int     // basic column per row
+	status []int8    // per column
+	binv   []float64 // dense m×m basis inverse, row-major
+	xB     []float64 // basic variable values
+	d      []float64 // reduced costs (0 for basic columns)
+
+	// scratch
+	alpha []float64 // pivot row in nonbasic columns
+	w     []float64 // binv · entering column
+	yv    []float64 // duals / rhs accumulator
+
+	iters        int // lifetime pivot count
+	sinceRefresh int
+	tol          float64
+}
+
+// newRSX builds the engine for md, or returns nil when some column
+// cannot be placed dual-feasibly at a finite bound (free variables, or an
+// infinite bound on the side the objective pulls toward); such models
+// take the dense path instead.
+func newRSX(md *Model, tol float64) *rsx {
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	n, m := md.NumVars(), len(md.cons)
+	tot := n + m
+	e := &rsx{
+		n: n, m: m,
+		cols: make([]spCol, tot),
+		c:    make([]float64, tot),
+		b:    make([]float64, m),
+		lo:   make([]float64, tot),
+		hi:   make([]float64, tot),
+
+		basis:  make([]int, m),
+		status: make([]int8, tot),
+		binv:   make([]float64, m*m),
+		xB:     make([]float64, m),
+		d:      make([]float64, tot),
+
+		alpha: make([]float64, tot),
+		w:     make([]float64, m),
+		yv:    make([]float64, m),
+		tol:   tol,
+	}
+	sign := 1.0
+	if md.sense == Maximize {
+		sign = -1
+	}
+	for _, t := range md.obj.Terms {
+		e.c[t.Var] += sign * t.Coef
+	}
+	copy(e.lo, md.lo)
+	copy(e.hi, md.hi)
+
+	// Assemble sparse columns row by row, merging duplicate variable
+	// references within a row.
+	tmp := make([]float64, n)
+	var touched []int
+	for i, con := range md.cons {
+		e.b[i] = con.RHS - con.Expr.Const
+		touched = touched[:0]
+		for _, t := range con.Expr.Terms {
+			if tmp[t.Var] == 0 {
+				touched = append(touched, int(t.Var))
+			}
+			tmp[t.Var] += t.Coef
+		}
+		for _, j := range touched {
+			if v := tmp[j]; v != 0 {
+				e.cols[j].rows = append(e.cols[j].rows, int32(i))
+				e.cols[j].vals = append(e.cols[j].vals, v)
+			}
+			tmp[j] = 0
+		}
+		s := n + i
+		e.cols[s] = spCol{rows: []int32{int32(i)}, vals: []float64{1}}
+		switch con.Rel {
+		case LE:
+			e.lo[s], e.hi[s] = 0, math.Inf(1)
+		case GE:
+			e.lo[s], e.hi[s] = math.Inf(-1), 0
+		case EQ:
+			e.lo[s], e.hi[s] = 0, 0
+		}
+	}
+	if !e.reset() {
+		return nil
+	}
+	return e
+}
+
+// reset installs the all-slack basis and places each structural column
+// dual-feasibly: at its lower bound when the cost pulls down, upper when
+// it pulls up. Reports false when a required bound is infinite.
+func (e *rsx) reset() bool {
+	for j := 0; j < e.n; j++ {
+		switch {
+		case e.c[j] > e.tol:
+			if math.IsInf(e.lo[j], -1) {
+				return false
+			}
+			e.status[j] = nbLower
+		case e.c[j] < -e.tol:
+			if math.IsInf(e.hi[j], 1) {
+				return false
+			}
+			e.status[j] = nbUpper
+		default:
+			if !math.IsInf(e.lo[j], -1) {
+				e.status[j] = nbLower
+			} else if !math.IsInf(e.hi[j], 1) {
+				e.status[j] = nbUpper
+			} else {
+				return false
+			}
+		}
+	}
+	for i := 0; i < e.m; i++ {
+		e.basis[i] = e.n + i
+		e.status[e.n+i] = inBasis
+	}
+	for i := range e.binv {
+		e.binv[i] = 0
+	}
+	for i := 0; i < e.m; i++ {
+		e.binv[i*e.m+i] = 1
+	}
+	copy(e.d, e.c) // slack basis: y = 0
+	for i := 0; i < e.m; i++ {
+		e.d[e.n+i] = 0
+	}
+	e.sinceRefresh = 0
+	return true
+}
+
+// setBounds installs a node's structural bounds. Slack bounds are fixed
+// by the row relations.
+func (e *rsx) setBounds(lo, hi []float64) {
+	copy(e.lo[:e.n], lo)
+	copy(e.hi[:e.n], hi)
+}
+
+// nbValue returns the resting value of a nonbasic column.
+func (e *rsx) nbValue(j int) float64 {
+	if e.status[j] == nbUpper {
+		return e.hi[j]
+	}
+	return e.lo[j]
+}
+
+// computeXB recomputes basic values from the current bounds and
+// nonbasic placements: xB = B⁻¹(b − N·x_N).
+func (e *rsx) computeXB() {
+	r := e.yv
+	copy(r, e.b)
+	for j := 0; j < e.n+e.m; j++ {
+		if e.status[j] == inBasis {
+			continue
+		}
+		v := e.nbValue(j)
+		if v == 0 {
+			continue
+		}
+		col := &e.cols[j]
+		for k, ri := range col.rows {
+			r[ri] -= col.vals[k] * v
+		}
+	}
+	for i := 0; i < e.m; i++ {
+		row := e.binv[i*e.m : (i+1)*e.m]
+		s := 0.0
+		for k := 0; k < e.m; k++ {
+			s += row[k] * r[k]
+		}
+		e.xB[i] = s
+	}
+}
+
+// computeDuals recomputes y = c_B·B⁻¹ and all reduced costs from
+// scratch (used after refactorization; pivots maintain d incrementally).
+func (e *rsx) computeDuals() {
+	y := e.yv
+	for k := range y {
+		y[k] = 0
+	}
+	for i := 0; i < e.m; i++ {
+		cb := e.c[e.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := e.binv[i*e.m : (i+1)*e.m]
+		for k := 0; k < e.m; k++ {
+			y[k] += cb * row[k]
+		}
+	}
+	for j := 0; j < e.n+e.m; j++ {
+		if e.status[j] == inBasis {
+			e.d[j] = 0
+			continue
+		}
+		col := &e.cols[j]
+		s := e.c[j]
+		for k, ri := range col.rows {
+			s -= y[ri] * col.vals[k]
+		}
+		e.d[j] = s
+	}
+}
+
+// refactor rebuilds the dense basis inverse by Gauss–Jordan elimination
+// with partial pivoting. Reports false on a (numerically) singular basis.
+func (e *rsx) refactor() bool {
+	m := e.m
+	a := make([]float64, m*m)
+	for col := 0; col < m; col++ {
+		cj := &e.cols[e.basis[col]]
+		for k, ri := range cj.rows {
+			a[int(ri)*m+col] = cj.vals[k]
+		}
+	}
+	inv := e.binv
+	for i := range inv {
+		inv[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		inv[i*m+i] = 1
+	}
+	for col := 0; col < m; col++ {
+		p, best := -1, 1e-10
+		for r := col; r < m; r++ {
+			if v := math.Abs(a[r*m+col]); v > best {
+				p, best = r, v
+			}
+		}
+		if p < 0 {
+			return false
+		}
+		if p != col {
+			ar, ac := a[p*m:(p+1)*m], a[col*m:(col+1)*m]
+			for k := 0; k < m; k++ {
+				ar[k], ac[k] = ac[k], ar[k]
+			}
+			ir, ic := inv[p*m:(p+1)*m], inv[col*m:(col+1)*m]
+			for k := 0; k < m; k++ {
+				ir[k], ic[k] = ic[k], ir[k]
+			}
+		}
+		piv := 1 / a[col*m+col]
+		ac, ic := a[col*m:(col+1)*m], inv[col*m:(col+1)*m]
+		for k := col; k < m; k++ {
+			ac[k] *= piv
+		}
+		for k := 0; k < m; k++ {
+			ic[k] *= piv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r*m+col]
+			if f == 0 {
+				continue
+			}
+			ar, ir := a[r*m:(r+1)*m], inv[r*m:(r+1)*m]
+			for k := col; k < m; k++ {
+				ar[k] -= f * ac[k]
+			}
+			for k := 0; k < m; k++ {
+				ir[k] -= f * ic[k]
+			}
+		}
+	}
+	e.sinceRefresh = 0
+	return true
+}
+
+// refresh refactorizes and recomputes duals and basic values; on a
+// singular basis it falls back to a full reset. Reports false only when
+// even the reset fails.
+func (e *rsx) refresh() bool {
+	if !e.refactor() {
+		if !e.reset() {
+			return false
+		}
+	} else {
+		e.computeDuals()
+	}
+	e.computeXB()
+	return true
+}
+
+// solve re-optimizes after a bound change: restore dual feasibility by
+// bound-flipping any nonbasic column whose reduced cost now has the
+// wrong sign (possible when a branch fixing is relaxed again on a jump
+// to another part of the tree), recompute basic values, then run dual
+// simplex until primal feasible.
+func (e *rsx) solve(maxIter int) Status {
+	for j := 0; j < e.n; j++ {
+		if e.status[j] == inBasis || e.hi[j]-e.lo[j] < 1e-9 {
+			continue
+		}
+		if e.status[j] == nbLower && e.d[j] < -dualTol {
+			if math.IsInf(e.hi[j], 1) {
+				if !e.reset() {
+					return Aborted
+				}
+				break
+			}
+			e.status[j] = nbUpper
+		} else if e.status[j] == nbUpper && e.d[j] > dualTol {
+			if math.IsInf(e.lo[j], -1) {
+				if !e.reset() {
+					return Aborted
+				}
+				break
+			}
+			e.status[j] = nbLower
+		}
+	}
+	e.computeXB()
+	return e.reoptimize(maxIter)
+}
+
+// reoptimize runs the dual simplex loop: pick the most-violated basic
+// variable, choose the entering column by the bounded dual ratio test,
+// pivot. Ties switch to Bland's rule after enough iterations to rule
+// out cycling; maxIter aborts to the dense fallback.
+func (e *rsx) reoptimize(maxIter int) Status {
+	m, tot := e.m, e.n+e.m
+	blandAfter := 200 + 2*m
+	for it := 0; ; it++ {
+		if it > maxIter {
+			return Aborted
+		}
+		bland := it > blandAfter
+
+		// Leaving row: worst primal bound violation (Bland: first).
+		r, sgn, worst := -1, 1.0, feasTol
+		for i := 0; i < m; i++ {
+			bj := e.basis[i]
+			if v := e.lo[bj] - e.xB[i]; v > worst {
+				worst, r, sgn = v, i, -1
+			} else if v := e.xB[i] - e.hi[bj]; v > worst {
+				worst, r, sgn = v, i, 1
+			}
+			if r == i && bland {
+				break
+			}
+		}
+		if r < 0 {
+			return Optimal
+		}
+
+		// Pivot row in all nonbasic columns: alpha_j = (B⁻¹)_r · A_j.
+		rho := e.binv[r*m : (r+1)*m]
+		for j := 0; j < tot; j++ {
+			if e.status[j] == inBasis {
+				continue
+			}
+			col := &e.cols[j]
+			s := 0.0
+			for k, ri := range col.rows {
+				s += rho[ri] * col.vals[k]
+			}
+			e.alpha[j] = s
+		}
+
+		// Dual ratio test. With at_j = sgn·alpha_j, a column is eligible
+		// when moving it off its bound pushes the leaving variable back
+		// toward feasibility: at-lower needs at > 0, at-upper needs
+		// at < 0; the dual step is d_j/at_j ≥ 0 either way. Columns with
+		// equal bounds cannot move and never enter.
+		q, bestRatio, bestAbs := -1, math.Inf(1), 0.0
+		for j := 0; j < tot; j++ {
+			if e.status[j] == inBasis || e.hi[j]-e.lo[j] < 1e-9 {
+				continue
+			}
+			at := sgn * e.alpha[j]
+			if e.status[j] == nbLower {
+				if at <= pivTol {
+					continue
+				}
+			} else if at >= -pivTol {
+				continue
+			}
+			ratio := e.d[j] / at
+			if ratio < 0 {
+				ratio = 0 // reduced-cost drift within tolerance
+			}
+			if bland {
+				if ratio < bestRatio-1e-12 || (ratio <= bestRatio+1e-12 && (q < 0 || j < q)) {
+					bestRatio, q = ratio, j
+				}
+				continue
+			}
+			if ratio < bestRatio-1e-9 {
+				bestRatio, bestAbs, q = ratio, math.Abs(at), j
+			} else if ratio <= bestRatio+1e-9 && math.Abs(at) > bestAbs {
+				bestRatio, bestAbs, q = math.Min(bestRatio, ratio), math.Abs(at), j
+			}
+		}
+		if q < 0 {
+			// No column can repair the violated row: primal infeasible.
+			return Infeasible
+		}
+
+		// w = B⁻¹·A_q; w[r] equals alpha_q by construction.
+		col := &e.cols[q]
+		for i := 0; i < m; i++ {
+			row := e.binv[i*m:]
+			s := 0.0
+			for k, ri := range col.rows {
+				s += row[ri] * col.vals[k]
+			}
+			e.w[i] = s
+		}
+		piv := e.w[r]
+		if math.Abs(piv) < 1e-10 {
+			// Numerically degenerate pivot: refresh and retry.
+			if !e.refresh() {
+				return Aborted
+			}
+			continue
+		}
+
+		lb := e.basis[r]
+		bnd := e.lo[lb]
+		if sgn > 0 {
+			bnd = e.hi[lb]
+		}
+		step := (e.xB[r] - bnd) / piv
+		for i := 0; i < m; i++ {
+			if i != r {
+				e.xB[i] -= step * e.w[i]
+			}
+		}
+		e.xB[r] = e.nbValue(q) + step
+
+		// Incremental dual update: y += θ·sgn·rho shifts every nonbasic
+		// reduced cost by −θ·sgn·alpha_j; the entering column's hits 0.
+		theta := e.d[q] / (sgn * piv)
+		if theta < 0 {
+			theta = 0
+		}
+		if theta != 0 {
+			for j := 0; j < tot; j++ {
+				if e.status[j] == inBasis || j == q {
+					continue
+				}
+				if a := e.alpha[j]; a != 0 {
+					e.d[j] -= theta * sgn * a
+				}
+			}
+		}
+		e.d[q] = 0
+		e.d[lb] = -theta * sgn
+
+		e.status[q] = inBasis
+		if sgn < 0 {
+			e.status[lb] = nbLower
+		} else {
+			e.status[lb] = nbUpper
+		}
+		e.basis[r] = q
+
+		// Product-form update of the inverse.
+		pr := e.binv[r*m : (r+1)*m]
+		ipiv := 1 / piv
+		for k := 0; k < m; k++ {
+			pr[k] *= ipiv
+		}
+		for i := 0; i < m; i++ {
+			if i == r {
+				continue
+			}
+			f := e.w[i]
+			if f == 0 {
+				continue
+			}
+			row := e.binv[i*m : (i+1)*m]
+			for k := 0; k < m; k++ {
+				row[k] -= f * pr[k]
+			}
+		}
+
+		e.iters++
+		e.sinceRefresh++
+		if e.sinceRefresh >= refactorEvery {
+			if !e.refresh() {
+				return Aborted
+			}
+		}
+	}
+}
+
+// values returns the structural solution vector.
+func (e *rsx) values() []float64 {
+	x := make([]float64, e.n)
+	for j := 0; j < e.n; j++ {
+		if e.status[j] != inBasis {
+			x[j] = e.nbValue(j)
+		}
+	}
+	for i, bj := range e.basis {
+		if bj < e.n {
+			x[bj] = e.xB[i]
+		}
+	}
+	return x
+}

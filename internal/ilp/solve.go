@@ -11,10 +11,16 @@ import (
 // Solver effort metrics, resolved once. Every Solve records into the
 // default registry so run reports can attribute ILP work per study.
 var (
-	mSolves   = obs.GetCounter("casa_ilp_solves_total")
-	mNodes    = obs.GetCounter("casa_ilp_nodes_total")
-	mIters    = obs.GetCounter("casa_ilp_simplex_iters_total")
-	mBranches = obs.GetCounter("casa_ilp_branches_total")
+	mSolves    = obs.GetCounter("casa_ilp_solves_total")
+	mNodes     = obs.GetCounter("casa_ilp_nodes_total")
+	mIters     = obs.GetCounter("casa_ilp_simplex_iters_total")
+	mBranches  = obs.GetCounter("casa_ilp_branches_total")
+	mPruned    = obs.GetCounter("casa_ilp_nodes_pruned_total")
+	mWarm      = obs.GetCounter("casa_ilp_warm_starts_total")
+	mFallback  = obs.GetCounter("casa_ilp_dense_fallbacks_total")
+	mPreRows   = obs.GetCounter("casa_ilp_presolve_rows_dropped_total")
+	mPreCols   = obs.GetCounter("casa_ilp_presolve_cols_removed_total")
+	mHeuristic = obs.GetCounter("casa_ilp_heuristic_incumbents_total")
 )
 
 // Options tunes the solver.
@@ -23,7 +29,9 @@ type Options struct {
 	// (default 200000). When the cap is hit with an incumbent in hand the
 	// solution is returned with Status == Feasible.
 	MaxNodes int
-	// Tol is the simplex numerical tolerance (default 1e-9).
+	// Tol is the simplex numerical tolerance (default 1e-9). It also
+	// scales the incumbent-pruning tolerance, which is relative to the
+	// incumbent objective's magnitude.
 	Tol float64
 	// IntTol is the integrality tolerance (default 1e-6).
 	IntTol float64
@@ -34,6 +42,19 @@ type Options struct {
 	// TraceEvery is the node interval of periodic progress lines
 	// (default 1000).
 	TraceEvery int
+
+	// DisablePresolve skips the root presolve (fixed-variable
+	// substitution, redundant-row elimination, bound tightening, dual
+	// fixing). Intended for testing and diagnosis.
+	DisablePresolve bool
+	// DisableWarmStart solves every node LP with the dense from-scratch
+	// two-phase simplex instead of the warm-started revised dual simplex.
+	// Intended for testing and diagnosis.
+	DisableWarmStart bool
+	// DisableHeuristic skips the root diving heuristic that seeds the
+	// incumbent before the tree search starts. Intended for testing and
+	// diagnosis.
+	DisableHeuristic bool
 }
 
 func (o Options) withDefaults() Options {
@@ -60,7 +81,9 @@ type Solution struct {
 	Objective float64
 	// X holds the variable values indexed by Var.
 	X []float64
-	// Nodes is the number of branch & bound nodes processed.
+	// Nodes is the number of branch & bound nodes processed (nodes whose
+	// LP relaxation was solved; nodes pruned by bound before any LP work
+	// are not counted).
 	Nodes int
 	// Branches is the number of branchings performed (nodes split into
 	// floor/ceil children).
@@ -89,91 +112,299 @@ func SolveLP(m *Model, opt Options) (*Solution, error) {
 // Solve optimizes the model exactly with branch & bound over its integer
 // and binary variables, using LP-relaxation bounds. For a model without
 // integer variables it is equivalent to SolveLP.
+//
+// The solve pipeline: a root presolve shrinks the model (presolve.go);
+// node relaxations run on a bounded-variable revised dual simplex that
+// warm-starts from the basis left by the previous node (basis.go), with
+// the dense two-phase simplex as fallback; a root diving heuristic seeds
+// the incumbent so pruning bites from the first node; the tree itself is
+// explored best-bound-first with depth-first plunging.
 func Solve(m *Model, opt Options) (*Solution, error) {
 	opt = opt.withDefaults()
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	intVars := m.integerVars()
 
-	// Sign convention: compare everything in minimization space.
-	sign := 1.0
-	if m.sense == Maximize {
-		sign = -1
-	}
-
-	type node struct {
-		lo, hi []float64
-	}
-	root := node{lo: append([]float64(nil), m.lo...), hi: append([]float64(nil), m.hi...)}
-	stack := []node{root}
-
-	var (
-		incumbent    []float64
-		incumbentVal = math.Inf(1) // in minimization space
-		nodes        int
-		branches     int
-		iters        int
-		sawFeasibleL bool // any LP-feasible node seen (for status reporting)
-		hitLimit     bool
-	)
-	record := func(sol *Solution) *Solution {
+	done := func(sol *Solution) (*Solution, error) {
+		if opt.Trace != nil {
+			fmt.Fprintf(opt.Trace, "ilp: done status=%v nodes=%d branches=%d iters=%d obj=%.6g\n",
+				sol.Status, sol.Nodes, sol.Branches, sol.SimplexIters, sol.Objective)
+		}
 		mSolves.Inc()
 		mNodes.Add(int64(sol.Nodes))
 		mIters.Add(int64(sol.SimplexIters))
 		mBranches.Add(int64(sol.Branches))
-		return sol
+		return sol, nil
 	}
 
-	for len(stack) > 0 {
-		if nodes >= opt.MaxNodes {
-			hitLimit = true
-			break
+	var pr *presolveResult
+	work := m
+	if !opt.DisablePresolve {
+		pr = presolve(m, opt.Tol)
+		mPreRows.Add(int64(pr.rowsDropped))
+		mPreCols.Add(int64(pr.colsFixed + pr.colsSubst))
+		switch pr.status {
+		case Infeasible:
+			return done(&Solution{Status: Infeasible})
+		case Optimal:
+			// Presolve eliminated every variable: the instance is solved
+			// by replaying the reduction stack.
+			x := pr.postsolve(nil, m.NumVars())
+			return done(&Solution{Status: Optimal, X: x, Objective: Eval(m.obj, x)})
 		}
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		nodes++
-		if opt.Trace != nil && nodes%opt.TraceEvery == 0 {
-			inc := "-"
-			if incumbent != nil {
-				inc = fmt.Sprintf("%.6g", sign*incumbentVal)
+		work = pr.reduced
+	}
+
+	s := &bbState{orig: m, w: work, pr: pr, opt: opt}
+	s.run()
+	mPruned.Add(int64(s.pruned))
+	mWarm.Add(int64(s.warm))
+	mFallback.Add(int64(s.fallbacks))
+	mHeuristic.Add(int64(s.heuristics))
+
+	sol := &Solution{Nodes: s.nodes, Branches: s.branches, SimplexIters: s.iters}
+	switch {
+	case s.unbounded:
+		// The relaxation is unbounded. With integer variables this still
+		// certifies an unbounded or pathological model; report it rather
+		// than guessing.
+		sol.Status = Unbounded
+		return done(sol)
+	case s.incumbent != nil && !s.hitLimit:
+		sol.Status = Optimal
+	case s.incumbent != nil:
+		sol.Status = Feasible
+	case s.hitLimit:
+		sol.Status = Aborted
+	default:
+		// Either no node was LP-feasible, or LP-feasible nodes existed but
+		// none produced an integral point and the tree is exhausted:
+		// infeasible either way.
+		sol.Status = Infeasible
+	}
+	if s.incumbent != nil {
+		x := s.incumbent
+		if pr != nil {
+			x = pr.postsolve(x, m.NumVars())
+		}
+		sol.X = x
+		sol.Objective = Eval(m.obj, x)
+	}
+	return done(sol)
+}
+
+// bbNode is one open branch & bound node: a box of variable bounds plus
+// the parent relaxation bound used for best-bound ordering.
+type bbNode struct {
+	lo, hi []float64
+	bound  float64 // parent LP objective, minimization space
+	seq    int     // FIFO tie-break
+}
+
+// bbState is the working state of one branch & bound run over the
+// (possibly presolve-reduced) model w.
+type bbState struct {
+	orig *Model
+	w    *Model
+	pr   *presolveResult
+	opt  Options
+
+	sign    float64 // w's minimization-space sign
+	eng     *rsx    // warm-started engine, nil => dense per-node solves
+	intVars []int
+
+	incumbent    []float64 // in w's variable space
+	incumbentVal float64   // minimization space
+
+	heap []bbNode // open nodes, min (bound, seq) at the top
+
+	nodes, branches, iters           int
+	pruned, warm, fallbacks          int
+	heuristics, engSolves, seq       int
+	sawFeasible, hitLimit, unbounded bool
+}
+
+func (s *bbState) run() {
+	s.sign = 1
+	if s.w.sense == Maximize {
+		s.sign = -1
+	}
+	s.intVars = s.w.integerVars()
+	s.incumbentVal = math.Inf(1)
+	if !s.opt.DisableWarmStart {
+		s.eng = newRSX(s.w, s.opt.Tol)
+	}
+
+	cur := &bbNode{
+		lo: append([]float64(nil), s.w.lo...),
+		hi: append([]float64(nil), s.w.hi...),
+	}
+	for {
+		if cur == nil {
+			cur = s.nextNode()
+			if cur == nil {
+				return
 			}
-			fmt.Fprintf(opt.Trace, "ilp: node=%d stack=%d branches=%d iters=%d incumbent=%s\n",
-				nodes, len(stack), branches, iters, inc)
 		}
+		if s.nodes >= s.opt.MaxNodes {
+			s.hitLimit = true
+			return
+		}
+		cur = s.processNode(cur)
+		if s.unbounded {
+			return
+		}
+	}
+}
 
-		out := solveLP(m, nd.lo, nd.hi, opt.Tol)
-		iters += out.iters
-		switch out.status {
+// pruneable reports whether a minimization-space bound cannot improve on
+// the incumbent, within a tolerance relative to the incumbent magnitude.
+func (s *bbState) pruneable(bound float64) bool {
+	if s.incumbent == nil {
+		return false
+	}
+	return bound >= s.incumbentVal-s.opt.Tol*math.Max(1, math.Abs(s.incumbentVal))
+}
+
+// solveNodeLP solves one node relaxation: warm-started dual simplex when
+// the engine is available, dense two-phase simplex otherwise or when the
+// engine aborts.
+func (s *bbState) solveNodeLP(lo, hi []float64) (Status, []float64) {
+	if s.eng != nil {
+		s.eng.setBounds(lo, hi)
+		before := s.eng.iters
+		st := s.eng.solve(2000 + 50*(s.eng.m+s.eng.n))
+		s.iters += s.eng.iters - before
+		if s.engSolves > 0 {
+			s.warm++
+		}
+		s.engSolves++
+		if st != Aborted {
+			if st == Optimal {
+				return Optimal, s.eng.values()
+			}
+			return st, nil
+		}
+		s.fallbacks++
+	}
+	out := solveLP(s.w, lo, hi, s.opt.Tol)
+	s.iters += out.iters
+	return out.status, out.x
+}
+
+// feasibleIn verifies x against w's constraints and bounds with a
+// tolerance scaled to each row's magnitude; used to screen incumbent
+// candidates against numerical drift in the warm-started basis.
+func feasibleIn(w *Model, x []float64) bool {
+	for j := range x {
+		if x[j] < w.lo[j]-1e-6 || x[j] > w.hi[j]+1e-6 {
+			return false
+		}
+	}
+	for _, c := range w.cons {
+		v := Eval(c.Expr, x)
+		tol := 1e-6 * math.Max(1, math.Abs(c.RHS))
+		switch c.Rel {
+		case LE:
+			if v > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if v < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(v-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// userObjective maps a w-space point to the original model's objective
+// value (trace display only).
+func (s *bbState) userObjective(x []float64) float64 {
+	if s.pr != nil {
+		return Eval(s.orig.obj, s.pr.postsolve(x, s.orig.NumVars()))
+	}
+	return Eval(s.orig.obj, x)
+}
+
+// tryIncumbent snaps x's integer values, verifies feasibility, and
+// installs it as the incumbent when it improves. Reports whether x was
+// accepted as feasible (improving or not).
+func (s *bbState) tryIncumbent(x []float64, heuristic bool) bool {
+	cand := append([]float64(nil), x...)
+	for _, j := range s.intVars {
+		cand[j] = math.Round(cand[j])
+	}
+	if !feasibleIn(s.w, cand) {
+		return false
+	}
+	val := s.sign * Eval(s.w.obj, cand)
+	if val < s.incumbentVal {
+		s.incumbentVal = val
+		s.incumbent = cand
+		if heuristic {
+			s.heuristics++
+		}
+		if s.opt.Trace != nil {
+			tag := ""
+			if heuristic {
+				tag = "heuristic, "
+			}
+			fmt.Fprintf(s.opt.Trace, "ilp: incumbent %.6g at node %d (%siters=%d)\n",
+				s.userObjective(cand), s.nodes, tag, s.iters)
+		}
+	}
+	return true
+}
+
+// processNode solves one node and returns the child to plunge into, or
+// nil when the node closed (pruned, infeasible, or integral).
+func (s *bbState) processNode(nd *bbNode) *bbNode {
+	s.nodes++
+	if s.opt.Trace != nil && s.nodes%s.opt.TraceEvery == 0 {
+		inc := "-"
+		if s.incumbent != nil {
+			inc = fmt.Sprintf("%.6g", s.userObjective(s.incumbent))
+		}
+		fmt.Fprintf(s.opt.Trace, "ilp: node=%d stack=%d branches=%d iters=%d incumbent=%s\n",
+			s.nodes, len(s.heap), s.branches, s.iters, inc)
+	}
+
+	st, x := s.solveNodeLP(nd.lo, nd.hi)
+	fromEngine := s.eng != nil
+	for {
+		switch st {
 		case Infeasible, Aborted:
-			continue
+			return nil
 		case Unbounded:
-			// The relaxation is unbounded. With integer variables this
-			// still certifies an unbounded or pathological model; report
-			// it rather than guessing.
-			return record(&Solution{Status: Unbounded, Nodes: nodes, Branches: branches, SimplexIters: iters}), nil
+			s.unbounded = true
+			return nil
 		}
-		sawFeasibleL = true
-		bound := sign * out.obj
-		if bound >= incumbentVal-1e-9 {
-			continue // cannot improve on the incumbent
+		bound := s.sign * Eval(s.w.obj, x)
+		s.sawFeasible = true
+		if s.pruneable(bound) {
+			s.pruned++
+			return nil
 		}
 
-		// Find the branch variable: among fractional integer variables,
-		// take the highest branch-priority class, most fractional within
-		// it. Priorities let formulations steer branching toward genuine
+		// Branch variable: among fractional integer variables, the
+		// highest branch-priority class, most fractional within it.
+		// Priorities let formulations steer branching toward genuine
 		// decision variables (CASA: the l's) instead of derived ones
 		// (the linearization L's, which the l's imply).
 		branchVar := -1
-		worst := opt.IntTol
+		worst := s.opt.IntTol
 		bestPrio := math.MinInt
-		for _, j := range intVars {
-			v := out.x[j]
-			frac := math.Abs(v - math.Round(v))
-			if frac <= opt.IntTol {
+		for _, j := range s.intVars {
+			frac := math.Abs(x[j] - math.Round(x[j]))
+			if frac <= s.opt.IntTol {
 				continue
 			}
-			p := m.prio[j]
+			p := s.w.prio[j]
 			if p > bestPrio || (p == bestPrio && frac > worst) {
 				bestPrio = p
 				worst = frac
@@ -181,67 +412,161 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 			}
 		}
 		if branchVar < 0 {
-			// Integral: new incumbent. Snap integer values exactly.
-			x := append([]float64(nil), out.x...)
-			for _, j := range intVars {
-				x[j] = math.Round(x[j])
+			if s.tryIncumbent(x, false) {
+				return nil
 			}
-			val := sign * Eval(m.obj, x)
-			if val < incumbentVal {
-				incumbentVal = val
-				incumbent = x
-				if opt.Trace != nil {
-					fmt.Fprintf(opt.Trace, "ilp: incumbent %.6g at node %d (iters=%d)\n",
-						sign*incumbentVal, nodes, iters)
-				}
+			if !fromEngine {
+				// The dense simplex produced an infeasible "integral"
+				// point; numerically hopeless, close the node.
+				return nil
 			}
+			// Warm-basis drift produced an integral point that fails the
+			// feasibility screen: re-solve this node from scratch.
+			s.fallbacks++
+			out := solveLP(s.w, nd.lo, nd.hi, s.opt.Tol)
+			s.iters += out.iters
+			st, x, fromEngine = out.status, out.x, false
 			continue
 		}
 
-		branches++
-		v := out.x[branchVar]
-		floorNode := node{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
-		floorNode.hi[branchVar] = math.Floor(v)
-		ceilNode := node{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
-		ceilNode.lo[branchVar] = math.Ceil(v)
-		// Explore the side nearer the fractional value first (push last).
-		if v-math.Floor(v) >= 0.5 {
-			stack = append(stack, floorNode, ceilNode)
-		} else {
-			stack = append(stack, ceilNode, floorNode)
+		// Root diving heuristic: fix the most-integral fractional
+		// variable and re-solve, walking the warm basis down to an
+		// integral point that seeds the incumbent.
+		if s.nodes == 1 && s.eng != nil && !s.opt.DisableHeuristic {
+			s.dive(nd, x)
+			if s.pruneable(bound) {
+				// The heuristic already matches the root bound: optimal.
+				s.pruned++
+				return nil
+			}
 		}
-	}
 
-	sol := &Solution{Nodes: nodes, Branches: branches, SimplexIters: iters}
-	switch {
-	case incumbent != nil && !hitLimit:
-		sol.Status = Optimal
-	case incumbent != nil:
-		sol.Status = Feasible
-	case hitLimit:
-		sol.Status = Aborted
-	case !sawFeasibleL:
-		sol.Status = Infeasible
-	default:
-		// LP-feasible nodes existed but none produced an integral point
-		// and the tree is exhausted: integer-infeasible.
-		sol.Status = Infeasible
+		s.branches++
+		v := x[branchVar]
+		floorNode := &bbNode{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...), bound: bound}
+		floorNode.hi[branchVar] = math.Floor(v)
+		ceilNode := &bbNode{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...), bound: bound}
+		ceilNode.lo[branchVar] = math.Ceil(v)
+		// Plunge into the side nearer the fractional value; the other
+		// child joins the best-bound heap.
+		near, far := ceilNode, floorNode
+		if v-math.Floor(v) < 0.5 {
+			near, far = floorNode, ceilNode
+		}
+		s.pushNode(far)
+		return near
 	}
-	if incumbent != nil {
-		sol.X = incumbent
-		sol.Objective = Eval(m.obj, incumbent)
+}
+
+// dive runs the root incumbent heuristic: repeatedly fix the fractional
+// integer variable closest to integrality at its rounded value and
+// re-solve the (warm) relaxation; on infeasibility retry once at the
+// opposite value. For a knapsack-shaped model the root LP already sorts
+// variables by value density, so this walk lands on the greedy packing.
+func (s *bbState) dive(nd *bbNode, rootX []float64) {
+	lo := append([]float64(nil), nd.lo...)
+	hi := append([]float64(nil), nd.hi...)
+	x := rootX
+	for step := 0; step < 2*len(s.intVars)+4; step++ {
+		j, frac := -1, 2.0
+		for _, iv := range s.intVars {
+			f := math.Abs(x[iv] - math.Round(x[iv]))
+			if f <= s.opt.IntTol {
+				continue
+			}
+			if f < frac {
+				frac, j = f, iv
+			}
+		}
+		if j < 0 {
+			s.tryIncumbent(x, true)
+			return
+		}
+		v := math.Round(x[j])
+		v = math.Max(nd.lo[j], math.Min(nd.hi[j], v))
+		lo[j], hi[j] = v, v
+		st, nx := s.solveNodeLP(lo, hi)
+		if st != Optimal {
+			alt := v + 1
+			if v > x[j] {
+				alt = v - 1
+			}
+			if alt < nd.lo[j] || alt > nd.hi[j] {
+				return
+			}
+			lo[j], hi[j] = alt, alt
+			st, nx = s.solveNodeLP(lo, hi)
+			if st != Optimal {
+				return
+			}
+		}
+		x = nx
 	}
-	if opt.Trace != nil {
-		fmt.Fprintf(opt.Trace, "ilp: done status=%v nodes=%d branches=%d iters=%d obj=%.6g\n",
-			sol.Status, sol.Nodes, sol.Branches, sol.SimplexIters, sol.Objective)
+}
+
+// pushNode adds an open node to the best-bound heap.
+func (s *bbState) pushNode(nd *bbNode) {
+	nd.seq = s.seq
+	s.seq++
+	s.heap = append(s.heap, *nd)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(i, p) {
+			break
+		}
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
 	}
-	return record(sol), nil
+}
+
+func (s *bbState) heapLess(a, b int) bool {
+	if s.heap[a].bound != s.heap[b].bound {
+		return s.heap[a].bound < s.heap[b].bound
+	}
+	return s.heap[a].seq < s.heap[b].seq
+}
+
+// nextNode pops the best-bound open node, discarding the whole frontier
+// when even the best bound cannot beat the incumbent.
+func (s *bbState) nextNode() *bbNode {
+	if len(s.heap) == 0 {
+		return nil
+	}
+	if s.pruneable(s.heap[0].bound) {
+		// The heap minimum is already dominated; so is everything else.
+		s.pruned += len(s.heap)
+		s.heap = s.heap[:0]
+		return nil
+	}
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(s.heap) && s.heapLess(l, best) {
+			best = l
+		}
+		if r < len(s.heap) && s.heapLess(r, best) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		s.heap[i], s.heap[best] = s.heap[best], s.heap[i]
+		i = best
+	}
+	return &top
 }
 
 // SolveBruteForce exhaustively enumerates all assignments of the model's
 // binary variables (continuous variables are not supported) and returns
 // the best feasible assignment. It exists to validate the branch & bound
-// solver in tests and panics beyond 24 binaries.
+// solver in tests and refuses models beyond 24 binaries.
 func SolveBruteForce(m *Model) (*Solution, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -250,6 +575,9 @@ func SolveBruteForce(m *Model) (*Solution, error) {
 	for i, k := range m.kinds {
 		switch k {
 		case Binary:
+			if m.lo[i] == m.hi[i] {
+				continue // pinned; the init loop sets x[i] = lo
+			}
 			bins = append(bins, i)
 		case Integer, Continuous:
 			if m.lo[i] == m.hi[i] {
@@ -264,7 +592,7 @@ func SolveBruteForce(m *Model) (*Solution, error) {
 		}
 	}
 	if len(bins) > 24 {
-		panic("ilp.SolveBruteForce: too many binaries")
+		return nil, fmt.Errorf("ilp: brute force supports at most 24 binaries, model has %d", len(bins))
 	}
 	sign := 1.0
 	if m.sense == Maximize {

@@ -13,6 +13,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/ir"
 )
@@ -92,15 +93,46 @@ type Edge struct {
 	Kind EdgeKind
 }
 
-// Profile aggregates one run's execution counts.
+// edgeKinds is the number of EdgeKind values; a block has at most one
+// dynamic successor per kind (fall-through, taken target, callee entry),
+// so (From, Kind) identifies an edge completely.
+const edgeKinds = 3
+
+// Profile aggregates one run's execution counts. Edge traversals are
+// stored densely as per-function, per-block counters indexed by EdgeKind
+// — the profiling hot loop only increments a slice cell, never hashes a
+// map key. The classic map view is materialized on demand by Edges.
 type Profile struct {
 	// Blocks[f][b] is the number of times block b of function f executed.
 	Blocks [][]int64
-	// Edges counts dynamic traversals per control-flow edge.
-	Edges map[Edge]int64
 	// Fetches is the total number of instruction fetches, excluding any
 	// layout-dependent appended jumps (profiles are layout-independent).
 	Fetches int64
+
+	// edges[f][b][k] counts traversals of block b's outgoing edge of
+	// kind k.
+	edges [][][edgeKinds]int64
+	// prog resolves edge targets when the map view is materialized and
+	// when lookups validate their target argument.
+	prog *ir.Program
+
+	edgeOnce sync.Once
+	edgeMap  map[Edge]int64
+}
+
+// NewProfile returns an empty profile shaped for p, ready for manual
+// population (tests) or the profiling run itself.
+func NewProfile(p *ir.Program) *Profile {
+	prof := &Profile{
+		Blocks: make([][]int64, len(p.Funcs)),
+		edges:  make([][][edgeKinds]int64, len(p.Funcs)),
+		prog:   p,
+	}
+	for i, f := range p.Funcs {
+		prof.Blocks[i] = make([]int64, len(f.Blocks))
+		prof.edges[i] = make([][edgeKinds]int64, len(f.Blocks))
+	}
+	return prof
 }
 
 // BlockCount returns the execution count of the referenced block.
@@ -108,10 +140,75 @@ func (p *Profile) BlockCount(ref ir.BlockRef) int64 {
 	return p.Blocks[ref.Func][ref.Block]
 }
 
+// edgeTarget resolves the static target of from's outgoing edge of the
+// given kind, or ok=false when the block has no such edge.
+func (p *Profile) edgeTarget(from ir.BlockRef, kind EdgeKind) (ir.BlockRef, bool) {
+	b := p.prog.Func(from.Func).Block(from.Block)
+	switch kind {
+	case EdgeFall:
+		if b.FallThrough != ir.NoBlock {
+			return ir.BlockRef{Func: from.Func, Block: b.FallThrough}, true
+		}
+	case EdgeTaken:
+		if b.Taken != ir.NoBlock {
+			return ir.BlockRef{Func: from.Func, Block: b.Taken}, true
+		}
+	case EdgeCall:
+		if b.CallTarget != ir.NoFunc {
+			callee := p.prog.Func(b.CallTarget)
+			return ir.BlockRef{Func: callee.ID, Block: callee.Entry}, true
+		}
+	}
+	return ir.BlockRef{}, false
+}
+
+// EdgeCount returns the traversal count of the given edge, or 0 when the
+// edge does not exist in the program or was never traversed.
+func (p *Profile) EdgeCount(e Edge) int64 {
+	if int(e.Kind) >= edgeKinds {
+		return 0
+	}
+	to, ok := p.edgeTarget(e.From, e.Kind)
+	if !ok || to != e.To {
+		return 0
+	}
+	return p.edges[e.From.Func][e.From.Block][e.Kind]
+}
+
+// AddEdge records n traversals of e (test construction helper; the edge
+// must exist in the program).
+func (p *Profile) AddEdge(e Edge, n int64) {
+	p.edges[e.From.Func][e.From.Block][e.Kind] += n
+}
+
 // FallCount returns the traversal count of the fall-through edge from ref
 // to its fall-through successor, or 0 if none was traversed.
 func (p *Profile) FallCount(from, to ir.BlockRef) int64 {
-	return p.Edges[Edge{From: from, To: to, Kind: EdgeFall}]
+	return p.EdgeCount(Edge{From: from, To: to, Kind: EdgeFall})
+}
+
+// Edges materializes the traversal counts as a map keyed by edge,
+// omitting zero counts. The map is built once and shared; callers must
+// not mutate it.
+func (p *Profile) Edges() map[Edge]int64 {
+	p.edgeOnce.Do(func() {
+		m := make(map[Edge]int64)
+		for f, blocks := range p.edges {
+			for b, counts := range blocks {
+				for k, n := range counts {
+					if n == 0 {
+						continue
+					}
+					from := ir.BlockRef{Func: ir.FuncID(f), Block: ir.BlockID(b)}
+					if to, ok := p.edgeTarget(from, EdgeKind(k)); ok {
+						m[Edge{From: from, To: to, Kind: EdgeKind(k)}] = n
+					}
+				}
+			}
+		}
+		p.edgeMap = m
+	})
+	return p.edgeMap
 }
 
 // options bundles the run limits.
@@ -130,20 +227,14 @@ func WithMaxFetches(n int64) Option {
 // ProfileProgram executes p and returns its execution profile. The program
 // must be valid (ir.Validate).
 func ProfileProgram(p *ir.Program, opts ...Option) (*Profile, error) {
-	prof := &Profile{
-		Blocks: make([][]int64, len(p.Funcs)),
-		Edges:  make(map[Edge]int64),
-	}
-	for i, f := range p.Funcs {
-		prof.Blocks[i] = make([]int64, len(f.Blocks))
-	}
+	prof := NewProfile(p)
 	e := newExec(p, opts)
 	err := e.run(
 		func(ref ir.BlockRef, n int) {
 			prof.Blocks[ref.Func][ref.Block]++
 			prof.Fetches += int64(n)
 		},
-		func(edge Edge) { prof.Edges[edge]++ },
+		func(edge Edge) { prof.edges[edge.From.Func][edge.From.Block][edge.Kind]++ },
 		nil,
 	)
 	if err != nil {

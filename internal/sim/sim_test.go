@@ -51,7 +51,7 @@ func TestProfileLoopCounts(t *testing.T) {
 	if got := prof.FallCount(entry, body); got != 1 {
 		t.Errorf("entry->body fall = %d, want 1", got)
 	}
-	if got := prof.Edges[Edge{From: body, To: body, Kind: EdgeTaken}]; got != trips-1 {
+	if got := prof.EdgeCount(Edge{From: body, To: body, Kind: EdgeTaken}); got != trips-1 {
 		t.Errorf("back edge = %d, want %d", got, trips-1)
 	}
 	if got := prof.FallCount(body, exit); got != 1 {
@@ -81,7 +81,7 @@ func TestProfileCallsAndReturns(t *testing.T) {
 	loop := ir.BlockRef{Func: 0, Block: 1}
 	after := ir.BlockRef{Func: 0, Block: 2}
 	callEdge := Edge{From: loop, To: leafBody, Kind: EdgeCall}
-	if got := prof.Edges[callEdge]; got != 5 {
+	if got := prof.EdgeCount(callEdge); got != 5 {
 		t.Errorf("call edge = %d, want 5", got)
 	}
 	// Return continuation is a fall edge from the call block.
@@ -112,9 +112,9 @@ func TestProfileDeterminism(t *testing.T) {
 	if a.Fetches != b.Fetches {
 		t.Errorf("fetches differ across runs: %d vs %d", a.Fetches, b.Fetches)
 	}
-	for e, n := range a.Edges {
-		if b.Edges[e] != n {
-			t.Errorf("edge %v: %d vs %d", e, n, b.Edges[e])
+	for e, n := range a.Edges() {
+		if b.EdgeCount(e) != n {
+			t.Errorf("edge %v: %d vs %d", e, n, b.EdgeCount(e))
 		}
 	}
 	// Biased split roughly 30/70.

@@ -153,10 +153,7 @@ func TestRecursionRejected(t *testing.T) {
 	p := pb.MustBuild()
 	// A recursive program cannot be profiled; hand the trace builder an
 	// empty profile instead.
-	prof := &sim.Profile{Blocks: make([][]int64, len(p.Funcs)), Edges: map[sim.Edge]int64{}}
-	for i, f := range p.Funcs {
-		prof.Blocks[i] = make([]int64, len(f.Blocks))
-	}
+	prof := sim.NewProfile(p)
 	set, err := trace.Build(p, prof, trace.Options{MaxBytes: 4096, LineBytes: 16})
 	if err != nil {
 		t.Fatal(err)
