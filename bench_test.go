@@ -152,7 +152,10 @@ func BenchmarkSensitivity(b *testing.B) {
 // BenchmarkProfileMpeg measures the instruction-fetch interpreter on the
 // largest workload (~2.7M fetches per run).
 func BenchmarkProfileMpeg(b *testing.B) {
-	p := workload.MustLoad("mpeg")
+	p, err := workload.Load("mpeg")
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.ProfileProgram(p); err != nil {
@@ -163,7 +166,10 @@ func BenchmarkProfileMpeg(b *testing.B) {
 
 // BenchmarkCacheAccess measures the raw I-cache model.
 func BenchmarkCacheAccess(b *testing.B) {
-	c := cache.MustNew(cache.Config{SizeBytes: 2048, LineBytes: 16, Assoc: 2})
+	c, err := cache.New(cache.Config{SizeBytes: 2048, LineBytes: 16, Assoc: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Access(uint32(i*36), i&7)
@@ -172,7 +178,10 @@ func BenchmarkCacheAccess(b *testing.B) {
 
 // BenchmarkTraceFormationMpeg measures trace formation on mpeg.
 func BenchmarkTraceFormationMpeg(b *testing.B) {
-	p := workload.MustLoad("mpeg")
+	p, err := workload.Load("mpeg")
+	if err != nil {
+		b.Fatal(err)
+	}
 	prof, err := sim.ProfileProgram(p)
 	if err != nil {
 		b.Fatal(err)
@@ -220,7 +229,7 @@ func BenchmarkSolveCASAILP(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sol, err := ilp.Solve(m, prm.Solver)
+		sol, err := ilp.Solve(context.Background(), m, prm.Solver)
 		if err != nil || sol.Status != ilp.Optimal {
 			b.Fatalf("%v %v", err, sol.Status)
 		}
@@ -242,7 +251,7 @@ func BenchmarkSimplexKnapsackLP(b *testing.B) {
 	m.SetObjective(obj, ilp.Maximize)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		sol, err := ilp.SolveLP(m, ilp.Options{})
+		sol, err := ilp.SolveLP(context.Background(), m, ilp.Options{})
 		if err != nil || sol.Status != ilp.Optimal {
 			b.Fatalf("%v %v", err, sol.Status)
 		}
@@ -282,7 +291,10 @@ func BenchmarkWCETStudy(b *testing.B) {
 // reloading.
 func BenchmarkOverlayStudy(b *testing.B) {
 	s := experiments.NewSuite()
-	cfg := experiments.DefaultOverlayStudy()
+	cfg, err := experiments.DefaultOverlayStudy()
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.OverlayStudy(context.Background(), s, cfg)
 		if err != nil {

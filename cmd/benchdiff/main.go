@@ -152,8 +152,35 @@ func runFromReport(in, out string) error {
 	if len(reps) == 0 {
 		return fmt.Errorf("%s: no report lines found", in)
 	}
+	if err := checkDegraded(reps); err != nil {
+		return err
+	}
 	res := aggregateReports(reps)
 	return writeResults(res, out)
+}
+
+// checkDegraded fails the gate when any report carries degraded cells or
+// the degraded/panic counters moved: a CI run must solve every cell to
+// proven optimality, so a budget expiry or recovered panic sneaking into
+// the benchmark lane would silently compare apples to incumbents.
+func checkDegraded(reps []*obs.Report) error {
+	var msgs []string
+	for _, rep := range reps {
+		for _, dc := range rep.DegradedCells {
+			msgs = append(msgs, fmt.Sprintf("%s round %d cell %d: %s (gap %.4g, fallback %v)",
+				rep.Study, rep.Round, dc.Index, dc.Reason, dc.Gap, dc.Fallback))
+		}
+		for _, name := range []string{"casa_solve_degraded_total", "casa_cell_panics_total", "casa_fallback_greedy_total"} {
+			if v := rep.Metrics[name]; v > 0 && len(rep.DegradedCells) == 0 {
+				msgs = append(msgs, fmt.Sprintf("%s round %d: %s = %g", rep.Study, rep.Round, name, v))
+			}
+		}
+	}
+	if len(msgs) > 0 {
+		return fmt.Errorf("report contains degraded results; refusing to gate on them:\n  %s",
+			strings.Join(msgs, "\n  "))
+	}
+	return nil
 }
 
 // aggregateReports folds a report stream into gateable scalars: summed

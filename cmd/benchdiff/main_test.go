@@ -232,3 +232,32 @@ func TestFromReportEndToEnd(t *testing.T) {
 		t.Errorf("unexpected ns_per_op section: %v", res.NsPerOp)
 	}
 }
+
+// TestFromReportRejectsDegraded: the CI gate must refuse to aggregate a
+// report carrying degraded cells (or a moved degraded counter) — a
+// budget-expired solve would make the benchmark numbers incomparable.
+func TestFromReportRejectsDegraded(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.json")
+	cases := map[string]string{
+		"degraded-cells":   `{"study":"fig4","round":1,"degraded_cells":[{"index":2,"reason":"deadline","gap":0.1}]}` + "\n",
+		"degraded-counter": `{"study":"fig4","round":1,"metrics":{"casa_solve_degraded_total":3}}` + "\n",
+		"panic-counter":    `{"study":"fig4","round":1,"metrics":{"casa_cell_panics_total":1}}` + "\n",
+	}
+	for name, line := range cases {
+		jsonl := filepath.Join(dir, name+".jsonl")
+		if err := os.WriteFile(jsonl, []byte(line), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := runFromReport(jsonl, out); err == nil {
+			t.Errorf("%s: degraded report passed the gate", name)
+		}
+	}
+	clean := filepath.Join(dir, "clean.jsonl")
+	if err := os.WriteFile(clean, []byte(`{"study":"fig4","round":1,"spans":[{"name":"cell","dur_ns":5}]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFromReport(clean, out); err != nil {
+		t.Errorf("clean report failed the gate: %v", err)
+	}
+}

@@ -17,10 +17,15 @@
 //
 // Usage:
 //
-//	experiments [-workers N] [-compare-serial]
+//	experiments [-workers N] [-compare-serial] [-solve-budget 30s]
 //	            [-exp fig4|fig5|table1|sensitivity|wcet|overlay|data|placement|ablations|all]
 //	            [-repeat N] [-report out.jsonl] [-report-deterministic]
 //	            [-trace] [-pprof :6060]
+//
+// Robustness: -solve-budget D caps each CASA ILP solve at D of wall
+// clock; an expired solve degrades to its best incumbent (or the greedy
+// allocator) instead of failing the run, and every degraded cell is
+// listed in the -report line with its cause and optimality gap.
 package main
 
 import (
@@ -76,6 +81,8 @@ func main() {
 		"run the selected studies this many rounds on one shared suite; rounds after the first hit the memo layers and print nothing to stdout")
 	reportPath := flag.String("report", "",
 		"write a machine-readable JSONL run report (one line per study per round: span tree + metric deltas)")
+	solveBudget := flag.Duration("solve-budget", 0,
+		"wall-clock budget per CASA ILP solve (0 = unlimited); expired solves degrade to the incumbent or greedy fallback instead of failing")
 	reportDet := flag.Bool("report-deterministic", false,
 		"zero wall times and drop time-based metrics in the report, making warm rounds byte-stable (golden tests)")
 	traceFlag := flag.Bool("trace", false,
@@ -114,7 +121,7 @@ func main() {
 			defer f.Close()
 			report = f
 		}
-		s := experiments.NewSuite().SetWorkers(*workers)
+		s := experiments.NewSuite().SetWorkers(*workers).SetSolveBudget(*solveBudget)
 		err = runStudies(sel, s, *repeat, os.Stdout, os.Stderr, report, *reportDet)
 	}
 	obs.MaybeDumpMetrics(os.Stderr)
@@ -171,6 +178,7 @@ func writeReport(w io.Writer, name string, round, workers int, wall time.Duratio
 		Spans:   tr.Roots(),
 		Metrics: obs.Default.Delta(before),
 	}
+	rep.DegradedCells = collectDegraded(rep.Spans)
 	if runErr != nil {
 		rep.Error = runErr.Error()
 		var ge *parallel.GridError
@@ -189,6 +197,41 @@ func writeReport(w io.Writer, name string, round, workers int, wall time.Duratio
 		rep.Canonicalize()
 	}
 	return rep.WriteJSONL(w)
+}
+
+// collectDegraded walks a report's span forest and returns one entry per
+// cell that consumed a degraded CASA allocation, deduplicated by cell
+// index. The "degraded" attr carries the cause; "gap" and "fallback" the
+// incumbent quality.
+func collectDegraded(spans []*obs.Span) []obs.DegradedCell {
+	var out []obs.DegradedCell
+	seen := map[int]bool{}
+	var walk func(sp *obs.Span, cell int)
+	walk = func(sp *obs.Span, cell int) {
+		if sp.Name == "cell" {
+			if idx, ok := sp.Attrs["index"].(int); ok {
+				cell = idx
+			}
+		}
+		if reason, ok := sp.Attrs["degraded"]; ok && !seen[cell] {
+			seen[cell] = true
+			dc := obs.DegradedCell{Index: cell, Reason: fmt.Sprint(reason)}
+			if g, ok := sp.Attrs["gap"].(float64); ok {
+				dc.Gap = g
+			}
+			if _, ok := sp.Attrs["fallback"]; ok {
+				dc.Fallback = true
+			}
+			out = append(out, dc)
+		}
+		for _, c := range sp.Children {
+			walk(c, cell)
+		}
+	}
+	for _, r := range spans {
+		walk(r, -1)
+	}
+	return out
 }
 
 // compare times each study twice on fresh suites — serial, then at the
@@ -267,7 +310,11 @@ func runWCET(ctx context.Context, s *experiments.Suite, w io.Writer) error {
 }
 
 func runOverlay(ctx context.Context, s *experiments.Suite, w io.Writer) error {
-	rows, err := experiments.OverlayStudy(ctx, s, experiments.DefaultOverlayStudy())
+	cfg, err := experiments.DefaultOverlayStudy()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.OverlayStudy(ctx, s, cfg)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -93,5 +94,101 @@ func TestSelectStudies(t *testing.T) {
 	}
 	if sel := selectStudies("wat"); sel != nil {
 		t.Errorf("unknown study selected %v", sel)
+	}
+}
+
+// TestSolveBudgetDegradedReport: a tiny solve budget forces every cell's
+// ILP into the anytime path, and the run report must list each degraded
+// cell with its cause — while the study itself still completes with rows.
+func TestSolveBudgetDegradedReport(t *testing.T) {
+	sel := selectStudies("fig4")
+	var buf bytes.Buffer
+	s := experiments.NewSuite().SetWorkers(2).SetSolveBudget(1) // 1ns: expires instantly
+	if err := runStudies(sel, s, 1, io.Discard, io.Discard, &buf, false); err != nil {
+		t.Fatalf("runStudies under budget: %v", err)
+	}
+	reps, err := obs.ReadReports(&buf)
+	if err != nil {
+		t.Fatalf("ReadReports: %v", err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reps))
+	}
+	rep := reps[0]
+	if len(rep.DegradedCells) == 0 {
+		t.Fatal("no degraded cells in report despite 1ns solve budget")
+	}
+	for _, dc := range rep.DegradedCells {
+		if dc.Reason == "" {
+			t.Errorf("degraded cell %d has no reason", dc.Index)
+		}
+		if dc.Index < 0 {
+			t.Errorf("degraded span outside any cell (index %d)", dc.Index)
+		}
+	}
+	if rep.Metrics["casa_solve_degraded_total"] <= 0 {
+		t.Error("casa_solve_degraded_total did not move")
+	}
+}
+
+// TestChaosReportListsFailedCells: an injected cell panic fails the
+// study, and the report line written before the error propagates must
+// list the losing cell with its cause so the failure is auditable.
+func TestChaosReportListsFailedCells(t *testing.T) {
+	plan, err := fault.Parse("cell-panic:1")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	fault.Set(plan)
+	defer fault.Set(nil)
+
+	sel := selectStudies("fig4")
+	var buf bytes.Buffer
+	s := experiments.NewSuite().SetWorkers(1)
+	runErr := runStudies(sel, s, 1, io.Discard, io.Discard, &buf, false)
+	if runErr == nil {
+		t.Fatal("runStudies under cell-panic:1 succeeded, want grid error")
+	}
+	reps, err := obs.ReadReports(&buf)
+	if err != nil {
+		t.Fatalf("ReadReports: %v", err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("got %d reports, want 1 (the line must be written before the error propagates)", len(reps))
+	}
+	rep := reps[0]
+	if rep.Error == "" {
+		t.Error("report carries no study error")
+	}
+	if len(rep.FailedCells) != 1 {
+		t.Fatalf("FailedCells = %+v, want exactly one", rep.FailedCells)
+	}
+	fc := rep.FailedCells[0]
+	if fc.Index != 0 || fc.Skipped || !strings.Contains(fc.Err, "cell-panic") {
+		t.Errorf("failed cell = %+v, want index 0 with a cell-panic cause", fc)
+	}
+	if rep.Metrics["casa_cell_panics_total"] != 1 {
+		t.Errorf("casa_cell_panics_total = %v, want 1", rep.Metrics["casa_cell_panics_total"])
+	}
+	if rep.Metrics["casa_faults_injected_total"] != 1 {
+		t.Errorf("casa_faults_injected_total = %v, want 1", rep.Metrics["casa_faults_injected_total"])
+	}
+}
+
+// TestCollectDegradedDedupesPerCell: two degraded spans under one cell
+// (the solve span and the memo-annotation span) yield one entry.
+func TestCollectDegradedDedupes(t *testing.T) {
+	cell := &obs.Span{Name: "cell", Attrs: map[string]any{"index": 3}}
+	cell.Children = []*obs.Span{
+		{Name: "ilp-solve", Attrs: map[string]any{"degraded": "deadline", "gap": 0.25}},
+		{Name: "degraded-allocation", Attrs: map[string]any{"degraded": "deadline", "gap": 0.25, "fallback": "greedy"}},
+	}
+	got := collectDegraded([]*obs.Span{{Name: "study", Children: []*obs.Span{cell}}})
+	if len(got) != 1 {
+		t.Fatalf("collectDegraded returned %d entries, want 1", len(got))
+	}
+	dc := got[0]
+	if dc.Index != 3 || dc.Reason != "deadline" || dc.Gap != 0.25 {
+		t.Errorf("entry = %+v", dc)
 	}
 }

@@ -5,15 +5,17 @@
 //
 // Usage:
 //
-//	ilp [-relax] [-nodes N] [file.lp]    (reads stdin without a file)
+//	ilp [-relax] [-nodes N] [-budget D] [file.lp]    (reads stdin without a file)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/ilp"
 )
@@ -21,15 +23,16 @@ import (
 func main() {
 	relax := flag.Bool("relax", false, "solve the continuous relaxation only")
 	nodes := flag.Int("nodes", 0, "branch & bound node limit (0 = default)")
+	budget := flag.Duration("budget", 0, "wall-clock solve budget; past it the best incumbent is returned (0 = unlimited)")
 	flag.Parse()
 
-	if err := run(*relax, *nodes, flag.Arg(0)); err != nil {
+	if err := run(*relax, *nodes, *budget, flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "ilp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(relax bool, nodes int, path string) error {
+func run(relax bool, nodes int, budget time.Duration, path string) error {
 	var src io.Reader = os.Stdin
 	if path != "" {
 		f, err := os.Open(path)
@@ -45,17 +48,20 @@ func run(relax bool, nodes int, path string) error {
 	}
 	fmt.Printf("model: %d variables, %d constraints\n", m.NumVars(), m.NumConstraints())
 
-	opt := ilp.Options{MaxNodes: nodes}
+	opt := ilp.Options{MaxNodes: nodes, Budget: budget}
 	var sol *ilp.Solution
 	if relax {
-		sol, err = ilp.SolveLP(m, opt)
+		sol, err = ilp.SolveLP(context.Background(), m, opt)
 	} else {
-		sol, err = ilp.Solve(m, opt)
+		sol, err = ilp.Solve(context.Background(), m, opt)
 	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("status: %v\n", sol.Status)
+	if sol.Degraded {
+		fmt.Printf("degraded: %s (gap %.4g)\n", sol.DegradedReason, sol.Gap)
+	}
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
 		return nil
 	}

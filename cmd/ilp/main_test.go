@@ -20,22 +20,22 @@ End
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, 0, path); err != nil {
+	if err := run(false, 0, 0, path); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run(true, 0, path); err != nil {
+	if err := run(true, 0, 0, path); err != nil {
 		t.Fatalf("run -relax: %v", err)
 	}
 }
 
 func TestRunRejectsBadFile(t *testing.T) {
-	if err := run(false, 0, "/nonexistent.lp"); err == nil {
+	if err := run(false, 0, 0, "/nonexistent.lp"); err == nil {
 		t.Error("missing file accepted")
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bad.lp")
 	os.WriteFile(path, []byte("not an lp"), 0o644)
-	if err := run(false, 0, path); err == nil {
+	if err := run(false, 0, 0, path); err == nil {
 		t.Error("garbage LP accepted")
 	}
 }

@@ -24,7 +24,10 @@ const (
 )
 
 func main() {
-	prog := repro.TwoPassWorkload()
+	prog, err := repro.TwoPassWorkload()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%s: %d bytes of code, %dB cache, %dB scratchpad\n",
 		prog.Name, prog.Size(), cacheSize, spmSize)
 

@@ -130,7 +130,7 @@ orphan:
 // execution profile.
 func TestRoundTripWorkloads(t *testing.T) {
 	for _, name := range workload.Names() {
-		p := workload.MustLoad(name)
+		p := mustLoad(t, name)
 		var sb strings.Builder
 		if err := Write(&sb, p); err != nil {
 			t.Fatalf("%s: Write: %v", name, err)
@@ -159,7 +159,10 @@ func TestRoundTripWorkloads(t *testing.T) {
 
 func TestRoundTripRandomPrograms(t *testing.T) {
 	for seed := uint64(0); seed < 10; seed++ {
-		p := workload.Random(workload.RandomSpec{Seed: seed})
+		p, err := workload.Random(workload.RandomSpec{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
 		var sb strings.Builder
 		if err := Write(&sb, p); err != nil {
 			t.Fatalf("seed %d: Write: %v", seed, err)
@@ -189,7 +192,10 @@ func TestWriteGeneratedLabelCollision(t *testing.T) {
 	f := pb.Func("main")
 	f.Block("bb1").ALU(1).Jump("bb1x")
 	f.Block("bb1x").Return()
-	p := pb.MustBuild()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
 	var sb strings.Builder
 	if err := Write(&sb, p); err != nil {
 		t.Fatalf("Write: %v", err)
@@ -241,7 +247,7 @@ out:
 }
 
 func TestWorkloadDataSurvivesRoundTrip(t *testing.T) {
-	p := workload.MustLoad("mpeg")
+	p := mustLoad(t, "mpeg")
 	var sb strings.Builder
 	if err := Write(&sb, p); err != nil {
 		t.Fatal(err)
@@ -285,4 +291,14 @@ func TestParseDataErrors(t *testing.T) {
 			t.Errorf("case %d accepted", i)
 		}
 	}
+}
+
+// mustLoad builds a named workload, failing the test on error.
+func mustLoad(t testing.TB, name string) *ir.Program {
+	t.Helper()
+	p, err := workload.Load(name)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	return p
 }

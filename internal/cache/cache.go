@@ -155,15 +155,6 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
-// MustNew is New, panicking on configuration errors.
-func MustNew(cfg Config) *Cache {
-	c, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 func log2(v uint32) uint {
 	var n uint
 	for v > 1 {

@@ -44,17 +44,24 @@ func TestPolicyString(t *testing.T) {
 	}
 }
 
-func TestMustNewPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNew did not panic")
-		}
-	}()
-	MustNew(Config{SizeBytes: 3, LineBytes: 16, Assoc: 1})
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	if _, err := New(Config{SizeBytes: 3, LineBytes: 16, Assoc: 1}); err == nil {
+		t.Fatal("New accepted an invalid config")
+	}
+}
+
+// mustNew builds a cache, failing the test on error.
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return c
 }
 
 func TestColdMissThenHit(t *testing.T) {
-	c := MustNew(dm128())
+	c := mustNew(t, dm128())
 	r := c.Access(0x100, 1)
 	if r.Hit {
 		t.Error("first access should miss")
@@ -75,7 +82,7 @@ func TestColdMissThenHit(t *testing.T) {
 }
 
 func TestDirectMappedConflictAttribution(t *testing.T) {
-	c := MustNew(dm128()) // 8 sets of 16B
+	c := mustNew(t, dm128()) // 8 sets of 16B
 	// Addresses 0x000 and 0x080 (128 apart) map to the same set.
 	if s0, s1 := c.Set(0x000), c.Set(0x080); s0 != s1 {
 		t.Fatalf("sets differ: %d vs %d", s0, s1)
@@ -99,7 +106,7 @@ func TestDirectMappedConflictAttribution(t *testing.T) {
 }
 
 func TestSelfEviction(t *testing.T) {
-	c := MustNew(dm128())
+	c := mustNew(t, dm128())
 	c.Access(0x000, 7)
 	r := c.Access(0x080, 7) // same set, same object
 	if !r.SelfEvict || r.VictimMO != 7 {
@@ -110,7 +117,7 @@ func TestSelfEviction(t *testing.T) {
 func TestLRUReplacement(t *testing.T) {
 	// 2-way, 2 sets: size=64B, line=16B, assoc=2 -> sets=2.
 	cfg := Config{SizeBytes: 64, LineBytes: 16, Assoc: 2, Replacement: LRU}
-	c := MustNew(cfg)
+	c := mustNew(t, cfg)
 	// Set 0 lines: addresses with (addr>>4)%2 == 0: 0x00, 0x40, 0x80.
 	c.Access(0x00, 1)
 	c.Access(0x40, 2)
@@ -126,7 +133,7 @@ func TestLRUReplacement(t *testing.T) {
 
 func TestFIFOReplacement(t *testing.T) {
 	cfg := Config{SizeBytes: 64, LineBytes: 16, Assoc: 2, Replacement: FIFO}
-	c := MustNew(cfg)
+	c := mustNew(t, cfg)
 	c.Access(0x00, 1)
 	c.Access(0x40, 2)
 	c.Access(0x00, 1)      // touch does not matter for FIFO
@@ -139,7 +146,7 @@ func TestFIFOReplacement(t *testing.T) {
 func TestRandomReplacementDeterministic(t *testing.T) {
 	cfg := Config{SizeBytes: 64, LineBytes: 16, Assoc: 2, Replacement: Random, Seed: 11}
 	seq := func() []int {
-		c := MustNew(cfg)
+		c := mustNew(t, cfg)
 		var victims []int
 		c.Access(0x00, 1)
 		c.Access(0x40, 2)
@@ -158,7 +165,7 @@ func TestRandomReplacementDeterministic(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	c := MustNew(dm128())
+	c := mustNew(t, dm128())
 	c.Access(0x00, 1)
 	if !c.Resident(0x00) {
 		t.Fatal("line should be resident")
@@ -173,7 +180,7 @@ func TestReset(t *testing.T) {
 }
 
 func TestLinesOf(t *testing.T) {
-	c := MustNew(dm128())
+	c := mustNew(t, dm128())
 	c.Access(0x000, 5)
 	c.Access(0x010, 5)
 	c.Access(0x020, 6)
@@ -189,7 +196,7 @@ func TestLinesOf(t *testing.T) {
 // resident, and a second immediate access hits.
 func TestAccessThenResidentProperty(t *testing.T) {
 	cfg := Config{SizeBytes: 256, LineBytes: 16, Assoc: 2, Replacement: LRU}
-	c := MustNew(cfg)
+	c := mustNew(t, cfg)
 	f := func(addr uint32, mo uint8) bool {
 		c.Access(addr, int(mo))
 		if !c.Resident(addr) {
@@ -205,7 +212,7 @@ func TestAccessThenResidentProperty(t *testing.T) {
 // Property: total resident lines never exceed capacity.
 func TestCapacityProperty(t *testing.T) {
 	cfg := Config{SizeBytes: 128, LineBytes: 16, Assoc: 4, Replacement: FIFO}
-	c := MustNew(cfg)
+	c := mustNew(t, cfg)
 	capacity := cfg.SizeBytes / cfg.LineBytes
 	f := func(addrs []uint32) bool {
 		for _, a := range addrs {
@@ -221,7 +228,7 @@ func TestCapacityProperty(t *testing.T) {
 // Property: a working set that fits within one way's reach never conflicts
 // after warmup in a fully-warm direct-mapped cache.
 func TestNoMissesWhenWorkingSetFits(t *testing.T) {
-	c := MustNew(dm128())
+	c := mustNew(t, dm128())
 	// Warm all 8 lines of [0,128).
 	for a := uint32(0); a < 128; a += 16 {
 		c.Access(a, 1)
@@ -235,7 +242,7 @@ func TestNoMissesWhenWorkingSetFits(t *testing.T) {
 }
 
 func TestSetStatsAndDumpState(t *testing.T) {
-	c := MustNew(dm128())
+	c := mustNew(t, dm128())
 	c.Access(0x100, 1) // set 0: cold miss
 	c.Access(0x100, 1) // set 0: hit
 	c.Access(0x200, 2) // set 0: miss, evicts mo 1

@@ -49,15 +49,17 @@ func (g *Graph) N() int { return len(g.fetches) }
 func (g *Graph) Fetches(i int) int64 { return g.fetches[i] }
 
 // AddMisses accumulates n conflict misses of victim caused by evictor.
-func (g *Graph) AddMisses(victim, evictor int, n int64) {
+// Out-of-range vertices are reported as an error rather than applied.
+func (g *Graph) AddMisses(victim, evictor int, n int64) error {
 	if victim < 0 || victim >= len(g.fetches) || evictor < 0 || evictor >= len(g.fetches) {
-		panic(fmt.Sprintf("conflict: vertex out of range: (%d,%d) with n=%d vertices",
-			victim, evictor, len(g.fetches)))
+		return fmt.Errorf("conflict: vertex out of range: (%d,%d) with n=%d vertices",
+			victim, evictor, len(g.fetches))
 	}
 	if n == 0 {
-		return
+		return nil
 	}
 	g.weights[[2]int{victim, evictor}] += n
+	return nil
 }
 
 // Misses returns m_ij, the misses of victim caused by evictor.

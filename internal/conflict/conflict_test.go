@@ -47,17 +47,15 @@ func TestAccumulation(t *testing.T) {
 	}
 }
 
-func TestOutOfRangePanics(t *testing.T) {
+func TestOutOfRangeErrors(t *testing.T) {
 	g := New([]int64{1})
 	for _, c := range [][2]int{{-1, 0}, {0, -1}, {1, 0}, {0, 1}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("AddMisses(%v) did not panic", c)
-				}
-			}()
-			g.AddMisses(c[0], c[1], 1)
-		}()
+		if err := g.AddMisses(c[0], c[1], 1); err == nil {
+			t.Errorf("AddMisses(%v) accepted out-of-range vertices", c)
+		}
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("rejected edges were applied: %d edges", g.NumEdges())
 	}
 }
 

@@ -33,6 +33,10 @@ import (
 	"repro/internal/trace"
 )
 
+// mFallbackGreedy counts allocations that fell back to GreedyAllocate
+// because the anytime solver stopped with no incumbent.
+var mFallbackGreedy = obs.GetCounter("casa_fallback_greedy_total")
+
 // Linearization selects how the quadratic term is linearized.
 type Linearization int
 
@@ -99,6 +103,19 @@ type Allocation struct {
 	// Nodes and SimplexIters report solver effort.
 	Nodes        int
 	SimplexIters int
+	// Degraded marks an anytime result: the solve budget or context cut
+	// the search short, so the selection is the best incumbent (or the
+	// greedy fallback) rather than a proven optimum.
+	Degraded bool
+	// DegradedReason says why ("deadline", "canceled", "node-limit",
+	// "fault:solver-deadline"); empty when Degraded is false.
+	DegradedReason string
+	// Gap is the relative optimality gap of a degraded incumbent
+	// (zero for proven-optimal results and greedy fallbacks).
+	Gap float64
+	// Fallback reports that the solver produced no incumbent at all and
+	// the selection came from GreedyAllocate.
+	Fallback bool
 }
 
 // NumInSPM returns the number of selected traces.
@@ -214,23 +231,50 @@ func Allocate(ctx context.Context, set *trace.Set, g *conflict.Graph, p Params) 
 		p.Solver.Trace = obs.TraceWriter()
 	}
 	_, ss := obs.StartSpan(ctx, "ilp-solve")
-	sol, err := ilp.Solve(m, p.Solver)
+	sol, err := ilp.Solve(ctx, m, p.Solver)
 	if sol != nil {
 		ss.SetAttr("nodes", sol.Nodes)
 		ss.SetAttr("iters", sol.SimplexIters)
+		if sol.Degraded {
+			ss.SetAttr("degraded", sol.DegradedReason)
+			ss.SetAttr("gap", sol.Gap)
+			if sol.Status == ilp.Aborted {
+				ss.SetAttr("fallback", "greedy")
+			}
+		}
 	}
 	ss.End()
 	if err != nil {
 		return nil, err
 	}
+	if sol.Status == ilp.Aborted {
+		// Anytime contract: the budget (or an injected fault) expired
+		// before the tree produced a single incumbent. Fall back to the
+		// greedy allocator so the request still terminates with a feasible
+		// selection, and label the result.
+		mFallbackGreedy.Inc()
+		a, gerr := GreedyAllocate(ctx, set, g, p)
+		if gerr != nil {
+			return nil, gerr
+		}
+		a.Degraded = true
+		a.DegradedReason = sol.DegradedReason
+		a.Fallback = true
+		a.Nodes = sol.Nodes
+		a.SimplexIters = sol.SimplexIters
+		return a, nil
+	}
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
 		return nil, fmt.Errorf("core: solver returned %v", sol.Status)
 	}
 	a := &Allocation{
-		InSPM:        make([]bool, len(set.Traces)),
-		Status:       sol.Status,
-		Nodes:        sol.Nodes,
-		SimplexIters: sol.SimplexIters,
+		InSPM:          make([]bool, len(set.Traces)),
+		Status:         sol.Status,
+		Nodes:          sol.Nodes,
+		SimplexIters:   sol.SimplexIters,
+		Degraded:       sol.Degraded,
+		DegradedReason: sol.DegradedReason,
+		Gap:            sol.Gap,
 	}
 	for i := range set.Traces {
 		if sol.Value(l[i]) < 0.5 {

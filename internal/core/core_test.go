@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/conflict"
+	"repro/internal/fault"
 	"repro/internal/ilp"
 	"repro/internal/ir"
 	"repro/internal/sim"
@@ -402,7 +403,7 @@ func TestBuildModelExportsLP(t *testing.T) {
 		t.Errorf("model too small: %d vars", m.NumVars())
 	}
 	// Must be solvable standalone.
-	sol, err := ilp.Solve(m, ilp.Options{})
+	sol, err := ilp.Solve(context.Background(), m, ilp.Options{})
 	if err != nil || sol.Status != ilp.Optimal {
 		t.Fatalf("solve: %v %v", err, sol.Status)
 	}
@@ -430,5 +431,71 @@ func TestEdgePruning(t *testing.T) {
 	// 1 capacity constraint + 2 (pruned) tight linearization rows.
 	if got := m.NumConstraints(); got != 3 {
 		t.Errorf("constraints = %d, want 3 after pruning", got)
+	}
+}
+
+func fetchCounts(set *trace.Set) []int64 {
+	fetches := make([]int64, len(set.Traces))
+	for i, tr := range set.Traces {
+		fetches[i] = tr.Fetches
+	}
+	return fetches
+}
+
+func TestAllocateFallsBackToGreedyOnAbort(t *testing.T) {
+	set := makeSet(t, []struct{ Code, Trips int }{{12, 40}, {10, 30}, {8, 20}, {6, 10}})
+	g := conflict.New(fetchCounts(set))
+	p := defaultParams(64)
+
+	// An injected solver deadline aborts the ILP before any incumbent;
+	// Allocate must still return a feasible, labeled selection.
+	fault.Set(fault.NewPlan().On(fault.SolverDeadline, 1))
+	defer fault.Set(nil)
+	a, err := Allocate(context.Background(), set, g, p)
+	if err != nil {
+		t.Fatalf("Allocate under solver fault: %v", err)
+	}
+	if !a.Fallback || !a.Degraded || a.DegradedReason != "fault:solver-deadline" {
+		t.Fatalf("fallback=%v degraded=%v reason=%q, want greedy fallback labeled with the fault",
+			a.Fallback, a.Degraded, a.DegradedReason)
+	}
+	if a.UsedBytes > p.SPMSize {
+		t.Fatalf("fallback allocation uses %d of %d bytes", a.UsedBytes, p.SPMSize)
+	}
+
+	// The fallback selection matches GreedyAllocate exactly.
+	gr, err := GreedyAllocate(context.Background(), set, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gr.InSPM {
+		if a.InSPM[i] != gr.InSPM[i] {
+			t.Fatalf("fallback selection differs from greedy at trace %d", i)
+		}
+	}
+
+	// With the fault disarmed the same inputs solve to optimality and are
+	// not labeled degraded.
+	fault.Set(nil)
+	a, err = Allocate(context.Background(), set, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Degraded || a.Fallback || a.Status != ilp.Optimal {
+		t.Fatalf("clean solve: degraded=%v fallback=%v status=%v", a.Degraded, a.Fallback, a.Status)
+	}
+}
+
+func TestAllocateCanceledContextFallsBack(t *testing.T) {
+	set := makeSet(t, []struct{ Code, Trips int }{{12, 40}, {10, 30}})
+	g := conflict.New(fetchCounts(set))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a, err := Allocate(ctx, set, g, defaultParams(64))
+	if err != nil {
+		t.Fatalf("Allocate with canceled context: %v", err)
+	}
+	if !a.Fallback || a.DegradedReason != "canceled" {
+		t.Fatalf("fallback=%v reason=%q, want greedy fallback on cancellation", a.Fallback, a.DegradedReason)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/conflict"
@@ -123,7 +124,7 @@ func AllocateWithData(set *trace.Set, g *conflict.Graph, data []ir.DataObject,
 	}
 	m.AddConstraint("joint_capacity", joint, ilp.LE, float64(p.SPMSize))
 
-	sol, err := ilp.Solve(m, p.Solver)
+	sol, err := ilp.Solve(context.Background(), m, p.Solver)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +174,7 @@ func DataEnergy(data []ir.DataObject, accesses []int64, inSPM []bool, p DataPara
 // DataOnlySelect selects the best data-only scratchpad placement (code all
 // cached): the subset of data objects fitting the scratchpad that
 // maximizes access savings. Data-object counts are tiny, so exhaustive
-// enumeration is exact and instant; it panics beyond 20 objects.
+// enumeration is exact and instant; it refuses more than 20 objects.
 func DataOnlySelect(data []ir.DataObject, accesses []int64, p DataParams) ([]bool, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
@@ -182,7 +183,7 @@ func DataOnlySelect(data []ir.DataObject, accesses []int64, p DataParams) ([]boo
 		return nil, fmt.Errorf("core: %d data objects, %d access counts", len(data), len(accesses))
 	}
 	if len(data) > 20 {
-		panic("core.DataOnlySelect: too many data objects for enumeration")
+		return nil, fmt.Errorf("core: %d data objects exceed the 2^20 enumeration limit", len(data))
 	}
 	saving := p.EMainData - p.ESPHit
 	best := make([]bool, len(data))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/conflict"
@@ -134,7 +135,7 @@ func AllocateMulti(set *trace.Set, g *conflict.Graph, p MultiParams) (*MultiAllo
 		m.AddConstraint(fmt.Sprintf("spm%d_capacity", s), cap, ilp.LE, float64(p.SPMs[s].Size))
 	}
 
-	sol, err := ilp.Solve(m, p.Solver)
+	sol, err := ilp.Solve(context.Background(), m, p.Solver)
 	if err != nil {
 		return nil, err
 	}

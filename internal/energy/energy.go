@@ -137,9 +137,9 @@ func (g CacheGeometry) tagBits() int {
 // CacheProbe returns the energy (nJ) of probing the cache once: reading the
 // indexed set's tags and data in all ways and comparing. This is the cost
 // of a hit, and also the detection cost paid on a miss.
-func CacheProbe(g CacheGeometry) float64 {
+func CacheProbe(g CacheGeometry) (float64, error) {
 	if err := g.Validate(); err != nil {
-		panic(err)
+		return 0, fmt.Errorf("energy: cache probe: %w", err)
 	}
 	sets := g.Sets()
 	// Data array: rows = sets, columns = line bits per way × ways (all ways
@@ -152,7 +152,7 @@ func CacheProbe(g CacheGeometry) float64 {
 	// Tag array: rows = sets, cols = tagBits × ways.
 	tag := arrayEnergy(sets, g.tagBits()*g.Assoc, g.tagBits()*g.Assoc)
 	cmp := comparePerWay * float64(g.Assoc)
-	return data + tag + cmp
+	return data + tag + cmp, nil
 }
 
 // CacheFill returns the energy (nJ) of writing one fetched line into the
@@ -241,24 +241,25 @@ type Config struct {
 func NewCostModel(cfg Config) (CostModel, error) {
 	var cm CostModel
 	if cfg.Cache.SizeBytes > 0 {
-		if err := cfg.Cache.Validate(); err != nil {
+		probe, err := CacheProbe(cfg.Cache)
+		if err != nil {
 			return cm, err
 		}
-		probe := CacheProbe(cfg.Cache)
 		cm.CacheHit = probe
 		cm.CacheFill = CacheFill(cfg.Cache)
 		cm.MainLine = MainMemoryLine(cfg.Cache.LineBytes)
 		cm.CacheMiss = probe + cm.CacheFill + cm.MainLine
 	}
 	if cfg.L2.SizeBytes > 0 {
-		if err := cfg.L2.Validate(); err != nil {
-			return cm, err
-		}
 		if cfg.L2.LineBytes != cfg.Cache.LineBytes {
 			return cm, fmt.Errorf("energy: L2 line size %d differs from L1 %d",
 				cfg.L2.LineBytes, cfg.Cache.LineBytes)
 		}
-		cm.L2Probe = CacheProbe(cfg.L2)
+		probe, err := CacheProbe(cfg.L2)
+		if err != nil {
+			return cm, err
+		}
+		cm.L2Probe = probe
 		cm.L2Fill = CacheFill(cfg.L2)
 	}
 	if cfg.SPMBytes > 0 {
@@ -270,14 +271,4 @@ func NewCostModel(cfg Config) (CostModel, error) {
 	}
 	cm.MainMemoryWord = MainMemoryWord()
 	return cm, nil
-}
-
-// MustCostModel is NewCostModel, panicking on configuration errors. Use for
-// statically-known configurations.
-func MustCostModel(cfg Config) CostModel {
-	cm, err := NewCostModel(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return cm
 }

@@ -6,6 +6,26 @@ import (
 	"testing/quick"
 )
 
+// mustProbe returns the cache probe energy, failing the test on error.
+func mustProbe(t *testing.T, g CacheGeometry) float64 {
+	t.Helper()
+	e, err := CacheProbe(g)
+	if err != nil {
+		t.Fatalf("CacheProbe(%+v): %v", g, err)
+	}
+	return e
+}
+
+// mustCostModel builds a cost model, failing the test on error.
+func mustCostModel(t *testing.T, cfg Config) CostModel {
+	t.Helper()
+	cm, err := NewCostModel(cfg)
+	if err != nil {
+		t.Fatalf("NewCostModel(%+v): %v", cfg, err)
+	}
+	return cm
+}
+
 func TestSRAMAccessMonotonicInSize(t *testing.T) {
 	prev := 0.0
 	for size := 64; size <= 64*1024; size *= 2 {
@@ -48,7 +68,7 @@ func TestSPMCheaperThanEqualCache(t *testing.T) {
 	// substantially cheaper than a hit in an equal-sized cache.
 	for size := 128; size <= 8192; size *= 2 {
 		spm := SPMAccess(size)
-		hit := CacheProbe(CacheGeometry{SizeBytes: size, LineBytes: 16, Assoc: 1})
+		hit := mustProbe(t, CacheGeometry{SizeBytes: size, LineBytes: 16, Assoc: 1})
 		if spm >= hit {
 			t.Errorf("size %d: SPM %g >= cache hit %g", size, spm, hit)
 		}
@@ -70,7 +90,7 @@ func TestMissMuchMoreExpensiveThanHit(t *testing.T) {
 		{SizeBytes: 2048, LineBytes: 16, Assoc: 1},
 		{SizeBytes: 4096, LineBytes: 32, Assoc: 4},
 	} {
-		cm := MustCostModel(Config{Cache: g})
+		cm := mustCostModel(t, Config{Cache: g})
 		if cm.CacheMiss < 10*cm.CacheHit {
 			t.Errorf("%+v: miss %g < 10x hit %g", g, cm.CacheMiss, cm.CacheHit)
 		}
@@ -78,10 +98,10 @@ func TestMissMuchMoreExpensiveThanHit(t *testing.T) {
 }
 
 func TestCacheProbeGrowsWithAssociativity(t *testing.T) {
-	base := CacheProbe(CacheGeometry{SizeBytes: 4096, LineBytes: 16, Assoc: 1})
+	base := mustProbe(t, CacheGeometry{SizeBytes: 4096, LineBytes: 16, Assoc: 1})
 	prev := base
 	for assoc := 2; assoc <= 8; assoc *= 2 {
-		e := CacheProbe(CacheGeometry{SizeBytes: 4096, LineBytes: 16, Assoc: assoc})
+		e := mustProbe(t, CacheGeometry{SizeBytes: 4096, LineBytes: 16, Assoc: assoc})
 		if e <= prev {
 			t.Errorf("assoc %d probe %g <= assoc %d probe %g", assoc, e, assoc/2, prev)
 		}
@@ -172,25 +192,19 @@ func TestNewCostModelRejectsBadCache(t *testing.T) {
 	}
 }
 
-func TestMustCostModelPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustCostModel did not panic")
-		}
-	}()
-	MustCostModel(Config{Cache: CacheGeometry{SizeBytes: 100, LineBytes: 16, Assoc: 1}})
-}
-
 // Property: for any power-of-two sizes, the cost model preserves the
 // orderings the paper's argument depends on.
 func TestCostModelOrderingProperty(t *testing.T) {
 	f := func(cacheExp, spmExp uint8) bool {
 		cacheSize := 128 << (cacheExp % 7) // 128B .. 8kB
 		spmSize := 64 << (spmExp % 7)      // 64B .. 4kB
-		cm := MustCostModel(Config{
+		cm, err := NewCostModel(Config{
 			Cache:    CacheGeometry{SizeBytes: cacheSize, LineBytes: 16, Assoc: 1},
 			SPMBytes: spmSize,
 		})
+		if err != nil {
+			return false
+		}
 		if cm.CacheMiss <= cm.CacheHit {
 			return false
 		}
@@ -248,11 +262,8 @@ func TestCostModelL2LineMismatch(t *testing.T) {
 	}
 }
 
-func TestCacheProbePanicsOnInvalid(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("CacheProbe accepted invalid geometry")
-		}
-	}()
-	CacheProbe(CacheGeometry{SizeBytes: 100, LineBytes: 16, Assoc: 1})
+func TestCacheProbeErrorsOnInvalid(t *testing.T) {
+	if _, err := CacheProbe(CacheGeometry{SizeBytes: 100, LineBytes: 16, Assoc: 1}); err == nil {
+		t.Fatal("CacheProbe accepted invalid geometry")
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/conflict"
@@ -114,6 +115,10 @@ type Pipeline struct {
 	Baseline *memsim.Result
 	// Cost is the scratchpad-configuration cost model.
 	Cost energy.CostModel
+	// SolveBudget caps the CASA ILP's wall-clock time (0 = unlimited);
+	// on expiry the solver degrades to its incumbent or the greedy
+	// fallback instead of failing the cell.
+	SolveBudget time.Duration
 
 	// mu guards the memo tables below; each entry is singleflight so a
 	// result is computed once even under concurrent callers.
@@ -202,7 +207,10 @@ func PrepareProgram(ctx context.Context, prog *ir.Program, cacheSpec CacheSpec, 
 	}
 	g := conflict.New(fetches)
 	for k, v := range base.Conflicts {
-		g.AddMisses(k.Victim, k.Evictor, v)
+		if err := g.AddMisses(k.Victim, k.Evictor, v); err != nil {
+			sp.End()
+			return nil, fmt.Errorf("experiments: conflict graph: %w", err)
+		}
 	}
 	sp.SetAttr("edges", g.NumEdges())
 	sp.End()
@@ -234,6 +242,18 @@ type Outcome struct {
 	UsedBytes    int
 	// SolverNodes reports ILP effort (CASA only).
 	SolverNodes int
+	// Degraded marks an anytime result: the ILP stopped on its budget or
+	// cancellation and the allocation is the best incumbent (or the
+	// greedy fallback) rather than a proven optimum.
+	Degraded bool
+	// DegradedReason says why ("deadline", "canceled", "node-limit", ...).
+	DegradedReason string
+	// Gap is the relative optimality gap of a degraded incumbent
+	// (0 when proven optimal or unknown).
+	Gap float64
+	// Fallback marks a degraded result obtained from GreedyAllocate
+	// because the solver produced no incumbent at all.
+	Fallback bool
 }
 
 func (p *Pipeline) finish(name string, res *memsim.Result, placed, used, nodes int) *Outcome {
@@ -255,7 +275,7 @@ func (p *Pipeline) casaParams() core.Params {
 		ESPHit:     p.Cost.SPMAccess,
 		ECacheHit:  p.Cost.CacheHit,
 		ECacheMiss: p.Cost.CacheMiss,
-		Solver:     ilp.Options{},
+		Solver:     ilp.Options{Budget: p.SolveBudget},
 	}
 }
 
@@ -307,6 +327,17 @@ func (p *Pipeline) CASAAllocation(ctx context.Context) (*core.Allocation, error)
 			e.err = fmt.Errorf("experiments: casa %s/%d: %w", p.Workload, p.SPMSize, e.err)
 		}
 	})
+	if e.err == nil && e.alloc.Degraded {
+		// Annotate every caller's span (memo hits included) so each cell
+		// that consumes a degraded allocation is visible in run reports.
+		_, sp := obs.StartSpan(ctx, "degraded-allocation")
+		sp.SetAttr("degraded", e.alloc.DegradedReason)
+		sp.SetAttr("gap", e.alloc.Gap)
+		if e.alloc.Fallback {
+			sp.SetAttr("fallback", "greedy")
+		}
+		sp.End()
+	}
 	return e.alloc, e.err
 }
 
@@ -318,7 +349,15 @@ func (p *Pipeline) RunCASA(ctx context.Context) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		return p.runSPM(ctx, "casa", alloc.InSPM, layout.Copy, alloc.UsedBytes, alloc.Nodes)
+		out, err := p.runSPM(ctx, "casa", alloc.InSPM, layout.Copy, alloc.UsedBytes, alloc.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		out.Degraded = alloc.Degraded
+		out.DegradedReason = alloc.DegradedReason
+		out.Gap = alloc.Gap
+		out.Fallback = alloc.Fallback
+		return out, nil
 	})
 }
 
@@ -463,9 +502,10 @@ func (p *Pipeline) runCacheOnly(ctx context.Context) (*Outcome, error) {
 // them once, and carries the worker-pool width the study functions fan
 // out with. A Suite is safe for concurrent use.
 type Suite struct {
-	mu        sync.Mutex
-	workers   int
-	pipelines map[suiteKey]*suiteEntry
+	mu          sync.Mutex
+	workers     int
+	solveBudget time.Duration
+	pipelines   map[suiteKey]*suiteEntry
 }
 
 type suiteKey struct {
@@ -505,6 +545,25 @@ func (s *Suite) Workers() int {
 	return parallel.Workers(n)
 }
 
+// SetSolveBudget caps each pipeline's CASA ILP solve at d of wall clock
+// (0 = unlimited) and returns the suite for chaining. The budget applies
+// to pipelines prepared after the call; on expiry a solve degrades to
+// its incumbent (or the greedy fallback) instead of failing.
+func (s *Suite) SetSolveBudget(d time.Duration) *Suite {
+	s.mu.Lock()
+	s.solveBudget = d
+	s.mu.Unlock()
+	return s
+}
+
+// SolveBudget returns the suite's per-solve wall-clock budget.
+func (s *Suite) SolveBudget() time.Duration {
+	s.mu.Lock()
+	d := s.solveBudget
+	s.mu.Unlock()
+	return d
+}
+
 // Pipeline returns the (possibly cached) pipeline for a configuration.
 // Concurrent callers of the same configuration share one preparation.
 func (s *Suite) Pipeline(ctx context.Context, name string, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
@@ -521,7 +580,12 @@ func (s *Suite) Pipeline(ctx context.Context, name string, cacheSpec CacheSpec, 
 	} else {
 		mPipeMisses.Inc()
 	}
-	e.once.Do(func() { e.p, e.err = Prepare(ctx, name, cacheSpec, spmSize) })
+	e.once.Do(func() {
+		e.p, e.err = Prepare(ctx, name, cacheSpec, spmSize)
+		if e.err == nil {
+			e.p.SolveBudget = s.SolveBudget()
+		}
+	})
 	return e.p, e.err
 }
 
@@ -530,8 +594,13 @@ func (s *Suite) Pipeline(ctx context.Context, name string, cacheSpec CacheSpec, 
 // count or scheduling. The caller's context — tracer included — reaches
 // every cell, so per-cell spans nest under the study span even though the
 // cells run on pool goroutines.
+//
+// Cells that fail (or panic — the pool converts panics to CellErrors) do
+// not cancel their siblings: every healthy cell still produces its row,
+// and the losing cells come back in a *parallel.GridError alongside the
+// partial results, so a faulted grid degrades instead of vanishing.
 func runCells[T any](ctx context.Context, s *Suite, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
-	return parallel.Map(ctx, n, s.Workers(),
+	return parallel.MapAll(ctx, n, s.Workers(),
 		func(cctx context.Context, i int) (T, error) {
 			cctx, sp := obs.StartSpan(cctx, "cell")
 			defer sp.End()

@@ -370,7 +370,11 @@ func TestWCETStudySmallConfig(t *testing.T) {
 }
 
 func TestOverlayStudyShape(t *testing.T) {
-	rows, err := OverlayStudy(context.Background(), NewSuite(), DefaultOverlayStudy())
+	ocfg, err := DefaultOverlayStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := OverlayStudy(context.Background(), NewSuite(), ocfg)
 	if err != nil {
 		t.Fatalf("OverlayStudy: %v", err)
 	}
@@ -452,7 +456,7 @@ func TestL2ClaimHolds(t *testing.T) {
 	}
 	l1 := cache.Config{SizeBytes: 128, LineBytes: 16, Assoc: 1}
 	l2 := cache.Config{SizeBytes: 1024, LineBytes: 16, Assoc: 2}
-	cost := energy.MustCostModel(energy.Config{
+	cost := mustCost(t, energy.Config{
 		Cache:    energy.CacheGeometry{SizeBytes: 128, LineBytes: 16, Assoc: 1},
 		L2:       energy.CacheGeometry{SizeBytes: 1024, LineBytes: 16, Assoc: 2},
 		SPMBytes: 128,
@@ -499,8 +503,8 @@ func TestDefaultConfigsWellFormed(t *testing.T) {
 	if cfg := DefaultWCETStudy(); len(cfg.Rows) != 3 {
 		t.Errorf("DefaultWCETStudy has %d rows", len(cfg.Rows))
 	}
-	if cfg := DefaultOverlayStudy(); len(cfg.Rows) != 3 {
-		t.Errorf("DefaultOverlayStudy has %d rows", len(cfg.Rows))
+	if cfg, err := DefaultOverlayStudy(); err != nil || len(cfg.Rows) != 3 {
+		t.Errorf("DefaultOverlayStudy has %d rows (err %v)", len(cfg.Rows), err)
 	}
 	if cfg := DefaultDataStudy(); len(cfg.Rows) != 3 {
 		t.Errorf("DefaultDataStudy has %d rows", len(cfg.Rows))
@@ -586,4 +590,14 @@ func TestPlacementStudyShape(t *testing.T) {
 	if !strings.Contains(sb.String(), "Placement study") {
 		t.Error("render missing header")
 	}
+}
+
+// mustCost builds a cost model, failing the test on error.
+func mustCost(t testing.TB, cfg energy.Config) energy.CostModel {
+	t.Helper()
+	cm, err := energy.NewCostModel(cfg)
+	if err != nil {
+		t.Fatalf("NewCostModel: %v", err)
+	}
+	return cm
 }

@@ -56,7 +56,11 @@ func renderAllStudies(t *testing.T, s *Suite) []byte {
 	}
 	WriteWCETStudy(&buf, wcet)
 
-	overlay, err := OverlayStudy(ctx, s, DefaultOverlayStudy())
+	ocfg, err := DefaultOverlayStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlay, err := OverlayStudy(ctx, s, ocfg)
 	if err != nil {
 		t.Fatalf("OverlayStudy: %v", err)
 	}

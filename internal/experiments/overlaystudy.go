@@ -42,7 +42,7 @@ type OverlayStudyConfig struct {
 // two-pass batch workload (where overlay should win: two temporally
 // disjoint hot working sets, each scratchpad-sized) and on mpeg (where a
 // single hot phase dominates and overlay should roughly tie).
-func DefaultOverlayStudy() OverlayStudyConfig {
+func DefaultOverlayStudy() (OverlayStudyConfig, error) {
 	cfg := OverlayStudyConfig{}
 	add := func(p *ir.Program, cache CacheSpec, spm int) {
 		cfg.Rows = append(cfg.Rows, struct {
@@ -51,11 +51,18 @@ func DefaultOverlayStudy() OverlayStudyConfig {
 			SPMSize int
 		}{p, cache, spm})
 	}
-	two := workload.TwoPass()
+	two, err := workload.TwoPass()
+	if err != nil {
+		return cfg, err
+	}
+	mpeg, err := workload.Shared("mpeg")
+	if err != nil {
+		return cfg, err
+	}
 	add(two, DM(256), 192)
 	add(two, DM(256), 256)
-	add(workload.MustShared("mpeg"), DM(2048), 256)
-	return cfg
+	add(mpeg, DM(2048), 256)
+	return cfg, nil
 }
 
 // OverlayStudy runs the comparison, one worker per configuration.

@@ -1,0 +1,260 @@
+// Package fault provides deterministic fault injection for chaos
+// testing the CASA pipeline. A small set of named injection points is
+// compiled into the production code paths — the ILP solver's deadline
+// check, the fetch-stream recorder, the memo layers and the worker
+// pool's cell dispatch — and each point costs a single atomic load when
+// no fault plan is active.
+//
+// A plan is armed either programmatically (tests call Set) or through
+// the CASA_FAULTS environment variable. The spec grammar is a
+// comma-separated list of clauses:
+//
+//	point          fire on every hit
+//	point:3        fire on the 3rd hit of that point only
+//	point:2/5/9    fire on the listed hits (1-based, '/'-separated)
+//
+// e.g. CASA_FAULTS="cell-panic:2,stream-read:1/3,solver-deadline".
+// Hits are counted per point across the whole process, so schedules are
+// deterministic for a deterministic (serial) run.
+//
+// Every injected fault increments casa_faults_injected_total and is
+// remembered on the plan (Fired), so chaos tests can assert that each
+// scheduled degradation is accounted for in run reports.
+package fault
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// The injection points wired into the pipeline.
+const (
+	// SolverDeadline makes ilp.Solve behave as if its wall-clock budget
+	// expired immediately: best incumbent (or greedy fallback) wins.
+	SolverDeadline = "solver-deadline"
+	// StreamRead fails the fetch-stream read path (sim.CachedStream)
+	// with an injected error.
+	StreamRead = "stream-read"
+	// MemoMiss forces the sim memo layers (profile, stream) to bypass
+	// their caches and recompute.
+	MemoMiss = "memo-miss"
+	// CellPanic panics inside a worker-pool cell, exercising the pool's
+	// panic containment.
+	CellPanic = "cell-panic"
+)
+
+// EnvFaults is the environment variable carrying the process-wide fault
+// plan spec.
+const EnvFaults = "CASA_FAULTS"
+
+var mInjected = obs.GetCounter("casa_faults_injected_total")
+
+// rule is one point's schedule.
+type rule struct {
+	always bool
+	hits   map[int64]bool
+}
+
+// Plan is a parsed fault schedule. The zero value is not useful;
+// construct with Parse or NewPlan. A Plan is safe for concurrent use.
+type Plan struct {
+	mu    sync.Mutex
+	rules map[string]*rule
+	count map[string]int64
+	fired map[string]int64
+}
+
+// NewPlan returns an empty plan (no point ever fires until On/Always
+// add schedules).
+func NewPlan() *Plan {
+	return &Plan{
+		rules: make(map[string]*rule),
+		count: make(map[string]int64),
+		fired: make(map[string]int64),
+	}
+}
+
+// Always schedules point to fire on every hit. Returns the plan for
+// chaining.
+func (p *Plan) Always(point string) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules[point] = &rule{always: true}
+	return p
+}
+
+// On schedules point to fire on the given 1-based hit numbers. Returns
+// the plan for chaining.
+func (p *Plan) On(point string, hits ...int64) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.rules[point]
+	if !ok || r.always {
+		r = &rule{hits: make(map[int64]bool)}
+		p.rules[point] = r
+	}
+	for _, h := range hits {
+		r.hits[h] = true
+	}
+	return p
+}
+
+// Parse parses a CASA_FAULTS spec (see the package comment for the
+// grammar).
+func Parse(spec string) (*Plan, error) {
+	p := NewPlan()
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		point, sched, scheduled := strings.Cut(clause, ":")
+		point = strings.TrimSpace(point)
+		if point == "" {
+			return nil, fmt.Errorf("fault: empty point name in clause %q", clause)
+		}
+		if !scheduled || sched == "" || sched == "*" {
+			p.Always(point)
+			continue
+		}
+		for _, h := range strings.Split(sched, "/") {
+			n, err := strconv.ParseInt(strings.TrimSpace(h), 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fault: bad hit number %q in clause %q (want a positive integer)", h, clause)
+			}
+			p.On(point, n)
+		}
+	}
+	return p, nil
+}
+
+// Hit records one arrival at the named point and reports whether the
+// plan injects a fault there. Nil-safe: a nil plan never fires.
+func (p *Plan) Hit(point string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	r, ok := p.rules[point]
+	if !ok {
+		p.mu.Unlock()
+		return false
+	}
+	p.count[point]++
+	fire := r.always || r.hits[p.count[point]]
+	if fire {
+		p.fired[point]++
+	}
+	p.mu.Unlock()
+	if fire {
+		mInjected.Inc()
+		obs.Tracef("fault: injecting %s", point)
+	}
+	return fire
+}
+
+// Fired returns how many faults each point has injected so far.
+func (p *Plan) Fired() map[string]int64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int64, len(p.fired))
+	for k, v := range p.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the plan's schedule (sorted, for error messages and
+// test logs).
+func (p *Plan) String() string {
+	if p == nil {
+		return "<no faults>"
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	clauses := make([]string, 0, len(p.rules))
+	for point, r := range p.rules {
+		if r.always {
+			clauses = append(clauses, point)
+			continue
+		}
+		hits := make([]string, 0, len(r.hits))
+		for h := range r.hits {
+			hits = append(hits, strconv.FormatInt(h, 10))
+		}
+		sort.Strings(hits)
+		clauses = append(clauses, point+":"+strings.Join(hits, "/"))
+	}
+	sort.Strings(clauses)
+	return strings.Join(clauses, ",")
+}
+
+// InjectedError is the error an error-kind injection point returns, so
+// chaos tests can tell injected failures from real ones with errors.As.
+type InjectedError struct {
+	// Point is the injection point that fired.
+	Point string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected %s fault", e.Point)
+}
+
+// active is the process-wide plan: nil when fault injection is off —
+// the common case, paid for with one atomic pointer load per Hit.
+var active atomic.Pointer[Plan]
+
+var loadEnvOnce sync.Once
+
+// Active returns the process-wide plan (nil when no faults are armed).
+// The first call parses CASA_FAULTS; a malformed spec is reported as a
+// warning and ignored rather than taking the process down — the fault
+// layer must never be the fault.
+func Active() *Plan {
+	loadEnvOnce.Do(loadEnv)
+	return active.Load()
+}
+
+func loadEnv() {
+	spec := os.Getenv(EnvFaults)
+	if spec == "" {
+		return
+	}
+	p, err := Parse(spec)
+	if err != nil {
+		obs.Warnf("ignoring malformed %s=%q: %v", EnvFaults, spec, err)
+		return
+	}
+	active.Store(p)
+}
+
+// Set replaces the process-wide plan (nil disarms injection). Tests use
+// it to arm programmatic schedules; remember to Set(nil) afterwards.
+func Set(p *Plan) {
+	loadEnvOnce.Do(func() {}) // a programmatic plan overrides the env
+	active.Store(p)
+}
+
+// Hit is Active().Hit: one arrival at the named point.
+func Hit(point string) bool { return Active().Hit(point) }
+
+// ErrorAt returns an *InjectedError when the named point fires, nil
+// otherwise. It is the one-liner for error-kind injection sites:
+//
+//	if err := fault.ErrorAt(fault.StreamRead); err != nil { return nil, err }
+func ErrorAt(point string) error {
+	if Hit(point) {
+		return &InjectedError{Point: point}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseSchedules(t *testing.T) {
+	p, err := Parse("cell-panic:2, stream-read:1/3 ,solver-deadline")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// cell-panic fires on hit 2 only.
+	got := []bool{p.Hit(CellPanic), p.Hit(CellPanic), p.Hit(CellPanic)}
+	want := []bool{false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell-panic hit %d: fired=%v, want %v", i+1, got[i], want[i])
+		}
+	}
+
+	// stream-read fires on hits 1 and 3.
+	got = []bool{p.Hit(StreamRead), p.Hit(StreamRead), p.Hit(StreamRead), p.Hit(StreamRead)}
+	want = []bool{true, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stream-read hit %d: fired=%v, want %v", i+1, got[i], want[i])
+		}
+	}
+
+	// solver-deadline always fires.
+	for i := 0; i < 3; i++ {
+		if !p.Hit(SolverDeadline) {
+			t.Errorf("solver-deadline hit %d: did not fire", i+1)
+		}
+	}
+
+	// An unscheduled point never fires.
+	if p.Hit(MemoMiss) {
+		t.Error("memo-miss fired without a schedule")
+	}
+
+	fired := p.Fired()
+	if fired[CellPanic] != 1 || fired[StreamRead] != 2 || fired[SolverDeadline] != 3 {
+		t.Errorf("Fired() = %v, want cell-panic=1 stream-read=2 solver-deadline=3", fired)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{":3", "stream-read:0", "stream-read:x", "stream-read:1/-2"} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestNilPlanNeverFires(t *testing.T) {
+	var p *Plan
+	if p.Hit(CellPanic) {
+		t.Fatal("nil plan fired")
+	}
+	if p.Fired() != nil {
+		t.Fatal("nil plan reported fired points")
+	}
+}
+
+func TestSetAndErrorAt(t *testing.T) {
+	Set(NewPlan().On(StreamRead, 1))
+	defer Set(nil)
+
+	err := ErrorAt(StreamRead)
+	if err == nil {
+		t.Fatal("ErrorAt did not fire on scheduled hit")
+	}
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Point != StreamRead {
+		t.Fatalf("ErrorAt returned %v, want *InjectedError for %s", err, StreamRead)
+	}
+	if err := ErrorAt(StreamRead); err != nil {
+		t.Fatalf("ErrorAt fired past its schedule: %v", err)
+	}
+
+	Set(nil)
+	if Hit(StreamRead) {
+		t.Fatal("disarmed plan fired")
+	}
+}

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -137,7 +138,7 @@ func comboName(o Options) string {
 func checkCombosAgainst(t *testing.T, trial int, m *Model, want *Solution) {
 	t.Helper()
 	for _, o := range solverCombos() {
-		got, err := Solve(m, o)
+		got, err := Solve(context.Background(), m, o)
 		if err != nil {
 			t.Fatalf("trial %d (%s): Solve: %v", trial, comboName(o), err)
 		}
@@ -175,7 +176,7 @@ func TestCASAFaithfulShapeMatchesBruteForce(t *testing.T) {
 		nl := 3 + r.intn(6) // 3..8 traces
 		ne := r.intn(5)     // 0..4 conflict edges; all-binary stays <= 24
 		m := buildCASAModel(&r, nl, ne, true)
-		want, err := SolveBruteForce(m)
+		want, err := SolveBruteForce(context.Background(), m)
 		if err != nil {
 			t.Fatalf("trial %d: brute force: %v", trial, err)
 		}
@@ -194,7 +195,7 @@ func TestCASATightShapeCombosAgree(t *testing.T) {
 		nl := 4 + r.intn(9) // 4..12 traces
 		ne := r.intn(9)     // 0..8 conflict edges
 		m := buildCASAModel(&r, nl, ne, false)
-		ref, err := Solve(m, Options{DisablePresolve: true, DisableWarmStart: true, DisableHeuristic: true})
+		ref, err := Solve(context.Background(), m, Options{DisablePresolve: true, DisableWarmStart: true, DisableHeuristic: true})
 		if err != nil {
 			t.Fatalf("trial %d: reference solve: %v", trial, err)
 		}
@@ -208,7 +209,7 @@ func TestCASAMultiRegionShapeCombosAgree(t *testing.T) {
 		nt := 2 + r.intn(4) // 2..5 traces
 		ns := 1 + r.intn(3) // 1..3 scratchpad regions
 		m := buildMultiModel(&r, nt, ns)
-		ref, err := Solve(m, Options{DisablePresolve: true, DisableWarmStart: true, DisableHeuristic: true})
+		ref, err := Solve(context.Background(), m, Options{DisablePresolve: true, DisableWarmStart: true, DisableHeuristic: true})
 		if err != nil {
 			t.Fatalf("trial %d: reference solve: %v", trial, err)
 		}
@@ -224,7 +225,7 @@ func TestBruteForceTooManyBinariesErrors(t *testing.T) {
 	}
 	m.AddConstraint("c", e, LE, 12)
 	m.SetObjective(e, Maximize)
-	if _, err := SolveBruteForce(m); err == nil {
+	if _, err := SolveBruteForce(context.Background(), m); err == nil {
 		t.Fatal("brute force accepted 25 binaries; want an error, not a panic")
 	}
 }

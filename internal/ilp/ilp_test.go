@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -84,7 +85,7 @@ func TestLPSimple2D(t *testing.T) {
 	m.AddConstraint("c2", Expr(2, y), LE, 12)
 	m.AddConstraint("c3", Expr(3, x, 2, y), LE, 18)
 	m.SetObjective(Expr(3, x, 5, y), Maximize)
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -104,7 +105,7 @@ func TestLPMinimizationWithGE(t *testing.T) {
 	y := m.AddContinuous("y", 1, math.Inf(1))
 	m.AddConstraint("cover", Expr(1, x, 1, y), GE, 10)
 	m.SetObjective(Expr(2, x, 3, y), Minimize)
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -121,7 +122,7 @@ func TestLPEquality(t *testing.T) {
 	m.AddConstraint("e1", Expr(1, x, 2, y), EQ, 4)
 	m.AddConstraint("e2", Expr(1, x, -1, y), EQ, 1)
 	m.SetObjective(Expr(1, x, 1, y), Minimize)
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -135,7 +136,7 @@ func TestLPInfeasible(t *testing.T) {
 	x := m.AddContinuous("x", 0, 5)
 	m.AddConstraint("c", Expr(1, x), GE, 10)
 	m.SetObjective(Expr(1, x), Minimize)
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -149,7 +150,7 @@ func TestLPUnbounded(t *testing.T) {
 	x := m.AddContinuous("x", 0, math.Inf(1))
 	m.SetObjective(Expr(1, x), Maximize)
 	m.AddConstraint("c", Expr(-1, x), LE, 0) // x >= 0, no upper limit
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -164,7 +165,7 @@ func TestLPFreeVariable(t *testing.T) {
 	x := m.AddVar("x", Continuous, math.Inf(-1), math.Inf(1))
 	m.AddConstraint("c", Expr(1, x), GE, -7)
 	m.SetObjective(Expr(1, x), Minimize)
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -181,7 +182,7 @@ func TestLPNegativeLowerBounds(t *testing.T) {
 	y := m.AddContinuous("y", -3, 3)
 	m.AddConstraint("c", Expr(1, x, 1, y), GE, -6)
 	m.SetObjective(Expr(1, x, 1, y), Minimize)
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -194,7 +195,7 @@ func TestLPObjectiveConstant(t *testing.T) {
 	m := NewModel()
 	x := m.AddContinuous("x", 0, 2)
 	m.SetObjective(Expr(1, x).AddConst(10), Minimize)
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -213,7 +214,7 @@ func TestLPDegenerate(t *testing.T) {
 	m.AddConstraint("c2", Expr(0.5, x1, -1.5, x2, -0.5, x3), LE, 0)
 	m.AddConstraint("c3", Expr(1, x1), LE, 1)
 	m.SetObjective(Expr(10, x1, -57, x2, -9, x3), Maximize)
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -234,7 +235,7 @@ func TestILPKnapsack(t *testing.T) {
 	x3 := m.AddBinary("x3")
 	m.AddConstraint("cap", Expr(10, x1, 20, x2, 30, x3), LE, 50)
 	m.SetObjective(Expr(60, x1, 100, x2, 120, x3), Maximize)
-	sol, err := Solve(m, Options{})
+	sol, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -254,7 +255,7 @@ func TestILPIntegerVariables(t *testing.T) {
 	y := m.AddVar("y", Integer, 0, math.Inf(1))
 	m.AddConstraint("c", Expr(2, x, 3, y), LE, 12)
 	m.SetObjective(Expr(1, x, 1, y), Maximize)
-	sol, err := Solve(m, Options{})
+	sol, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -274,7 +275,7 @@ func TestILPInfeasibleIntegrality(t *testing.T) {
 	x := m.AddBinary("x")
 	m.AddConstraint("c", Expr(2, x), EQ, 1)
 	m.SetObjective(Expr(1, x), Minimize)
-	sol, err := Solve(m, Options{})
+	sol, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -321,11 +322,11 @@ func TestILPEqualsBruteForceRandomized(t *testing.T) {
 			rhs := fl(1, float64(n)*2.5)
 			m.AddConstraint("", e, rel, rhs)
 		}
-		want, err := SolveBruteForce(m)
+		want, err := SolveBruteForce(context.Background(), m)
 		if err != nil {
 			t.Fatalf("brute force: %v", err)
 		}
-		got, err := Solve(m, Options{})
+		got, err := Solve(context.Background(), m, Options{})
 		if err != nil {
 			t.Fatalf("Solve: %v", err)
 		}
@@ -351,7 +352,7 @@ func TestILPNodeLimit(t *testing.T) {
 	}
 	m.AddConstraint("cap", e, LE, 31)
 	m.SetObjective(obj, Maximize)
-	sol, err := Solve(m, Options{MaxNodes: 1})
+	sol, err := Solve(context.Background(), m, Options{MaxNodes: 1})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -359,7 +360,7 @@ func TestILPNodeLimit(t *testing.T) {
 		t.Fatalf("status = %v, want feasible or aborted", sol.Status)
 	}
 	// And with an ample budget it is optimal.
-	sol, err = Solve(m, Options{})
+	sol, err = Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -374,11 +375,11 @@ func TestSolveWithoutIntegersMatchesLP(t *testing.T) {
 	y := m.AddContinuous("y", 0, 3)
 	m.AddConstraint("c", Expr(1, x, 1, y), LE, 4)
 	m.SetObjective(Expr(2, x, 1, y), Maximize)
-	a, err := SolveLP(m, Options{})
+	a, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(m, Options{})
+	b, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +392,7 @@ func TestBruteForceRejectsContinuous(t *testing.T) {
 	m := NewModel()
 	m.AddContinuous("x", 0, 5)
 	m.SetObjective(Expr(1, Var(0)), Minimize)
-	if _, err := SolveBruteForce(m); err == nil {
+	if _, err := SolveBruteForce(context.Background(), m); err == nil {
 		t.Fatal("brute force accepted a continuous variable")
 	}
 }
@@ -414,7 +415,7 @@ func TestSolveTrace(t *testing.T) {
 	m.AddConstraint("cap", wt, LE, 60)
 
 	var buf strings.Builder
-	sol, err := Solve(m, Options{Trace: &buf, TraceEvery: 1})
+	sol, err := Solve(context.Background(), m, Options{Trace: &buf, TraceEvery: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +439,7 @@ func TestSolveTrace(t *testing.T) {
 	}
 
 	// Trace off: silent, same answer.
-	quiet, err := Solve(m, Options{})
+	quiet, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -412,9 +412,11 @@ func (p *lpParser) parseBounds() error {
 		if p.cur().kind != tokIdent {
 			return p.errf("expected variable in bounds")
 		}
-		v := p.varOf(p.cur().text)
+		name := p.cur().text
+		v := p.varOf(name)
 		p.advance()
 		lo, hi := p.m.Bounds(v)
+		bounded := lead != nil
 		if lead != nil {
 			lo = *lead
 		}
@@ -422,7 +424,9 @@ func (p *lpParser) parseBounds() error {
 		if t := p.cur(); t.kind == tokIdent && strings.EqualFold(t.text, "free") {
 			p.advance()
 			lo, hi = math.Inf(-1), math.Inf(1)
+			bounded = true
 		} else if t.kind == tokOp && (t.text == "<=" || t.text == ">=" || t.text == "=") {
+			bounded = true
 			rel, err := p.parseRel()
 			if err != nil {
 				return err
@@ -439,6 +443,11 @@ func (p *lpParser) parseBounds() error {
 			case EQ:
 				lo, hi = val, val
 			}
+		}
+		if !bounded {
+			// A bare identifier bounds nothing; accepting it would mint a
+			// variable that a write/read round trip cannot preserve.
+			return p.errf("bounds entry for %q carries no bound", name)
 		}
 		p.m.SetBounds(v, lo, hi)
 	}
@@ -497,6 +506,22 @@ func WriteLP(w io.Writer, m *Model) error {
 	for _, c := range m.cons {
 		fmt.Fprintf(bw, " %s: %s %s %s\n", c.Name, exprString(m, c.Expr), c.Rel, trimFloat(c.RHS))
 	}
+	// A continuous variable with default bounds that never carries a
+	// nonzero coefficient would appear nowhere in the output; emit an
+	// explicit default bound for it so the write/read round trip
+	// preserves the model's shape.
+	referenced := make([]bool, len(m.names))
+	markExpr := func(e LinExpr) {
+		for _, t := range e.Terms {
+			if t.Coef != 0 {
+				referenced[t.Var] = true
+			}
+		}
+	}
+	markExpr(obj)
+	for _, c := range m.cons {
+		markExpr(c.Expr)
+	}
 	// Bounds for anything that differs from the default [0, inf).
 	var boundLines []string
 	for i := range m.names {
@@ -508,7 +533,9 @@ func WriteLP(w io.Writer, m *Model) error {
 		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
 			boundLines = append(boundLines, fmt.Sprintf(" %s free", m.names[i]))
 		case lo == 0 && math.IsInf(hi, 1):
-			// default
+			if m.kinds[i] == Continuous && !referenced[i] {
+				boundLines = append(boundLines, fmt.Sprintf(" %s >= 0", m.names[i]))
+			}
 		case math.IsInf(hi, 1):
 			boundLines = append(boundLines, fmt.Sprintf(" %s >= %s", m.names[i], trimFloat(lo)))
 		default:

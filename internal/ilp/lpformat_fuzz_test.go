@@ -1,0 +1,63 @@
+package ilp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLPFormat fuzzes the LP reader/writer round trip: any input the
+// parser accepts must render to text that parses again into a model of
+// the same shape, and the render of the re-parsed model must be
+// byte-identical to the first render (the format is canonical for
+// parsed models). Parser rejections are fine — the property under test
+// is that acceptance implies a stable round trip, never a crash.
+func FuzzLPFormat(f *testing.F) {
+	seeds := []string{
+		"",
+		"Minimize\n obj: 0\nSubject To\n c: x <= 1\nEnd\n",
+		"Maximize\n obj: 3 x - 2 y + z + 0.25 w\n" +
+			"Subject To\n c1: x + 2 y - 0.5 z <= 9\n c2: z + w >= -3\n c3: x + y = 2\n" +
+			"Bounds\n -1 <= z <= 4\n w free\n" +
+			"General\n y\nBinary\n x\nEnd\n",
+		"Minimize\n obj: x\nSubject To\n c: x >= 2\nBounds\n x <= 10\nEnd\n",
+		"minimize\nobj: 2x + 3y\nsubject to\nc1: x + y >= 1\nend",
+		"Maximize\n obj: x\nSubject To\n c: 1e3 x <= 5\nBounds\n 0 <= x <= 1\nEnd\n",
+		"Minimize\n obj: -x - y\nSubject To\n cap: 4 x + 9 y <= 12\nGeneral\n x\n y\nEnd\n",
+		"Subject To\n c: x <= 1\n", // missing objective section
+		"Minimize obj: x Subject To",
+		"Minimize\n obj: 0.5 x\nSubject To\n c: x = 1e-9\nEnd\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return // keep the corpus on small, structurally interesting inputs
+		}
+		m, err := ParseLP(in)
+		if err != nil {
+			return // rejecting garbage is correct behavior
+		}
+		var first strings.Builder
+		if err := WriteLP(&first, m); err != nil {
+			t.Fatalf("WriteLP on accepted input: %v\ninput: %q", err, in)
+		}
+		m2, err := ParseLP(first.String())
+		if err != nil {
+			t.Fatalf("re-parse of rendered model: %v\nrendered: %q\ninput: %q",
+				err, first.String(), in)
+		}
+		if m2.NumVars() != m.NumVars() || m2.NumConstraints() != m.NumConstraints() {
+			t.Fatalf("shape changed: %d vars/%d cons -> %d vars/%d cons\ninput: %q",
+				m.NumVars(), m.NumConstraints(), m2.NumVars(), m2.NumConstraints(), in)
+		}
+		var second strings.Builder
+		if err := WriteLP(&second, m2); err != nil {
+			t.Fatalf("second WriteLP: %v", err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("render not canonical:\nfirst:  %q\nsecond: %q\ninput: %q",
+				first.String(), second.String(), in)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ End
 	if m.NumVars() != 3 || m.NumConstraints() != 1 {
 		t.Fatalf("vars=%d cons=%d", m.NumVars(), m.NumConstraints())
 	}
-	sol, err := Solve(m, Options{})
+	sol, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -111,7 +112,7 @@ End
 	if err != nil {
 		t.Fatalf("ParseLP: %v", err)
 	}
-	sol, err := Solve(m, Options{})
+	sol, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -159,11 +160,11 @@ func TestWriteReadRoundTrip(t *testing.T) {
 			m2.NumVars(), m2.NumConstraints(), m.NumVars(), m.NumConstraints())
 	}
 	// The round-tripped model must solve to the same optimum.
-	s1, err := Solve(m, Options{})
+	s1, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := Solve(m2, Options{})
+	s2, err := Solve(context.Background(), m2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

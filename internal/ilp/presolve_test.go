@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -100,7 +101,7 @@ func TestPresolveSingletonEqualitySubstitution(t *testing.T) {
 	if pr.colsSubst == 0 {
 		t.Fatal("singleton column not substituted")
 	}
-	sol, err := Solve(m, Options{})
+	sol, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

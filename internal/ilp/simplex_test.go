@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -16,7 +17,7 @@ func TestLPNoConstraintsBoundOptimum(t *testing.T) {
 	x := m.AddContinuous("x", 0, 5)
 	y := m.AddContinuous("y", -2, 3)
 	m.SetObjective(Expr(-1, x, 2, y), Minimize) // x→5, y→-2
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -38,7 +39,7 @@ func TestLPBoundFlipThenPivot(t *testing.T) {
 	y := m.AddContinuous("y", 0, 2)
 	m.AddConstraint("c", Expr(1, x, 1, y), LE, 3)
 	m.SetObjective(Expr(1, x, 2, y), Maximize)
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -61,7 +62,7 @@ func TestLPBasicLeavesAtUpperBound(t *testing.T) {
 	m.AddConstraint("c", Expr(1, x, -1, y), LE, 1)
 	m.SetObjective(Expr(2, x, 1, y), Maximize)
 	// Optimum: y=2 (upper), x=3 (row binds), obj=8.
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -81,7 +82,7 @@ func TestLPFixedVariables(t *testing.T) {
 	y := m.AddContinuous("y", 0, 10)
 	m.AddConstraint("c", Expr(1, x, 1, y), LE, 6)
 	m.SetObjective(Expr(1, x, 1, y), Maximize)
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -97,7 +98,7 @@ func TestLPInfeasibleWithBounds(t *testing.T) {
 	y := m.AddContinuous("y", 0, 1)
 	m.AddConstraint("c", Expr(1, x, 1, y), GE, 3)
 	m.SetObjective(Expr(1, x), Minimize)
-	sol, err := SolveLP(m, Options{})
+	sol, err := SolveLP(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatalf("SolveLP: %v", err)
 	}
@@ -175,11 +176,11 @@ func TestLPBoundsMatchExplicitRows(t *testing.T) {
 		ma.SetObjective(oa, sense)
 		mb.SetObjective(ob, sense)
 
-		sa, err := SolveLP(ma, Options{})
+		sa, err := SolveLP(context.Background(), ma, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		sb, err := SolveLP(mb, Options{})
+		sb, err := SolveLP(context.Background(), mb, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -255,7 +256,7 @@ func TestMILPBoundedIntegersMatchEnumeration(t *testing.T) {
 		}
 		m.SetObjective(obj, Minimize)
 
-		got, err := Solve(m, Options{})
+		got, err := Solve(context.Background(), m, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

@@ -1,10 +1,13 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -21,6 +24,7 @@ var (
 	mPreRows   = obs.GetCounter("casa_ilp_presolve_rows_dropped_total")
 	mPreCols   = obs.GetCounter("casa_ilp_presolve_cols_removed_total")
 	mHeuristic = obs.GetCounter("casa_ilp_heuristic_incumbents_total")
+	mDegraded  = obs.GetCounter("casa_solve_degraded_total")
 )
 
 // Options tunes the solver.
@@ -42,6 +46,14 @@ type Options struct {
 	// TraceEvery is the node interval of periodic progress lines
 	// (default 1000).
 	TraceEvery int
+	// Budget caps the wall-clock time of the branch & bound search
+	// (0 = unlimited). When it expires the best incumbent found so far is
+	// returned with Status == Feasible, Degraded set, and the optimality
+	// Gap reported; with no incumbent in hand the result is Aborted (still
+	// not an error) so callers can fall back to a heuristic. The context
+	// passed to Solve composes with the budget: whichever ends first stops
+	// the search the same way.
+	Budget time.Duration
 
 	// DisablePresolve skips the root presolve (fixed-variable
 	// substitution, redundant-row elimination, bound tightening, dual
@@ -90,15 +102,43 @@ type Solution struct {
 	Branches int
 	// SimplexIters is the total simplex pivot count across all LP solves.
 	SimplexIters int
+	// Degraded marks an anytime result: the search stopped early (wall-
+	// clock budget, context cancellation, node limit, or an injected
+	// fault) before proving optimality. A degraded Feasible solution is
+	// the best incumbent with Gap bounding how far from optimal it can
+	// be; a degraded Aborted result carries no solution at all.
+	Degraded bool
+	// DegradedReason says why the search stopped early: "deadline",
+	// "canceled", "node-limit" or "fault:solver-deadline". Empty when
+	// Degraded is false.
+	DegradedReason string
+	// Gap is the relative optimality gap of a degraded Feasible solution:
+	// (incumbent - best open bound) / max(1, |incumbent|), clamped to be
+	// non-negative. Zero for proven-optimal results and for degraded
+	// results with no incumbent.
+	Gap float64
 }
 
 // Value returns the solution value of v.
 func (s *Solution) Value(v Var) float64 { return s.X[v] }
 
+// ctxErr reports the context's error, tolerating a nil context (treated
+// as context.Background()).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // SolveLP solves the continuous relaxation of the model (integrality
-// dropped).
-func SolveLP(m *Model, opt Options) (*Solution, error) {
+// dropped). A context that is already done stops the solve with its
+// error before any simplex work starts.
+func SolveLP(ctx context.Context, m *Model, opt Options) (*Solution, error) {
 	opt = opt.withDefaults()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -119,7 +159,13 @@ func SolveLP(m *Model, opt Options) (*Solution, error) {
 // the dense two-phase simplex as fallback; a root diving heuristic seeds
 // the incumbent so pruning bites from the first node; the tree itself is
 // explored best-bound-first with depth-first plunging.
-func Solve(m *Model, opt Options) (*Solution, error) {
+//
+// Solve is anytime: when ctx is canceled, its deadline passes, or
+// opt.Budget expires, the search stops and returns the best incumbent
+// (Status == Feasible, Degraded set, Gap reported) or, with no incumbent,
+// Status == Aborted — never an error. Errors are reserved for invalid
+// models.
+func Solve(ctx context.Context, m *Model, opt Options) (*Solution, error) {
 	opt = opt.withDefaults()
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -127,14 +173,28 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 
 	done := func(sol *Solution) (*Solution, error) {
 		if opt.Trace != nil {
-			fmt.Fprintf(opt.Trace, "ilp: done status=%v nodes=%d branches=%d iters=%d obj=%.6g\n",
-				sol.Status, sol.Nodes, sol.Branches, sol.SimplexIters, sol.Objective)
+			deg := ""
+			if sol.Degraded {
+				deg = fmt.Sprintf(" degraded=%s gap=%.4g", sol.DegradedReason, sol.Gap)
+			}
+			fmt.Fprintf(opt.Trace, "ilp: done status=%v nodes=%d branches=%d iters=%d obj=%.6g%s\n",
+				sol.Status, sol.Nodes, sol.Branches, sol.SimplexIters, sol.Objective, deg)
 		}
 		mSolves.Inc()
 		mNodes.Add(int64(sol.Nodes))
 		mIters.Add(int64(sol.SimplexIters))
 		mBranches.Add(int64(sol.Branches))
+		if sol.Degraded {
+			mDegraded.Inc()
+		}
 		return sol, nil
+	}
+
+	if fault.Hit(fault.SolverDeadline) {
+		// Injected fault: the budget "expired" before the first node, the
+		// worst case of the anytime contract — no incumbent, caller must
+		// fall back.
+		return done(&Solution{Status: Aborted, Degraded: true, DegradedReason: "fault:solver-deadline"})
 	}
 
 	var pr *presolveResult
@@ -155,12 +215,18 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 		work = pr.reduced
 	}
 
-	s := &bbState{orig: m, w: work, pr: pr, opt: opt}
+	s := &bbState{orig: m, w: work, pr: pr, opt: opt, ctx: ctx}
 	s.run()
 	mPruned.Add(int64(s.pruned))
 	mWarm.Add(int64(s.warm))
 	mFallback.Add(int64(s.fallbacks))
 	mHeuristic.Add(int64(s.heuristics))
+
+	stopped := s.hitLimit || s.stopReason != ""
+	reason := s.stopReason
+	if reason == "" && s.hitLimit {
+		reason = "node-limit"
+	}
 
 	sol := &Solution{Nodes: s.nodes, Branches: s.branches, SimplexIters: s.iters}
 	switch {
@@ -170,12 +236,20 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 		// than guessing.
 		sol.Status = Unbounded
 		return done(sol)
-	case s.incumbent != nil && !s.hitLimit:
+	case s.incumbent != nil && !stopped:
 		sol.Status = Optimal
 	case s.incumbent != nil:
 		sol.Status = Feasible
-	case s.hitLimit:
+		sol.Degraded = true
+		sol.DegradedReason = reason
+		if lb := s.openBound; !math.IsInf(lb, 0) {
+			gap := (s.incumbentVal - lb) / math.Max(1, math.Abs(s.incumbentVal))
+			sol.Gap = math.Max(0, gap)
+		}
+	case stopped:
 		sol.Status = Aborted
+		sol.Degraded = true
+		sol.DegradedReason = reason
 	default:
 		// Either no node was LP-feasible, or LP-feasible nodes existed but
 		// none produced an integral point and the tree is exhausted:
@@ -222,6 +296,44 @@ type bbState struct {
 	pruned, warm, fallbacks          int
 	heuristics, engSolves, seq       int
 	sawFeasible, hitLimit, unbounded bool
+
+	ctx        context.Context
+	deadline   time.Time // wall-clock stop from opt.Budget (zero = none)
+	stopReason string    // "deadline" or "canceled" when the search was cut short
+	openBound  float64   // best minimization-space bound still open at the stop
+}
+
+// stopCheck reports why the search must stop now ("deadline",
+// "canceled"), or "" to keep going. It is called once per node, so its
+// cost — a context poll and a clock read — is amortized over a full LP
+// solve.
+func (s *bbState) stopCheck() string {
+	if err := ctxErr(s.ctx); err != nil {
+		if err == context.DeadlineExceeded {
+			return "deadline"
+		}
+		return "canceled"
+	}
+	if !s.deadline.IsZero() && !time.Now().Before(s.deadline) {
+		return "deadline"
+	}
+	return ""
+}
+
+// recordOpenBound captures the tightest still-open relaxation bound at
+// the moment the search stops; the optimality gap of the incumbent is
+// measured against it.
+func (s *bbState) recordOpenBound(cur *bbNode) {
+	lb := math.Inf(1)
+	if cur != nil && s.nodes > 0 {
+		// cur's bound is its parent's LP objective — valid except for the
+		// root node, whose bound field was never set.
+		lb = cur.bound
+	}
+	if len(s.heap) > 0 && s.heap[0].bound < lb {
+		lb = s.heap[0].bound
+	}
+	s.openBound = lb
 }
 
 func (s *bbState) run() {
@@ -231,6 +343,10 @@ func (s *bbState) run() {
 	}
 	s.intVars = s.w.integerVars()
 	s.incumbentVal = math.Inf(1)
+	s.openBound = math.Inf(1)
+	if s.opt.Budget > 0 {
+		s.deadline = time.Now().Add(s.opt.Budget)
+	}
 	if !s.opt.DisableWarmStart {
 		s.eng = newRSX(s.w, s.opt.Tol)
 	}
@@ -246,8 +362,14 @@ func (s *bbState) run() {
 				return
 			}
 		}
+		if reason := s.stopCheck(); reason != "" {
+			s.stopReason = reason
+			s.recordOpenBound(cur)
+			return
+		}
 		if s.nodes >= s.opt.MaxNodes {
 			s.hitLimit = true
+			s.recordOpenBound(cur)
 			return
 		}
 		cur = s.processNode(cur)
@@ -468,6 +590,11 @@ func (s *bbState) dive(nd *bbNode, rootX []float64) {
 	hi := append([]float64(nil), nd.hi...)
 	x := rootX
 	for step := 0; step < 2*len(s.intVars)+4; step++ {
+		if s.stopCheck() != "" {
+			// Out of budget mid-dive: the run loop will stop the search; do
+			// not burn more LP solves on the heuristic.
+			return
+		}
 		j, frac := -1, 2.0
 		for _, iv := range s.intVars {
 			f := math.Abs(x[iv] - math.Round(x[iv]))
@@ -566,8 +693,12 @@ func (s *bbState) nextNode() *bbNode {
 // SolveBruteForce exhaustively enumerates all assignments of the model's
 // binary variables (continuous variables are not supported) and returns
 // the best feasible assignment. It exists to validate the branch & bound
-// solver in tests and refuses models beyond 24 binaries.
-func SolveBruteForce(m *Model) (*Solution, error) {
+// solver in tests and refuses models beyond 24 binaries. Cancellation of
+// ctx aborts the enumeration with the context's error.
+func SolveBruteForce(ctx context.Context, m *Model) (*Solution, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -605,6 +736,11 @@ func SolveBruteForce(m *Model) (*Solution, error) {
 	best := math.Inf(1)
 	var bestX []float64
 	for mask := 0; mask < 1<<len(bins); mask++ {
+		if mask&0xfff == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		for bi, j := range bins {
 			if mask&(1<<bi) != 0 {
 				x[j] = 1

@@ -78,16 +78,6 @@ func (pb *ProgramBuilder) Build() (*Program, error) {
 	return p, nil
 }
 
-// MustBuild is Build, panicking on error. Intended for statically-defined
-// workloads whose construction cannot fail at runtime.
-func (pb *ProgramBuilder) MustBuild() *Program {
-	p, err := pb.Build()
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 func indexOfFunc(fs []*FuncBuilder, fb *FuncBuilder) int {
 	for i, f := range fs {
 		if f == fb {

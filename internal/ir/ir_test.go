@@ -352,7 +352,7 @@ func TestBuilderCodeMix(t *testing.T) {
 	pb := NewProgramBuilder("p")
 	f := pb.Func("main")
 	f.Block("a").Code(200).Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	counts := map[Opcode]int{}
 	for _, in := range p.Funcs[0].Blocks[0].Instrs {
 		counts[in.Op]++
@@ -365,15 +365,22 @@ func TestBuilderCodeMix(t *testing.T) {
 	}
 }
 
-func TestMustBuildPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustBuild did not panic on invalid program")
-		}
-	}()
+func TestBuildRejectsInvalidProgram(t *testing.T) {
 	pb := NewProgramBuilder("p")
 	pb.Func("main").Block("a").ALU(1) // falls off end
-	pb.MustBuild()
+	if _, err := pb.Build(); err == nil {
+		t.Fatal("Build accepted an invalid program")
+	}
+}
+
+// mustBuild finalizes a builder, failing the test on error.
+func mustBuild(t *testing.T, pb *ProgramBuilder) *Program {
+	t.Helper()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
 }
 
 func TestDominators(t *testing.T) {
@@ -389,7 +396,7 @@ func TestDominators(t *testing.T) {
 	f.Block("join").ALU(1)
 	f.Block("latch").ALU(1).Branch("cond", "exit", Loop{Trips: 3})
 	f.Block("exit").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	fn := p.Funcs[0]
 	dom := Dominators(fn)
 
@@ -432,7 +439,7 @@ func TestPredecessors(t *testing.T) {
 	f.Block("a").ALU(1).Branch("c", "b", Never{})
 	f.Block("b").ALU(1)
 	f.Block("c").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	preds := Predecessors(p.Funcs[0])
 	if len(preds[0]) != 0 {
 		t.Errorf("preds(a) = %v, want empty", preds[0])
@@ -454,7 +461,7 @@ func TestFindLoops(t *testing.T) {
 	f.Block("ih").Code(4).Branch("ih", "otail", Loop{Trips: 8})
 	f.Block("otail").ALU(1).Branch("oh", "exit", Loop{Trips: 4})
 	f.Block("exit").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	fn := p.Funcs[0]
 
 	loops := FindLoops(fn)
@@ -505,7 +512,7 @@ func TestAnalyzeLoopsMergesSharedHeader(t *testing.T) {
 	f.Block("b1").ALU(1).Branch("h", "b2", Pattern{Seq: []bool{true, false}})
 	f.Block("b2").ALU(1).Branch("h", "exit", Loop{Trips: 2})
 	f.Block("exit").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	fn := p.Funcs[0]
 	if got := len(FindLoops(fn)); got != 2 {
 		t.Fatalf("FindLoops = %d, want 2 raw loops", got)
@@ -620,7 +627,7 @@ func TestPrintListing(t *testing.T) {
 	h := pb.Func("helper")
 	h.Block("body").Load(2).Jump("tail")
 	h.Block("tail").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 
 	s := Sprint(p)
 	for _, want := range []string{

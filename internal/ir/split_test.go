@@ -7,7 +7,7 @@ import (
 func TestSplitBlocksRejectsTinyMax(t *testing.T) {
 	pb := NewProgramBuilder("p")
 	pb.Func("main").Block("a").ALU(1).Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	if _, err := SplitBlocks(p, 1); err == nil {
 		t.Fatal("maxInstrs=1 accepted")
 	}
@@ -18,7 +18,7 @@ func TestSplitBlocksNoChangeWhenSmall(t *testing.T) {
 	f := pb.Func("main")
 	f.Block("a").ALU(3)
 	f.Block("b").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	np, err := SplitBlocks(p, 8)
 	if err != nil {
 		t.Fatalf("SplitBlocks: %v", err)
@@ -40,7 +40,7 @@ func TestSplitBlocksSplitsLongBlock(t *testing.T) {
 	f := pb.Func("main")
 	f.Block("big").ALU(25).Branch("big", "end", Loop{Trips: 4}) // 26 instrs
 	f.Block("end").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	np, err := SplitBlocks(p, 8)
 	if err != nil {
 		t.Fatalf("SplitBlocks: %v", err)
@@ -93,7 +93,7 @@ func TestSplitBlocksRemapsAllEdgeKinds(t *testing.T) {
 	main.Block("c").Return()
 	leaf := pb.Func("leaf")
 	leaf.Block("l").ALU(2).Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	np, err := SplitBlocks(p, 6)
 	if err != nil {
 		t.Fatalf("SplitBlocks: %v", err)
@@ -115,7 +115,7 @@ func TestSplitPreservesExecutionSemantics(t *testing.T) {
 	f := pb.Func("main")
 	f.Block("hot").Code(40).Branch("hot", "exit", Loop{Trips: 7})
 	f.Block("exit").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	np, err := SplitBlocks(p, 10)
 	if err != nil {
 		t.Fatalf("SplitBlocks: %v", err)

@@ -104,6 +104,11 @@ func validateBlock(p *Program, f *Function, b *Block) error {
 		if b.Behavior == nil {
 			return invalidf("%s: conditional branch without behavior", where)
 		}
+		if lp, ok := b.Behavior.(Loop); ok && lp.Trips < 1 {
+			// Catch the bad trip count here so simulation of a validated
+			// program can never trip Loop.NewState's invariant panic.
+			return invalidf("%s: loop behavior with Trips %d (want >= 1)", where, lp.Trips)
+		}
 		if b.CallTarget != NoFunc {
 			return invalidf("%s: branch block has a call target", where)
 		}

@@ -150,15 +150,6 @@ func New(set *trace.Set, inSPM []bool, opt Options) (*Layout, error) {
 	return l, nil
 }
 
-// MustNew is New, panicking on error; for statically-valid configurations.
-func MustNew(set *trace.Set, inSPM []bool, opt Options) *Layout {
-	l, err := New(set, inSPM, opt)
-	if err != nil {
-		panic(err)
-	}
-	return l
-}
-
 func (l *Layout) resolveBlocks() {
 	p := l.set.Prog
 	l.blockBase = make([][]uint32, len(p.Funcs))

@@ -81,7 +81,7 @@ func TestNoSPMLayoutIsContiguous(t *testing.T) {
 
 func TestBlockAddressesFollowOffsets(t *testing.T) {
 	set := fixture(t)
-	l := MustNew(set, nil, Options{})
+	l := mustNew(t, set, nil, Options{})
 	for _, tr := range set.Traces {
 		for _, m := range tr.Blocks {
 			want := l.TraceBase(tr.ID) + uint32(set.OffsetOf(m))
@@ -97,7 +97,7 @@ func TestBlockAddressesFollowOffsets(t *testing.T) {
 
 func TestFallJumpPlacement(t *testing.T) {
 	set := fixture(t)
-	l := MustNew(set, nil, Options{})
+	l := mustNew(t, set, nil, Options{})
 	for _, tr := range set.Traces {
 		last := tr.Blocks[len(tr.Blocks)-1]
 		addr, ok := l.FallJump(last)
@@ -145,7 +145,7 @@ func TestCopySemantics(t *testing.T) {
 	if _, ok := l.MainImageBase(hot); !ok {
 		t.Error("copy semantics must keep the main-image slot")
 	}
-	plain := MustNew(set, nil, Options{})
+	plain := mustNew(t, set, nil, Options{})
 	for _, tr := range set.Traces {
 		if tr.ID == hot {
 			continue
@@ -174,7 +174,7 @@ func TestMoveSemanticsShiftsDownstream(t *testing.T) {
 	if _, ok := l.MainImageBase(0); ok {
 		t.Error("moved trace must not keep a main-image slot")
 	}
-	plain := MustNew(set, nil, Options{})
+	plain := mustNew(t, set, nil, Options{})
 	shift := uint32(set.Traces[0].PaddedBytes)
 	for _, tr := range set.Traces[1:] {
 		want := plain.TraceBase(tr.ID) - shift
@@ -226,7 +226,7 @@ func TestIsSPMAddrAndWindow(t *testing.T) {
 	set := fixture(t)
 	alloc := make([]bool, len(set.Traces))
 	alloc[0] = true
-	l := MustNew(set, alloc, Options{Mode: Copy, SPMSize: 256})
+	l := mustNew(t, set, alloc, Options{Mode: Copy, SPMSize: 256})
 	base, size := l.SPMWindow()
 	if size != 256 {
 		t.Errorf("window size %d", size)
@@ -235,7 +235,7 @@ func TestIsSPMAddrAndWindow(t *testing.T) {
 		t.Error("window membership wrong")
 	}
 	// Without an SPM nothing is an SPM address.
-	plain := MustNew(set, nil, Options{})
+	plain := mustNew(t, set, nil, Options{})
 	if plain.IsSPMAddr(0) {
 		t.Error("no-SPM layout claims SPM addresses")
 	}
@@ -243,7 +243,7 @@ func TestIsSPMAddrAndWindow(t *testing.T) {
 
 func TestExecRange(t *testing.T) {
 	set := fixture(t)
-	l := MustNew(set, nil, Options{})
+	l := mustNew(t, set, nil, Options{})
 	for _, tr := range set.Traces {
 		base, size := l.ExecRange(tr.ID)
 		if base != l.TraceBase(tr.ID) || size != tr.RawBytes {
@@ -252,14 +252,21 @@ func TestExecRange(t *testing.T) {
 	}
 }
 
-func TestMustNewPanics(t *testing.T) {
+func TestNewRejectsMismatchedAllocation(t *testing.T) {
 	set := fixture(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNew did not panic")
-		}
-	}()
-	MustNew(set, make([]bool, 99), Options{})
+	if _, err := New(set, make([]bool, 99), Options{}); err == nil {
+		t.Fatal("New accepted a mismatched allocation vector")
+	}
+}
+
+// mustNew builds a layout, failing the test on error.
+func mustNew(t *testing.T, set *trace.Set, alloc []bool, opt Options) *Layout {
+	t.Helper()
+	l, err := New(set, alloc, opt)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l
 }
 
 // End-to-end: running the simulator over a copy layout redirects the
@@ -267,7 +274,7 @@ func TestMustNewPanics(t *testing.T) {
 // otherwise consistent.
 func TestRunOverLayouts(t *testing.T) {
 	set := fixture(t)
-	plain := MustNew(set, nil, Options{})
+	plain := mustNew(t, set, nil, Options{})
 	var plainN, spmN int64
 	total1, err := sim.Run(set.Prog, plain, sim.FetcherFunc(func(addr uint32, mo int) {
 		if plain.IsSPMAddr(addr) {
@@ -291,7 +298,7 @@ func TestRunOverLayouts(t *testing.T) {
 	}
 	alloc := make([]bool, len(set.Traces))
 	alloc[hot] = true
-	cl := MustNew(set, alloc, Options{Mode: Copy, SPMSize: 1024})
+	cl := mustNew(t, set, alloc, Options{Mode: Copy, SPMSize: 1024})
 	var spmFetch, mainFetch int64
 	total2, err := sim.Run(set.Prog, cl, sim.FetcherFunc(func(addr uint32, mo int) {
 		if cl.IsSPMAddr(addr) {

@@ -184,7 +184,10 @@ func TestCandidatesExtraction(t *testing.T) {
 	main.Block("post").Return()
 	leaf := pb.Func("leaf")
 	leaf.Block("l").Code(4).Return()
-	p := pb.MustBuild()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
 	prof, err := sim.ProfileProgram(p)
 	if err != nil {
 		t.Fatalf("Profile: %v", err)
@@ -193,7 +196,10 @@ func TestCandidatesExtraction(t *testing.T) {
 	if err != nil {
 		t.Fatalf("trace.Build: %v", err)
 	}
-	lay := layout.MustNew(set, nil, layout.Options{})
+	lay, err := layout.New(set, nil, layout.Options{})
+	if err != nil {
+		t.Fatalf("layout.New: %v", err)
+	}
 	cands := Candidates(p, prof, lay)
 
 	var haveFuncMain, haveFuncLeaf, haveLoop bool

@@ -39,7 +39,8 @@ func thrashFixture(t *testing.T) (*ir.Program, *trace.Set) {
 	return p, set
 }
 
-func costFor(cacheCfg cache.Config, spm int) energy.CostModel {
+func costFor(t testing.TB, cacheCfg cache.Config, spm int) energy.CostModel {
+	t.Helper()
 	cfg := energy.Config{SPMBytes: spm}
 	if cacheCfg.SizeBytes > 0 {
 		cfg.Cache = energy.CacheGeometry{
@@ -48,14 +49,34 @@ func costFor(cacheCfg cache.Config, spm int) energy.CostModel {
 			Assoc:     cacheCfg.Assoc,
 		}
 	}
-	return energy.MustCostModel(cfg)
+	return mustCost(t, cfg)
+}
+
+// mustCost builds a cost model, failing the test on error.
+func mustCost(t testing.TB, cfg energy.Config) energy.CostModel {
+	t.Helper()
+	cm, err := energy.NewCostModel(cfg)
+	if err != nil {
+		t.Fatalf("NewCostModel: %v", err)
+	}
+	return cm
+}
+
+// mustLayout builds a layout, failing the test on error.
+func mustLayout(t testing.TB, set *trace.Set, alloc []bool, opt layout.Options) *layout.Layout {
+	t.Helper()
+	l, err := layout.New(set, alloc, opt)
+	if err != nil {
+		t.Fatalf("layout.New: %v", err)
+	}
+	return l
 }
 
 func TestCacheOnlyRunAccounting(t *testing.T) {
 	p, set := thrashFixture(t)
-	lay := layout.MustNew(set, nil, layout.Options{})
+	lay := mustLayout(t, set, nil, layout.Options{})
 	ccfg := cache.Config{SizeBytes: 2048, LineBytes: 16, Assoc: 1}
-	res, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(ccfg, 0), TrackConflicts: true})
+	res, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(t, ccfg, 0), TrackConflicts: true})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -93,11 +114,11 @@ func TestCacheOnlyRunAccounting(t *testing.T) {
 
 func TestThrashingProducesConflicts(t *testing.T) {
 	p, set := thrashFixture(t)
-	lay := layout.MustNew(set, nil, layout.Options{})
+	lay := mustLayout(t, set, nil, layout.Options{})
 	// 128B direct-mapped cache: the two 48-64B hot loops plus the latch
 	// cannot coexist; conflicts are inevitable.
 	ccfg := cache.Config{SizeBytes: 64, LineBytes: 16, Assoc: 1}
-	res, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(ccfg, 0), TrackConflicts: true})
+	res, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(t, ccfg, 0), TrackConflicts: true})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -135,9 +156,9 @@ func TestSPMServesAllocatedTrace(t *testing.T) {
 	}
 	alloc := make([]bool, len(set.Traces))
 	alloc[hot] = true
-	lay := layout.MustNew(set, alloc, layout.Options{Mode: layout.Copy, SPMSize: 128})
+	lay := mustLayout(t, set, alloc, layout.Options{Mode: layout.Copy, SPMSize: 128})
 	ccfg := cache.Config{SizeBytes: 64, LineBytes: 16, Assoc: 1}
-	res, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(ccfg, 128)})
+	res, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(t, ccfg, 128)})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -154,7 +175,7 @@ func TestSPMServesAllocatedTrace(t *testing.T) {
 		t.Error("SPM energy not accounted")
 	}
 	// Energy conservation: component energies must equal per-event sums.
-	cost := costFor(ccfg, 128)
+	cost := costFor(t, ccfg, 128)
 	wantSPM := float64(res.SPMAccesses) * cost.SPMAccess
 	if math.Abs(res.Energy.SPM-wantSPM) > 1e-6 {
 		t.Errorf("SPM energy %g, want %g", res.Energy.SPM, wantSPM)
@@ -175,8 +196,8 @@ func TestSPMServesAllocatedTrace(t *testing.T) {
 func TestSPMReducesEnergyOnThrashingWorkload(t *testing.T) {
 	p, set := thrashFixture(t)
 	ccfg := cache.Config{SizeBytes: 64, LineBytes: 16, Assoc: 1}
-	plain := layout.MustNew(set, nil, layout.Options{})
-	base, err := Run(p, plain, Config{Cache: ccfg, Cost: costFor(ccfg, 0)})
+	plain := mustLayout(t, set, nil, layout.Options{})
+	base, err := Run(p, plain, Config{Cache: ccfg, Cost: costFor(t, ccfg, 0)})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -188,8 +209,8 @@ func TestSPMReducesEnergyOnThrashingWorkload(t *testing.T) {
 	}
 	alloc := make([]bool, len(set.Traces))
 	alloc[hot] = true
-	lay := layout.MustNew(set, alloc, layout.Options{Mode: layout.Copy, SPMSize: 128})
-	withSPM, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(ccfg, 128)})
+	lay := mustLayout(t, set, alloc, layout.Options{Mode: layout.Copy, SPMSize: 128})
+	withSPM, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(t, ccfg, 128)})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -201,7 +222,7 @@ func TestSPMReducesEnergyOnThrashingWorkload(t *testing.T) {
 
 func TestLoopCachePath(t *testing.T) {
 	p, set := thrashFixture(t)
-	lay := layout.MustNew(set, nil, layout.Options{})
+	lay := mustLayout(t, set, nil, layout.Options{})
 	// Preload the hottest trace's exec range.
 	hot := 0
 	for _, tr := range set.Traces {
@@ -218,7 +239,7 @@ func TestLoopCachePath(t *testing.T) {
 		t.Fatalf("NewController: %v", err)
 	}
 	ccfg := cache.Config{SizeBytes: 64, LineBytes: 16, Assoc: 1}
-	cost := energy.MustCostModel(energy.Config{
+	cost := mustCost(t, energy.Config{
 		Cache:            energy.CacheGeometry{SizeBytes: 64, LineBytes: 16, Assoc: 1},
 		LoopCacheBytes:   128,
 		LoopCacheEntries: 4,
@@ -242,8 +263,8 @@ func TestLoopCachePath(t *testing.T) {
 
 func TestNoCacheGoesToMainMemory(t *testing.T) {
 	p, set := thrashFixture(t)
-	lay := layout.MustNew(set, nil, layout.Options{})
-	cost := energy.MustCostModel(energy.Config{})
+	lay := mustLayout(t, set, nil, layout.Options{})
+	cost := mustCost(t, energy.Config{})
 	res, err := Run(p, lay, Config{Cost: cost})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -261,7 +282,7 @@ func TestNoCacheGoesToMainMemory(t *testing.T) {
 
 func TestBadCacheConfigRejected(t *testing.T) {
 	p, set := thrashFixture(t)
-	lay := layout.MustNew(set, nil, layout.Options{})
+	lay := mustLayout(t, set, nil, layout.Options{})
 	_, err := Run(p, lay, Config{Cache: cache.Config{SizeBytes: 100, LineBytes: 16, Assoc: 1}})
 	if err == nil {
 		t.Fatal("expected config error")
@@ -270,10 +291,10 @@ func TestBadCacheConfigRejected(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	p, set := thrashFixture(t)
-	lay := layout.MustNew(set, nil, layout.Options{})
+	lay := mustLayout(t, set, nil, layout.Options{})
 	ccfg := cache.Config{SizeBytes: 64, LineBytes: 16, Assoc: 1}
 	run := func() *Result {
-		res, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(ccfg, 0), TrackConflicts: true})
+		res, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(t, ccfg, 0), TrackConflicts: true})
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}
@@ -293,9 +314,9 @@ func TestDeterminism(t *testing.T) {
 
 func TestCycleAccounting(t *testing.T) {
 	p, set := thrashFixture(t)
-	lay := layout.MustNew(set, nil, layout.Options{})
+	lay := mustLayout(t, set, nil, layout.Options{})
 	ccfg := cache.Config{SizeBytes: 64, LineBytes: 16, Assoc: 1}
-	res, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(ccfg, 0)})
+	res, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(t, ccfg, 0)})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -314,8 +335,8 @@ func TestCycleAccounting(t *testing.T) {
 func TestCyclesImproveWithSPM(t *testing.T) {
 	p, set := thrashFixture(t)
 	ccfg := cache.Config{SizeBytes: 64, LineBytes: 16, Assoc: 1}
-	plain := layout.MustNew(set, nil, layout.Options{})
-	base, err := Run(p, plain, Config{Cache: ccfg, Cost: costFor(ccfg, 0)})
+	plain := mustLayout(t, set, nil, layout.Options{})
+	base, err := Run(p, plain, Config{Cache: ccfg, Cost: costFor(t, ccfg, 0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,8 +348,8 @@ func TestCyclesImproveWithSPM(t *testing.T) {
 	}
 	alloc := make([]bool, len(set.Traces))
 	alloc[hot] = true
-	lay := layout.MustNew(set, alloc, layout.Options{Mode: layout.Copy, SPMSize: 128})
-	spm, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(ccfg, 128)})
+	lay := mustLayout(t, set, alloc, layout.Options{Mode: layout.Copy, SPMSize: 128})
+	spm, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(t, ccfg, 128)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,10 +360,10 @@ func TestCyclesImproveWithSPM(t *testing.T) {
 
 func TestCustomTiming(t *testing.T) {
 	p, set := thrashFixture(t)
-	lay := layout.MustNew(set, nil, layout.Options{})
+	lay := mustLayout(t, set, nil, layout.Options{})
 	ccfg := cache.Config{SizeBytes: 2048, LineBytes: 16, Assoc: 1}
 	tm := Timing{SPM: 1, LoopCache: 1, CacheHit: 2, MissSetup: 10, MissPerWord: 5}
-	res, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(ccfg, 0), Timing: &tm})
+	res, err := Run(p, lay, Config{Cache: ccfg, Cost: costFor(t, ccfg, 0), Timing: &tm})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,10 +382,10 @@ func TestZeroFetchCyclesPerFetch(t *testing.T) {
 
 func TestL2Hierarchy(t *testing.T) {
 	p, set := thrashFixture(t)
-	lay := layout.MustNew(set, nil, layout.Options{})
+	lay := mustLayout(t, set, nil, layout.Options{})
 	l1 := cache.Config{SizeBytes: 64, LineBytes: 16, Assoc: 1}
 	l2 := cache.Config{SizeBytes: 512, LineBytes: 16, Assoc: 2}
-	cost := energy.MustCostModel(energy.Config{
+	cost := mustCost(t, energy.Config{
 		Cache: energy.CacheGeometry{SizeBytes: 64, LineBytes: 16, Assoc: 1},
 		L2:    energy.CacheGeometry{SizeBytes: 512, LineBytes: 16, Assoc: 2},
 	})
@@ -384,7 +405,7 @@ func TestL2Hierarchy(t *testing.T) {
 	}
 	// The thrashing working set fits in the 512B L2: it must absorb most
 	// of the L1 misses, cutting energy versus the single-level hierarchy.
-	single := energy.MustCostModel(energy.Config{
+	single := mustCost(t, energy.Config{
 		Cache: energy.CacheGeometry{SizeBytes: 64, LineBytes: 16, Assoc: 1},
 	})
 	base, err := Run(p, lay, Config{Cache: l1, Cost: single})
@@ -402,7 +423,7 @@ func TestL2Hierarchy(t *testing.T) {
 
 func TestL2RequiresL1(t *testing.T) {
 	p, set := thrashFixture(t)
-	lay := layout.MustNew(set, nil, layout.Options{})
+	lay := mustLayout(t, set, nil, layout.Options{})
 	_, err := Run(p, lay, Config{L2: cache.Config{SizeBytes: 512, LineBytes: 16, Assoc: 1}})
 	if err == nil {
 		t.Fatal("L2 without L1 accepted")

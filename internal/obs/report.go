@@ -20,6 +20,25 @@ type FailedCell struct {
 	Skipped bool `json:"skipped,omitempty"`
 }
 
+// DegradedCell records one experiment cell whose CASA solve degraded —
+// it hit its wall-clock budget, was cancelled, or fell back to the
+// greedy allocator — so run reports carry every non-optimal result with
+// its cause.
+type DegradedCell struct {
+	// Index is the cell's grid index (-1 when the degradation happened
+	// outside any cell).
+	Index int `json:"index"`
+	// Reason is the degradation cause ("deadline", "canceled",
+	// "node-limit", "fault:solver-deadline", ...).
+	Reason string `json:"reason"`
+	// Gap is the relative optimality gap of the incumbent (0 when
+	// unknown).
+	Gap float64 `json:"gap,omitempty"`
+	// Fallback marks cells served by the greedy fallback because the
+	// solver produced no incumbent.
+	Fallback bool `json:"fallback,omitempty"`
+}
+
 // Report is one machine-readable run record — one JSON line of a
 // -report file. A study emits one Report per repeat round.
 type Report struct {
@@ -36,6 +55,9 @@ type Report struct {
 	// FailedCells lists failing and cancelled cells of the study's
 	// grids (empty on success).
 	FailedCells []FailedCell `json:"failed_cells,omitempty"`
+	// DegradedCells lists cells whose CASA solve returned a degraded
+	// (anytime or fallback) result instead of a proven optimum.
+	DegradedCells []DegradedCell `json:"degraded_cells,omitempty"`
 	// Spans is the study's span forest.
 	Spans []*Span `json:"spans,omitempty"`
 	// Metrics is the study's metric delta: counter movement during the

@@ -65,6 +65,32 @@ func Tracef(format string, args ...any) {
 	fmt.Fprintf(w, "casa: "+format+"\n", args...)
 }
 
+var (
+	warnMu sync.Mutex
+	warnW  io.Writer = os.Stderr
+)
+
+// SetWarnWriter redirects warning output (tests); nil restores stderr.
+func SetWarnWriter(w io.Writer) {
+	warnMu.Lock()
+	if w == nil {
+		w = os.Stderr
+	}
+	warnW = w
+	warnMu.Unlock()
+}
+
+// Warnf writes one formatted warning line. Unlike Tracef it is always
+// on: warnings mark misconfigurations the run survives (an ignored
+// CASA_WORKERS value, a malformed fault spec) that the user should see
+// even without tracing enabled.
+func Warnf(format string, args ...any) {
+	warnMu.Lock()
+	w := warnW
+	warnMu.Unlock()
+	fmt.Fprintf(w, "casa: warning: "+format+"\n", args...)
+}
+
 // MaybeDumpMetrics writes the default registry's snapshot to w when
 // CASA_METRICS requests it; commands call it once before exiting.
 func MaybeDumpMetrics(w io.Writer) {

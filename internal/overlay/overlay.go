@@ -21,6 +21,7 @@
 package overlay
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/conflict"
@@ -336,7 +337,7 @@ func Allocate(set *trace.Set, g *conflict.Graph, ph *Phases, prm Params) (*Alloc
 		m.AddConstraint(fmt.Sprintf("phase%d_capacity", p), capExpr, ilp.LE, float64(prm.SPMSize))
 	}
 
-	sol, err := ilp.Solve(m, prm.Solver)
+	sol, err := ilp.Solve(context.Background(), m, prm.Solver)
 	if err != nil {
 		return nil, err
 	}

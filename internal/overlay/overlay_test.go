@@ -43,7 +43,7 @@ func params(spm int) Params {
 }
 
 func TestDiscoverTwoPassPhases(t *testing.T) {
-	p := workload.TwoPass()
+	p := mustTwoPass(t)
 	set, _ := prep(t, p, 512)
 	ph, err := Discover(p, set)
 	if err != nil {
@@ -97,7 +97,10 @@ func TestSharedFunctionDetected(t *testing.T) {
 	main.Block("end").Return()
 	util := pb.Func("util")
 	util.Block("b").Code(5).Return()
-	p := pb.MustBuild()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
 	set, _ := prep(t, p, 512)
 	ph, err := Discover(p, set)
 	if err != nil {
@@ -109,7 +112,7 @@ func TestSharedFunctionDetected(t *testing.T) {
 }
 
 func TestAllocateGivesEachPassFullCapacity(t *testing.T) {
-	p := workload.TwoPass()
+	p := mustTwoPass(t)
 	const spm = 256
 	set, g := prep(t, p, spm)
 	ph, err := Discover(p, set)
@@ -148,7 +151,7 @@ func TestAllocateGivesEachPassFullCapacity(t *testing.T) {
 }
 
 func TestOverlayLayoutSimulates(t *testing.T) {
-	p := workload.TwoPass()
+	p := mustTwoPass(t)
 	const spm = 256
 	set, g := prep(t, p, spm)
 	ph, err := Discover(p, set)
@@ -203,7 +206,7 @@ func TestParamsValidate(t *testing.T) {
 		{SPMSize: 64, ESPHit: 1, ECacheHit: 2, ECacheMiss: 2},
 		{SPMSize: 64, ESPHit: 1, ECacheHit: 2, ECacheMiss: 3, CopySetupNJ: -1},
 	}
-	p := workload.TwoPass()
+	p := mustTwoPass(t)
 	set, g := prep(t, p, 64)
 	ph, err := Discover(p, set)
 	if err != nil {
@@ -220,7 +223,7 @@ func TestSingleLoopProgramDegeneratesGracefully(t *testing.T) {
 	// adpcm has one big top-level loop: phases exist (pre, loop, post) but
 	// nearly all heat is in one phase; overlay must still work and not
 	// beat... it must at least be a valid allocation.
-	p := workload.MustLoad("adpcm")
+	p := mustLoad(t, "adpcm")
 	const spm = 128
 	prof, err := sim.ProfileProgram(p)
 	if err != nil {
@@ -255,7 +258,10 @@ func TestSingleLoopProgramDegeneratesGracefully(t *testing.T) {
 // a valid phase.
 func TestDiscoverPropertyOnRandomPrograms(t *testing.T) {
 	for seed := uint64(50); seed < 80; seed++ {
-		p := workload.Random(workload.RandomSpec{Seed: seed, Funcs: 5, SegmentsPerFunc: 6})
+		p, err := workload.Random(workload.RandomSpec{Seed: seed, Funcs: 5, SegmentsPerFunc: 6})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
 		set, _ := prep(t, p, 256)
 		ph, err := Discover(p, set)
 		if err != nil {
@@ -287,7 +293,7 @@ func TestDiscoverPropertyOnRandomPrograms(t *testing.T) {
 }
 
 func TestPhaseNamesAndInSPMHelper(t *testing.T) {
-	p := workload.TwoPass()
+	p := mustTwoPass(t)
 	set, g := prep(t, p, 256)
 	ph, err := Discover(p, set)
 	if err != nil {
@@ -312,7 +318,7 @@ func TestPhaseNamesAndInSPMHelper(t *testing.T) {
 }
 
 func TestAllocateGraphMismatch(t *testing.T) {
-	p := workload.TwoPass()
+	p := mustTwoPass(t)
 	set, _ := prep(t, p, 256)
 	ph, err := Discover(p, set)
 	if err != nil {
@@ -322,4 +328,24 @@ func TestAllocateGraphMismatch(t *testing.T) {
 	if _, err := Allocate(set, bad, ph, params(256)); err == nil {
 		t.Error("graph mismatch accepted")
 	}
+}
+
+// mustTwoPass builds the two-pass workload, failing the test on error.
+func mustTwoPass(t testing.TB) *ir.Program {
+	t.Helper()
+	p, err := workload.TwoPass()
+	if err != nil {
+		t.Fatalf("TwoPass: %v", err)
+	}
+	return p
+}
+
+// mustLoad builds a named workload, failing the test on error.
+func mustLoad(t testing.TB, name string) *ir.Program {
+	t.Helper()
+	p, err := workload.Load(name)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	return p
 }

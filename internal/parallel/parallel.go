@@ -15,6 +15,11 @@
 //     recorded, never silently dropped.
 //   - Context cancellation: canceling the caller's context stops workers
 //     from claiming new cells and surfaces the context error.
+//   - Panic containment: a panic inside a cell is recovered into a
+//     *PanicError (with the stack) and reported as that cell's failure,
+//     so one poisoned cell cannot take down the process. The ForEachAll /
+//     MapAll variants additionally keep going past failures and return
+//     every surviving cell's result alongside the aggregate *GridError.
 //
 // The worker count defaults to runtime.NumCPU, can be overridden
 // per-call, and can be pinned globally through the CASA_WORKERS
@@ -31,11 +36,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -44,8 +51,14 @@ import (
 // not request an explicit count.
 const EnvWorkers = "CASA_WORKERS"
 
+// warnedWorkers remembers the CASA_WORKERS values already warned about,
+// so a grid of thousands of cells complains once, not per resolution.
+var warnedWorkers sync.Map
+
 // Workers resolves a requested worker count: an explicit positive request
-// wins, then a positive CASA_WORKERS value, then runtime.NumCPU.
+// wins, then a positive CASA_WORKERS value, then runtime.NumCPU. An
+// unusable CASA_WORKERS value (not a positive integer) is reported once
+// through obs.Warnf and explicitly falls back to runtime.NumCPU.
 func Workers(requested int) int {
 	if requested > 0 {
 		return requested
@@ -53,6 +66,10 @@ func Workers(requested int) int {
 	if v := os.Getenv(EnvWorkers); v != "" {
 		if n, err := strconv.Atoi(v); err == nil && n > 0 {
 			return n
+		}
+		if _, dup := warnedWorkers.LoadOrStore(v, true); !dup {
+			obs.Warnf("ignoring %s=%q (want a positive integer); using %d workers",
+				EnvWorkers, v, runtime.NumCPU())
 		}
 	}
 	return runtime.NumCPU()
@@ -68,7 +85,37 @@ var (
 	mWidth        = obs.GetGauge("casa_pool_width")
 	mQueueDepth   = obs.GetGauge("casa_pool_queue_depth")
 	mCellNS       = obs.GetHistogram("casa_pool_cell_ns")
+	mCellPanics   = obs.GetCounter("casa_cell_panics_total")
 )
+
+// PanicError is a cell panic converted into an error by the pool's
+// per-cell recovery, with the panicking goroutine's stack captured at
+// recovery time. It surfaces inside a *CellError, so a poisoned cell is
+// reported like any other cell failure instead of killing the process.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("cell panicked: %v", e.Value) }
+
+// runCell executes one cell with panic containment: a panic inside fn
+// (or injected through the cell-panic fault point) is recovered into a
+// *PanicError and counted, never propagated.
+func runCell(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			mCellPanics.Inc()
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if fault.Hit(fault.CellPanic) {
+		panic(fmt.Sprintf("injected %s fault at cell %d", fault.CellPanic, i))
+	}
+	return fn(ctx, i)
+}
 
 // CellError is one cell's failure, tagged with its grid index.
 type CellError struct {
@@ -141,6 +188,19 @@ const (
 // index order) and the skipped indices; if the caller's context was
 // canceled first, its error is returned instead.
 func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	return forEach(ctx, n, workers, false, fn)
+}
+
+// ForEachAll is ForEach without failure cancellation: every cell runs to
+// completion (unless the caller's context is canceled), and all failures
+// are collected into one *GridError. Use it when partial results matter
+// more than stopping early — the experiment engine keeps the surviving
+// cells of a degraded grid.
+func ForEachAll(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	return forEach(ctx, n, workers, true, fn)
+}
+
+func forEach(ctx context.Context, n, workers int, keepGoing bool, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -175,13 +235,15 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 					continue
 				}
 				start := time.Now()
-				err := fn(runCtx, i)
+				err := runCell(runCtx, i, fn)
 				busy := time.Since(start).Nanoseconds()
 				mBusyNS.Add(busy)
 				mCellNS.Observe(busy)
 				if err != nil {
 					cells[i] = cellState{status: cellFailed, err: err}
-					cancel()
+					if !keepGoing {
+						cancel()
+					}
 					continue
 				}
 				cells[i] = cellState{status: cellOK}
@@ -243,4 +305,21 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 		return nil, err
 	}
 	return out, nil
+}
+
+// MapAll is Map without failure cancellation: every cell runs, and the
+// partial results are returned alongside the *GridError (slots of failed
+// cells hold T's zero value). Callers distinguish good from failed slots
+// through the GridError's Failed indices.
+func MapAll[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachAll(ctx, n, workers, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
 }

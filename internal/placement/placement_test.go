@@ -51,7 +51,7 @@ func TestStrategyString(t *testing.T) {
 
 func TestOrdersArePermutations(t *testing.T) {
 	for _, name := range workload.Names() {
-		set := buildSet(t, workload.MustLoad(name))
+		set := buildSet(t, mustLoad(t, name))
 		for _, strat := range []Strategy{HotFirst, ConflictAware} {
 			order, err := Order(set, CacheShape{Sets: 128, LineBytes: 16}, strat)
 			if err != nil {
@@ -76,7 +76,7 @@ func TestOrdersArePermutations(t *testing.T) {
 }
 
 func TestHotFirstIsByHeat(t *testing.T) {
-	set := buildSet(t, workload.MustLoad("adpcm"))
+	set := buildSet(t, mustLoad(t, "adpcm"))
 	order, err := Order(set, CacheShape{Sets: 8, LineBytes: 16}, HotFirst)
 	if err != nil {
 		t.Fatal(err)
@@ -91,9 +91,9 @@ func TestHotFirstIsByHeat(t *testing.T) {
 // TestPlacementReducesMissesOnThrashingImage: a program much larger than
 // the cache with interleaved hot/cold traces must benefit from placement.
 func TestPlacementReducesMissesOnThrashingImage(t *testing.T) {
-	set := buildSet(t, workload.MustLoad("mpeg"))
+	set := buildSet(t, mustLoad(t, "mpeg"))
 	ccfg := cache.Config{SizeBytes: 2048, LineBytes: 16, Assoc: 1}
-	cost := energy.MustCostModel(energy.Config{
+	cost := mustCost(t, energy.Config{
 		Cache: energy.CacheGeometry{SizeBytes: 2048, LineBytes: 16, Assoc: 1},
 	})
 	run := func(lay *layout.Layout) int64 {
@@ -124,7 +124,7 @@ func TestPlacementReducesMissesOnThrashingImage(t *testing.T) {
 }
 
 func TestNewOrderedRejectsBadOrders(t *testing.T) {
-	set := buildSet(t, workload.MustLoad("adpcm"))
+	set := buildSet(t, mustLoad(t, "adpcm"))
 	if _, err := layout.NewOrdered(set, []int{0}, layout.Options{}); err == nil && len(set.Traces) != 1 {
 		t.Error("short order accepted")
 	}
@@ -138,8 +138,28 @@ func TestNewOrderedRejectsBadOrders(t *testing.T) {
 }
 
 func TestOrderRejectsBadShape(t *testing.T) {
-	set := buildSet(t, workload.MustLoad("adpcm"))
+	set := buildSet(t, mustLoad(t, "adpcm"))
 	if _, err := Order(set, CacheShape{Sets: 5, LineBytes: 16}, HotFirst); err == nil {
 		t.Error("bad shape accepted")
 	}
+}
+
+// mustLoad builds a named workload, failing the test on error.
+func mustLoad(t testing.TB, name string) *ir.Program {
+	t.Helper()
+	p, err := workload.Load(name)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	return p
+}
+
+// mustCost builds a cost model, failing the test on error.
+func mustCost(t testing.TB, cfg energy.Config) energy.CostModel {
+	t.Helper()
+	cm, err := energy.NewCostModel(cfg)
+	if err != nil {
+		t.Fatalf("NewCostModel: %v", err)
+	}
+	return cm
 }

@@ -29,6 +29,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/obs"
 )
@@ -59,6 +60,13 @@ var profileMemo sync.Map // *ir.Program → *profileEntry
 // included) receives the same immutable Profile. The program must not be
 // mutated after the first call.
 func CachedProfile(p *ir.Program) (*Profile, error) {
+	if fault.Hit(fault.MemoMiss) {
+		// Injected memo miss: recompute without touching the cache. The
+		// result is identical (simulation is deterministic); only the
+		// memoization benefit is lost.
+		mProfileMisses.Inc()
+		return ProfileProgram(p)
+	}
 	slot, loaded := profileMemo.LoadOrStore(p, &profileEntry{})
 	if loaded {
 		mProfileHits.Inc()
@@ -66,7 +74,16 @@ func CachedProfile(p *ir.Program) (*Profile, error) {
 		mProfileMisses.Inc()
 	}
 	e := slot.(*profileEntry)
-	e.once.Do(func() { e.prof, e.err = ProfileProgram(p) })
+	e.once.Do(func() {
+		e.prof, e.err = ProfileProgram(p)
+		if e.err != nil {
+			// Do not let a transient failure poison the memo forever: drop
+			// the slot so a later caller can retry. CompareAndDelete only
+			// removes OUR slot — a concurrent retry that already replaced
+			// it is left alone.
+			profileMemo.CompareAndDelete(p, slot)
+		}
+	})
 	return e.prof, e.err
 }
 
@@ -194,6 +211,15 @@ var (
 // it on first use. Entries are evicted least-recently-used once the cache
 // exceeds its byte budget; evicted streams remain valid for holders.
 func CachedStream(p *ir.Program, lay Layout) (*Stream, error) {
+	if err := fault.ErrorAt(fault.StreamRead); err != nil {
+		return nil, err
+	}
+	if fault.Hit(fault.MemoMiss) {
+		// Injected memo miss: re-record outside the cache. Deterministic
+		// simulation makes the replacement stream identical.
+		mStreamMisses.Inc()
+		return RecordStream(p, lay)
+	}
 	key := streamKey{prog: p, fp: LayoutFingerprint(p, lay)}
 	streamMu.Lock()
 	e, ok := streamCache[key]

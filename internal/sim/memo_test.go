@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/ir"
 )
 
@@ -83,7 +85,7 @@ func TestCachedStreamReplayMatchesRun(t *testing.T) {
 	main.Block("done").Return()
 	leaf := pb.Func("leaf")
 	leaf.Block("body").ALU(3).Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	lay := newTestLayout(p)
 	lay.jumps[ir.BlockRef{Func: 0, Block: 2}] = 0x400
 
@@ -252,5 +254,107 @@ func TestStreamCacheBytesGauge(t *testing.T) {
 	}
 	if g := mStreamBytes.Value(); g != int64(got) {
 		t.Errorf("casa_stream_cache_bytes gauge %d != accounted bytes %d", g, got)
+	}
+}
+
+// ---- Fault injection and memo robustness ------------------------------------
+
+func TestCachedStreamInjectedReadFault(t *testing.T) {
+	fault.Set(fault.NewPlan().On(fault.StreamRead, 1))
+	defer fault.Set(nil)
+
+	p := loopProgram(t, 9)
+	lay := newTestLayout(p)
+	if _, err := CachedStream(p, lay); err == nil {
+		t.Fatal("injected stream-read fault not surfaced")
+	} else {
+		var inj *fault.InjectedError
+		if !errors.As(err, &inj) {
+			t.Fatalf("error %v is not an InjectedError", err)
+		}
+	}
+	// The next (non-faulted) call succeeds: the failure was transient.
+	s, err := CachedStream(p, lay)
+	if err != nil {
+		t.Fatalf("post-fault call: %v", err)
+	}
+	if s.Len() == 0 {
+		t.Fatal("post-fault stream empty")
+	}
+}
+
+func TestCachedStreamInjectedMemoMissBypassesCache(t *testing.T) {
+	p := loopProgram(t, 13)
+	lay := newTestLayout(p)
+	cached, err := CachedStream(p, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Set(fault.NewPlan().Always(fault.MemoMiss))
+	defer fault.Set(nil)
+	fresh, err := CachedStream(p, lay)
+	if err != nil {
+		t.Fatalf("memo-miss path: %v", err)
+	}
+	if fresh == cached {
+		t.Fatal("injected memo miss still served the cached instance")
+	}
+	// Determinism: the bypassed recording is byte-identical.
+	a, b := &recordingSink{}, &recordingSink{}
+	cached.Replay(a)
+	fresh.Replay(b)
+	if len(a.addrs) != len(b.addrs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.addrs), len(b.addrs))
+	}
+	for i := range a.addrs {
+		if a.addrs[i] != b.addrs[i] || a.mos[i] != b.mos[i] {
+			t.Fatalf("fetch %d differs under memo-miss bypass", i)
+		}
+	}
+}
+
+func TestCachedProfileInjectedMemoMissBypassesCache(t *testing.T) {
+	p := loopProgram(t, 17)
+	cached, err := CachedProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Set(fault.NewPlan().Always(fault.MemoMiss))
+	defer fault.Set(nil)
+	fresh, err := CachedProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == cached {
+		t.Fatal("injected memo miss still served the cached profile")
+	}
+	if fresh.Fetches != cached.Fetches {
+		t.Fatalf("bypassed profile differs: %d vs %d fetches", fresh.Fetches, cached.Fetches)
+	}
+}
+
+// TestCachedProfileErrorNotPoisoned: a failing profile run must not be
+// cached forever — the slot is dropped so a later caller retries instead
+// of replaying the stale error.
+func TestCachedProfileErrorNotPoisoned(t *testing.T) {
+	// Unbounded recursion exceeds the simulator's call-depth limit, a real
+	// (non-injected) profiling failure.
+	pb := ir.NewProgramBuilder("recurse")
+	f := pb.Func("main")
+	f.Block("entry").ALU(1).Call("main")
+	f.Block("done").Return()
+	p := mustBuild(t, pb)
+
+	if _, err := CachedProfile(p); !errors.Is(err, ErrCallDepth) {
+		t.Fatalf("want call-depth failure, got %v", err)
+	}
+	if _, ok := profileMemo.Load(p); ok {
+		t.Fatal("failed profile run left a poisoned memo entry")
+	}
+	// And the retry fails afresh (same program, same error) rather than
+	// hitting a cached slot — proving the path stays retryable.
+	if _, err := CachedProfile(p); !errors.Is(err, ErrCallDepth) {
+		t.Fatalf("retry: want call-depth failure, got %v", err)
 	}
 }

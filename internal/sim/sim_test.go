@@ -68,7 +68,7 @@ func TestProfileCallsAndReturns(t *testing.T) {
 	main.Block("done").Return()
 	leaf := pb.Func("leaf")
 	leaf.Block("body").ALU(3).Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 
 	prof, err := ProfileProgram(p)
 	if err != nil {
@@ -99,7 +99,7 @@ func TestProfileDeterminism(t *testing.T) {
 	f.Block("y").ALU(3)
 	f.Block("m").ALU(1).Branch("c", "exit", ir.Loop{Trips: 1000})
 	f.Block("exit").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 
 	a, err := ProfileProgram(p)
 	if err != nil {
@@ -129,7 +129,7 @@ func TestFetchLimit(t *testing.T) {
 	// Infinite loop: jump to self.
 	pb := ir.NewProgramBuilder("inf")
 	pb.Func("main").Block("a").ALU(1).Jump("a")
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	_, err := ProfileProgram(p, WithMaxFetches(1000))
 	if !errors.Is(err, ErrFetchLimit) {
 		t.Fatalf("err = %v, want ErrFetchLimit", err)
@@ -142,7 +142,7 @@ func TestCallDepthLimit(t *testing.T) {
 	f := pb.Func("main")
 	f.Block("a").ALU(1).Call("main")
 	f.Block("b").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	_, err := ProfileProgram(p)
 	if !errors.Is(err, ErrCallDepth) {
 		t.Fatalf("err = %v, want ErrCallDepth", err)
@@ -252,7 +252,7 @@ func TestRunJumpFetchOnReturnContinuation(t *testing.T) {
 	main.Block("b").Return()
 	leaf := pb.Func("leaf")
 	leaf.Block("l").ALU(1).Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	lay := newTestLayout(p)
 	callBlock := ir.BlockRef{Func: 0, Block: 0}
 	lay.jumps[callBlock] = 0x2000
@@ -306,7 +306,7 @@ func TestSplitPreservesProfile(t *testing.T) {
 	f.Block("exit").Return()
 	leaf := pb.Func("leaf")
 	leaf.Block("l").Code(30).Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 
 	orig, err := ProfileProgram(p)
 	if err != nil {
@@ -338,7 +338,7 @@ func TestWithMaxFetchesBoundary(t *testing.T) {
 	// limit N-1.
 	pb := ir.NewProgramBuilder("exact")
 	pb.Func("main").Block("a").ALU(4).Return() // 5 fetches
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	if _, err := ProfileProgram(p, WithMaxFetches(5)); err != nil {
 		t.Errorf("limit == fetches must pass: %v", err)
 	}
@@ -361,7 +361,7 @@ func TestDeepButBoundedRecursionViaChain(t *testing.T) {
 			f.Block("a").ALU(1).Return()
 		}
 	}
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	prof, err := ProfileProgram(p)
 	if err != nil {
 		t.Fatalf("deep chain: %v", err)
@@ -369,4 +369,14 @@ func TestDeepButBoundedRecursionViaChain(t *testing.T) {
 	if prof.Fetches == 0 {
 		t.Fatal("no fetches")
 	}
+}
+
+// mustBuild finalizes a builder, failing the test on error.
+func mustBuild(t testing.TB, pb *ir.ProgramBuilder) *ir.Program {
+	t.Helper()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
 }

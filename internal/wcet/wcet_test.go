@@ -74,7 +74,7 @@ func TestSimpleLoopBound(t *testing.T) {
 	f.Block("pre").ALU(2)
 	f.Block("body").Code(3).Branch("body", "post", ir.Loop{Trips: 10})
 	f.Block("post").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	_, lay := buildSet(t, p, 4096)
 
 	r, err := Analyze(p, lay, costs())
@@ -100,7 +100,7 @@ func TestNestedLoopsMultiply(t *testing.T) {
 	f.Block("inner").Code(2).Branch("inner", "latch", ir.Loop{Trips: 5})
 	f.Block("latch").ALU(1).Branch("oh", "done", ir.Loop{Trips: 3})
 	f.Block("done").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	_, lay := buildSet(t, p, 4096)
 	r, err := Analyze(p, lay, costs())
 	if err != nil {
@@ -117,7 +117,7 @@ func TestPatternBackEdgeBounded(t *testing.T) {
 	f := pb.Func("main")
 	f.Block("body").Code(2).Branch("body", "post", ir.Pattern{Seq: []bool{true, true, false}})
 	f.Block("post").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	_, lay := buildSet(t, p, 4096)
 	r, err := Analyze(p, lay, costs())
 	if err != nil {
@@ -134,7 +134,7 @@ func TestUnboundableBackEdgeRejected(t *testing.T) {
 	f := pb.Func("main")
 	f.Block("body").Code(2).Branch("body", "post", ir.Biased{P: 0.5, Seed: 1})
 	f.Block("post").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	_, lay := buildSet(t, p, 4096)
 	_, err := Analyze(p, lay, costs())
 	if err == nil || !strings.Contains(err.Error(), "boundable") {
@@ -150,7 +150,7 @@ func TestRecursionRejected(t *testing.T) {
 	b := pb.Func("b")
 	b.Block("x").ALU(1).Call("a")
 	b.Block("r").Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	// A recursive program cannot be profiled; hand the trace builder an
 	// empty profile instead.
 	prof := sim.NewProfile(p)
@@ -176,7 +176,7 @@ func TestCallsAccumulate(t *testing.T) {
 	main.Block("done").Return()
 	leaf := pb.Func("leaf")
 	leaf.Block("x").Code(6).Return()
-	p := pb.MustBuild()
+	p := mustBuild(t, pb)
 	_, lay := buildSet(t, p, 4096)
 	r, err := Analyze(p, lay, costs())
 	if err != nil {
@@ -200,7 +200,7 @@ func TestCallsAccumulate(t *testing.T) {
 // and the scratchpad must tighten the bound.
 func TestSoundnessOnWorkloadsAndTightening(t *testing.T) {
 	for _, name := range workload.Names() {
-		p := workload.MustLoad(name)
+		p := mustLoad(t, name)
 		prof, err := sim.ProfileProgram(p)
 		if err != nil {
 			t.Fatal(err)
@@ -293,7 +293,7 @@ func simulatedCycles(t *testing.T, p *ir.Program, lay *layout.Layout) int64 {
 		MissPerWord: 2,
 	}
 	ccfg := cache.Config{SizeBytes: 1024, LineBytes: c.LineBytes, Assoc: 1}
-	cost := energy.MustCostModel(energy.Config{
+	cost := mustCost(t, energy.Config{
 		Cache:    energy.CacheGeometry{SizeBytes: 1024, LineBytes: c.LineBytes, Assoc: 1},
 		SPMBytes: 512,
 	})
@@ -309,7 +309,10 @@ func simulatedCycles(t *testing.T, p *ir.Program, lay *layout.Layout) int64 {
 // bound must dominate simulation for all of them.
 func TestSoundnessOnRandomPrograms(t *testing.T) {
 	for seed := uint64(200); seed < 230; seed++ {
-		p := workload.Random(workload.RandomSpec{Seed: seed, Funcs: 4, SegmentsPerFunc: 5})
+		p, err := workload.Random(workload.RandomSpec{Seed: seed, Funcs: 4, SegmentsPerFunc: 5})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
 		prof, err := sim.ProfileProgram(p, sim.WithMaxFetches(1<<24))
 		if err != nil {
 			t.Fatal(err)
@@ -331,4 +334,34 @@ func TestSoundnessOnRandomPrograms(t *testing.T) {
 			t.Errorf("seed %d: bound %d below simulated %d", seed, bound.Cycles, actual)
 		}
 	}
+}
+
+// mustBuild finalizes a builder, failing the test on error.
+func mustBuild(t testing.TB, pb *ir.ProgramBuilder) *ir.Program {
+	t.Helper()
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+// mustLoad builds a named workload, failing the test on error.
+func mustLoad(t testing.TB, name string) *ir.Program {
+	t.Helper()
+	p, err := workload.Load(name)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	return p
+}
+
+// mustCost builds a cost model, failing the test on error.
+func mustCost(t testing.TB, cfg energy.Config) energy.CostModel {
+	t.Helper()
+	cm, err := energy.NewCostModel(cfg)
+	if err != nil {
+		t.Fatalf("NewCostModel: %v", err)
+	}
+	return cm
 }

@@ -13,7 +13,7 @@ import "repro/internal/ir"
 //	adpcm_coder   — per-sample quantization with a step-size search loop
 //	adpcm_decoder — per-sample reconstruction
 //	step_index    — shared index clamp helper
-func ADPCM() *ir.Program {
+func ADPCM() (*ir.Program, error) {
 	pb := ir.NewProgramBuilder("adpcm")
 
 	// Data objects of the real codec: the coder/decoder state, the two
@@ -90,5 +90,5 @@ func ADPCM() *ir.Program {
 	idx.Block("ok").Code(2)
 	idx.Block("exit").Return()
 
-	return pb.MustBuild()
+	return pb.Build()
 }

@@ -8,7 +8,7 @@ import "repro/internal/ir"
 // real codec; the hot path is the per-sample encode/decode pipeline, whose
 // routines comfortably exceed small scratchpads — the interesting regime
 // for a conflict-aware allocator.
-func G721() *ir.Program {
+func G721() (*ir.Program, error) {
 	pb := ir.NewProgramBuilder("g721")
 
 	// Data objects: the per-channel predictor state, the quantizer
@@ -270,5 +270,5 @@ func G721() *ir.Program {
 	init.Block("opts").Code(34)
 	init.Block("exit").Return()
 
-	return pb.MustBuild()
+	return pb.Build()
 }

@@ -14,7 +14,7 @@ import "repro/internal/ir"
 // Hot straight-line runs are kept in blocks of at most ~28 instructions so
 // trace formation can build scratchpad-placeable traces even for the
 // paper's smallest configurations.
-func MPEG() *ir.Program {
+func MPEG() (*ir.Program, error) {
 	pb := ir.NewProgramBuilder("mpeg")
 
 	// Data objects: the 64-coefficient block buffer, the quantizer
@@ -697,5 +697,5 @@ func MPEG() *ir.Program {
 	osd.Block("blit").Code(20)
 	osd.Block("exit").Return()
 
-	return pb.MustBuild()
+	return pb.Build()
 }

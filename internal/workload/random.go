@@ -40,7 +40,7 @@ func (s RandomSpec) withDefaults() RandomSpec {
 // for property tests: each function is a linear chain of segments
 // (straight code, counted loops, diamonds, or calls to strictly
 // later-indexed functions, which rules out recursion).
-func Random(spec RandomSpec) *ir.Program {
+func Random(spec RandomSpec) (*ir.Program, error) {
 	spec = spec.withDefaults()
 	rng := spec.Seed*0x9e3779b97f4a7c15 + 1
 	next := func(n int) int {
@@ -97,7 +97,7 @@ func Random(spec RandomSpec) *ir.Program {
 		}
 		f.Block(lbl("exit")).Return()
 	}
-	return pb.MustBuild()
+	return pb.Build()
 }
 
 func randomPattern(next func(int) int) []bool {

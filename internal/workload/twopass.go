@@ -14,7 +14,7 @@ import "repro/internal/ir"
 // TwoPass is not part of Names(): the paper's Table 1 uses exactly the
 // three Mediabench-derived workloads. It is exported for the overlay
 // study and example.
-func TwoPass() *ir.Program {
+func TwoPass() (*ir.Program, error) {
 	pb := ir.NewProgramBuilder("twopass")
 
 	main := pb.Func("main")
@@ -72,5 +72,5 @@ func TwoPass() *ir.Program {
 	eh.Block("out").Code(2)
 	eh.Block("exit").Return()
 
-	return pb.MustBuild()
+	return pb.Build()
 }

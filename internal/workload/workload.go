@@ -29,7 +29,7 @@ import "repro/internal/ir"
 
 // builders registers the bundled programs lazily so each Load returns a
 // fresh Program (callers may mutate nothing, but independence is cheap).
-var builders = map[string]func() *ir.Program{
+var builders = map[string]func() (*ir.Program, error){
 	"adpcm": ADPCM,
 	"g721":  G721,
 	"mpeg":  MPEG,
@@ -51,16 +51,11 @@ func Load(name string) (*ir.Program, error) {
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
 	}
-	return b(), nil
-}
-
-// MustLoad is Load, panicking on unknown names.
-func MustLoad(name string) *ir.Program {
-	p, err := Load(name)
+	p, err := b()
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("workload: build %q: %w", name, err)
 	}
-	return p
+	return p, nil
 }
 
 // shared holds the canonical process-wide instance of each bundled
@@ -88,13 +83,4 @@ func Shared(name string) (*ir.Program, error) {
 	}
 	shared[name] = p
 	return p, nil
-}
-
-// MustShared is Shared, panicking on unknown names.
-func MustShared(name string) *ir.Program {
-	p, err := Shared(name)
-	if err != nil {
-		panic(err)
-	}
-	return p
 }

@@ -27,13 +27,30 @@ func TestNamesAndLoad(t *testing.T) {
 	}
 }
 
-func TestMustLoadPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustLoad did not panic")
-		}
-	}()
-	MustLoad("ghost")
+func TestLoadUnknownNameErrors(t *testing.T) {
+	if _, err := Load("ghost"); err == nil {
+		t.Fatal("Load accepted unknown workload name")
+	}
+}
+
+// mustLoad builds a named workload, failing the test on error.
+func mustLoad(t *testing.T, name string) *ir.Program {
+	t.Helper()
+	p, err := Load(name)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	return p
+}
+
+// mustRandom generates a random workload, failing the test on error.
+func mustRandom(t *testing.T, spec RandomSpec) *ir.Program {
+	t.Helper()
+	p, err := Random(spec)
+	if err != nil {
+		t.Fatalf("Random(%+v): %v", spec, err)
+	}
+	return p
 }
 
 // TestPaperCodeSizes pins the workloads to the code sizes of the paper's
@@ -45,7 +62,7 @@ func TestPaperCodeSizes(t *testing.T) {
 		"mpeg":  19968,
 	}
 	for name, want := range targets {
-		p := MustLoad(name)
+		p := mustLoad(t, name)
 		got := p.Size()
 		lo, hi := want*92/100, want*108/100
 		if got < lo || got > hi {
@@ -56,7 +73,7 @@ func TestPaperCodeSizes(t *testing.T) {
 
 func TestWorkloadsValidateAndTerminate(t *testing.T) {
 	for _, n := range Names() {
-		p := MustLoad(n)
+		p := mustLoad(t, n)
 		if err := ir.Validate(p); err != nil {
 			t.Fatalf("%s: %v", n, err)
 		}
@@ -72,11 +89,11 @@ func TestWorkloadsValidateAndTerminate(t *testing.T) {
 
 func TestWorkloadsAreDeterministic(t *testing.T) {
 	for _, n := range Names() {
-		a, err := sim.ProfileProgram(MustLoad(n))
+		a, err := sim.ProfileProgram(mustLoad(t, n))
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := sim.ProfileProgram(MustLoad(n))
+		b, err := sim.ProfileProgram(mustLoad(t, n))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +107,7 @@ func TestWorkloadsAreDeterministic(t *testing.T) {
 // fraction of the code accounts for the vast majority of fetches.
 func TestHotColdSkew(t *testing.T) {
 	for _, n := range Names() {
-		p := MustLoad(n)
+		p := mustLoad(t, n)
 		prof, err := sim.ProfileProgram(p)
 		if err != nil {
 			t.Fatal(err)
@@ -118,7 +135,7 @@ func TestHotColdSkew(t *testing.T) {
 // size used in the paper's tables and validates the partitions.
 func TestTraceFormationOnWorkloads(t *testing.T) {
 	for _, n := range Names() {
-		p := MustLoad(n)
+		p := mustLoad(t, n)
 		prof, err := sim.ProfileProgram(p)
 		if err != nil {
 			t.Fatal(err)
@@ -147,7 +164,7 @@ func TestTraceFormationOnWorkloads(t *testing.T) {
 
 func TestRandomGenerator(t *testing.T) {
 	for seed := uint64(0); seed < 20; seed++ {
-		p := Random(RandomSpec{Seed: seed})
+		p := mustRandom(t, RandomSpec{Seed: seed})
 		if err := ir.Validate(p); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -159,7 +176,7 @@ func TestRandomGenerator(t *testing.T) {
 			t.Fatalf("seed %d: empty profile", seed)
 		}
 		// Deterministic per seed.
-		q := Random(RandomSpec{Seed: seed})
+		q := mustRandom(t, RandomSpec{Seed: seed})
 		if q.Size() != p.Size() || q.NumBlocks() != p.NumBlocks() {
 			t.Fatalf("seed %d: generator not deterministic", seed)
 		}
@@ -167,8 +184,8 @@ func TestRandomGenerator(t *testing.T) {
 }
 
 func TestRandomGeneratorDifferentSeedsDiffer(t *testing.T) {
-	a := Random(RandomSpec{Seed: 1})
-	b := Random(RandomSpec{Seed: 2})
+	a := mustRandom(t, RandomSpec{Seed: 1})
+	b := mustRandom(t, RandomSpec{Seed: 2})
 	if a.Size() == b.Size() && a.NumBlocks() == b.NumBlocks() {
 		// Sizes could coincide, but block structure should not for these
 		// seeds; treat full equality as suspicious.
@@ -180,7 +197,7 @@ func TestRandomGeneratorDifferentSeedsDiffer(t *testing.T) {
 // formation as a property test of the whole front end.
 func TestRandomTraceAndLayoutPipeline(t *testing.T) {
 	for seed := uint64(100); seed < 130; seed++ {
-		p := Random(RandomSpec{Seed: seed, Funcs: 5, SegmentsPerFunc: 6})
+		p := mustRandom(t, RandomSpec{Seed: seed, Funcs: 5, SegmentsPerFunc: 6})
 		prof, err := sim.ProfileProgram(p, sim.WithMaxFetches(1<<24))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)

@@ -79,7 +79,7 @@ func Workloads() []string { return workload.Names() }
 func LoadWorkload(name string) (*Program, error) { return workload.Load(name) }
 
 // RandomWorkload generates a deterministic random program for testing.
-func RandomWorkload(seed uint64) *Program {
+func RandomWorkload(seed uint64) (*Program, error) {
 	return workload.Random(workload.RandomSpec{Seed: seed})
 }
 
@@ -199,7 +199,7 @@ func NewOverlayLayout(set *TraceSet, a *OverlayAllocation, ph *OverlayPhases,
 
 // TwoPassWorkload returns the overlay demonstration program: two
 // sequential hot passes whose working sets each fill a small scratchpad.
-func TwoPassWorkload() *Program { return workload.TwoPass() }
+func TwoPassWorkload() (*Program, error) { return workload.TwoPass() }
 
 // SimResult is a full memory-hierarchy simulation result.
 type SimResult = memsim.Result
@@ -375,8 +375,11 @@ type ILPSolution = ilp.Solution
 // NewILPModel returns an empty model.
 func NewILPModel() *ILPModel { return ilp.NewModel() }
 
-// SolveILP optimizes a model exactly with branch & bound.
-func SolveILP(m *ILPModel, opt ILPOptions) (*ILPSolution, error) { return ilp.Solve(m, opt) }
+// SolveILP optimizes a model exactly with branch & bound. It is the
+// context-free facade; pass opt.Budget for an anytime solve.
+func SolveILP(m *ILPModel, opt ILPOptions) (*ILPSolution, error) {
+	return ilp.Solve(context.Background(), m, opt)
+}
 
 // ILPVar identifies a variable within its model.
 type ILPVar = ilp.Var

@@ -22,7 +22,10 @@ func TestFacadeWorkloads(t *testing.T) {
 	if _, err := LoadWorkload("nope"); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	r := RandomWorkload(5)
+	r, err := RandomWorkload(5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := ValidateProgram(r); err != nil {
 		t.Fatal(err)
 	}
