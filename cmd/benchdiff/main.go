@@ -64,15 +64,20 @@ type Results struct {
 }
 
 // counterGates lists the metrics the counter gate watches. All are
-// deterministic "work done" counters where an increase means the solver
+// deterministic "work done" counters where an increase means the code
 // got algorithmically worse: branch & bound explored more nodes, the
-// simplex ran more pivots, or the warm-start engine bailed to the dense
-// fallback more often.
+// simplex ran more pivots, the warm-start engine bailed to the dense
+// fallback more often — or the line-granular simulator lost compression
+// (more trace replays, bulk deliveries or line transitions per run
+// means the engine is sliding back toward per-instruction dispatch).
 var counterGates = []string{
 	"casa_ilp_nodes_total",
 	"casa_ilp_branches_total",
 	"casa_ilp_simplex_iters_total",
 	"casa_ilp_dense_fallbacks_total",
+	"casa_sim_lines_total",
+	"casa_sim_bulk_fetches_total",
+	"casa_trace_replays_total",
 }
 
 // stageFloorNS keeps sub-millisecond stages out of the stage-time gate:

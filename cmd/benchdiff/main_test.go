@@ -100,6 +100,9 @@ func TestAggregateReports(t *testing.T) {
 				"casa_sim_runs_total":           3, // no miss pair: not a rate
 				"casa_ilp_nodes_total":          40,
 				"casa_ilp_simplex_iters_total":  900,
+				"casa_sim_lines_total":          7000,
+				"casa_sim_bulk_fetches_total":   1200,
+				"casa_trace_replays_total":      5,
 			},
 		},
 	}
@@ -116,6 +119,11 @@ func TestAggregateReports(t *testing.T) {
 	}
 	if res.Counters["casa_ilp_nodes_total"] != 40 || res.Counters["casa_ilp_simplex_iters_total"] != 900 {
 		t.Errorf("counters = %v, want nodes:40 iters:900", res.Counters)
+	}
+	if res.Counters["casa_sim_lines_total"] != 7000 ||
+		res.Counters["casa_sim_bulk_fetches_total"] != 1200 ||
+		res.Counters["casa_trace_replays_total"] != 5 {
+		t.Errorf("sim counters = %v, want lines:7000 bulk:1200 replays:5", res.Counters)
 	}
 	if _, ok := res.Counters["casa_sim_runs_total"]; ok {
 		t.Errorf("non-gated metric leaked into counters: %v", res.Counters)

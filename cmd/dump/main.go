@@ -31,7 +31,7 @@ func main() {
 	var (
 		wl     = flag.String("workload", "", "bundled workload: adpcm, g721, mpeg")
 		file   = flag.String("file", "", "program in asm format (alternative to -workload)")
-		format = flag.String("format", "listing", "output: listing, asm, traces, map, dot, conflicts")
+		format = flag.String("format", "listing", "output: listing, asm, traces, trace, map, dot, conflicts")
 		cache  = flag.Int("cache", 2048, "I-cache size for traces/map/dot")
 		spm    = flag.Int("spm", 256, "scratchpad size for traces/map/dot")
 	)
@@ -72,6 +72,8 @@ func run(wl, file, format string, cacheSize, spmSize int) error {
 		return asm.Write(os.Stdout, p)
 	case "traces":
 		return dumpTraces(p, spmSize)
+	case "trace":
+		return dumpBlockTrace(p)
 	case "map":
 		return dumpMap(p, cacheSize, spmSize)
 	case "dot":
@@ -113,6 +115,30 @@ func dumpTraces(p *ir.Program, spmSize int) error {
 		}
 		fmt.Printf("%6d %8d %8d %10d %6d %6s  %s:%s\n",
 			tr.ID, tr.RawBytes, tr.PaddedBytes, tr.Fetches, len(tr.Blocks), jump, fn.Name, label)
+	}
+	return nil
+}
+
+// dumpBlockTrace prints the run-length-encoded block trace the
+// simulator records once per program and replays under every layout —
+// the artifact to stare at when the replay engine and the reference
+// engine disagree.
+func dumpBlockTrace(p *ir.Program) error {
+	tr, err := sim.RecordTrace(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s block trace: %d RLE entries, %d block executions, %d fetches, %dB encoded\n",
+		p.Name, tr.NumSteps(), tr.Steps(), tr.Fetches(), tr.SizeBytes())
+	fmt.Printf("%8s %10s %7s %-7s %s\n", "entry", "repeat", "instrs", "edge", "block")
+	for i := 0; i < tr.NumSteps(); i++ {
+		ref, instrs, kind, count := tr.Step(i)
+		fn := p.Func(ref.Func)
+		label := fn.Block(ref.Block).Label
+		if label == "" {
+			label = fmt.Sprintf("bb%d", ref.Block)
+		}
+		fmt.Printf("%8d %10d %7d %-7s %s:%s\n", i, count, instrs, kind, fn.Name, label)
 	}
 	return nil
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRunFormats(t *testing.T) {
-	for _, format := range []string{"listing", "asm", "traces", "map", "dot", "conflicts"} {
+	for _, format := range []string{"listing", "asm", "traces", "trace", "map", "dot", "conflicts"} {
 		if err := run("adpcm", "", format, 128, 128); err != nil {
 			t.Errorf("format %s: %v", format, err)
 		}

@@ -134,8 +134,20 @@ type Cache struct {
 	setMask    uint32
 	lineShift  uint
 	indexShift uint
+	tagShift   uint
 	clock      uint64
 	rng        uint64
+	// assoc and lru mirror cfg.Assoc and cfg.Replacement == LRU so the
+	// per-access path never chases the Config struct.
+	assoc int
+	lru   bool
+	// MRU fast path: the line of the most recent access and the global
+	// way index (into sets) holding it. Valid whenever lastWay >= 0 —
+	// only Access mutates ways, and it maintains both fields on every
+	// outcome, so a repeated access to the same line can skip the set
+	// walk entirely.
+	lastLine uint32
+	lastWay  int
 }
 
 // New returns an empty cache for the configuration.
@@ -144,14 +156,18 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	c := &Cache{
-		cfg:   cfg,
-		sets:  make([]way, cfg.Sets()*cfg.Assoc),
-		stats: make([]SetStats, cfg.Sets()),
-		rng:   cfg.Seed ^ 0x9e3779b97f4a7c15,
+		cfg:     cfg,
+		sets:    make([]way, cfg.Sets()*cfg.Assoc),
+		stats:   make([]SetStats, cfg.Sets()),
+		rng:     cfg.Seed ^ 0x9e3779b97f4a7c15,
+		lastWay: -1,
+		assoc:   cfg.Assoc,
+		lru:     cfg.Replacement == LRU,
 	}
 	c.lineShift = log2(uint32(cfg.LineBytes))
 	c.setMask = uint32(cfg.Sets() - 1)
 	c.indexShift = c.lineShift
+	c.tagShift = c.indexShift + log2(uint32(cfg.Sets()))
 	return c, nil
 }
 
@@ -178,6 +194,7 @@ func (c *Cache) Reset() {
 	}
 	c.clock = 0
 	c.rng = c.cfg.Seed ^ 0x9e3779b97f4a7c15
+	c.lastWay = -1
 }
 
 // Set returns the set index for an address.
@@ -185,21 +202,69 @@ func (c *Cache) Set(addr uint32) uint32 {
 	return (addr >> c.indexShift) & c.setMask
 }
 
+// disableFastPath turns off the same-line MRU fast path so tests can
+// differentially validate it against the plain set walk. Tests only; not
+// safe to flip while caches are in use concurrently.
+var disableFastPath bool
+
 // Access performs one fetch by the given memory object and returns the
 // outcome. On a miss the line is filled and attributed to mo.
 func (c *Cache) Access(addr uint32, mo int) Result {
-	set := c.Set(addr)
-	tag := addr >> (c.indexShift + log2(uint32(c.cfg.Sets())))
-	base := int(set) * c.cfg.Assoc
-	ways := c.sets[base : base+c.cfg.Assoc]
-	c.clock++
+	line := addr >> c.lineShift
+	if line == c.lastLine && c.lastWay >= 0 && !disableFastPath {
+		// Same-line MRU fast path: the previous access resolved this
+		// line, and only Access mutates ways, so it is still resident in
+		// lastWay — a guaranteed hit with no set walk or tag compare.
+		// The accounting below is identical to the slow path's hit case.
+		c.clock++
+		if c.lru {
+			c.sets[c.lastWay].stamp = c.clock
+		}
+		c.stats[line&c.setMask].Hits++
+		return Result{Hit: true, VictimMO: NoMO}
+	}
+	return c.accessSlow(addr, line, mo)
+}
 
+// accessSlow resolves an access that missed the MRU fast path. The
+// direct-mapped organization — the paper's default and the hot one in
+// every line-transition-heavy replay — gets a dedicated branch with no
+// way loop.
+func (c *Cache) accessSlow(addr, line uint32, mo int) Result {
+	set := line & c.setMask
+	tag := addr >> c.tagShift
+	c.clock++
+	if c.assoc == 1 {
+		w := &c.sets[set]
+		if w.valid && w.tag == tag {
+			if c.lru {
+				w.stamp = c.clock
+			}
+			c.stats[set].Hits++
+			c.lastLine, c.lastWay = line, int(set)
+			return Result{Hit: true, VictimMO: NoMO}
+		}
+		c.stats[set].Misses++
+		res := Result{Hit: false, VictimMO: NoMO}
+		if w.valid {
+			res.VictimMO = w.mo
+			res.SelfEvict = w.mo == mo
+			c.stats[set].Evictions++
+		}
+		*w = way{valid: true, tag: tag, mo: mo, stamp: c.clock}
+		c.lastLine, c.lastWay = line, int(set)
+		return res
+	}
+
+	base := int(set) * c.assoc
+	ways := c.sets[base : base+c.assoc]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
-			if c.cfg.Replacement == LRU {
+			if c.lru {
 				ways[i].stamp = c.clock
 			}
 			c.stats[set].Hits++
+			c.lastLine, c.lastWay = line, base+i
 			return Result{Hit: true, VictimMO: NoMO}
 		}
 	}
@@ -214,7 +279,122 @@ func (c *Cache) Access(addr uint32, mo int) Result {
 		c.stats[set].Evictions++
 	}
 	ways[victim] = way{valid: true, tag: tag, mo: mo, stamp: c.clock}
+	c.lastLine, c.lastWay = line, base+victim
 	return res
+}
+
+// AccessN performs n consecutive fetches starting at addr by the given
+// memory object, all of which must fall within one cache line (the
+// memory-hierarchy simulator splits block runs at line boundaries before
+// calling it). It is exactly equivalent to n sequential Access calls:
+// the first access resolves the line; the remaining n-1 are then
+// guaranteed same-line hits — the line is resident and nothing evicts
+// between them — so they are accounted in bulk: the clock advances by
+// n-1, the LRU stamp lands on the final clock value (as it would after n
+// sequential touches), and FIFO stamps and the Random policy's generator
+// are untouched (hits never consult them). The returned Result is the
+// first access's outcome; the rest are hits by construction.
+func (c *Cache) AccessN(addr uint32, n int, mo int) Result {
+	r := c.Access(addr, mo)
+	if n > 1 {
+		c.clock += uint64(n - 1)
+		if c.lru {
+			c.sets[c.lastWay].stamp = c.clock
+		}
+		c.stats[c.lastLine&c.setMask].Hits += int64(n - 1)
+	}
+	return r
+}
+
+// AccessRun drives k consecutive word fetches starting at addr — a whole
+// block run — through the cache, splitting at line boundaries
+// internally. It is exactly equivalent to k sequential Access calls but
+// walks the tag array once per line in one loop: the direct-mapped hit
+// case (the paper's default geometry, and the overwhelmingly common
+// outcome in a warm replay) is handled inline with no further calls.
+// onMiss is invoked once per missing line with the miss address and the
+// access outcome, so the caller can attribute the victim and drive a
+// second level without this loop paying for it on hits. Returns the
+// number of misses and the number of line transitions; hits are k-misses.
+func (c *Cache) AccessRun(addr uint32, k int, mo int, onMiss func(addr uint32, r Result)) (misses, lines int64) {
+	lineWords := uint32(1) << (c.lineShift - 2)
+	for k > 0 {
+		seg := int(lineWords - (addr>>2)%lineWords)
+		if seg > k {
+			seg = k
+		}
+		lines++
+		line := addr >> c.lineShift
+		set := line & c.setMask
+		if c.assoc == 1 && !disableFastPath {
+			w := &c.sets[set]
+			tag := addr >> c.tagShift
+			if w.valid && w.tag == tag {
+				// Whole segment hits: advance the clock by seg accesses and
+				// land the stamp on the final value, as seg Access calls
+				// would.
+				c.clock += uint64(seg)
+				if c.lru {
+					w.stamp = c.clock
+				}
+				c.stats[set].Hits += int64(seg)
+				c.lastLine, c.lastWay = line, int(set)
+			} else {
+				c.clock++
+				c.stats[set].Misses++
+				r := Result{Hit: false, VictimMO: NoMO}
+				if w.valid {
+					r.VictimMO = w.mo
+					r.SelfEvict = w.mo == mo
+					c.stats[set].Evictions++
+				}
+				*w = way{valid: true, tag: tag, mo: mo, stamp: c.clock}
+				c.lastLine, c.lastWay = line, int(set)
+				if seg > 1 {
+					c.clock += uint64(seg - 1)
+					if c.lru {
+						w.stamp = c.clock
+					}
+					c.stats[set].Hits += int64(seg - 1)
+				}
+				misses++
+				onMiss(addr, r)
+			}
+		} else {
+			if r := c.AccessN(addr, seg, mo); !r.Hit {
+				misses++
+				onMiss(addr, r)
+			}
+		}
+		addr += uint32(seg) * 4
+		k -= seg
+	}
+	return misses, lines
+}
+
+// SkipHitRuns bulk-accounts `repeats` consecutive passes over the run
+// [addr, addr+4n) under the caller's guarantee that every access hits
+// (i.e. one full pass over the run just completed with zero misses — an
+// all-hit pass evicts nothing, so the run's lines stay resident and all
+// later passes are the same all-hit pass). Per-set hit counters and the
+// clock advance exactly as if the accesses were performed one by one.
+// LRU stamps and the MRU hint are NOT updated: hits only refresh state
+// of lines the run itself touches, so the caller must follow up with one
+// real pass (plain Access/AccessN), which re-touches every line and
+// lands each stamp on its exact final clock value.
+func (c *Cache) SkipHitRuns(addr uint32, n int, repeats int64) {
+	c.clock += uint64(n) * uint64(repeats)
+	lineWords := uint32(1) << (c.lineShift - 2)
+	a := addr >> 2 // word index; InstrSize == 4
+	for n > 0 {
+		seg := int(lineWords - a%lineWords)
+		if seg > n {
+			seg = n
+		}
+		c.stats[(a/lineWords)&c.setMask].Hits += int64(seg) * repeats
+		a += uint32(seg)
+		n -= seg
+	}
 }
 
 func (c *Cache) chooseVictim(ways []way) int {
@@ -245,7 +425,7 @@ func (c *Cache) chooseVictim(ways []way) int {
 // (for tests and diagnostics).
 func (c *Cache) Resident(addr uint32) bool {
 	set := c.Set(addr)
-	tag := addr >> (c.indexShift + log2(uint32(c.cfg.Sets())))
+	tag := addr >> c.tagShift
 	base := int(set) * c.cfg.Assoc
 	for _, w := range c.sets[base : base+c.cfg.Assoc] {
 		if w.valid && w.tag == tag {

@@ -285,3 +285,128 @@ func TestSetStatsAndDumpState(t *testing.T) {
 		t.Errorf("TotalStats after Reset = %+v", got)
 	}
 }
+
+// diffConfigs is the geometry/policy battery the differential tests
+// below sweep: direct-mapped, associative LRU/FIFO/Random, and
+// word-sized lines.
+func diffConfigs() []Config {
+	return []Config{
+		{SizeBytes: 128, LineBytes: 16, Assoc: 1},
+		{SizeBytes: 256, LineBytes: 16, Assoc: 2},
+		{SizeBytes: 256, LineBytes: 16, Assoc: 2, Replacement: FIFO},
+		{SizeBytes: 256, LineBytes: 8, Assoc: 4, Replacement: Random, Seed: 42},
+		{SizeBytes: 64, LineBytes: 4, Assoc: 2},
+	}
+}
+
+// diffStream generates a deterministic pseudo-random access stream with
+// plenty of same-line repeats (to exercise the MRU fast path), set
+// conflicts and owner changes.
+func diffStream(n int) []struct {
+	addr uint32
+	mo   int
+} {
+	stream := make([]struct {
+		addr uint32
+		mo   int
+	}, n)
+	rng := uint64(0x1234_5678_9abc_def0)
+	addr := uint32(0)
+	for i := range stream {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		switch rng % 4 {
+		case 0, 1: // sequential: next word, often still the same line
+			addr += 4
+		case 2: // jump within a small working set
+			addr = uint32(rng>>8) % 1024
+		default: // far jump: new tag, same sets
+			addr = uint32(rng>>8) % 8192
+		}
+		stream[i].addr = addr &^ 3
+		stream[i].mo = int(rng>>32) % 5
+	}
+	return stream
+}
+
+// TestFastPathMatchesSetWalk differentially validates the same-line MRU
+// fast path: the identical access stream must produce identical results,
+// statistics and final state with the fast path on and off.
+func TestFastPathMatchesSetWalk(t *testing.T) {
+	if disableFastPath {
+		t.Fatal("fast path already disabled")
+	}
+	stream := diffStream(20000)
+	for _, cfg := range diffConfigs() {
+		t.Run(cfg.Replacement.String(), func(t *testing.T) {
+			fast := mustNew(t, cfg)
+			slow := mustNew(t, cfg)
+			for i, a := range stream {
+				rf := fast.Access(a.addr, a.mo)
+				disableFastPath = true
+				rs := slow.Access(a.addr, a.mo)
+				disableFastPath = false
+				if rf != rs {
+					t.Fatalf("access %d (%#x): fast %+v, slow %+v", i, a.addr, rf, rs)
+				}
+			}
+			assertSameState(t, slow, fast)
+		})
+	}
+}
+
+// TestAccessNMatchesSequential checks the bulk same-line accounting:
+// AccessN(addr, n) must leave the cache in exactly the state n
+// sequential word accesses within the line would.
+func TestAccessNMatchesSequential(t *testing.T) {
+	for _, cfg := range diffConfigs() {
+		t.Run(cfg.Replacement.String(), func(t *testing.T) {
+			bulk := mustNew(t, cfg)
+			seq := mustNew(t, cfg)
+			rng := uint64(0xfeed_face_cafe_beef)
+			lineWords := cfg.LineBytes / 4
+			for i := 0; i < 5000; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				line := uint32(rng>>16) % 512
+				base := line*uint32(cfg.LineBytes) + uint32(rng%uint64(lineWords))*4
+				// n fetches from base staying inside the line.
+				room := lineWords - int(base/4)%lineWords
+				n := 1 + int(rng>>40)%room
+				mo := int(rng>>32) % 5
+				rb := bulk.AccessN(base, n, mo)
+				rs := seq.Access(base, mo)
+				for k := 1; k < n; k++ {
+					if r := seq.Access(base+uint32(4*k), mo); !r.Hit {
+						t.Fatalf("sequential follow-up %d missed", k)
+					}
+				}
+				if rb != rs {
+					t.Fatalf("access %d: bulk %+v, sequential first %+v", i, rb, rs)
+				}
+			}
+			assertSameState(t, seq, bulk)
+		})
+	}
+}
+
+// assertSameState compares two caches' aggregate statistics and full
+// per-set dumps.
+func assertSameState(t *testing.T, want, got *Cache) {
+	t.Helper()
+	if w, g := want.TotalStats(), got.TotalStats(); w != g {
+		t.Errorf("TotalStats: want %+v, got %+v", w, g)
+	}
+	var wb, gb strings.Builder
+	if err := want.DumpState(&wb); err != nil {
+		t.Fatalf("DumpState: %v", err)
+	}
+	if err := got.DumpState(&gb); err != nil {
+		t.Fatalf("DumpState: %v", err)
+	}
+	if wb.String() != gb.String() {
+		t.Errorf("state differs:\n--- want ---\n%s--- got ---\n%s", wb.String(), gb.String())
+	}
+}

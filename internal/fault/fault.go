@@ -39,10 +39,10 @@ const (
 	// SolverDeadline makes ilp.Solve behave as if its wall-clock budget
 	// expired immediately: best incumbent (or greedy fallback) wins.
 	SolverDeadline = "solver-deadline"
-	// StreamRead fails the fetch-stream read path (sim.CachedStream)
-	// with an injected error.
+	// StreamRead fails the trace read path (sim.CachedTrace) with an
+	// injected error.
 	StreamRead = "stream-read"
-	// MemoMiss forces the sim memo layers (profile, stream) to bypass
+	// MemoMiss forces the sim memo layers (profile, trace) to bypass
 	// their caches and recompute.
 	MemoMiss = "memo-miss"
 	// CellPanic panics inside a worker-pool cell, exercising the pool's

@@ -125,6 +125,34 @@ func (c *Controller) Match(addr uint32) bool {
 	return false
 }
 
+// Segment classifies addr for bulk fetch delivery: match reports whether
+// addr is served by the loop cache (identical to Match), and boundary is
+// the first address at or above addr where that answer can change — the
+// end of the containing region on a match, the start of the next region
+// (or the top of the address space) otherwise. Every fetch in
+// [addr, boundary) shares the match outcome, which lets the hierarchy
+// simulator route a whole instruction run with one lookup.
+func (c *Controller) Segment(addr uint32) (match bool, boundary uint32) {
+	lo, hi := 0, len(c.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := c.regions[mid]
+		switch {
+		case addr < r.Start:
+			hi = mid
+		case addr >= r.End:
+			lo = mid + 1
+		default:
+			return true, r.End
+		}
+	}
+	// lo is the first region entirely above addr, if any.
+	if lo < len(c.regions) {
+		return false, c.regions[lo].Start
+	}
+	return false, ^uint32(0)
+}
+
 // Regions returns the loaded regions (sorted by start address).
 func (c *Controller) Regions() []Region { return c.regions }
 

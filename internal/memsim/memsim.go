@@ -35,6 +35,13 @@ var (
 	mSimMisses  = obs.GetCounter("casa_sim_cache_misses_total")
 	mSimSPM     = obs.GetCounter("casa_sim_spm_accesses_total")
 	mSimEvicts  = obs.GetCounter("casa_sim_cache_evictions_total")
+	// Line-granular engine work counters: cache-line transitions driven
+	// and bulk run deliveries received. Together with
+	// casa_trace_replays_total they are the benchdiff-gated evidence that
+	// the fast path is actually taken (a regression to per-instruction
+	// dispatch shows up as bulk fetches collapsing toward fetch counts).
+	mSimLines = obs.GetCounter("casa_sim_lines_total")
+	mSimBulk  = obs.GetCounter("casa_sim_bulk_fetches_total")
 )
 
 // Config selects the hierarchy for one simulation run.
@@ -61,6 +68,13 @@ type Config struct {
 	KeepCache bool
 	// Timing overrides the default fetch-latency model (nil = defaults).
 	Timing *Timing
+	// Reference selects the instruction-granular reference engine: the
+	// interpreter is re-executed and every fetch is classified and
+	// accounted one instruction at a time. The default line-granular
+	// trace-replay engine is defined to be bit-identical to it (the
+	// differential tests enforce this); the reference survives as their
+	// oracle and as a debugging fallback.
+	Reference bool
 }
 
 // Timing is the fetch-latency model (cycles per event). On-chip SRAMs
@@ -180,7 +194,269 @@ func (r *Result) TotalEnergyNJ() float64 { return r.Energy.Total() }
 // unit of the paper's Table 1.
 func (r *Result) TotalEnergyMicroJ() float64 { return r.Energy.Total() / 1000 }
 
+// hier drives the hierarchy at cache-line granularity. It implements
+// sim.RunFetcher, so whole same-block instruction runs arrive as one
+// dynamic dispatch; each run is split at scratchpad-window, loop-cache-
+// region and cache-line boundaries and every segment is accounted in
+// bulk — cache.AccessN touches the tag array once per line instead of
+// once per instruction. The splits reproduce the per-instruction
+// classification exactly: a fetch at address a+4i belongs to a segment
+// iff the scalar reference would classify it the same way, because
+// segment lengths are computed as the count of fetch addresses strictly
+// below the next boundary (ceil((boundary-addr)/4)).
+type hier struct {
+	res   *Result
+	ic    *cache.Cache
+	l2    *cache.Cache
+	lc    *loopcache.Controller
+	track bool
+
+	hasSPM   bool
+	spmBase  uint64
+	spmEnd   uint64
+	lineMask uint64 // LineBytes-1; lines are power-of-two sized
+
+	// conf densely accumulates m_ij (victim-major) during the run; the
+	// map the Result exposes is folded from it afterwards, keeping hash
+	// work out of the per-miss path.
+	conf []int64
+	nMO  int
+
+	// missFn is the L1 miss handler bound once per run (L2 access,
+	// cold/conflict classification, m_ij attribution), so cacheRun can
+	// hand cache.AccessRun a callback without allocating per call.
+	missFn func(addr uint32, r cache.Result)
+	missMO int // memory object missFn attributes to; set by cacheRun
+
+	lines int64 // cache-line transitions driven (casa_sim_lines_total)
+	bulk  int64 // bulk run deliveries (casa_sim_bulk_fetches_total)
+}
+
+// Fetch implements sim.Fetcher for the stray single fetches (appended
+// jumps) the trace replay delivers individually.
+func (h *hier) Fetch(addr uint32, mo int) { h.FetchRun(addr, 1, mo) }
+
+// segLen returns how many 4-byte fetches starting at addr precede the
+// boundary: the count of i ≥ 0 with addr+4i < end.
+func segLen(addr, end uint64) int {
+	return int((end - addr + 3) / 4)
+}
+
+// FetchRun implements sim.RunFetcher: n consecutive instruction fetches
+// from base, all owned by mo, accounted exactly as n scalar fetches.
+func (h *hier) FetchRun(base uint32, n int, mo int) {
+	if n <= 0 {
+		return
+	}
+	h.bulk++
+	res := h.res
+	st := &res.PerMO[mo]
+	res.Fetches += int64(n)
+	st.Fetches += int64(n)
+	if !h.hasSPM && h.lc == nil && h.ic != nil {
+		// Cache-only hierarchy (the baseline and conflict-profiling
+		// configuration): the whole run goes to the I-cache.
+		h.cacheRun(base, n, mo)
+		return
+	}
+	// Addresses are widened to uint64 so boundary arithmetic cannot wrap;
+	// layouts never place a block across the top of the address space.
+	addr := uint64(base)
+	for n > 0 {
+		k := n
+		if h.hasSPM {
+			if addr >= h.spmBase && addr < h.spmEnd {
+				// Inside the scratchpad window: serve up to its end.
+				if kw := segLen(addr, h.spmEnd); kw < k {
+					k = kw
+				}
+				res.SPMAccesses += int64(k)
+				st.SPM += int64(k)
+				addr += uint64(k) * 4
+				n -= k
+				continue
+			}
+			if addr < h.spmBase {
+				// Below the window: the segment may not cross into it.
+				if kw := segLen(addr, h.spmBase); kw < k {
+					k = kw
+				}
+			}
+		}
+		// [addr, addr+4k) now lies entirely outside the scratchpad window.
+		if h.lc != nil {
+			match, boundary := h.lc.Segment(uint32(addr))
+			if kr := segLen(addr, uint64(boundary)); kr < k {
+				k = kr
+			}
+			if match {
+				res.LoopCacheAccesses += int64(k)
+				st.LoopCache += int64(k)
+				addr += uint64(k) * 4
+				n -= k
+				continue
+			}
+		}
+		if h.ic == nil {
+			res.MainMemoryFetches += int64(k)
+			addr += uint64(k) * 4
+			n -= k
+			continue
+		}
+		h.cacheRun(uint32(addr), k, mo)
+		addr += uint64(k) * 4
+		n -= k
+	}
+}
+
+// FetchRunRepeat implements sim.RunRepeater: count back-to-back
+// deliveries of the same block run (a taken self-loop). Hot loops spend
+// almost all their iterations in a steady state the simulator can prove
+// and then skip:
+//
+//   - If every fetch of the run goes to the I-cache, passes are simulated
+//     one at a time until one completes with zero misses. An all-hit pass
+//     evicts nothing, so the resident set — and therefore the outcome of
+//     every later pass — is unchanged: the remaining passes are accounted
+//     in bulk (SkipHitRuns keeps the per-set counters and the replacement
+//     clock exact) and the final pass is simulated for real so every LRU
+//     stamp and the MRU hint land on their exact end-of-run values.
+//
+//   - If a pass drives no I-cache access at all (the run sits in the
+//     scratchpad window, in loop-cache regions, or there is no cache),
+//     the components it touches are stateless per access, so each pass
+//     adds one fixed counter delta — measured on the first pass and
+//     multiplied out.
+//
+// Runs that mix cache and non-cache segments, and loops that never reach
+// an all-hit pass (working set larger than the cache), fall back to
+// simulating every pass. All paths are exactly equivalent to count
+// successive FetchRun calls.
+func (h *hier) FetchRunRepeat(base uint32, n int, mo int, count int64) {
+	if n <= 0 || count <= 0 {
+		return
+	}
+	res := h.res
+	end := uint64(base) + 4*uint64(n)
+	if h.ic != nil && h.lc == nil &&
+		(!h.hasSPM || end <= h.spmBase || uint64(base) >= h.spmEnd) {
+		done, steady := int64(0), false
+		for ; done < count; done++ {
+			m0 := res.CacheMisses
+			h.FetchRun(base, n, mo)
+			if res.CacheMisses == m0 {
+				done++
+				steady = true
+				break
+			}
+		}
+		rem := count - done
+		if !steady || rem == 0 {
+			return
+		}
+		if skip := rem - 1; skip > 0 {
+			res.Fetches += skip * int64(n)
+			res.CacheAccesses += skip * int64(n)
+			res.CacheHits += skip * int64(n)
+			st := &res.PerMO[mo]
+			st.Fetches += skip * int64(n)
+			st.Hits += skip * int64(n)
+			firstLine := uint64(base) &^ h.lineMask
+			lastLine := (uint64(base) + 4*uint64(n-1)) &^ h.lineMask
+			h.lines += skip * int64((lastLine-firstLine)/(h.lineMask+1)+1)
+			h.bulk += skip
+			h.ic.SkipHitRuns(base, n, skip)
+		}
+		h.FetchRun(base, n, mo) // final pass: exact stamps and MRU hint
+		return
+	}
+
+	st := &res.PerMO[mo]
+	f0, s0, l0, m0, ca0 := res.Fetches, res.SPMAccesses, res.LoopCacheAccesses,
+		res.MainMemoryFetches, res.CacheAccesses
+	stF0, stS0, stL0 := st.Fetches, st.SPM, st.LoopCache
+	h.FetchRun(base, n, mo)
+	if res.CacheAccesses != ca0 {
+		// The run reaches the I-cache (mixed segments): simulate every pass.
+		for j := int64(1); j < count; j++ {
+			h.FetchRun(base, n, mo)
+		}
+		return
+	}
+	k := count - 1
+	res.Fetches += k * (res.Fetches - f0)
+	res.SPMAccesses += k * (res.SPMAccesses - s0)
+	res.LoopCacheAccesses += k * (res.LoopCacheAccesses - l0)
+	res.MainMemoryFetches += k * (res.MainMemoryFetches - m0)
+	st.Fetches += k * (st.Fetches - stF0)
+	st.SPM += k * (st.SPM - stS0)
+	st.LoopCache += k * (st.LoopCache - stL0)
+	h.bulk += k
+}
+
+// cacheRun sends k consecutive fetches at addr through the I-cache,
+// splitting at line boundaries: within one line the first access decides
+// hit or miss and the rest are guaranteed hits, so cache.AccessN
+// accounts them in bulk while this level attributes the outcome — the
+// per-MO split, cold/conflict classification and m_ij edges — exactly
+// as the scalar reference does per instruction.
+func (h *hier) cacheRun(addr uint32, k int, mo int) {
+	res := h.res
+	res.CacheAccesses += int64(k)
+	h.missMO = mo
+	misses, lines := h.ic.AccessRun(addr, k, mo, h.missFn)
+	hits := int64(k) - misses
+	h.lines += lines
+	res.CacheHits += hits
+	res.CacheMisses += misses
+	st := &res.PerMO[mo]
+	st.Hits += hits
+	st.Misses += misses
+}
+
+// onMiss attributes one L1 miss: second-level access, cold/conflict
+// classification and (when profiling) the m_ij edge. Bound once per run
+// as h.missFn.
+func (h *hier) onMiss(addr uint32, r cache.Result) {
+	res := h.res
+	if h.l2 != nil {
+		res.L2Accesses++
+		if h.l2.Access(addr, h.missMO).Hit {
+			res.L2Hits++
+		} else {
+			res.L2Misses++
+		}
+	}
+	if r.VictimMO == cache.NoMO {
+		res.ColdMisses++
+	} else {
+		res.ConflictMisses++
+		if h.track {
+			h.conf[h.missMO*h.nMO+r.VictimMO]++
+		}
+	}
+}
+
+// foldConflicts converts the dense m_ij accumulator into the Result's
+// sparse map, identical in content to per-miss map updates.
+func (h *hier) foldConflicts() {
+	for v := 0; v < h.nMO; v++ {
+		row := h.conf[v*h.nMO : (v+1)*h.nMO]
+		for e, n := range row {
+			if n > 0 {
+				h.res.Conflicts[ConflictKey{Victim: v, Evictor: e}] = n
+			}
+		}
+	}
+}
+
 // Run simulates the program under the given layout and hierarchy.
+//
+// The default engine replays the memoized execute-once block trace at
+// line granularity; Config.Reference re-executes the interpreter and
+// accounts per instruction. Both engines produce bit-identical Results —
+// every counter, attribution and (because energy and cycles are derived
+// from the counters after the run) every float.
 func Run(prog *ir.Program, lay *layout.Layout, cfg Config, opts ...sim.Option) (*Result, error) {
 	res := &Result{PerMO: make([]MOStats, len(lay.Set().Traces))}
 	if cfg.TrackConflicts {
@@ -207,6 +483,107 @@ func Run(prog *ir.Program, lay *layout.Layout, cfg Config, opts ...sim.Option) (
 		}
 	}
 	lc := cfg.LoopCache
+
+	h := &hier{res: res, ic: ic, l2: l2, lc: lc, track: cfg.TrackConflicts}
+	h.missFn = h.onMiss
+	if base, size := lay.SPMWindow(); size > 0 {
+		h.hasSPM = true
+		h.spmBase = uint64(base)
+		h.spmEnd = uint64(base) + uint64(size)
+	}
+	if ic != nil {
+		h.lineMask = uint64(cfg.Cache.LineBytes) - 1
+	}
+	if cfg.TrackConflicts {
+		h.nMO = len(res.PerMO)
+		h.conf = make([]int64, h.nMO*h.nMO)
+	}
+
+	switch {
+	case cfg.Reference:
+		// Instruction-granular oracle: re-execute the interpreter and
+		// classify every fetch individually.
+		fetch := func(addr uint32, mo int) {
+			res.Fetches++
+			st := &res.PerMO[mo]
+			st.Fetches++
+			if lay.IsSPMAddr(addr) {
+				res.SPMAccesses++
+				st.SPM++
+				return
+			}
+			if lc != nil && lc.Match(addr) {
+				res.LoopCacheAccesses++
+				st.LoopCache++
+				return
+			}
+			if ic == nil {
+				res.MainMemoryFetches++
+				return
+			}
+			res.CacheAccesses++
+			r := ic.Access(addr, mo)
+			if r.Hit {
+				res.CacheHits++
+				st.Hits++
+				return
+			}
+			res.CacheMisses++
+			st.Misses++
+			if l2 != nil {
+				res.L2Accesses++
+				if l2.Access(addr, mo).Hit {
+					res.L2Hits++
+				} else {
+					res.L2Misses++
+				}
+			}
+			if r.VictimMO == cache.NoMO {
+				res.ColdMisses++
+			} else {
+				res.ConflictMisses++
+				if cfg.TrackConflicts {
+					res.Conflicts[ConflictKey{Victim: mo, Evictor: r.VictimMO}]++
+				}
+			}
+		}
+		if _, err := sim.Run(prog, lay, sim.FetcherFunc(fetch), opts...); err != nil {
+			return nil, err
+		}
+	case len(opts) == 0 && !sim.StreamCacheDisabled():
+		// With default run limits the block trace depends only on the
+		// program, so replay the memoized execute-once recording under
+		// this layout; results are bit-identical to a live run.
+		tr, err := sim.CachedTrace(prog)
+		if err != nil {
+			return nil, err
+		}
+		tr.Replay(lay, h)
+	default:
+		// Custom run options (and CASA_STREAM_CACHE=off) bypass the trace
+		// cache: re-execute the interpreter, still at line granularity.
+		if _, err := sim.Run(prog, lay, h, opts...); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.TrackConflicts && !cfg.Reference {
+		h.foldConflicts()
+	}
+	finalize(res, cfg, lc != nil, l2 != nil)
+	if cfg.KeepCache {
+		res.Cache = ic
+	}
+	flushMetrics(res, ic, h)
+	return res, nil
+}
+
+// finalize derives the energy and cycle totals from the run's integer
+// event counters. Multiplying count×cost once at the end keeps the hot
+// loop float-free, and — because both engines share this function — the
+// reference and line-granular engines produce identical floating-point
+// energies, not merely close ones.
+func finalize(res *Result, cfg Config, hasLC, hasL2 bool) {
 	cost := cfg.Cost
 	timing := DefaultTiming()
 	if cfg.Timing != nil {
@@ -216,97 +593,41 @@ func Run(prog *ir.Program, lay *layout.Layout, cfg Config, opts ...sim.Option) (
 	if cfg.Cache.SizeBytes > 0 {
 		lineWords = int64((cfg.Cache.LineBytes + 3) / 4)
 	}
-	missCycles := timing.CacheHit + timing.MissSetup + timing.MissPerWord*lineWords
 
-	fetch := func(addr uint32, mo int) {
-		res.Fetches++
-		st := &res.PerMO[mo]
-		st.Fetches++
-
-		if lay.IsSPMAddr(addr) {
-			res.SPMAccesses++
-			st.SPM++
-			res.Energy.SPM += cost.SPMAccess
-			res.Cycles += timing.SPM
-			return
-		}
-		if lc != nil {
-			// The controller arbitrates every non-SPM fetch.
-			res.Energy.LoopCacheController += cost.LoopCacheController
-			if lc.Match(addr) {
-				res.LoopCacheAccesses++
-				st.LoopCache++
-				res.Energy.LoopCache += cost.LoopCacheHit
-				res.Cycles += timing.LoopCache
-				return
-			}
-		}
-		if ic == nil {
-			res.MainMemoryFetches++
-			res.Energy.MainMemory += cost.MainMemoryWord
-			res.Cycles += timing.MissSetup + timing.MissPerWord
-			return
-		}
-		res.CacheAccesses++
-		r := ic.Access(addr, mo)
-		if r.Hit {
-			res.CacheHits++
-			st.Hits++
-			res.Energy.CacheHits += cost.CacheHit
-			res.Cycles += timing.CacheHit
-			return
-		}
-		res.CacheMisses++
-		st.Misses++
-		if l2 != nil {
-			// Multi-level: L1 probe+fill, then the L2 transaction.
-			res.L2Accesses++
-			res.Energy.CacheMisses += cost.CacheHit + cost.CacheFill + cost.L2Probe
-			res.Cycles += timing.CacheHit + timing.L2Hit
-			if l2.Access(addr, mo).Hit {
-				res.L2Hits++
-			} else {
-				res.L2Misses++
-				res.Energy.CacheMisses += cost.L2Fill + cost.MainLine
-				res.Cycles += timing.MissSetup + timing.MissPerWord*lineWords
-			}
-		} else {
-			res.Energy.CacheMisses += cost.CacheMiss
-			res.Cycles += missCycles
-		}
-		if r.VictimMO == cache.NoMO {
-			res.ColdMisses++
-		} else {
-			res.ConflictMisses++
-			if cfg.TrackConflicts {
-				res.Conflicts[ConflictKey{Victim: mo, Evictor: r.VictimMO}]++
-			}
-		}
+	res.Energy.SPM = float64(res.SPMAccesses) * cost.SPMAccess
+	res.Energy.CacheHits = float64(res.CacheHits) * cost.CacheHit
+	res.Energy.LoopCache = float64(res.LoopCacheAccesses) * cost.LoopCacheHit
+	if hasLC {
+		// The controller arbitrates every non-SPM fetch.
+		res.Energy.LoopCacheController =
+			float64(res.Fetches-res.SPMAccesses) * cost.LoopCacheController
+	}
+	res.Energy.MainMemory = float64(res.MainMemoryFetches) * cost.MainMemoryWord
+	if hasL2 {
+		// Multi-level: L1 probe+fill per miss, then the L2 transaction.
+		res.Energy.CacheMisses =
+			float64(res.L2Accesses)*(cost.CacheHit+cost.CacheFill+cost.L2Probe) +
+				float64(res.L2Misses)*(cost.L2Fill+cost.MainLine)
+	} else {
+		res.Energy.CacheMisses = float64(res.CacheMisses) * cost.CacheMiss
 	}
 
-	// With default run limits the fetch stream depends only on (program,
-	// layout), so replay the memoized recording instead of re-executing
-	// the interpreter; results are bit-identical either way. Custom run
-	// options bypass the cache, as does CASA_STREAM_CACHE=off.
-	if len(opts) == 0 && !sim.StreamCacheDisabled() {
-		stream, err := sim.CachedStream(prog, lay)
-		if err != nil {
-			return nil, err
-		}
-		stream.Replay(sim.FetcherFunc(fetch))
-	} else if _, err := sim.Run(prog, lay, sim.FetcherFunc(fetch), opts...); err != nil {
-		return nil, err
+	res.Cycles = res.SPMAccesses*timing.SPM +
+		res.LoopCacheAccesses*timing.LoopCache +
+		res.CacheHits*timing.CacheHit +
+		res.MainMemoryFetches*(timing.MissSetup+timing.MissPerWord)
+	if hasL2 {
+		res.Cycles += res.CacheMisses*(timing.CacheHit+timing.L2Hit) +
+			res.L2Misses*(timing.MissSetup+timing.MissPerWord*lineWords)
+	} else {
+		res.Cycles += res.CacheMisses *
+			(timing.CacheHit + timing.MissSetup + timing.MissPerWord*lineWords)
 	}
-	if cfg.KeepCache {
-		res.Cache = ic
-	}
-	flushMetrics(res, ic)
-	return res, nil
 }
 
 // flushMetrics records the run's totals into the default registry — once
 // per run, at the end, so the per-fetch path stays metric-free.
-func flushMetrics(res *Result, ic *cache.Cache) {
+func flushMetrics(res *Result, ic *cache.Cache, h *hier) {
 	mSimRuns.Inc()
 	mSimFetches.Add(res.Fetches)
 	mSimHits.Add(res.CacheHits)
@@ -314,5 +635,11 @@ func flushMetrics(res *Result, ic *cache.Cache) {
 	mSimSPM.Add(res.SPMAccesses)
 	if ic != nil {
 		mSimEvicts.Add(ic.TotalStats().Evictions)
+	}
+	if h.lines > 0 {
+		mSimLines.Add(h.lines)
+	}
+	if h.bulk > 0 {
+		mSimBulk.Add(h.bulk)
 	}
 }

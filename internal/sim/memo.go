@@ -1,28 +1,31 @@
 // Memoization layer: because every simulation in this repository is
-// deterministic, a (program, layout) pair fully determines the profile
-// and the instruction fetch stream. The experiment engine runs the same
-// pairs many times across figures — every study re-profiles its workload,
-// and the plain trace layout is simulated once while profiling, once for
-// the cache-only reference and once under the loop cache — so the results
-// are cached process-wide and shared across concurrent experiment cells.
+// deterministic, a program fully determines its profile and its dynamic
+// block trace. The experiment engine runs the same workloads many times
+// across figures — every study re-profiles its workload, and each grid
+// cell replays the workload under several layouts — so both results are
+// cached process-wide and shared across concurrent experiment cells.
 //
-// Keys: profiles are keyed by program identity (*ir.Program); recorded
-// fetch streams by (program identity, layout fingerprint), where the
-// fingerprint hashes every address the layout can emit (block bases,
-// memory-object IDs, appended jumps). Programs handed to this layer must
-// be treated as immutable; the bundled workloads and every pipeline
-// consumer already are.
+// Keys: profiles and traces are both keyed by program identity
+// (*ir.Program). A recorded Trace is layout-independent (it stores the
+// dynamic block sequence, not addresses), so one entry serves every
+// layout and cache configuration — the predecessor design cached raw
+// per-(program, layout) address streams and needed a 128MB budget for
+// what a handful of kilobyte-sized traces now cover. Programs handed to
+// this layer must be treated as immutable; the bundled workloads and
+// every pipeline consumer already are.
 //
 // All entries are built exactly once (singleflight) and are safe for
-// concurrent use; recorded streams are immutable and replayed without
-// locking. The stream cache is byte-bounded (streamCacheCapBytes,
-// counting slice *capacity*, since that is what the allocator actually
-// committed) with least-recently-used eviction — one mpeg-sized stream
-// is ~20 MB.
+// concurrent use; recorded traces are immutable and replayed without
+// locking. The trace cache keeps the byte-bounded LRU shape of the old
+// stream cache (counting slice *capacity*, since that is what the
+// allocator actually committed) so the bound and its metrics stay
+// meaningful if trace sizes ever grow.
 //
 // Both memo layers report into the default metrics registry:
 // casa_profile_memo_{hits,misses}_total, casa_stream_cache_{hits,
-// misses,evictions}_total and the casa_stream_cache_bytes gauge.
+// misses,evictions}_total and the casa_stream_cache_bytes gauge (the
+// stream-cache names are kept for dashboard continuity; they account
+// the trace cache now).
 package sim
 
 import (
@@ -87,149 +90,51 @@ func CachedProfile(p *ir.Program) (*Profile, error) {
 	return e.prof, e.err
 }
 
-// ---- Fetch-stream memoization ----------------------------------------------
+// ---- Trace memoization -----------------------------------------------------
 
-// Stream is a recorded instruction fetch stream: the exact (address,
-// memory object) sequence a run under one layout produces, including
-// layout-appended jump fetches. Immutable once recorded.
-type Stream struct {
-	addrs []uint32
-	mos   []int32
-}
+// traceCacheCapBytes bounds the total bytes retained across cached
+// traces, measured as backing-array capacity (Trace.SizeBytes). Traces
+// are orders of magnitude smaller than the raw streams this cache used
+// to hold, but the LRU bound is kept so pathological workloads (huge
+// irregular step sequences) stay bounded. Variable for tests.
+var traceCacheCapBytes = 128 << 20
 
-// Len returns the number of recorded fetches.
-func (s *Stream) Len() int { return len(s.addrs) }
-
-// SizeBytes returns the memory the recording actually holds: the
-// *capacity* of both backing arrays, not their length. RecordStream
-// preallocates from the profile's fetch count, but any append past the
-// estimate (or a failed estimate falling back to growth doubling)
-// leaves cap > len, and the eviction bound must account for what the
-// allocator committed, not what the stream logically contains.
-func (s *Stream) SizeBytes() int {
-	return 4*cap(s.addrs) + 4*cap(s.mos)
-}
-
-// Replay delivers the recorded stream to sink and returns the fetch
-// count. Replaying is read-only and safe for concurrent use.
-func (s *Stream) Replay(sink Fetcher) int64 {
-	for i, addr := range s.addrs {
-		sink.Fetch(addr, int(s.mos[i]))
-	}
-	return int64(len(s.addrs))
-}
-
-// RecordStream executes p under lay once and records the full fetch
-// stream. The recording is preallocated from the program's memoized
-// profile — the stream length is the profile's fetch count plus one fetch
-// per executed layout-appended jump — so large streams are written into
-// (at most) one right-sized allocation instead of repeated append growth.
-func RecordStream(p *ir.Program, lay Layout, opts ...Option) (*Stream, error) {
-	s := &Stream{}
-	if prof, err := CachedProfile(p); err == nil {
-		n := prof.Fetches
-		for _, f := range p.Funcs {
-			for b := range f.Blocks {
-				ref := ir.BlockRef{Func: f.ID, Block: ir.BlockID(b)}
-				if _, ok := lay.FallJump(ref); ok {
-					n += prof.BlockCount(ref)
-				}
-			}
-		}
-		s.addrs = make([]uint32, 0, n)
-		s.mos = make([]int32, 0, n)
-	}
-	_, err := Run(p, lay, FetcherFunc(func(addr uint32, mo int) {
-		s.addrs = append(s.addrs, addr)
-		s.mos = append(s.mos, int32(mo))
-	}), opts...)
-	if err != nil {
-		return nil, err
-	}
-	return s, nil
-}
-
-// FNV-1a, the hash behind every fingerprint in the memo layer.
-const (
-	fnvOffset uint64 = 14695981039346656037
-	fnvPrime  uint64 = 1099511628211
-)
-
-func fnvMix(h, v uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= v & 0xff
-		h *= fnvPrime
-		v >>= 8
-	}
-	return h
-}
-
-// LayoutFingerprint hashes everything a layout contributes to a fetch
-// stream — per-block base addresses, memory-object IDs and appended jump
-// addresses — so two layouts with equal fingerprints produce identical
-// streams for the same program.
-func LayoutFingerprint(p *ir.Program, lay Layout) uint64 {
-	h := fnvOffset
-	for _, f := range p.Funcs {
-		for b := range f.Blocks {
-			ref := ir.BlockRef{Func: f.ID, Block: ir.BlockID(b)}
-			h = fnvMix(h, uint64(lay.BlockBase(ref)))
-			h = fnvMix(h, uint64(lay.BlockMO(ref)))
-			if addr, ok := lay.FallJump(ref); ok {
-				h = fnvMix(h, uint64(addr)+1)
-			}
-		}
-	}
-	return h
-}
-
-// streamCacheCapBytes bounds the total bytes retained across cached
-// streams, measured as backing-array capacity (Stream.SizeBytes). The
-// default caps memory at 128 MB. Variable for tests.
-var streamCacheCapBytes = 128 << 20
-
-type streamKey struct {
-	prog *ir.Program
-	fp   uint64
-}
-
-type streamEntry struct {
+type traceEntry struct {
 	once    sync.Once
-	s       *Stream
+	t       *Trace
 	err     error
-	lastUse int64 // guarded by streamMu
+	lastUse int64 // guarded by traceMu
 }
 
 var (
-	streamMu    sync.Mutex
-	streamCache = map[streamKey]*streamEntry{}
-	streamTick  int64
-	streamBytes int // total SizeBytes of completed entries, guarded by streamMu
+	traceMu    sync.Mutex
+	traceCache = map[*ir.Program]*traceEntry{}
+	traceTick  int64
+	traceBytes int // total SizeBytes of completed entries, guarded by traceMu
 )
 
-// CachedStream returns the recorded fetch stream for (p, lay), recording
-// it on first use. Entries are evicted least-recently-used once the cache
-// exceeds its byte budget; evicted streams remain valid for holders.
-func CachedStream(p *ir.Program, lay Layout) (*Stream, error) {
+// CachedTrace returns the recorded block trace for p, recording it on
+// first use. Entries are evicted least-recently-used once the cache
+// exceeds its byte budget; evicted traces remain valid for holders.
+func CachedTrace(p *ir.Program) (*Trace, error) {
 	if err := fault.ErrorAt(fault.StreamRead); err != nil {
 		return nil, err
 	}
 	if fault.Hit(fault.MemoMiss) {
 		// Injected memo miss: re-record outside the cache. Deterministic
-		// simulation makes the replacement stream identical.
+		// simulation makes the replacement trace identical.
 		mStreamMisses.Inc()
-		return RecordStream(p, lay)
+		return RecordTrace(p)
 	}
-	key := streamKey{prog: p, fp: LayoutFingerprint(p, lay)}
-	streamMu.Lock()
-	e, ok := streamCache[key]
+	traceMu.Lock()
+	e, ok := traceCache[p]
 	if !ok {
-		e = &streamEntry{}
-		streamCache[key] = e
+		e = &traceEntry{}
+		traceCache[p] = e
 	}
-	streamTick++
-	e.lastUse = streamTick
-	streamMu.Unlock()
+	traceTick++
+	e.lastUse = traceTick
+	traceMu.Unlock()
 	if ok {
 		mStreamHits.Inc()
 	} else {
@@ -237,30 +142,30 @@ func CachedStream(p *ir.Program, lay Layout) (*Stream, error) {
 	}
 
 	e.once.Do(func() {
-		e.s, e.err = RecordStream(p, lay)
+		e.t, e.err = RecordTrace(p)
 		if e.err != nil {
-			streamMu.Lock()
-			delete(streamCache, key)
-			streamMu.Unlock()
+			traceMu.Lock()
+			delete(traceCache, p)
+			traceMu.Unlock()
 			return
 		}
-		streamMu.Lock()
-		streamBytes += e.s.SizeBytes()
-		evictStreamsLocked(e)
-		mStreamBytes.Set(int64(streamBytes))
-		streamMu.Unlock()
+		traceMu.Lock()
+		traceBytes += e.t.SizeBytes()
+		evictTracesLocked(e)
+		mStreamBytes.Set(int64(traceBytes))
+		traceMu.Unlock()
 	})
-	return e.s, e.err
+	return e.t, e.err
 }
 
-// evictStreamsLocked drops completed entries, oldest first, until the
-// byte budget holds; keep is never evicted. Call with streamMu held.
-func evictStreamsLocked(keep *streamEntry) {
-	for streamBytes > streamCacheCapBytes {
-		var oldKey streamKey
-		var old *streamEntry
-		for k, e := range streamCache {
-			if e == keep || e.s == nil {
+// evictTracesLocked drops completed entries, oldest first, until the
+// byte budget holds; keep is never evicted. Call with traceMu held.
+func evictTracesLocked(keep *traceEntry) {
+	for traceBytes > traceCacheCapBytes {
+		var oldKey *ir.Program
+		var old *traceEntry
+		for k, e := range traceCache {
+			if e == keep || e.t == nil {
 				continue
 			}
 			if old == nil || e.lastUse < old.lastUse {
@@ -270,15 +175,16 @@ func evictStreamsLocked(keep *streamEntry) {
 		if old == nil {
 			return
 		}
-		streamBytes -= old.s.SizeBytes()
+		traceBytes -= old.t.SizeBytes()
 		mStreamEvicts.Inc()
-		delete(streamCache, oldKey)
+		delete(traceCache, oldKey)
 	}
 }
 
 // StreamCacheDisabled reports whether CASA_STREAM_CACHE requests the
-// memoized stream path off ("0", "off" or "false"); the simulator then
-// re-executes programs for every run.
+// memoized trace path off ("0", "off" or "false"); the simulator then
+// re-executes programs for every run (still at line granularity — only
+// the execute-once memoization is bypassed).
 func StreamCacheDisabled() bool {
 	switch os.Getenv("CASA_STREAM_CACHE") {
 	case "0", "off", "false":
