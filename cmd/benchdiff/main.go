@@ -1,4 +1,4 @@
-// Command benchdiff is the benchmark-regression gate of CI. It has three
+// Command benchdiff is the benchmark-regression gate of CI. It has five
 // modes:
 //
 //	benchdiff -parse bench.txt -o BENCH_ci.json
@@ -11,25 +11,42 @@
 //	    *_misses_total metric pairs, and the deterministic solver work
 //	    counters (branch & bound nodes, simplex iterations, ...)
 //
+//	benchdiff -from-load load_report.json -o BENCH_server.json
+//	    convert a cmd/casaload report into a results file carrying the
+//	    server section: p99 latency, 5xx and error counts
+//
+//	benchdiff -validate BENCH_baseline.json
+//	    check that a results file parses and contains only known
+//	    sections; scripts/bench.sh runs it before spending minutes on
+//	    benchmarks so a stale or hand-mangled baseline fails fast with a
+//	    clear message instead of a confusing gate failure later
+//
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json
 //	          [-threshold 20] [-stage-threshold 20] [-hit-drop 5]
 //	          [-counter-threshold 20]
 //	    compare two results files and exit non-zero when any benchmark's
 //	    wall-clock or stage time regressed by more than its threshold
 //	    percent, any memo hit rate dropped by more than -hit-drop
-//	    percentage points, or any solver work counter grew by more than
-//	    -counter-threshold percent
+//	    percentage points, any solver work counter grew by more than
+//	    -counter-threshold percent, or any server entry exceeded its
+//	    committed ceiling
+//
+// The server section gates differently from the others: its baseline
+// values are committed ceilings (a p99 latency budget, zero 5xx), not
+// measurements, so the comparison is simply current > baseline — there
+// is no tolerance percentage to argue about.
 //
 // Entries present in only one of the two files are reported but do not
 // fail the gate (new benchmarks need a baseline refresh, not a red
 // build), and a section missing entirely from one side is skipped — so a
-// baseline carrying all three sections still gates a current file built
-// from `go test -bench` output alone. The GOMAXPROCS suffix
+// baseline carrying all sections still gates a current file built from
+// `go test -bench` output alone. The GOMAXPROCS suffix
 // (`BenchmarkFoo-8`) is stripped so results compare across machines.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -61,6 +78,12 @@ type Results struct {
 	// growth means the solver genuinely does more work per model, not
 	// machine noise.
 	Counters map[string]float64 `json:"counters,omitempty"`
+	// Server holds the casad load-test gate. In a baseline file the
+	// values are committed ceilings (p99_ms latency budget, tolerated
+	// http_5xx / errors counts); in a current file they are the measured
+	// values from a casaload report. The gate fails when measured >
+	// ceiling.
+	Server map[string]float64 `json:"server,omitempty"`
 }
 
 // counterGates lists the metrics the counter gate watches. All are
@@ -87,7 +110,9 @@ const stageFloorNS = 5e6
 func main() {
 	parse := flag.String("parse", "", "parse `go test -bench` output from this file")
 	fromReport := flag.String("from-report", "", "aggregate a cmd/experiments -report JSONL file")
-	out := flag.String("o", "BENCH_ci.json", "JSON output path for -parse / -from-report")
+	fromLoad := flag.String("from-load", "", "convert a cmd/casaload report into a server-section results file")
+	validate := flag.String("validate", "", "check that a results file parses and has only known sections")
+	out := flag.String("o", "BENCH_ci.json", "JSON output path for -parse / -from-report / -from-load")
 	baseline := flag.String("baseline", "", "baseline results JSON")
 	current := flag.String("current", "", "current results JSON")
 	threshold := flag.Float64("threshold", 20, "max allowed ns/op regression in percent")
@@ -102,10 +127,14 @@ func main() {
 		err = runParse(*parse, *out)
 	case *fromReport != "":
 		err = runFromReport(*fromReport, *out)
+	case *fromLoad != "":
+		err = runFromLoad(*fromLoad, *out)
+	case *validate != "":
+		err = runValidate(*validate)
 	case *baseline != "" && *current != "":
 		err = runCompare(*baseline, *current, *threshold, *stageThreshold, *hitDrop, *counterThreshold)
 	default:
-		err = fmt.Errorf("need -parse, -from-report, or -baseline and -current (see -h)")
+		err = fmt.Errorf("need -parse, -from-report, -from-load, -validate, or -baseline and -current (see -h)")
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
@@ -162,6 +191,55 @@ func runFromReport(in, out string) error {
 	}
 	res := aggregateReports(reps)
 	return writeResults(res, out)
+}
+
+// loadReport is the slice of the cmd/casaload report schema the server
+// gate consumes.
+type loadReport struct {
+	Requests int     `json:"requests"`
+	P99Ms    float64 `json:"p99_ms"`
+	HTTP5xx  int     `json:"http_5xx"`
+	Errors   int     `json:"errors"`
+}
+
+// runFromLoad converts a casaload JSON report into a results file whose
+// server section is compared against the committed ceilings in the
+// baseline.
+func runFromLoad(in, out string) error {
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	var rep loadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", in, err)
+	}
+	if rep.Requests == 0 {
+		return fmt.Errorf("%s: report covers zero requests", in)
+	}
+	res := Results{Server: map[string]float64{
+		"p99_ms":   rep.P99Ms,
+		"http_5xx": float64(rep.HTTP5xx),
+		"errors":   float64(rep.Errors),
+	}}
+	return writeResults(res, out)
+}
+
+// runValidate reads a results file strictly and reports what it holds —
+// the fail-fast check scripts/bench.sh runs before burning benchmark
+// minutes against a baseline that cannot gate anything.
+func runValidate(path string) error {
+	res, err := readResults(path)
+	if err != nil {
+		return err
+	}
+	n := len(res.NsPerOp) + len(res.StageNs) + len(res.MemoHitRate) + len(res.Counters) + len(res.Server)
+	if n == 0 {
+		return fmt.Errorf("%s: no entries in any known section", path)
+	}
+	fmt.Printf("%s: ok (%d ns/op, %d stage, %d memo, %d counter, %d server entries)\n",
+		path, len(res.NsPerOp), len(res.StageNs), len(res.MemoHitRate), len(res.Counters), len(res.Server))
+	return nil
 }
 
 // checkDegraded fails the gate when any report carries degraded cells or
@@ -256,14 +334,21 @@ func parseBenchLine(line string) (string, float64, bool) {
 	return "", 0, false
 }
 
+// readResults parses a results file strictly: an unknown top-level
+// section is an error with the known-section list, not silently-ignored
+// JSON — a typo'd or future-format baseline must fail here with a clear
+// message rather than as a gate that never fires (or a nil-map panic
+// downstream).
 func readResults(path string) (Results, error) {
 	var res Results
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return res, err
+		return res, fmt.Errorf("results file: %w", err)
 	}
-	if err := json.Unmarshal(data, &res); err != nil {
-		return res, fmt.Errorf("%s: %w", path, err)
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&res); err != nil {
+		return res, fmt.Errorf("%s: %v (known sections: ns_per_op, stage_ns, memo_hit_rate, counters, server)", path, err)
 	}
 	return res, nil
 }
@@ -301,6 +386,12 @@ func runCompare(basePath, curPath string, threshold, stageThreshold, hitDrop, co
 			delta := 100 * (c - b) / math.Max(b, 1)
 			return delta, delta > counterThreshold
 		}, "%+.1f%%")
+	regressed += compareSection("server", base.Server, cur.Server,
+		func(b, c float64) (float64, bool) {
+			// Baseline values are committed ceilings: any excess fails,
+			// with the headroom (negative = under budget) as the delta.
+			return c - b, c > b
+		}, "%+.1f")
 
 	if regressed > 0 {
 		return fmt.Errorf("%d entr(ies) regressed beyond thresholds (ns/op %.0f%%, stage %.0f%%, hit drop %.0fpp, counters %.0f%%) vs %s",

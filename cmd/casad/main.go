@@ -1,0 +1,89 @@
+// Command casad is the CASA allocation daemon: it serves scratchpad
+// allocations over HTTP (POST /v1/allocate, program + hierarchy as
+// JSON) with a sharded result cache, singleflight request coalescing
+// and load-adaptive solve budgets. See DESIGN.md §11 and the README
+// quickstart for the request schema.
+//
+// Usage:
+//
+//	casad [-addr :8344] [-max-inflight N] [-exact-budget 5s]
+//	      [-bounded-budget 150ms] [-cache-entries 4096] [-trace]
+//
+// SIGINT/SIGTERM (or POST /quitquitquit) drain gracefully: in-flight
+// solves finish, new requests get 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8344", "listen address")
+		maxInflight   = flag.Int("max-inflight", 0, "hard cap on concurrent solves (0 = 4×GOMAXPROCS)")
+		exactBudget   = flag.Duration("exact-budget", 0, "solve budget at low load (0 = 5s default)")
+		boundedBudget = flag.Duration("bounded-budget", 0, "solve budget under pressure (0 = 150ms default)")
+		cacheEntries  = flag.Int("cache-entries", 0, "result-cache capacity (0 = 4096 default)")
+		drainTimeout  = flag.Duration("drain-timeout", 0, "graceful-shutdown bound (0 = 30s default)")
+		traceFlag     = flag.Bool("trace", false,
+			fmt.Sprintf("log server progress to stderr (same as %s=1)", obs.EnvTrace))
+	)
+	flag.Parse()
+	if *traceFlag {
+		obs.EnableTrace(os.Stderr)
+	}
+
+	cfg := server.Config{
+		MaxInflight:   *maxInflight,
+		ExactBudget:   *exactBudget,
+		BoundedBudget: *boundedBudget,
+		CacheEntries:  *cacheEntries,
+		DrainTimeout:  *drainTimeout,
+	}
+	if err := serve(cfg, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "casad:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the daemon until an error or a clean drain.
+func serve(cfg server.Config, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveListener(cfg, l)
+}
+
+// serveListener is serve on an existing listener, split out so tests can
+// drive the daemon on an ephemeral port they know the address of.
+func serveListener(cfg server.Config, l net.Listener) error {
+	s := server.New(cfg)
+	fmt.Fprintf(os.Stderr, "casad: listening on %s (%s)\n", l.Addr(), s)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "casad: %v — draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "casad: shutdown:", err)
+		}
+	}()
+
+	err := s.Serve(l)
+	obs.MaybeDumpMetrics(os.Stderr)
+	return err
+}

@@ -1,0 +1,506 @@
+// Command casaload drives mixed concurrent traffic against a casad
+// instance and reports latency percentiles — the artifact the CI
+// loadtest gate consumes (benchdiff -from-load).
+//
+// The mix mimics production traffic shapes:
+//
+//	cold       unique configurations: full pipeline + solve
+//	warm       a small popular set: result-cache hits after first touch
+//	dup        bursts of identical concurrent requests: singleflight food
+//	oversized  invalid requests: must 400, never 5xx
+//
+// Usage:
+//
+//	casaload -addr http://127.0.0.1:8344 -n 2000 -c 32 \
+//	         [-mix cold:2,warm:5,dup:2,oversized:1] [-burst 8] \
+//	         [-o load_report.json] [-require-coalescing] [-max-5xx 0]
+//
+// Exit status is non-zero when transport errors or unexpected statuses
+// occurred, when 5xx responses exceed -max-5xx, or when
+// -require-coalescing is set and the server's singleflight hit counter
+// did not move — so the CI smoke fails on any 5xx and on a server that
+// stopped coalescing duplicates.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.addr, "addr", "http://127.0.0.1:8344", "casad base URL")
+	flag.IntVar(&opts.n, "n", 2000, "total requests")
+	flag.IntVar(&opts.c, "c", 32, "concurrent workers")
+	flag.StringVar(&opts.mix, "mix", "cold:2,warm:5,dup:2,oversized:1", "class weights")
+	flag.IntVar(&opts.burst, "burst", 8, "identical requests per dup burst")
+	flag.StringVar(&opts.workloads, "workloads", "adpcm,g721,mpeg", "workloads to draw from")
+	flag.Int64Var(&opts.seed, "seed", 1, "mix-schedule seed")
+	flag.StringVar(&opts.out, "o", "", "write the JSON report here")
+	flag.BoolVar(&opts.requireCoalescing, "require-coalescing", false,
+		"fail unless the server's singleflight hit counter moved")
+	flag.IntVar(&opts.max5xx, "max-5xx", 0, "tolerated 5xx responses")
+	flag.DurationVar(&opts.timeout, "timeout", 60*time.Second, "per-request timeout")
+	flag.Parse()
+
+	rep, err := run(opts)
+	if rep != nil {
+		rep.print(os.Stdout)
+		if opts.out != "" {
+			if werr := rep.write(opts.out); werr != nil && err == nil {
+				err = werr
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casaload:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr              string
+	n, c              int
+	mix               string
+	burst             int
+	workloads         string
+	seed              int64
+	out               string
+	requireCoalescing bool
+	max5xx            int
+	timeout           time.Duration
+}
+
+// Request classes.
+const (
+	classCold      = "cold"
+	classWarm      = "warm"
+	classDup       = "dup"
+	classOversized = "oversized"
+)
+
+// job is one request to fire: a prebuilt body and the status class it
+// must come back with.
+type job struct {
+	class    string
+	body     []byte
+	wantCode int // 0 = any 2xx
+}
+
+// sample is one completed request.
+type sample struct {
+	class     string
+	status    int
+	dur       time.Duration
+	cached    bool
+	coalesced bool
+	degraded  bool
+	err       error
+	expected  bool // status matched the job's expectation
+}
+
+// reqBody mirrors the casad request schema (kept local so the load
+// generator exercises the server's wire format, not shared structs).
+type reqBody struct {
+	Workload  string `json:"workload,omitempty"`
+	Program   string `json:"program,omitempty"`
+	Hierarchy struct {
+		CacheBytes int `json:"cache_bytes"`
+		LineBytes  int `json:"line_bytes,omitempty"`
+		Assoc      int `json:"assoc,omitempty"`
+		SPMBytes   int `json:"spm_bytes"`
+	} `json:"hierarchy"`
+	Allocator string `json:"allocator,omitempty"`
+}
+
+func makeBody(wl string, cacheBytes, spm int) []byte {
+	var r reqBody
+	r.Workload = wl
+	r.Hierarchy.CacheBytes = cacheBytes
+	r.Hierarchy.SPMBytes = spm
+	b, err := json.Marshal(&r)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// parseMix parses "cold:2,warm:5,..." into weights.
+func parseMix(spec string) (map[string]int, error) {
+	w := map[string]int{}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(clause, ":")
+		n := 1
+		if ok {
+			var err error
+			n, err = strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad weight in %q", clause)
+			}
+		}
+		switch name {
+		case classCold, classWarm, classDup, classOversized:
+			w[name] = n
+		default:
+			return nil, fmt.Errorf("unknown class %q (cold, warm, dup, oversized)", name)
+		}
+	}
+	if len(w) == 0 {
+		return nil, fmt.Errorf("empty mix %q", spec)
+	}
+	return w, nil
+}
+
+// buildJobs lays out the request schedule: n jobs drawn from the
+// weighted classes, dup classes expanded into bursts of adjacent
+// identical jobs so they are in flight together.
+func buildJobs(opts options) ([]job, error) {
+	weights, err := parseMix(opts.mix)
+	if err != nil {
+		return nil, err
+	}
+	wls := strings.Split(opts.workloads, ",")
+	for i := range wls {
+		wls[i] = strings.TrimSpace(wls[i])
+	}
+	caches := []int{512, 1024, 2048, 4096}
+
+	// The warm pool: a small set of popular configurations.
+	var warm [][]byte
+	for i, wl := range wls {
+		warm = append(warm,
+			makeBody(wl, caches[(i+1)%len(caches)], 128),
+			makeBody(wl, caches[(i+2)%len(caches)], 256))
+	}
+
+	// Oversized/invalid variants, cycled.
+	invalid := [][]byte{
+		makeBody(wls[0], 2048, 4<<20),             // SPM beyond the server limit
+		makeBody("no-such-workload", 2048, 256),   // unknown workload
+		makeBody(wls[0], 3000, 256),               // cache size not a power of two
+		[]byte(`{"hierarchy":{"spm_bytes":256}}`), // no program at all
+	}
+
+	classes := make([]string, 0, 4)
+	var total int
+	for _, cl := range []string{classCold, classWarm, classDup, classOversized} {
+		if weights[cl] > 0 {
+			classes = append(classes, cl)
+			total += weights[cl]
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.seed))
+	jobs := make([]job, 0, opts.n)
+	cold, dup, bad := 0, 0, 0
+	for len(jobs) < opts.n {
+		pick := rng.Intn(total)
+		var cl string
+		for _, c := range classes {
+			if pick < weights[c] {
+				cl = c
+				break
+			}
+			pick -= weights[c]
+		}
+		switch cl {
+		case classCold:
+			// Strictly increasing SPM sizes keep every cold key unique.
+			body := makeBody(wls[cold%len(wls)], caches[(cold/len(wls))%len(caches)], 64+16*cold)
+			jobs = append(jobs, job{class: classCold, body: body})
+			cold++
+		case classWarm:
+			jobs = append(jobs, job{class: classWarm, body: warm[rng.Intn(len(warm))]})
+		case classDup:
+			// A fresh key per burst (8 mod 16 ≡ distinct from cold's
+			// stream), fired burst times back to back so the copies
+			// overlap in flight and coalesce.
+			body := makeBody(wls[dup%len(wls)], caches[(dup/len(wls))%len(caches)], 72+16*dup)
+			for b := 0; b < opts.burst && len(jobs) < opts.n; b++ {
+				jobs = append(jobs, job{class: classDup, body: body})
+			}
+			dup++
+		case classOversized:
+			jobs = append(jobs, job{class: classOversized, body: invalid[bad%len(invalid)], wantCode: 400})
+			bad++
+		}
+	}
+	return jobs, nil
+}
+
+// fetchMetrics reads the server's flat JSON metric snapshot.
+func fetchMetrics(client *http.Client, addr string) (map[string]float64, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	var m map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func run(opts options) (*Report, error) {
+	if opts.n < 1 || opts.c < 1 || opts.burst < 1 {
+		return nil, fmt.Errorf("need -n, -c and -burst ≥ 1")
+	}
+	jobs, err := buildJobs(opts)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{
+		Timeout: opts.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.c,
+			MaxIdleConnsPerHost: opts.c,
+		},
+	}
+	before, err := fetchMetrics(client, opts.addr)
+	if err != nil {
+		return nil, fmt.Errorf("server not reachable: %w", err)
+	}
+
+	queue := make(chan job)
+	samples := make([]sample, 0, len(jobs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range queue {
+				s := fire(client, opts.addr, j)
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		queue <- j
+	}
+	close(queue)
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := fetchMetrics(client, opts.addr)
+	if err != nil {
+		return nil, fmt.Errorf("post-run metrics: %w", err)
+	}
+	rep := summarize(opts, samples, wall, before, after)
+
+	switch {
+	case rep.Errors > 0:
+		return rep, fmt.Errorf("%d request(s) failed or returned unexpected statuses", rep.Errors)
+	case rep.HTTP5xx > opts.max5xx:
+		return rep, fmt.Errorf("%d 5xx response(s) (allowed %d)", rep.HTTP5xx, opts.max5xx)
+	case opts.requireCoalescing && rep.SingleflightHits == 0:
+		return rep, fmt.Errorf("no duplicate requests were coalesced (singleflight hits = 0)")
+	}
+	return rep, nil
+}
+
+// fire sends one request and classifies the outcome.
+func fire(client *http.Client, addr string, j job) sample {
+	s := sample{class: j.class}
+	t0 := time.Now()
+	resp, err := client.Post(addr+"/v1/allocate", "application/json", bytes.NewReader(j.body))
+	s.dur = time.Since(t0)
+	if err != nil {
+		s.err = err
+		return s
+	}
+	defer resp.Body.Close()
+	s.status = resp.StatusCode
+	var body struct {
+		Cached    bool `json:"cached"`
+		Coalesced bool `json:"coalesced"`
+		Degraded  bool `json:"degraded"`
+	}
+	if resp.StatusCode == 200 {
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			s.err = fmt.Errorf("bad response body: %w", err)
+			return s
+		}
+		s.cached, s.coalesced, s.degraded = body.Cached, body.Coalesced, body.Degraded
+	}
+	if j.wantCode != 0 {
+		s.expected = s.status == j.wantCode
+	} else {
+		s.expected = s.status == 200
+	}
+	return s
+}
+
+// ClassStats summarizes one request class.
+type ClassStats struct {
+	Count  int     `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	Errors int     `json:"errors"`
+}
+
+// Report is the JSON artifact the CI gate consumes.
+type Report struct {
+	Requests      int     `json:"requests"`
+	Concurrency   int     `json:"concurrency"`
+	DurationMS    float64 `json:"duration_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+
+	Status  map[string]int `json:"status"`
+	HTTP5xx int            `json:"http_5xx"`
+	// Errors counts transport failures and status codes the schedule
+	// did not expect (an oversized request answering 400 is expected).
+	Errors    int `json:"errors"`
+	Degraded  int `json:"degraded"`
+	Cached    int `json:"cached"`
+	Coalesced int `json:"coalesced"`
+
+	// SingleflightHits is the server-side counter delta across the run:
+	// > 0 proves duplicate requests were coalesced.
+	SingleflightHits float64 `json:"singleflight_hits"`
+	// ServerMetrics holds the deltas of every casa_server_* counter.
+	ServerMetrics map[string]float64 `json:"server_metrics"`
+
+	ByClass map[string]*ClassStats `json:"by_class"`
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func summarize(opts options, samples []sample, wall time.Duration,
+	before, after map[string]float64) *Report {
+	rep := &Report{
+		Requests:      len(samples),
+		Concurrency:   opts.c,
+		DurationMS:    float64(wall.Nanoseconds()) / 1e6,
+		Status:        map[string]int{},
+		ByClass:       map[string]*ClassStats{},
+		ServerMetrics: map[string]float64{},
+	}
+	if wall > 0 {
+		rep.ThroughputRPS = float64(len(samples)) / wall.Seconds()
+	}
+	all := make([]float64, 0, len(samples))
+	byClass := map[string][]float64{}
+	for _, s := range samples {
+		ms := float64(s.dur.Nanoseconds()) / 1e6
+		cs := rep.ByClass[s.class]
+		if cs == nil {
+			cs = &ClassStats{}
+			rep.ByClass[s.class] = cs
+		}
+		cs.Count++
+		if s.err != nil {
+			rep.Errors++
+			cs.Errors++
+			rep.Status["error"]++
+			continue
+		}
+		rep.Status[strconv.Itoa(s.status)]++
+		if s.status >= 500 {
+			rep.HTTP5xx++
+		}
+		if !s.expected {
+			rep.Errors++
+			cs.Errors++
+		}
+		if s.degraded {
+			rep.Degraded++
+		}
+		if s.cached {
+			rep.Cached++
+		}
+		if s.coalesced {
+			rep.Coalesced++
+		}
+		all = append(all, ms)
+		byClass[s.class] = append(byClass[s.class], ms)
+	}
+	sort.Float64s(all)
+	rep.P50Ms = percentile(all, 0.50)
+	rep.P90Ms = percentile(all, 0.90)
+	rep.P99Ms = percentile(all, 0.99)
+	if len(all) > 0 {
+		rep.MaxMs = all[len(all)-1]
+	}
+	for cl, durs := range byClass {
+		sort.Float64s(durs)
+		rep.ByClass[cl].P50Ms = percentile(durs, 0.50)
+		rep.ByClass[cl].P99Ms = percentile(durs, 0.99)
+	}
+	for name, v := range after {
+		if !strings.HasPrefix(name, "casa_server_") {
+			continue
+		}
+		if d := v - before[name]; d != 0 {
+			rep.ServerMetrics[name] = d
+		}
+	}
+	rep.SingleflightHits = rep.ServerMetrics["casa_server_singleflight_hits_total"]
+	return rep
+}
+
+// print writes the human summary.
+func (r *Report) print(w *os.File) {
+	fmt.Fprintf(w, "casaload: %d requests, %d workers, %.1fs wall (%.0f req/s)\n",
+		r.Requests, r.Concurrency, r.DurationMS/1e3, r.ThroughputRPS)
+	fmt.Fprintf(w, "latency  p50 %8.1fms  p90 %8.1fms  p99 %8.1fms  max %8.1fms\n",
+		r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
+	fmt.Fprintf(w, "outcomes 5xx %d  errors %d  degraded %d  cached %d  coalesced %d  singleflight %.0f\n",
+		r.HTTP5xx, r.Errors, r.Degraded, r.Cached, r.Coalesced, r.SingleflightHits)
+	classes := make([]string, 0, len(r.ByClass))
+	for cl := range r.ByClass {
+		classes = append(classes, cl)
+	}
+	sort.Strings(classes)
+	for _, cl := range classes {
+		cs := r.ByClass[cl]
+		fmt.Fprintf(w, "  %-9s n=%-5d p50 %8.1fms  p99 %8.1fms  errors %d\n",
+			cl, cs.Count, cs.P50Ms, cs.P99Ms, cs.Errors)
+	}
+}
+
+// write stores the JSON report.
+func (r *Report) write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

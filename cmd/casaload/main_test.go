@@ -1,0 +1,139 @@
+package main
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("cold:2,warm:5,dup:2,oversized:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[classCold] != 2 || w[classWarm] != 5 || w[classDup] != 2 || w[classOversized] != 1 {
+		t.Fatalf("weights = %v", w)
+	}
+	if _, err := parseMix("cold:2,hot:1"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := parseMix("cold:-1"); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := parseMix(""); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}
+
+func TestBuildJobsSchedule(t *testing.T) {
+	opts := options{n: 200, c: 8, burst: 4, seed: 7,
+		mix: "cold:2,warm:5,dup:2,oversized:1", workloads: "adpcm,g721"}
+	jobs, err := buildJobs(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 200 {
+		t.Fatalf("%d jobs, want 200", len(jobs))
+	}
+	counts := map[string]int{}
+	coldKeys := map[string]bool{}
+	for _, j := range jobs {
+		counts[j.class]++
+		if j.class == classCold {
+			if coldKeys[string(j.body)] {
+				t.Fatalf("duplicate cold body: %s", j.body)
+			}
+			coldKeys[string(j.body)] = true
+		}
+		if (j.class == classOversized) != (j.wantCode == 400) {
+			t.Fatalf("class %s with wantCode %d", j.class, j.wantCode)
+		}
+	}
+	for _, cl := range []string{classCold, classWarm, classDup, classOversized} {
+		if counts[cl] == 0 {
+			t.Fatalf("class %s never scheduled: %v", cl, counts)
+		}
+	}
+	// Dup jobs arrive in adjacent runs of identical bodies.
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].class == classDup && jobs[i-1].class == classDup &&
+			string(jobs[i].body) == string(jobs[i-1].body) {
+			return
+		}
+	}
+	t.Fatal("no adjacent identical dup pair in the schedule")
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(sorted, 0.50); p != 5 {
+		t.Fatalf("p50 = %g", p)
+	}
+	if p := percentile(sorted, 0.99); p != 10 {
+		t.Fatalf("p99 = %g", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %g", p)
+	}
+}
+
+// TestRunAgainstServer is the end-to-end smoke in miniature: casaload's
+// run() drives a real in-process casad handler with all four traffic
+// classes and must observe coalescing, caching and zero unexpected
+// statuses.
+func TestRunAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{MaxInflight: 8}).Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "report.json")
+	opts := options{
+		addr:              ts.URL,
+		n:                 120,
+		c:                 8,
+		burst:             6,
+		seed:              1,
+		mix:               "cold:2,warm:5,dup:3,oversized:1",
+		workloads:         "adpcm,g721",
+		out:               out,
+		requireCoalescing: true,
+		timeout:           60 * time.Second,
+	}
+	rep, err := run(opts)
+	if err != nil {
+		t.Fatalf("run: %v (report %+v)", err, rep)
+	}
+	if err := rep.write(out); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 120 || rep.Errors != 0 || rep.HTTP5xx != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.SingleflightHits == 0 && rep.Coalesced == 0 {
+		t.Fatal("dup bursts produced no coalescing at all")
+	}
+	if rep.Cached == 0 {
+		t.Fatal("warm repeats produced no cache hits")
+	}
+	if rep.Status["400"] == 0 {
+		t.Fatal("oversized requests produced no 400s")
+	}
+	if rep.ByClass[classOversized].Errors != 0 {
+		t.Fatal("expected 400s were counted as errors")
+	}
+	if rep.P99Ms < rep.P50Ms || rep.MaxMs < rep.P99Ms {
+		t.Fatalf("inconsistent percentiles: %+v", rep)
+	}
+}
+
+// TestRunFailsOnRefusedServer: a dead address is a startup error, not a
+// zero-request "success".
+func TestRunFailsOnRefusedServer(t *testing.T) {
+	opts := options{addr: "http://127.0.0.1:1", n: 4, c: 1, burst: 1,
+		mix: "cold:1", workloads: "adpcm", timeout: 2 * time.Second}
+	if _, err := run(opts); err == nil {
+		t.Fatal("run against a refused port succeeded")
+	}
+}

@@ -1,9 +1,10 @@
 // Package fault provides deterministic fault injection for chaos
 // testing the CASA pipeline. A small set of named injection points is
 // compiled into the production code paths — the ILP solver's deadline
-// check, the fetch-stream recorder, the memo layers and the worker
-// pool's cell dispatch — and each point costs a single atomic load when
-// no fault plan is active.
+// check, the fetch-stream recorder, the memo layers, the worker pool's
+// cell dispatch, and the casad server's admission controller and result
+// cache — and each point costs a single atomic load when no fault plan
+// is active.
 //
 // A plan is armed either programmatically (tests call Set) or through
 // the CASA_FAULTS environment variable. The spec grammar is a
@@ -48,6 +49,14 @@ const (
 	// CellPanic panics inside a worker-pool cell, exercising the pool's
 	// panic containment.
 	CellPanic = "cell-panic"
+	// ServerOverload makes the casad admission controller behave as if
+	// the solve capacity were exhausted: the request is rejected with 503
+	// regardless of the real in-flight count.
+	ServerOverload = "server-overload"
+	// ServerCacheMiss forces a casad result-cache lookup to miss, so the
+	// request recomputes (and the response is re-cached) even when a
+	// fresh entry exists.
+	ServerCacheMiss = "server-cache-miss"
 )
 
 // EnvFaults is the environment variable carrying the process-wide fault

@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -63,6 +64,37 @@ func (h *Histogram) Observe(v int64) {
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the observed values
+// from the bucket counts: it returns the upper bound of the bucket the
+// quantile falls in, so the estimate errs high by at most one power of
+// two. Zero when nothing has been observed. The casad health endpoint
+// uses it to self-report p50/p99 request latency without retaining raw
+// samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if cum >= target {
+			if b == histBuckets-1 {
+				// The overflow bucket has no upper bound; fall back to the
+				// mean of everything, clamped up to the bucket's lower edge.
+				mean := float64(h.sum.Load()) / float64(total)
+				return math.Max(mean, float64(int64(1)<<(b-1+bucketShift)))
+			}
+			return float64(int64(1) << (b + bucketShift))
+		}
+	}
+	return float64(h.sum.Load()) / float64(total)
+}
 
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Result-cache metrics, resolved once.
+var (
+	mCacheHits   = obs.GetCounter("casa_server_cache_hits_total")
+	mCacheMisses = obs.GetCounter("casa_server_cache_misses_total")
+	mCacheEvicts = obs.GetCounter("casa_server_cache_evictions_total")
+	mCacheSize   = obs.GetGauge("casa_server_cache_entries")
+)
+
+// shardedCache is an LRU response cache split into independently locked
+// shards so concurrent request handlers do not serialize on one mutex.
+// Requests hash uniformly (keys are truncated SHA-256), so per-shard LRU
+// approximates global LRU closely while the hot path takes a lock held
+// for a handful of pointer moves.
+type shardedCache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	max int // entries per shard
+	m   map[string]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key  string
+	resp *Response
+}
+
+// newShardedCache builds a cache of totalEntries split over shards
+// (rounded up to a power of two).
+func newShardedCache(totalEntries, shards int) *shardedCache {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := (totalEntries + n - 1) / n
+	if per < 1 {
+		per = 1
+	}
+	c := &shardedCache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{max: per, m: make(map[string]*list.Element), ll: list.New()}
+	}
+	return c
+}
+
+// shard picks the shard for a key: the canonical request hash is already
+// uniform, so the first 8 hex digits are an adequate hash.
+func (c *shardedCache) shard(key string) *cacheShard {
+	var h uint64
+	if raw, err := hex.DecodeString(key[:16]); err == nil && len(raw) == 8 {
+		h = binary.BigEndian.Uint64(raw)
+	} else {
+		for i := 0; i < len(key); i++ { // non-hex keys (tests): FNV-1a
+			h = (h ^ uint64(key[i])) * 1099511628211
+		}
+	}
+	return &c.shards[h&c.mask]
+}
+
+// get returns the cached response for key, refreshing its recency.
+func (c *shardedCache) get(key string) (*Response, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.m[key]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if ok {
+		mCacheHits.Inc()
+		return el.Value.(*cacheEntry).resp, true
+	}
+	mCacheMisses.Inc()
+	return nil, false
+}
+
+// put stores resp under key, evicting the shard's least-recently-used
+// entry when full. The stored response must be treated as immutable;
+// deliveries copy it before stamping per-request fields.
+func (c *shardedCache) put(key string, resp *Response) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	evicted := 0
+	for s.ll.Len() > s.max {
+		old := s.ll.Back()
+		s.ll.Remove(old)
+		delete(s.m, old.Value.(*cacheEntry).key)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		mCacheEvicts.Add(int64(evicted))
+	}
+	mCacheSize.Add(int64(1 - evicted))
+}
+
+// len returns the total number of cached responses.
+func (c *shardedCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,551 @@
+// Package server implements casad, the CASA allocation service: a
+// long-running HTTP daemon that accepts allocation requests (program +
+// memory hierarchy, JSON) and answers with the chosen scratchpad
+// allocation and its simulated energy/cycle estimates.
+//
+// The serving path is engineered for heavy concurrent traffic:
+//
+//   - a sharded LRU result cache answers repeats without touching the
+//     pipeline (one mutex per shard, so handlers do not serialize);
+//   - a singleflight group coalesces concurrent identical requests into
+//     one solve — followers wait for the leader's result instead of
+//     burning a core each;
+//   - an admission controller bounds concurrent solves and picks a
+//     solve-budget tier from the instantaneous load: exact solves while
+//     capacity is plentiful, budgeted anytime solves (PR 4) under
+//     pressure, a straight greedy allocation near saturation, and a 503
+//     beyond the hard cap. Degraded answers carry a Degraded flag and
+//     are never cached, so quality recovers as soon as load does.
+//
+// Endpoints: POST /v1/allocate, GET /healthz, GET /metrics (flat JSON
+// snapshot of the internal/obs registry), GET /debug/vars (expvar) and
+// POST /quitquitquit (graceful shutdown: stop accepting, drain in-flight
+// solves). DESIGN.md §11 describes the architecture.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// Serving metrics, resolved once.
+var (
+	mRequests     = obs.GetCounter("casa_server_requests_total")
+	mOK           = obs.GetCounter("casa_server_ok_total")
+	mBadRequests  = obs.GetCounter("casa_server_bad_requests_total")
+	mServerErrors = obs.GetCounter("casa_server_errors_total")
+	mRejected     = obs.GetCounter("casa_server_rejected_total")
+	mSingleflight = obs.GetCounter("casa_server_singleflight_hits_total")
+	mSolves       = obs.GetCounter("casa_server_solves_total")
+	mDegraded     = obs.GetCounter("casa_server_degraded_total")
+	mTierExact    = obs.GetCounter("casa_server_tier_exact_total")
+	mTierBounded  = obs.GetCounter("casa_server_tier_bounded_total")
+	mTierGreedy   = obs.GetCounter("casa_server_tier_greedy_total")
+	mInflight     = obs.GetGauge("casa_server_inflight")
+	mLatency      = obs.GetHistogram("casa_server_request_ns")
+)
+
+// Config tunes the server. The zero value is usable: withDefaults fills
+// every field.
+type Config struct {
+	// MaxInflight is the hard admission cap on concurrent solves
+	// (default 4×GOMAXPROCS). Coalesced duplicates and cache hits do
+	// not consume slots; beyond the cap requests get 503.
+	MaxInflight int
+	// ExactBudget bounds a solve in the exact tier (load ≤ 1/2 of
+	// MaxInflight; default 5s). Zero budgets are replaced by the
+	// default: an unbounded solve inside a request handler would let
+	// one pathological model wedge a worker forever.
+	ExactBudget time.Duration
+	// BoundedBudget bounds a solve in the bounded tier (load ≤ 3/4;
+	// default 150ms) — the anytime solver returns its best incumbent.
+	BoundedBudget time.Duration
+	// CacheEntries is the total result-cache capacity (default 4096),
+	// split over CacheShards shards (default 16).
+	CacheEntries int
+	CacheShards  int
+	// MaxPrograms bounds the interned custom-program table (default 64);
+	// eviction releases the program's sim memo entries.
+	MaxPrograms int
+	// MaxProgramBytes / MaxSPMBytes / MaxCacheBytes bound request sizes
+	// (defaults 256 KiB / 1 MiB / 4 MiB).
+	MaxProgramBytes int
+	MaxSPMBytes     int
+	MaxCacheBytes   int
+	// DrainTimeout bounds graceful shutdown (default 30s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.ExactBudget <= 0 {
+		c.ExactBudget = 5 * time.Second
+	}
+	if c.BoundedBudget <= 0 {
+		c.BoundedBudget = 150 * time.Millisecond
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.MaxPrograms <= 0 {
+		c.MaxPrograms = 64
+	}
+	if c.MaxProgramBytes <= 0 {
+		c.MaxProgramBytes = 256 << 10
+	}
+	if c.MaxSPMBytes <= 0 {
+		c.MaxSPMBytes = 1 << 20
+	}
+	if c.MaxCacheBytes <= 0 {
+		c.MaxCacheBytes = 4 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Tier names (Response.Tier).
+const (
+	tierExact   = "exact"
+	tierBounded = "bounded"
+	tierGreedy  = "greedy"
+)
+
+// Server is the allocation service. Create with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *shardedCache
+	programs *internTable
+	flight   flightGroup
+	inflight atomic.Int64
+	draining atomic.Bool
+	start    time.Time
+	httpSrv  *http.Server
+
+	// testHookSolving, when set, is called by a solve leader after it
+	// acquired its admission slot and chose a tier, before any pipeline
+	// work. Tests use it to hold solves in flight deterministically.
+	testHookSolving func(key, tier string)
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    newShardedCache(cfg.CacheEntries, cfg.CacheShards),
+		programs: newInternTable(cfg.MaxPrograms),
+		start:    time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/allocate", s.handleAllocate)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/quitquitquit", s.handleQuit)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler (httptest-friendly).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It owns the underlying
+// http.Server so Shutdown can drain it.
+func (s *Server) Serve(l net.Listener) error {
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe is Serve on a fresh TCP listener.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains the server: new allocation requests are refused with
+// 503 immediately, in-flight solves run to completion (bounded by ctx),
+// then the listener closes. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.httpSrv != nil {
+		return s.httpSrv.Shutdown(ctx)
+	}
+	return nil
+}
+
+// Draining reports whether a graceful shutdown has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// httpError carries a status code through the compute path so handler
+// plumbing can map pipeline failures to the right class: client mistakes
+// (unparseable program, impossible hierarchy) are 4xx, everything else
+// 5xx.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+var errOverloaded = &httpError{code: http.StatusServiceUnavailable, msg: "overloaded: solve capacity exhausted"}
+var errDraining = &httpError{code: http.StatusServiceUnavailable, msg: "draining: server is shutting down"}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	}
+	switch {
+	case code == http.StatusServiceUnavailable:
+		mRejected.Inc()
+	case code >= 500:
+		mServerErrors.Inc()
+	default:
+		mBadRequests.Inc()
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// handleAllocate is POST /v1/allocate: decode → validate → result cache
+// → singleflight → admission/tier → pipeline.
+func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	mRequests.Inc()
+	defer func() { mLatency.Observe(time.Since(start).Nanoseconds()) }()
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, &httpError{code: http.StatusMethodNotAllowed, msg: "POST only"})
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, errDraining)
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxProgramBytes)+64<<10))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, badRequestf("bad request body: %v", err))
+		return
+	}
+	req.normalize()
+	if err := req.validate(s.cfg); err != nil {
+		writeError(w, badRequestf("%v", err))
+		return
+	}
+	key := req.key()
+
+	if !fault.Hit(fault.ServerCacheMiss) {
+		if resp, ok := s.cache.get(key); ok {
+			s.deliver(w, resp, true, false, start)
+			return
+		}
+	} else {
+		mCacheMisses.Inc()
+	}
+
+	resp, err, shared := s.flight.do(key, func() (*Response, error) {
+		return s.compute(&req, key)
+	})
+	if shared {
+		mSingleflight.Inc()
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.deliver(w, resp, false, shared, start)
+}
+
+// deliver stamps the per-delivery fields on a copy of the (shared,
+// immutable) response and writes it.
+func (s *Server) deliver(w http.ResponseWriter, resp *Response, cached, coalesced bool, start time.Time) {
+	out := *resp
+	out.Cached = cached
+	out.Coalesced = coalesced
+	out.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	mOK.Inc()
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// tierFor maps the instantaneous in-flight count (this request included)
+// to an admission tier and its solve budget.
+func (s *Server) tierFor(n int64) (string, time.Duration) {
+	max := int64(s.cfg.MaxInflight)
+	switch {
+	case max <= 1 || n <= max/2:
+		return tierExact, s.cfg.ExactBudget
+	case n <= (3*max)/4:
+		return tierBounded, s.cfg.BoundedBudget
+	default:
+		return tierGreedy, 0
+	}
+}
+
+// compute runs the allocation pipeline for one admitted request. It is
+// always executed by a singleflight leader, so the admission counter
+// tracks genuinely distinct concurrent solves.
+func (s *Server) compute(req *Request, key string) (*Response, error) {
+	n := s.inflight.Add(1)
+	mInflight.Set(n)
+	defer func() { mInflight.Set(s.inflight.Add(-1)) }()
+	if n > int64(s.cfg.MaxInflight) || fault.Hit(fault.ServerOverload) {
+		return nil, errOverloaded
+	}
+	tier, budget := s.tierFor(n)
+	switch tier {
+	case tierExact:
+		mTierExact.Inc()
+	case tierBounded:
+		mTierBounded.Inc()
+	default:
+		mTierGreedy.Inc()
+	}
+	if s.testHookSolving != nil {
+		s.testHookSolving(key, tier)
+	}
+	mSolves.Inc()
+
+	prog, err := s.resolveProgram(req)
+	if err != nil {
+		return nil, err
+	}
+	// The pipeline runs on a background-derived context on purpose: a
+	// coalesced follower must not lose the result because the leader's
+	// own client hung up, and graceful shutdown wants in-flight solves
+	// to finish. The tier budget bounds the solve instead.
+	ctx, sp := obs.StartSpan(context.Background(), "serve")
+	defer sp.End()
+	sp.SetAttr("key", key)
+	sp.SetAttr("tier", tier)
+
+	spec := experiments.CacheSpec{
+		Size:  req.Hierarchy.CacheBytes,
+		Line:  req.Hierarchy.LineBytes,
+		Assoc: req.Hierarchy.Assoc,
+	}
+	pipe, err := experiments.PrepareProgram(ctx, prog, spec, req.Hierarchy.SPMBytes)
+	if err != nil {
+		// Preparation failures are configuration problems (trace
+		// formation, cache geometry, energy model): the client's inputs
+		// made them, so report them as such.
+		return nil, badRequestf("prepare: %v", err)
+	}
+	pipe.SolveBudget = budget
+
+	base, err := pipe.RunCacheOnly(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	alloc := req.Allocator
+	if tier == tierGreedy && alloc == "casa" {
+		// Load shedding: skip the ILP entirely and serve the greedy
+		// selection, marked degraded below.
+		alloc = "greedy"
+	}
+	var out *experiments.Outcome
+	switch alloc {
+	case "casa":
+		out, err = pipe.RunCASA(ctx)
+	case "greedy":
+		out, err = pipe.RunCASAGreedy(ctx)
+	case "steinke":
+		out, err = pipe.RunSteinke(ctx)
+	case "loopcache":
+		out, err = pipe.RunLoopCache(ctx)
+	case "cache-only":
+		out = base
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", alloc, err)
+	}
+
+	resp := s.buildResponse(req, key, tier, pipe, base, out)
+	if tier == tierGreedy && req.Allocator == "casa" {
+		resp.Degraded = true
+		resp.DegradedReason = "admission-greedy"
+		resp.Fallback = true
+	}
+	if resp.Degraded {
+		mDegraded.Inc()
+	} else {
+		// Only proven results are cached: a degraded incumbent served
+		// under pressure must not keep being served once load subsides.
+		s.cache.put(key, resp)
+	}
+	return resp, nil
+}
+
+// resolveProgram maps the request to the canonical *ir.Program instance:
+// bundled workloads come from workload.Shared, custom programs from the
+// intern table — either way repeats share one instance so the sim memo
+// layers hit.
+func (s *Server) resolveProgram(req *Request) (*ir.Program, error) {
+	if req.Workload != "" {
+		prog, err := workload.Shared(req.Workload)
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		return prog, nil
+	}
+	prog, err := s.programs.program(req.Program)
+	if err != nil {
+		return nil, badRequestf("parse program: %v", err)
+	}
+	return prog, nil
+}
+
+func (s *Server) buildResponse(req *Request, key, tier string, pipe *experiments.Pipeline,
+	base, out *experiments.Outcome) *Response {
+	r := out.Result
+	resp := &Response{
+		Workload:       pipe.Workload,
+		Allocator:      out.Allocator,
+		Key:            key,
+		Tier:           tier,
+		EnergyMicroJ:   out.EnergyMicroJ,
+		BaselineMicroJ: base.EnergyMicroJ,
+		Cycles:         r.Cycles,
+		Fetches:        r.Fetches,
+		CacheMisses:    r.CacheMisses,
+		PlacedTraces:   out.PlacedTraces,
+		UsedBytes:      out.UsedBytes,
+		SPMBytes:       req.Hierarchy.SPMBytes,
+		SolverNodes:    out.SolverNodes,
+		Degraded:       out.Degraded,
+		DegradedReason: out.DegradedReason,
+		Gap:            out.Gap,
+		Fallback:       out.Fallback,
+	}
+	if base.EnergyMicroJ > 0 {
+		resp.EnergySavingPct = 100 * (base.EnergyMicroJ - out.EnergyMicroJ) / base.EnergyMicroJ
+	}
+	if req.Placement {
+		for _, tr := range pipe.Set.Traces {
+			mo := r.PerMO[tr.ID]
+			where := "cache"
+			if mo.SPM > 0 {
+				where = "spm"
+			} else if mo.LoopCache > 0 {
+				where = "lc"
+			}
+			resp.Placement = append(resp.Placement, TracePlacement{
+				Trace:   tr.ID,
+				Where:   where,
+				Bytes:   tr.RawBytes,
+				Fetches: tr.Fetches,
+				Misses:  mo.Misses,
+			})
+		}
+	}
+	return resp
+}
+
+// healthState is the /healthz body.
+type healthState struct {
+	Status    string  `json:"status"`
+	UptimeS   float64 `json:"uptime_s"`
+	Inflight  int64   `json:"inflight"`
+	Cached    int     `json:"cached_responses"`
+	Programs  int     `json:"interned_programs"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxSolves int     `json:"max_inflight"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := healthState{
+		Status:    "ok",
+		UptimeS:   time.Since(s.start).Seconds(),
+		Inflight:  s.inflight.Load(),
+		Cached:    s.cache.len(),
+		Programs:  s.programs.len(),
+		P50Ms:     mLatency.Quantile(0.50) / 1e6,
+		P99Ms:     mLatency.Quantile(0.99) / 1e6,
+		MaxSolves: s.cfg.MaxInflight,
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		st.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+// handleMetrics serves the obs registry as one flat JSON object
+// (name → value) — the machine-readable face of CASA_METRICS dumps, and
+// what casaload diffs around a run.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Default.Snapshot())
+}
+
+// handleQuit is POST /quitquitquit: acknowledge, then drain in the
+// background bounded by DrainTimeout.
+func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, &httpError{code: http.StatusMethodNotAllowed, msg: "POST only"})
+		return
+	}
+	obs.Warnf("casad: shutdown requested via /quitquitquit")
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "draining"})
+}
+
+// String summarizes the configuration for startup logs.
+func (s *Server) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "max-inflight=%d exact=%s bounded=%s cache=%d×%d programs=%d",
+		s.cfg.MaxInflight, s.cfg.ExactBudget, s.cfg.BoundedBudget,
+		s.cfg.CacheShards, s.cfg.CacheEntries/s.cfg.CacheShards, s.cfg.MaxPrograms)
+	return b.String()
+}

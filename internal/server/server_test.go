@@ -1,0 +1,642 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// tinyProgram is a minimal custom program in the asm format: one hot
+// loop, enough code to form traces.
+const tinyProgram = `
+.entry main
+
+func main
+start:
+    code 8
+    call coder
+loop:
+    alu 4
+    load 2
+    bloop loop, done, 64
+done:
+    ret
+
+func coder
+body:
+    mul 4
+    code 6
+    bloop body, out, 32
+out:
+    ret
+`
+
+func testConfig() Config {
+	return Config{
+		MaxInflight:   8,
+		ExactBudget:   5 * time.Second,
+		BoundedBudget: 100 * time.Millisecond,
+		CacheEntries:  64,
+		CacheShards:   4,
+		MaxPrograms:   4,
+	}
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/allocate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, buf.Bytes()
+}
+
+func allocate(t *testing.T, url, body string) *Response {
+	t.Helper()
+	resp, data := postJSON(t, url, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("allocate: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var out Response
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode response: %v\n%s", err, data)
+	}
+	return &out
+}
+
+func adpcmBody(spm int) string {
+	return fmt.Sprintf(`{"workload":"adpcm","hierarchy":{"cache_bytes":1024,"spm_bytes":%d}}`, spm)
+}
+
+func TestRequestValidation(t *testing.T) {
+	ts := httptest.NewServer(New(testConfig()).Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed JSON", `{"workload":`, 400},
+		{"unknown field", `{"wrkload":"adpcm","hierarchy":{"cache_bytes":1024,"spm_bytes":128}}`, 400},
+		{"no program", `{"hierarchy":{"cache_bytes":1024,"spm_bytes":128}}`, 400},
+		{"both sources", `{"workload":"adpcm","program":"x","hierarchy":{"cache_bytes":1024,"spm_bytes":128}}`, 400},
+		{"unknown workload", `{"workload":"nope","hierarchy":{"cache_bytes":1024,"spm_bytes":128}}`, 400},
+		{"cache not pow2", `{"workload":"adpcm","hierarchy":{"cache_bytes":3000,"spm_bytes":128}}`, 400},
+		{"zero cache", `{"workload":"adpcm","hierarchy":{"spm_bytes":128}}`, 400},
+		{"spm too big", `{"workload":"adpcm","hierarchy":{"cache_bytes":1024,"spm_bytes":4194304}}`, 400},
+		{"spm below line", `{"workload":"adpcm","hierarchy":{"cache_bytes":1024,"spm_bytes":8}}`, 400},
+		{"bad allocator", `{"workload":"adpcm","hierarchy":{"cache_bytes":1024,"spm_bytes":128},"allocator":"magic"}`, 400},
+		{"bad line", `{"workload":"adpcm","hierarchy":{"cache_bytes":1024,"line_bytes":24,"spm_bytes":128}}`, 400},
+		{"bad assoc", `{"workload":"adpcm","hierarchy":{"cache_bytes":64,"assoc":32,"spm_bytes":128}}`, 400},
+		{"unparseable program", `{"program":"func \n???","hierarchy":{"cache_bytes":1024,"spm_bytes":128}}`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postJSON(t, ts.URL, tc.body)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("got HTTP %d, want %d: %s", resp.StatusCode, tc.want, data)
+			}
+			var e ErrorResponse
+			if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+				t.Fatalf("error body not {\"error\":...}: %s", data)
+			}
+		})
+	}
+
+	t.Run("method not allowed", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/allocate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /v1/allocate: got %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+func TestAllocateAndResultCache(t *testing.T) {
+	ts := httptest.NewServer(New(testConfig()).Handler())
+	defer ts.Close()
+
+	hits0 := mCacheHits.Value()
+	first := allocate(t, ts.URL, adpcmBody(128))
+	if first.Cached {
+		t.Fatal("first request reported cached")
+	}
+	if first.Allocator != "casa" || first.Tier != tierExact {
+		t.Fatalf("got allocator %q tier %q, want casa/exact", first.Allocator, first.Tier)
+	}
+	if first.EnergyMicroJ <= 0 || first.BaselineMicroJ <= 0 || first.Cycles <= 0 || first.Fetches <= 0 {
+		t.Fatalf("implausible estimates: %+v", first)
+	}
+	if first.EnergyMicroJ > first.BaselineMicroJ {
+		t.Fatalf("allocation made energy worse: %g > baseline %g", first.EnergyMicroJ, first.BaselineMicroJ)
+	}
+	if first.Degraded {
+		t.Fatalf("unloaded exact solve degraded: %+v", first)
+	}
+
+	second := allocate(t, ts.URL, adpcmBody(128))
+	if !second.Cached {
+		t.Fatal("repeat request not served from the result cache")
+	}
+	if mCacheHits.Value() <= hits0 {
+		t.Fatal("cache hit counter did not move")
+	}
+	if second.Key != first.Key || second.EnergyMicroJ != first.EnergyMicroJ {
+		t.Fatalf("cached result differs: %+v vs %+v", second, first)
+	}
+
+	// Explicit defaults (line 16, assoc 1, allocator casa) canonicalize
+	// to the same key.
+	canon := allocate(t, ts.URL,
+		`{"workload":"adpcm","hierarchy":{"cache_bytes":1024,"line_bytes":16,"assoc":1,"spm_bytes":128},"allocator":"casa"}`)
+	if canon.Key != first.Key || !canon.Cached {
+		t.Fatalf("defaulted and explicit requests did not share a key: %q vs %q", canon.Key, first.Key)
+	}
+}
+
+func TestPlacementTable(t *testing.T) {
+	ts := httptest.NewServer(New(testConfig()).Handler())
+	defer ts.Close()
+
+	plain := allocate(t, ts.URL, adpcmBody(256))
+	if len(plain.Placement) != 0 {
+		t.Fatalf("placement table present without placement:true")
+	}
+	withTable := allocate(t, ts.URL,
+		`{"workload":"adpcm","hierarchy":{"cache_bytes":1024,"spm_bytes":256},"placement":true}`)
+	if withTable.Key == plain.Key {
+		t.Fatal("placement flag did not change the request key")
+	}
+	if len(withTable.Placement) == 0 {
+		t.Fatal("no placement rows")
+	}
+	spm := 0
+	for _, row := range withTable.Placement {
+		if row.Where == "spm" {
+			spm++
+		}
+	}
+	if spm != withTable.PlacedTraces {
+		t.Fatalf("placement table shows %d SPM traces, response says %d", spm, withTable.PlacedTraces)
+	}
+}
+
+func TestCustomProgramInterning(t *testing.T) {
+	s := New(testConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	misses0 := mInternMisses.Value()
+	hits0 := mInternHits.Value()
+	body := func(spm int) string {
+		b, _ := json.Marshal(map[string]any{
+			"program":   tinyProgram,
+			"hierarchy": map[string]int{"cache_bytes": 512, "spm_bytes": spm},
+		})
+		return string(b)
+	}
+	r1 := allocate(t, ts.URL, body(64))
+	r2 := allocate(t, ts.URL, body(128)) // different key, same program text
+	if r1.Key == r2.Key {
+		t.Fatal("different SPM sizes produced the same key")
+	}
+	if got := mInternMisses.Value() - misses0; got != 1 {
+		t.Fatalf("program parsed %d times, want 1 (interned)", got)
+	}
+	if got := mInternHits.Value() - hits0; got < 1 {
+		t.Fatal("second request did not hit the intern table")
+	}
+	if s.programs.len() != 1 {
+		t.Fatalf("intern table holds %d programs, want 1", s.programs.len())
+	}
+	if r1.Workload != r2.Workload {
+		t.Fatalf("program name mismatch: %q vs %q", r1.Workload, r2.Workload)
+	}
+}
+
+func TestDuplicateRequestsCoalesce(t *testing.T) {
+	s := New(testConfig())
+	entered := make(chan string, 1)
+	release := make(chan struct{})
+	var hookOnce sync.Once
+	s.testHookSolving = func(key, tier string) {
+		hookOnce.Do(func() {
+			entered <- key
+			<-release
+		})
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sf0 := mSingleflight.Value()
+	solves0 := mSolves.Value()
+
+	const followers = 3
+	results := make(chan *Response, followers+1)
+	errs := make(chan error, followers+1)
+	fire := func() {
+		resp, data := postJSON(t, ts.URL, adpcmBody(192))
+		if resp.StatusCode != 200 {
+			errs <- fmt.Errorf("HTTP %d: %s", resp.StatusCode, data)
+			return
+		}
+		var out Response
+		if err := json.Unmarshal(data, &out); err != nil {
+			errs <- err
+			return
+		}
+		results <- &out
+	}
+	go fire()
+	<-entered // the leader holds its admission slot now
+	for i := 0; i < followers; i++ {
+		go fire()
+	}
+	// Give the followers a moment to join the in-flight call; any that
+	// miss the window become result-cache hits, which the assertions
+	// below tolerate.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+
+	var coalesced, cached int
+	for i := 0; i < followers+1; i++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case r := <-results:
+			if r.Coalesced {
+				coalesced++
+			}
+			if r.Cached {
+				cached++
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("request timed out")
+		}
+	}
+	if got := mSolves.Value() - solves0; got != 1 {
+		t.Fatalf("%d solves for %d identical requests, want exactly 1", got, followers+1)
+	}
+	if coalesced == 0 {
+		t.Fatal("no follower reported coalesced=true")
+	}
+	if int64(coalesced) != mSingleflight.Value()-sf0 {
+		t.Fatalf("coalesced responses %d != singleflight counter delta %d",
+			coalesced, mSingleflight.Value()-sf0)
+	}
+	if coalesced+cached != followers {
+		t.Fatalf("followers = %d coalesced + %d cached, want %d total", coalesced, cached, followers)
+	}
+}
+
+// TestAdmissionTiers drives the controller through its tiers: with
+// MaxInflight=4 the first two concurrent solves run exact, the third
+// bounded, the fourth sheds to greedy (degraded, uncached), and a fifth
+// is rejected outright.
+func TestAdmissionTiers(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInflight = 4
+	s := New(cfg)
+
+	type holder struct {
+		key  string
+		tier string
+	}
+	entered := make(chan holder, 8)
+	release := make(chan struct{})
+	var blocked sync.WaitGroup
+	s.testHookSolving = func(key, tier string) {
+		if tier != tierGreedy {
+			entered <- holder{key, tier}
+			blocked.Add(1)
+			defer blocked.Done()
+			<-release
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rejected0 := mRejected.Value()
+	degraded0 := mDegraded.Value()
+
+	done := make(chan *Response, 8)
+	errs := make(chan error, 8)
+	fire := func(spm int) {
+		resp, data := postJSON(t, ts.URL, adpcmBody(spm))
+		if resp.StatusCode != 200 {
+			errs <- fmt.Errorf("HTTP %d: %s", resp.StatusCode, data)
+			return
+		}
+		var out Response
+		if err := json.Unmarshal(data, &out); err != nil {
+			errs <- err
+			return
+		}
+		done <- &out
+	}
+
+	// Occupy three slots with distinct keys; collect their tiers.
+	tiers := map[string]int{}
+	for i, spm := range []int{96, 112, 144} {
+		go fire(spm)
+		select {
+		case h := <-entered:
+			tiers[h.tier]++
+		case err := <-errs:
+			t.Fatalf("holder %d failed: %v", i, err)
+		case <-time.After(30 * time.Second):
+			t.Fatal("holder never reached the solve hook")
+		}
+	}
+	if tiers[tierExact] != 2 || tiers[tierBounded] != 1 {
+		t.Fatalf("holder tiers = %v, want 2 exact + 1 bounded", tiers)
+	}
+
+	// Fourth concurrent solve: shed to greedy, marked degraded.
+	shed := allocate(t, ts.URL, adpcmBody(176))
+	if shed.Tier != tierGreedy || !shed.Degraded || shed.DegradedReason != "admission-greedy" || !shed.Fallback {
+		t.Fatalf("expected a degraded greedy shed, got %+v", shed)
+	}
+	if mDegraded.Value() == degraded0 {
+		t.Fatal("degraded counter did not move")
+	}
+
+	// Degraded results are not cached: the same request under load again
+	// recomputes (another greedy shed), not a cache hit.
+	again := allocate(t, ts.URL, adpcmBody(176))
+	if again.Cached {
+		t.Fatal("degraded response was served from the cache")
+	}
+
+	// A fifth distinct solve while the three holders plus one shed are
+	// in flight would exceed MaxInflight — but the sheds complete fast,
+	// so force the rejection deterministically with the fault point.
+	fault.Set(fault.NewPlan().Always(fault.ServerOverload))
+	resp, data := postJSON(t, ts.URL, adpcmBody(208))
+	fault.Set(nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded request: HTTP %d (%s), want 503", resp.StatusCode, data)
+	}
+	if mRejected.Value() == rejected0 {
+		t.Fatal("rejected counter did not move")
+	}
+
+	close(release)
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case r := <-done:
+			if r.Degraded {
+				t.Fatalf("held exact/bounded solve came back degraded: %+v", r)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("held solve never finished")
+		}
+	}
+
+	// With the load gone, the same key solves exactly and is cached.
+	calm := allocate(t, ts.URL, adpcmBody(176))
+	if calm.Tier != tierExact || calm.Degraded {
+		t.Fatalf("post-load solve not exact: %+v", calm)
+	}
+	calm2 := allocate(t, ts.URL, adpcmBody(176))
+	if !calm2.Cached {
+		t.Fatal("exact result was not cached")
+	}
+}
+
+func TestHardRejectionAtCapacity(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInflight = 1
+	s := New(cfg)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookSolving = func(key, tier string) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	go func() {
+		resp, _ := postJSON(t, ts.URL, adpcmBody(96))
+		resp.Body.Close()
+	}()
+	<-entered
+	resp, data := postJSON(t, ts.URL, adpcmBody(128))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second solve at MaxInflight=1: HTTP %d (%s), want 503", resp.StatusCode, data)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(data, &e); err != nil || !strings.Contains(e.Error, "overloaded") {
+		t.Fatalf("rejection body: %s", data)
+	}
+	close(release)
+}
+
+func TestFaultServerCacheMiss(t *testing.T) {
+	ts := httptest.NewServer(New(testConfig()).Handler())
+	defer ts.Close()
+
+	allocate(t, ts.URL, adpcmBody(240)) // populate
+	fault.Set(fault.NewPlan().Always(fault.ServerCacheMiss))
+	defer fault.Set(nil)
+	solves0 := mSolves.Value()
+	again := allocate(t, ts.URL, adpcmBody(240))
+	if again.Cached {
+		t.Fatal("forced cache miss still served from cache")
+	}
+	if mSolves.Value() == solves0 {
+		t.Fatal("forced cache miss did not recompute")
+	}
+}
+
+// TestGracefulShutdownDrains exercises the real Serve/Shutdown path: an
+// in-flight solve finishes and is delivered while new requests are
+// refused.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := New(testConfig())
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookSolving = func(key, tier string) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	slow := make(chan *Response, 1)
+	slowErr := make(chan error, 1)
+	go func() {
+		resp, data := postJSON(t, url, adpcmBody(96))
+		if resp.StatusCode != 200 {
+			slowErr <- fmt.Errorf("in-flight request: HTTP %d: %s", resp.StatusCode, data)
+			return
+		}
+		var out Response
+		if err := json.Unmarshal(data, &out); err != nil {
+			slowErr <- err
+			return
+		}
+		slow <- &out
+	}()
+	<-entered
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+	// Draining flips synchronously in Shutdown before the listener
+	// closes; wait for either signal before asserting refusals.
+	for i := 0; i < 1000 && !s.Draining(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if !s.Draining() {
+		t.Fatal("server never started draining")
+	}
+	if resp, err := http.Post(url+"/v1/allocate", "application/json",
+		strings.NewReader(adpcmBody(128))); err == nil {
+		// The listener may already be closed (connection refused) or the
+		// handler may still answer — then it must be a 503.
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request during drain: HTTP %d, want 503 or refused", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	close(release)
+	select {
+	case err := <-slowErr:
+		t.Fatal(err)
+	case r := <-slow:
+		if r.Allocator != "casa" {
+			t.Fatalf("drained response wrong: %+v", r)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight solve was not drained")
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+func TestQuitEndpointAndHealthz(t *testing.T) {
+	s := New(testConfig())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs healthState
+	if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || hs.Status != "ok" || hs.MaxSolves != s.cfg.MaxInflight {
+		t.Fatalf("healthz: HTTP %d %+v", resp.StatusCode, hs)
+	}
+
+	// /metrics is a flat name→value JSON object.
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := metrics["casa_server_requests_total"]; !ok {
+		t.Fatal("/metrics missing casa_server_requests_total")
+	}
+
+	// GET /quitquitquit is refused; POST drains the daemon.
+	resp, err = http.Get(url + "/quitquitquit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /quitquitquit: HTTP %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(url+"/quitquitquit", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /quitquitquit: HTTP %d", resp.StatusCode)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve after quit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after /quitquitquit")
+	}
+	if !s.Draining() {
+		t.Fatal("server not draining after /quitquitquit")
+	}
+}
+
+func TestObsHistogramQuantile(t *testing.T) {
+	var h obs.Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(2000) // bucket [1024, 2048)
+	}
+	h.Observe(1 << 20)
+	if q := h.Quantile(0.5); q != 2048 {
+		t.Fatalf("p50 = %g, want 2048 (bucket upper bound)", q)
+	}
+	if q := h.Quantile(0.999); q < 1<<20 {
+		t.Fatalf("p99.9 = %g, want ≥ the outlier's bucket", q)
+	}
+}

@@ -1,0 +1,45 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution: the first caller (the leader) runs fn, every caller that
+// arrives while it is in flight blocks and receives the leader's result.
+// It is the minimal singleflight needed by the allocation handler; the
+// entry is removed once the leader finishes, so a later request with the
+// same key (a result-cache miss after eviction, say) recomputes.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// do runs fn under key, deduplicating concurrent callers. The returned
+// shared flag is true for followers that joined the leader's execution.
+func (g *flightGroup) do(key string, fn func() (*Response, error)) (resp *Response, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.resp, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.resp, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.resp, c.err, false
+}

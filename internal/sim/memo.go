@@ -181,6 +181,24 @@ func evictTracesLocked(keep *traceEntry) {
 	}
 }
 
+// Forget drops p's memoized profile and recorded trace, releasing the
+// memory they pin. The allocation server calls it when it evicts an
+// interned client program: the memo layers are keyed by *ir.Program, so
+// without an explicit release a long-running process would accumulate
+// one profile and one trace per distinct program it ever saw. An entry
+// whose computation is still in flight is left alone (its bytes are
+// accounted only on completion); a later Forget can retire it.
+func Forget(p *ir.Program) {
+	profileMemo.Delete(p)
+	traceMu.Lock()
+	if e, ok := traceCache[p]; ok && e.t != nil {
+		traceBytes -= e.t.SizeBytes()
+		delete(traceCache, p)
+		mStreamBytes.Set(int64(traceBytes))
+	}
+	traceMu.Unlock()
+}
+
 // StreamCacheDisabled reports whether CASA_STREAM_CACHE requests the
 // memoized trace path off ("0", "off" or "false"); the simulator then
 // re-executes programs for every run (still at line granularity — only

@@ -10,6 +10,22 @@
 set -eu
 
 out="${1:-BENCH_ci.json}"
+baseline="${BENCH_BASELINE:-BENCH_baseline.json}"
+
+# Fail fast, before minutes of benchmarking, if the committed baseline
+# the CI gate will compare against is missing or malformed (say, an
+# unknown section from a typo or a format from the future). benchdiff
+# -validate parses it strictly and names the problem.
+if [ ! -f "$baseline" ]; then
+  echo "bench.sh: baseline $baseline not found — regenerate it with:" >&2
+  echo "  scripts/bench.sh $baseline   (then commit it)" >&2
+  exit 1
+fi
+go run ./cmd/benchdiff -validate "$baseline" || {
+  echo "bench.sh: baseline $baseline failed validation (see above)" >&2
+  exit 1
+}
+
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
