@@ -13,13 +13,18 @@
 //
 //	benchdiff -from-load load_report.json -o BENCH_server.json
 //	    convert a cmd/casaload report into a results file carrying the
-//	    server section: p99 latency, 5xx and error counts
+//	    server section: p99 latency, 5xx and error counts, plus the
+//	    telemetry pair traced_requests_min / trace_store_drops taken
+//	    from the server-side counter deltas
 //
-//	benchdiff -validate BENCH_baseline.json
-//	    check that a results file parses and contains only known
-//	    sections; scripts/bench.sh runs it before spending minutes on
-//	    benchmarks so a stale or hand-mangled baseline fails fast with a
-//	    clear message instead of a confusing gate failure later
+//	benchdiff -validate FILE
+//	    check an artifact parses: a JSON results file must contain only
+//	    known sections; anything else is linted as a Prometheus/
+//	    OpenMetrics text exposition (the CI loadtest job runs it on the
+//	    scraped /metrics output). scripts/bench.sh runs it before
+//	    spending minutes on benchmarks so a stale or hand-mangled
+//	    baseline fails fast with a clear message instead of a confusing
+//	    gate failure later
 //
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json
 //	          [-threshold 20] [-stage-threshold 20] [-hit-drop 5]
@@ -34,7 +39,9 @@
 // The server section gates differently from the others: its baseline
 // values are committed ceilings (a p99 latency budget, zero 5xx), not
 // measurements, so the comparison is simply current > baseline — there
-// is no tolerance percentage to argue about.
+// is no tolerance percentage to argue about. Names ending in _min
+// invert the sense: they are committed floors (a smoke run must trace
+// at least this many requests), failing when current < baseline.
 //
 // Entries present in only one of the two files are reported but do not
 // fail the gate (new benchmarks need a baseline refresh, not a red
@@ -57,6 +64,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/obs/promexport"
 )
 
 // Results is the JSON schema of a benchmark results file (v2: the
@@ -196,15 +204,16 @@ func runFromReport(in, out string) error {
 // loadReport is the slice of the cmd/casaload report schema the server
 // gate consumes.
 type loadReport struct {
-	Requests int     `json:"requests"`
-	P99Ms    float64 `json:"p99_ms"`
-	HTTP5xx  int     `json:"http_5xx"`
-	Errors   int     `json:"errors"`
+	Requests      int                `json:"requests"`
+	P99Ms         float64            `json:"p99_ms"`
+	HTTP5xx       int                `json:"http_5xx"`
+	Errors        int                `json:"errors"`
+	ServerMetrics map[string]float64 `json:"server_metrics"`
 }
 
 // runFromLoad converts a casaload JSON report into a results file whose
-// server section is compared against the committed ceilings in the
-// baseline.
+// server section is compared against the committed ceilings (and _min
+// floors) in the baseline.
 func runFromLoad(in, out string) error {
 	data, err := os.ReadFile(in)
 	if err != nil {
@@ -221,14 +230,32 @@ func runFromLoad(in, out string) error {
 		"p99_ms":   rep.P99Ms,
 		"http_5xx": float64(rep.HTTP5xx),
 		"errors":   float64(rep.Errors),
+		// Telemetry health rides the same gate: a smoke run that traced
+		// nothing (sampling silently off) fails the floor, and dropped
+		// must-keep traces mean the retention ring is undersized for the
+		// failure volume — both regressions in observability, not load.
+		"traced_requests_min": rep.ServerMetrics["casa_server_traced_requests_total"],
+		"trace_store_drops":   rep.ServerMetrics["casa_server_trace_store_drops_total"],
 	}}
 	return writeResults(res, out)
 }
 
-// runValidate reads a results file strictly and reports what it holds —
-// the fail-fast check scripts/bench.sh runs before burning benchmark
-// minutes against a baseline that cannot gate anything.
+// runValidate checks an artifact parses: results JSON strictly, and
+// everything else as a Prometheus text exposition — the fail-fast check
+// scripts/bench.sh and the CI loadtest job run before trusting a file
+// to gate anything.
 func runValidate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if first := firstNonSpace(data); first != '{' {
+		if err := promexport.Lint(bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: ok (valid Prometheus text exposition)\n", path)
+		return nil
+	}
 	res, err := readResults(path)
 	if err != nil {
 		return err
@@ -240,6 +267,17 @@ func runValidate(path string) error {
 	fmt.Printf("%s: ok (%d ns/op, %d stage, %d memo, %d counter, %d server entries)\n",
 		path, len(res.NsPerOp), len(res.StageNs), len(res.MemoHitRate), len(res.Counters), len(res.Server))
 	return nil
+}
+
+func firstNonSpace(data []byte) byte {
+	for _, b := range data {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return b
+	}
+	return 0
 }
 
 // checkDegraded fails the gate when any report carries degraded cells or
@@ -386,11 +424,19 @@ func runCompare(basePath, curPath string, threshold, stageThreshold, hitDrop, co
 			delta := 100 * (c - b) / math.Max(b, 1)
 			return delta, delta > counterThreshold
 		}, "%+.1f%%")
-	regressed += compareSection("server", base.Server, cur.Server,
+	baseCeil, baseFloor := splitServerSection(base.Server)
+	curCeil, curFloor := splitServerSection(cur.Server)
+	regressed += compareSection("server", baseCeil, curCeil,
 		func(b, c float64) (float64, bool) {
 			// Baseline values are committed ceilings: any excess fails,
 			// with the headroom (negative = under budget) as the delta.
 			return c - b, c > b
+		}, "%+.1f")
+	regressed += compareSection("server min", baseFloor, curFloor,
+		func(b, c float64) (float64, bool) {
+			// _min names are committed floors: falling short fails, with
+			// the margin (positive = above the floor) as the delta.
+			return c - b, c < b
 		}, "%+.1f")
 
 	if regressed > 0 {
@@ -400,6 +446,21 @@ func runCompare(basePath, curPath string, threshold, stageThreshold, hitDrop, co
 	fmt.Printf("no regressions beyond thresholds (ns/op %.0f%%, stage %.0f%%, hit drop %.0fpp, counters %.0f%%)\n",
 		threshold, stageThreshold, hitDrop, counterThreshold)
 	return nil
+}
+
+// splitServerSection partitions a server map into ceiling-gated entries
+// and floor-gated entries (names ending in _min).
+func splitServerSection(m map[string]float64) (ceil, floor map[string]float64) {
+	ceil = make(map[string]float64, len(m))
+	floor = make(map[string]float64)
+	for name, v := range m {
+		if strings.HasSuffix(name, "_min") {
+			floor[name] = v
+		} else {
+			ceil[name] = v
+		}
+	}
+	return ceil, floor
 }
 
 // compareSection diffs one named map pair and returns the number of

@@ -269,3 +269,99 @@ func TestFromReportRejectsDegraded(t *testing.T) {
 		t.Errorf("clean report failed the gate: %v", err)
 	}
 }
+
+// TestFromLoadServerGate: a casaload report converts into a server
+// section carrying both the classic ceilings and the telemetry floor,
+// and the compare gate enforces each with the right sense.
+func TestFromLoadServerGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	load := write("load_report.json", `{"requests":500,"p99_ms":12.5,"http_5xx":0,"errors":0,
+		"server_metrics":{"casa_server_traced_requests_total":500,
+		                  "casa_server_trace_store_drops_total":0}}`)
+	cur := filepath.Join(dir, "cur.json")
+	if err := runFromLoad(load, cur); err != nil {
+		t.Fatalf("runFromLoad: %v", err)
+	}
+	res, err := readResults(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Server["p99_ms"] != 12.5 || res.Server["traced_requests_min"] != 500 ||
+		res.Server["trace_store_drops"] != 0 {
+		t.Fatalf("server section = %v", res.Server)
+	}
+
+	// Within every ceiling and above the floor: passes.
+	base := write("base.json",
+		`{"server":{"p99_ms":250,"http_5xx":0,"errors":0,"traced_requests_min":1,"trace_store_drops":0}}`)
+	if err := runCompare(base, cur, 20, 20, 5, 20); err != nil {
+		t.Errorf("healthy run failed the server gate: %v", err)
+	}
+
+	// Must-keep trace drops breach the ceiling.
+	dropping := write("dropping.json",
+		`{"server":{"p99_ms":12.5,"http_5xx":0,"errors":0,"traced_requests_min":500,"trace_store_drops":3}}`)
+	if err := runCompare(base, dropping, 20, 20, 5, 20); err == nil {
+		t.Error("trace-store drops passed the ceiling gate")
+	}
+
+	// Tracing silently off falls below the floor even though every
+	// ceiling holds.
+	untraced := write("untraced.json",
+		`{"server":{"p99_ms":12.5,"http_5xx":0,"errors":0,"traced_requests_min":0,"trace_store_drops":0}}`)
+	if err := runCompare(base, untraced, 20, 20, 5, 20); err == nil {
+		t.Error("zero traced requests passed the floor gate")
+	}
+
+	// A report covering zero requests is a broken run, not a baseline.
+	empty := write("empty.json", `{"requests":0}`)
+	if err := runFromLoad(empty, cur); err == nil {
+		t.Error("zero-request load report converted without error")
+	}
+}
+
+// TestValidateSniffsFormat: -validate accepts both artifact kinds the CI
+// jobs feed it — results JSON and scraped Prometheus text — and rejects
+// corrupt versions of each.
+func TestValidateSniffsFormat(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := write("results.json", `{"server":{"p99_ms":250}}`)
+	if err := runValidate(good); err != nil {
+		t.Errorf("valid results file rejected: %v", err)
+	}
+	unknown := write("unknown.json", `{"latency":{"p99_ms":250}}`)
+	if err := runValidate(unknown); err == nil {
+		t.Error("results file with unknown section accepted")
+	}
+
+	prom := write("metrics.prom", "# TYPE casa_server_requests counter\n"+
+		"casa_server_requests_total 41\n# EOF\n")
+	if err := runValidate(prom); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+	truncated := write("truncated.prom", "# TYPE casa_server_requests counter\n"+
+		"casa_server_requests_total 41\n")
+	if err := runValidate(truncated); err == nil {
+		t.Error("exposition without # EOF accepted")
+	}
+	garbage := write("garbage.txt", "not metrics at all\n")
+	if err := runValidate(garbage); err == nil {
+		t.Error("garbage text accepted")
+	}
+}

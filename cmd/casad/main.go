@@ -8,6 +8,7 @@
 //
 //	casad [-addr :8344] [-max-inflight N] [-exact-budget 5s]
 //	      [-bounded-budget 150ms] [-cache-entries 4096] [-trace]
+//	      [-log-level info] [-trace-sample 1.0] [-version]
 //
 // SIGINT/SIGTERM (or POST /quitquitquit) drain gracefully: in-flight
 // solves finish, new requests get 503.
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/slogx"
 	"repro/internal/server"
 )
 
@@ -35,12 +37,26 @@ func main() {
 		boundedBudget = flag.Duration("bounded-budget", 0, "solve budget under pressure (0 = 150ms default)")
 		cacheEntries  = flag.Int("cache-entries", 0, "result-cache capacity (0 = 4096 default)")
 		drainTimeout  = flag.Duration("drain-timeout", 0, "graceful-shutdown bound (0 = 30s default)")
-		traceFlag     = flag.Bool("trace", false,
+		logLevel      = flag.String("log-level", "info", "structured-log level: debug, info, warn, error or off")
+		traceSample   = flag.Float64("trace-sample", -1,
+			fmt.Sprintf("request-trace sampling rate in [0,1]; 0 disables tracing, negative defers to %s (default: trace everything)", server.EnvTraceSample))
+		versionFlag = flag.Bool("version", false, "print build information and exit")
+		traceFlag   = flag.Bool("trace", false,
 			fmt.Sprintf("log server progress to stderr (same as %s=1)", obs.EnvTrace))
 	)
 	flag.Parse()
+	if *versionFlag {
+		revision, goVersion := server.BuildInfo()
+		fmt.Printf("casad %s (%s)\n", revision, goVersion)
+		return
+	}
 	if *traceFlag {
 		obs.EnableTrace(os.Stderr)
+	}
+	logger, err := slogx.Setup(os.Stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casad:", err)
+		os.Exit(2)
 	}
 
 	cfg := server.Config{
@@ -49,10 +65,25 @@ func main() {
 		BoundedBudget: *boundedBudget,
 		CacheEntries:  *cacheEntries,
 		DrainTimeout:  *drainTimeout,
+		Logger:        logger,
+		TraceSample:   traceSampleConfig(*traceSample),
 	}
 	if err := serve(cfg, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "casad:", err)
 		os.Exit(1)
+	}
+}
+
+// traceSampleConfig maps the flag convention (negative = unset, 0 =
+// off) onto the Config convention (0 = unset, negative = off).
+func traceSampleConfig(flagVal float64) float64 {
+	switch {
+	case flagVal < 0:
+		return 0
+	case flagVal == 0:
+		return -1
+	default:
+		return flagVal
 	}
 }
 

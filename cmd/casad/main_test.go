@@ -79,3 +79,16 @@ func TestServeBadAddress(t *testing.T) {
 		t.Fatal("serve on a nonsense address did not fail")
 	}
 }
+
+func TestTraceSampleConfig(t *testing.T) {
+	cases := []struct{ flag, want float64 }{
+		{-1, 0},    // flag unset → Config unset (env decides)
+		{0, -1},    // flag 0 → explicit off
+		{0.5, 0.5}, // passthrough
+	}
+	for _, tc := range cases {
+		if got := traceSampleConfig(tc.flag); got != tc.want {
+			t.Fatalf("traceSampleConfig(%g) = %g, want %g", tc.flag, got, tc.want)
+		}
+	}
+}

@@ -13,13 +13,19 @@
 //
 //	casaload -addr http://127.0.0.1:8344 -n 2000 -c 32 \
 //	         [-mix cold:2,warm:5,dup:2,oversized:1] [-burst 8] \
-//	         [-o load_report.json] [-require-coalescing] [-max-5xx 0]
+//	         [-o load_report.json] [-require-coalescing] [-max-5xx 0] \
+//	         [-allow-shed] [-log-level off]
 //
 // Exit status is non-zero when transport errors or unexpected statuses
 // occurred, when 5xx responses exceed -max-5xx, or when
 // -require-coalescing is set and the server's singleflight hit counter
 // did not move — so the CI smoke fails on any 5xx and on a server that
-// stopped coalescing duplicates.
+// stopped coalescing duplicates. With -allow-shed, 503s are part of the
+// experiment (forced-overload runs) and don't count as unexpected.
+//
+// Every request carries a generated X-Request-Id (load-<seed>-<seq>),
+// so a failure in the report names the exact server-side traces to pull
+// from /debug/traces/{id}.
 package main
 
 import (
@@ -34,11 +40,15 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs/slogx"
 )
 
 func main() {
 	var opts options
+	var logLevel string
 	flag.StringVar(&opts.addr, "addr", "http://127.0.0.1:8344", "casad base URL")
 	flag.IntVar(&opts.n, "n", 2000, "total requests")
 	flag.IntVar(&opts.c, "c", 32, "concurrent workers")
@@ -50,8 +60,14 @@ func main() {
 	flag.BoolVar(&opts.requireCoalescing, "require-coalescing", false,
 		"fail unless the server's singleflight hit counter moved")
 	flag.IntVar(&opts.max5xx, "max-5xx", 0, "tolerated 5xx responses")
+	flag.BoolVar(&opts.allowShed, "allow-shed", false, "treat 503 sheds as expected (overload experiments)")
 	flag.DurationVar(&opts.timeout, "timeout", 60*time.Second, "per-request timeout")
+	flag.StringVar(&logLevel, "log-level", "off", "structured-log level: debug, info, warn, error or off")
 	flag.Parse()
+	if _, err := slogx.Setup(os.Stderr, logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "casaload:", err)
+		os.Exit(2)
+	}
 
 	rep, err := run(opts)
 	if rep != nil {
@@ -78,6 +94,7 @@ type options struct {
 	out               string
 	requireCoalescing bool
 	max5xx            int
+	allowShed         bool
 	timeout           time.Duration
 }
 
@@ -100,6 +117,7 @@ type job struct {
 // sample is one completed request.
 type sample struct {
 	class     string
+	id        string // the X-Request-Id sent with the request
 	status    int
 	dur       time.Duration
 	cached    bool
@@ -107,6 +125,28 @@ type sample struct {
 	degraded  bool
 	err       error
 	expected  bool // status matched the job's expectation
+}
+
+// outcome classifies the sample the way the server's telemetry does, so
+// the per-outcome percentiles in the report line up with the tiers and
+// trace outcomes on the casad side.
+func (s *sample) outcome() string {
+	switch {
+	case s.err != nil:
+		return "error"
+	case s.status == http.StatusServiceUnavailable:
+		return "shed"
+	case s.status >= 400:
+		return "invalid"
+	case s.degraded:
+		return "degraded"
+	case s.cached:
+		return "hit"
+	case s.coalesced:
+		return "coalesced"
+	default:
+		return "cold"
+	}
 }
 
 // reqBody mirrors the casad request schema (kept local so the load
@@ -241,15 +281,16 @@ func buildJobs(opts options) ([]job, error) {
 	return jobs, nil
 }
 
-// fetchMetrics reads the server's flat JSON metric snapshot.
+// fetchMetrics reads the server's flat JSON metric snapshot
+// (/metrics.json; the bare /metrics endpoint is Prometheus text).
 func fetchMetrics(client *http.Client, addr string) (map[string]float64, error) {
-	resp, err := client.Get(addr + "/metrics")
+	resp, err := client.Get(addr + "/metrics.json")
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != 200 {
-		return nil, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+		return nil, fmt.Errorf("/metrics.json: HTTP %d", resp.StatusCode)
 	}
 	var m map[string]float64
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
@@ -282,13 +323,15 @@ func run(opts options) (*Report, error) {
 	samples := make([]sample, 0, len(jobs))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	var seq atomic.Int64
 	start := time.Now()
 	for w := 0; w < opts.c; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range queue {
-				s := fire(client, opts.addr, j)
+				id := fmt.Sprintf("load-%d-%06d", opts.seed, seq.Add(1))
+				s := fire(client, opts, j, id)
 				mu.Lock()
 				samples = append(samples, s)
 				mu.Unlock()
@@ -319,11 +362,19 @@ func run(opts options) (*Report, error) {
 	return rep, nil
 }
 
-// fire sends one request and classifies the outcome.
-func fire(client *http.Client, addr string, j job) sample {
-	s := sample{class: j.class}
+// fire sends one request and classifies the outcome. The request ID it
+// sends is echoed into the sample so failures are traceable server-side.
+func fire(client *http.Client, opts options, j job, id string) sample {
+	s := sample{class: j.class, id: id}
+	req, err := http.NewRequest(http.MethodPost, opts.addr+"/v1/allocate", bytes.NewReader(j.body))
+	if err != nil {
+		s.err = err
+		return s
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", id)
 	t0 := time.Now()
-	resp, err := client.Post(addr+"/v1/allocate", "application/json", bytes.NewReader(j.body))
+	resp, err := client.Do(req)
 	s.dur = time.Since(t0)
 	if err != nil {
 		s.err = err
@@ -343,9 +394,12 @@ func fire(client *http.Client, addr string, j job) sample {
 		}
 		s.cached, s.coalesced, s.degraded = body.Cached, body.Coalesced, body.Degraded
 	}
-	if j.wantCode != 0 {
+	switch {
+	case j.wantCode != 0:
 		s.expected = s.status == j.wantCode
-	} else {
+	case opts.allowShed && s.status == http.StatusServiceUnavailable:
+		s.expected = true
+	default:
 		s.expected = s.status == 200
 	}
 	return s
@@ -387,7 +441,20 @@ type Report struct {
 	ServerMetrics map[string]float64 `json:"server_metrics"`
 
 	ByClass map[string]*ClassStats `json:"by_class"`
+	// ByOutcome breaks latency down the way the server classifies
+	// requests (hit/cold/coalesced/degraded/shed/invalid/error) — a
+	// cache hit and a cold solve in the same schedule class have wildly
+	// different latency, and mixing them hides regressions in either.
+	ByOutcome map[string]*ClassStats `json:"by_outcome"`
+	// FailedIDs lists the X-Request-Ids of failed or unexpected-status
+	// requests (bounded), naming the server-side traces to inspect at
+	// /debug/traces/{id}.
+	FailedIDs []string `json:"failed_ids,omitempty"`
 }
+
+// maxFailedIDs bounds the report's failure list; the full count is in
+// Errors.
+const maxFailedIDs = 20
 
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
@@ -411,6 +478,7 @@ func summarize(opts options, samples []sample, wall time.Duration,
 		DurationMS:    float64(wall.Nanoseconds()) / 1e6,
 		Status:        map[string]int{},
 		ByClass:       map[string]*ClassStats{},
+		ByOutcome:     map[string]*ClassStats{},
 		ServerMetrics: map[string]float64{},
 	}
 	if wall > 0 {
@@ -418,39 +486,56 @@ func summarize(opts options, samples []sample, wall time.Duration,
 	}
 	all := make([]float64, 0, len(samples))
 	byClass := map[string][]float64{}
-	for _, s := range samples {
+	byOutcome := map[string][]float64{}
+	for i := range samples {
+		s := &samples[i]
 		ms := float64(s.dur.Nanoseconds()) / 1e6
 		cs := rep.ByClass[s.class]
 		if cs == nil {
 			cs = &ClassStats{}
 			rep.ByClass[s.class] = cs
 		}
+		ocs := rep.ByOutcome[s.outcome()]
+		if ocs == nil {
+			ocs = &ClassStats{}
+			rep.ByOutcome[s.outcome()] = ocs
+		}
 		cs.Count++
+		ocs.Count++
+		failed := false
 		if s.err != nil {
 			rep.Errors++
 			cs.Errors++
+			ocs.Errors++
 			rep.Status["error"]++
-			continue
+			failed = true
+		} else {
+			rep.Status[strconv.Itoa(s.status)]++
+			if s.status >= 500 {
+				rep.HTTP5xx++
+			}
+			if !s.expected {
+				rep.Errors++
+				cs.Errors++
+				ocs.Errors++
+				failed = true
+			}
+			if s.degraded {
+				rep.Degraded++
+			}
+			if s.cached {
+				rep.Cached++
+			}
+			if s.coalesced {
+				rep.Coalesced++
+			}
+			all = append(all, ms)
+			byClass[s.class] = append(byClass[s.class], ms)
+			byOutcome[s.outcome()] = append(byOutcome[s.outcome()], ms)
 		}
-		rep.Status[strconv.Itoa(s.status)]++
-		if s.status >= 500 {
-			rep.HTTP5xx++
+		if failed && len(rep.FailedIDs) < maxFailedIDs {
+			rep.FailedIDs = append(rep.FailedIDs, s.id)
 		}
-		if !s.expected {
-			rep.Errors++
-			cs.Errors++
-		}
-		if s.degraded {
-			rep.Degraded++
-		}
-		if s.cached {
-			rep.Cached++
-		}
-		if s.coalesced {
-			rep.Coalesced++
-		}
-		all = append(all, ms)
-		byClass[s.class] = append(byClass[s.class], ms)
 	}
 	sort.Float64s(all)
 	rep.P50Ms = percentile(all, 0.50)
@@ -463,6 +548,11 @@ func summarize(opts options, samples []sample, wall time.Duration,
 		sort.Float64s(durs)
 		rep.ByClass[cl].P50Ms = percentile(durs, 0.50)
 		rep.ByClass[cl].P99Ms = percentile(durs, 0.99)
+	}
+	for oc, durs := range byOutcome {
+		sort.Float64s(durs)
+		rep.ByOutcome[oc].P50Ms = percentile(durs, 0.50)
+		rep.ByOutcome[oc].P99Ms = percentile(durs, 0.99)
 	}
 	for name, v := range after {
 		if !strings.HasPrefix(name, "casa_server_") {
@@ -493,6 +583,20 @@ func (r *Report) print(w *os.File) {
 		cs := r.ByClass[cl]
 		fmt.Fprintf(w, "  %-9s n=%-5d p50 %8.1fms  p99 %8.1fms  errors %d\n",
 			cl, cs.Count, cs.P50Ms, cs.P99Ms, cs.Errors)
+	}
+	outcomes := make([]string, 0, len(r.ByOutcome))
+	for oc := range r.ByOutcome {
+		outcomes = append(outcomes, oc)
+	}
+	sort.Strings(outcomes)
+	for _, oc := range outcomes {
+		cs := r.ByOutcome[oc]
+		fmt.Fprintf(w, "  outcome %-9s n=%-5d p50 %8.1fms  p99 %8.1fms\n",
+			oc, cs.Count, cs.P50Ms, cs.P99Ms)
+	}
+	if len(r.FailedIDs) > 0 {
+		fmt.Fprintf(w, "failed request IDs (server traces at /debug/traces/{id}): %s\n",
+			strings.Join(r.FailedIDs, ", "))
 	}
 }
 

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -125,6 +127,57 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 	if rep.P99Ms < rep.P50Ms || rep.MaxMs < rep.P99Ms {
 		t.Fatalf("inconsistent percentiles: %+v", rep)
+	}
+	// Outcome-class percentiles: warm repeats hit, colds solve, dup
+	// bursts coalesce, oversized requests are invalid.
+	for _, oc := range []string{"hit", "cold", "coalesced", "invalid"} {
+		cs := rep.ByOutcome[oc]
+		if cs == nil || cs.Count == 0 {
+			t.Fatalf("outcome %q absent from report: %v", oc, rep.ByOutcome)
+		}
+	}
+	if hit, cold := rep.ByOutcome["hit"], rep.ByOutcome["cold"]; hit.P50Ms > cold.P50Ms {
+		t.Fatalf("cache hits slower than cold solves: hit p50 %.2fms, cold p50 %.2fms",
+			hit.P50Ms, cold.P50Ms)
+	}
+	if len(rep.FailedIDs) != 0 {
+		t.Fatalf("clean run reported failed IDs: %v", rep.FailedIDs)
+	}
+}
+
+// TestFailedIDsNameRetryableTraces: when requests fail, the report lists
+// the generated X-Request-Ids so operators can pull the matching traces.
+func TestFailedIDsNameRetryableTraces(t *testing.T) {
+	s := server.New(server.Config{MaxInflight: 8})
+	ts := httptest.NewServer(s.Handler())
+	// Shut the server down so every request is refused with 503.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	opts := options{addr: ts.URL, n: 6, c: 2, burst: 1,
+		mix: "warm:1", workloads: "adpcm", timeout: 5 * time.Second}
+	rep, err := run(opts)
+	if err == nil {
+		t.Fatal("all-503 run reported success")
+	}
+	if len(rep.FailedIDs) == 0 {
+		t.Fatalf("failed run listed no request IDs: %+v", rep)
+	}
+	for _, id := range rep.FailedIDs {
+		if !strings.HasPrefix(id, "load-0-") {
+			t.Fatalf("failed ID %q not in load-<seed>-<seq> form", id)
+		}
+	}
+	// The same schedule with -allow-shed treats the 503s as expected
+	// (the 5xx budget must still cover them).
+	opts.allowShed = true
+	opts.max5xx = 100
+	if rep2, err := run(opts); err != nil {
+		t.Fatalf("allow-shed run failed: %v (%+v)", err, rep2)
+	} else if rep2.ByOutcome["shed"] == nil || rep2.ByOutcome["shed"].Count != 6 {
+		t.Fatalf("shed outcomes not classified: %+v", rep2.ByOutcome)
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/slogx"
 	"repro/internal/parallel"
 )
 
@@ -88,10 +89,15 @@ func main() {
 	traceFlag := flag.Bool("trace", false,
 		fmt.Sprintf("log pipeline and solver progress to stderr (same as %s=1)", obs.EnvTrace))
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+	logLevel := flag.String("log-level", "off", "structured-log level: debug, info, warn, error or off")
 	flag.Parse()
 
 	if *traceFlag {
 		obs.EnableTrace(os.Stderr)
+	}
+	if _, err := slogx.Setup(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 	if *pprofAddr != "" {
 		go func() {

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// The quantile estimator's contract at the edges: no observations, a
+// degenerate all-in-one-bucket distribution, q=1.0, and the overflow
+// bucket.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	t.Run("no observations", func(t *testing.T) {
+		var h Histogram
+		for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Fatalf("Quantile(%g) on empty histogram = %g, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("all in one bucket", func(t *testing.T) {
+		var h Histogram
+		for i := 0; i < 1000; i++ {
+			h.Observe(1500) // bucket [1024, 2048)
+		}
+		for _, q := range []float64{0.001, 0.5, 0.999, 1} {
+			if got := h.Quantile(q); got != 2048 {
+				t.Fatalf("Quantile(%g) = %g, want 2048 (the only bucket's upper bound)", q, got)
+			}
+		}
+	})
+
+	t.Run("q=1 lands in the last occupied bucket", func(t *testing.T) {
+		var h Histogram
+		h.Observe(100)     // first bucket
+		h.Observe(5000)    // [4096, 8192)
+		h.Observe(1 << 20) // [1<<20, 1<<21)
+		if got := h.Quantile(1); got != 1<<21 {
+			t.Fatalf("Quantile(1) = %g, want %d", got, 1<<21)
+		}
+		if got := h.Quantile(0.34); got != 8192 {
+			t.Fatalf("Quantile(0.34) = %g, want 8192", got)
+		}
+	})
+
+	t.Run("overflow bucket", func(t *testing.T) {
+		var h Histogram
+		huge := int64(1) << 62 // beyond the last bounded bucket
+		h.Observe(huge)
+		got := h.Quantile(0.5)
+		lower := float64(int64(1) << (histBuckets - 2 + bucketShift))
+		if got < lower {
+			t.Fatalf("overflow-bucket quantile %g below the bucket's lower edge %g", got, lower)
+		}
+		if math.IsInf(got, 1) || math.IsNaN(got) {
+			t.Fatalf("overflow-bucket quantile not finite: %g", got)
+		}
+	})
+
+	t.Run("tiny q still returns the first occupied bucket", func(t *testing.T) {
+		var h Histogram
+		h.Observe(10)
+		if got := h.Quantile(1e-9); got != 1024 {
+			t.Fatalf("Quantile(1e-9) = %g, want 1024", got)
+		}
+	})
+}
+
+// Quantile must be safe (and sane) while Observe runs concurrently.
+func TestHistogramConcurrentObserveDuringQuantile(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	started := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := int64(100 << g)
+			h.Observe(v)
+			started <- struct{}{}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(v)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-started
+	}
+	for i := 0; i < 2000; i++ {
+		q := h.Quantile(0.99)
+		if q < 0 || math.IsNaN(q) {
+			t.Errorf("concurrent Quantile returned %g", q)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if h.Quantile(1) == 0 {
+		t.Fatal("post-race Quantile(1) = 0 with observations present")
+	}
+}
+
+// The bucket-export path promexport renders from.
+func TestHistogramBucketExport(t *testing.T) {
+	var h Histogram
+	h.Observe(100)                         // bucket 0: < 1024
+	h.Observe(1024)                        // bucket 1: [1024, 2048)
+	h.ObserveWithExemplar(3000, "req-abc") // bucket 2: [2048, 4096)
+	h.ObserveWithExemplar(3500, "req-def") // bucket 2 again: replaces the exemplar
+
+	counts := h.BucketCounts()
+	if len(counts) != HistogramBuckets {
+		t.Fatalf("BucketCounts returned %d buckets, want %d", len(counts), HistogramBuckets)
+	}
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 2 {
+		t.Fatalf("bucket counts = %v...", counts[:4])
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket total %d != Count %d", total, h.Count())
+	}
+
+	if BucketUpper(0) != 1024 || BucketUpper(1) != 2048 {
+		t.Fatalf("BucketUpper bounds wrong: %d, %d", BucketUpper(0), BucketUpper(1))
+	}
+	if BucketUpper(HistogramBuckets-1) != math.MaxInt64 {
+		t.Fatal("last bucket must be unbounded")
+	}
+	if BucketUpper(HistogramBuckets+5) != math.MaxInt64 {
+		t.Fatal("out-of-range bucket index must clamp to unbounded")
+	}
+
+	ex := h.BucketExemplar(2)
+	if ex == nil || ex.TraceID != "req-def" || ex.Value != 3500 {
+		t.Fatalf("bucket 2 exemplar = %+v, want the latest (req-def, 3500)", ex)
+	}
+	if h.BucketExemplar(0) != nil {
+		t.Fatal("plain Observe must not create exemplars")
+	}
+	if h.BucketExemplar(-1) != nil || h.BucketExemplar(HistogramBuckets) != nil {
+		t.Fatal("out-of-range exemplar lookup must return nil")
+	}
+	// An empty trace ID observes without storing an exemplar.
+	h.ObserveWithExemplar(100, "")
+	if h.BucketExemplar(0) != nil {
+		t.Fatal("empty trace ID stored an exemplar")
+	}
+}

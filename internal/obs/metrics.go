@@ -44,6 +44,9 @@ type Histogram struct {
 	sum   atomic.Int64
 	// buckets[i] counts observations with value < 1<<(i+bucketShift).
 	buckets [histBuckets]atomic.Int64
+	// exemplars[i] is the most recent exemplar observed into bucket i
+	// (nil when the bucket never saw an exemplar-carrying observation).
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
 }
 
 const (
@@ -51,15 +54,78 @@ const (
 	bucketShift = 10 // first bucket: < 1024
 )
 
-// Observe records one value (e.g. nanoseconds).
-func (h *Histogram) Observe(v int64) {
-	h.count.Add(1)
-	h.sum.Add(v)
+// HistogramBuckets is the number of buckets every Histogram carries;
+// BucketCounts returns exactly this many entries.
+const HistogramBuckets = histBuckets
+
+// BucketUpper returns the exclusive upper bound of bucket i in the
+// histogram's native unit. The last bucket is unbounded and returns
+// math.MaxInt64 (exporters render it as +Inf).
+func BucketUpper(i int) int64 {
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return 1 << (i + bucketShift)
+}
+
+// bucketFor maps a value to its bucket index.
+func bucketFor(v int64) int {
 	b := 0
 	for b < histBuckets-1 && v >= 1<<(b+bucketShift) {
 		b++
 	}
+	return b
+}
+
+// Exemplar links one observed value to the trace that produced it, so a
+// Prometheus histogram bucket can point at a retained request trace.
+type Exemplar struct {
+	// Value is the observed value, in the histogram's native unit.
+	Value int64
+	// TraceID identifies the trace (a casad request ID).
+	TraceID string
+}
+
+// Observe records one value (e.g. nanoseconds).
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketFor(v)].Add(1)
+}
+
+// ObserveWithExemplar records v and remembers (v, traceID) as the
+// bucket's exemplar, replacing any previous one. Callers pass the IDs of
+// traces they actually retained, so every exported exemplar is
+// resolvable at /debug/traces/{id}.
+func (h *Histogram) ObserveWithExemplar(v int64, traceID string) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	b := bucketFor(v)
 	h.buckets[b].Add(1)
+	if traceID != "" {
+		h.exemplars[b].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+}
+
+// BucketCounts returns a point-in-time copy of the per-bucket counts
+// (not cumulative; see BucketUpper for the bucket bounds). Concurrent
+// Observes may land between reads, so exporters should derive totals
+// from the returned slice rather than mixing it with Count.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, histBuckets)
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// BucketExemplar returns bucket i's exemplar, or nil when none was ever
+// observed.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= histBuckets {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the number of observations.
@@ -163,6 +229,60 @@ func (r *Registry) GetHistogram(name string) *Histogram {
 func GetCounter(name string) *Counter     { return Default.GetCounter(name) }
 func GetGauge(name string) *Gauge         { return Default.GetGauge(name) }
 func GetHistogram(name string) *Histogram { return Default.GetHistogram(name) }
+
+// sortedKeys returns the map's keys in name order.
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EachCounter calls fn for every registered counter in name order. The
+// registry lock is not held during the callbacks; metrics registered
+// concurrently may or may not be visited.
+func (r *Registry) EachCounter(fn func(name string, c *Counter)) {
+	r.mu.Lock()
+	names := sortedKeys(r.counters)
+	cs := make([]*Counter, len(names))
+	for i, n := range names {
+		cs[i] = r.counters[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		fn(n, cs[i])
+	}
+}
+
+// EachGauge calls fn for every registered gauge in name order.
+func (r *Registry) EachGauge(fn func(name string, g *Gauge)) {
+	r.mu.Lock()
+	names := sortedKeys(r.gauges)
+	gs := make([]*Gauge, len(names))
+	for i, n := range names {
+		gs[i] = r.gauges[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		fn(n, gs[i])
+	}
+}
+
+// EachHistogram calls fn for every registered histogram in name order.
+func (r *Registry) EachHistogram(fn func(name string, h *Histogram)) {
+	r.mu.Lock()
+	names := sortedKeys(r.hists)
+	hs := make([]*Histogram, len(names))
+	for i, n := range names {
+		hs[i] = r.hists[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		fn(n, hs[i])
+	}
+}
 
 // Snapshot is a point-in-time reading of every metric: counters and
 // gauges under their own name, histograms as name_sum / name_count.

@@ -100,6 +100,18 @@ func SpanFrom(ctx context.Context) *Span {
 	return s
 }
 
+// WithSpan returns a context carrying sp as the innermost span, so spans
+// started from it become sp's children. It is how a server detaches a
+// solve from the request's cancellation (context.Background()) while
+// keeping its spans parented under the request's tree; sp must belong to
+// the tracer the context carries.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
 // heapAllocBytes reads the cumulative heap allocation counter. Unlike
 // runtime.ReadMemStats it does not stop the world, so it is cheap
 // enough to sample per span; it is only consulted while tracing.

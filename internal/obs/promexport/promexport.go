@@ -1,0 +1,377 @@
+// Package promexport renders an internal/obs metrics registry in the
+// Prometheus/OpenMetrics text exposition format, and lints such output.
+//
+// The mapping from the flat registry:
+//
+//   - Counters keep their registered name (all end in _total by
+//     convention); the TYPE line names the metric family without the
+//     suffix, as OpenMetrics requires.
+//   - Gauges export verbatim.
+//   - Histograms export with real cumulative buckets derived from
+//     obs.Histogram's power-of-two buckets. A histogram registered with
+//     an `_ns` suffix (the repository convention for nanosecond
+//     latencies) is renamed `<base>_duration` and rescaled to seconds —
+//     the Prometheus-native unit — so casa_server_request_ns becomes the
+//     casa_server_request_duration histogram. Bucket exemplars carry the
+//     request/trace ID that produced them (`# {trace_id="..."} v`), so a
+//     latency bucket links straight to a retained /debug/traces entry.
+//
+// Lint parses the exposition back and checks the structural invariants
+// (declared types, cumulative monotone buckets ending at +Inf, count
+// consistency, well-formed exemplars, terminating # EOF). benchdiff
+// -validate uses it so CI fails on unparseable /metrics output instead
+// of shipping it to a real scraper first.
+package promexport
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// ContentType is the HTTP Content-Type of the exposition (OpenMetrics:
+// the text format plus exemplars).
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteRegistry renders every metric in r, ending with the OpenMetrics
+// EOF marker.
+func WriteRegistry(w io.Writer, r *obs.Registry) error {
+	var b bytes.Buffer
+	r.EachCounter(func(name string, c *obs.Counter) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n", strings.TrimSuffix(name, "_total"))
+		fmt.Fprintf(&b, "%s %s\n", name, formatValue(float64(c.Value())))
+	})
+	r.EachGauge(func(name string, g *obs.Gauge) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(&b, "%s %s\n", name, formatValue(float64(g.Value())))
+	})
+	r.EachHistogram(func(name string, h *obs.Histogram) {
+		writeHistogram(&b, name, h)
+	})
+	b.WriteString("# EOF\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// histFamily maps a registry histogram name to its exported family name
+// and the value scale factor applied to bounds and sums.
+func histFamily(name string) (fam string, scale float64) {
+	if base, ok := strings.CutSuffix(name, "_ns"); ok {
+		return base + "_duration", 1e-9 // nanoseconds → seconds
+	}
+	return name, 1
+}
+
+func writeHistogram(b *bytes.Buffer, name string, h *obs.Histogram) {
+	fam, scale := histFamily(name)
+	counts := h.BucketCounts()
+	fmt.Fprintf(b, "# TYPE %s histogram\n", fam)
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		last := i == len(counts)-1
+		// Empty buckets are legal to omit (the le set is arbitrary);
+		// keep the output compact but always emit the +Inf bucket.
+		if c == 0 && !last {
+			continue
+		}
+		le := "+Inf"
+		if !last {
+			le = formatValue(float64(obs.BucketUpper(i)) * scale)
+		}
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d", fam, le, cum)
+		if ex := h.BucketExemplar(i); ex != nil {
+			fmt.Fprintf(b, " # {trace_id=%q} %s", ex.TraceID, formatValue(float64(ex.Value)*scale))
+		}
+		b.WriteByte('\n')
+	}
+	// Totals derive from the same bucket snapshot so the exposition is
+	// internally consistent even while observations land concurrently.
+	fmt.Fprintf(b, "%s_sum %s\n", fam, formatValue(float64(h.Sum())*scale))
+	fmt.Fprintf(b, "%s_count %d\n", fam, cum)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histState tracks one histogram family while linting.
+type histState struct {
+	lastCum  float64
+	lastLe   float64
+	sawInf   bool
+	infVal   float64
+	countVal float64
+	sawCount bool
+}
+
+// Lint strictly parses a text exposition, returning the first
+// structural error with its line number.
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	kinds := map[string]string{}
+	hists := map[string]*histState{}
+	sawEOF := false
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if sawEOF {
+			return fmt.Errorf("line %d: content after # EOF", ln)
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, kinds); err != nil {
+				return fmt.Errorf("line %d: %w", ln, err)
+			}
+			if line == "# EOF" {
+				sawEOF = true
+			}
+			continue
+		}
+		if err := lintSample(line, kinds, hists); err != nil {
+			return fmt.Errorf("line %d: %w", ln, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawEOF {
+		return fmt.Errorf("missing terminating # EOF")
+	}
+	for fam, hs := range hists {
+		if !hs.sawInf {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", fam)
+		}
+		if hs.sawCount && hs.countVal != hs.infVal {
+			return fmt.Errorf("histogram %s: %s_count %g != +Inf bucket %g",
+				fam, fam, hs.countVal, hs.infVal)
+		}
+	}
+	return nil
+}
+
+func lintComment(line string, kinds map[string]string) error {
+	switch {
+	case line == "# EOF":
+		return nil
+	case strings.HasPrefix(line, "# HELP "):
+		return nil
+	case strings.HasPrefix(line, "# TYPE "):
+		parts := strings.Fields(line)
+		if len(parts) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, kind := parts[2], parts[3]
+		switch kind {
+		case "counter", "gauge", "histogram":
+		default:
+			return fmt.Errorf("unknown metric type %q", kind)
+		}
+		if _, dup := kinds[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		kinds[name] = kind
+		return nil
+	default:
+		return fmt.Errorf("unrecognized comment %q", line)
+	}
+}
+
+func lintSample(line string, kinds map[string]string, hists map[string]*histState) error {
+	name, labels, rest, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return fmt.Errorf("sample %s has no value", name)
+	}
+	val, err := parseNumber(fields[0])
+	if err != nil {
+		return fmt.Errorf("sample %s: bad value %q", name, fields[0])
+	}
+	if len(fields) > 1 {
+		if fields[1] != "#" {
+			return fmt.Errorf("sample %s: trailing tokens %q", name, strings.Join(fields[1:], " "))
+		}
+		if err := lintExemplar(strings.Join(fields[2:], " ")); err != nil {
+			return fmt.Errorf("sample %s: %w", name, err)
+		}
+	}
+
+	// Resolve the sample to a declared family.
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok || kinds[base] != "histogram" {
+			continue
+		}
+		hs := hists[base]
+		if hs == nil {
+			hs = &histState{lastLe: math.Inf(-1)}
+			hists[base] = hs
+		}
+		switch suf {
+		case "_bucket":
+			leStr, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket %s missing le label", name)
+			}
+			le, err := parseNumber(leStr)
+			if err != nil {
+				return fmt.Errorf("bucket %s: bad le %q", name, leStr)
+			}
+			if le <= hs.lastLe {
+				return fmt.Errorf("histogram %s: le %g not increasing (previous %g)", base, le, hs.lastLe)
+			}
+			if val < hs.lastCum {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative (%g after %g)", base, val, hs.lastCum)
+			}
+			hs.lastLe, hs.lastCum = le, val
+			if math.IsInf(le, 1) {
+				hs.sawInf, hs.infVal = true, val
+			}
+		case "_count":
+			hs.sawCount, hs.countVal = true, val
+		}
+		return nil
+	}
+	if kind, ok := kinds[name]; ok {
+		if kind == "histogram" {
+			return fmt.Errorf("histogram family %s sampled without _bucket/_sum/_count suffix", name)
+		}
+		if kind == "counter" && val < 0 {
+			return fmt.Errorf("counter %s is negative (%g)", name, val)
+		}
+		return nil
+	}
+	if base, ok := strings.CutSuffix(name, "_total"); ok && kinds[base] == "counter" {
+		if val < 0 {
+			return fmt.Errorf("counter %s is negative (%g)", name, val)
+		}
+		return nil
+	}
+	return fmt.Errorf("sample %s has no TYPE declaration", name)
+}
+
+// splitSample breaks "name{k=\"v\",...} value ..." into parts; the label
+// set is empty when there is no brace block.
+func splitSample(line string) (name string, labels map[string]string, rest string, err error) {
+	labels = map[string]string{}
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		name = line[:brace]
+		end := closingBrace(line, brace)
+		if end < 0 {
+			return "", nil, "", fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := parseLabels(line[brace+1:end], labels); err != nil {
+			return "", nil, "", err
+		}
+		rest = strings.TrimSpace(line[end+1:])
+		return name, labels, rest, nil
+	}
+	if space < 0 {
+		return "", nil, "", fmt.Errorf("sample line %q has no value", line)
+	}
+	return line[:space], labels, strings.TrimSpace(line[space+1:]), nil
+}
+
+// closingBrace finds the '}' matching the one at open, skipping quoted
+// strings (label values may contain '}').
+func closingBrace(s string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+func parseLabels(s string, out map[string]string) error {
+	s = strings.TrimSpace(s)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		v := strings.TrimSpace(s[eq+1:])
+		if len(v) < 2 || v[0] != '"' {
+			return fmt.Errorf("label %s value not quoted", key)
+		}
+		end := 1
+		for end < len(v) && v[end] != '"' {
+			if v[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(v) {
+			return fmt.Errorf("label %s value unterminated", key)
+		}
+		val, err := strconv.Unquote(v[:end+1])
+		if err != nil {
+			return fmt.Errorf("label %s: %v", key, err)
+		}
+		out[key] = val
+		s = strings.TrimPrefix(strings.TrimSpace(v[end+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+// lintExemplar validates `{label="v",...} value [timestamp]`.
+func lintExemplar(s string) error {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") {
+		return fmt.Errorf("exemplar must start with a label block, got %q", s)
+	}
+	end := closingBrace(s, 0)
+	if end < 0 {
+		return fmt.Errorf("unterminated exemplar labels in %q", s)
+	}
+	labels := map[string]string{}
+	if err := parseLabels(s[1:end], labels); err != nil {
+		return fmt.Errorf("exemplar labels: %w", err)
+	}
+	if len(labels) == 0 {
+		return fmt.Errorf("exemplar has no labels")
+	}
+	fields := strings.Fields(s[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("exemplar needs a value (and optional timestamp), got %q", s[end+1:])
+	}
+	for _, f := range fields {
+		if _, err := parseNumber(f); err != nil {
+			return fmt.Errorf("exemplar number %q: %v", f, err)
+		}
+	}
+	return nil
+}
+
+func parseNumber(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,179 @@
+package promexport
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func render(t *testing.T, r *obs.Registry) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := WriteRegistry(&b, r); err != nil {
+		t.Fatalf("WriteRegistry: %v", err)
+	}
+	return b.String()
+}
+
+func TestWriteRegistryCountersAndGauges(t *testing.T) {
+	r := obs.NewRegistry()
+	r.GetCounter("casa_server_requests_total").Add(42)
+	r.GetGauge("casa_server_inflight").Set(3)
+	out := render(t, r)
+
+	for _, want := range []string{
+		"# TYPE casa_server_requests counter\n",
+		"casa_server_requests_total 42\n",
+		"# TYPE casa_server_inflight gauge\n",
+		"casa_server_inflight 3\n",
+		"# EOF\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("exposition does not end with # EOF:\n%s", out)
+	}
+}
+
+func TestWriteRegistryHistogramSeconds(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.GetHistogram("casa_server_request_ns")
+	h.Observe(500)                                 // bucket 0 (< 1024 ns)
+	h.ObserveWithExemplar(1_500_000, "req-00042")  // ~1.5 ms
+	h.ObserveWithExemplar(40_000_000, "req-00043") // 40 ms
+	out := render(t, r)
+
+	// The _ns histogram exports as a _duration family in seconds.
+	if !strings.Contains(out, "# TYPE casa_server_request_duration histogram\n") {
+		t.Fatalf("missing renamed histogram family:\n%s", out)
+	}
+	if strings.Contains(out, "request_ns") {
+		t.Fatalf("native-unit name leaked into exposition:\n%s", out)
+	}
+	// First bucket: upper bound 1024 ns → 1.024e-06 s, cumulative 1.
+	if !strings.Contains(out, `casa_server_request_duration_bucket{le="1.024e-06"} 1`) {
+		t.Fatalf("first bucket missing or not in seconds:\n%s", out)
+	}
+	// Exemplar carries the trace ID with the scaled value.
+	if !strings.Contains(out, `# {trace_id="req-00042"} 0.0015`) {
+		t.Fatalf("exemplar missing:\n%s", out)
+	}
+	// +Inf bucket is always present and cumulative over all observations.
+	if !strings.Contains(out, `casa_server_request_duration_bucket{le="+Inf"} 3`) {
+		t.Fatalf("+Inf bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "casa_server_request_duration_count 3\n") {
+		t.Fatalf("count wrong:\n%s", out)
+	}
+	// Zero-count interior buckets are omitted: far fewer bucket lines
+	// than the histogram's 32 buckets.
+	if n := strings.Count(out, "_bucket{"); n > 6 {
+		t.Fatalf("zero buckets not elided: %d bucket lines", n)
+	}
+
+	// Our own linter must accept our own output.
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-lint failed: %v\n%s", err, out)
+	}
+}
+
+func TestWriteRegistryEmptyHistogram(t *testing.T) {
+	r := obs.NewRegistry()
+	r.GetHistogram("x_ns")
+	out := render(t, r)
+	if !strings.Contains(out, `x_duration_bucket{le="+Inf"} 0`) {
+		t.Fatalf("empty histogram must still emit +Inf:\n%s", out)
+	}
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-lint failed: %v\n%s", err, out)
+	}
+}
+
+func TestLintAcceptsFullRegistryShape(t *testing.T) {
+	r := obs.NewRegistry()
+	r.GetCounter("a_total").Inc()
+	r.GetCounter("plain_counter").Inc() // no _total suffix: family == sample name
+	r.GetGauge("g").Set(-5)
+	h := r.GetHistogram("lat_ns")
+	for i := int64(1); i < 20; i++ {
+		h.ObserveWithExemplar(i*i*1000, "t-1")
+	}
+	out := render(t, r)
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint rejected valid exposition: %v\n%s", err, out)
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"missing EOF", "# TYPE a counter\na_total 1\n", "EOF"},
+		{"undeclared sample", "mystery 4\n# EOF\n", "no TYPE declaration"},
+		{"bad value", "# TYPE a gauge\na pizza\n# EOF\n", "bad value"},
+		{"duplicate TYPE", "# TYPE a gauge\n# TYPE a counter\na 1\n# EOF\n", "duplicate TYPE"},
+		{"unknown type", "# TYPE a weird\na 1\n# EOF\n", "unknown metric type"},
+		{"content after EOF", "# TYPE a gauge\na 1\n# EOF\na 2\n", "after # EOF"},
+		{"negative counter", "# TYPE a counter\na_total -3\n# EOF\n", "negative"},
+		{
+			"non-cumulative buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n# EOF\n",
+			"cumulative",
+		},
+		{
+			"le not increasing",
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n# EOF\n",
+			"not increasing",
+		},
+		{
+			"missing +Inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n# EOF\n",
+			"+Inf",
+		},
+		{
+			"count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 5\n# EOF\n",
+			"!=",
+		},
+		{
+			"malformed exemplar",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # trace_id=\"x\" 1\nh_sum 1\nh_count 1\n# EOF\n",
+			"exemplar",
+		},
+		{"unterminated labels", "# TYPE a gauge\na{x=\"1\" 4\n# EOF\n", "unterminated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Lint(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("lint accepted malformed input:\n%s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLintAcceptsExemplarAndEscapes(t *testing.T) {
+	in := strings.Join([]string{
+		`# TYPE h histogram`,
+		`h_bucket{le="0.001"} 2 # {trace_id="req-7"} 0.0004`,
+		`h_bucket{le="+Inf"} 2`,
+		`h_sum 0.0008`,
+		`h_count 2`,
+		`# TYPE g gauge`,
+		`g{label="va\"lue}"} 1`,
+		`# EOF`,
+		``,
+	}, "\n")
+	if err := Lint(strings.NewReader(in)); err != nil {
+		t.Fatalf("lint rejected valid input: %v", err)
+	}
+}

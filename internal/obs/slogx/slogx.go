@@ -1,0 +1,108 @@
+// Package slogx is the repository's thin layer over log/slog: one-call
+// JSON logger setup for the binaries (casad, casaload, experiments), a
+// context-scoped logger so every log line inside a request handler
+// carries the request ID, and a cheap systematic sampler so access logs
+// don't dominate the hot path under load.
+package slogx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// Setup builds a JSON logger writing to w at the given level and
+// installs it as the slog default. Level "off" (or "none") returns a
+// logger that discards everything — the binaries use it so -log-level
+// can silence structured output entirely.
+func Setup(w io.Writer, level string) (*slog.Logger, error) {
+	if eq(level, "off") || eq(level, "none") {
+		l := Discard()
+		slog.SetDefault(l)
+		return l, nil
+	}
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	l := slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lv}))
+	slog.SetDefault(l)
+	return l, nil
+}
+
+// ParseLevel maps a flag value to a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch {
+	case eq(s, "debug"):
+		return slog.LevelDebug, nil
+	case eq(s, "info"), s == "":
+		return slog.LevelInfo, nil
+	case eq(s, "warn"), eq(s, "warning"):
+		return slog.LevelWarn, nil
+	case eq(s, "error"):
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, error or off)", s)
+}
+
+func eq(a, b string) bool { return strings.EqualFold(strings.TrimSpace(a), b) }
+
+// discardHandler drops every record. Hand-rolled because
+// slog.DiscardHandler only exists from Go 1.24.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Discard returns a logger that drops everything at zero cost.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+type loggerKey struct{}
+
+// With returns a context carrying l, so handler-internal code can log
+// with the request's attributes without threading a logger argument.
+func With(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// From returns the logger carried by ctx, or a discarding logger so
+// callers never nil-check.
+func From(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return Discard()
+}
+
+// Sampler admits 1 in every N events: the first call passes, then every
+// Nth after it, so low-volume streams still log something. Safe for
+// concurrent use.
+type Sampler struct {
+	every int64
+	n     atomic.Int64
+}
+
+// NewSampler returns a sampler admitting 1 in every events. every ≤ 1
+// admits everything; a nil *Sampler also admits everything.
+func NewSampler(every int) *Sampler {
+	if every < 1 {
+		every = 1
+	}
+	return &Sampler{every: int64(every)}
+}
+
+// Allow reports whether this event is in the sample.
+func (s *Sampler) Allow() bool {
+	if s == nil || s.every <= 1 {
+		return true
+	}
+	return (s.n.Add(1)-1)%s.every == 0
+}

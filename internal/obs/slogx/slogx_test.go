@@ -1,0 +1,122 @@
+package slogx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"sync"
+	"testing"
+)
+
+func TestSetupLevels(t *testing.T) {
+	var b bytes.Buffer
+	l, err := Setup(&b, "warn")
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	l.Info("hidden")
+	l.Warn("visible", "k", 1)
+	var rec map[string]any
+	if err := json.Unmarshal(b.Bytes(), &rec); err != nil {
+		t.Fatalf("output is not one JSON object: %v (%q)", err, b.String())
+	}
+	if rec["msg"] != "visible" || rec["k"] != float64(1) {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+
+	if _, err := Setup(&b, "telemetry"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+
+	b.Reset()
+	off, err := Setup(&b, "off")
+	if err != nil {
+		t.Fatalf("Setup(off): %v", err)
+	}
+	off.Error("should vanish")
+	slog.Error("default should vanish too")
+	if b.Len() != 0 {
+		t.Fatalf("off logger wrote output: %q", b.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn, " error ": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted nonsense")
+	}
+}
+
+func TestContextLogger(t *testing.T) {
+	var b bytes.Buffer
+	l := slog.New(slog.NewJSONHandler(&b, nil)).With("request_id", "r-1")
+	ctx := With(context.Background(), l)
+	From(ctx).Info("hello")
+	var rec map[string]any
+	if err := json.Unmarshal(b.Bytes(), &rec); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rec["request_id"] != "r-1" {
+		t.Fatalf("request-scoped attr lost: %v", rec)
+	}
+	// A bare context yields a usable (discarding) logger.
+	From(context.Background()).Info("no panic, no output")
+	if With(context.Background(), nil) == nil {
+		t.Fatal("With(nil logger) returned nil context")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler(4)
+	got := 0
+	for i := 0; i < 12; i++ {
+		if s.Allow() {
+			got++
+		}
+	}
+	if got != 3 {
+		t.Fatalf("1-in-4 sampler admitted %d of 12, want 3", got)
+	}
+	if !NewSampler(0).Allow() || !NewSampler(1).Allow() {
+		t.Fatal("every<=1 must admit everything")
+	}
+	var nilS *Sampler
+	if !nilS.Allow() {
+		t.Fatal("nil sampler must admit everything")
+	}
+}
+
+func TestSamplerConcurrent(t *testing.T) {
+	s := NewSampler(10)
+	var wg sync.WaitGroup
+	counts := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if s.Allow() {
+					counts[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 800 {
+		t.Fatalf("1-in-10 over 8000 concurrent calls admitted %d, want 800", total)
+	}
+}

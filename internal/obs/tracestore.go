@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// RequestTrace is one request's span tree plus the outcome metadata a
+// trace store needs to decide retention. The server builds one per
+// traced request and offers it to its TraceStore when the request
+// finishes.
+type RequestTrace struct {
+	// ID is the request ID (inbound X-Request-Id or server-generated).
+	ID string `json:"id"`
+	// StartUnixNS is the request's arrival time.
+	StartUnixNS int64 `json:"start_unix_ns"`
+	// DurNS is the request's total server-side handling time.
+	DurNS int64 `json:"dur_ns"`
+	// Status is the HTTP status the request answered with.
+	Status int `json:"status"`
+	// Outcome classifies the request: "ok", "cached", "coalesced",
+	// "degraded", "shed", "client-error" or "error".
+	Outcome string `json:"outcome"`
+	// Tier is the admission tier the solve ran under, when one ran.
+	Tier string `json:"tier,omitempty"`
+	// Reason carries the degradation reason or error text.
+	Reason string `json:"reason,omitempty"`
+	// Spans is the request's span forest (the "request" root plus
+	// anything the pipeline opened under it).
+	Spans []*Span `json:"spans,omitempty"`
+}
+
+// MustKeep reports whether the trace belongs to the always-retained
+// class: degraded answers, load sheds and server errors. Client
+// mistakes (4xx) are deliberately excluded — a burst of malformed
+// requests must not evict the traces that explain a bad p99.
+func (t *RequestTrace) MustKeep() bool {
+	switch t.Outcome {
+	case "degraded", "shed", "error":
+		return true
+	}
+	return false
+}
+
+// TraceSummary is one row of the trace-store index (/debug/traces):
+// everything about a retained trace except its span payload.
+type TraceSummary struct {
+	ID          string  `json:"id"`
+	StartUnixNS int64   `json:"start_unix_ns"`
+	DurMS       float64 `json:"dur_ms"`
+	Status      int     `json:"status"`
+	Outcome     string  `json:"outcome"`
+	Tier        string  `json:"tier,omitempty"`
+	Reason      string  `json:"reason,omitempty"`
+	// Kept says which retention class holds the trace: "must-keep"
+	// (error/degraded/shed), "slow" (slowest-N) or "sample" (1-in-K).
+	Kept string `json:"kept"`
+}
+
+type storeEntry struct {
+	t    *RequestTrace
+	kept string
+}
+
+// TraceStore is the bounded tail-sampling retention layer behind
+// /debug/traces. Every finished trace is offered; the store keeps
+//
+//   - every must-keep trace (error/degraded/shed) in a FIFO ring of
+//     keepCap entries — newest failures win when the ring wraps;
+//   - the slowCap slowest remaining traces (a min-heap on duration), so
+//     the requests behind a bad p99 stay inspectable;
+//   - a 1-in-sampleEvery systematic sample of everything else in a FIFO
+//     ring of sampleCap entries, as a baseline of normal traffic.
+//
+// Everything else is discarded immediately: retention cost is bounded
+// regardless of traffic, and the interesting tail is never crowded out
+// by healthy requests. Safe for concurrent use.
+type TraceStore struct {
+	mu          sync.Mutex
+	keepCap     int
+	slowCap     int
+	sampleCap   int
+	sampleEvery int64
+
+	keep       []*RequestTrace // FIFO ring, len ≤ keepCap
+	keepNext   int
+	slow       []*RequestTrace // min-heap on DurNS, len ≤ slowCap
+	sample     []*RequestTrace // FIFO ring, len ≤ sampleCap
+	sampleNext int
+	offered    int64
+	byID       map[string]*storeEntry
+}
+
+// NewTraceStore returns a store with the given class capacities. A
+// non-positive capacity disables that class; sampleEvery ≤ 1 samples
+// every non-kept trace (bounded by sampleCap).
+func NewTraceStore(keepCap, slowCap, sampleCap, sampleEvery int) *TraceStore {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &TraceStore{
+		keepCap:     keepCap,
+		slowCap:     slowCap,
+		sampleCap:   sampleCap,
+		sampleEvery: int64(sampleEvery),
+		byID:        make(map[string]*storeEntry),
+	}
+}
+
+// Offer decides the trace's retention. kept reports whether the store
+// holds it afterwards; droppedMustKeep reports that accepting it
+// overwrote an older must-keep trace (the signal behind the
+// casa_server_trace_store_drops_total gate — a healthy run never drops
+// failure traces because it barely produces any).
+func (st *TraceStore) Offer(t *RequestTrace) (kept, droppedMustKeep bool) {
+	if st == nil || t == nil || t.ID == "" {
+		return false, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.byID[t.ID]; dup {
+		// A client reused a request ID; the first trace keeps the name.
+		return false, false
+	}
+	st.offered++
+
+	if t.MustKeep() && st.keepCap > 0 {
+		if len(st.keep) < st.keepCap {
+			st.keep = append(st.keep, t)
+		} else {
+			old := st.keep[st.keepNext]
+			delete(st.byID, old.ID)
+			st.keep[st.keepNext] = t
+			st.keepNext = (st.keepNext + 1) % st.keepCap
+			droppedMustKeep = true
+		}
+		st.byID[t.ID] = &storeEntry{t: t, kept: "must-keep"}
+		return true, droppedMustKeep
+	}
+
+	if st.slowCap > 0 && (len(st.slow) < st.slowCap || t.DurNS > st.slow[0].DurNS) {
+		if len(st.slow) == st.slowCap {
+			evicted := st.popSlowest()
+			delete(st.byID, evicted.ID)
+		}
+		st.pushSlow(t)
+		st.byID[t.ID] = &storeEntry{t: t, kept: "slow"}
+		return true, false
+	}
+
+	if st.sampleCap > 0 && (st.offered-1)%st.sampleEvery == 0 {
+		if len(st.sample) < st.sampleCap {
+			st.sample = append(st.sample, t)
+		} else {
+			old := st.sample[st.sampleNext]
+			delete(st.byID, old.ID)
+			st.sample[st.sampleNext] = t
+			st.sampleNext = (st.sampleNext + 1) % st.sampleCap
+		}
+		st.byID[t.ID] = &storeEntry{t: t, kept: "sample"}
+		return true, false
+	}
+	return false, false
+}
+
+// pushSlow / popSlowest maintain the min-heap on DurNS: slow[0] is the
+// fastest retained "slow" trace, the one a slower newcomer replaces.
+func (st *TraceStore) pushSlow(t *RequestTrace) {
+	st.slow = append(st.slow, t)
+	i := len(st.slow) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if st.slow[parent].DurNS <= st.slow[i].DurNS {
+			break
+		}
+		st.slow[parent], st.slow[i] = st.slow[i], st.slow[parent]
+		i = parent
+	}
+}
+
+func (st *TraceStore) popSlowest() *RequestTrace {
+	min := st.slow[0]
+	last := len(st.slow) - 1
+	st.slow[0] = st.slow[last]
+	st.slow = st.slow[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && st.slow[l].DurNS < st.slow[small].DurNS {
+			small = l
+		}
+		if r < last && st.slow[r].DurNS < st.slow[small].DurNS {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		st.slow[i], st.slow[small] = st.slow[small], st.slow[i]
+		i = small
+	}
+	return min
+}
+
+// Get returns the retained trace with the given ID.
+func (st *TraceStore) Get(id string) (*RequestTrace, bool) {
+	if st == nil {
+		return nil, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return e.t, true
+}
+
+// Len returns the number of retained traces.
+func (st *TraceStore) Len() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.byID)
+}
+
+// Index returns a summary of every retained trace, newest first.
+func (st *TraceStore) Index() []TraceSummary {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	out := make([]TraceSummary, 0, len(st.byID))
+	for _, e := range st.byID {
+		out = append(out, TraceSummary{
+			ID:          e.t.ID,
+			StartUnixNS: e.t.StartUnixNS,
+			DurMS:       float64(e.t.DurNS) / 1e6,
+			Status:      e.t.Status,
+			Outcome:     e.t.Outcome,
+			Tier:        e.t.Tier,
+			Reason:      e.t.Reason,
+			Kept:        e.kept,
+		})
+	}
+	st.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartUnixNS != out[j].StartUnixNS {
+			return out[i].StartUnixNS > out[j].StartUnixNS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func mkTrace(id string, durNS int64, outcome string) *RequestTrace {
+	return &RequestTrace{ID: id, DurNS: durNS, Outcome: outcome, Status: 200}
+}
+
+func TestTraceStoreMustKeepRing(t *testing.T) {
+	st := NewTraceStore(2, 0, 0, 1)
+	k1, d1 := st.Offer(mkTrace("a", 1, "degraded"))
+	k2, _ := st.Offer(mkTrace("b", 2, "shed"))
+	if !k1 || !k2 || d1 {
+		t.Fatalf("first two must-keep offers: kept=%v/%v dropped=%v", k1, k2, d1)
+	}
+	// Third must-keep overwrites the oldest and reports the drop.
+	k3, d3 := st.Offer(mkTrace("c", 3, "error"))
+	if !k3 || !d3 {
+		t.Fatalf("ring wrap: kept=%v dropped=%v, want true/true", k3, d3)
+	}
+	if _, ok := st.Get("a"); ok {
+		t.Fatal("evicted trace still resolvable")
+	}
+	for _, id := range []string{"b", "c"} {
+		if _, ok := st.Get(id); !ok {
+			t.Fatalf("trace %s not retained", id)
+		}
+	}
+	// ok traces never displace must-keep ones when only the keep ring exists.
+	if kept, _ := st.Offer(mkTrace("d", 1e9, "ok")); kept {
+		t.Fatal("ok trace retained by a store with no slow/sample class")
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+}
+
+func TestTraceStoreSlowestN(t *testing.T) {
+	st := NewTraceStore(0, 3, 0, 1)
+	for i, dur := range []int64{50, 10, 30} {
+		if kept, _ := st.Offer(mkTrace(fmt.Sprintf("t%d", i), dur, "ok")); !kept {
+			t.Fatalf("trace %d not kept while under capacity", i)
+		}
+	}
+	// Faster than the retained minimum: rejected.
+	if kept, _ := st.Offer(mkTrace("fast", 5, "ok")); kept {
+		t.Fatal("faster-than-minimum trace displaced a slower one")
+	}
+	// Slower: evicts the current minimum (10).
+	if kept, _ := st.Offer(mkTrace("slow", 40, "ok")); !kept {
+		t.Fatal("slower trace rejected")
+	}
+	if _, ok := st.Get("t1"); ok {
+		t.Fatal("minimum-duration trace survived eviction")
+	}
+	want := map[string]bool{"t0": true, "t2": true, "slow": true}
+	for id := range want {
+		if _, ok := st.Get(id); !ok {
+			t.Fatalf("trace %s missing from slowest-N set", id)
+		}
+	}
+	for _, sum := range st.Index() {
+		if sum.Kept != "slow" {
+			t.Fatalf("trace %s kept as %q, want slow", sum.ID, sum.Kept)
+		}
+	}
+}
+
+func TestTraceStoreSystematicSample(t *testing.T) {
+	// No keep/slow classes: every 3rd offered ok trace is sampled.
+	st := NewTraceStore(0, 0, 2, 3)
+	kept := 0
+	for i := 0; i < 9; i++ {
+		if k, _ := st.Offer(mkTrace(fmt.Sprintf("s%d", i), 1, "ok")); k {
+			kept++
+		}
+	}
+	if kept != 3 {
+		t.Fatalf("sampled %d of 9 at 1-in-3, want 3", kept)
+	}
+	// Ring capacity 2: the first sample has been overwritten.
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (ring capacity)", st.Len())
+	}
+	if _, ok := st.Get("s0"); ok {
+		t.Fatal("oldest sample survived a full ring")
+	}
+}
+
+func TestTraceStorePriorityAndIndexOrder(t *testing.T) {
+	st := NewTraceStore(4, 2, 2, 1)
+	// A degraded trace goes to must-keep even when it is also slow.
+	st.Offer(&RequestTrace{ID: "deg", StartUnixNS: 30, DurNS: 1e9, Outcome: "degraded", Tier: "greedy", Reason: "admission-greedy"})
+	st.Offer(&RequestTrace{ID: "ok1", StartUnixNS: 10, DurNS: 100, Outcome: "ok"})
+	st.Offer(&RequestTrace{ID: "ok2", StartUnixNS: 20, DurNS: 200, Outcome: "cached"})
+	idx := st.Index()
+	if len(idx) != 3 {
+		t.Fatalf("index has %d rows, want 3", len(idx))
+	}
+	if idx[0].ID != "deg" || idx[1].ID != "ok2" || idx[2].ID != "ok1" {
+		t.Fatalf("index not newest-first: %+v", idx)
+	}
+	if idx[0].Kept != "must-keep" || idx[0].Reason != "admission-greedy" {
+		t.Fatalf("degraded row wrong: %+v", idx[0])
+	}
+	// Duplicate IDs are ignored — the first trace keeps the name.
+	if kept, _ := st.Offer(mkTrace("deg", 5, "ok")); kept {
+		t.Fatal("duplicate ID accepted")
+	}
+	got, _ := st.Get("deg")
+	if got.Outcome != "degraded" {
+		t.Fatal("duplicate ID replaced the original trace")
+	}
+}
+
+func TestTraceStoreConcurrentOffer(t *testing.T) {
+	st := NewTraceStore(16, 16, 16, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				outcome := "ok"
+				if i%7 == 0 {
+					outcome = "shed"
+				}
+				st.Offer(mkTrace(fmt.Sprintf("g%d-%d", g, i), int64(i), outcome))
+				st.Index()
+				st.Get(fmt.Sprintf("g%d-%d", g, i/2))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.Len() > 48 {
+		t.Fatalf("store exceeded its capacity: %d", st.Len())
+	}
+	// Every index row must resolve.
+	for _, sum := range st.Index() {
+		if _, ok := st.Get(sum.ID); !ok {
+			t.Fatalf("index row %s does not resolve", sum.ID)
+		}
+	}
+}
+
+func TestTraceStoreNilSafety(t *testing.T) {
+	var st *TraceStore
+	if kept, dropped := st.Offer(mkTrace("x", 1, "ok")); kept || dropped {
+		t.Fatal("nil store retained a trace")
+	}
+	if st.Len() != 0 || st.Index() != nil {
+		t.Fatal("nil store not empty")
+	}
+	st2 := NewTraceStore(1, 1, 1, 1)
+	if kept, _ := st2.Offer(&RequestTrace{DurNS: 1}); kept {
+		t.Fatal("trace without an ID retained")
+	}
+}

@@ -1,0 +1,39 @@
+package server
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo reports the VCS revision this binary was built from (short
+// hash, "-dirty" suffixed when the tree had local modifications;
+// "unknown" outside a VCS-stamped build) and the Go toolchain version.
+// /healthz and casad -version expose it so an operator can tell exactly
+// what is serving without shelling into the host.
+func BuildInfo() (revision, goVersion string) {
+	revision, goVersion = "unknown", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return revision, goVersion
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if len(s.Value) > 12 {
+				revision = s.Value[:12]
+			} else if s.Value != "" {
+				revision = s.Value
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && revision != "unknown" {
+		revision += "-dirty"
+	}
+	return revision, goVersion
+}

@@ -52,10 +52,13 @@ func newInternTable(max int) *internTable {
 
 // program returns the canonical *ir.Program for src, parsing it at most
 // once per distinct source (singleflight: concurrent first requests
-// share one parse). Parse errors are returned to every caller of the
-// same source but are not retained — the entry is dropped so the table
-// only holds real programs.
-func (t *internTable) program(src string) (*ir.Program, error) {
+// share one parse). hit reports whether the source was already
+// interned — the request trace records it, since an intern hit is the
+// difference between re-profiling a program and reusing its memos.
+// Parse errors are returned to every caller of the same source but are
+// not retained — the entry is dropped so the table only holds real
+// programs.
+func (t *internTable) program(src string) (_ *ir.Program, hit bool, _ error) {
 	h := sha256.Sum256([]byte(src))
 	t.mu.Lock()
 	el, ok := t.m[h]
@@ -100,7 +103,7 @@ func (t *internTable) program(src string) (*ir.Program, error) {
 			t.mu.Unlock()
 		}
 	})
-	return e.prog, e.err
+	return e.prog, ok, e.err
 }
 
 // len returns the number of interned programs.

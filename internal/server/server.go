@@ -17,10 +17,20 @@
 //     beyond the hard cap. Degraded answers carry a Degraded flag and
 //     are never cached, so quality recovers as soon as load does.
 //
-// Endpoints: POST /v1/allocate, GET /healthz, GET /metrics (flat JSON
-// snapshot of the internal/obs registry), GET /debug/vars (expvar) and
-// POST /quitquitquit (graceful shutdown: stop accepting, drain in-flight
-// solves). DESIGN.md §11 describes the architecture.
+// Every request is traced end to end: it gets a request ID (inbound
+// X-Request-Id or generated), a span tree covering admission, cache
+// lookup, singleflight role and every pipeline stage, and a tail-sampled
+// retention policy keeps the traces worth looking at — all failures and
+// degraded answers, the slowest N, and a thin sample of normal traffic
+// (DESIGN.md §12).
+//
+// Endpoints: POST /v1/allocate, GET /healthz, GET /metrics
+// (Prometheus/OpenMetrics text with exemplars), GET /metrics.json (flat
+// JSON snapshot of the internal/obs registry), GET /debug/traces
+// (retained-trace index), GET /debug/traces/{id} (full span tree), GET
+// /debug/vars (expvar) and POST /quitquitquit (graceful shutdown: stop
+// accepting, drain in-flight solves). DESIGN.md §11 describes the
+// architecture.
 package server
 
 import (
@@ -29,6 +39,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -40,6 +51,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/obs/promexport"
+	"repro/internal/obs/slogx"
 	"repro/internal/workload"
 )
 
@@ -89,6 +102,26 @@ type Config struct {
 	MaxCacheBytes   int
 	// DrainTimeout bounds graceful shutdown (default 30s).
 	DrainTimeout time.Duration
+
+	// TraceSample sets the request-tracing rate: 0 means unset (the
+	// CASA_TRACE_SAMPLE environment variable decides, defaulting to
+	// trace-everything), a value in (0,1) samples roughly that fraction
+	// of requests, ≥1 traces everything and a negative value disables
+	// tracing.
+	TraceSample float64
+	// TraceKeepCap / TraceSlowCap / TraceSampleCap size the trace
+	// store's retention classes (must-keep ring, slowest-N heap, random
+	// sample ring; defaults 256/64/64). TraceSampleEvery is the
+	// systematic-sample stride (default 64: 1 in 64 healthy requests).
+	TraceKeepCap     int
+	TraceSlowCap     int
+	TraceSampleCap   int
+	TraceSampleEvery int
+	// Logger receives structured request logs (nil: discard).
+	Logger *slog.Logger
+	// AccessLogEvery samples healthy-request access logs 1-in-N
+	// (default 16); failures, sheds and degraded answers always log.
+	AccessLogEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +155,24 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.TraceKeepCap <= 0 {
+		c.TraceKeepCap = 256
+	}
+	if c.TraceSlowCap <= 0 {
+		c.TraceSlowCap = 64
+	}
+	if c.TraceSampleCap <= 0 {
+		c.TraceSampleCap = 64
+	}
+	if c.TraceSampleEvery <= 0 {
+		c.TraceSampleEvery = 64
+	}
+	if c.Logger == nil {
+		c.Logger = slogx.Discard()
+	}
+	if c.AccessLogEvery <= 0 {
+		c.AccessLogEvery = 16
+	}
 	return c
 }
 
@@ -135,15 +186,20 @@ const (
 // Server is the allocation service. Create with New; it is safe for
 // concurrent use.
 type Server struct {
-	cfg      Config
-	mux      *http.ServeMux
-	cache    *shardedCache
-	programs *internTable
-	flight   flightGroup
-	inflight atomic.Int64
-	draining atomic.Bool
-	start    time.Time
-	httpSrv  *http.Server
+	cfg          Config
+	mux          *http.ServeMux
+	cache        *shardedCache
+	programs     *internTable
+	flight       flightGroup
+	inflight     atomic.Int64
+	draining     atomic.Bool
+	start        time.Time
+	httpSrv      *http.Server
+	traces       *obs.TraceStore
+	traceEvery   int64 // 0 = never trace, 1 = always, N = 1-in-N
+	traceSeq     atomic.Int64
+	logger       *slog.Logger
+	accessSample *slogx.Sampler
 
 	// testHookSolving, when set, is called by a solve leader after it
 	// acquired its admission slot and chose a tier, before any pipeline
@@ -155,15 +211,22 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    newShardedCache(cfg.CacheEntries, cfg.CacheShards),
-		programs: newInternTable(cfg.MaxPrograms),
-		start:    time.Now(),
+		cfg:          cfg,
+		cache:        newShardedCache(cfg.CacheEntries, cfg.CacheShards),
+		programs:     newInternTable(cfg.MaxPrograms),
+		start:        time.Now(),
+		traces:       obs.NewTraceStore(cfg.TraceKeepCap, cfg.TraceSlowCap, cfg.TraceSampleCap, cfg.TraceSampleEvery),
+		traceEvery:   traceEveryFrom(cfg.TraceSample),
+		logger:       cfg.Logger,
+		accessSample: slogx.NewSampler(cfg.AccessLogEvery),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/allocate", s.handleAllocate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics", s.handlePromMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/debug/traces", s.handleTraceIndex)
+	mux.HandleFunc("/debug/traces/", s.handleTraceGet)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/quitquitquit", s.handleQuit)
 	s.mux = mux
@@ -251,55 +314,84 @@ func writeError(w http.ResponseWriter, err error) {
 }
 
 // handleAllocate is POST /v1/allocate: decode → validate → result cache
-// → singleflight → admission/tier → pipeline.
+// → singleflight → admission/tier → pipeline, with a span around each
+// decision so the retained trace explains where the request's time and
+// outcome came from.
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
 	mRequests.Inc()
-	defer func() { mLatency.Observe(time.Since(start).Nanoseconds()) }()
+	rec, ctx := s.beginRequest(r)
+	defer s.finishRequest(rec)
+	w.Header().Set("X-Request-Id", rec.id)
 
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, &httpError{code: http.StatusMethodNotAllowed, msg: "POST only"})
+		s.failRequest(rec, w, &httpError{code: http.StatusMethodNotAllowed, msg: "POST only"})
 		return
 	}
 	if s.draining.Load() {
-		writeError(w, errDraining)
+		s.failRequest(rec, w, errDraining)
 		return
 	}
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxProgramBytes)+64<<10))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, badRequestf("bad request body: %v", err))
+		s.failRequest(rec, w, badRequestf("bad request body: %v", err))
 		return
 	}
 	req.normalize()
 	if err := req.validate(s.cfg); err != nil {
-		writeError(w, badRequestf("%v", err))
+		s.failRequest(rec, w, badRequestf("%v", err))
 		return
 	}
 	key := req.key()
+	rec.root.SetAttr("key", key)
+	if req.Workload != "" {
+		rec.root.SetAttr("workload", req.Workload)
+	}
 
+	_, csp := obs.StartSpan(ctx, "result-cache")
+	var cached *Response
+	hit := false
 	if !fault.Hit(fault.ServerCacheMiss) {
-		if resp, ok := s.cache.get(key); ok {
-			s.deliver(w, resp, true, false, start)
-			return
-		}
+		cached, hit = s.cache.get(key)
 	} else {
 		mCacheMisses.Inc()
 	}
+	csp.SetAttr("hit", hit)
+	csp.End()
+	if hit {
+		rec.outcome = outcomeCached
+		rec.tier = cached.Tier
+		s.deliver(w, cached, true, false, rec.start)
+		return
+	}
 
-	resp, err, shared := s.flight.do(key, func() (*Response, error) {
-		return s.compute(&req, key)
+	fctx, fsp := obs.StartSpan(ctx, "singleflight")
+	resp, err, shared, leaderID := s.flight.do(key, rec.id, func() (*Response, error) {
+		return s.compute(fctx, &req, key)
 	})
 	if shared {
 		mSingleflight.Inc()
+		fsp.SetAttr("role", "follower")
+		fsp.SetAttr("leader_request_id", leaderID)
+	} else {
+		fsp.SetAttr("role", "leader")
 	}
+	fsp.End()
 	if err != nil {
-		writeError(w, err)
+		s.failRequest(rec, w, err)
 		return
 	}
-	s.deliver(w, resp, false, shared, start)
+	rec.tier = resp.Tier
+	switch {
+	case resp.Degraded:
+		rec.outcome = outcomeDegraded
+		rec.reason = resp.DegradedReason
+	case shared:
+		rec.outcome = outcomeCoalesced
+	}
+	s.deliver(w, resp, false, shared, rec.start)
 }
 
 // deliver stamps the per-delivery fields on a copy of the (shared,
@@ -330,14 +422,40 @@ func (s *Server) tierFor(n int64) (string, time.Duration) {
 // compute runs the allocation pipeline for one admitted request. It is
 // always executed by a singleflight leader, so the admission counter
 // tracks genuinely distinct concurrent solves.
-func (s *Server) compute(req *Request, key string) (*Response, error) {
+func (s *Server) compute(rctx context.Context, req *Request, key string) (*Response, error) {
+	// The pipeline runs on a background-derived context on purpose: a
+	// coalesced follower must not lose the result because the leader's
+	// own client hung up, and graceful shutdown wants in-flight solves
+	// to finish. The tier budget bounds the solve instead. The leader's
+	// tracer and singleflight span are transplanted onto the detached
+	// context so the solve's spans still land in the leader's trace.
+	bctx := context.Background()
+	if tr := obs.TracerFrom(rctx); tr != nil {
+		bctx = obs.WithTracer(bctx, tr)
+		if parent := obs.SpanFrom(rctx); parent != nil {
+			bctx = obs.WithSpan(bctx, parent)
+		}
+	}
+	ctx, sp := obs.StartSpan(bctx, "serve")
+	defer sp.End()
+	sp.SetAttr("key", key)
+
 	n := s.inflight.Add(1)
 	mInflight.Set(n)
 	defer func() { mInflight.Set(s.inflight.Add(-1)) }()
 	if n > int64(s.cfg.MaxInflight) || fault.Hit(fault.ServerOverload) {
 		return nil, errOverloaded
 	}
+	_, asp := obs.StartSpan(ctx, "admission")
 	tier, budget := s.tierFor(n)
+	asp.SetAttr("tier", tier)
+	asp.SetAttr("inflight", n)
+	asp.SetAttr("budget_ms", float64(budget)/1e6)
+	asp.End()
+	sp.SetAttr("tier", tier)
+	occ := tierGauge(tier)
+	occ.Add(1)
+	defer occ.Add(-1)
 	switch tier {
 	case tierExact:
 		mTierExact.Inc()
@@ -351,18 +469,10 @@ func (s *Server) compute(req *Request, key string) (*Response, error) {
 	}
 	mSolves.Inc()
 
-	prog, err := s.resolveProgram(req)
+	prog, err := s.resolveProgram(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	// The pipeline runs on a background-derived context on purpose: a
-	// coalesced follower must not lose the result because the leader's
-	// own client hung up, and graceful shutdown wants in-flight solves
-	// to finish. The tier budget bounds the solve instead.
-	ctx, sp := obs.StartSpan(context.Background(), "serve")
-	defer sp.End()
-	sp.SetAttr("key", key)
-	sp.SetAttr("tier", tier)
 
 	spec := experiments.CacheSpec{
 		Size:  req.Hierarchy.CacheBytes,
@@ -425,15 +535,19 @@ func (s *Server) compute(req *Request, key string) (*Response, error) {
 // bundled workloads come from workload.Shared, custom programs from the
 // intern table — either way repeats share one instance so the sim memo
 // layers hit.
-func (s *Server) resolveProgram(req *Request) (*ir.Program, error) {
+func (s *Server) resolveProgram(ctx context.Context, req *Request) (*ir.Program, error) {
+	_, sp := obs.StartSpan(ctx, "resolve-program")
+	defer sp.End()
 	if req.Workload != "" {
+		sp.SetAttr("workload", req.Workload)
 		prog, err := workload.Shared(req.Workload)
 		if err != nil {
 			return nil, badRequestf("%v", err)
 		}
 		return prog, nil
 	}
-	prog, err := s.programs.program(req.Program)
+	prog, hit, err := s.programs.program(req.Program)
+	sp.SetAttr("intern_hit", hit)
 	if err != nil {
 		return nil, badRequestf("parse program: %v", err)
 	}
@@ -493,21 +607,28 @@ type healthState struct {
 	Inflight  int64   `json:"inflight"`
 	Cached    int     `json:"cached_responses"`
 	Programs  int     `json:"interned_programs"`
+	Traces    int     `json:"retained_traces"`
 	P50Ms     float64 `json:"p50_ms"`
 	P99Ms     float64 `json:"p99_ms"`
 	MaxSolves int     `json:"max_inflight"`
+	Revision  string  `json:"revision"`
+	GoVersion string  `json:"go_version"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	revision, goVersion := BuildInfo()
 	st := healthState{
 		Status:    "ok",
 		UptimeS:   time.Since(s.start).Seconds(),
 		Inflight:  s.inflight.Load(),
 		Cached:    s.cache.len(),
 		Programs:  s.programs.len(),
+		Traces:    s.traces.Len(),
 		P50Ms:     mLatency.Quantile(0.50) / 1e6,
 		P99Ms:     mLatency.Quantile(0.99) / 1e6,
 		MaxSolves: s.cfg.MaxInflight,
+		Revision:  revision,
+		GoVersion: goVersion,
 	}
 	code := http.StatusOK
 	if s.draining.Load() {
@@ -517,11 +638,48 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, st)
 }
 
-// handleMetrics serves the obs registry as one flat JSON object
+// handleMetricsJSON serves the obs registry as one flat JSON object
 // (name → value) — the machine-readable face of CASA_METRICS dumps, and
 // what casaload diffs around a run.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, obs.Default.Snapshot())
+}
+
+// handlePromMetrics serves the registry in the Prometheus/OpenMetrics
+// text format, histogram exemplars linking latency buckets to retained
+// traces. A few gauges only matter at scrape time, so they are set here
+// rather than maintained on the hot path.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	mTraceStoreSize.Set(int64(s.traces.Len()))
+	mInterned.Set(int64(s.programs.len()))
+	w.Header().Set("Content-Type", promexport.ContentType)
+	_ = promexport.WriteRegistry(w, obs.Default)
+}
+
+// handleTraceIndex is GET /debug/traces: a newest-first summary of
+// every retained trace.
+func (s *Server) handleTraceIndex(w http.ResponseWriter, r *http.Request) {
+	idx := s.traces.Index()
+	if idx == nil {
+		idx = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, idx)
+}
+
+// handleTraceGet is GET /debug/traces/{id}: one retained trace's full
+// span tree.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+	if id == "" {
+		s.handleTraceIndex(w, r)
+		return
+	}
+	t, ok := s.traces.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no retained trace with id " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
 }
 
 // handleQuit is POST /quitquitquit: acknowledge, then drain in the

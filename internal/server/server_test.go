@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/promexport"
 )
 
 // tinyProgram is a minimal custom program in the asm format: one hot
@@ -579,9 +581,12 @@ func TestQuitEndpointAndHealthz(t *testing.T) {
 	if resp.StatusCode != 200 || hs.Status != "ok" || hs.MaxSolves != s.cfg.MaxInflight {
 		t.Fatalf("healthz: HTTP %d %+v", resp.StatusCode, hs)
 	}
+	if hs.GoVersion == "" || hs.Revision == "" {
+		t.Fatalf("healthz missing build info: %+v", hs)
+	}
 
-	// /metrics is a flat name→value JSON object.
-	resp, err = http.Get(url + "/metrics")
+	// /metrics.json is a flat name→value JSON object.
+	resp, err = http.Get(url + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -591,7 +596,30 @@ func TestQuitEndpointAndHealthz(t *testing.T) {
 	}
 	resp.Body.Close()
 	if _, ok := metrics["casa_server_requests_total"]; !ok {
-		t.Fatal("/metrics missing casa_server_requests_total")
+		t.Fatal("/metrics.json missing casa_server_requests_total")
+	}
+
+	// /metrics is the Prometheus text exposition, and lints clean.
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != promexport.ContentType {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(promBody), "# TYPE casa_server_requests counter") {
+		t.Fatalf("/metrics missing counter family:\n%s", promBody)
+	}
+	if !strings.Contains(string(promBody), "casa_server_request_duration_bucket") {
+		t.Fatalf("/metrics missing latency histogram buckets:\n%s", promBody)
+	}
+	if err := promexport.Lint(bytes.NewReader(promBody)); err != nil {
+		t.Fatalf("/metrics does not lint: %v", err)
 	}
 
 	// GET /quitquitquit is refused; POST drains the daemon.

@@ -14,14 +14,19 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	done chan struct{}
-	resp *Response
-	err  error
+	done   chan struct{}
+	leader string // request ID of the caller executing fn
+	resp   *Response
+	err    error
 }
 
-// do runs fn under key, deduplicating concurrent callers. The returned
-// shared flag is true for followers that joined the leader's execution.
-func (g *flightGroup) do(key string, fn func() (*Response, error)) (resp *Response, err error, shared bool) {
+// do runs fn under key, deduplicating concurrent callers; callerID is
+// the caller's request ID. The returned shared flag is true for
+// followers that joined the leader's execution, and leaderID names the
+// request that actually ran the solve — the follower's trace records it
+// so a slow coalesced request points straight at the trace doing the
+// work.
+func (g *flightGroup) do(key, callerID string, fn func() (*Response, error)) (resp *Response, err error, shared bool, leaderID string) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
@@ -29,9 +34,9 @@ func (g *flightGroup) do(key string, fn func() (*Response, error)) (resp *Respon
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
 		<-c.done
-		return c.resp, c.err, true
+		return c.resp, c.err, true, c.leader
 	}
-	c := &flightCall{done: make(chan struct{})}
+	c := &flightCall{done: make(chan struct{}), leader: callerID}
 	g.m[key] = c
 	g.mu.Unlock()
 
@@ -41,5 +46,5 @@ func (g *flightGroup) do(key string, fn func() (*Response, error)) (resp *Respon
 	delete(g.m, key)
 	g.mu.Unlock()
 	close(c.done)
-	return c.resp, c.err, false
+	return c.resp, c.err, false, callerID
 }

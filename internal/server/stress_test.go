@@ -60,7 +60,7 @@ func TestStressInternTable(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				src := srcs[(w+i)%len(srcs)]
-				if _, err := tab.program(src); err != nil {
+				if _, _, err := tab.program(src); err != nil {
 					t.Errorf("parse: %v", err)
 					return
 				}
