@@ -39,6 +39,26 @@ func BenchmarkFig4CASAvsSteinke(b *testing.B) {
 	}
 }
 
+// BenchmarkFig4Incremental measures the warm-started grid end to end:
+// a fresh suite per iteration, so every iteration re-runs the cell
+// planner, the cross-cell cutoff transfers, and the shared presolve
+// session instead of hitting the suite's allocation memo (which
+// BenchmarkFig4CASAvsSteinke does after its first iteration). This is
+// the number the incremental machinery is accountable for in CI.
+func BenchmarkFig4Incremental(b *testing.B) {
+	cfg := experiments.DefaultFig4()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite()
+		rows, err := experiments.Fig4(context.Background(), s, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.WriteFig4(benchWriter(b), cfg, rows)
+		}
+	}
+}
+
 // BenchmarkFig5CASAvsLoopCache regenerates Figure 5: the CASA-allocated
 // scratchpad vs. the Ross-preloaded loop cache on mpeg.
 func BenchmarkFig5CASAvsLoopCache(b *testing.B) {

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// TransferAllocation maps a donor scratchpad selection onto a different
+// configuration of the same program, producing a selection that is
+// feasible under the target parameters. The experiment planner uses it
+// to turn a neighboring grid cell's optimum into a warm-start cutoff
+// for the target cell: PredictEnergy of the returned selection is a
+// value some feasible point achieves, so the target ILP can prune
+// everything strictly worse.
+//
+// The two trace sets may partition the program differently (the
+// partition cap follows the scratchpad size), so the mapping works at
+// block granularity: a target trace is selected when every one of its
+// blocks was scratchpad-resident in the donor. If the mapped selection
+// overflows the target capacity, the least fetch-dense traces are
+// evicted until it fits — any subset is feasible, density just keeps
+// the cutoff tight.
+//
+// Returns nil when the sets describe different programs (no transfer).
+func TransferAllocation(donorSet *trace.Set, donorInSPM []bool, set *trace.Set, p Params) []bool {
+	if donorSet == nil || set == nil || donorSet.Prog != set.Prog ||
+		len(donorInSPM) != len(donorSet.Traces) {
+		return nil
+	}
+	inSPM := make([]bool, len(set.Traces))
+	used := 0
+	var selected []int
+	for i, t := range set.Traces {
+		if t.RawBytes > p.SPMSize {
+			continue // pinned out, mirroring BuildModel
+		}
+		all := len(t.Blocks) > 0
+		for _, b := range t.Blocks {
+			if !donorInSPM[donorSet.TraceIDOf(b)] {
+				all = false
+				break
+			}
+		}
+		if all {
+			inSPM[i] = true
+			used += t.RawBytes
+			selected = append(selected, i)
+		}
+	}
+	if used > p.SPMSize {
+		density := func(t *trace.Trace) float64 {
+			if t.RawBytes == 0 {
+				return 0 // frees nothing; eviction skips it below
+			}
+			return float64(t.Fetches) / float64(t.RawBytes)
+		}
+		sort.SliceStable(selected, func(a, b int) bool {
+			return density(set.Traces[selected[a]]) < density(set.Traces[selected[b]])
+		})
+		for _, i := range selected {
+			if used <= p.SPMSize {
+				break
+			}
+			if set.Traces[i].RawBytes == 0 {
+				continue
+			}
+			inSPM[i] = false
+			used -= set.Traces[i].RawBytes
+		}
+	}
+	return inSPM
+}

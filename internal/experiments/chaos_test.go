@@ -190,14 +190,16 @@ func TestChaosEnvSpec(t *testing.T) {
 	if !errors.As(err, &ge) {
 		t.Fatalf("Fig4 under cell-panic:2 returned %v, want *parallel.GridError", err)
 	}
-	if len(ge.Failed) != 1 || ge.Failed[0].Index != 1 {
-		t.Fatalf("failed cells = %+v, want exactly cell 1 (2nd hit, serial order)", ge.Failed)
+	// Cells evaluate largest scratchpad first (warmplan.go), so the 2nd
+	// serial hit lands on cell 2 (512 B) of the natural-order grid.
+	if len(ge.Failed) != 1 || ge.Failed[0].Index != 2 {
+		t.Fatalf("failed cells = %+v, want exactly cell 2 (2nd hit, largest-first order)", ge.Failed)
 	}
 	var pe *parallel.PanicError
 	if !errors.As(ge.Failed[0].Err, &pe) {
-		t.Fatalf("cell 1 cause = %v, want *parallel.PanicError", ge.Failed[0].Err)
+		t.Fatalf("cell 2 cause = %v, want *parallel.PanicError", ge.Failed[0].Err)
 	}
-	if len(rows) != 4 || rows[0].SPMSize == 0 || rows[2].SPMSize == 0 || rows[3].SPMSize == 0 {
+	if len(rows) != 4 || rows[0].SPMSize == 0 || rows[1].SPMSize == 0 || rows[3].SPMSize == 0 {
 		t.Errorf("surviving cells missing from partial results: %+v", rows)
 	}
 	if got := plan.Fired()[fault.CellPanic]; got != 1 {

@@ -54,6 +54,10 @@ var (
 	mOutMisses   = obs.GetCounter("casa_outcome_memo_misses_total")
 	mAllocHits   = obs.GetCounter("casa_alloc_memo_hits_total")
 	mAllocMisses = obs.GetCounter("casa_alloc_memo_misses_total")
+	// mConflictIncremental counts conflict graphs rebased onto a donor
+	// cell's vertex layer instead of being built from scratch
+	// (prepareProgram; gated on CASA_INCREMENTAL by the suite).
+	mConflictIncremental = obs.GetCounter("casa_conflict_incremental_total")
 )
 
 // CacheSpec selects the I-cache configuration of an experiment.
@@ -119,6 +123,21 @@ type Pipeline struct {
 	// on expiry the solver degrades to its incumbent or the greedy
 	// fallback instead of failing the cell.
 	SolveBudget time.Duration
+	// Session shares presolve reductions across this pipeline's solves
+	// (set by the owning Suite; nil for standalone pipelines).
+	Session *ilp.Session
+
+	// WarmCutoff, when non-nil, seeds the CASA solve with a
+	// known-feasible objective value (a cutoff, see ilp.Options.Cutoff).
+	// Callers that keep their own cross-pipeline warm stores — the
+	// serving daemon — fill it before the first RunCASA; pipelines owned
+	// by a Suite ignore it in favor of the suite's warm planner. Ignored
+	// when CASA_INCREMENTAL is off.
+	WarmCutoff *float64
+
+	// suite points back at the owning Suite for cross-cell warm starts;
+	// nil for pipelines prepared outside a suite.
+	suite *Suite
 
 	// mu guards the memo tables below; each entry is singleflight so a
 	// result is computed once even under concurrent callers.
@@ -156,6 +175,16 @@ func Prepare(ctx context.Context, name string, cacheSpec CacheSpec, spmSize int)
 // workloads, tests). The program must not be mutated afterwards: profiles
 // and fetch streams are memoized process-wide per program instance.
 func PrepareProgram(ctx context.Context, prog *ir.Program, cacheSpec CacheSpec, spmSize int) (*Pipeline, error) {
+	return prepareProgram(ctx, prog, cacheSpec, spmSize, nil)
+}
+
+// prepareProgram is PrepareProgram with an optional conflict-graph donor:
+// when donor covers the same memory objects (same trace partition — the
+// suite passes a graph from a cell differing only in cache geometry),
+// the new graph rebases onto its vertex layer instead of rebuilding it,
+// and the rebase is counted. Edge weights always come from this cell's
+// own profiling run, so the result is identical with or without a donor.
+func prepareProgram(ctx context.Context, prog *ir.Program, cacheSpec CacheSpec, spmSize int, donor *conflict.Graph) (*Pipeline, error) {
 	ctx, ps := obs.StartSpan(ctx, "prepare")
 	defer ps.End()
 	ps.SetAttr("workload", prog.Name)
@@ -205,7 +234,14 @@ func PrepareProgram(ctx context.Context, prog *ir.Program, cacheSpec CacheSpec, 
 	for i, t := range set.Traces {
 		fetches[i] = t.Fetches
 	}
-	g := conflict.New(fetches)
+	var g *conflict.Graph
+	if donor != nil && donor.MatchesFetches(fetches) {
+		g = donor.Rebase()
+		mConflictIncremental.Inc()
+		sp.SetAttr("rebased", true)
+	} else {
+		g = conflict.New(fetches)
+	}
 	for k, v := range base.Conflicts {
 		if err := g.AddMisses(k.Victim, k.Evictor, v); err != nil {
 			sp.End()
@@ -275,7 +311,7 @@ func (p *Pipeline) casaParams() core.Params {
 		ESPHit:     p.Cost.SPMAccess,
 		ECacheHit:  p.Cost.CacheHit,
 		ECacheMiss: p.Cost.CacheMiss,
-		Solver:     ilp.Options{Budget: p.SolveBudget},
+		Solver:     ilp.Options{Budget: p.SolveBudget, Session: p.Session},
 	}
 }
 
@@ -322,9 +358,27 @@ func (p *Pipeline) CASAAllocation(ctx context.Context) (*core.Allocation, error)
 		actx, sp := obs.StartSpan(ctx, "allocate")
 		defer sp.End()
 		sp.SetAttr("workload", p.Workload)
-		e.alloc, e.err = core.Allocate(actx, p.Set, p.Graph, p.casaParams())
+		params := p.casaParams()
+		if p.suite != nil && ilp.IncrementalEnabled() {
+			// Cross-cell warm start: seed the solve with the tightest
+			// cutoff transferable from a solved neighboring cell
+			// (warmplan.go). Cold cells are counted as misses here; hits
+			// are counted by the solver when it installs the cutoff.
+			if cut, ok := p.suite.warmCutoff(p, params); ok {
+				params.Solver.Cutoff = &cut
+				sp.SetAttr("warm_cutoff", cut)
+			} else {
+				mWarmCellMisses.Inc()
+			}
+		} else if p.WarmCutoff != nil && ilp.IncrementalEnabled() {
+			params.Solver.Cutoff = p.WarmCutoff
+			sp.SetAttr("warm_cutoff", *p.WarmCutoff)
+		}
+		e.alloc, e.err = core.Allocate(actx, p.Set, p.Graph, params)
 		if e.err != nil {
 			e.err = fmt.Errorf("experiments: casa %s/%d: %w", p.Workload, p.SPMSize, e.err)
+		} else if p.suite != nil && ilp.IncrementalEnabled() {
+			p.suite.recordWarm(p, e.alloc)
 		}
 	})
 	if e.err == nil && e.alloc.Degraded {
@@ -506,6 +560,45 @@ type Suite struct {
 	workers     int
 	solveBudget time.Duration
 	pipelines   map[suiteKey]*suiteEntry
+
+	// warm holds solved cells for cross-cell warm starts; session shares
+	// presolve reductions across the suite's solves (warmplan.go).
+	warm    warmStore
+	session *ilp.Session
+
+	// graphs holds the first conflict graph built per trace partition —
+	// (workload, scratchpad size, line size) fixes the vertex layer — so
+	// cells differing only in cache geometry rebase onto it instead of
+	// rebuilding it (conflict.Rebase).
+	graphs map[graphKey]*conflict.Graph
+}
+
+// graphKey identifies a trace partition: the parameters that determine
+// the conflict graph's vertex set (but not its edge weights).
+type graphKey struct {
+	name      string
+	spmSize   int
+	lineBytes int
+}
+
+// graphDonor returns a previously built conflict graph over the same
+// trace partition, if any.
+func (s *Suite) graphDonor(k graphKey) *conflict.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.graphs[k]
+}
+
+// recordGraph stores the first conflict graph built for a partition.
+func (s *Suite) recordGraph(k graphKey, g *conflict.Graph) {
+	s.mu.Lock()
+	if s.graphs == nil {
+		s.graphs = make(map[graphKey]*conflict.Graph)
+	}
+	if _, ok := s.graphs[k]; !ok {
+		s.graphs[k] = g
+	}
+	s.mu.Unlock()
 }
 
 type suiteKey struct {
@@ -523,7 +616,7 @@ type suiteEntry struct {
 // NewSuite returns an empty suite with the default worker count
 // (CASA_WORKERS, else GOMAXPROCS-style runtime.NumCPU).
 func NewSuite() *Suite {
-	return &Suite{pipelines: make(map[suiteKey]*suiteEntry)}
+	return &Suite{pipelines: make(map[suiteKey]*suiteEntry), session: ilp.NewSession()}
 }
 
 // SetWorkers fixes the worker-pool width for this suite's studies
@@ -581,9 +674,22 @@ func (s *Suite) Pipeline(ctx context.Context, name string, cacheSpec CacheSpec, 
 		mPipeMisses.Inc()
 	}
 	e.once.Do(func() {
-		e.p, e.err = Prepare(ctx, name, cacheSpec, spmSize)
+		prog, err := workload.Shared(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		gk := graphKey{name: name, spmSize: spmSize, lineBytes: cacheSpec.Line}
+		var donor *conflict.Graph
+		if ilp.IncrementalEnabled() {
+			donor = s.graphDonor(gk)
+		}
+		e.p, e.err = prepareProgram(ctx, prog, cacheSpec, spmSize, donor)
 		if e.err == nil {
 			e.p.SolveBudget = s.SolveBudget()
+			e.p.Session = s.session
+			e.p.suite = s
+			s.recordGraph(gk, e.p.Graph)
 		}
 	})
 	return e.p, e.err

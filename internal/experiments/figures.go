@@ -51,9 +51,17 @@ func pct(num, den float64) float64 {
 }
 
 // Fig4 regenerates Figure 4, evaluating the scratchpad sizes on the
-// suite's worker pool.
+// suite's worker pool, largest first so smaller cells solve warm
+// (warmplan.go).
 func Fig4(ctx context.Context, s *Suite, cfg Fig4Config) ([]Fig4Row, error) {
-	return runCells(ctx, s, len(cfg.SPMSizes), func(ctx context.Context, i int) (Fig4Row, error) {
+	return fig4Ordered(ctx, s, cfg, warmOrder(cfg.SPMSizes))
+}
+
+// fig4Ordered is Fig4 with an explicit cell evaluation order; the order
+// affects only solve times and warm hit/miss counters, never the rows
+// (the property tests permute it to prove exactly that).
+func fig4Ordered(ctx context.Context, s *Suite, cfg Fig4Config, order []int) ([]Fig4Row, error) {
+	return runCellsOrdered(ctx, s, order, func(ctx context.Context, i int) (Fig4Row, error) {
 		size := cfg.SPMSizes[i]
 		p, err := s.Pipeline(ctx, cfg.Workload, cfg.Cache, size)
 		if err != nil {
@@ -123,9 +131,9 @@ type Fig5Row struct {
 }
 
 // Fig5 regenerates Figure 5, evaluating the sizes on the suite's worker
-// pool.
+// pool, largest first so smaller cells solve warm (warmplan.go).
 func Fig5(ctx context.Context, s *Suite, cfg Fig5Config) ([]Fig5Row, error) {
-	return runCells(ctx, s, len(cfg.Sizes), func(ctx context.Context, i int) (Fig5Row, error) {
+	return runCellsOrdered(ctx, s, warmOrder(cfg.Sizes), func(ctx context.Context, i int) (Fig5Row, error) {
 		size := cfg.Sizes[i]
 		p, err := s.Pipeline(ctx, cfg.Workload, cfg.Cache, size)
 		if err != nil {
@@ -226,7 +234,13 @@ func Table1(ctx context.Context, s *Suite, cfg Table1Config) ([]Table1Row, []Tab
 			cells = append(cells, cell{bench: b, size: size})
 		}
 	}
-	rows, err := runCells(ctx, s, len(cells), func(ctx context.Context, i int) (Table1Row, error) {
+	sizes := make([]int, len(cells))
+	for i, c := range cells {
+		sizes[i] = c.size
+	}
+	// Largest memories first: within each benchmark every smaller cell
+	// then finds a solved same-workload donor (warmplan.go).
+	rows, err := runCellsOrdered(ctx, s, warmOrder(sizes), func(ctx context.Context, i int) (Table1Row, error) {
 		c := cells[i]
 		p, err := s.Pipeline(ctx, c.bench.Workload, c.bench.Cache, c.size)
 		if err != nil {

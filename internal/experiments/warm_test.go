@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// renderWarmSensitiveStudies renders the two grids the warm planner
+// reorders most aggressively — fig4 (scratchpad sweep) and sensitivity
+// (cache-organization sweep) — with only allocation-determined fields.
+func renderWarmSensitiveStudies(t *testing.T, s *Suite) []byte {
+	t.Helper()
+	ctx := context.Background()
+	var buf bytes.Buffer
+	fig4cfg := DefaultFig4()
+	fig4, err := Fig4(ctx, s, fig4cfg)
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	WriteFig4(&buf, fig4cfg, fig4)
+	senscfg := DefaultSensitivity()
+	sens, err := Sensitivity(ctx, s, senscfg)
+	if err != nil {
+		t.Fatalf("Sensitivity: %v", err)
+	}
+	WriteSensitivity(&buf, senscfg, sens)
+	return buf.Bytes()
+}
+
+// TestWarmMatchesColdStudies is the central exactness contract of the
+// incremental machinery: the warm path (cross-cell cutoffs, shared
+// presolve session, rebased conflict graphs, factored LP engine) must
+// produce byte-identical study output to the legacy cold path
+// (CASA_INCREMENTAL=off, which restores the pre-incremental code
+// paths bit for bit).
+func TestWarmMatchesColdStudies(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full warm-vs-cold sweep is too heavy under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("warm-vs-cold sweep skipped in -short mode")
+	}
+	t.Setenv("CASA_INCREMENTAL", "off")
+	cold := renderWarmSensitiveStudies(t, NewSuite().SetWorkers(1))
+	t.Setenv("CASA_INCREMENTAL", "on")
+	warm := renderWarmSensitiveStudies(t, NewSuite().SetWorkers(1))
+	if !bytes.Equal(warm, cold) {
+		t.Fatalf("warm studies diverged from cold studies.\n--- warm ---\n%s\n--- cold ---\n%s", warm, cold)
+	}
+}
+
+// TestFig4PermutedOrderInvariant is the order-independence property:
+// whatever order the grid's cells are evaluated in — natural
+// (smallest first), warm (largest first), or random permutations where
+// consecutive cells are often not grid neighbors — the rows are
+// identical. Cell order may change which solves find donors (and so the
+// hit/miss counters), but donated cutoffs never change an answer.
+func TestFig4PermutedOrderInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("permutation sweep skipped in -short mode")
+	}
+	ctx := context.Background()
+	cfg := DefaultFig4()
+	want, err := Fig4(ctx, NewSuite().SetWorkers(1), cfg)
+	if err != nil {
+		t.Fatalf("reference Fig4: %v", err)
+	}
+	n := len(cfg.SPMSizes)
+	orders := [][]int{{0, 1, 2, 3}, {3, 1, 0, 2}}
+	rng := rand.New(rand.NewSource(0x0F0F))
+	perms := 3
+	if raceEnabled {
+		perms = 1
+	}
+	for p := 0; p < perms; p++ {
+		orders = append(orders, rng.Perm(n))
+	}
+	for _, order := range orders {
+		got, err := fig4Ordered(ctx, NewSuite().SetWorkers(1), cfg, order)
+		if err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("order %v: row %d diverged:\n got %+v\nwant %+v", order, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFig4ConcurrentWarmStress runs the grid with many workers sharing
+// one suite — one presolve session, one warm store, one conflict-graph
+// store — and checks the rows still match the serial run. Under the
+// race detector this doubles as the data-race gate on the shared
+// incremental state.
+func TestFig4ConcurrentWarmStress(t *testing.T) {
+	ctx := context.Background()
+	cfg := DefaultFig4()
+	want, err := Fig4(ctx, NewSuite().SetWorkers(1), cfg)
+	if err != nil {
+		t.Fatalf("serial Fig4: %v", err)
+	}
+	rounds := 3
+	if raceEnabled || testing.Short() {
+		rounds = 1
+	}
+	for r := 0; r < rounds; r++ {
+		got, err := Fig4(ctx, NewSuite().SetWorkers(8), cfg)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("round %d: row %d diverged under concurrency:\n got %+v\nwant %+v", r, i, got[i], want[i])
+			}
+		}
+	}
+}

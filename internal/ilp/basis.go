@@ -548,6 +548,14 @@ func (e *rsx) reoptimize(maxIter int) Status {
 	}
 }
 
+// nodeEngine interface (solve.go): rsx is the legacy engine. It ignores
+// objective limits — early termination exists only on the incremental
+// path so that CASA_INCREMENTAL=off reproduces the historical pivot
+// sequence exactly.
+func (e *rsx) iterCount() int        { return e.iters }
+func (e *rsx) dims() (n, m int)      { return e.n, e.m }
+func (e *rsx) setObjLimit(_ float64) {}
+
 // values returns the structural solution vector.
 func (e *rsx) values() []float64 {
 	x := make([]float64, e.n)

@@ -20,6 +20,12 @@ const (
 	// Aborted means a limit was hit before any feasible solution was
 	// found.
 	Aborted
+
+	// stObjLimit (unexported) means the engine proved the relaxation
+	// objective exceeds the caller-installed limit and stopped early; the
+	// node is pruned without finishing the LP. Only the incremental
+	// engine (factor.go) returns it.
+	stObjLimit
 )
 
 var statusNames = [...]string{
@@ -28,6 +34,7 @@ var statusNames = [...]string{
 	Unbounded:  "unbounded",
 	Feasible:   "feasible",
 	Aborted:    "aborted",
+	stObjLimit: "obj-limit",
 }
 
 // String returns the status name.

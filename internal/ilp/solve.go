@@ -67,6 +67,22 @@ type Options struct {
 	// incumbent before the tree search starts. Intended for testing and
 	// diagnosis.
 	DisableHeuristic bool
+
+	// Cutoff, when non-nil, is the objective value (in the model's own
+	// sense and space) of a solution known to be feasible, transferred
+	// from a neighboring solve. Subtrees whose relaxation bound cannot
+	// strictly beat it are pruned, and node LPs stop mid-solve once
+	// their objective passes it. The cutoff never changes the returned
+	// solution: only strictly-worse subtrees are pruned (with a
+	// tolerance margin), so an optimal point always survives, and a
+	// cutoff that proves infeasible (a bad transfer) triggers a cold
+	// re-solve without it. Ignored when the incremental layer is
+	// disabled (IncrementalEnabled).
+	Cutoff *float64
+	// Session, when non-nil, reuses presolve reductions across solves of
+	// structurally identical models (see Session). Ignored when the
+	// incremental layer is disabled.
+	Session *Session
 }
 
 func (o Options) withDefaults() Options {
@@ -197,10 +213,16 @@ func Solve(ctx context.Context, m *Model, opt Options) (*Solution, error) {
 		return done(&Solution{Status: Aborted, Degraded: true, DegradedReason: "fault:solver-deadline"})
 	}
 
+	incMode := IncrementalEnabled()
+
 	var pr *presolveResult
 	work := m
 	if !opt.DisablePresolve {
-		pr = presolve(m, opt.Tol)
+		if opt.Session != nil && incMode {
+			pr = opt.Session.presolveFor(m, opt.Tol)
+		} else {
+			pr = presolve(m, opt.Tol)
+		}
 		mPreRows.Add(int64(pr.rowsDropped))
 		mPreCols.Add(int64(pr.colsFixed + pr.colsSubst))
 		switch pr.status {
@@ -215,7 +237,39 @@ func Solve(ctx context.Context, m *Model, opt Options) (*Solution, error) {
 		work = pr.reduced
 	}
 
-	s := &bbState{orig: m, w: work, pr: pr, opt: opt, ctx: ctx}
+	s := &bbState{orig: m, w: work, pr: pr, opt: opt, ctx: ctx, incMode: incMode}
+	if opt.Cutoff != nil && incMode {
+		// Map the cutoff from the original objective space into w's
+		// minimization space. Postsolve is affine, so the two spaces
+		// differ by a constant offset; probe it at two points and keep
+		// the cutoff only if they agree (they always should — the check
+		// guards exactness against future presolve changes).
+		signO, signW := 1.0, 1.0
+		if m.sense == Maximize {
+			signO = -1
+		}
+		if work.sense == Maximize {
+			signW = -1
+		}
+		offsetAt := func(v float64) float64 {
+			x := make([]float64, work.NumVars())
+			for i := range x {
+				x[i] = v
+			}
+			full := x
+			if pr != nil {
+				full = pr.postsolve(x, m.NumVars())
+			}
+			return signO*Eval(m.obj, full) - signW*Eval(work.obj, x)
+		}
+		off0 := offsetAt(0)
+		if math.Abs(off0-offsetAt(1)) <= 1e-6*math.Max(1, math.Abs(off0)) {
+			s.hasCutoff = true
+			s.cutoffW = signO*(*opt.Cutoff) - off0
+			s.cutMargin = 1e-6 * math.Max(1, math.Abs(s.cutoffW))
+			mWarmCellHits.Inc()
+		}
+	}
 	s.run()
 	mPruned.Add(int64(s.pruned))
 	mWarm.Add(int64(s.warm))
@@ -251,6 +305,14 @@ func Solve(ctx context.Context, m *Model, opt Options) (*Solution, error) {
 		sol.Degraded = true
 		sol.DegradedReason = reason
 	default:
+		if s.hasCutoff {
+			// A transferred cutoff asserts that a feasible point exists;
+			// an "infeasible" outcome can only mean the transfer was bad
+			// (donor mismatch). Drop it and solve cold — correctness never
+			// depends on the cutoff being right.
+			opt.Cutoff = nil
+			return Solve(ctx, m, opt)
+		}
 		// Either no node was LP-feasible, or LP-feasible nodes existed but
 		// none produced an integral point and the tree is exhausted:
 		// infeasible either way.
@@ -275,6 +337,19 @@ type bbNode struct {
 	seq    int     // FIFO tie-break
 }
 
+// nodeEngine is a warm-started LP engine persisting across branch &
+// bound nodes: rsx (dense basis inverse, the legacy path) or fsx
+// (factored basis with objective-limit early stop, the incremental
+// path).
+type nodeEngine interface {
+	setBounds(lo, hi []float64)
+	solve(maxIter int) Status
+	values() []float64
+	iterCount() int
+	dims() (n, m int)
+	setObjLimit(z float64)
+}
+
 // bbState is the working state of one branch & bound run over the
 // (possibly presolve-reduced) model w.
 type bbState struct {
@@ -283,9 +358,14 @@ type bbState struct {
 	pr   *presolveResult
 	opt  Options
 
-	sign    float64 // w's minimization-space sign
-	eng     *rsx    // warm-started engine, nil => dense per-node solves
+	sign    float64    // w's minimization-space sign
+	eng     nodeEngine // warm-started engine, nil => dense per-node solves
 	intVars []int
+
+	incMode   bool    // incremental layer active (engine choice, cutoff)
+	hasCutoff bool    // a transferred cutoff is installed
+	cutoffW   float64 // cutoff in w's minimization space
+	cutMargin float64 // tolerance margin: prune only strictly beyond it
 
 	incumbent    []float64 // in w's variable space
 	incumbentVal float64   // minimization space
@@ -348,7 +428,18 @@ func (s *bbState) run() {
 		s.deadline = time.Now().Add(s.opt.Budget)
 	}
 	if !s.opt.DisableWarmStart {
-		s.eng = newRSX(s.w, s.opt.Tol)
+		// Assign through explicit nil checks: a typed-nil engine stored in
+		// the interface would defeat the s.eng != nil dense-fallback tests.
+		if s.incMode {
+			if f := newFSX(s.w, s.opt.Tol); f != nil {
+				s.eng = f
+			}
+		}
+		if s.eng == nil {
+			if r := newRSX(s.w, s.opt.Tol); r != nil {
+				s.eng = r
+			}
+		}
 	}
 
 	cur := &bbNode{
@@ -382,6 +473,12 @@ func (s *bbState) run() {
 // pruneable reports whether a minimization-space bound cannot improve on
 // the incumbent, within a tolerance relative to the incumbent magnitude.
 func (s *bbState) pruneable(bound float64) bool {
+	if s.hasCutoff && bound > s.cutoffW+s.cutMargin {
+		// The cutoff is a known-feasible value: a subtree strictly worse
+		// than it cannot hold the optimum. Equal-or-better subtrees are
+		// kept, so an optimal point always survives.
+		return true
+	}
 	if s.incumbent == nil {
 		return false
 	}
@@ -394,9 +491,25 @@ func (s *bbState) pruneable(bound float64) bool {
 func (s *bbState) solveNodeLP(lo, hi []float64) (Status, []float64) {
 	if s.eng != nil {
 		s.eng.setBounds(lo, hi)
-		before := s.eng.iters
-		st := s.eng.solve(2000 + 50*(s.eng.m+s.eng.n))
-		s.iters += s.eng.iters - before
+		if s.incMode {
+			// Early-stop limit: the tighter of the transferred cutoff and
+			// the incumbent-pruning threshold. An LP whose objective
+			// passes it can only end in a pruned node.
+			lim := math.Inf(1)
+			if s.hasCutoff {
+				lim = s.cutoffW + s.cutMargin
+			}
+			if s.incumbent != nil {
+				if t := s.incumbentVal - s.opt.Tol*math.Max(1, math.Abs(s.incumbentVal)); t < lim {
+					lim = t
+				}
+			}
+			s.eng.setObjLimit(lim)
+		}
+		before := s.eng.iterCount()
+		en, em := s.eng.dims()
+		st := s.eng.solve(2000 + 50*(em+en))
+		s.iters += s.eng.iterCount() - before
 		if s.engSolves > 0 {
 			s.warm++
 		}
@@ -501,6 +614,11 @@ func (s *bbState) processNode(nd *bbNode) *bbNode {
 	for {
 		switch st {
 		case Infeasible, Aborted:
+			return nil
+		case stObjLimit:
+			// The node LP's objective already passed the cutoff/incumbent
+			// limit mid-solve; the finished bound could only be worse.
+			s.pruned++
 			return nil
 		case Unbounded:
 			s.unbounded = true

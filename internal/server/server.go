@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/ilp"
 	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/obs/promexport"
@@ -71,6 +72,9 @@ var (
 	mTierGreedy   = obs.GetCounter("casa_server_tier_greedy_total")
 	mInflight     = obs.GetGauge("casa_server_inflight")
 	mLatency      = obs.GetHistogram("casa_server_request_ns")
+	// mWarmSolves counts solves seeded with a cutoff transferred from a
+	// previously solved neighboring configuration (warm.go).
+	mWarmSolves = obs.GetCounter("casa_server_warm_solves_total")
 )
 
 // Config tunes the server. The zero value is usable: withDefaults fills
@@ -201,6 +205,12 @@ type Server struct {
 	logger       *slog.Logger
 	accessSample *slogx.Sampler
 
+	// session shares ILP presolve reductions across requests; warm
+	// transfers solved selections between single-parameter-apart
+	// hierarchies (warm.go). Both are CASA_INCREMENTAL-gated.
+	session *ilp.Session
+	warm    warmStore
+
 	// testHookSolving, when set, is called by a solve leader after it
 	// acquired its admission slot and chose a tier, before any pipeline
 	// work. Tests use it to hold solves in flight deterministically.
@@ -219,6 +229,7 @@ func New(cfg Config) *Server {
 		traceEvery:   traceEveryFrom(cfg.TraceSample),
 		logger:       cfg.Logger,
 		accessSample: slogx.NewSampler(cfg.AccessLogEvery),
+		session:      ilp.NewSession(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/allocate", s.handleAllocate)
@@ -487,6 +498,7 @@ func (s *Server) compute(rctx context.Context, req *Request, key string) (*Respo
 		return nil, badRequestf("prepare: %v", err)
 	}
 	pipe.SolveBudget = budget
+	pipe.Session = s.session
 
 	base, err := pipe.RunCacheOnly(ctx)
 	if err != nil {
@@ -497,6 +509,18 @@ func (s *Server) compute(rctx context.Context, req *Request, key string) (*Respo
 		// Load shedding: skip the ILP entirely and serve the greedy
 		// selection, marked degraded below.
 		alloc = "greedy"
+	}
+	wk := warmKey{prog: prog, spec: spec, spm: req.Hierarchy.SPMBytes}
+	if alloc == "casa" && ilp.IncrementalEnabled() {
+		// Cross-request warm start: seed the solve with the tightest
+		// cutoff transferable from a solved neighboring hierarchy. The
+		// cutoff never changes the answer (ilp.Options.Cutoff), so warm
+		// and cold responses are identical.
+		if cut, ok := s.warm.warmCutoff(wk, pipe); ok {
+			pipe.WarmCutoff = &cut
+			sp.SetAttr("warm_cutoff", cut)
+			mWarmSolves.Inc()
+		}
 	}
 	var out *experiments.Outcome
 	switch alloc {
@@ -513,6 +537,15 @@ func (s *Server) compute(rctx context.Context, req *Request, key string) (*Respo
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", alloc, err)
+	}
+	if alloc == "casa" && ilp.IncrementalEnabled() {
+		// Publish proven-optimal selections as donors for later
+		// requests; budget-degraded incumbents are timing-dependent and
+		// must not influence other solves.
+		if a, aerr := pipe.CASAAllocation(ctx); aerr == nil &&
+			a.Status == ilp.Optimal && !a.Degraded && !a.Fallback {
+			s.warm.record(wk, pipe.Set, a.InSPM)
+		}
 	}
 
 	resp := s.buildResponse(req, key, tier, pipe, base, out)

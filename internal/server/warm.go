@@ -1,0 +1,92 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// Cross-request warm starts (DESIGN.md §13). The daemon sees families
+// of related requests — the same program swept across scratchpad sizes
+// or cache geometries by a design-space exploration client — and those
+// are exactly the single-parameter-apart neighbors the experiment grids
+// exploit. Every proven-optimal exact-tier CASA solve is recorded here;
+// a later request for the same program whose hierarchy differs from a
+// recorded one in exactly one parameter (cache geometry or scratchpad
+// capacity) gets the donor's selection transferred and valued as a
+// solver cutoff (experiments.Pipeline.TransferCutoff). Cutoffs only
+// prune provably-worse subtrees, so answers are identical to cold
+// solves — warm requests are just faster, and are counted by
+// casa_server_warm_solves_total.
+//
+// Like the suite planner, everything is gated on CASA_INCREMENTAL.
+
+// warmKey identifies one solved hierarchy configuration. Programs are
+// canonical instances (workload.Shared or the intern table), so pointer
+// identity is the same-program test — the condition a transfer needs.
+type warmKey struct {
+	prog *ir.Program
+	spec experiments.CacheSpec
+	spm  int
+}
+
+// warmDonor is a recorded selection with the trace set it indexes.
+type warmDonor struct {
+	set   *trace.Set
+	inSPM []bool
+}
+
+// maxWarmDonors bounds the store. The table is an optimization, not a
+// cache anyone is owed: when full it is simply cleared, which also
+// releases trace sets of programs the intern table may have evicted.
+const maxWarmDonors = 512
+
+// warmStore holds one donor per solved configuration.
+type warmStore struct {
+	mu     sync.Mutex
+	donors map[warmKey]warmDonor
+}
+
+// record stores a proven-optimal selection for k.
+func (w *warmStore) record(k warmKey, set *trace.Set, inSPM []bool) {
+	w.mu.Lock()
+	if w.donors == nil || len(w.donors) >= maxWarmDonors {
+		w.donors = make(map[warmKey]warmDonor)
+	}
+	w.donors[k] = warmDonor{set: set, inSPM: inSPM}
+	w.mu.Unlock()
+}
+
+// neighbors returns the donors for k's program whose hierarchy differs
+// from k in exactly one parameter.
+func (w *warmStore) neighbors(k warmKey) []warmDonor {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []warmDonor
+	for dk, d := range w.donors {
+		if dk.prog != k.prog {
+			continue
+		}
+		cacheDiff := dk.spec != k.spec
+		spmDiff := dk.spm != k.spm
+		if cacheDiff != spmDiff {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// warmCutoff returns the tightest cutoff transferable to pipe from the
+// recorded neighbors of k. Minimum over donors, so the result does not
+// depend on request arrival order.
+func (w *warmStore) warmCutoff(k warmKey, pipe *experiments.Pipeline) (float64, bool) {
+	best, found := 0.0, false
+	for _, d := range w.neighbors(k) {
+		if v, ok := pipe.TransferCutoff(d.set, d.inSPM); ok && (!found || v < best) {
+			best, found = v, true
+		}
+	}
+	return best, found
+}

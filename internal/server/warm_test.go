@@ -1,0 +1,64 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestWarmSolvesAcrossRequests drives the cross-request warm path: the
+// second request differs from the first only in scratchpad size, so it
+// must be served with a transferred cutoff (counted by
+// casa_server_warm_solves_total) and still return the same answer a
+// cold server gives.
+func TestWarmSolvesAcrossRequests(t *testing.T) {
+	t.Setenv("CASA_INCREMENTAL", "on")
+	ts := httptest.NewServer(New(testConfig()).Handler())
+	defer ts.Close()
+
+	warmed := obs.GetCounter("casa_server_warm_solves_total")
+	base := warmed.Value()
+
+	first := allocate(t, ts.URL, adpcmBody(128))
+	if got := warmed.Value(); got != base {
+		t.Fatalf("first request (no donor) warmed: counter %d, want %d", got, base)
+	}
+	second := allocate(t, ts.URL, adpcmBody(192))
+	if got := warmed.Value(); got != base+1 {
+		t.Fatalf("second request (single-parameter neighbor) counter = %d, want %d", got, base+1)
+	}
+
+	// Same answers as a cold server.
+	cold := httptest.NewServer(New(testConfig()).Handler())
+	defer cold.Close()
+	coldFirst := allocate(t, cold.URL, adpcmBody(128))
+	coldSecond := allocate(t, cold.URL, adpcmBody(192))
+	for _, pair := range []struct {
+		name       string
+		warm, cold *Response
+	}{{"spm=128", first, coldFirst}, {"spm=192", second, coldSecond}} {
+		if pair.warm.EnergyMicroJ != pair.cold.EnergyMicroJ ||
+			pair.warm.PlacedTraces != pair.cold.PlacedTraces ||
+			pair.warm.UsedBytes != pair.cold.UsedBytes {
+			t.Errorf("%s: warm answer diverged from cold: warm %+v cold %+v",
+				pair.name, pair.warm, pair.cold)
+		}
+	}
+}
+
+// TestWarmDisabledByEnv pins the CASA_INCREMENTAL=off contract on the
+// serving path: no cutoffs, no warm counter movement.
+func TestWarmDisabledByEnv(t *testing.T) {
+	t.Setenv("CASA_INCREMENTAL", "off")
+	ts := httptest.NewServer(New(testConfig()).Handler())
+	defer ts.Close()
+
+	warmed := obs.GetCounter("casa_server_warm_solves_total")
+	base := warmed.Value()
+	allocate(t, ts.URL, adpcmBody(128))
+	allocate(t, ts.URL, adpcmBody(192))
+	if got := warmed.Value(); got != base {
+		t.Fatalf("warm counter moved with CASA_INCREMENTAL=off: %d, want %d", got, base)
+	}
+}

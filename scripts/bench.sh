@@ -3,14 +3,26 @@
 # file for cmd/benchdiff.
 #
 # Usage: scripts/bench.sh [output.json]   (default BENCH_ci.json)
+#        scripts/bench.sh -refresh
+#
+# -refresh rewrites the committed baseline in one step: it runs the same
+# benchmarks AND the same experiment-report runs the CI report gate
+# uses, then merges both into BENCH_baseline.json via benchdiff -refresh
+# (which keeps the hand-committed server budgets untouched). Run it
+# after an intentional performance change, eyeball the diff, commit.
 #
 # -benchtime=1x keeps the run cheap enough for CI: every benchmark
 # regenerates a full study, so a single iteration is already seconds of
 # simulated work and the timings are stable enough for a 20% gate.
 set -eu
 
-out="${1:-BENCH_ci.json}"
 baseline="${BENCH_BASELINE:-BENCH_baseline.json}"
+refresh=0
+if [ "${1:-}" = "-refresh" ]; then
+  refresh=1
+  shift
+fi
+out="${1:-BENCH_ci.json}"
 
 # Fail fast, before minutes of benchmarking, if the committed baseline
 # the CI gate will compare against is missing or malformed (say, an
@@ -29,6 +41,32 @@ go run ./cmd/benchdiff -validate "$baseline" || {
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench . -benchtime=1x -count=1 . | tee "$tmp"
-go run ./cmd/benchdiff -parse "$tmp" -o "$out"
-echo "wrote $out"
+# A refresh takes three samples per benchmark; benchdiff -parse keeps
+# the slowest, so the committed ns/op baselines are ceilings with the
+# jitter of tiny benchmarks already priced in. The CI gate itself stays
+# single-sample to stay cheap.
+count=1
+[ "$refresh" = 1 ] && count=3
+
+go test -run '^$' -bench . -benchtime=1x -count="$count" . | tee "$tmp"
+
+if [ "$refresh" = 1 ]; then
+  # Mirror the CI report gate exactly (.github/workflows/ci.yml): fig4
+  # twice on one suite (round 2 pins the memo rates) plus the
+  # sensitivity grid (the study whose cells share a trace partition, so
+  # conflict-graph rebasing fires). Baselines refreshed from any other
+  # command would gate against the wrong measurements. Three samples,
+  # folded to the slowest stage times by benchdiff -refresh, price in
+  # the jitter of the few-millisecond stages.
+  rep1="$(mktemp)" rep2="$(mktemp)" rep3="$(mktemp)" sens="$(mktemp)"
+  trap 'rm -f "$tmp" "$rep1" "$rep2" "$rep3" "$sens"' EXIT
+  for rep in "$rep1" "$rep2" "$rep3"; do
+    go run ./cmd/experiments -exp fig4 -repeat 2 -workers 1 -report "$rep" > /dev/null
+    go run ./cmd/experiments -exp sensitivity -repeat 1 -workers 1 -report "$sens" > /dev/null
+    cat "$sens" >> "$rep"
+  done
+  go run ./cmd/benchdiff -refresh "$baseline" -parse "$tmp" -from-report "$rep1,$rep2,$rep3"
+else
+  go run ./cmd/benchdiff -parse "$tmp" -o "$out"
+  echo "wrote $out"
+fi
