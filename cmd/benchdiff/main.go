@@ -11,11 +11,15 @@
 //	    *_misses_total metric pairs, and the deterministic solver work
 //	    counters (branch & bound nodes, simplex iterations, ...)
 //
-//	benchdiff -from-load load_report.json -o BENCH_server.json
+//	benchdiff -from-load load_report.json [-chaos] -o BENCH_server.json
 //	    convert a cmd/casaload report into a results file carrying the
 //	    server section: p99 latency, 5xx and error counts, plus the
 //	    telemetry pair traced_requests_min / trace_store_drops taken
-//	    from the server-side counter deltas
+//	    from the server-side counter deltas. With -chaos the section
+//	    additionally carries the chaos floors (deadline expiries,
+//	    injected faults, oversized-body rejections, and the
+//	    chaos_unexpected ceiling) that make an inert chaos run — one
+//	    that injected nothing — a red build
 //
 //	benchdiff -validate FILE
 //	    check an artifact parses: a JSON results file must contain only
@@ -145,6 +149,7 @@ func main() {
 	parse := flag.String("parse", "", "parse `go test -bench` output from this file")
 	fromReport := flag.String("from-report", "", "aggregate a cmd/experiments -report JSONL file")
 	fromLoad := flag.String("from-load", "", "convert a cmd/casaload report into a server-section results file")
+	chaos := flag.Bool("chaos", false, "with -from-load: include the chaos-mode floors (fault accounting, deadline expiries)")
 	validate := flag.String("validate", "", "check that a results file parses and has only known sections")
 	refresh := flag.String("refresh", "", "rewrite this baseline from -parse and -from-report inputs, keeping its server section")
 	out := flag.String("o", "BENCH_ci.json", "JSON output path for -parse / -from-report / -from-load")
@@ -165,7 +170,7 @@ func main() {
 	case *fromReport != "":
 		err = runFromReport(*fromReport, *out)
 	case *fromLoad != "":
-		err = runFromLoad(*fromLoad, *out)
+		err = runFromLoad(*fromLoad, *out, *chaos)
 	case *validate != "":
 		err = runValidate(*validate)
 	case *baseline != "" && *current != "":
@@ -306,17 +311,19 @@ func runRefresh(basePath, benchTxt, reportPath string) error {
 // loadReport is the slice of the cmd/casaload report schema the server
 // gate consumes.
 type loadReport struct {
-	Requests      int                `json:"requests"`
-	P99Ms         float64            `json:"p99_ms"`
-	HTTP5xx       int                `json:"http_5xx"`
-	Errors        int                `json:"errors"`
-	ServerMetrics map[string]float64 `json:"server_metrics"`
+	Requests        int                `json:"requests"`
+	P99Ms           float64            `json:"p99_ms"`
+	HTTP5xx         int                `json:"http_5xx"`
+	Errors          int                `json:"errors"`
+	ChaosRequests   int                `json:"chaos_requests"`
+	ChaosUnexpected int                `json:"chaos_unexpected"`
+	ServerMetrics   map[string]float64 `json:"server_metrics"`
 }
 
 // runFromLoad converts a casaload JSON report into a results file whose
 // server section is compared against the committed ceilings (and _min
 // floors) in the baseline.
-func runFromLoad(in, out string) error {
+func runFromLoad(in, out string, chaos bool) error {
 	data, err := os.ReadFile(in)
 	if err != nil {
 		return err
@@ -339,6 +346,21 @@ func runFromLoad(in, out string) error {
 		"traced_requests_min": rep.ServerMetrics["casa_server_traced_requests_total"],
 		"trace_store_drops":   rep.ServerMetrics["casa_server_trace_store_drops_total"],
 	}}
+	if chaos {
+		if rep.ChaosRequests == 0 {
+			return fmt.Errorf("%s: -chaos conversion of a report with zero chaos requests (was casaload run with -chaos?)", in)
+		}
+		// The chaos floors make an inert chaos run a red build: a run
+		// that expired no deadlines, rejected no oversized bodies or
+		// injected none of the daemon's scheduled faults proves the
+		// chaos machinery is disconnected, not that the server is
+		// robust. chaos_unexpected is a ceiling: any chaos request
+		// answered outside its expected status set fails.
+		res.Server["chaos_deadline_exceeded_min"] = rep.ServerMetrics["casa_server_deadline_exceeded_total"]
+		res.Server["chaos_body_too_large_min"] = rep.ServerMetrics["casa_server_body_too_large_total"]
+		res.Server["chaos_injected_min"] = rep.ServerMetrics["casa_faults_injected_total"]
+		res.Server["chaos_unexpected"] = float64(rep.ChaosUnexpected)
+	}
 	return writeResults(res, out)
 }
 

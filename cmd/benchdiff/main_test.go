@@ -287,7 +287,7 @@ func TestFromLoadServerGate(t *testing.T) {
 		"server_metrics":{"casa_server_traced_requests_total":500,
 		                  "casa_server_trace_store_drops_total":0}}`)
 	cur := filepath.Join(dir, "cur.json")
-	if err := runFromLoad(load, cur); err != nil {
+	if err := runFromLoad(load, cur, false); err != nil {
 		t.Fatalf("runFromLoad: %v", err)
 	}
 	res, err := readResults(cur)
@@ -323,8 +323,87 @@ func TestFromLoadServerGate(t *testing.T) {
 
 	// A report covering zero requests is a broken run, not a baseline.
 	empty := write("empty.json", `{"requests":0}`)
-	if err := runFromLoad(empty, cur); err == nil {
+	if err := runFromLoad(empty, cur, false); err == nil {
 		t.Error("zero-request load report converted without error")
+	}
+}
+
+// TestFromLoadChaosGate: -chaos adds the injection floors and the
+// unexpected-outcome ceiling to the server section, refuses a report
+// with no chaos traffic, and the compare gate turns red when a chaos
+// run injected nothing.
+func TestFromLoadChaosGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	load := write("chaos_report.json", `{"requests":500,"p99_ms":12.5,"http_5xx":0,"errors":0,
+		"chaos_requests":20,"chaos_unexpected":0,
+		"server_metrics":{"casa_server_traced_requests_total":500,
+		                  "casa_server_trace_store_drops_total":0,
+		                  "casa_server_deadline_exceeded_total":4,
+		                  "casa_server_body_too_large_total":4,
+		                  "casa_faults_injected_total":8}}`)
+	cur := filepath.Join(dir, "cur.json")
+	if err := runFromLoad(load, cur, true); err != nil {
+		t.Fatalf("runFromLoad -chaos: %v", err)
+	}
+	res, err := readResults(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Server["chaos_deadline_exceeded_min"] != 4 || res.Server["chaos_body_too_large_min"] != 4 ||
+		res.Server["chaos_injected_min"] != 8 || res.Server["chaos_unexpected"] != 0 {
+		t.Fatalf("chaos server section = %v", res.Server)
+	}
+
+	base := write("base.json", `{"server":{"p99_ms":250,"http_5xx":0,"errors":0,
+		"traced_requests_min":1,"trace_store_drops":0,
+		"chaos_deadline_exceeded_min":2,"chaos_body_too_large_min":2,
+		"chaos_injected_min":2,"chaos_unexpected":0}}`)
+	if err := runCompare(base, cur, 20, 20, 5, 20); err != nil {
+		t.Errorf("healthy chaos run failed the gate: %v", err)
+	}
+
+	// A chaos run whose faults never fired falls below the floor.
+	inert := write("inert.json", `{"requests":500,"p99_ms":12.5,"http_5xx":0,"errors":0,
+		"chaos_requests":20,"chaos_unexpected":0,
+		"server_metrics":{"casa_server_traced_requests_total":500,
+		                  "casa_server_deadline_exceeded_total":4,
+		                  "casa_server_body_too_large_total":4,
+		                  "casa_faults_injected_total":0}}`)
+	inertCur := filepath.Join(dir, "inert_cur.json")
+	if err := runFromLoad(inert, inertCur, true); err != nil {
+		t.Fatalf("runFromLoad -chaos (inert): %v", err)
+	}
+	if err := runCompare(base, inertCur, 20, 20, 5, 20); err == nil {
+		t.Error("chaos run that injected nothing passed the floor gate")
+	}
+
+	// Chaos requests that answered outside their expected set breach
+	// the ceiling.
+	odd := write("odd.json", `{"requests":500,"p99_ms":12.5,"http_5xx":0,"errors":0,
+		"chaos_requests":20,"chaos_unexpected":3,
+		"server_metrics":{"casa_server_deadline_exceeded_total":4,
+		                  "casa_server_body_too_large_total":4,
+		                  "casa_faults_injected_total":8}}`)
+	oddCur := filepath.Join(dir, "odd_cur.json")
+	if err := runFromLoad(odd, oddCur, true); err != nil {
+		t.Fatalf("runFromLoad -chaos (odd): %v", err)
+	}
+	if err := runCompare(base, oddCur, 20, 20, 5, 20); err == nil {
+		t.Error("unexpected chaos outcomes passed the ceiling gate")
+	}
+
+	// -chaos on a report with no chaos traffic is a misconfigured run.
+	plain := write("plain.json", `{"requests":500,"p99_ms":12.5}`)
+	if err := runFromLoad(plain, cur, true); err == nil {
+		t.Error("-chaos accepted a report with zero chaos requests")
 	}
 }
 

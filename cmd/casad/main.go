@@ -9,6 +9,12 @@
 //	casad [-addr :8344] [-max-inflight N] [-exact-budget 5s]
 //	      [-bounded-budget 150ms] [-cache-entries 4096] [-trace]
 //	      [-log-level info] [-trace-sample 1.0] [-version]
+//	      [-mem-soft-limit 0] [-snapshot path] [-snapshot-every 30s]
+//
+// Clients can cap how long they wait with an X-Deadline-Ms header (the
+// solve budget and pipeline are clamped to it; expiry is a clean 504).
+// -mem-soft-limit arms the memory-pressure watchdog, -snapshot makes
+// warm state survive restarts — DESIGN.md §14 covers both.
 //
 // SIGINT/SIGTERM (or POST /quitquitquit) drain gracefully: in-flight
 // solves finish, new requests get 503.
@@ -37,6 +43,9 @@ func main() {
 		boundedBudget = flag.Duration("bounded-budget", 0, "solve budget under pressure (0 = 150ms default)")
 		cacheEntries  = flag.Int("cache-entries", 0, "result-cache capacity (0 = 4096 default)")
 		drainTimeout  = flag.Duration("drain-timeout", 0, "graceful-shutdown bound (0 = 30s default)")
+		memSoftLimit  = flag.Uint64("mem-soft-limit", 0, "heap soft limit in bytes arming the memory-pressure watchdog (0 = off)")
+		snapshotPath  = flag.String("snapshot", "", "warm-state snapshot file: restored on boot, saved periodically and on drain (empty = off)")
+		snapshotEvery = flag.Duration("snapshot-every", 0, "periodic snapshot interval (0 = 30s default)")
 		logLevel      = flag.String("log-level", "info", "structured-log level: debug, info, warn, error or off")
 		traceSample   = flag.Float64("trace-sample", -1,
 			fmt.Sprintf("request-trace sampling rate in [0,1]; 0 disables tracing, negative defers to %s (default: trace everything)", server.EnvTraceSample))
@@ -60,13 +69,16 @@ func main() {
 	}
 
 	cfg := server.Config{
-		MaxInflight:   *maxInflight,
-		ExactBudget:   *exactBudget,
-		BoundedBudget: *boundedBudget,
-		CacheEntries:  *cacheEntries,
-		DrainTimeout:  *drainTimeout,
-		Logger:        logger,
-		TraceSample:   traceSampleConfig(*traceSample),
+		MaxInflight:       *maxInflight,
+		ExactBudget:       *exactBudget,
+		BoundedBudget:     *boundedBudget,
+		CacheEntries:      *cacheEntries,
+		DrainTimeout:      *drainTimeout,
+		MemSoftLimitBytes: *memSoftLimit,
+		SnapshotPath:      *snapshotPath,
+		SnapshotEvery:     *snapshotEvery,
+		Logger:            logger,
+		TraceSample:       traceSampleConfig(*traceSample),
 	}
 	if err := serve(cfg, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "casad:", err)

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestInterleaveChaosSchedule: -chaos weaves every attack class into
+// the schedule several times without disturbing the healthy jobs.
+func TestInterleaveChaosSchedule(t *testing.T) {
+	opts := options{n: 100, c: 8, burst: 4, seed: 7,
+		mix: "cold:1", workloads: "adpcm", chaos: true, chaosEvery: 10}
+	base, err := buildJobs(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := interleaveChaos(base, opts)
+	if len(jobs) != len(base)+10 {
+		t.Fatalf("%d jobs after interleave, want %d", len(jobs), len(base)+10)
+	}
+	counts := map[string]int{}
+	healthy := 0
+	for _, j := range jobs {
+		if !chaosClass(j.class) {
+			healthy++
+			continue
+		}
+		counts[j.class]++
+		switch j.class {
+		case classChaosStall, classChaosHangup:
+			if !j.raw {
+				t.Fatalf("%s not routed through the raw-connection path", j.class)
+			}
+		case classChaosFlood:
+			if j.wantCode != 400 {
+				t.Fatalf("flood wantCode = %d", j.wantCode)
+			}
+		case classChaosOversized:
+			if j.wantCode != 413 {
+				t.Fatalf("oversized wantCode = %d", j.wantCode)
+			}
+		case classChaosDeadline:
+			if j.wantCode != 504 || j.deadlineMS <= 0 {
+				t.Fatalf("deadline job = %+v", j)
+			}
+		}
+	}
+	if healthy != len(base) {
+		t.Fatalf("interleave disturbed healthy jobs: %d, want %d", healthy, len(base))
+	}
+	for _, cl := range []string{classChaosStall, classChaosHangup, classChaosFlood, classChaosOversized, classChaosDeadline} {
+		if counts[cl] < 2 {
+			t.Fatalf("class %s scheduled %d times, want ≥ 2: %v", cl, counts[cl], counts)
+		}
+	}
+	// Off switch: no chaos, schedule untouched.
+	opts.chaos = false
+	if got := interleaveChaos(base, opts); len(got) != len(base) {
+		t.Fatalf("chaos off still interleaved: %d jobs", len(got))
+	}
+}
+
+// TestChaosRunAgainstServer drives a real in-process casad with the
+// full hostile mix: every chaos class must land its expected answer
+// (413s, 400s, immediate 504s, raw-connection survivals) while the
+// healthy traffic stays clean — zero unexpected chaos outcomes, zero
+// healthy errors.
+func TestChaosRunAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{MaxInflight: 8}).Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "chaos_report.json")
+	opts := options{
+		addr:       ts.URL,
+		n:          100,
+		c:          8,
+		burst:      4,
+		seed:       3,
+		mix:        "cold:2,warm:5,dup:3",
+		workloads:  "adpcm,g721",
+		chaos:      true,
+		chaosEvery: 10,
+		out:        out,
+		timeout:    60 * time.Second,
+	}
+	rep, err := run(opts)
+	if err != nil {
+		t.Fatalf("chaos run: %v (report %+v)", err, rep)
+	}
+	if rep.ChaosRequests != 10 {
+		t.Fatalf("ChaosRequests = %d, want 10", rep.ChaosRequests)
+	}
+	if rep.ChaosUnexpected != 0 {
+		t.Fatalf("ChaosUnexpected = %d: %+v", rep.ChaosUnexpected, rep)
+	}
+	if rep.Errors != 0 || rep.NetErrors != 0 {
+		t.Fatalf("healthy traffic took errors under chaos: %+v", rep)
+	}
+	if rep.Status["413"] == 0 {
+		t.Fatal("oversized chaos produced no 413s")
+	}
+	if rep.Status["504"] == 0 {
+		t.Fatal("deadline chaos produced no 504s")
+	}
+	if rep.Status["400"] == 0 {
+		t.Fatal("flood chaos produced no 400s")
+	}
+	// Expected chaos 5xx (the 504s) must not count against the healthy
+	// 5xx budget.
+	if rep.HTTP5xx != 0 {
+		t.Fatalf("expected chaos answers leaked into HTTP5xx: %d", rep.HTTP5xx)
+	}
+	// The deadline metric moved server-side.
+	if rep.ServerMetrics["casa_server_deadline_exceeded_total"] < 2 {
+		t.Fatalf("server deadline counter = %v", rep.ServerMetrics["casa_server_deadline_exceeded_total"])
+	}
+	if rep.ServerMetrics["casa_server_body_too_large_total"] < 2 {
+		t.Fatalf("server 413 counter = %v", rep.ServerMetrics["casa_server_body_too_large_total"])
+	}
+}

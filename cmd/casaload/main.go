@@ -14,7 +14,8 @@
 //	casaload -addr http://127.0.0.1:8344 -n 2000 -c 32 \
 //	         [-mix cold:2,warm:5,dup:2,oversized:1] [-burst 8] \
 //	         [-o load_report.json] [-require-coalescing] [-max-5xx 0] \
-//	         [-allow-shed] [-log-level off]
+//	         [-allow-shed] [-chaos] [-chaos-every 25] [-max-net-errors 0] \
+//	         [-log-level off]
 //
 // Exit status is non-zero when transport errors or unexpected statuses
 // occurred, when 5xx responses exceed -max-5xx, or when
@@ -22,6 +23,14 @@
 // did not move — so the CI smoke fails on any 5xx and on a server that
 // stopped coalescing duplicates. With -allow-shed, 503s are part of the
 // experiment (forced-overload runs) and don't count as unexpected.
+//
+// -chaos interleaves hostile traffic (stalled uploads, mid-response
+// hangups, malformed floods, oversized bodies, 1ms deadlines — see
+// chaos.go) into the healthy schedule; the healthy percentiles exclude
+// the chaos samples and any chaos request answered outside its expected
+// status set fails the run. -max-net-errors tolerates that many
+// transport-level failures on healthy requests — the allowance for
+// server-side connection-reset faults armed via CASA_FAULTS.
 //
 // Every request carries a generated X-Request-Id (load-<seed>-<seq>),
 // so a failure in the report names the exact server-side traces to pull
@@ -61,6 +70,9 @@ func main() {
 		"fail unless the server's singleflight hit counter moved")
 	flag.IntVar(&opts.max5xx, "max-5xx", 0, "tolerated 5xx responses")
 	flag.BoolVar(&opts.allowShed, "allow-shed", false, "treat 503 sheds as expected (overload experiments)")
+	flag.BoolVar(&opts.chaos, "chaos", false, "interleave hostile traffic (stalls, hangups, floods, oversized bodies, 1ms deadlines)")
+	flag.IntVar(&opts.chaosEvery, "chaos-every", 25, "insert one chaos request every N scheduled jobs")
+	flag.IntVar(&opts.maxNetErrors, "max-net-errors", 0, "tolerated transport failures on healthy requests (server-side reset faults)")
 	flag.DurationVar(&opts.timeout, "timeout", 60*time.Second, "per-request timeout")
 	flag.StringVar(&logLevel, "log-level", "off", "structured-log level: debug, info, warn, error or off")
 	flag.Parse()
@@ -95,6 +107,9 @@ type options struct {
 	requireCoalescing bool
 	max5xx            int
 	allowShed         bool
+	chaos             bool
+	chaosEvery        int
+	maxNetErrors      int
 	timeout           time.Duration
 }
 
@@ -112,6 +127,11 @@ type job struct {
 	class    string
 	body     []byte
 	wantCode int // 0 = any 2xx
+	// raw routes the job through chaosFire (a hand-rolled TCP
+	// connection) instead of the HTTP client; deadlineMS, when nonzero,
+	// is sent as the X-Deadline-Ms header.
+	raw        bool
+	deadlineMS float64
 }
 
 // sample is one completed request.
@@ -307,6 +327,7 @@ func run(opts options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	jobs = interleaveChaos(jobs, opts)
 	client := &http.Client{
 		Timeout: opts.timeout,
 		Transport: &http.Transport{
@@ -331,7 +352,12 @@ func run(opts options) (*Report, error) {
 			defer wg.Done()
 			for j := range queue {
 				id := fmt.Sprintf("load-%d-%06d", opts.seed, seq.Add(1))
-				s := fire(client, opts, j, id)
+				var s sample
+				if j.raw {
+					s = chaosFire(opts, j, id)
+				} else {
+					s = fire(client, opts, j, id)
+				}
 				mu.Lock()
 				samples = append(samples, s)
 				mu.Unlock()
@@ -356,6 +382,8 @@ func run(opts options) (*Report, error) {
 		return rep, fmt.Errorf("%d request(s) failed or returned unexpected statuses", rep.Errors)
 	case rep.HTTP5xx > opts.max5xx:
 		return rep, fmt.Errorf("%d 5xx response(s) (allowed %d)", rep.HTTP5xx, opts.max5xx)
+	case rep.ChaosUnexpected > 0:
+		return rep, fmt.Errorf("%d chaos request(s) answered outside their expected status set", rep.ChaosUnexpected)
 	case opts.requireCoalescing && rep.SingleflightHits == 0:
 		return rep, fmt.Errorf("no duplicate requests were coalesced (singleflight hits = 0)")
 	}
@@ -373,6 +401,9 @@ func fire(client *http.Client, opts options, j job, id string) sample {
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Request-Id", id)
+	if j.deadlineMS > 0 {
+		req.Header.Set("X-Deadline-Ms", strconv.FormatFloat(j.deadlineMS, 'f', -1, 64))
+	}
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	s.dur = time.Since(t0)
@@ -433,6 +464,18 @@ type Report struct {
 	Degraded  int `json:"degraded"`
 	Cached    int `json:"cached"`
 	Coalesced int `json:"coalesced"`
+
+	// Chaos accounting (-chaos runs). ChaosRequests counts injected
+	// hostile requests; ChaosUnexpected counts those answered outside
+	// their expected status set (any > 0 fails the run). NetErrors
+	// counts transport failures on healthy requests — tolerated up to
+	// -max-net-errors, the allowance for server-side reset faults.
+	// FaultsInjected is the server's casa_faults_injected_total delta,
+	// the proof that a chaos run's scheduled server-side faults fired.
+	ChaosRequests   int     `json:"chaos_requests,omitempty"`
+	ChaosUnexpected int     `json:"chaos_unexpected"`
+	NetErrors       int     `json:"net_errors"`
+	FaultsInjected  float64 `json:"faults_injected"`
 
 	// SingleflightHits is the server-side counter delta across the run:
 	// > 0 proves duplicate requests were coalesced.
@@ -495,20 +538,53 @@ func summarize(opts options, samples []sample, wall time.Duration,
 			cs = &ClassStats{}
 			rep.ByClass[s.class] = cs
 		}
+		cs.Count++
+		if chaosClass(s.class) {
+			// Chaos traffic gates on its own expectations and stays out
+			// of the healthy percentiles: the p99 ceiling is a promise
+			// about well-behaved clients sharing the server with an
+			// attack, not about the attack itself. An expected 5xx (the
+			// 504 a 1ms deadline must earn) is the test passing, so only
+			// unexpected statuses count toward the 5xx gate.
+			rep.ChaosRequests++
+			if s.status > 0 {
+				rep.Status[strconv.Itoa(s.status)]++
+				byClass[s.class] = append(byClass[s.class], ms)
+			} else if s.err != nil {
+				rep.Status["error"]++
+			}
+			if !s.expected {
+				rep.ChaosUnexpected++
+				cs.Errors++
+				if s.status >= 500 {
+					rep.HTTP5xx++
+				}
+				if len(rep.FailedIDs) < maxFailedIDs {
+					rep.FailedIDs = append(rep.FailedIDs, s.id)
+				}
+			}
+			continue
+		}
 		ocs := rep.ByOutcome[s.outcome()]
 		if ocs == nil {
 			ocs = &ClassStats{}
 			rep.ByOutcome[s.outcome()] = ocs
 		}
-		cs.Count++
 		ocs.Count++
 		failed := false
 		if s.err != nil {
-			rep.Errors++
-			cs.Errors++
-			ocs.Errors++
+			// A transport failure on a healthy request: tolerated up to
+			// -max-net-errors (the allowance for server-side reset
+			// faults, which kill exactly the connections they fire on),
+			// an error beyond that.
+			rep.NetErrors++
 			rep.Status["error"]++
-			failed = true
+			if rep.NetErrors > opts.maxNetErrors {
+				rep.Errors++
+				cs.Errors++
+				ocs.Errors++
+				failed = true
+			}
 		} else {
 			rep.Status[strconv.Itoa(s.status)]++
 			if s.status >= 500 {
@@ -555,7 +631,7 @@ func summarize(opts options, samples []sample, wall time.Duration,
 		rep.ByOutcome[oc].P99Ms = percentile(durs, 0.99)
 	}
 	for name, v := range after {
-		if !strings.HasPrefix(name, "casa_server_") {
+		if !strings.HasPrefix(name, "casa_server_") && name != "casa_faults_injected_total" {
 			continue
 		}
 		if d := v - before[name]; d != 0 {
@@ -563,6 +639,7 @@ func summarize(opts options, samples []sample, wall time.Duration,
 		}
 	}
 	rep.SingleflightHits = rep.ServerMetrics["casa_server_singleflight_hits_total"]
+	rep.FaultsInjected = rep.ServerMetrics["casa_faults_injected_total"]
 	return rep
 }
 
@@ -574,6 +651,10 @@ func (r *Report) print(w *os.File) {
 		r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
 	fmt.Fprintf(w, "outcomes 5xx %d  errors %d  degraded %d  cached %d  coalesced %d  singleflight %.0f\n",
 		r.HTTP5xx, r.Errors, r.Degraded, r.Cached, r.Coalesced, r.SingleflightHits)
+	if r.ChaosRequests > 0 {
+		fmt.Fprintf(w, "chaos    injected %d  unexpected %d  net-errors %d  server-faults %.0f\n",
+			r.ChaosRequests, r.ChaosUnexpected, r.NetErrors, r.FaultsInjected)
+	}
 	classes := make([]string, 0, len(r.ByClass))
 	for cl := range r.ByClass {
 		classes = append(classes, cl)

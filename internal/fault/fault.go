@@ -57,6 +57,18 @@ const (
 	// request recomputes (and the response is re-cached) even when a
 	// fresh entry exists.
 	ServerCacheMiss = "server-cache-miss"
+	// ServerStallRead stalls the casad request-body read path, emulating
+	// a client that dribbles its upload (slow loris): the handler sleeps
+	// for the configured stall delay before decoding.
+	ServerStallRead = "server-stall-read"
+	// ServerConnReset makes casad hijack and hard-close the client
+	// connection instead of writing the response — the mid-response
+	// hangup a flaky proxy or OOM-killed peer produces.
+	ServerConnReset = "server-conn-reset"
+	// ServerSlowClient makes casad trickle the response body out in tiny
+	// flushed chunks with pauses, emulating a slow consumer holding the
+	// connection (and exercising the server's write timeout).
+	ServerSlowClient = "server-slow-client"
 )
 
 // EnvFaults is the environment variable carrying the process-wide fault

@@ -19,7 +19,7 @@ type RequestTrace struct {
 	// Status is the HTTP status the request answered with.
 	Status int `json:"status"`
 	// Outcome classifies the request: "ok", "cached", "coalesced",
-	// "degraded", "shed", "client-error" or "error".
+	// "degraded", "shed", "deadline", "client-error" or "error".
 	Outcome string `json:"outcome"`
 	// Tier is the admission tier the solve ran under, when one ran.
 	Tier string `json:"tier,omitempty"`
@@ -31,12 +31,12 @@ type RequestTrace struct {
 }
 
 // MustKeep reports whether the trace belongs to the always-retained
-// class: degraded answers, load sheds and server errors. Client
-// mistakes (4xx) are deliberately excluded — a burst of malformed
-// requests must not evict the traces that explain a bad p99.
+// class: degraded answers, load sheds, deadline expiries and server
+// errors. Client mistakes (4xx) are deliberately excluded — a burst of
+// malformed requests must not evict the traces that explain a bad p99.
 func (t *RequestTrace) MustKeep() bool {
 	switch t.Outcome {
-	case "degraded", "shed", "error":
+	case "degraded", "shed", "deadline", "error":
 		return true
 	}
 	return false

@@ -118,6 +118,48 @@ func (c *shardedCache) put(key string, resp *Response) {
 	mCacheSize.Add(int64(1 - evicted))
 }
 
+// shed drops roughly frac of each shard's entries, least recently used
+// first. It is the memory watchdog's first lever: a dropped response
+// costs one solve to rebuild, nothing more.
+func (c *shardedCache) shed(frac float64) int {
+	removed := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		drop := int(float64(s.ll.Len())*frac + 0.5)
+		for j := 0; j < drop; j++ {
+			old := s.ll.Back()
+			if old == nil {
+				break
+			}
+			s.ll.Remove(old)
+			delete(s.m, old.Value.(*cacheEntry).key)
+			removed++
+		}
+		s.mu.Unlock()
+	}
+	if removed > 0 {
+		mCacheEvicts.Add(int64(removed))
+		mCacheSize.Add(int64(-removed))
+	}
+	return removed
+}
+
+// dump returns every cached entry, least recently used first, so a
+// restore that replays them through put reproduces the recency order.
+func (c *shardedCache) dump() []cacheEntry {
+	var out []cacheEntry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Back(); el != nil; el = el.Prev() {
+			out = append(out, *el.Value.(*cacheEntry))
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // len returns the total number of cached responses.
 func (c *shardedCache) len() int {
 	n := 0

@@ -106,6 +106,33 @@ func (t *internTable) program(src string) (_ *ir.Program, hit bool, _ error) {
 	return e.prog, ok, e.err
 }
 
+// shedAll empties the table, releasing every parsed program's sim memos
+// (profiles, recorded traces, stream caches) through sim.Forget — the
+// memory watchdog's second lever. Entries whose parse is still running
+// keep their eventual memos, exactly like a racing eviction; the leak
+// is bounded by the in-flight request count.
+func (t *internTable) shedAll() int {
+	t.mu.Lock()
+	n := t.ll.Len()
+	var progs []*ir.Program
+	for el := t.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*internEntry)
+		if e.done.Load() && e.prog != nil {
+			progs = append(progs, e.prog)
+		}
+	}
+	t.m = make(map[[32]byte]*list.Element)
+	t.ll = list.New()
+	t.mu.Unlock()
+	for _, p := range progs {
+		sim.Forget(p)
+	}
+	if n > 0 {
+		mInternEvicts.Add(int64(n))
+	}
+	return n
+}
+
 // len returns the number of interned programs.
 func (t *internTable) len() int {
 	t.mu.Lock()

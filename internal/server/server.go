@@ -44,6 +44,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -107,6 +108,48 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown (default 30s).
 	DrainTimeout time.Duration
 
+	// ReadTimeout / WriteTimeout / IdleTimeout harden the listener
+	// against stalled and parked connections (defaults 30s / 60s / 2m):
+	// a connection that cannot deliver a request, consume a response or
+	// carry another request within these bounds is closed instead of
+	// pinning a file descriptor forever.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+	// BodyReadTimeout bounds reading one request body (default 10s).
+	// It is the slow-loris guard: a client dribbling its upload gets a
+	// structured 408 when the per-request read deadline expires, rather
+	// than holding a handler goroutine for the full ReadTimeout budget.
+	BodyReadTimeout time.Duration
+	// DeadlineMargin is the slice of a client deadline (X-Deadline-Ms)
+	// reserved for non-solve work — simulation, transfer valuation,
+	// response encoding (default 20ms). The solve budget is clamped to
+	// the remaining time minus this margin.
+	DeadlineMargin time.Duration
+	// StallDelay / SlowChunkDelay tune the injected network fault
+	// points (server-stall-read, server-slow-client): how long a stalled
+	// body read sleeps, and the pause between trickled response chunks
+	// (defaults 250ms / 20ms). Only consulted when a fault plan fires.
+	StallDelay     time.Duration
+	SlowChunkDelay time.Duration
+
+	// MemSoftLimitBytes arms the memory-pressure watchdog: when the
+	// sampled heap exceeds it, the server sheds LRU state in priority
+	// order (result cache → interned programs and their sim memos →
+	// warm donors) before the kernel's OOM killer gets a say. Zero
+	// disables the watchdog. MemCheckEvery is the sampling period
+	// (default 10s).
+	MemSoftLimitBytes uint64
+	MemCheckEvery     time.Duration
+
+	// SnapshotPath, when set, makes warm state crash-safe: the result
+	// cache and the warm donor store are persisted there every
+	// SnapshotEvery (default 30s) and on graceful shutdown, and restored
+	// on boot — so a restarted daemon serves identical answers warm
+	// instead of re-earning its incumbents from live traffic (snapshot.go).
+	SnapshotPath  string
+	SnapshotEvery time.Duration
+
 	// TraceSample sets the request-tracing rate: 0 means unset (the
 	// CASA_TRACE_SAMPLE environment variable decides, defaulting to
 	// trace-everything), a value in (0,1) samples roughly that fraction
@@ -158,6 +201,33 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 60 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.BodyReadTimeout <= 0 {
+		c.BodyReadTimeout = 10 * time.Second
+	}
+	if c.DeadlineMargin <= 0 {
+		c.DeadlineMargin = 20 * time.Millisecond
+	}
+	if c.StallDelay <= 0 {
+		c.StallDelay = 250 * time.Millisecond
+	}
+	if c.SlowChunkDelay <= 0 {
+		c.SlowChunkDelay = 20 * time.Millisecond
+	}
+	if c.MemCheckEvery <= 0 {
+		c.MemCheckEvery = 10 * time.Second
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 30 * time.Second
 	}
 	if c.TraceKeepCap <= 0 {
 		c.TraceKeepCap = 256
@@ -211,10 +281,18 @@ type Server struct {
 	session *ilp.Session
 	warm    warmStore
 
+	// stop tears down the background goroutines (memory watchdog,
+	// snapshotter) exactly once, on Shutdown.
+	stop     chan struct{}
+	stopOnce sync.Once
+
 	// testHookSolving, when set, is called by a solve leader after it
 	// acquired its admission slot and chose a tier, before any pipeline
 	// work. Tests use it to hold solves in flight deterministically.
+	// testHookBudget additionally reports the effective (deadline-
+	// clamped) solve budget the tier ended up with.
 	testHookSolving func(key, tier string)
+	testHookBudget  func(tier string, budget time.Duration)
 }
 
 // New returns a ready-to-serve Server.
@@ -230,32 +308,76 @@ func New(cfg Config) *Server {
 		logger:       cfg.Logger,
 		accessSample: slogx.NewSampler(cfg.AccessLogEvery),
 		session:      ilp.NewSession(),
+		stop:         make(chan struct{}),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/allocate", s.handleAllocate)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handlePromMetrics)
-	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
-	mux.HandleFunc("/debug/traces", s.handleTraceIndex)
-	mux.HandleFunc("/debug/traces/", s.handleTraceGet)
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", getOnly(s.handleHealthz))
+	mux.HandleFunc("/metrics", getOnly(s.handlePromMetrics))
+	mux.HandleFunc("/metrics.json", getOnly(s.handleMetricsJSON))
+	mux.HandleFunc("/debug/traces", getOnly(s.handleTraceIndex))
+	mux.HandleFunc("/debug/traces/", getOnly(s.handleTraceGet))
+	mux.Handle("/debug/vars", getOnly(expvar.Handler().ServeHTTP))
 	mux.HandleFunc("/quitquitquit", s.handleQuit)
 	s.mux = mux
 	return s
+}
+
+// getOnly guards a read-only endpoint: anything but GET (or HEAD, which
+// net/http answers from the GET handler) gets a structured 405 with an
+// Allow header instead of a confusing handler-specific failure.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, &httpError{code: http.StatusMethodNotAllowed, msg: "GET only"})
+			return
+		}
+		h(w, r)
+	}
 }
 
 // Handler returns the server's HTTP handler (httptest-friendly).
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Serve accepts connections on l until Shutdown. It owns the underlying
-// http.Server so Shutdown can drain it.
+// http.Server so Shutdown can drain it; the network-level timeouts are
+// the first line of chaos resistance — a stalled, parked or abandoned
+// connection is closed by the kernel-visible deadlines below before it
+// can pin server state.
 func (s *Server) Serve(l net.Listener) error {
-	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
+	s.startBackground()
 	err := s.httpSrv.Serve(l)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}
 	return err
+}
+
+// startBackground restores the warm-state snapshot (synchronously, so
+// the listener never serves cold answers a restore was about to warm)
+// and launches the memory watchdog and the periodic snapshotter when
+// their configs arm them. Serve is called once; tests drive the
+// underlying steps directly.
+func (s *Server) startBackground() {
+	if s.cfg.MemSoftLimitBytes > 0 {
+		go s.watchMemory()
+	}
+	if s.cfg.SnapshotPath != "" {
+		if n, err := s.RestoreSnapshot(s.cfg.SnapshotPath); err != nil {
+			s.logger.Warn("snapshot restore failed; serving cold", "path", s.cfg.SnapshotPath, "err", err)
+		} else if n > 0 {
+			s.logger.Info("snapshot restored", "path", s.cfg.SnapshotPath, "entries", n)
+		}
+		go s.snapshotLoop()
+	}
 }
 
 // ListenAndServe is Serve on a fresh TCP listener.
@@ -272,10 +394,19 @@ func (s *Server) ListenAndServe(addr string) error {
 // then the listener closes. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.stopOnce.Do(func() { close(s.stop) })
+	var err error
 	if s.httpSrv != nil {
-		return s.httpSrv.Shutdown(ctx)
+		err = s.httpSrv.Shutdown(ctx)
 	}
-	return nil
+	// A final snapshot after the drain captures everything the run
+	// learned; a kill -9 instead falls back to the last periodic one.
+	if s.cfg.SnapshotPath != "" {
+		if serr := s.SaveSnapshot(s.cfg.SnapshotPath); serr != nil {
+			s.logger.Warn("snapshot on shutdown failed", "err", serr)
+		}
+	}
+	return err
 }
 
 // Draining reports whether a graceful shutdown has started.
@@ -343,11 +474,17 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(rec, w, errDraining)
 		return
 	}
-	var req Request
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxProgramBytes)+64<<10))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		s.failRequest(rec, w, badRequestf("bad request body: %v", err))
+	deadline, err := parseDeadline(r, rec.start)
+	if err != nil {
+		s.failRequest(rec, w, err)
+		return
+	}
+	if !deadline.IsZero() {
+		rec.root.SetAttr("deadline_ms", float64(time.Until(deadline).Nanoseconds())/1e6)
+	}
+	req, err := s.readRequest(w, r)
+	if err != nil {
+		s.failRequest(rec, w, err)
 		return
 	}
 	req.normalize()
@@ -378,19 +515,39 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	fctx, fsp := obs.StartSpan(ctx, "singleflight")
-	resp, err, shared, leaderID := s.flight.do(key, rec.id, func() (*Response, error) {
-		return s.compute(fctx, &req, key)
-	})
-	if shared {
-		mSingleflight.Inc()
-		fsp.SetAttr("role", "follower")
-		fsp.SetAttr("leader_request_id", leaderID)
+	var resp *Response
+	var shared bool
+	if deadline.IsZero() {
+		fctx, fsp := obs.StartSpan(ctx, "singleflight")
+		var leaderID string
+		resp, err, shared, leaderID = s.flight.do(key, rec.id, func() (*Response, error) {
+			return s.compute(fctx, &req, key, time.Time{})
+		})
+		if shared {
+			mSingleflight.Inc()
+			fsp.SetAttr("role", "follower")
+			fsp.SetAttr("leader_request_id", leaderID)
+		} else {
+			fsp.SetAttr("role", "leader")
+		}
+		fsp.End()
 	} else {
-		fsp.SetAttr("role", "leader")
+		// A deadline makes the request latency-sensitive: coalescing it
+		// onto a leader with a different (or no) time budget would couple
+		// unrelated deadlines, so deadline-bearing requests solve
+		// independently, each bounded by its own remaining time. Refuse
+		// outright when the budget is already spent — an admission slot
+		// gains a dead request nothing.
+		if _, ok := clampBudget(0, deadline, s.cfg.DeadlineMargin, time.Now()); !ok {
+			s.failRequest(rec, w, deadlineExceededErr(time.Until(deadline)))
+			return
+		}
+		resp, err = s.compute(ctx, &req, key, deadline)
 	}
-	fsp.End()
 	if err != nil {
+		if isDeadlineErr(err) {
+			err = deadlineExceededErr(time.Until(deadline))
+		}
 		s.failRequest(rec, w, err)
 		return
 	}
@@ -406,13 +563,23 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 }
 
 // deliver stamps the per-delivery fields on a copy of the (shared,
-// immutable) response and writes it.
+// immutable) response and writes it. The two response-side fault points
+// fire here, after the solve succeeded: a computed answer the client
+// never receives is exactly the failure mode they emulate.
 func (s *Server) deliver(w http.ResponseWriter, resp *Response, cached, coalesced bool, start time.Time) {
 	out := *resp
 	out.Cached = cached
 	out.Coalesced = coalesced
 	out.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
 	mOK.Inc()
+	if fault.Hit(fault.ServerConnReset) {
+		s.resetConn(w)
+		return
+	}
+	if fault.Hit(fault.ServerSlowClient) {
+		s.writeSlowly(w, &out)
+		return
+	}
 	writeJSON(w, http.StatusOK, &out)
 }
 
@@ -430,22 +597,31 @@ func (s *Server) tierFor(n int64) (string, time.Duration) {
 	}
 }
 
-// compute runs the allocation pipeline for one admitted request. It is
-// always executed by a singleflight leader, so the admission counter
-// tracks genuinely distinct concurrent solves.
-func (s *Server) compute(rctx context.Context, req *Request, key string) (*Response, error) {
+// compute runs the allocation pipeline for one admitted request. A
+// deadline-free request is always executed by a singleflight leader, so
+// the admission counter tracks genuinely distinct concurrent solves; a
+// deadline-bearing request runs uncoalesced with the deadline bounding
+// both the pipeline context and the solve budget.
+func (s *Server) compute(rctx context.Context, req *Request, key string, deadline time.Time) (*Response, error) {
 	// The pipeline runs on a background-derived context on purpose: a
 	// coalesced follower must not lose the result because the leader's
 	// own client hung up, and graceful shutdown wants in-flight solves
 	// to finish. The tier budget bounds the solve instead. The leader's
 	// tracer and singleflight span are transplanted onto the detached
 	// context so the solve's spans still land in the leader's trace.
+	// A client deadline is the one request-side bound that survives the
+	// detachment: it caps every pipeline stage, not just the solve.
 	bctx := context.Background()
 	if tr := obs.TracerFrom(rctx); tr != nil {
 		bctx = obs.WithTracer(bctx, tr)
 		if parent := obs.SpanFrom(rctx); parent != nil {
 			bctx = obs.WithSpan(bctx, parent)
 		}
+	}
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		bctx, cancel = context.WithDeadline(bctx, deadline)
+		defer cancel()
 	}
 	ctx, sp := obs.StartSpan(bctx, "serve")
 	defer sp.End()
@@ -458,11 +634,18 @@ func (s *Server) compute(rctx context.Context, req *Request, key string) (*Respo
 		return nil, errOverloaded
 	}
 	_, asp := obs.StartSpan(ctx, "admission")
-	tier, budget := s.tierFor(n)
+	tier, tierBudget := s.tierFor(n)
+	budget, viable := clampBudget(tierBudget, deadline, s.cfg.DeadlineMargin, time.Now())
 	asp.SetAttr("tier", tier)
 	asp.SetAttr("inflight", n)
 	asp.SetAttr("budget_ms", float64(budget)/1e6)
+	if !deadline.IsZero() {
+		asp.SetAttr("deadline_clamped", budget != tierBudget)
+	}
 	asp.End()
+	if !viable {
+		return nil, deadlineExceededErr(time.Until(deadline))
+	}
 	sp.SetAttr("tier", tier)
 	occ := tierGauge(tier)
 	occ.Add(1)
@@ -478,10 +661,16 @@ func (s *Server) compute(rctx context.Context, req *Request, key string) (*Respo
 	if s.testHookSolving != nil {
 		s.testHookSolving(key, tier)
 	}
+	if s.testHookBudget != nil {
+		s.testHookBudget(tier, budget)
+	}
 	mSolves.Inc()
 
 	prog, err := s.resolveProgram(ctx, req)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, err
 	}
 
@@ -492,6 +681,11 @@ func (s *Server) compute(rctx context.Context, req *Request, key string) (*Respo
 	}
 	pipe, err := experiments.PrepareProgram(ctx, prog, spec, req.Hierarchy.SPMBytes)
 	if err != nil {
+		// A deadline expiry mid-preparation is the client's clock, not
+		// the client's configuration — classify it before the 400 below.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		// Preparation failures are configuration problems (trace
 		// formation, cache geometry, energy model): the client's inputs
 		// made them, so report them as such.
@@ -544,7 +738,7 @@ func (s *Server) compute(rctx context.Context, req *Request, key string) (*Respo
 		// must not influence other solves.
 		if a, aerr := pipe.CASAAllocation(ctx); aerr == nil &&
 			a.Status == ilp.Optimal && !a.Degraded && !a.Fallback {
-			s.warm.record(wk, pipe.Set, a.InSPM)
+			s.warm.record(wk, req.Workload, pipe.Set, a.InSPM)
 		}
 	}
 

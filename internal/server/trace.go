@@ -57,6 +57,7 @@ const (
 	outcomeCoalesced   = "coalesced"
 	outcomeDegraded    = "degraded"
 	outcomeShed        = "shed"
+	outcomeDeadline    = "deadline"
 	outcomeClientError = "client-error"
 	outcomeError       = "error"
 )
@@ -217,7 +218,8 @@ func (s *Server) finishRequest(rec *reqRecord) {
 		mLatency.Observe(durNS)
 	}
 
-	interesting := rec.outcome == outcomeDegraded || rec.outcome == outcomeShed || rec.outcome == outcomeError
+	interesting := rec.outcome == outcomeDegraded || rec.outcome == outcomeShed ||
+		rec.outcome == outcomeDeadline || rec.outcome == outcomeError
 	if !interesting && !s.accessSample.Allow() {
 		return
 	}
@@ -241,8 +243,9 @@ func (s *Server) finishRequest(rec *reqRecord) {
 }
 
 // failRequest classifies err onto the record and writes the error
-// response. Outcomes: 503 = shed, other 5xx = error, 4xx = client
-// mistake (which the trace store deliberately does not must-keep).
+// response. Outcomes: 503 = shed, 504 = deadline (the client's clock
+// expired, counted separately), other 5xx = error, 4xx = client mistake
+// (which the trace store deliberately does not must-keep).
 func (s *Server) failRequest(rec *reqRecord, w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	var he *httpError
@@ -254,6 +257,9 @@ func (s *Server) failRequest(rec *reqRecord, w http.ResponseWriter, err error) {
 	switch {
 	case code == http.StatusServiceUnavailable:
 		rec.outcome = outcomeShed
+	case code == http.StatusGatewayTimeout:
+		rec.outcome = outcomeDeadline
+		mDeadlineExceeded.Inc()
 	case code >= 500:
 		rec.outcome = outcomeError
 	default:

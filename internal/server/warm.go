@@ -33,9 +33,14 @@ type warmKey struct {
 }
 
 // warmDonor is a recorded selection with the trace set it indexes.
+// workload is the bundled-workload name when the donor's program is one
+// (empty for interned custom programs) — it is what makes the donor
+// snapshotable: a restore can rebuild the deterministic trace set from
+// the name alone, where a custom program may be gone with the process.
 type warmDonor struct {
-	set   *trace.Set
-	inSPM []bool
+	set      *trace.Set
+	inSPM    []bool
+	workload string
 }
 
 // maxWarmDonors bounds the store. The table is an optimization, not a
@@ -49,14 +54,54 @@ type warmStore struct {
 	donors map[warmKey]warmDonor
 }
 
-// record stores a proven-optimal selection for k.
-func (w *warmStore) record(k warmKey, set *trace.Set, inSPM []bool) {
+// record stores a proven-optimal selection for k. workload names the
+// bundled workload when there is one (snapshots only persist those).
+func (w *warmStore) record(k warmKey, workload string, set *trace.Set, inSPM []bool) {
 	w.mu.Lock()
 	if w.donors == nil || len(w.donors) >= maxWarmDonors {
 		w.donors = make(map[warmKey]warmDonor)
 	}
-	w.donors[k] = warmDonor{set: set, inSPM: inSPM}
+	w.donors[k] = warmDonor{set: set, inSPM: inSPM, workload: workload}
 	w.mu.Unlock()
+}
+
+// clear drops every donor — the memory watchdog's last lever (later
+// solves lose their warm start, nothing else).
+func (w *warmStore) clear() int {
+	w.mu.Lock()
+	n := len(w.donors)
+	w.donors = nil
+	w.mu.Unlock()
+	return n
+}
+
+// dump returns the snapshotable donors: those whose program is a
+// bundled workload, so a restore can rebuild the trace set by name.
+func (w *warmStore) dump() []snapWarmDonor {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []snapWarmDonor
+	for k, d := range w.donors {
+		if d.workload == "" {
+			continue
+		}
+		out = append(out, snapWarmDonor{
+			Workload:   d.workload,
+			CacheBytes: k.spec.Size,
+			LineBytes:  k.spec.Line,
+			Assoc:      k.spec.Assoc,
+			SPMBytes:   k.spm,
+			InSPM:      d.inSPM,
+		})
+	}
+	return out
+}
+
+// size returns the donor count.
+func (w *warmStore) size() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.donors)
 }
 
 // neighbors returns the donors for k's program whose hierarchy differs
