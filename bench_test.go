@@ -170,6 +170,29 @@ func BenchmarkSensitivity(b *testing.B) {
 	}
 }
 
+// BenchmarkSensitivityIncremental measures the warm-started sensitivity
+// grid end to end: a fresh suite per iteration, so every iteration
+// re-runs the cell planner, the cutoff and basis transfers, and the
+// shared presolve session instead of hitting the suite's allocation
+// memo (which BenchmarkSensitivity does after its first iteration).
+// Together with BenchmarkFig4Incremental this is the number the
+// incremental machinery is accountable for in CI — the sensitivity
+// cells share a trace partition across most of the cache sweep, so
+// this grid is where basis transfer pays.
+func BenchmarkSensitivityIncremental(b *testing.B) {
+	cfg := experiments.DefaultSensitivity()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite()
+		rows, err := experiments.Sensitivity(context.Background(), s, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.WriteSensitivity(benchWriter(b), cfg, rows)
+		}
+	}
+}
+
 // ---- Substrate micro-benchmarks -----------------------------------------
 
 // BenchmarkProfileMpeg measures the instruction-fetch interpreter on the

@@ -139,6 +139,7 @@ var counterGates = []string{
 var counterFloors = []string{
 	"casa_ilp_warm_cell_hits_total",
 	"casa_conflict_incremental_total",
+	"casa_ilp_basis_reuse_total",
 }
 
 // stageFloorNS keeps sub-millisecond stages out of the stage-time gate:

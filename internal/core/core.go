@@ -116,6 +116,10 @@ type Allocation struct {
 	// Fallback reports that the solver produced no incumbent at all and
 	// the selection came from GreedyAllocate.
 	Fallback bool
+	// Hot is the solver's transferable warm state (final basis and
+	// pseudocosts), set on proven-optimal incremental-mode solves. Warm
+	// planners hand it to a neighboring cell via Params.Solver.HotStart.
+	Hot *ilp.HotStart
 }
 
 // NumInSPM returns the number of selected traces.
@@ -185,15 +189,19 @@ func BuildModel(set *trace.Set, g *conflict.Graph, p Params) (*ilp.Model, []ilp.
 		}
 		L := m.AddVar(fmt.Sprintf("L_%d_%d", e.From, e.To), kind, 0, 1)
 		obj = obj.Add(w, L)
+		// Linearization rows are named by edge (not the positional c%d
+		// default) so a neighboring cell's basis maps through the rows the
+		// two formulations share (ilp.HotStart); names play no role in
+		// solving or hashing (ilp.Session ignores them).
 		switch p.Linearization {
 		case Faithful:
 			// (13) l_i − L ≥ 0, (14) l_j − L ≥ 0, (15) l_i + l_j − 2L ≤ 1.
-			m.AddConstraint("", ilp.Expr(1, l[e.From], -1, L), ilp.GE, 0)
-			m.AddConstraint("", ilp.Expr(1, l[e.To], -1, L), ilp.GE, 0)
-			m.AddConstraint("", ilp.Expr(1, l[e.From], 1, l[e.To], -2, L), ilp.LE, 1)
+			m.AddConstraint(fmt.Sprintf("lin_from_%d_%d", e.From, e.To), ilp.Expr(1, l[e.From], -1, L), ilp.GE, 0)
+			m.AddConstraint(fmt.Sprintf("lin_to_%d_%d", e.From, e.To), ilp.Expr(1, l[e.To], -1, L), ilp.GE, 0)
+			m.AddConstraint(fmt.Sprintf("lin_and_%d_%d", e.From, e.To), ilp.Expr(1, l[e.From], 1, l[e.To], -2, L), ilp.LE, 1)
 		case Tight:
 			// L ≥ l_i + l_j − 1; minimization pushes L down to the bound.
-			m.AddConstraint("", ilp.Expr(1, l[e.From], 1, l[e.To], -1, L), ilp.LE, 1)
+			m.AddConstraint(fmt.Sprintf("lin_%d_%d", e.From, e.To), ilp.Expr(1, l[e.From], 1, l[e.To], -1, L), ilp.LE, 1)
 		}
 	}
 	m.SetObjective(obj, ilp.Minimize)
@@ -275,6 +283,7 @@ func Allocate(ctx context.Context, set *trace.Set, g *conflict.Graph, p Params) 
 		Degraded:       sol.Degraded,
 		DegradedReason: sol.DegradedReason,
 		Gap:            sol.Gap,
+		Hot:            sol.HotStart,
 	}
 	for i := range set.Traces {
 		if sol.Value(l[i]) < 0.5 {

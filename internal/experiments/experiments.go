@@ -135,6 +135,12 @@ type Pipeline struct {
 	// when CASA_INCREMENTAL is off.
 	WarmCutoff *float64
 
+	// WarmHot optionally carries a donor solve's transferable basis and
+	// pseudocosts alongside WarmCutoff (ilp.Options.HotStart). Like the
+	// cutoff it never changes results, only solve time; suite-owned
+	// pipelines ignore it in favor of the warm planner's donor choice.
+	WarmHot *ilp.HotStart
+
 	// suite points back at the owning Suite for cross-cell warm starts;
 	// nil for pipelines prepared outside a suite.
 	suite *Suite
@@ -361,17 +367,21 @@ func (p *Pipeline) CASAAllocation(ctx context.Context) (*core.Allocation, error)
 		params := p.casaParams()
 		if p.suite != nil && ilp.IncrementalEnabled() {
 			// Cross-cell warm start: seed the solve with the tightest
-			// cutoff transferable from a solved neighboring cell
-			// (warmplan.go). Cold cells are counted as misses here; hits
-			// are counted by the solver when it installs the cutoff.
-			if cut, ok := p.suite.warmCutoff(p, params); ok {
+			// cutoff transferable from a solved neighboring cell, plus —
+			// when a partition-matching donor exists — that donor's simplex
+			// basis and pseudocosts (warmplan.go). Cold cells are counted
+			// as misses here; hits are counted by the solver when it
+			// installs the cutoff.
+			if cut, hot, ok := p.suite.warmCutoff(p, params); ok {
 				params.Solver.Cutoff = &cut
+				params.Solver.HotStart = hot
 				sp.SetAttr("warm_cutoff", cut)
 			} else {
 				mWarmCellMisses.Inc()
 			}
 		} else if p.WarmCutoff != nil && ilp.IncrementalEnabled() {
 			params.Solver.Cutoff = p.WarmCutoff
+			params.Solver.HotStart = p.WarmHot
 			sp.SetAttr("warm_cutoff", *p.WarmCutoff)
 		}
 		e.alloc, e.err = core.Allocate(actx, p.Set, p.Graph, params)

@@ -5,6 +5,8 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // renderWarmSensitiveStudies renders the two grids the warm planner
@@ -85,6 +87,83 @@ func TestFig4PermutedOrderInvariant(t *testing.T) {
 		for i := range want {
 			if got[i] != want[i] {
 				t.Errorf("order %v: row %d diverged:\n got %+v\nwant %+v", order, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSensitivityPermutedOrderInvariant is the order-independence
+// property for the cache-organization sweep, where most cells share one
+// trace partition and therefore exchange simplex bases and pseudocosts,
+// not just cutoffs (warmplan.go): whatever order the cells run in, the
+// rows are identical. It also pins down that basis transfer actually
+// fires on this grid — the serial natural-order sweep must install at
+// least one donor basis, or the property test would be vacuously
+// passing on a cold path.
+func TestSensitivityPermutedOrderInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("permutation sweep skipped in -short mode")
+	}
+	ctx := context.Background()
+	cfg := DefaultSensitivity()
+	reuseBefore := obs.GetCounter("casa_ilp_basis_reuse_total").Value()
+	want, err := Sensitivity(ctx, NewSuite().SetWorkers(1), cfg)
+	if err != nil {
+		t.Fatalf("reference Sensitivity: %v", err)
+	}
+	if got := obs.GetCounter("casa_ilp_basis_reuse_total").Value(); got == reuseBefore {
+		t.Errorf("serial sensitivity sweep installed no donor basis (casa_ilp_basis_reuse_total unchanged at %d)", got)
+	}
+	n := len(cfg.Variants)
+	orders := [][]int{{6, 5, 4, 3, 2, 1, 0}, {3, 0, 6, 1, 4, 2, 5}}
+	rng := rand.New(rand.NewSource(0x5EED))
+	perms := 2
+	if raceEnabled {
+		perms = 1
+	}
+	for p := 0; p < perms; p++ {
+		orders = append(orders, rng.Perm(n))
+	}
+	for _, order := range orders {
+		got, err := sensitivityOrdered(ctx, NewSuite().SetWorkers(1), cfg, order)
+		if err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("order %v: row %d diverged:\n got %+v\nwant %+v", order, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSensitivityConcurrentWarmStress runs the sensitivity sweep with
+// many workers sharing one suite and checks the rows still match the
+// serial run: with several cells of one trace partition in flight at
+// once, which donor basis a cell receives depends on scheduling, and
+// none of that may leak into results.
+func TestSensitivityConcurrentWarmStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent sensitivity sweep skipped in -short mode")
+	}
+	ctx := context.Background()
+	cfg := DefaultSensitivity()
+	want, err := Sensitivity(ctx, NewSuite().SetWorkers(1), cfg)
+	if err != nil {
+		t.Fatalf("serial Sensitivity: %v", err)
+	}
+	rounds := 2
+	if raceEnabled {
+		rounds = 1
+	}
+	for r := 0; r < rounds; r++ {
+		got, err := Sensitivity(ctx, NewSuite().SetWorkers(8), cfg)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("round %d: row %d diverged under concurrency:\n got %+v\nwant %+v", r, i, got[i], want[i])
 			}
 		}
 	}

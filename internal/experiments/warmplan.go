@@ -51,30 +51,33 @@ type warmStore struct {
 }
 
 // warmCell is one solved cell's allocation with the inputs needed to
-// transfer it: the trace set it indexes and the conflict graph backing
-// its energy valuation.
+// transfer it: the trace set it indexes, the conflict graph backing its
+// energy valuation, its grid key (for deterministic donor ordering and
+// partition gating) and the solver's transferable hot state.
 type warmCell struct {
+	key   suiteKey
 	set   *trace.Set
 	graph *conflict.Graph
 	inSPM []bool
+	hot   *ilp.HotStart
 }
 
 // record stores a cell's proven-optimal selection for later transfers.
-func (w *warmStore) record(k suiteKey, set *trace.Set, g *conflict.Graph, inSPM []bool) {
+func (w *warmStore) record(k suiteKey, set *trace.Set, g *conflict.Graph, inSPM []bool, hot *ilp.HotStart) {
 	w.mu.Lock()
 	if w.cells == nil {
 		w.cells = make(map[suiteKey]*warmCell)
 	}
-	w.cells[k] = &warmCell{set: set, graph: g, inSPM: inSPM}
+	w.cells[k] = &warmCell{key: k, set: set, graph: g, inSPM: inSPM, hot: hot}
 	w.mu.Unlock()
 }
 
 // neighbors returns the solved cells differing from k in exactly one
 // grid parameter (cache configuration or scratchpad size) for the same
-// workload.
+// workload, sorted by grid key so iteration order — and therefore any
+// tie-break among equal-value donors — never depends on map order.
 func (w *warmStore) neighbors(k suiteKey) []*warmCell {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	var out []*warmCell
 	for dk, c := range w.cells {
 		if dk.name != k.name || dk == k {
@@ -86,27 +89,60 @@ func (w *warmStore) neighbors(k suiteKey) []*warmCell {
 			out = append(out, c)
 		}
 	}
+	w.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return keyLess(out[a].key, out[b].key) })
 	return out
+}
+
+// keyLess orders grid keys deterministically (workload, scratchpad,
+// cache geometry, policy).
+func keyLess(a, b suiteKey) bool {
+	if a.name != b.name {
+		return a.name < b.name
+	}
+	if a.spmSize != b.spmSize {
+		return a.spmSize < b.spmSize
+	}
+	if a.cache.Size != b.cache.Size {
+		return a.cache.Size < b.cache.Size
+	}
+	if a.cache.Line != b.cache.Line {
+		return a.cache.Line < b.cache.Line
+	}
+	if a.cache.Assoc != b.cache.Assoc {
+		return a.cache.Assoc < b.cache.Assoc
+	}
+	return a.cache.Policy < b.cache.Policy
 }
 
 // warmCutoff values every solved neighbor's selection under the target
 // cell's parameters and returns the tightest transferable cutoff. The
-// result is the minimum over donors, so it does not depend on the order
-// cells happened to finish in.
-func (s *Suite) warmCutoff(p *Pipeline, params core.Params) (float64, bool) {
+// cutoff is the minimum over donors, so it does not depend on the order
+// cells happened to finish in. Alongside it, the planner picks a basis
+// donor: among neighbors sharing the target's trace partition — same
+// scratchpad capacity and line size fix the variable identities, so the
+// donor's columns map by name — the one with the lowest transferred
+// value donates its final simplex basis and pseudocosts (hot). Cells on
+// a different partition (scratchpad-size neighbors) still donate
+// cutoffs but no basis.
+func (s *Suite) warmCutoff(p *Pipeline, params core.Params) (cut float64, hot *ilp.HotStart, found bool) {
 	k := suiteKey{name: p.Workload, cache: p.Cache, spmSize: p.SPMSize}
-	best, found := 0.0, false
+	bestHot := 0.0
 	for _, donor := range s.warm.neighbors(k) {
 		sel := core.TransferAllocation(donor.set, donor.inSPM, p.Set, params)
 		if sel == nil {
 			continue
 		}
 		v := core.PredictEnergy(p.Set, p.Graph, params, sel)
-		if !found || v < best {
-			best, found = v, true
+		if !found || v < cut {
+			cut, found = v, true
+		}
+		if donor.hot != nil && donor.key.spmSize == k.spmSize && donor.key.cache.Line == k.cache.Line &&
+			(hot == nil || v < bestHot) {
+			bestHot, hot = v, donor.hot
 		}
 	}
-	return best, found
+	return cut, hot, found
 }
 
 // TransferCutoff values a donor selection — from a pipeline over the
@@ -133,7 +169,7 @@ func (s *Suite) recordWarm(p *Pipeline, a *core.Allocation) {
 		return
 	}
 	k := suiteKey{name: p.Workload, cache: p.Cache, spmSize: p.SPMSize}
-	s.warm.record(k, p.Set, p.Graph, a.InSPM)
+	s.warm.record(k, p.Set, p.Graph, a.InSPM, a.Hot)
 }
 
 // warmOrder returns the cell evaluation order for a grid whose i-th

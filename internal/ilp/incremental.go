@@ -33,6 +33,14 @@ import (
 var (
 	mWarmCellHits  = obs.GetCounter("casa_ilp_warm_cell_hits_total")
 	mPresolveReuse = obs.GetCounter("casa_presolve_reuse_total")
+	// mRHSGrownReject counts cached reductions rejected because the new
+	// model's capacity RHS GREW past the cached one. Shrinking is sound
+	// to patch (the feasible region only shrinks, so every recorded
+	// reduction still holds); growing is not — a row proven redundant
+	// under capacity C may bind under C' > C — so such transfers solve
+	// cold, explicitly and counted, instead of leaning on the solver's
+	// safety-net re-solve to catch an unsound patch.
+	mRHSGrownReject = obs.GetCounter("casa_ilp_rhs_grown_rejects_total")
 )
 
 // IncrementalEnabled reports whether the cross-cell incremental layer is
@@ -205,10 +213,24 @@ func (s *Session) presolveFor(m *Model, tol float64) *presolveResult {
 			s.mu.Unlock()
 			mPresolveReuse.Inc()
 			return &pr
+		case capRHS > e.capRHS:
+			// Grown capacity: the cached reduction was derived under a
+			// TIGHTER feasible region, so its redundancy proofs and pins
+			// need not hold here. Reject the transfer explicitly and solve
+			// cold (fresh presolve below, which then overwrites the cache
+			// entry for this structure).
+			s.mu.Unlock()
+			mRHSGrownReject.Inc()
+			return s.freshPresolve(m, tol, key, capRow, capRHS)
 		}
 	}
 	s.mu.Unlock()
+	return s.freshPresolve(m, tol, key, capRow, capRHS)
+}
 
+// freshPresolve runs presolve from scratch and caches the reduction
+// under key (overwriting any stale entry for the structure).
+func (s *Session) freshPresolve(m *Model, tol float64, key uint64, capRow int, capRHS float64) *presolveResult {
 	pr := presolve(m, tol)
 	if pr.status == needsSolve && pr.reduced != nil {
 		ent := &sessionEntry{

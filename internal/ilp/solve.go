@@ -83,6 +83,15 @@ type Options struct {
 	// structurally identical models (see Session). Ignored when the
 	// incremental layer is disabled.
 	Session *Session
+	// HotStart, when non-nil, carries a donor solve's final basis and
+	// branching statistics (see HotStart). The basis hot-starts the
+	// factored dual simplex instead of the crash basis; the pseudocosts
+	// seed branching variable selection; and together with Cutoff the
+	// root LP's reduced costs fix variables that provably cannot move in
+	// any optimal solution. None of it changes the returned solution —
+	// a basis that cannot be repaired to dual feasibility falls back to
+	// the cold path. Ignored when the incremental layer is disabled.
+	HotStart *HotStart
 }
 
 func (o Options) withDefaults() Options {
@@ -133,6 +142,10 @@ type Solution struct {
 	// non-negative. Zero for proven-optimal results and for degraded
 	// results with no incumbent.
 	Gap float64
+	// HotStart is the transferable solver state of this solve — final
+	// simplex basis and accumulated pseudocosts — set on proven-optimal
+	// incremental-mode results for use as a neighbor's Options.HotStart.
+	HotStart *HotStart
 }
 
 // Value returns the solution value of v.
@@ -275,6 +288,7 @@ func Solve(ctx context.Context, m *Model, opt Options) (*Solution, error) {
 	mWarm.Add(int64(s.warm))
 	mFallback.Add(int64(s.fallbacks))
 	mHeuristic.Add(int64(s.heuristics))
+	mRCFixed.Add(int64(s.rcFixed))
 
 	stopped := s.hitLimit || s.stopReason != ""
 	reason := s.stopReason
@@ -318,6 +332,12 @@ func Solve(ctx context.Context, m *Model, opt Options) (*Solution, error) {
 		// infeasible either way.
 		sol.Status = Infeasible
 	}
+	if s.incMode && s.fsxEng != nil && sol.Status == Optimal {
+		// Publish this solve's warm state for neighboring cells. Only
+		// proven-optimal results donate: a degraded basis or pseudocost
+		// table depends on where the clock cut the search.
+		sol.HotStart = buildHotStart(s.fsxEng, s.w, s.pr, m, s.pc)
+	}
 	if s.incumbent != nil {
 		x := s.incumbent
 		if pr != nil {
@@ -335,6 +355,14 @@ type bbNode struct {
 	lo, hi []float64
 	bound  float64 // parent LP objective, minimization space
 	seq    int     // FIFO tie-break
+
+	// Pseudocost bookkeeping: the branching that created this node
+	// (pvar < 0 for the root), its fractional part at the parent, and
+	// the branch direction. The gain of this node's LP bound over the
+	// parent's is credited to pvar once, when the node LP solves.
+	pvar  int
+	pfrac float64
+	pup   bool
 }
 
 // nodeEngine is a warm-started LP engine persisting across branch &
@@ -366,6 +394,10 @@ type bbState struct {
 	hasCutoff bool    // a transferred cutoff is installed
 	cutoffW   float64 // cutoff in w's minimization space
 	cutMargin float64 // tolerance margin: prune only strictly beyond it
+
+	fsxEng  *fsx     // the factored engine when s.eng is one (hot starts)
+	pc      *pcTable // pseudocost store, nil outside incremental mode
+	rcFixed int      // root reduced-cost fixings against the cutoff
 
 	incumbent    []float64 // in w's variable space
 	incumbentVal float64   // minimization space
@@ -433,6 +465,7 @@ func (s *bbState) run() {
 		if s.incMode {
 			if f := newFSX(s.w, s.opt.Tol); f != nil {
 				s.eng = f
+				s.fsxEng = f
 			}
 		}
 		if s.eng == nil {
@@ -441,10 +474,31 @@ func (s *bbState) run() {
 			}
 		}
 	}
+	if s.incMode {
+		s.pc = newPCTable(s.w.NumVars())
+		if hs := s.opt.HotStart; hs != nil {
+			if s.pc.seed(hs.Pseudo, s.w) {
+				mPseudoTransfer.Inc()
+			}
+			if hs.Basis != nil && s.fsxEng != nil {
+				// Hot-start the factored engine from the donor basis mapped
+				// through shared column/row names. A mapping or repair
+				// failure leaves the engine on its crash basis — the cold
+				// path — and goes uncounted.
+				if basic, atUpper, ok := mapHotBasis(hs.Basis, s.w, s.pr, s.orig); ok {
+					if pivots, installed := s.fsxEng.installBasis(basic, atUpper); installed {
+						mBasisReuse.Inc()
+						mBasisRepair.Add(int64(pivots))
+					}
+				}
+			}
+		}
+	}
 
 	cur := &bbNode{
-		lo: append([]float64(nil), s.w.lo...),
-		hi: append([]float64(nil), s.w.hi...),
+		lo:   append([]float64(nil), s.w.lo...),
+		hi:   append([]float64(nil), s.w.hi...),
+		pvar: -1,
 	}
 	for {
 		if cur == nil {
@@ -626,29 +680,60 @@ func (s *bbState) processNode(nd *bbNode) *bbNode {
 		}
 		bound := s.sign * Eval(s.w.obj, x)
 		s.sawFeasible = true
+		if s.pc != nil && nd.pvar >= 0 {
+			// Credit the branching that created this node with the bound
+			// gain its LP realized; cleared so the dense-fallback retry
+			// below cannot double-count.
+			s.pc.observe(nd.pvar, nd.pfrac, nd.pup, bound-nd.bound)
+			nd.pvar = -1
+		}
 		if s.pruneable(bound) {
 			s.pruned++
 			return nil
 		}
+		if s.nodes == 1 && s.incMode && s.hasCutoff && fromEngine && s.fsxEng != nil && st == Optimal {
+			// Root reduced-cost fixing against the transferred cutoff,
+			// while the engine still holds the root LP's reduced costs.
+			s.fixByReducedCost(nd, bound)
+		}
 
 		// Branch variable: among fractional integer variables, the
-		// highest branch-priority class, most fractional within it.
+		// highest branch-priority class, then (incremental mode) the best
+		// pseudocost product score — which, with no observations in the
+		// table, reduces exactly to the legacy most-fractional rule —
+		// or (legacy mode) most fractional within it.
 		// Priorities let formulations steer branching toward genuine
 		// decision variables (CASA: the l's) instead of derived ones
 		// (the linearization L's, which the l's imply).
 		branchVar := -1
-		worst := s.opt.IntTol
 		bestPrio := math.MinInt
-		for _, j := range s.intVars {
-			frac := math.Abs(x[j] - math.Round(x[j]))
-			if frac <= s.opt.IntTol {
-				continue
+		if s.pc != nil {
+			bestScore := 0.0
+			for _, j := range s.intVars {
+				if math.Abs(x[j]-math.Round(x[j])) <= s.opt.IntTol {
+					continue
+				}
+				p := s.w.prio[j]
+				sc := s.pc.score(j, x[j]-math.Floor(x[j]))
+				if p > bestPrio || (p == bestPrio && sc > bestScore) {
+					bestPrio = p
+					bestScore = sc
+					branchVar = j
+				}
 			}
-			p := s.w.prio[j]
-			if p > bestPrio || (p == bestPrio && frac > worst) {
-				bestPrio = p
-				worst = frac
-				branchVar = j
+		} else {
+			worst := s.opt.IntTol
+			for _, j := range s.intVars {
+				frac := math.Abs(x[j] - math.Round(x[j]))
+				if frac <= s.opt.IntTol {
+					continue
+				}
+				p := s.w.prio[j]
+				if p > bestPrio || (p == bestPrio && frac > worst) {
+					bestPrio = p
+					worst = frac
+					branchVar = j
+				}
 			}
 		}
 		if branchVar < 0 {
@@ -683,9 +768,12 @@ func (s *bbState) processNode(nd *bbNode) *bbNode {
 
 		s.branches++
 		v := x[branchVar]
-		floorNode := &bbNode{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...), bound: bound}
+		frac := v - math.Floor(v)
+		floorNode := &bbNode{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...), bound: bound,
+			pvar: branchVar, pfrac: frac, pup: false}
 		floorNode.hi[branchVar] = math.Floor(v)
-		ceilNode := &bbNode{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...), bound: bound}
+		ceilNode := &bbNode{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...), bound: bound,
+			pvar: branchVar, pfrac: frac, pup: true}
 		ceilNode.lo[branchVar] = math.Ceil(v)
 		// Plunge into the side nearer the fractional value; the other
 		// child joins the best-bound heap.
@@ -695,6 +783,37 @@ func (s *bbState) processNode(nd *bbNode) *bbNode {
 		}
 		s.pushNode(far)
 		return near
+	}
+}
+
+// fixByReducedCost tightens the root box against a transferred cutoff:
+// a nonbasic integer variable whose reduced cost says moving one unit
+// off its bound already pushes the LP bound strictly past the
+// known-feasible cutoff cannot move in ANY optimal solution (the
+// bound+|d| value lower-bounds every feasible point with the variable
+// shifted), so it is fixed at its resting bound. Children inherit the
+// tightened box. Runs only while the engine still holds the root LP's
+// basis.
+func (s *bbState) fixByReducedCost(nd *bbNode, bound float64) {
+	f := s.fsxEng
+	lim := s.cutoffW + s.cutMargin
+	for _, j := range s.intVars {
+		if nd.hi[j]-nd.lo[j] < 0.5 {
+			continue // already fixed
+		}
+		d := f.reducedCost(j)
+		switch f.status[j] {
+		case nbLower:
+			if d > 0 && bound+d > lim {
+				nd.hi[j] = nd.lo[j]
+				s.rcFixed++
+			}
+		case nbUpper:
+			if d < 0 && bound-d > lim {
+				nd.lo[j] = nd.hi[j]
+				s.rcFixed++
+			}
+		}
 	}
 }
 

@@ -707,11 +707,13 @@ func (s *Server) compute(rctx context.Context, req *Request, key string, deadlin
 	wk := warmKey{prog: prog, spec: spec, spm: req.Hierarchy.SPMBytes}
 	if alloc == "casa" && ilp.IncrementalEnabled() {
 		// Cross-request warm start: seed the solve with the tightest
-		// cutoff transferable from a solved neighboring hierarchy. The
-		// cutoff never changes the answer (ilp.Options.Cutoff), so warm
+		// cutoff transferable from a solved neighboring hierarchy, plus
+		// the best partition-matching donor's simplex basis and
+		// pseudocosts. Neither changes the answer (ilp.Options), so warm
 		// and cold responses are identical.
-		if cut, ok := s.warm.warmCutoff(wk, pipe); ok {
+		if cut, hot, ok := s.warm.warmCutoff(wk, pipe); ok {
 			pipe.WarmCutoff = &cut
+			pipe.WarmHot = hot
 			sp.SetAttr("warm_cutoff", cut)
 			mWarmSolves.Inc()
 		}
@@ -738,7 +740,7 @@ func (s *Server) compute(rctx context.Context, req *Request, key string, deadlin
 		// must not influence other solves.
 		if a, aerr := pipe.CASAAllocation(ctx); aerr == nil &&
 			a.Status == ilp.Optimal && !a.Degraded && !a.Fallback {
-			s.warm.record(wk, req.Workload, pipe.Set, a.InSPM)
+			s.warm.record(wk, req.Workload, pipe.Set, a.InSPM, a.Hot)
 		}
 	}
 

@@ -131,7 +131,7 @@ func (s *Server) RestoreSnapshot(path string) (int, error) {
 		if err != nil || len(pipe.Set.Traces) != len(d.InSPM) {
 			continue
 		}
-		s.warm.record(warmKey{prog: prog, spec: spec, spm: d.SPMBytes}, d.Workload, pipe.Set, d.InSPM)
+		s.warm.record(warmKey{prog: prog, spec: spec, spm: d.SPMBytes}, d.Workload, pipe.Set, d.InSPM, nil)
 		restored++
 	}
 	if restored > 0 {

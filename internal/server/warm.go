@@ -1,9 +1,11 @@
 package server
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/experiments"
+	"repro/internal/ilp"
 	"repro/internal/ir"
 	"repro/internal/trace"
 )
@@ -37,10 +39,15 @@ type warmKey struct {
 // (empty for interned custom programs) — it is what makes the donor
 // snapshotable: a restore can rebuild the deterministic trace set from
 // the name alone, where a custom program may be gone with the process.
+// key is the donor's own configuration (for deterministic ordering and
+// basis-partition gating); hot the solver state it can donate (nil for
+// restored snapshots, which persist only the selection).
 type warmDonor struct {
+	key      warmKey
 	set      *trace.Set
 	inSPM    []bool
 	workload string
+	hot      *ilp.HotStart
 }
 
 // maxWarmDonors bounds the store. The table is an optimization, not a
@@ -55,13 +62,14 @@ type warmStore struct {
 }
 
 // record stores a proven-optimal selection for k. workload names the
-// bundled workload when there is one (snapshots only persist those).
-func (w *warmStore) record(k warmKey, workload string, set *trace.Set, inSPM []bool) {
+// bundled workload when there is one (snapshots only persist those);
+// hot is the solver's transferable basis/pseudocost state (may be nil).
+func (w *warmStore) record(k warmKey, workload string, set *trace.Set, inSPM []bool, hot *ilp.HotStart) {
 	w.mu.Lock()
 	if w.donors == nil || len(w.donors) >= maxWarmDonors {
 		w.donors = make(map[warmKey]warmDonor)
 	}
-	w.donors[k] = warmDonor{set: set, inSPM: inSPM, workload: workload}
+	w.donors[k] = warmDonor{key: k, set: set, inSPM: inSPM, workload: workload, hot: hot}
 	w.mu.Unlock()
 }
 
@@ -105,10 +113,10 @@ func (w *warmStore) size() int {
 }
 
 // neighbors returns the donors for k's program whose hierarchy differs
-// from k in exactly one parameter.
+// from k in exactly one parameter, sorted by configuration so donor
+// tie-breaks never depend on map iteration order.
 func (w *warmStore) neighbors(k warmKey) []warmDonor {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	var out []warmDonor
 	for dk, d := range w.donors {
 		if dk.prog != k.prog {
@@ -120,18 +128,52 @@ func (w *warmStore) neighbors(k warmKey) []warmDonor {
 			out = append(out, d)
 		}
 	}
+	w.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return donorKeyLess(out[a].key, out[b].key) })
 	return out
 }
 
+// donorKeyLess orders same-program donor configurations.
+func donorKeyLess(a, b warmKey) bool {
+	if a.spm != b.spm {
+		return a.spm < b.spm
+	}
+	if a.spec.Size != b.spec.Size {
+		return a.spec.Size < b.spec.Size
+	}
+	if a.spec.Line != b.spec.Line {
+		return a.spec.Line < b.spec.Line
+	}
+	if a.spec.Assoc != b.spec.Assoc {
+		return a.spec.Assoc < b.spec.Assoc
+	}
+	return a.spec.Policy < b.spec.Policy
+}
+
 // warmCutoff returns the tightest cutoff transferable to pipe from the
-// recorded neighbors of k. Minimum over donors, so the result does not
-// depend on request arrival order.
-func (w *warmStore) warmCutoff(k warmKey, pipe *experiments.Pipeline) (float64, bool) {
+// recorded neighbors of k — minimum over donors, so the result does not
+// depend on request arrival order — plus the hot solver state of the
+// best partition-matching donor. A donor's basis and pseudocosts only
+// map when its ILP shares variable identities with the new solve, which
+// requires the same scratchpad capacity and cache line size (those fix
+// the trace partition); cache-geometry neighbors qualify,
+// scratchpad-size neighbors donate cutoffs only.
+func (w *warmStore) warmCutoff(k warmKey, pipe *experiments.Pipeline) (float64, *ilp.HotStart, bool) {
 	best, found := 0.0, false
+	bestHot := 0.0
+	var hot *ilp.HotStart
 	for _, d := range w.neighbors(k) {
-		if v, ok := pipe.TransferCutoff(d.set, d.inSPM); ok && (!found || v < best) {
+		v, ok := pipe.TransferCutoff(d.set, d.inSPM)
+		if !ok {
+			continue
+		}
+		if !found || v < best {
 			best, found = v, true
 		}
+		if d.hot != nil && d.key.spm == k.spm && d.key.spec.Line == k.spec.Line &&
+			(hot == nil || v < bestHot) {
+			bestHot, hot = v, d.hot
+		}
 	}
-	return best, found
+	return best, hot, found
 }
